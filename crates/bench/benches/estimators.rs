@@ -1,0 +1,63 @@
+//! Microbenchmarks of the statistical substrate: Zipf sampling (dataset
+//! generation hot path), PMI, the Student-t machinery (E-SZ), the pairwise
+//! capture–recapture estimates, and the incremental covered-set maintenance
+//! of §4.4.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwc_core::domain_table::{CoveredSet, DomainTable};
+use dwc_datagen::presets::Preset;
+use dwc_stats::{pairwise_estimates, pmi, t_cdf, Zipf};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = Zipf::new(100_000, 0.9);
+    let mut rng = StdRng::seed_from_u64(7);
+    c.bench_function("zipf_sample_100k", |b| b.iter(|| black_box(z.sample(&mut rng))));
+}
+
+fn bench_pmi(c: &mut Criterion) {
+    c.bench_function("pmi", |b| {
+        b.iter(|| black_box(pmi(black_box(35), black_box(120), black_box(450), black_box(10_000))))
+    });
+}
+
+fn bench_t_cdf(c: &mut Criterion) {
+    c.bench_function("t_cdf", |b| b.iter(|| black_box(t_cdf(black_box(1.345), black_box(14.0)))));
+}
+
+fn bench_capture(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let samples: Vec<Vec<u32>> = (0..6)
+        .map(|_| {
+            let mut s: Vec<u32> = (0..40_000u32).filter(|_| rng.gen_bool(0.1)).collect();
+            s.dedup();
+            s
+        })
+        .collect();
+    c.bench_function("pairwise_capture_6x4k", |b| {
+        b.iter(|| black_box(pairwise_estimates(black_box(&samples))))
+    });
+}
+
+fn bench_covered_set(c: &mut Criterion) {
+    let table = Preset::Imdb.table(0.01, 1);
+    let dm = DomainTable::build(table);
+    // Postings of the 64 most frequent values.
+    let mut values: Vec<_> = dm.sample().interner().iter_ids().collect();
+    values.sort_by_key(|&v| std::cmp::Reverse(dm.freq(v)));
+    values.truncate(64);
+    c.bench_function("covered_set_union_64_hubs", |b| {
+        b.iter(|| {
+            let mut cs = CoveredSet::new(dm.num_records());
+            for &v in &values {
+                cs.union_postings(dm.postings(v));
+            }
+            black_box(cs.fraction())
+        })
+    });
+}
+
+criterion_group!(benches, bench_zipf, bench_pmi, bench_t_cdf, bench_capture, bench_covered_set);
+criterion_main!(benches);

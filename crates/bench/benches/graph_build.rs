@@ -1,0 +1,62 @@
+//! Microbenchmarks of the model substrate: attribute-value graph
+//! construction (Definition 2.1), degree distributions (Figure 2's
+//! ingredient), connectivity analysis (the §5 "well connected" check), and
+//! the greedy weighted dominating set (Definition 2.4).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwc_datagen::presets::Preset;
+use dwc_model::components::Connectivity;
+use dwc_model::degree::DegreeDistribution;
+use dwc_model::domset::greedy_weighted_dominating_set;
+use dwc_model::AvGraph;
+use std::hint::black_box;
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("avg_build");
+    group.sample_size(10);
+    for preset in [Preset::Ebay, Preset::Acm] {
+        let table = preset.table(0.02, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(preset.name()), &table, |b, t| {
+            b.iter(|| AvGraph::from_table(black_box(t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_degree_distribution(c: &mut Criterion) {
+    let table = Preset::Dblp.table(0.02, 1);
+    let graph = AvGraph::from_table(&table);
+    c.bench_function("degree_distribution_dblp", |b| {
+        b.iter(|| {
+            let dd = DegreeDistribution::of_graph(black_box(&graph));
+            black_box(dd.power_law_fit())
+        })
+    });
+}
+
+fn bench_connectivity(c: &mut Criterion) {
+    let table = Preset::Imdb.table(0.02, 1);
+    c.bench_function("connectivity_imdb", |b| {
+        b.iter(|| {
+            let conn = Connectivity::analyze(black_box(&table));
+            black_box(conn.largest_component_coverage())
+        })
+    });
+}
+
+fn bench_dominating_set(c: &mut Criterion) {
+    let table = Preset::Ebay.table(0.02, 1);
+    let graph = AvGraph::from_table(&table);
+    c.bench_function("greedy_dominating_set_ebay", |b| {
+        b.iter(|| black_box(greedy_weighted_dominating_set(black_box(&graph), |_| 1.0)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_graph_build,
+    bench_degree_distribution,
+    bench_connectivity,
+    bench_dominating_set
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Microbenchmarks of the deployment infrastructure: checkpoint
+//! serialization, CSV import/export, and the crawl-summary report.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwc_core::checkpoint::Checkpoint;
+use dwc_core::policy::PolicyKind;
+use dwc_core::report::CrawlSummary;
+use dwc_core::{CrawlConfig, Crawler};
+use dwc_datagen::loader::{load_csv, to_csv};
+use dwc_datagen::presets::Preset;
+use dwc_server::{InterfaceSpec, WebDbServer};
+use std::hint::black_box;
+
+/// A half-finished crawl over a small ACM instance, for snapshot benches.
+fn half_crawled() -> (WebDbServer, Checkpoint) {
+    let table = Preset::Acm.table(0.01, 1);
+    let spec = InterfaceSpec::permissive(table.schema(), 10);
+    let mut server = WebDbServer::new(table, spec);
+    let cp = {
+        let mut crawler =
+            Crawler::new(&mut server, PolicyKind::GreedyLink.build(), CrawlConfig::default());
+        crawler.add_seed("Conference", "Conference_0");
+        for _ in 0..40 {
+            if crawler.step().is_none() {
+                break;
+            }
+        }
+        crawler.checkpoint()
+    };
+    (server, cp)
+}
+
+fn bench_checkpoint(c: &mut Criterion) {
+    let (mut server, cp) = half_crawled();
+    let text = cp.to_text();
+    c.bench_function("checkpoint_serialize", |b| b.iter(|| black_box(cp.to_text())));
+    c.bench_function("checkpoint_parse", |b| {
+        b.iter(|| black_box(Checkpoint::from_text(black_box(&text)).unwrap()))
+    });
+    let mut group = c.benchmark_group("checkpoint_resume");
+    group.sample_size(20);
+    group.bench_function("rebuild_policy_state", |b| {
+        b.iter(|| {
+            let crawler = Crawler::resume(
+                &mut server,
+                PolicyKind::GreedyLink.build(),
+                &cp,
+                CrawlConfig::default(),
+            );
+            black_box(crawler.rounds())
+        })
+    });
+    group.finish();
+}
+
+fn bench_csv(c: &mut Criterion) {
+    let table = Preset::Ebay.table(0.05, 1);
+    let csv = to_csv(&table);
+    let mut group = c.benchmark_group("csv");
+    group.sample_size(20);
+    group.bench_function("export_1k_records", |b| b.iter(|| black_box(to_csv(black_box(&table)))));
+    group.bench_function("import_1k_records", |b| {
+        b.iter(|| black_box(load_csv(black_box(&csv)).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_report(c: &mut Criterion) {
+    let table = Preset::Acm.table(0.01, 1);
+    let spec = InterfaceSpec::permissive(table.schema(), 10);
+    let mut server = WebDbServer::new(table, spec);
+    let mut crawler =
+        Crawler::new(&mut server, PolicyKind::GreedyLink.build(), CrawlConfig::default());
+    crawler.add_seed("Conference", "Conference_0");
+    for _ in 0..40 {
+        if crawler.step().is_none() {
+            break;
+        }
+    }
+    c.bench_function("crawl_summary", |b| {
+        b.iter(|| black_box(CrawlSummary::from_state(crawler.state(), 10)))
+    });
+}
+
+criterion_group!(benches, bench_checkpoint, bench_csv, bench_report);
+criterion_main!(benches);

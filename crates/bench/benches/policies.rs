@@ -1,0 +1,125 @@
+//! End-to-end crawl benchmarks: one miniature crawl per policy family, the
+//! per-figure parameter points in microbench form, and the §3.4 abortion
+//! ablation (A-ABORT in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dwc_bench::runner::run_crawl;
+use dwc_bench::seeds::pick_seeds;
+use dwc_core::policy::{MmmiConfig, PolicyKind};
+use dwc_core::{AbortPolicy, CrawlConfig, DomainTable};
+use dwc_datagen::paired::{subset_by_min_year, PairedDataset, PairedSpec};
+use dwc_datagen::presets::Preset;
+use dwc_server::InterfaceSpec;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// Figure 3 point: one crawl to 90% coverage on a small eBay per policy.
+fn bench_fig3_point(c: &mut Criterion) {
+    let table = Preset::Ebay.table(0.02, 1);
+    let n = table.num_records();
+    let seeds = pick_seeds(&table, 2, 9);
+    let mut group = c.benchmark_group("fig3_crawl_to_90pct");
+    group.sample_size(10);
+    for kind in [
+        PolicyKind::Bfs,
+        PolicyKind::Dfs,
+        PolicyKind::Random(3),
+        PolicyKind::GreedyLink,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
+            b.iter(|| {
+                let interface = InterfaceSpec::permissive(table.schema(), 10);
+                let config = CrawlConfig {
+                    known_target_size: Some(n),
+                    target_coverage: Some(0.9),
+                    ..Default::default()
+                };
+                black_box(run_crawl(&table, interface, kind, &seeds, config))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Figure 4 point: the full GL+MMMI crawl including batch PMI recomputation.
+fn bench_fig4_point(c: &mut Criterion) {
+    let table = Preset::Ebay.table(0.02, 1);
+    let n = table.num_records();
+    let seeds = pick_seeds(&table, 2, 9);
+    let mut group = c.benchmark_group("fig4_mmmi_crawl");
+    group.sample_size(10);
+    group.bench_function("gl_mmmi_full", |b| {
+        b.iter(|| {
+            let interface = InterfaceSpec::permissive(table.schema(), 10);
+            let config = CrawlConfig { known_target_size: Some(n), ..Default::default() };
+            black_box(run_crawl(
+                &table,
+                interface,
+                &PolicyKind::Mmmi(MmmiConfig::default()),
+                &seeds,
+                config,
+            ))
+        })
+    });
+    group.finish();
+}
+
+/// Figures 5/6 point: DM crawl with a domain table under a result cap.
+fn bench_fig5_point(c: &mut Criterion) {
+    let pair = PairedDataset::generate(PairedSpec { scale: 0.01, ..Default::default() });
+    let dm = Arc::new(DomainTable::build(subset_by_min_year(&pair.sample, 1960)));
+    let n = pair.target.num_records();
+    let seeds = pick_seeds(&pair.target, 2, 9);
+    let mut group = c.benchmark_group("fig5_domain_crawl");
+    group.sample_size(10);
+    for (label, kind) in
+        [("GL", PolicyKind::GreedyLink), ("DM", PolicyKind::Domain(Arc::clone(&dm)))]
+    {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &kind, |b, kind| {
+            b.iter(|| {
+                let interface =
+                    InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(64);
+                let config = CrawlConfig {
+                    known_target_size: Some(n),
+                    max_rounds: Some(150),
+                    ..Default::default()
+                };
+                black_box(run_crawl(&pair.target, interface, kind, &seeds, config))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// A-ABORT ablation: GL with and without the §3.4 abortion heuristics.
+fn bench_abort_ablation(c: &mut Criterion) {
+    let table = Preset::Ebay.table(0.02, 1);
+    let n = table.num_records();
+    let seeds = pick_seeds(&table, 2, 9);
+    let mut group = c.benchmark_group("abort_ablation");
+    group.sample_size(10);
+    for (label, abort) in [("off", AbortPolicy::never()), ("on", AbortPolicy::standard())] {
+        group.bench_with_input(BenchmarkId::from_parameter(label), &abort, |b, abort| {
+            b.iter(|| {
+                let interface = InterfaceSpec::permissive(table.schema(), 10);
+                let config = CrawlConfig {
+                    known_target_size: Some(n),
+                    target_coverage: Some(0.95),
+                    abort: abort.clone(),
+                    ..Default::default()
+                };
+                black_box(run_crawl(&table, interface, &PolicyKind::GreedyLink, &seeds, config))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig3_point,
+    bench_fig4_point,
+    bench_fig5_point,
+    bench_abort_ablation
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Microbenchmarks of the simulated web-database server: inverted-index
+//! construction, page serving (the cost-model hot path), and the XML wire
+//! round trip the Result Extractor pays in `ProberMode::Wire`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwc_core::extract::parse_page;
+use dwc_datagen::presets::Preset;
+use dwc_server::wire::page_to_xml;
+use dwc_server::{InterfaceSpec, InvertedIndex, Query, WebDbServer};
+use std::hint::black_box;
+
+fn bench_index_build(c: &mut Criterion) {
+    let table = Preset::Acm.table(0.02, 1);
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(20);
+    group.bench_function("acm", |b| b.iter(|| InvertedIndex::build(black_box(&table))));
+    group.finish();
+}
+
+fn popular_query(server: &WebDbServer) -> Query {
+    // The most frequent conference value is a reliable hub.
+    let table = server.table();
+    let attr = table.schema().attr_by_name("Conference").unwrap();
+    let (best, _) = table
+        .interner()
+        .ids_of_attr(attr)
+        .into_iter()
+        .map(|v| (v, table.count_matches(v)))
+        .max_by_key(|&(_, c)| c)
+        .unwrap();
+    Query::Value(best)
+}
+
+fn bench_query_page(c: &mut Criterion) {
+    let table = Preset::Acm.table(0.02, 1);
+    let spec = InterfaceSpec::permissive(table.schema(), 10);
+    let mut server = WebDbServer::new(table, spec);
+    let q = popular_query(&server);
+    c.bench_function("query_page_hub", |b| {
+        b.iter(|| black_box(server.query_page(black_box(&q), 0).unwrap()))
+    });
+    let by_string =
+        Query::ByString { attr: "Conference".into(), value: "Conference_0".into() };
+    c.bench_function("query_page_by_string", |b| {
+        b.iter(|| black_box(server.query_page(black_box(&by_string), 0).unwrap()))
+    });
+}
+
+fn bench_wire_roundtrip(c: &mut Criterion) {
+    let table = Preset::Acm.table(0.02, 1);
+    let spec = InterfaceSpec::permissive(table.schema(), 10);
+    let mut server = WebDbServer::new(table, spec);
+    let q = popular_query(&server);
+    let page = server.query_page(&q, 0).unwrap();
+    c.bench_function("wire_serialize", |b| {
+        b.iter(|| black_box(page_to_xml(black_box(&page), server.table())))
+    });
+    let xml = page_to_xml(&page, server.table());
+    c.bench_function("wire_parse", |b| b.iter(|| black_box(parse_page(black_box(&xml)).unwrap())));
+}
+
+criterion_group!(benches, bench_index_build, bench_query_page, bench_wire_roundtrip);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Ablation — crawling through a restrictive multi-attribute form.
+//!
+//! Table 1 of the paper flags domains (Car, airfare, hotels) where "most
+//! query forms are highly structured and restrictive in the sense that only
+//! multi-attribute queries are accepted", and leaves crawling them to future
+//! work. This repo implements that future work (conjunctive queries +
+//! co-occurrence partner selection); this ablation quantifies how much
+//! harder such sources are: same database, same policy, three interfaces —
+//! single-attribute, keyword, and two-field conjunctive.
+
+use dwc_bench::fmt::{pct, render_table};
+use dwc_bench::scale_from_env;
+use dwc_core::policy::PolicyKind;
+use dwc_core::{CrawlConfig, Crawler, QueryMode};
+use dwc_datagen::presets::Preset;
+use dwc_server::{InterfaceSpec, WebDbServer};
+
+fn main() {
+    let scale = scale_from_env();
+    let table = Preset::Ebay.table(scale, 1);
+    let n = table.num_records();
+    println!(
+        "Restrictive-interface ablation (eBay-like, {} records): the same source\n\
+         behind three interfaces, greedy-link policy, unlimited budget\n",
+        n
+    );
+
+    let mut rows = Vec::new();
+    for (label, mode, min_attrs) in [
+        ("single-attribute form", QueryMode::Structured, 1usize),
+        ("keyword box", QueryMode::Keyword, 1),
+        ("two-field form (conjunctive)", QueryMode::Conjunctive { arity: 2 }, 2),
+    ] {
+        let mut spec = InterfaceSpec::permissive(table.schema(), 10);
+        if min_attrs > 1 {
+            spec = spec.requiring_attrs(min_attrs);
+        }
+        let mut server = WebDbServer::new(table.clone(), spec);
+        let config = CrawlConfig {
+            query_mode: mode,
+            known_target_size: Some(n),
+            max_rounds: Some(400 * n as u64),
+            ..Default::default()
+        };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+        if min_attrs > 1 {
+            crawler.add_seed_group(&[("Categories", "Categories_0"), ("Seller", "Seller_0")]);
+            crawler.add_seed_group(&[("Categories", "Categories_1"), ("Location", "Location_0")]);
+        } else {
+            crawler.add_seed("Categories", "Categories_0");
+            crawler.add_seed("Seller", "Seller_0");
+        }
+        let report = crawler.run();
+        rows.push(vec![
+            label.to_string(),
+            pct(report.final_coverage.unwrap_or(0.0)),
+            report.queries.to_string(),
+            report.rounds.to_string(),
+            format!("{:.2}", report.records as f64 / report.rounds.max(1) as f64),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Interface", "final coverage", "queries", "rounds", "records/round"],
+            &rows
+        )
+    );
+    println!(
+        "\nReading: conjunctive-only interfaces fragment the database graph (each\n\
+         query is an intersection), so coverage convergence drops and the\n\
+         per-round yield falls — the quantitative version of the paper's warning\n\
+         about Car-domain sources."
+    );
+}

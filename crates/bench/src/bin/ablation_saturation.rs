@@ -1,0 +1,107 @@
+//! Ablation — automatic saturation detection for the MMMI switch-over.
+//!
+//! The paper switches from GL to MMMI at a known 85% coverage and notes
+//! "currently we apply a set of heuristics to determine the saturation
+//! point. Automatic saturation detection is left for future work." This
+//! repo implements that future work: a harvest-rate-window trigger (switch
+//! when the mean normalized harvest rate over the last `w` queries drops
+//! below a threshold). This ablation compares the oracle coverage trigger
+//! against several window detectors — a real crawler knows its recent
+//! harvest rates but never its true coverage.
+
+use dwc_bench::fmt::{opt_num, render_table};
+use dwc_bench::runner::{mean_rounds_to_coverage, parallel_map, run_crawl};
+use dwc_bench::scale_from_env;
+use dwc_bench::seeds::pick_seeds;
+use dwc_core::policy::{MmmiConfig, PolicyKind, Saturation};
+use dwc_core::{CrawlConfig, CrawlReport};
+use dwc_datagen::presets::Preset;
+use dwc_server::InterfaceSpec;
+
+const SEED_RUNS: u64 = 4;
+const CHECKPOINTS: [f64; 3] = [0.90, 0.95, 0.99];
+
+fn main() {
+    let scale = (scale_from_env() * 5.0).min(1.0);
+    let table = Preset::Ebay.table(scale, 1);
+    let n = table.num_records();
+    let interface = InterfaceSpec::permissive(table.schema(), 10);
+    println!(
+        "Saturation-trigger ablation (eBay, {} records): when should MMMI take over?\n",
+        n
+    );
+
+    let variants: Vec<(String, PolicyKind)> = vec![
+        ("GL (never)".into(), PolicyKind::GreedyLink),
+        (
+            "oracle coverage 0.85".into(),
+            PolicyKind::Mmmi(MmmiConfig { trigger: Saturation::Coverage(0.85), batch: 50 }),
+        ),
+        (
+            "window 16 < 0.35".into(),
+            PolicyKind::Mmmi(MmmiConfig {
+                trigger: Saturation::HarvestWindow { window: 16, threshold: 0.35 },
+                batch: 50,
+            }),
+        ),
+        (
+            "window 32 < 0.25".into(),
+            PolicyKind::Mmmi(MmmiConfig {
+                trigger: Saturation::HarvestWindow { window: 32, threshold: 0.25 },
+                batch: 50,
+            }),
+        ),
+        (
+            "window 16 < 0.15".into(),
+            PolicyKind::Mmmi(MmmiConfig {
+                trigger: Saturation::HarvestWindow { window: 16, threshold: 0.15 },
+                batch: 50,
+            }),
+        ),
+        (
+            "immediately".into(),
+            PolicyKind::Mmmi(MmmiConfig { trigger: Saturation::Immediately, batch: 50 }),
+        ),
+    ];
+
+    let jobs: Vec<Box<dyn FnOnce() -> CrawlReport + Send>> = variants
+        .iter()
+        .flat_map(|(_, kind)| {
+            (0..SEED_RUNS).map(|run| {
+                let table = &table;
+                let interface = interface.clone();
+                let kind = kind.clone();
+                Box::new(move || {
+                    let seeds = pick_seeds(table, 2, 500 + run);
+                    let config = CrawlConfig {
+                        known_target_size: Some(n),
+                        max_rounds: Some(500 * n as u64 + 10_000),
+                        ..Default::default()
+                    };
+                    run_crawl(table, interface, &kind, &seeds, config)
+                }) as Box<dyn FnOnce() -> CrawlReport + Send>
+            })
+        })
+        .collect();
+    let reports = parallel_map(jobs);
+
+    let mut rows = Vec::new();
+    for (vi, (label, _)) in variants.iter().enumerate() {
+        let slice = &reports[vi * SEED_RUNS as usize..(vi + 1) * SEED_RUNS as usize];
+        let mut row = vec![label.clone()];
+        for &cov in &CHECKPOINTS {
+            row.push(opt_num(mean_rounds_to_coverage(slice, cov, n)));
+        }
+        rows.push(row);
+    }
+    println!(
+        "{}",
+        render_table(&["Trigger", "rounds@90%", "rounds@95%", "rounds@99%"], &rows)
+    );
+    println!(
+        "\nReading: a well-tuned harvest-window detector should track the oracle\n\
+         coverage trigger closely; switching immediately wastes the early phase\n\
+         where the greedy hub-following is unbeatable (the reason the paper\n\
+         starts MMMI only at saturation)."
+    );
+}

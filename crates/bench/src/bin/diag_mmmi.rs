@@ -1,0 +1,148 @@
+//! Diagnostic (not a paper artifact): at the 85%-coverage saturation point,
+//! how well do the local signals — degree, local count, max-PMI dependency —
+//! predict each frontier candidate's TRUE harvest rate (oracle)?
+
+use dwc_bench::scale_from_env;
+use dwc_bench::seeds::pick_seeds;
+use dwc_core::policy::PolicyKind;
+use dwc_core::state::CandStatus;
+use dwc_core::{CrawlConfig, Crawler};
+use dwc_datagen::presets::Preset;
+use dwc_model::ValueId;
+use dwc_server::{InterfaceSpec, Query, WebDbServer};
+use dwc_stats::pmi;
+use std::collections::HashMap;
+
+fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    sxy / (sxx * syy).sqrt()
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let table = Preset::Ebay.table(scale, 1);
+    let n = table.num_records();
+    let interface = InterfaceSpec::permissive(table.schema(), 10);
+    let mut server = WebDbServer::new(table.clone(), interface);
+    let config = CrawlConfig {
+        known_target_size: Some(n),
+        target_coverage: Some(0.85),
+        ..Default::default()
+    };
+    let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+    for (a, v) in pick_seeds(&table, 2, 1000) {
+        crawler.add_seed(&a, &v);
+    }
+    while crawler.state().coverage().unwrap_or(0.0) < 0.85 {
+        if crawler.step().is_none() {
+            break;
+        }
+    }
+    let state = crawler.state();
+    // Max-PMI dependency per frontier candidate.
+    let nloc = state.local.num_records();
+    let mut pair: HashMap<(u32, u32), u32> = HashMap::new();
+    for rec in state.local.records() {
+        let issued: Vec<ValueId> =
+            rec.iter().copied().filter(|&v| state.status_of(v) == CandStatus::Queried).collect();
+        for &c in rec {
+            if state.status_of(c) == CandStatus::Frontier {
+                for &q in &issued {
+                    *pair.entry((c.0, q.0)).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+    let mut dep: HashMap<u32, f64> = HashMap::new();
+    for (&(c, q), &co) in &pair {
+        let p = pmi(
+            co as usize,
+            state.local.count(ValueId(c)) as usize,
+            state.local.count(ValueId(q)) as usize,
+            nloc,
+        )
+        .unwrap_or(f64::NEG_INFINITY);
+        let e = dep.entry(c).or_insert(f64::NEG_INFINITY);
+        if p > *e {
+            *e = p;
+        }
+    }
+    // Snapshot frontier info, then release the crawler borrow so the server
+    // oracle can be queried.
+    struct Cand {
+        query: Query,
+        degree: f64,
+        count: f64,
+        dep: f64,
+    }
+    let coverage = state.coverage().unwrap();
+    let cands: Vec<Cand> = state
+        .vocab
+        .iter_ids()
+        .filter(|&v| state.status_of(v) == CandStatus::Frontier)
+        .map(|v| {
+            let attr = state.vocab.attr_of(v);
+            Cand {
+                query: Query::ByString {
+                    attr: state.attr_names[attr.0 as usize].clone(),
+                    value: state.vocab.value_str(v).to_owned(),
+                },
+                degree: state.local.degree(v) as f64,
+                count: f64::from(state.local.count(v)),
+                dep: dep.get(&v.0).copied().unwrap_or(-5.0).clamp(-5.0, 5.0),
+            }
+        })
+        .collect();
+    drop(crawler);
+    // Oracle: true new/cost per frontier value.
+    let mut xs_deg = Vec::new();
+    let mut xs_cnt = Vec::new();
+    let mut xs_dep = Vec::new();
+    let mut ys = Vec::new();
+    let frontier = cands.len();
+    for c in &cands {
+        let total = server.oracle_match_count(&c.query);
+        let truly_new = total as f64 - c.count;
+        let cost = total.div_ceil(10).max(1);
+        xs_deg.push(c.degree);
+        xs_cnt.push(c.count);
+        xs_dep.push(c.dep);
+        ys.push(truly_new / cost as f64);
+    }
+    println!("frontier {frontier} candidates at coverage {coverage:.3}");
+    println!("corr(degree,  true rate) = {:+.3}", pearson(&xs_deg, &ys));
+    println!("corr(count,   true rate) = {:+.3}", pearson(&xs_cnt, &ys));
+    println!("corr(dep,     true rate) = {:+.3}", pearson(&xs_dep, &ys));
+    let mean_rate = ys.iter().sum::<f64>() / ys.len() as f64;
+    println!("mean true rate = {mean_rate:.3} new records/round");
+    // Rate by dependency bucket.
+    let mut buckets: Vec<(f64, Vec<f64>)> =
+        vec![(-2.0, vec![]), (0.0, vec![]), (1.0, vec![]), (2.0, vec![]), (9.0, vec![])];
+    for (d, y) in xs_dep.iter().zip(&ys) {
+        for (hi, bucket) in buckets.iter_mut() {
+            if d <= hi {
+                bucket.push(*y);
+                break;
+            }
+        }
+    }
+    for (hi, b) in &buckets {
+        if !b.is_empty() {
+            println!(
+                "dep ≤ {hi:+.1}: n={:4}  mean true rate {:.3}",
+                b.len(),
+                b.iter().sum::<f64>() / b.len() as f64
+            );
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! E-F4 — regenerates **Figure 4** of the paper: the effect of the min–max
+//! mutual-information re-ranking (MMMI) on harvesting the *marginal* database
+//! content. On the eBay auction dataset, the crawler runs greedy-link until
+//! 85% coverage and then either keeps GL or switches to MMMI ordering; the
+//! figure compares rounds needed to push coverage from 85% to 100%.
+//!
+//! Expected shape (paper): GL+MMMI reaches the final coverage levels with
+//! fewer rounds than plain GL (≈1,200 rounds saved at eBay scale 1.0).
+
+use dwc_bench::fmt::{num, opt_num, render_table};
+use dwc_bench::runner::{parallel_map, run_crawl};
+use dwc_bench::scale_from_env;
+use dwc_bench::seeds::pick_seeds;
+use dwc_core::policy::{MmmiConfig, PolicyKind, Saturation};
+use dwc_core::{CrawlConfig, CrawlReport};
+use dwc_datagen::presets::Preset;
+use dwc_server::InterfaceSpec;
+
+const SEED_RUNS: u64 = 4;
+// The paper's Figure 4 spans the 85–100% band; the exact-100% point is
+// excluded because it is dominated by when the single last record happens to
+// arrive (see EXPERIMENTS.md), so the deepest checkpoint here is 99%.
+const CHECKPOINTS: [f64; 4] = [0.875, 0.90, 0.95, 0.99];
+
+fn main() {
+    // eBay is the smallest dataset (20k records at scale 1) and the
+    // mutual-information statistics need tail mass to be informative, so this
+    // experiment runs eBay at 5× the global scale (capped at paper size).
+    let scale = (scale_from_env() * 5.0).min(1.0);
+    let table = Preset::Ebay.table(scale, 1);
+    let n = table.num_records();
+    let interface = InterfaceSpec::permissive(table.schema(), 10);
+    println!(
+        "Figure 4 — effects of mutual-information-based ordering (eBay, {} records, scale {scale})\n",
+        n
+    );
+
+    let policies: Vec<(&str, PolicyKind)> = vec![
+        ("GL", PolicyKind::GreedyLink),
+        (
+            "GL+MMMI",
+            PolicyKind::Mmmi(MmmiConfig { trigger: Saturation::Coverage(0.85), batch: 50 }),
+        ),
+    ];
+    let jobs: Vec<Box<dyn FnOnce() -> CrawlReport + Send>> = policies
+        .iter()
+        .flat_map(|(_, kind)| {
+            (0..SEED_RUNS).map(|run| {
+                let table = &table;
+                let interface = interface.clone();
+                let kind = kind.clone();
+                Box::new(move || {
+                    let seeds = pick_seeds(table, 2, 500 + run);
+                    let config = CrawlConfig {
+                        known_target_size: Some(n),
+                        max_rounds: Some(500 * n as u64 + 10_000),
+                        ..Default::default()
+                    };
+                    run_crawl(table, interface, &kind, &seeds, config)
+                }) as Box<dyn FnOnce() -> CrawlReport + Send>
+            })
+        })
+        .collect();
+    let reports = parallel_map(jobs);
+
+    let mut rows = Vec::new();
+    let mut means: Vec<Vec<Option<f64>>> = Vec::new();
+    for (pi, (label, _)) in policies.iter().enumerate() {
+        let slice = &reports[pi * SEED_RUNS as usize..(pi + 1) * SEED_RUNS as usize];
+        let mut row = vec![label.to_string()];
+        let mut per_cov = Vec::new();
+        for &cov in &CHECKPOINTS {
+            let m = dwc_bench::runner::mean_rounds_to_coverage(slice, cov, n);
+            row.push(opt_num(m));
+            per_cov.push(m);
+        }
+        // Final coverage actually reached (frontier exhaustion caps it).
+        let final_cov: f64 =
+            slice.iter().map(|r| r.final_coverage.unwrap_or(0.0)).sum::<f64>() / slice.len() as f64;
+        row.push(format!("{:.1}%", final_cov * 100.0));
+        rows.push(row);
+        means.push(per_cov);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Policy", "rounds@87.5%", "rounds@90%", "rounds@95%", "rounds@99%", "final cov"],
+            &rows
+        )
+    );
+    for (i, &cov) in CHECKPOINTS.iter().enumerate() {
+        if let (Some(gl), Some(mmmi)) = (means[0][i], means[1][i]) {
+            println!(
+                "at {:>4.0}% coverage: MMMI saves {} rounds ({:+.1}%)",
+                cov * 100.0,
+                num(gl - mmmi),
+                (mmmi - gl) / gl * 100.0
+            );
+        }
+    }
+    println!(
+        "\nPaper shape: identical until the 85% switch-over, then GL+MMMI reaches the\n\
+         same marginal coverage with fewer communication rounds."
+    );
+}

@@ -1,0 +1,97 @@
+//! E-F5 — regenerates **Figure 5** of the paper: domain-knowledge-based
+//! query selection versus the greedy link-based baseline when crawling the
+//! (simulated) Amazon DVD database.
+//!
+//! Two domain tables are built from nested subsets of the simulated IMDB:
+//! DM(I) from movies released after 1960 and DM(II) from movies after 1980
+//! (paper: 270k vs 190k records at full scale). All crawlers get the same
+//! round budget (10,000 page requests at scale 1.0) and coverage snapshots
+//! are taken every budget/10 rounds.
+//!
+//! Expected shape (paper): DM(I) ≥ DM(II) > GL at every snapshot; DM(I)
+//! reaches ~95% coverage at the full budget while GL stays below ~70%.
+
+use dwc_bench::fmt::{pct, render_table};
+use dwc_bench::runner::{parallel_map, run_crawl};
+use dwc_bench::scale_from_env;
+use dwc_bench::seeds::pick_seeds;
+use dwc_core::policy::PolicyKind;
+use dwc_core::{CrawlConfig, CrawlReport, DomainTable};
+use dwc_datagen::paired::{subset_by_min_year, PairedDataset, PairedSpec};
+use dwc_server::InterfaceSpec;
+use std::sync::Arc;
+
+fn main() {
+    let scale = scale_from_env();
+    let pair = PairedDataset::generate(PairedSpec { scale, ..Default::default() });
+    let n = pair.target.num_records();
+    let budget = ((10_000.0 * scale).round() as u64).max(200);
+    let snap = (budget / 10).max(1);
+    println!(
+        "Figure 5 — domain knowledge vs greedy link on Amazon DVD (scale {scale})\n\
+         target {} records; IMDB sample {} records; budget {budget} rounds, snapshots every {snap}\n",
+        n,
+        pair.sample.num_records()
+    );
+
+    let dm1 = Arc::new(DomainTable::build(subset_by_min_year(&pair.sample, 1960)));
+    let dm2 = Arc::new(DomainTable::build(subset_by_min_year(&pair.sample, 1980)));
+    println!(
+        "DM(I): post-1960 sample, {} records, {} candidate values",
+        dm1.num_records(),
+        dm1.num_values()
+    );
+    println!(
+        "DM(II): post-1980 sample, {} records, {} candidate values\n",
+        dm2.num_records(),
+        dm2.num_values()
+    );
+
+    let policies: Vec<(&str, PolicyKind)> = vec![
+        ("GL", PolicyKind::GreedyLink),
+        ("DM(I)", PolicyKind::Domain(Arc::clone(&dm1))),
+        ("DM(II)", PolicyKind::Domain(Arc::clone(&dm2))),
+    ];
+    // Amazon caps any query's accessible results at 3200 (scaled).
+    let cap = ((3200.0 * scale).round() as usize).max(32);
+    let interface = InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(cap);
+
+    let jobs: Vec<Box<dyn FnOnce() -> CrawlReport + Send>> = policies
+        .iter()
+        .map(|(_, kind)| {
+            let target = &pair.target;
+            let interface = interface.clone();
+            let kind = kind.clone();
+            Box::new(move || {
+                let seeds = pick_seeds(target, 2, 77);
+                let config = CrawlConfig {
+                    known_target_size: Some(n),
+                    max_rounds: Some(budget),
+                    ..Default::default()
+                };
+                run_crawl(target, interface, &kind, &seeds, config)
+            }) as Box<dyn FnOnce() -> CrawlReport + Send>
+        })
+        .collect();
+    let reports = parallel_map(jobs);
+
+    let snapshots: Vec<u64> = (1..=10).map(|i| i * snap).collect();
+    let mut header: Vec<String> = vec!["Policy".into()];
+    header.extend(snapshots.iter().map(|s| format!("@{s}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<String>> = policies
+        .iter()
+        .zip(&reports)
+        .map(|((label, _), report)| {
+            let mut row = vec![label.to_string()];
+            row.extend(snapshots.iter().map(|&s| pct(report.trace.coverage_at_rounds(s, n))));
+            row
+        })
+        .collect();
+    println!("{}", render_table(&header_refs, &rows));
+    println!("(cells = database coverage after the given number of communication rounds)\n");
+    println!(
+        "Paper shape: both DM crawlers dominate GL throughout; the larger domain\n\
+         table DM(I) edges out DM(II); DM(I) ≈95% at full budget vs GL <70%."
+    );
+}

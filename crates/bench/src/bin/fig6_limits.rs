@@ -1,0 +1,85 @@
+//! E-F6 — regenerates **Figure 6** of the paper: crawling performance under
+//! tight per-query result-size caps. Amazon's own cap is 3200 ("quite
+//! generous"); the paper reruns GL and DM on the Amazon DVD target with caps
+//! of 10 and 50 and observes productivity drops of roughly 50% and 20%
+//! respectively — "the result limit reduces the connectivity of the target
+//! database, and thus delays the discovery of the hub nodes".
+
+use dwc_bench::fmt::{pct, render_table};
+use dwc_bench::runner::{parallel_map, run_crawl};
+use dwc_bench::scale_from_env;
+use dwc_bench::seeds::pick_seeds;
+use dwc_core::policy::PolicyKind;
+use dwc_core::{CrawlConfig, CrawlReport, DomainTable};
+use dwc_datagen::paired::{subset_by_min_year, PairedDataset, PairedSpec};
+use dwc_server::InterfaceSpec;
+use std::sync::Arc;
+
+fn main() {
+    let scale = scale_from_env();
+    let pair = PairedDataset::generate(PairedSpec { scale, ..Default::default() });
+    let n = pair.target.num_records();
+    let budget = ((10_000.0 * scale).round() as u64).max(200);
+    println!(
+        "Figure 6 — effects of limited result size (Amazon DVD, {} records, scale {scale})\n\
+         budget {budget} rounds; caps are scaled like the datasets\n",
+        n
+    );
+    let dm1 = Arc::new(DomainTable::build(subset_by_min_year(&pair.sample, 1960)));
+    let policies: Vec<(&str, PolicyKind)> =
+        vec![("GL", PolicyKind::GreedyLink), ("DM", PolicyKind::Domain(dm1))];
+    // The paper compares the generous 3200 cap against 50 and 10. At reduced
+    // scale the generous cap shrinks with the dataset; the tight caps are
+    // absolute (they model per-page access limits, not dataset size).
+    let generous = ((3200.0 * scale).round() as usize).max(32);
+    let caps: Vec<(String, usize)> = vec![
+        (format!("limit {generous}"), generous),
+        ("limit 50".to_string(), 50),
+        ("limit 10".to_string(), 10),
+    ];
+
+    let jobs: Vec<Box<dyn FnOnce() -> CrawlReport + Send>> = policies
+        .iter()
+        .flat_map(|(_, kind)| {
+            caps.iter().map(|(_, cap)| {
+                let target = &pair.target;
+                let kind = kind.clone();
+                let interface =
+                    InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(*cap);
+                Box::new(move || {
+                    let seeds = pick_seeds(target, 2, 77);
+                    let config = CrawlConfig {
+                        known_target_size: Some(n),
+                        max_rounds: Some(budget),
+                        ..Default::default()
+                    };
+                    run_crawl(target, interface, &kind, &seeds, config)
+                }) as Box<dyn FnOnce() -> CrawlReport + Send>
+            })
+        })
+        .collect();
+    let reports = parallel_map(jobs);
+
+    let mut rows = Vec::new();
+    for (pi, (label, _)) in policies.iter().enumerate() {
+        for (ci, (cap_label, _)) in caps.iter().enumerate() {
+            let report = &reports[pi * caps.len() + ci];
+            let final_cov = report.trace.coverage_at_rounds(budget, n);
+            let half_cov = report.trace.coverage_at_rounds(budget / 2, n);
+            rows.push(vec![
+                format!("{label} ({cap_label})"),
+                pct(half_cov),
+                pct(final_cov),
+                report.records.to_string(),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(&["Policy (cap)", "coverage@half budget", "coverage@budget", "records"], &rows)
+    );
+    println!(
+        "\nPaper shape: both methods degrade as the cap tightens — roughly 20% lower\n\
+         productivity at limit 50 and 50% lower at limit 10 versus the generous cap."
+    );
+}

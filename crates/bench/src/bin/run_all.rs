@@ -1,0 +1,55 @@
+//! Runs every experiment binary in sequence (at the current `DWC_SCALE`),
+//! regenerating all tables and figures of the paper in one go.
+//!
+//! Equivalent to executing the paper artifacts (`table1_survey`,
+//! `table2_schemas`, `fig2_degree_dist`, `fig3_policies`, `fig4_mmmi`,
+//! `fig5_domain`, `fig6_limits`, `size_estimation`) followed by the extension
+//! studies (`ablation_saturation`, `ablation_conjunctive`, `oracle_gap`,
+//! `seed_sensitivity`) back to back.
+
+use std::process::Command;
+
+const BINARIES: [&str; 12] = [
+    "table1_survey",
+    "table2_schemas",
+    "fig2_degree_dist",
+    "fig3_policies",
+    "fig4_mmmi",
+    "fig5_domain",
+    "fig6_limits",
+    "size_estimation",
+    "ablation_saturation",
+    "ablation_conjunctive",
+    "oracle_gap",
+    "seed_sensitivity",
+];
+
+fn main() {
+    let self_path = std::env::current_exe().expect("own path");
+    let bin_dir = self_path.parent().expect("bin dir");
+    let mut failures = Vec::new();
+    for name in BINARIES {
+        println!("\n================================================================");
+        println!("== {name}");
+        println!("================================================================\n");
+        let path = bin_dir.join(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failures.push(name);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {name} ({e}); build it with `cargo build --release -p dwc-bench`");
+                failures.push(name);
+            }
+        }
+    }
+    if failures.is_empty() {
+        println!("\nAll experiments completed.");
+    } else {
+        eprintln!("\nFailed experiments: {failures:?}");
+        std::process::exit(1);
+    }
+}

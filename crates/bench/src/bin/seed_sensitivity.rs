@@ -1,0 +1,90 @@
+//! Insight — sensitivity of each policy to the choice of seed values.
+//!
+//! The paper averages "four times with different seed values (starting
+//! points) to avoid the possible noise due to individual seed". This binary
+//! quantifies that noise: for each policy, many independent seed choices on
+//! the same database, reporting the mean, standard deviation and spread of
+//! the rounds needed to reach 90% coverage. A policy that exploits global
+//! structure (GL's hubs) should be *less* seed-sensitive than one that
+//! wanders (DFS).
+
+use dwc_bench::fmt::{num, render_table};
+use dwc_bench::runner::{parallel_map, run_crawl};
+use dwc_bench::scale_from_env;
+use dwc_bench::seeds::pick_seeds;
+use dwc_core::policy::PolicyKind;
+use dwc_core::CrawlConfig;
+use dwc_datagen::presets::Preset;
+use dwc_server::InterfaceSpec;
+use dwc_stats::{mean, std_dev};
+
+const SEED_RUNS: u64 = 16;
+
+fn main() {
+    let scale = scale_from_env();
+    let table = Preset::Acm.table(scale, 1);
+    let n = table.num_records();
+    let interface = InterfaceSpec::permissive(table.schema(), 10);
+    println!(
+        "Seed sensitivity (ACM-like, {} records): rounds to 90% coverage over {SEED_RUNS} seed choices\n",
+        n
+    );
+
+    let policies = [
+        PolicyKind::Bfs,
+        PolicyKind::Dfs,
+        PolicyKind::Random(5),
+        PolicyKind::FreqGreedy,
+        PolicyKind::GreedyLink,
+    ];
+    let mut rows = Vec::new();
+    for kind in &policies {
+        let jobs: Vec<Box<dyn FnOnce() -> Option<u64> + Send>> = (0..SEED_RUNS)
+            .map(|run| {
+                let table = &table;
+                let interface = interface.clone();
+                let kind = kind.clone();
+                Box::new(move || {
+                    let seeds = pick_seeds(table, 2, 3_000 + run);
+                    let config = CrawlConfig {
+                        known_target_size: Some(n),
+                        target_coverage: Some(0.9),
+                        max_rounds: Some(500 * n as u64),
+                        ..Default::default()
+                    };
+                    let report = run_crawl(table, interface, &kind, &seeds, config);
+                    report.trace.rounds_to_coverage(0.9, n)
+                }) as Box<dyn FnOnce() -> Option<u64> + Send>
+            })
+            .collect();
+        let outcomes = parallel_map(jobs);
+        let reached: Vec<f64> = outcomes.iter().flatten().map(|&r| r as f64).collect();
+        let misses = outcomes.len() - reached.len();
+        let (m, sd) = (mean(&reached), std_dev(&reached));
+        let (lo, hi) = (
+            reached.iter().copied().fold(f64::INFINITY, f64::min),
+            reached.iter().copied().fold(0.0f64, f64::max),
+        );
+        rows.push(vec![
+            kind.label().to_string(),
+            num(m),
+            num(sd),
+            format!("{:.1}%", sd / m * 100.0),
+            format!("{}–{}", lo as u64, hi as u64),
+            misses.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Policy", "mean rounds", "std dev", "rel. spread", "min–max", "misses"],
+            &rows
+        )
+    );
+    println!(
+        "\nReading: hub-following (GL) converges to the same dense core regardless of\n\
+         where it starts, so its spread should be the narrowest; DFS amplifies the\n\
+         seed's neighbourhood and swings wildly — empirical support for the paper's\n\
+         practice of averaging over seeds."
+    );
+}

@@ -1,0 +1,48 @@
+//! E-T2 — regenerates **Table 2** of the paper: the query-interface schemas
+//! of the four controlled databases and their distinct attribute-value
+//! counts, plus the Section 5 "well connected" check (99% of records in one
+//! component).
+//!
+//! Run with `DWC_SCALE=1.0` for paper-sized datasets (eBay 20k / ACM 150k /
+//! DBLP 500k / IMDB 400k records).
+
+use dwc_bench::fmt::{pct, render_table};
+use dwc_bench::scale_from_env;
+use dwc_datagen::presets::Preset;
+use dwc_model::components::Connectivity;
+
+fn main() {
+    let scale = scale_from_env();
+    println!("Table 2 — database query interface schemas (scale {scale})\n");
+    let mut rows = Vec::new();
+    for p in Preset::ALL {
+        let t = p.table(scale, 1);
+        let queriable: Vec<String> = t
+            .schema()
+            .queriable_attrs()
+            .iter()
+            .map(|&a| t.schema().attr(a).name.clone())
+            .collect();
+        let conn = Connectivity::analyze(&t);
+        rows.push(vec![
+            p.name().to_string(),
+            t.num_records().to_string(),
+            queriable.join(", "),
+            t.num_distinct_values().to_string(),
+            format!("{} (paper, at scale 1.0)", p.paper_distinct_values()),
+            pct(conn.largest_component_coverage()),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &["Dataset", "Records", "Queriable attributes", "Distinct values", "Paper |DAV|", "Largest component"],
+            &rows
+        )
+    );
+    println!(
+        "The paper reports all four controlled databases as \"well connected\": 99% of\n\
+         records reachable from any record. The last column verifies the generated\n\
+         datasets preserve that property."
+    );
+}

@@ -1,0 +1,94 @@
+//! Minimal aligned-table and series printers for experiment output.
+
+/// Renders rows as an aligned plain-text table with a header row.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row arity mismatch");
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize], out: &mut String| {
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            out.push_str(cell);
+            out.extend(std::iter::repeat_n(' ', widths[i] - cell.len()));
+        }
+        // Trim trailing padding.
+        while out.ends_with(' ') {
+            out.pop();
+        }
+        out.push('\n');
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    fmt_row(&header_cells, &widths, &mut out);
+    let rule: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+    out.extend(std::iter::repeat_n('-', rule));
+    out.push('\n');
+    for row in rows {
+        fmt_row(row, &widths, &mut out);
+    }
+    out
+}
+
+/// Formats a float with limited precision, trimming trailing zeros.
+pub fn num(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats an optional count; `None` prints as an em-dash.
+pub fn opt_num(v: Option<f64>) -> String {
+    v.map(num).unwrap_or_else(|| "—".to_string())
+}
+
+/// Formats a fraction as a percentage.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let out = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        assert!(lines[3].starts_with("long-name"));
+        // The value column starts at the same offset in every row.
+        let col = lines[3].find("22").unwrap();
+        assert_eq!(lines[2].rfind('1').unwrap(), col);
+    }
+
+    #[test]
+    fn num_formats() {
+        assert_eq!(num(3.0), "3");
+        assert_eq!(num(1.23456), "1.235");
+        assert_eq!(opt_num(None), "—");
+        assert_eq!(pct(0.856), "85.6%");
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let _ = render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+}

@@ -1,0 +1,112 @@
+//! Crawl-run orchestration: build a server, seed a crawler, run, report —
+//! and a small crossbeam-based parallel map for sweeping configurations.
+
+use dwc_core::policy::PolicyKind;
+use dwc_core::{CrawlConfig, CrawlReport, Crawler};
+use dwc_model::UniversalTable;
+use dwc_server::{InterfaceSpec, WebDbServer};
+
+/// One crawl: fresh server over (a clone of) the table, seeded crawler, run.
+pub fn run_crawl(
+    table: &UniversalTable,
+    interface: InterfaceSpec,
+    policy: &PolicyKind,
+    seeds: &[(String, String)],
+    config: CrawlConfig,
+) -> CrawlReport {
+    let mut server = WebDbServer::new(table.clone(), interface);
+    let mut crawler = Crawler::new(&mut server, policy.build(), config);
+    for (attr, value) in seeds {
+        crawler.add_seed(attr, value);
+    }
+    crawler.run()
+}
+
+/// Averages `rounds_to_coverage` over several reports; `None` if any run
+/// failed to reach the checkpoint.
+pub fn mean_rounds_to_coverage(
+    reports: &[CrawlReport],
+    coverage: f64,
+    target_size: usize,
+) -> Option<f64> {
+    let mut sum = 0.0;
+    for r in reports {
+        sum += r.trace.rounds_to_coverage(coverage, target_size)? as f64;
+    }
+    Some(sum / reports.len() as f64)
+}
+
+/// Runs `jobs` closures on worker threads (bounded by available parallelism)
+/// and returns their results in input order.
+pub fn parallel_map<T, F>(jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    let workers = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(n.max(1));
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let queue = crossbeam::queue::SegQueue::new();
+    for (i, job) in jobs.into_iter().enumerate() {
+        queue.push((i, job));
+    }
+    let results_mutex = std::sync::Mutex::new(&mut results);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| {
+                while let Some((i, job)) = queue.pop() {
+                    let out = job();
+                    results_mutex.lock().expect("no panics while holding the lock")[i] = Some(out);
+                }
+            });
+        }
+    })
+    .expect("worker thread panicked");
+    results.into_iter().map(|r| r.expect("every job ran")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seeds::pick_seeds;
+    use dwc_datagen::presets::Preset;
+
+    #[test]
+    fn run_crawl_reaches_full_coverage_on_tiny_source() {
+        let t = Preset::Ebay.table(0.005, 1);
+        let n = t.num_records();
+        let seeds = pick_seeds(&t, 2, 3);
+        let interface = InterfaceSpec::permissive(t.schema(), 10);
+        let config = CrawlConfig { known_target_size: Some(n), ..Default::default() };
+        let report = run_crawl(&t, interface, &PolicyKind::GreedyLink, &seeds, config);
+        assert!(
+            report.final_coverage.unwrap() > 0.95,
+            "well-connected source must be almost fully crawlable, got {:?}",
+            report.final_coverage
+        );
+    }
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> =
+            (0usize..32).map(|i| Box::new(move || i * i) as _).collect();
+        let out = parallel_map(jobs);
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn mean_rounds_handles_unreached_checkpoints() {
+        let t = Preset::Ebay.table(0.005, 1);
+        let n = t.num_records();
+        let seeds = pick_seeds(&t, 1, 3);
+        let interface = InterfaceSpec::permissive(t.schema(), 10);
+        let config = CrawlConfig {
+            known_target_size: Some(n),
+            max_rounds: Some(2),
+            ..Default::default()
+        };
+        let report = run_crawl(&t, interface, &PolicyKind::Bfs, &seeds, config);
+        let reports = vec![report];
+        assert!(mean_rounds_to_coverage(&reports, 0.99, n).is_none());
+    }
+}

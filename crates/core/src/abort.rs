@@ -1,0 +1,183 @@
+//! Heuristic query abortion (paper §3.4).
+//!
+//! Fetching every page of a query whose remaining pages are mostly duplicates
+//! wastes communication rounds. The paper sketches two heuristics:
+//!
+//! 1. **Total-count heuristic** — "most Web sources report the number of
+//!    total query results in the first return page. Therefore, a crawler is
+//!    able to accurately calculate the exact number of new records in the
+//!    following pages and thus can abort a query if the harvest rate is below
+//!    some threshold."
+//! 2. **Duplicate-window heuristic** — "when such information is not
+//!    available, one can still apply other heuristics to abort queries that
+//!    retrieve significant number of duplicate records in the first several
+//!    pages."
+
+/// Configuration of the per-query abortion heuristics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AbortPolicy {
+    /// Total-count heuristic: abort (before fetching the next page) when the
+    /// best-case remaining harvest rate — remaining-new records per remaining
+    /// result slot — falls below this threshold. `None` disables.
+    pub min_remaining_rate: Option<f64>,
+    /// Duplicate-window heuristic: abort after `dup_pages` consecutive pages
+    /// whose duplicate ratio is at least `dup_ratio`. `dup_pages = 0`
+    /// disables.
+    pub dup_pages: usize,
+    /// Duplicate-ratio threshold of the window heuristic.
+    pub dup_ratio: f64,
+}
+
+impl AbortPolicy {
+    /// Abortion disabled: fetch every accessible page (the paper's default
+    /// cost model).
+    pub fn never() -> Self {
+        AbortPolicy { min_remaining_rate: None, dup_pages: 0, dup_ratio: 1.0 }
+    }
+
+    /// The configuration used by the ablation experiments: total-count
+    /// threshold 0.1, or two consecutive ≥90%-duplicate pages.
+    pub fn standard() -> Self {
+        AbortPolicy { min_remaining_rate: Some(0.1), dup_pages: 2, dup_ratio: 0.9 }
+    }
+
+    /// Whether anything is enabled.
+    pub fn is_enabled(&self) -> bool {
+        self.min_remaining_rate.is_some() || self.dup_pages > 0
+    }
+}
+
+impl Default for AbortPolicy {
+    fn default() -> Self {
+        Self::never()
+    }
+}
+
+/// Per-query incremental abortion decision state.
+#[derive(Debug)]
+pub struct AbortState {
+    policy: AbortPolicy,
+    page_size: usize,
+    /// `num(q, DB_local)` at query start: records matching q already held.
+    local_before: u64,
+    reported_total: Option<u64>,
+    new_so_far: u64,
+    returned_so_far: u64,
+    consecutive_dup_pages: usize,
+}
+
+impl AbortState {
+    /// Starts tracking one query.
+    pub fn new(policy: AbortPolicy, page_size: usize, local_before: u64) -> Self {
+        AbortState {
+            policy,
+            page_size,
+            local_before,
+            reported_total: None,
+            new_so_far: 0,
+            returned_so_far: 0,
+            consecutive_dup_pages: 0,
+        }
+    }
+
+    /// Feed one fetched page's outcome: the reported total (first page),
+    /// records returned on the page and how many of them were new.
+    pub fn observe_page(&mut self, reported_total: Option<usize>, returned: u64, new: u64) {
+        if let Some(t) = reported_total {
+            self.reported_total = Some(t as u64);
+        }
+        self.new_so_far += new;
+        self.returned_so_far += returned;
+        let dup = returned.saturating_sub(new);
+        if returned > 0 && dup as f64 / returned as f64 >= self.policy.dup_ratio {
+            self.consecutive_dup_pages += 1;
+        } else {
+            self.consecutive_dup_pages = 0;
+        }
+    }
+
+    /// Decide whether to abort before fetching the next page.
+    pub fn should_abort(&self) -> bool {
+        if self.policy.dup_pages > 0 && self.consecutive_dup_pages >= self.policy.dup_pages {
+            return true;
+        }
+        if let (Some(threshold), Some(total)) = (self.policy.min_remaining_rate, self.reported_total)
+        {
+            let remaining_slots = total.saturating_sub(self.returned_so_far);
+            if remaining_slots == 0 {
+                return false; // pagination will stop naturally
+            }
+            // Upper bound on new records still retrievable: matches we have
+            // not yet retrieved minus matched records already in DB_local
+            // (which must eventually reappear as duplicates).
+            let dups_owed =
+                self.local_before.saturating_sub(self.returned_so_far - self.new_so_far);
+            let max_new_remaining = remaining_slots.saturating_sub(dups_owed);
+            let remaining_pages = remaining_slots.div_ceil(self.page_size as u64);
+            let rate = max_new_remaining as f64 / (remaining_pages * self.page_size as u64) as f64;
+            if rate < threshold {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_never_aborts() {
+        let p = AbortPolicy::never();
+        let mut st = AbortState::new(p.clone(), 10, 100);
+        st.observe_page(Some(1000), 10, 0);
+        st.observe_page(None, 10, 0);
+        assert!(!st.should_abort());
+        assert!(!p.is_enabled());
+    }
+
+    #[test]
+    fn total_count_heuristic_aborts_when_everything_is_owed_as_dup() {
+        let p = AbortPolicy { min_remaining_rate: Some(0.1), dup_pages: 0, dup_ratio: 1.0 };
+        // 100 matches total, we already hold 95 of them locally.
+        let mut st = AbortState::new(p.clone(), 10, 95);
+        st.observe_page(Some(100), 10, 0);
+        // Remaining 90 slots, dups owed 85 → at most 5 new in 9 pages = 0.055.
+        assert!(st.should_abort());
+    }
+
+    #[test]
+    fn total_count_heuristic_continues_when_plenty_is_new() {
+        let p = AbortPolicy { min_remaining_rate: Some(0.1), dup_pages: 0, dup_ratio: 1.0 };
+        let mut st = AbortState::new(p.clone(), 10, 5);
+        st.observe_page(Some(100), 10, 8);
+        assert!(!st.should_abort(), "most remaining records are new");
+    }
+
+    #[test]
+    fn dup_window_heuristic_needs_consecutive_pages() {
+        let p = AbortPolicy { min_remaining_rate: None, dup_pages: 2, dup_ratio: 0.9 };
+        let mut st = AbortState::new(p.clone(), 10, 0);
+        st.observe_page(None, 10, 0); // 100% dup
+        assert!(!st.should_abort(), "one page is not enough");
+        st.observe_page(None, 10, 5); // 50% dup resets the streak
+        assert!(!st.should_abort());
+        st.observe_page(None, 10, 1); // 90% dup
+        st.observe_page(None, 10, 0); // 100% dup
+        assert!(st.should_abort());
+    }
+
+    #[test]
+    fn natural_end_of_pagination_is_not_an_abort() {
+        let p = AbortPolicy::standard();
+        let mut st = AbortState::new(p.clone(), 10, 0);
+        st.observe_page(Some(10), 10, 10);
+        assert!(!st.should_abort());
+    }
+
+    #[test]
+    fn standard_policy_is_enabled() {
+        assert!(AbortPolicy::standard().is_enabled());
+    }
+}

@@ -1,0 +1,334 @@
+//! Crawl checkpointing: snapshot a running crawl to a text blob and resume it
+//! later (possibly in another process).
+//!
+//! A real deployment of the paper's crawler runs for days against rate-limited
+//! sources; surviving restarts without re-spending communication rounds is
+//! table stakes. A [`Checkpoint`] captures everything the crawler owns — the
+//! vocabulary, candidate statuses, `L_queried`, the harvested records, and the
+//! cost counters. Policy-internal structures (heaps, covered sets, PMI caches)
+//! are *not* serialized; they are deterministically rebuilt from the shared
+//! state by [`crate::policy::SelectionPolicy::resume`].
+//!
+//! The format is a line-oriented, versioned text format with percent-escaping
+//! for the three metacharacters (tab, newline, `%`) — dependency-free and
+//! diff-friendly.
+
+use crate::state::CandStatus;
+use dwc_model::ValueId;
+use std::fmt::Write as _;
+
+/// A serialized crawl snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Interface attribute names, in id order.
+    pub attr_names: Vec<String>,
+    /// Queriability flags, parallel to `attr_names`.
+    pub attr_queriable: Vec<bool>,
+    /// Interface page size.
+    pub page_size: usize,
+    /// Whether the crawl runs in keyword mode.
+    pub keyword_mode: bool,
+    /// Vocabulary entries `(attr index, value string)` in [`ValueId`] order.
+    pub values: Vec<(u16, String)>,
+    /// Status per value, parallel to `values`.
+    pub status: Vec<CandStatus>,
+    /// `L_queried` in issue order.
+    pub queried: Vec<u32>,
+    /// Harvested records: `(source key, value ids)`.
+    pub records: Vec<(u64, Vec<u32>)>,
+    /// Communication rounds spent so far.
+    pub rounds: u64,
+    /// Queries issued so far.
+    pub queries: u64,
+}
+
+/// Errors while parsing a checkpoint blob.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Wrong or missing header line.
+    BadHeader,
+    /// A section or field is malformed.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::BadHeader => write!(f, "not a DWC checkpoint (bad header)"),
+            CheckpointError::Malformed(what) => write!(f, "malformed checkpoint section: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '%' => out.push_str("%25"),
+            '\t' => out.push_str("%09"),
+            '\n' => out.push_str("%0A"),
+            '\r' => out.push_str("%0D"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(s: &str) -> Result<String, CheckpointError> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '%' {
+            out.push(c);
+            continue;
+        }
+        let hi = chars.next().ok_or(CheckpointError::Malformed("escape"))?;
+        let lo = chars.next().ok_or(CheckpointError::Malformed("escape"))?;
+        let byte = u8::from_str_radix(&format!("{hi}{lo}"), 16)
+            .map_err(|_| CheckpointError::Malformed("escape"))?;
+        out.push(byte as char);
+    }
+    Ok(out)
+}
+
+const HEADER: &str = "DWC-CHECKPOINT v1";
+
+impl Checkpoint {
+    /// Serializes to the text format.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "{HEADER}");
+        let _ = writeln!(out, "meta\t{}\t{}\t{}\t{}", self.page_size, u8::from(self.keyword_mode), self.rounds, self.queries);
+        let _ = writeln!(out, "attrs\t{}", self.attr_names.len());
+        for (name, q) in self.attr_names.iter().zip(&self.attr_queriable) {
+            let _ = writeln!(out, "a\t{}\t{}", escape(name), u8::from(*q));
+        }
+        let _ = writeln!(out, "values\t{}", self.values.len());
+        for (attr, s) in &self.values {
+            let _ = writeln!(out, "v\t{attr}\t{}", escape(s));
+        }
+        // Statuses as one compact line: U / F / Q per value.
+        let mut st = String::with_capacity(self.status.len());
+        for s in &self.status {
+            st.push(match s {
+                CandStatus::Undiscovered => 'U',
+                CandStatus::Frontier => 'F',
+                CandStatus::Queried => 'Q',
+            });
+        }
+        let _ = writeln!(out, "status\t{st}");
+        let _ = writeln!(
+            out,
+            "queried\t{}",
+            self.queried.iter().map(|q| q.to_string()).collect::<Vec<_>>().join(",")
+        );
+        let _ = writeln!(out, "records\t{}", self.records.len());
+        for (key, vals) in &self.records {
+            let _ = writeln!(
+                out,
+                "r\t{key}\t{}",
+                vals.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+            );
+        }
+        out
+    }
+
+    /// Parses the text format.
+    pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
+        let mut lines = text.lines();
+        if lines.next() != Some(HEADER) {
+            return Err(CheckpointError::BadHeader);
+        }
+        let meta_line = lines.next().ok_or(CheckpointError::Malformed("meta"))?;
+        let meta: Vec<&str> = meta_line.split('\t').collect();
+        if meta.len() != 5 || meta[0] != "meta" {
+            return Err(CheckpointError::Malformed("meta"));
+        }
+        let parse_u64 = |s: &str, what: &'static str| -> Result<u64, CheckpointError> {
+            s.parse().map_err(|_| CheckpointError::Malformed(what))
+        };
+        let page_size = parse_u64(meta[1], "page_size")? as usize;
+        let keyword_mode = meta[2] == "1";
+        let rounds = parse_u64(meta[3], "rounds")?;
+        let queries = parse_u64(meta[4], "queries")?;
+
+        let attrs_header = lines.next().ok_or(CheckpointError::Malformed("attrs"))?;
+        let n_attrs: usize = attrs_header
+            .strip_prefix("attrs\t")
+            .and_then(|s| s.parse().ok())
+            .ok_or(CheckpointError::Malformed("attrs"))?;
+        let mut attr_names = Vec::with_capacity(n_attrs);
+        let mut attr_queriable = Vec::with_capacity(n_attrs);
+        for _ in 0..n_attrs {
+            let line = lines.next().ok_or(CheckpointError::Malformed("attr line"))?;
+            let parts: Vec<&str> = line.split('\t').collect();
+            if parts.len() != 3 || parts[0] != "a" {
+                return Err(CheckpointError::Malformed("attr line"));
+            }
+            attr_names.push(unescape(parts[1])?);
+            attr_queriable.push(parts[2] == "1");
+        }
+
+        let values_header = lines.next().ok_or(CheckpointError::Malformed("values"))?;
+        let n_values: usize = values_header
+            .strip_prefix("values\t")
+            .and_then(|s| s.parse().ok())
+            .ok_or(CheckpointError::Malformed("values"))?;
+        let mut values = Vec::with_capacity(n_values);
+        for _ in 0..n_values {
+            let line = lines.next().ok_or(CheckpointError::Malformed("value line"))?;
+            let parts: Vec<&str> = line.split('\t').collect();
+            if parts.len() != 3 || parts[0] != "v" {
+                return Err(CheckpointError::Malformed("value line"));
+            }
+            let attr: u16 =
+                parts[1].parse().map_err(|_| CheckpointError::Malformed("value attr"))?;
+            values.push((attr, unescape(parts[2])?));
+        }
+
+        let status_line = lines.next().ok_or(CheckpointError::Malformed("status"))?;
+        let st = status_line.strip_prefix("status\t").ok_or(CheckpointError::Malformed("status"))?;
+        if st.len() != n_values {
+            return Err(CheckpointError::Malformed("status length"));
+        }
+        let status: Vec<CandStatus> = st
+            .chars()
+            .map(|c| match c {
+                'U' => Ok(CandStatus::Undiscovered),
+                'F' => Ok(CandStatus::Frontier),
+                'Q' => Ok(CandStatus::Queried),
+                _ => Err(CheckpointError::Malformed("status char")),
+            })
+            .collect::<Result<_, _>>()?;
+
+        let queried_line = lines.next().ok_or(CheckpointError::Malformed("queried"))?;
+        let q = queried_line
+            .strip_prefix("queried\t")
+            .ok_or(CheckpointError::Malformed("queried"))?;
+        let queried: Vec<u32> = if q.is_empty() {
+            Vec::new()
+        } else {
+            q.split(',')
+                .map(|s| s.parse().map_err(|_| CheckpointError::Malformed("queried id")))
+                .collect::<Result<_, _>>()?
+        };
+
+        let records_header = lines.next().ok_or(CheckpointError::Malformed("records"))?;
+        let n_records: usize = records_header
+            .strip_prefix("records\t")
+            .and_then(|s| s.parse().ok())
+            .ok_or(CheckpointError::Malformed("records"))?;
+        let mut records = Vec::with_capacity(n_records);
+        for _ in 0..n_records {
+            let line = lines.next().ok_or(CheckpointError::Malformed("record line"))?;
+            let parts: Vec<&str> = line.split('\t').collect();
+            if parts.len() != 3 || parts[0] != "r" {
+                return Err(CheckpointError::Malformed("record line"));
+            }
+            let key: u64 = parts[1].parse().map_err(|_| CheckpointError::Malformed("record key"))?;
+            let vals: Vec<u32> = if parts[2].is_empty() {
+                Vec::new()
+            } else {
+                parts[2]
+                    .split(',')
+                    .map(|s| s.parse().map_err(|_| CheckpointError::Malformed("record value")))
+                    .collect::<Result<_, _>>()?
+            };
+            records.push((key, vals));
+        }
+        Ok(Checkpoint {
+            attr_names,
+            attr_queriable,
+            page_size,
+            keyword_mode,
+            values,
+            status,
+            queried,
+            records,
+            rounds,
+            queries,
+        })
+    }
+
+    /// Convenience: value ids of the frontier.
+    pub fn frontier(&self) -> impl Iterator<Item = ValueId> + '_ {
+        self.status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == CandStatus::Frontier)
+            .map(|(i, _)| ValueId(i as u32))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Checkpoint {
+        Checkpoint {
+            attr_names: vec!["A".into(), "weird\tname %".into()],
+            attr_queriable: vec![true, false],
+            page_size: 10,
+            keyword_mode: false,
+            values: vec![(0, "a2".into()), (1, "tab\there".into()), (0, "x".into())],
+            status: vec![CandStatus::Queried, CandStatus::Frontier, CandStatus::Undiscovered],
+            queried: vec![0],
+            records: vec![(7, vec![0, 1]), (9, vec![2])],
+            rounds: 42,
+            queries: 3,
+        }
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let cp = demo();
+        let text = cp.to_text();
+        let back = Checkpoint::from_text(&text).unwrap();
+        assert_eq!(cp, back);
+    }
+
+    #[test]
+    fn escaping_handles_metacharacters() {
+        assert_eq!(unescape(&escape("a\tb\nc%d\r")).unwrap(), "a\tb\nc%d\r");
+        let cp = demo();
+        let text = cp.to_text();
+        // One line per value, despite embedded tabs/newlines in strings.
+        assert_eq!(text.lines().filter(|l| l.starts_with("v\t")).count(), 3);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert_eq!(Checkpoint::from_text("nope"), Err(CheckpointError::BadHeader));
+        assert_eq!(
+            Checkpoint::from_text("DWC-CHECKPOINT v1\nmeta\tx"),
+            Err(CheckpointError::Malformed("meta"))
+        );
+        let truncated = demo().to_text().lines().take(4).collect::<Vec<_>>().join("\n");
+        assert!(Checkpoint::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn frontier_iterates_frontier_only() {
+        let cp = demo();
+        assert_eq!(cp.frontier().collect::<Vec<_>>(), vec![ValueId(1)]);
+    }
+
+    #[test]
+    fn empty_sections_roundtrip() {
+        let cp = Checkpoint {
+            attr_names: vec!["A".into()],
+            attr_queriable: vec![true],
+            page_size: 5,
+            keyword_mode: true,
+            values: vec![],
+            status: vec![],
+            queried: vec![],
+            records: vec![],
+            rounds: 0,
+            queries: 0,
+        };
+        assert_eq!(Checkpoint::from_text(&cp.to_text()).unwrap(), cp);
+    }
+}

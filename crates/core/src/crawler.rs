@@ -1,0 +1,956 @@
+//! The query–harvest–decompose crawl loop (paper §1, §2.5).
+//!
+//! "It starts with some seed queries prepared in the form of attribute value
+//! pairs … automatically queries the target data source … harvests the data
+//! records from the returned pages … populates the extracted records to its
+//! local database and decomposes these records into attribute values, which
+//! are stored as candidates for future query formulation. This process is
+//! repeated until all the possible queries are issued or some stopping
+//! criterion is met."
+//!
+//! The crawler talks to the server exclusively through the public query
+//! interface: queries go out as attribute-name + value-string form fills
+//! ([`dwc_server::Query::ByString`]); results come back as paginated pages,
+//! optionally serialized through the XML wire format and re-parsed by the
+//! Result Extractor ([`ProberMode::Wire`]). Every page request — including
+//! failed ones — costs one communication round (Definition 2.3).
+
+use crate::abort::{AbortPolicy, AbortState};
+use crate::extract::{parse_page, ExtractedRecord};
+use crate::policy::SelectionPolicy;
+use crate::state::{CandStatus, CrawlState, QueryOutcome};
+use crate::trace::{CrawlTrace, TracePoint};
+use dwc_model::ValueId;
+use dwc_server::wire::page_to_xml;
+use dwc_server::{Query, ServerError, WebDbServer};
+
+/// How queries are submitted to the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Fill the value into its attribute's structured form field
+    /// (`Query::ByString`). Requires the attribute to be queriable.
+    #[default]
+    Structured,
+    /// Throw the bare value string into the keyword box (`Query::Keyword`)
+    /// and "rely on the end site's query processing mechanism to decide which
+    /// column that value should actually match" (§2.2). Requires the
+    /// interface to advertise keyword search; makes every discovered value a
+    /// candidate, even from attributes without a form field.
+    Keyword,
+    /// Multi-attribute form fill: the selected candidate value is combined
+    /// with its most co-occurring locally-known partner values from `arity−1`
+    /// *other* attributes into a [`Query::Conjunctive`]. This is the query
+    /// class the paper defers to future work; restrictive sources
+    /// (`InterfaceSpec::requiring_attrs`) only accept it. Seeds must be
+    /// provided as whole groups via [`Crawler::add_seed_group`].
+    Conjunctive {
+        /// Number of equality predicates per query (≥ 2).
+        arity: usize,
+    },
+}
+
+/// How the Database Prober materializes result pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProberMode {
+    /// Read the in-process result page directly (fast path for large
+    /// simulations; identical observable content).
+    #[default]
+    InProcess,
+    /// Serialize each page to the XML wire format and re-parse it with the
+    /// Result Extractor — the full pipeline the paper's crawler runs against
+    /// Amazon's Web Service.
+    Wire,
+    /// Render each page as a template-generated HTML document and run the
+    /// HTML wrapper extractor — the pipeline against ordinary result pages
+    /// ("records … may be in the form of HTML Web pages", §1).
+    Html,
+}
+
+/// Crawl limits and knobs.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlConfig {
+    /// Stop after this many communication rounds (Figures 5–6 use 10,000).
+    pub max_rounds: Option<u64>,
+    /// Stop after this many queries.
+    pub max_queries: Option<u64>,
+    /// Stop when true coverage reaches this fraction (requires
+    /// `known_target_size`; Figure 3 uses 0.9).
+    pub target_coverage: Option<f64>,
+    /// The target's true size, when the harness knows it (controlled
+    /// experiments).
+    pub known_target_size: Option<usize>,
+    /// Per-query abortion heuristics (§3.4).
+    pub abort: AbortPolicy,
+    /// Retries per page on transient server failures (each attempt costs a
+    /// round).
+    pub max_retries: u32,
+    /// Prober mode.
+    pub prober: ProberMode,
+    /// Query submission mode (structured form fill vs keyword box).
+    pub query_mode: QueryMode,
+}
+
+/// Why a crawl ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// `L_to-query` is empty: every reachable candidate was issued.
+    FrontierExhausted,
+    /// The round budget was exhausted.
+    RoundBudget,
+    /// The query budget was exhausted.
+    QueryBudget,
+    /// The coverage target was reached.
+    CoverageReached,
+}
+
+/// Summary of a finished crawl.
+#[derive(Debug)]
+pub struct CrawlReport {
+    /// Queries issued.
+    pub queries: u64,
+    /// Communication rounds spent (page requests, including retries).
+    pub rounds: u64,
+    /// Records harvested into `DB_local`.
+    pub records: u64,
+    /// Queries cut short by the abortion heuristics.
+    pub aborted_queries: u64,
+    /// Transient failures encountered (and retried).
+    pub transient_failures: u64,
+    /// Why the crawl stopped.
+    pub stop: StopReason,
+    /// Per-query progress trace.
+    pub trace: CrawlTrace,
+    /// Final true coverage, when the target size was known.
+    pub final_coverage: Option<f64>,
+}
+
+/// A hidden-web database crawler bound to one target server.
+pub struct Crawler<'s> {
+    server: &'s mut WebDbServer,
+    policy: Box<dyn SelectionPolicy>,
+    state: CrawlState,
+    config: CrawlConfig,
+    trace: CrawlTrace,
+    rounds: u64,
+    queries: u64,
+    aborted_queries: u64,
+    transient_failures: u64,
+    /// Whole-query seed groups for conjunctive mode, issued before the policy
+    /// takes over.
+    pending_seed_groups: Vec<Vec<(String, String)>>,
+}
+
+impl<'s> Crawler<'s> {
+    /// Creates a crawler for `server` with the given policy.
+    ///
+    /// The attribute names and their queriability are read from the source's
+    /// interface — the information a crawler gets from inspecting the query
+    /// form — not from the backend data.
+    pub fn new(
+        server: &'s mut WebDbServer,
+        policy: Box<dyn SelectionPolicy>,
+        config: CrawlConfig,
+    ) -> Self {
+        let schema = server.table().schema();
+        let iface = server.interface();
+        let attr_names: Vec<String> =
+            schema.iter().map(|(_, spec)| spec.name.clone()).collect();
+        let attr_queriable: Vec<bool> =
+            schema.iter().map(|(id, _)| iface.is_queriable(id)).collect();
+        let keyword_available = iface.keyword_search;
+        let mut state = CrawlState::new(attr_names, attr_queriable, iface.page_size);
+        state.target_size = config.known_target_size;
+        state.keyword_mode = config.query_mode == QueryMode::Keyword;
+        assert!(
+            !state.keyword_mode || keyword_available,
+            "keyword query mode requires an interface with keyword search"
+        );
+        let mut policy = policy;
+        policy.init(&mut state);
+        Crawler {
+            server,
+            policy,
+            state,
+            config,
+            trace: CrawlTrace::new(),
+            rounds: 0,
+            queries: 0,
+            aborted_queries: 0,
+            transient_failures: 0,
+            pending_seed_groups: Vec::new(),
+        }
+    }
+
+    /// Snapshots the crawl into a [`crate::checkpoint::Checkpoint`]:
+    /// vocabulary, statuses, `L_queried`, harvested records and cost
+    /// counters. Policy internals are rebuilt on resume.
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            attr_names: self.state.attr_names.clone(),
+            attr_queriable: self.state.attr_queriable.clone(),
+            page_size: self.state.page_size,
+            keyword_mode: self.state.keyword_mode,
+            values: self
+                .state
+                .vocab
+                .iter_ids()
+                .map(|v| {
+                    (self.state.vocab.attr_of(v).0, self.state.vocab.value_str(v).to_owned())
+                })
+                .collect(),
+            status: self.state.status.clone(),
+            queried: self.state.queried.iter().map(|v| v.0).collect(),
+            records: self
+                .state
+                .local
+                .iter_keyed()
+                .map(|(k, vals)| (k, vals.iter().map(|v| v.0).collect()))
+                .collect(),
+            rounds: self.rounds,
+            queries: self.queries,
+        }
+    }
+
+    /// Resumes a checkpointed crawl against `server` with a fresh policy
+    /// instance. The shared state (vocabulary, statuses, `DB_local`,
+    /// `L_queried`, cost counters) is restored exactly; policy internals are
+    /// rebuilt via [`SelectionPolicy::resume`].
+    ///
+    /// # Panics
+    /// Panics if the checkpoint is internally inconsistent (ids out of
+    /// range) or if `config.query_mode` demands keyword support the
+    /// checkpoint's interface flags contradict.
+    pub fn resume(
+        server: &'s mut WebDbServer,
+        policy: Box<dyn SelectionPolicy>,
+        checkpoint: &crate::checkpoint::Checkpoint,
+        config: CrawlConfig,
+    ) -> Self {
+        assert_eq!(
+            checkpoint.values.len(),
+            checkpoint.status.len(),
+            "checkpoint status/vocabulary mismatch"
+        );
+        let mut state = CrawlState::new(
+            checkpoint.attr_names.clone(),
+            checkpoint.attr_queriable.clone(),
+            checkpoint.page_size,
+        );
+        state.keyword_mode = checkpoint.keyword_mode;
+        state.target_size = config.known_target_size;
+        for (attr, s) in &checkpoint.values {
+            assert!((*attr as usize) < state.attr_names.len(), "value attr out of range");
+            state.intern(dwc_model::AttrId(*attr), s);
+        }
+        state.status.copy_from_slice(&checkpoint.status);
+        state.queried = checkpoint.queried
+            .iter()
+            .map(|&q| {
+                assert!((q as usize) < checkpoint.values.len(), "queried id out of range");
+                ValueId(q)
+            })
+            .collect();
+        for (key, vals) in &checkpoint.records {
+            let values: Vec<ValueId> = vals
+                .iter()
+                .map(|&v| {
+                    assert!((v as usize) < checkpoint.values.len(), "record id out of range");
+                    ValueId(v)
+                })
+                .collect();
+            state.local.insert(*key, values);
+        }
+        let mut policy = policy;
+        policy.resume(&mut state);
+        let mut trace = CrawlTrace::new();
+        trace.push(TracePoint {
+            rounds: checkpoint.rounds,
+            queries: checkpoint.queries,
+            records: state.local.num_records() as u64,
+        });
+        Crawler {
+            server,
+            policy,
+            state,
+            config,
+            trace,
+            rounds: checkpoint.rounds,
+            queries: checkpoint.queries,
+            aborted_queries: 0,
+            transient_failures: 0,
+            pending_seed_groups: Vec::new(),
+        }
+    }
+
+    /// Adds a whole seed *query* — a group of `(attribute, value)` pairs
+    /// issued as one conjunctive query before the policy takes over. This is
+    /// how a crawl of a restrictive multi-attribute form is bootstrapped
+    /// (single seed values cannot be issued there).
+    pub fn add_seed_group(&mut self, pairs: &[(&str, &str)]) {
+        self.pending_seed_groups
+            .push(pairs.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect());
+    }
+
+    /// Adds a seed attribute value. Returns `false` when the attribute is
+    /// unknown or not queriable (the seed is useless then).
+    pub fn add_seed(&mut self, attr_name: &str, value: &str) -> bool {
+        let Some(attr) = self.state.attr_by_name(attr_name) else { return false };
+        if !self.state.keyword_mode && !self.state.attr_queriable[attr.0 as usize] {
+            return false;
+        }
+        let v = self.state.intern(attr, value);
+        if self.state.status_of(v) == CandStatus::Undiscovered {
+            self.state.status[v.index()] = CandStatus::Frontier;
+            self.policy.on_discovered(&self.state, v);
+        }
+        true
+    }
+
+    /// Read access to the crawl state (vocabulary, `DB_local`, `L_queried`).
+    pub fn state(&self) -> &CrawlState {
+        &self.state
+    }
+
+    /// Communication rounds spent so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// The configured round budget, if any.
+    pub fn max_rounds(&self) -> Option<u64> {
+        self.config.max_rounds
+    }
+
+    /// The configured coverage target, if any.
+    pub fn target_coverage(&self) -> Option<f64> {
+        self.config.target_coverage
+    }
+
+    /// Runs the crawl to a stop condition and reports.
+    pub fn run(mut self) -> CrawlReport {
+        let stop = loop {
+            if let Some(reason) = self.budget_stop() {
+                break reason;
+            }
+            match self.step() {
+                Some(()) => {}
+                None => break StopReason::FrontierExhausted,
+            }
+        };
+        self.into_report(stop)
+    }
+
+    /// Finalizes the crawl at its current state without issuing further
+    /// queries (used by drivers that call [`Crawler::step`] themselves, like
+    /// the fleet coordinator).
+    pub fn into_report(self, stop: StopReason) -> CrawlReport {
+        CrawlReport {
+            queries: self.queries,
+            rounds: self.rounds,
+            records: self.state.local.num_records() as u64,
+            aborted_queries: self.aborted_queries,
+            transient_failures: self.transient_failures,
+            stop,
+            final_coverage: self.state.coverage(),
+            trace: self.trace,
+        }
+    }
+
+    fn budget_stop(&self) -> Option<StopReason> {
+        if let Some(max) = self.config.max_rounds {
+            if self.rounds >= max {
+                return Some(StopReason::RoundBudget);
+            }
+        }
+        if let Some(max) = self.config.max_queries {
+            if self.queries >= max {
+                return Some(StopReason::QueryBudget);
+            }
+        }
+        if let (Some(target), Some(cov)) = (self.config.target_coverage, self.state.coverage()) {
+            if cov >= target {
+                return Some(StopReason::CoverageReached);
+            }
+        }
+        None
+    }
+
+    /// Issues one query — a pending seed group if any, otherwise the next
+    /// candidate the policy selects. Returns `None` when both are exhausted.
+    pub fn step(&mut self) -> Option<()> {
+        if let Some(group) = self.pending_seed_groups.pop() {
+            let query = Query::Conjunctive(group);
+            let outcome = self.fetch_all_pages(&query, 0);
+            self.finish_query(None, outcome);
+            return Some(());
+        }
+        let v = self.policy.select(&self.state)?;
+        self.state.status[v.index()] = CandStatus::Queried;
+        self.state.queried.push(v);
+        let value_str = self.state.vocab.value_str(v).to_owned();
+        let attr = self.state.vocab.attr_of(v);
+        let attr_name = self.state.attr_names[attr.0 as usize].clone();
+        let query = match self.config.query_mode {
+            QueryMode::Structured => Query::ByString { attr: attr_name, value: value_str },
+            QueryMode::Keyword => Query::Keyword(value_str),
+            QueryMode::Conjunctive { arity } => {
+                let mut pairs = vec![(attr_name, value_str)];
+                pairs.extend(self.best_partners(v, arity.saturating_sub(1)));
+                Query::Conjunctive(pairs)
+            }
+        };
+        let local_before = u64::from(self.state.local.count(v));
+        let outcome = self.fetch_all_pages(&query, local_before);
+        self.finish_query(Some(v), outcome);
+        Some(())
+    }
+
+    /// Book-keeping shared by candidate queries and seed-group queries.
+    fn finish_query(&mut self, v: Option<ValueId>, outcome: QueryOutcome) {
+        self.state.push_harvest(outcome.normalized_harvest_rate(self.state.page_size));
+        self.queries += 1;
+        self.trace.push(TracePoint {
+            rounds: self.rounds,
+            queries: self.queries,
+            records: self.state.local.num_records() as u64,
+        });
+        if let Some(v) = v {
+            self.policy.on_query_done(&self.state, v, &outcome);
+        }
+    }
+
+    /// For conjunctive mode: the locally most co-occurring partner values of
+    /// `v`, one per distinct attribute other than `v`'s (and each other's).
+    /// Partners make the conjunction as unrestrictive as local knowledge
+    /// allows — a popular co-value keeps the intersection large.
+    fn best_partners(&self, v: ValueId, want: usize) -> Vec<(String, String)> {
+        use std::collections::HashMap;
+        if want == 0 {
+            return Vec::new();
+        }
+        let my_attr = self.state.vocab.attr_of(v);
+        let mut co_counts: HashMap<ValueId, u32> = HashMap::new();
+        for rec in self.state.local.records() {
+            if rec.binary_search(&v).is_err() {
+                continue;
+            }
+            for &w in rec {
+                if w != v && self.state.vocab.attr_of(w) != my_attr {
+                    *co_counts.entry(w).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut ranked: Vec<(ValueId, u32)> = co_counts.into_iter().collect();
+        ranked.sort_by_key(|&(w, c)| (std::cmp::Reverse(c), w.0));
+        let mut used_attrs = vec![my_attr];
+        let mut out = Vec::with_capacity(want);
+        for (w, _) in ranked {
+            let attr = self.state.vocab.attr_of(w);
+            if used_attrs.contains(&attr) {
+                continue;
+            }
+            used_attrs.push(attr);
+            out.push((
+                self.state.attr_names[attr.0 as usize].clone(),
+                self.state.vocab.value_str(w).to_owned(),
+            ));
+            if out.len() == want {
+                break;
+            }
+        }
+        out
+    }
+
+    /// Fetches pages of one query until pagination ends, the abortion
+    /// heuristic fires, or a budget is hit. `local_before` is the number of
+    /// matching records already held (`num(q, DB_local)` at query start).
+    fn fetch_all_pages(&mut self, query: &Query, local_before: u64) -> QueryOutcome {
+        let mut outcome = QueryOutcome::default();
+        let mut abort_state =
+            AbortState::new(self.config.abort.clone(), self.state.page_size, local_before);
+        let mut touched: Vec<ValueId> = Vec::new();
+        let mut newly_discovered: Vec<ValueId> = Vec::new();
+        let mut page_index = 0usize;
+        loop {
+            if let Some(max) = self.config.max_rounds {
+                if self.rounds >= max {
+                    break;
+                }
+            }
+            let Some(page) = self.fetch_page_with_retries(query, page_index) else { break };
+            outcome.pages += 1;
+            if page.total_matches.is_some() {
+                outcome.reported_total = page.total_matches;
+            }
+            let returned = page.records.len() as u64;
+            let mut new_in_page = 0u64;
+            for rec in &page.records {
+                if self.ingest_record(rec, &mut touched, &mut newly_discovered) {
+                    new_in_page += 1;
+                }
+            }
+            outcome.returned_records += returned;
+            outcome.new_records += new_in_page;
+            abort_state.observe_page(page.total_matches, returned, new_in_page);
+            if !page.has_more {
+                break;
+            }
+            if abort_state.should_abort() {
+                outcome.aborted = true;
+                self.aborted_queries += 1;
+                break;
+            }
+            page_index += 1;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        outcome.touched_values = touched;
+        for &d in &newly_discovered {
+            self.policy.on_discovered(&self.state, d);
+        }
+        outcome
+    }
+
+    /// One page request with transient-failure retries; every attempt costs a
+    /// round. Non-transient errors and retry exhaustion end the query.
+    fn fetch_page_with_retries(
+        &mut self,
+        query: &Query,
+        page_index: usize,
+    ) -> Option<crate::extract::ExtractedPage> {
+        let mut attempts = 0;
+        loop {
+            self.rounds += 1;
+            match self.server.query_page(query, page_index) {
+                Ok(page) => {
+                    return Some(match self.config.prober {
+                        ProberMode::InProcess => self.translate_in_process(&page),
+                        ProberMode::Wire => {
+                            let xml = page_to_xml(&page, self.server.table());
+                            parse_page(&xml).expect("wire format must round-trip")
+                        }
+                        ProberMode::Html => {
+                            let html =
+                                dwc_server::html::page_to_html(&page, self.server.table());
+                            crate::extract::parse_html_page(&html)
+                                .expect("HTML wrapper must round-trip")
+                        }
+                    });
+                }
+                Err(ServerError::Transient) => {
+                    self.transient_failures += 1;
+                    attempts += 1;
+                    if attempts > self.config.max_retries {
+                        return None;
+                    }
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Translates an in-process result page into extracted-record form
+    /// (attribute names + value strings — the crawler-visible content).
+    fn translate_in_process(&self, page: &dwc_server::ResultPage) -> crate::extract::ExtractedPage {
+        let table = self.server.table();
+        crate::extract::ExtractedPage {
+            page_index: page.page_index,
+            total_matches: page.total_matches,
+            has_more: page.has_more,
+            records: page
+                .records
+                .iter()
+                .map(|r| ExtractedRecord {
+                    key: r.key,
+                    fields: r
+                        .values
+                        .iter()
+                        .map(|&sv| {
+                            let attr = table.interner().attr_of(sv);
+                            (
+                                table.schema().attr(attr).name.clone(),
+                                table.interner().value_str(sv).to_owned(),
+                            )
+                        })
+                        .collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Inserts one extracted record into `DB_local`; returns `true` when new.
+    /// Decomposes the record into candidate values (the "decompose" step).
+    fn ingest_record(
+        &mut self,
+        rec: &ExtractedRecord,
+        touched: &mut Vec<ValueId>,
+        newly_discovered: &mut Vec<ValueId>,
+    ) -> bool {
+        if self.state.local.contains_key(rec.key) {
+            return false;
+        }
+        let mut values = Vec::with_capacity(rec.fields.len());
+        for (attr_name, s) in &rec.fields {
+            let Some(attr) = self.state.attr_by_name(attr_name) else { continue };
+            let vid = self.state.intern(attr, s);
+            values.push(vid);
+        }
+        for &vid in &values {
+            touched.push(vid);
+            if self.state.status_of(vid) == CandStatus::Undiscovered && self.state.is_queriable(vid)
+            {
+                self.state.status[vid.index()] = CandStatus::Frontier;
+                newly_discovered.push(vid);
+            }
+        }
+        self.state.local.insert(rec.key, values)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::PolicyKind;
+    use dwc_model::fixtures::figure1_table;
+    use dwc_server::{FaultPolicy, InterfaceSpec};
+
+    fn figure1_server(page_size: usize) -> WebDbServer {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), page_size);
+        WebDbServer::new(t, spec)
+    }
+
+    fn run_policy(kind: PolicyKind, page_size: usize) -> CrawlReport {
+        let mut server = figure1_server(page_size);
+        let config = CrawlConfig { known_target_size: Some(5), ..Default::default() };
+        let mut crawler = Crawler::new(&mut server, kind.build(), config);
+        assert!(crawler.add_seed("A", "a2"));
+        crawler.run()
+    }
+
+    #[test]
+    fn every_policy_harvests_the_whole_figure1_database() {
+        for kind in [
+            PolicyKind::Bfs,
+            PolicyKind::Dfs,
+            PolicyKind::Random(7),
+            PolicyKind::GreedyLink,
+            PolicyKind::Mmmi(Default::default()),
+        ] {
+            let report = run_policy(kind.clone(), 10);
+            assert_eq!(report.records, 5, "{} must reach all records", kind.label());
+            assert_eq!(report.stop, StopReason::FrontierExhausted);
+            assert_eq!(report.final_coverage, Some(1.0));
+        }
+    }
+
+    #[test]
+    fn example_2_1_first_query_sees_three_records() {
+        let mut server = figure1_server(10);
+        let mut crawler =
+            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        crawler.add_seed("A", "a2");
+        crawler.step().unwrap();
+        assert_eq!(crawler.state().local.num_records(), 3);
+        assert_eq!(crawler.rounds(), 1);
+        // Decomposition discovered b2, c1, c2, b3 (a2 is queried).
+        assert_eq!(crawler.state().vocab.len(), 5);
+    }
+
+    #[test]
+    fn wire_and_html_modes_equal_in_process_mode() {
+        let run = |prober| {
+            let mut server = figure1_server(2);
+            let config = CrawlConfig { prober, ..Default::default() };
+            let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+            crawler.add_seed("A", "a2");
+            let report = crawler.run();
+            (report.records, report.rounds, report.queries)
+        };
+        let baseline = run(ProberMode::InProcess);
+        assert_eq!(baseline, run(ProberMode::Wire));
+        assert_eq!(baseline, run(ProberMode::Html));
+    }
+
+    #[test]
+    fn rounds_match_cost_model() {
+        // Page size 1: querying a2 (3 matches) costs 3 rounds.
+        let mut server = figure1_server(1);
+        let mut crawler =
+            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        crawler.add_seed("A", "a2");
+        crawler.step().unwrap();
+        assert_eq!(crawler.rounds(), 3);
+    }
+
+    #[test]
+    fn round_budget_stops_mid_query() {
+        let mut server = figure1_server(1);
+        let config = CrawlConfig { max_rounds: Some(2), ..Default::default() };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        crawler.add_seed("A", "a2");
+        let report = crawler.run();
+        assert_eq!(report.stop, StopReason::RoundBudget);
+        assert_eq!(report.rounds, 2);
+    }
+
+    #[test]
+    fn query_budget_respected() {
+        let mut server = figure1_server(10);
+        let config = CrawlConfig { max_queries: Some(1), ..Default::default() };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        crawler.add_seed("A", "a2");
+        let report = crawler.run();
+        assert_eq!(report.stop, StopReason::QueryBudget);
+        assert_eq!(report.queries, 1);
+    }
+
+    #[test]
+    fn coverage_target_stops_early() {
+        let mut server = figure1_server(10);
+        let config = CrawlConfig {
+            known_target_size: Some(5),
+            target_coverage: Some(0.6),
+            ..Default::default()
+        };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        crawler.add_seed("A", "a2");
+        let report = crawler.run();
+        assert_eq!(report.stop, StopReason::CoverageReached);
+        assert!(report.records >= 3);
+    }
+
+    #[test]
+    fn transient_faults_are_retried_and_counted() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let mut server = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(2));
+        let config = CrawlConfig { max_retries: 3, ..Default::default() };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        crawler.add_seed("A", "a2");
+        let report = crawler.run();
+        assert_eq!(report.records, 5, "faults must not lose records");
+        assert!(report.transient_failures > 0);
+        assert!(report.rounds > report.queries, "failed rounds are counted");
+    }
+
+    #[test]
+    fn keyword_mode_crawls_through_the_keyword_box() {
+        let mut server = figure1_server(10);
+        let config = CrawlConfig { query_mode: QueryMode::Keyword, ..Default::default() };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        assert!(crawler.add_seed("A", "a2"));
+        let report = crawler.run();
+        assert_eq!(report.records, 5, "keyword crawling reaches everything too");
+    }
+
+    #[test]
+    fn keyword_mode_unlocks_form_locked_attributes() {
+        // Structured interface exposes only attribute C; keyword search is on.
+        let t = figure1_table();
+        let mut spec = InterfaceSpec::permissive(t.schema(), 10);
+        spec.queriable_attrs.retain(|&a| a == dwc_model::AttrId(2));
+        let run = |mode: QueryMode| {
+            let t = figure1_table();
+            let mut spec2 = InterfaceSpec::permissive(t.schema(), 10);
+            spec2.queriable_attrs.retain(|&a| a == dwc_model::AttrId(2));
+            let mut server = WebDbServer::new(t, spec2);
+            let config = CrawlConfig { query_mode: mode, ..Default::default() };
+            let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+            crawler.add_seed("C", "c1");
+            crawler.run()
+        };
+        // Structured: only C-values can be issued. c1 retrieves records 0–1,
+        // whose decomposition yields no further C value (c2 appears only in
+        // records it cannot reach) — the crawl is stuck at 2 records.
+        let structured = run(QueryMode::Structured);
+        assert_eq!(structured.records, 2);
+        // Keyword: every discovered value (a*, b*, c*) is usable — a2 bridges
+        // to c2's records and the whole database is harvested. This is
+        // §2.2's "fading schema opens exciting opportunities" in action.
+        let keyword = run(QueryMode::Keyword);
+        assert_eq!(keyword.records, 5);
+    }
+
+    #[test]
+    fn conjunctive_mode_crawls_restrictive_forms() {
+        // The form demands two filled fields; the keyword box is gone.
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10).requiring_attrs(2);
+        let mut server = WebDbServer::new(t, spec);
+        let config = CrawlConfig {
+            query_mode: QueryMode::Conjunctive { arity: 2 },
+            known_target_size: Some(5),
+            ..Default::default()
+        };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+        crawler.add_seed_group(&[("A", "a2"), ("B", "b2")]);
+        let report = crawler.run();
+        // The seed pair a2 ∧ b2 retrieves records 1–2; follow-up conjunctive
+        // queries keep harvesting, but conjunctions are restrictive — full
+        // coverage is NOT guaranteed (which is exactly why the paper's case
+        // study flags multi-attribute-only sources as hard to crawl).
+        assert!(report.records >= 2, "seed group must land");
+        assert!(report.queries > 1, "policy-driven conjunctive queries must follow");
+    }
+
+    #[test]
+    fn conjunctive_covers_less_than_single_attribute_crawling() {
+        let run = |mode: QueryMode, restrictive: bool| {
+            let t = figure1_table();
+            let mut spec = InterfaceSpec::permissive(t.schema(), 10);
+            if restrictive {
+                spec = spec.requiring_attrs(2);
+            }
+            let mut server = WebDbServer::new(t, spec);
+            let config = CrawlConfig { query_mode: mode, ..Default::default() };
+            let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+            if restrictive {
+                crawler.add_seed_group(&[("A", "a2"), ("B", "b2")]);
+            } else {
+                crawler.add_seed("A", "a2");
+            }
+            crawler.run().records
+        };
+        let single = run(QueryMode::Structured, false);
+        let conjunctive = run(QueryMode::Conjunctive { arity: 2 }, true);
+        assert_eq!(single, 5);
+        assert!(conjunctive <= single);
+    }
+
+    #[test]
+    #[should_panic(expected = "keyword query mode requires")]
+    fn keyword_mode_requires_keyword_interface() {
+        let t = figure1_table();
+        let mut spec = InterfaceSpec::permissive(t.schema(), 10);
+        spec.keyword_search = false;
+        let mut server = WebDbServer::new(t, spec);
+        let config = CrawlConfig { query_mode: QueryMode::Keyword, ..Default::default() };
+        let _ = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+    }
+
+    #[test]
+    fn bad_seed_rejected() {
+        let mut server = figure1_server(10);
+        let mut crawler =
+            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        assert!(!crawler.add_seed("Nope", "x"));
+        let report = crawler.run();
+        assert_eq!(report.stop, StopReason::FrontierExhausted);
+        assert_eq!(report.records, 0);
+    }
+
+    #[test]
+    fn seed_that_matches_nothing_still_costs_a_round() {
+        let mut server = figure1_server(10);
+        let mut crawler =
+            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        assert!(crawler.add_seed("A", "does-not-exist"));
+        let report = crawler.run();
+        assert_eq!(report.rounds, 1);
+        assert_eq!(report.records, 0);
+        assert_eq!(report.queries, 1);
+    }
+
+    #[test]
+    fn duplicate_records_not_double_counted() {
+        let mut server = figure1_server(10);
+        let mut crawler =
+            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        crawler.add_seed("A", "a2");
+        crawler.add_seed("C", "c2");
+        let report = crawler.run();
+        assert_eq!(report.records, 5, "overlapping queries must dedup");
+    }
+
+    #[test]
+    fn checkpoint_resume_completes_like_uninterrupted_run() {
+        // Uninterrupted baseline.
+        let mut server = figure1_server(2);
+        let mut crawler =
+            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        crawler.add_seed("A", "a2");
+        let baseline = crawler.run();
+
+        // Interrupted run: two queries, checkpoint through the text format,
+        // resume with a fresh server and policy, finish.
+        let mut server1 = figure1_server(2);
+        let mut crawler1 =
+            Crawler::new(&mut server1, PolicyKind::Bfs.build(), CrawlConfig::default());
+        crawler1.add_seed("A", "a2");
+        crawler1.step().unwrap();
+        crawler1.step().unwrap();
+        let text = crawler1.checkpoint().to_text();
+        drop(crawler1);
+
+        let cp = crate::checkpoint::Checkpoint::from_text(&text).unwrap();
+        let mut server2 = figure1_server(2);
+        let crawler2 =
+            Crawler::resume(&mut server2, PolicyKind::Bfs.build(), &cp, CrawlConfig::default());
+        let resumed = crawler2.run();
+
+        assert_eq!(resumed.records, baseline.records);
+        // BFS frontier order is id order = discovery order, so the resumed
+        // run issues exactly the remaining queries: total cost matches.
+        assert_eq!(resumed.rounds, baseline.rounds);
+        assert_eq!(resumed.queries, baseline.queries);
+    }
+
+    #[test]
+    fn checkpoint_resume_works_for_domain_policy() {
+        use crate::domain_table::DomainTable;
+        use std::sync::Arc;
+        let dm = Arc::new(DomainTable::build(figure1_table()));
+        let kind = PolicyKind::Domain(Arc::clone(&dm));
+        let config = || CrawlConfig { known_target_size: Some(5), ..Default::default() };
+
+        let mut server1 = figure1_server(10);
+        let mut crawler1 = Crawler::new(&mut server1, kind.build(), config());
+        crawler1.add_seed("A", "a2");
+        crawler1.step().unwrap();
+        let cp = crawler1.checkpoint();
+        drop(crawler1);
+
+        let mut server2 = figure1_server(10);
+        let crawler2 = Crawler::resume(&mut server2, kind.build(), &cp, config());
+        let resumed = crawler2.run();
+        assert_eq!(resumed.records, 5, "DM resume must still reach everything");
+        assert_eq!(resumed.final_coverage, Some(1.0));
+    }
+
+    #[test]
+    fn checkpoint_counters_carry_over() {
+        let mut server = figure1_server(1);
+        let mut crawler =
+            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        crawler.add_seed("A", "a2");
+        crawler.step().unwrap(); // 3 matches at page size 1 → 3 rounds
+        let cp = crawler.checkpoint();
+        assert_eq!(cp.rounds, 3);
+        assert_eq!(cp.queries, 1);
+        assert_eq!(cp.records.len(), 3);
+        drop(crawler);
+        let mut server2 = figure1_server(1);
+        let crawler2 = Crawler::resume(
+            &mut server2,
+            PolicyKind::Bfs.build(),
+            &cp,
+            CrawlConfig::default(),
+        );
+        assert_eq!(crawler2.rounds(), 3);
+        assert_eq!(crawler2.state().local.num_records(), 3);
+    }
+
+    #[test]
+    fn trace_is_recorded_per_query() {
+        let mut server = figure1_server(10);
+        let mut crawler =
+            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        crawler.add_seed("A", "a2");
+        let report = crawler.run();
+        assert_eq!(report.trace.points().len() as u64, report.queries);
+        let last = report.trace.last().unwrap();
+        assert_eq!(last.records, report.records);
+        assert_eq!(last.rounds, report.rounds);
+    }
+}

@@ -1,0 +1,208 @@
+//! The domain statistics table (Definition 4.1).
+//!
+//! "The domain statistics table DT of domain DM consists of a collection of
+//! entries in the form of <q_i, P(q_i, DM)>, where q_i stands for a candidate
+//! query and P(q_i, DM) is the domain probability that q_i occurs in DM."
+//!
+//! Built from a *sample database* of the same domain (the paper builds its
+//! tables from IMDB subsets before crawling Amazon DVD). Besides the
+//! per-value probabilities, the table keeps the sample's postings lists so
+//! the policy can maintain `S(L_queried, DM)` — the set of sample records
+//! matched by any issued query — incrementally (§4.4).
+
+use dwc_model::{UniversalTable, ValueId};
+use dwc_server::InvertedIndex;
+
+/// A domain statistics table over a sample database.
+#[derive(Debug, Clone)]
+pub struct DomainTable {
+    table: UniversalTable,
+    index: InvertedIndex,
+}
+
+impl DomainTable {
+    /// Builds the table from a sample database.
+    pub fn build(sample: UniversalTable) -> Self {
+        let index = InvertedIndex::build(&sample);
+        DomainTable { table: sample, index }
+    }
+
+    /// `|DM|`: number of records in the sample.
+    pub fn num_records(&self) -> usize {
+        self.table.num_records()
+    }
+
+    /// Number of distinct values in the sample (candidate pool size).
+    pub fn num_values(&self) -> usize {
+        self.table.num_distinct_values()
+    }
+
+    /// The underlying sample table (read access).
+    pub fn sample(&self) -> &UniversalTable {
+        &self.table
+    }
+
+    /// Looks up a `(attribute name, value string)` pair in the sample,
+    /// returning its *sample-side* value id.
+    pub fn lookup(&self, attr_name: &str, value: &str) -> Option<ValueId> {
+        let attr = self.table.schema().attr_by_name(attr_name)?;
+        self.table.interner().get(attr, value)
+    }
+
+    /// `num(q, DM)`: records of the sample matched by the value.
+    pub fn freq(&self, dm_value: ValueId) -> usize {
+        self.index.match_count(dm_value)
+    }
+
+    /// Unsmoothed `P(q, DM) = num(q, DM) / |DM|`.
+    pub fn probability(&self, dm_value: ValueId) -> f64 {
+        if self.num_records() == 0 {
+            return 0.0;
+        }
+        self.freq(dm_value) as f64 / self.num_records() as f64
+    }
+
+    /// Sorted sample-record ids matched by the value (`S(q, DM)`).
+    pub fn postings(&self, dm_value: ValueId) -> &[u32] {
+        self.index.postings(dm_value)
+    }
+
+    /// Iterates `(attribute name, value string, sample value id, frequency)`
+    /// over every entry of the table.
+    pub fn iter_entries(&self) -> impl Iterator<Item = (&str, &str, ValueId, usize)> + '_ {
+        self.table.interner().iter_ids().map(move |v| {
+            let attr = self.table.interner().attr_of(v);
+            (
+                self.table.schema().attr(attr).name.as_str(),
+                self.table.interner().value_str(v),
+                v,
+                self.freq(v),
+            )
+        })
+    }
+}
+
+/// Incrementally maintained `S(L_queried[1..m], DM)` (§4.4): the set of
+/// sample records matched by at least one issued query, with O(|postings|)
+/// updates.
+///
+/// The paper maintains this as a sorted id list merged per query; a bitset
+/// over the (dense, known-size) sample record ids gives the same set with the
+/// same incremental interface and cheaper unions.
+#[derive(Debug, Clone)]
+pub struct CoveredSet {
+    bits: Vec<u64>,
+    count: usize,
+    universe: usize,
+}
+
+impl CoveredSet {
+    /// Empty set over `|DM|` record ids.
+    pub fn new(universe: usize) -> Self {
+        CoveredSet { bits: vec![0; universe.div_ceil(64)], count: 0, universe }
+    }
+
+    /// Number of covered sample records (`|S(L_queried, DM)|`).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether no record is covered.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// `P(L_queried, DM)`: covered fraction of the sample.
+    pub fn fraction(&self) -> f64 {
+        if self.universe == 0 {
+            return 0.0;
+        }
+        self.count as f64 / self.universe as f64
+    }
+
+    /// Unions one query's postings into the set.
+    pub fn union_postings(&mut self, postings: &[u32]) {
+        for &id in postings {
+            let (w, b) = ((id / 64) as usize, id % 64);
+            let mask = 1u64 << b;
+            if self.bits[w] & mask == 0 {
+                self.bits[w] |= mask;
+                self.count += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_model::fixtures::figure1_table;
+
+    #[test]
+    fn table_stats_match_sample() {
+        let dt = DomainTable::build(figure1_table());
+        assert_eq!(dt.num_records(), 5);
+        assert_eq!(dt.num_values(), 9);
+        let a2 = dt.lookup("A", "a2").unwrap();
+        assert_eq!(dt.freq(a2), 3);
+        assert!((dt.probability(a2) - 0.6).abs() < 1e-12);
+        assert_eq!(dt.postings(a2), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn lookup_misses_return_none() {
+        let dt = DomainTable::build(figure1_table());
+        assert!(dt.lookup("A", "nope").is_none());
+        assert!(dt.lookup("Nope", "a2").is_none());
+    }
+
+    #[test]
+    fn iter_entries_covers_all_values() {
+        let dt = DomainTable::build(figure1_table());
+        let entries: Vec<_> = dt.iter_entries().collect();
+        assert_eq!(entries.len(), 9);
+        let total_freq: usize = entries.iter().map(|e| e.3).sum();
+        // Each of the 5 records contributes 3 values.
+        assert_eq!(total_freq, 15);
+    }
+
+    #[test]
+    fn covered_set_counts_distinct() {
+        let mut cs = CoveredSet::new(10);
+        assert!(cs.is_empty());
+        cs.union_postings(&[1, 3, 5]);
+        cs.union_postings(&[3, 5, 7]);
+        assert_eq!(cs.len(), 4);
+        assert!((cs.fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covered_set_full_coverage() {
+        let mut cs = CoveredSet::new(3);
+        cs.union_postings(&[0, 1, 2]);
+        assert_eq!(cs.fraction(), 1.0);
+    }
+
+    #[test]
+    fn covered_set_empty_universe() {
+        let cs = CoveredSet::new(0);
+        assert_eq!(cs.fraction(), 0.0);
+    }
+
+    #[test]
+    fn covered_matches_paper_merge_semantics() {
+        // The paper merges sorted id lists; the bitset must produce the same
+        // cardinality as a reference merge.
+        let dt = DomainTable::build(figure1_table());
+        let a2 = dt.lookup("A", "a2").unwrap();
+        let c1 = dt.lookup("C", "c1").unwrap();
+        let mut cs = CoveredSet::new(dt.num_records());
+        cs.union_postings(dt.postings(a2));
+        cs.union_postings(dt.postings(c1));
+        let mut reference: Vec<u32> =
+            dt.postings(a2).iter().chain(dt.postings(c1)).copied().collect();
+        reference.sort_unstable();
+        reference.dedup();
+        assert_eq!(cs.len(), reference.len());
+    }
+}

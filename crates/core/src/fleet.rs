@@ -1,0 +1,287 @@
+//! Multi-source fleet crawling.
+//!
+//! The paper closes with "our future work also includes the implementation
+//! and deployment of a real world product database crawler" — a crawler that
+//! faces *many* sources at once under one global communication budget (e.g.
+//! a comparison-shopping engine harvesting every DVD store it knows). This
+//! module provides that deployment layer on top of [`crate::Crawler`]:
+//!
+//! * each source runs its own crawler (own policy, own vocabulary, own
+//!   `DB_local`) on its own worker thread;
+//! * the global budget is handed out in *slices*, split across sources by an
+//!   [`AllocationStrategy`]: evenly, or proportionally to each source's
+//!   observed recent harvest rate — the fleet-level analogue of per-query
+//!   selection (spend the next rounds where they buy the most new records);
+//! * a source whose frontier dries up stops drawing budget, and under
+//!   proportional allocation a saturating source gradually loses budget to
+//!   fresher ones.
+
+use crate::crawler::{CrawlConfig, CrawlReport, Crawler, StopReason};
+use crate::policy::PolicyKind;
+use dwc_server::WebDbServer;
+use std::sync::mpsc;
+
+/// How the global round budget is divided across sources.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationStrategy {
+    /// Every active source gets the same share of every slice.
+    Even,
+    /// Each slice is divided proportionally to the sources' mean normalized
+    /// harvest rates over their recent queries (floored at 5% so a source is
+    /// never starved before it can prove itself).
+    HarvestProportional,
+}
+
+/// One crawl job of the fleet.
+pub struct FleetJob {
+    /// The target source.
+    pub server: WebDbServer,
+    /// Selection policy for this source.
+    pub policy: PolicyKind,
+    /// Seed values (attribute name, value string).
+    pub seeds: Vec<(String, String)>,
+    /// Per-source config template (budgets are driven by the fleet; leave
+    /// `max_rounds` unset).
+    pub config: CrawlConfig,
+}
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Total communication rounds across all sources.
+    pub total_rounds: u64,
+    /// Rounds distributed per allocation slice.
+    pub slice: u64,
+    /// Budget split strategy.
+    pub allocation: AllocationStrategy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { total_rounds: 10_000, slice: 500, allocation: AllocationStrategy::Even }
+    }
+}
+
+/// Result of a fleet crawl: one report per source, in input order.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// Per-source crawl reports.
+    pub sources: Vec<CrawlReport>,
+    /// Total rounds actually spent across the fleet.
+    pub total_rounds: u64,
+}
+
+impl FleetReport {
+    /// Total records harvested across all sources.
+    pub fn total_records(&self) -> u64 {
+        self.sources.iter().map(|r| r.records).sum()
+    }
+}
+
+enum Grant {
+    Rounds(u64),
+    Finish,
+}
+
+struct SliceResult {
+    idx: usize,
+    rounds_used: u64,
+    recent_rate: f64,
+    exhausted: bool,
+    report: Option<CrawlReport>,
+}
+
+/// Runs the fleet to budget exhaustion (or until every source's frontier is
+/// dry). Each source lives on its own worker thread (the crawler borrows its
+/// server mutably, so the pair stays together); the coordinator hands out
+/// budget grants per slice and collects progress.
+pub fn run_fleet(jobs: Vec<FleetJob>, config: FleetConfig) -> FleetReport {
+    assert!(config.slice > 0, "slice must be positive");
+    let n = jobs.len();
+    if n == 0 {
+        return FleetReport { sources: Vec::new(), total_rounds: 0 };
+    }
+    let (result_tx, result_rx) = mpsc::channel::<SliceResult>();
+    let mut grant_txs = Vec::with_capacity(n);
+    let mut handles = Vec::with_capacity(n);
+    for (idx, job) in jobs.into_iter().enumerate() {
+        let (grant_tx, grant_rx) = mpsc::channel::<Grant>();
+        grant_txs.push(grant_tx);
+        let result_tx = result_tx.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut server = job.server;
+            let mut crawler = Crawler::new(&mut server, job.policy.build(), job.config);
+            for (a, v) in &job.seeds {
+                crawler.add_seed(a, v);
+            }
+            let mut exhausted = false;
+            while let Ok(grant) = grant_rx.recv() {
+                match grant {
+                    Grant::Rounds(rounds) => {
+                        let target = crawler.rounds() + rounds;
+                        while !exhausted && crawler.rounds() < target {
+                            if crawler.step().is_none() {
+                                exhausted = true;
+                            }
+                        }
+                        let recent_rate = crawler
+                            .state()
+                            .recent_harvest_mean(8)
+                            .unwrap_or(if exhausted { 0.0 } else { 1.0 });
+                        let _ = result_tx.send(SliceResult {
+                            idx,
+                            rounds_used: crawler.rounds(),
+                            recent_rate,
+                            exhausted,
+                            report: None,
+                        });
+                    }
+                    Grant::Finish => {
+                        let rounds_used = crawler.rounds();
+                        let stop = if exhausted {
+                            StopReason::FrontierExhausted
+                        } else {
+                            StopReason::RoundBudget
+                        };
+                        let _ = result_tx.send(SliceResult {
+                            idx,
+                            rounds_used,
+                            recent_rate: 0.0,
+                            exhausted,
+                            report: Some(crawler.into_report(stop)),
+                        });
+                        break;
+                    }
+                }
+            }
+        }));
+    }
+    drop(result_tx);
+
+    let mut rates = vec![1.0f64; n];
+    let mut done = vec![false; n];
+    let mut rounds_used = vec![0u64; n];
+    loop {
+        let spent: u64 = rounds_used.iter().sum();
+        let remaining = config.total_rounds.saturating_sub(spent);
+        if remaining == 0 || done.iter().all(|&d| d) {
+            break;
+        }
+        let slice = remaining.min(config.slice);
+        let shares: Vec<u64> = match config.allocation {
+            AllocationStrategy::Even => {
+                let active = done.iter().filter(|&&d| !d).count() as u64;
+                (0..n).map(|i| if done[i] { 0 } else { (slice / active.max(1)).max(1) }).collect()
+            }
+            AllocationStrategy::HarvestProportional => {
+                const FLOOR: f64 = 0.05;
+                let weights: Vec<f64> =
+                    (0..n).map(|i| if done[i] { 0.0 } else { rates[i].max(FLOOR) }).collect();
+                let total: f64 = weights.iter().sum();
+                weights
+                    .iter()
+                    .map(|w| {
+                        if *w == 0.0 {
+                            0
+                        } else {
+                            (((w / total) * slice as f64).round() as u64).max(1)
+                        }
+                    })
+                    .collect()
+            }
+        };
+        let mut expected = 0;
+        for (i, &share) in shares.iter().enumerate() {
+            if share > 0 && !done[i] {
+                grant_txs[i].send(Grant::Rounds(share)).expect("worker alive");
+                expected += 1;
+            }
+        }
+        if expected == 0 {
+            break;
+        }
+        for _ in 0..expected {
+            let r = result_rx.recv().expect("worker reports");
+            rates[r.idx] = r.recent_rate;
+            done[r.idx] = r.exhausted;
+            rounds_used[r.idx] = r.rounds_used;
+        }
+    }
+    for tx in &grant_txs {
+        let _ = tx.send(Grant::Finish);
+    }
+    let mut finals: Vec<Option<CrawlReport>> = (0..n).map(|_| None).collect();
+    for r in result_rx.iter() {
+        if let Some(report) = r.report {
+            finals[r.idx] = Some(report);
+        }
+    }
+    for h in handles {
+        h.join().expect("fleet worker panicked");
+    }
+    let sources: Vec<CrawlReport> =
+        finals.into_iter().map(|r| r.expect("every worker reported")).collect();
+    let total_rounds = sources.iter().map(|r| r.rounds).sum();
+    FleetReport { sources, total_rounds }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_server::InterfaceSpec;
+
+    fn job(seed_value: &str) -> FleetJob {
+        let t = dwc_model::fixtures::figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        FleetJob {
+            server: WebDbServer::new(t, spec),
+            policy: PolicyKind::GreedyLink,
+            seeds: vec![("A".into(), seed_value.to_string())],
+            config: CrawlConfig { known_target_size: Some(5), ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_fine() {
+        let report = run_fleet(Vec::new(), FleetConfig::default());
+        assert_eq!(report.total_records(), 0);
+    }
+
+    #[test]
+    fn fleet_crawls_every_source_to_exhaustion() {
+        let jobs = vec![job("a2"), job("a2"), job("a3")];
+        let config =
+            FleetConfig { total_rounds: 1000, slice: 10, allocation: AllocationStrategy::Even };
+        let report = run_fleet(jobs, config);
+        assert_eq!(report.sources.len(), 3);
+        assert_eq!(report.sources[0].records, 5);
+        assert_eq!(report.sources[1].records, 5);
+        // Source 2 was seeded from a3 and also reaches everything (connected).
+        assert_eq!(report.sources[2].records, 5);
+        assert!(report.total_rounds <= 1000);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let jobs = vec![job("a2"), job("a2")];
+        let config =
+            FleetConfig { total_rounds: 4, slice: 2, allocation: AllocationStrategy::Even };
+        let report = run_fleet(jobs, config);
+        assert!(report.total_rounds <= 6, "slight overshoot ≤ one query per source allowed, got {}", report.total_rounds);
+        assert!(report.total_records() > 0);
+    }
+
+    #[test]
+    fn proportional_allocation_finishes_too() {
+        let jobs = vec![job("a2"), job("a1")];
+        let config = FleetConfig {
+            total_rounds: 100,
+            slice: 4,
+            allocation: AllocationStrategy::HarvestProportional,
+        };
+        let report = run_fleet(jobs, config);
+        assert_eq!(report.sources.len(), 2);
+        assert_eq!(report.sources[0].records, 5);
+        assert_eq!(report.sources[1].records, 5);
+    }
+}

@@ -1,0 +1,49 @@
+//! Query-selection crawler for structured web sources.
+//!
+//! This crate is the reproduction of the paper's primary contribution:
+//! a hidden-web database crawler built around the *query–harvest–decompose*
+//! loop of Section 1, with pluggable **query selection policies**:
+//!
+//! * naive breadth-first / depth-first / random selection (§3.1),
+//! * the greedy relational-link-based policy **GL** (§3.2),
+//! * GL + min–max mutual-information re-ranking **MMMI** for the
+//!   low-marginal-benefit regime (§3.3),
+//! * heuristic query abortion (§3.4),
+//! * the domain-knowledge policy **DM** with the harvest-rate estimators of
+//!   Section 4 (equations 4.1–4.3, Q_DT hit-rate estimation, lazy evaluation,
+//!   incremental `P(L_queried, DM)` maintenance).
+//!
+//! Architecture (paper §2.5): the **Query Selector** (a
+//! [`policy::SelectionPolicy`]), the **Database Prober**
+//! ([`crawler::ProberMode`]) and the **Result Extractor** ([`extract`]).
+//! The crawler maintains `L_to-query` / `L_queried`, a statistics table, and
+//! the local database `DB_local` ([`local::LocalDb`]).
+//!
+//! The crawler-side vocabulary is its own [`dwc_model::ValueInterner`]: the
+//! crawler never shares an id space with the server — queries go out as
+//! attribute-name + value-string form fills, results come back as strings.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abort;
+pub mod checkpoint;
+pub mod crawler;
+pub mod domain_table;
+pub mod extract;
+pub mod fleet;
+pub mod local;
+pub mod policy;
+pub mod report;
+pub mod state;
+pub mod trace;
+
+pub use abort::AbortPolicy;
+pub use checkpoint::Checkpoint;
+pub use crawler::{CrawlConfig, CrawlReport, Crawler, ProberMode, QueryMode};
+pub use domain_table::DomainTable;
+pub use local::LocalDb;
+pub use report::CrawlSummary;
+pub use policy::{PolicyKind, SelectionPolicy};
+pub use state::{CandStatus, CrawlState, QueryOutcome};
+pub use trace::CrawlTrace;

@@ -1,0 +1,184 @@
+//! The greedy relational-link-based policy of §3.2.
+//!
+//! "At each step it selects from L_to-query the next attribute value with
+//! greatest link number in G_local for query formulation. In other words, the
+//! greedy link-based algorithm estimates HR(q_i) as proportional to
+//! degree(q_i, G_local)."
+//!
+//! Implementation: a lazy max-heap over `(degree, value)`. Degrees only grow,
+//! so whenever a query's new records touch a frontier value, a fresh entry
+//! with the current degree is pushed; stale entries (stored degree ≠ current
+//! degree, or value no longer in the frontier) are discarded on pop. The
+//! newest entry for a value always carries its true degree, so the pop order
+//! is exact max-degree selection.
+
+use crate::policy::SelectionPolicy;
+use crate::state::{CandStatus, CrawlState, QueryOutcome};
+use dwc_model::ValueId;
+use std::collections::BinaryHeap;
+
+/// Greedy link-based query selection (GL).
+#[derive(Debug, Default)]
+pub struct GreedyLink {
+    /// Packed `(degree << 32) | value_id` max-heap entries.
+    heap: BinaryHeap<u64>,
+}
+
+#[inline]
+fn pack(degree: u32, v: ValueId) -> u64 {
+    (u64::from(degree) << 32) | u64::from(v.0)
+}
+
+#[inline]
+fn unpack(e: u64) -> (u32, ValueId) {
+    ((e >> 32) as u32, ValueId(e as u32))
+}
+
+impl GreedyLink {
+    /// New empty GL frontier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of (possibly stale) heap entries — diagnostics only.
+    pub fn heap_len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+impl SelectionPolicy for GreedyLink {
+    fn name(&self) -> &'static str {
+        "greedy-link"
+    }
+
+    fn on_discovered(&mut self, state: &CrawlState, v: ValueId) {
+        self.heap.push(pack(state.local.degree(v), v));
+    }
+
+    fn on_query_done(&mut self, state: &CrawlState, _v: ValueId, outcome: &QueryOutcome) {
+        for &v in &outcome.touched_values {
+            if state.status_of(v) == CandStatus::Frontier {
+                self.heap.push(pack(state.local.degree(v), v));
+            }
+        }
+    }
+
+    fn select(&mut self, state: &CrawlState) -> Option<ValueId> {
+        while let Some(e) = self.heap.pop() {
+            let (stored_degree, v) = unpack(e);
+            if state.status_of(v) != CandStatus::Frontier {
+                continue; // already queried (or never selectable)
+            }
+            if stored_degree != state.local.degree(v) {
+                continue; // stale — a fresher entry exists further up
+            }
+            return Some(v);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_model::AttrId;
+
+    /// Builds a state where values have controlled local degrees by inserting
+    /// records into DB_local directly.
+    fn seeded_state() -> (CrawlState, Vec<ValueId>) {
+        let mut st = CrawlState::new(vec!["A".into()], vec![true], 10);
+        let ids: Vec<ValueId> = ["hub", "mid", "leaf", "solo"]
+            .iter()
+            .map(|s| {
+                let id = st.intern(AttrId(0), s);
+                st.status[id.index()] = CandStatus::Frontier;
+                id
+            })
+            .collect();
+        // hub co-occurs with mid, leaf and two extra values; mid with hub and
+        // leaf; leaf with hub and mid; solo with nothing.
+        let extra1 = st.intern(AttrId(0), "x1");
+        let extra2 = st.intern(AttrId(0), "x2");
+        st.local.insert(1, vec![ids[0], ids[1], ids[2]]);
+        st.local.insert(2, vec![ids[0], extra1]);
+        st.local.insert(3, vec![ids[0], extra2]);
+        st.local.insert(4, vec![ids[3]]);
+        (st, ids)
+    }
+
+    #[test]
+    fn selects_highest_degree_first() {
+        let (st, ids) = seeded_state();
+        let mut p = GreedyLink::new();
+        for &v in &ids {
+            p.on_discovered(&st, v);
+        }
+        // Degrees: hub 4, mid 2, leaf 2, solo 0.
+        assert_eq!(p.select(&st), Some(ids[0]));
+    }
+
+    #[test]
+    fn degree_updates_are_respected_via_touched_values() {
+        let (mut st, ids) = seeded_state();
+        let mut p = GreedyLink::new();
+        for &v in &ids {
+            p.on_discovered(&st, v);
+        }
+        // "solo" suddenly becomes the biggest hub.
+        let extras: Vec<ValueId> = (0..6).map(|i| st.intern(AttrId(0), &format!("y{i}"))).collect();
+        let mut rec = vec![ids[3]];
+        rec.extend(&extras);
+        st.local.insert(99, rec);
+        let outcome = QueryOutcome { touched_values: vec![ids[3]], ..Default::default() };
+        p.on_query_done(&st, ids[0], &outcome);
+        assert_eq!(st.local.degree(ids[3]), 6);
+        assert_eq!(p.select(&st), Some(ids[3]), "fresh degree must win");
+    }
+
+    #[test]
+    fn stale_entries_are_discarded() {
+        let (mut st, ids) = seeded_state();
+        let mut p = GreedyLink::new();
+        for &v in &ids {
+            p.on_discovered(&st, v);
+        }
+        // Bump mid's degree without telling the policy: the old entry for
+        // mid is now stale; after re-pushing via on_query_done the policy
+        // must not return mid twice.
+        let e = st.intern(AttrId(0), "z");
+        st.local.insert(50, vec![ids[1], e]);
+        let outcome = QueryOutcome { touched_values: vec![ids[1]], ..Default::default() };
+        p.on_query_done(&st, ids[0], &outcome);
+        let mut seen = std::collections::HashSet::new();
+        while let Some(v) = p.select(&st) {
+            assert!(seen.insert(v), "value {v} selected twice");
+            st.status[v.index()] = CandStatus::Queried;
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn exhausted_frontier_returns_none() {
+        let (st, _) = seeded_state();
+        let mut p = GreedyLink::new();
+        assert_eq!(p.select(&st), None);
+    }
+
+    #[test]
+    fn queried_values_never_returned() {
+        let (mut st, ids) = seeded_state();
+        let mut p = GreedyLink::new();
+        for &v in &ids {
+            p.on_discovered(&st, v);
+        }
+        st.status[ids[0].index()] = CandStatus::Queried;
+        let got = p.select(&st);
+        assert!(got == Some(ids[1]) || got == Some(ids[2]), "got {got:?}");
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let (d, v) = unpack(pack(12345, ValueId(678)));
+        assert_eq!((d, v), (12345, ValueId(678)));
+    }
+}

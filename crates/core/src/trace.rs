@@ -1,0 +1,147 @@
+//! Crawl traces: (communication rounds, queries, records) time series.
+//!
+//! The paper's figures are read off exactly such series: Figure 3 plots
+//! rounds needed to reach coverage checkpoints; Figures 5–6 plot coverage
+//! snapshots every 1,000 rounds. [`CrawlTrace`] records one point per
+//! completed query and answers both kinds of lookup.
+
+/// One point of a crawl trace, taken after a query completed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TracePoint {
+    /// Cumulative communication rounds (result-page requests).
+    pub rounds: u64,
+    /// Cumulative queries issued.
+    pub queries: u64,
+    /// Records harvested so far (`|DB_local|`).
+    pub records: u64,
+}
+
+/// A monotone series of [`TracePoint`]s.
+#[derive(Debug, Clone, Default)]
+pub struct CrawlTrace {
+    points: Vec<TracePoint>,
+}
+
+impl CrawlTrace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point; rounds/queries/records must be non-decreasing.
+    pub fn push(&mut self, p: TracePoint) {
+        if let Some(last) = self.points.last() {
+            debug_assert!(
+                p.rounds >= last.rounds && p.queries >= last.queries && p.records >= last.records,
+                "trace must be monotone"
+            );
+        }
+        self.points.push(p);
+    }
+
+    /// All recorded points.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// The last point, if any.
+    pub fn last(&self) -> Option<TracePoint> {
+        self.points.last().copied()
+    }
+
+    /// Communication rounds needed to first reach `coverage` of
+    /// `target_size` records (Figure 3's y-axis). `None` if never reached.
+    pub fn rounds_to_coverage(&self, coverage: f64, target_size: usize) -> Option<u64> {
+        let needed = (coverage * target_size as f64).ceil() as u64;
+        self.points.iter().find(|p| p.records >= needed).map(|p| p.rounds)
+    }
+
+    /// Records harvested by the time `rounds` communication rounds were
+    /// spent (Figures 5–6's snapshot reads): the last point with
+    /// `p.rounds ≤ rounds`.
+    pub fn records_at_rounds(&self, rounds: u64) -> u64 {
+        match self.points.partition_point(|p| p.rounds <= rounds) {
+            0 => 0,
+            i => self.points[i - 1].records,
+        }
+    }
+
+    /// Coverage at a round budget, given the (possibly estimated) target size.
+    pub fn coverage_at_rounds(&self, rounds: u64, target_size: usize) -> f64 {
+        if target_size == 0 {
+            return 0.0;
+        }
+        self.records_at_rounds(rounds) as f64 / target_size as f64
+    }
+
+    /// Exports the trace as CSV (`rounds,queries,records` with a header) —
+    /// ready for plotting the paper's figures from a real crawl.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::with_capacity(32 + self.points.len() * 24);
+        out.push_str("rounds,queries,records\n");
+        for p in &self.points {
+            out.push_str(&format!("{},{},{}\n", p.rounds, p.queries, p.records));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_trace() -> CrawlTrace {
+        let mut t = CrawlTrace::new();
+        t.push(TracePoint { rounds: 2, queries: 1, records: 15 });
+        t.push(TracePoint { rounds: 5, queries: 2, records: 40 });
+        t.push(TracePoint { rounds: 9, queries: 3, records: 70 });
+        t.push(TracePoint { rounds: 20, queries: 4, records: 90 });
+        t
+    }
+
+    #[test]
+    fn rounds_to_coverage_finds_first_crossing() {
+        let t = demo_trace();
+        assert_eq!(t.rounds_to_coverage(0.10, 100), Some(2));
+        assert_eq!(t.rounds_to_coverage(0.40, 100), Some(5));
+        assert_eq!(t.rounds_to_coverage(0.41, 100), Some(9));
+        assert_eq!(t.rounds_to_coverage(0.90, 100), Some(20));
+        assert_eq!(t.rounds_to_coverage(0.95, 100), None);
+    }
+
+    #[test]
+    fn records_at_rounds_takes_floor_point() {
+        let t = demo_trace();
+        assert_eq!(t.records_at_rounds(0), 0);
+        assert_eq!(t.records_at_rounds(2), 15);
+        assert_eq!(t.records_at_rounds(8), 40);
+        assert_eq!(t.records_at_rounds(9), 70);
+        assert_eq!(t.records_at_rounds(1000), 90);
+    }
+
+    #[test]
+    fn coverage_at_rounds_scales() {
+        let t = demo_trace();
+        assert!((t.coverage_at_rounds(9, 100) - 0.7).abs() < 1e-12);
+        assert_eq!(t.coverage_at_rounds(9, 0), 0.0);
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let t = demo_trace();
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "rounds,queries,records");
+        assert_eq!(lines.len(), 5);
+        assert_eq!(lines[1], "2,1,15");
+        assert_eq!(lines[4], "20,4,90");
+    }
+
+    #[test]
+    fn last_and_points_accessors() {
+        let t = demo_trace();
+        assert_eq!(t.points().len(), 4);
+        assert_eq!(t.last().unwrap().records, 90);
+        assert!(CrawlTrace::new().last().is_none());
+    }
+}

@@ -1,0 +1,37 @@
+//! Synthetic dataset generators standing in for the paper's real data.
+//!
+//! The paper evaluates on four real datasets (eBay auctions, ACM Digital
+//! Library, DBLP, IMDB) and a real crawl of Amazon's DVD catalogue. None of
+//! those dumps are redistributable, so this crate implements *generative
+//! domain models* that reproduce the properties the paper's algorithms
+//! actually exploit:
+//!
+//! * **power-law value popularity** (Figure 2: AVG degree distributions are
+//!   "very close to power-law") via Zipf-sampled value pools,
+//! * **attribute-value dependency** (Section 3.3: "many authors often publish
+//!   papers together") via latent record communities that concentrate
+//!   co-occurrence,
+//! * **domain overlap** (Section 4: IMDB and Amazon DVD share a domain) via
+//!   paired sampling from one hidden model,
+//! * the paper-matched **interface schemas** of Table 2.
+//!
+//! Modules:
+//! * [`domain`] — the generic generative model ([`domain::DomainModel`]) and record
+//!   sampler,
+//! * [`presets`] — eBay / ACM / DBLP / IMDB presets at scalable sizes,
+//! * [`paired`] — target + domain-sample generation for the Amazon-DVD
+//!   experiments (Figures 5–6),
+//! * [`survey`] — the interface-capability model behind Table 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod domain;
+pub mod loader;
+pub mod paired;
+pub mod presets;
+pub mod survey;
+
+pub use domain::{AttrGen, AttrKind, DomainModel};
+pub use paired::{PairedDataset, PairedSpec};
+pub use survey::{DomainSurveySpec, SurveyOutcome};

@@ -1,0 +1,295 @@
+//! CSV import/export for universal tables.
+//!
+//! Lets a downstream user feed *their own* structured data to the crawler
+//! and simulator instead of the generated presets. The dialect is RFC-4180
+//! quoting plus two header conventions:
+//!
+//! * a trailing `*` on a header name marks the attribute **result-only**
+//!   (displayed in result pages, not queriable — Definition 2.2's `A_r∖A_q`),
+//! * a trailing `+` marks it **multi-valued**; its cells are split on `;`
+//!   (the paper concatenates multi-valued attributes like `Authors` into one
+//!   column — this is that column's inverse).
+//!
+//! ```text
+//! Title,Author+,Year*
+//! "Paper, the first",smith;jones,2004
+//! Second paper,lee,2005
+//! ```
+
+use dwc_model::{AttrId, AttrSpec, Schema, UniversalTable};
+
+/// Errors while parsing a CSV table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The input has no header row.
+    MissingHeader,
+    /// A quoted field never closes.
+    UnterminatedQuote {
+        /// 1-based line where the field started.
+        line: usize,
+    },
+    /// A data row has more fields than the header.
+    TooManyFields {
+        /// 1-based row number (header = 1).
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingHeader => write!(f, "CSV input has no header row"),
+            CsvError::UnterminatedQuote { line } => {
+                write!(f, "unterminated quoted field starting on line {line}")
+            }
+            CsvError::TooManyFields { row } => {
+                write!(f, "row {row} has more fields than the header")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Splits CSV text into rows of fields (RFC-4180 quoting: `"` wraps fields,
+/// `""` escapes a quote, newlines allowed inside quotes).
+fn parse_rows(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
+    let mut rows = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = text.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut quote_start_line = 1usize;
+    let mut any = false;
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    line += 1;
+                    field.push('\n');
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                quote_start_line = line;
+            }
+            ',' => {
+                row.push(std::mem::take(&mut field));
+            }
+            '\r' => {}
+            '\n' => {
+                line += 1;
+                row.push(std::mem::take(&mut field));
+                rows.push(std::mem::take(&mut row));
+            }
+            _ => field.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(CsvError::UnterminatedQuote { line: quote_start_line });
+    }
+    if any && (!field.is_empty() || !row.is_empty()) {
+        row.push(field);
+        rows.push(row);
+    }
+    Ok(rows)
+}
+
+/// Quotes a field when needed.
+fn quote(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains(';') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+/// Parses a CSV document into a universal table (see module docs for the
+/// header conventions). Empty cells contribute no value.
+pub fn load_csv(text: &str) -> Result<UniversalTable, CsvError> {
+    let rows = parse_rows(text)?;
+    let Some(header) = rows.first() else { return Err(CsvError::MissingHeader) };
+    if header.is_empty() || header.iter().all(|h| h.is_empty()) {
+        return Err(CsvError::MissingHeader);
+    }
+    let mut specs = Vec::with_capacity(header.len());
+    let mut multi = Vec::with_capacity(header.len());
+    for raw in header {
+        let (name, queriable, is_multi) = match raw.as_str() {
+            s if s.ends_with('*') => (&s[..s.len() - 1], false, false),
+            s if s.ends_with('+') => (&s[..s.len() - 1], true, true),
+            s => (s, true, false),
+        };
+        specs.push(AttrSpec { name: name.to_owned(), queriable, multi_valued: is_multi });
+        multi.push(is_multi);
+    }
+    let mut table = UniversalTable::new(Schema::new(specs));
+    for (ri, row) in rows.iter().enumerate().skip(1) {
+        if row.len() > header.len() {
+            return Err(CsvError::TooManyFields { row: ri + 1 });
+        }
+        if row.iter().all(|c| c.is_empty()) {
+            continue;
+        }
+        let mut fields: Vec<(AttrId, &str)> = Vec::new();
+        for (ci, cell) in row.iter().enumerate() {
+            if cell.is_empty() {
+                continue;
+            }
+            let attr = AttrId(ci as u16);
+            if multi[ci] {
+                fields.extend(cell.split(';').filter(|p| !p.is_empty()).map(|p| (attr, p)));
+            } else {
+                fields.push((attr, cell.as_str()));
+            }
+        }
+        table.push_record_strs(fields);
+    }
+    Ok(table)
+}
+
+/// Serializes a universal table back to the CSV dialect. Multi-valued cells
+/// are joined on `;`; the header carries the `*`/`+` markers so the result
+/// re-loads with the identical schema.
+pub fn to_csv(table: &UniversalTable) -> String {
+    let schema = table.schema();
+    let mut out = String::new();
+    let header: Vec<String> = schema
+        .iter()
+        .map(|(_, spec)| {
+            let suffix = if spec.multi_valued {
+                "+"
+            } else if !spec.queriable {
+                "*"
+            } else {
+                ""
+            };
+            format!("{}{}", quote(&spec.name), suffix)
+        })
+        .collect();
+    out.push_str(&header.join(","));
+    out.push('\n');
+    for (_, rec) in table.iter() {
+        let mut cells: Vec<Vec<&str>> = vec![Vec::new(); schema.len()];
+        for &v in rec.values() {
+            let attr = table.interner().attr_of(v);
+            cells[attr.0 as usize].push(table.interner().value_str(v));
+        }
+        let row: Vec<String> = cells
+            .iter()
+            .map(|vals| {
+                if vals.len() <= 1 {
+                    vals.first().map(|s| quote(s)).unwrap_or_default()
+                } else {
+                    quote(&vals.join(";"))
+                }
+            })
+            .collect();
+        out.push_str(&row.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "Title,Author+,Year*\n\"Paper, the first\",smith;jones,2004\nSecond paper,lee,2005\n";
+
+    #[test]
+    fn loads_schema_conventions() {
+        let t = load_csv(SAMPLE).unwrap();
+        assert_eq!(t.num_records(), 2);
+        let s = t.schema();
+        assert!(s.attr(AttrId(0)).queriable);
+        assert!(s.attr(AttrId(1)).multi_valued);
+        assert!(!s.attr(AttrId(2)).queriable, "Year* is result-only");
+        assert_eq!(s.attr(AttrId(0)).name, "Title");
+    }
+
+    #[test]
+    fn quoted_commas_and_multi_values() {
+        let t = load_csv(SAMPLE).unwrap();
+        assert!(t.interner().get(AttrId(0), "Paper, the first").is_some());
+        assert!(t.interner().get(AttrId(1), "smith").is_some());
+        assert!(t.interner().get(AttrId(1), "jones").is_some());
+        let rec0 = t.record(dwc_model::RecordId(0));
+        assert_eq!(rec0.len(), 4, "title + 2 authors + year");
+    }
+
+    #[test]
+    fn roundtrip_preserves_content() {
+        let t = load_csv(SAMPLE).unwrap();
+        let csv = to_csv(&t);
+        let t2 = load_csv(&csv).unwrap();
+        assert_eq!(t2.num_records(), t.num_records());
+        assert_eq!(t2.schema(), t.schema());
+        for (id, rec) in t.iter() {
+            let strs: Vec<(u16, &str)> = rec
+                .values()
+                .iter()
+                .map(|&v| (t.interner().attr_of(v).0, t.interner().value_str(v)))
+                .collect();
+            let rec2 = t2.record(id);
+            let strs2: Vec<(u16, &str)> = rec2
+                .values()
+                .iter()
+                .map(|&v| (t2.interner().attr_of(v).0, t2.interner().value_str(v)))
+                .collect();
+            let (mut a, mut b) = (strs.clone(), strs2.clone());
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn escaped_quotes_and_embedded_newlines() {
+        let csv = "A\n\"he said \"\"hi\"\"\"\n\"line1\nline2\"\n";
+        let t = load_csv(csv).unwrap();
+        assert!(t.interner().get(AttrId(0), "he said \"hi\"").is_some());
+        assert!(t.interner().get(AttrId(0), "line1\nline2").is_some());
+        // And back out again.
+        let t2 = load_csv(&to_csv(&t)).unwrap();
+        assert!(t2.interner().get(AttrId(0), "he said \"hi\"").is_some());
+    }
+
+    #[test]
+    fn empty_cells_and_rows_skipped() {
+        let csv = "A,B\nx,\n,\n,y\n";
+        let t = load_csv(csv).unwrap();
+        assert_eq!(t.num_records(), 2, "the all-empty row is skipped");
+        assert_eq!(t.record(dwc_model::RecordId(0)).len(), 1);
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(load_csv("").unwrap_err(), CsvError::MissingHeader);
+        assert!(matches!(load_csv("A\n\"oops"), Err(CsvError::UnterminatedQuote { .. })));
+        assert_eq!(load_csv("A\nx,y\n").unwrap_err(), CsvError::TooManyFields { row: 2 });
+    }
+
+    #[test]
+    fn generated_preset_roundtrips_through_csv() {
+        let t = crate::presets::Preset::Ebay.table(0.002, 3);
+        let csv = to_csv(&t);
+        let t2 = load_csv(&csv).unwrap();
+        assert_eq!(t2.num_records(), t.num_records());
+        assert_eq!(t2.num_distinct_values(), t.num_distinct_values());
+    }
+}

@@ -1,0 +1,208 @@
+//! Paired target / domain-sample generation for the domain-knowledge
+//! experiments (paper Figures 5 and 6).
+//!
+//! Section 4 of the paper crawls the Amazon DVD database using a domain
+//! statistics table built from IMDB — two sources from the same movie domain.
+//! Here both are drawn from one hidden [`crate::domain::DomainModel`]:
+//!
+//! * the **sample** ("IMDB") is the full master generation;
+//! * the **target** ("Amazon DVD") re-draws most of its records from the
+//!   master (shared attribute values, similar distribution) and generates the
+//!   rest fresh from the model — fresh records carry values the domain table
+//!   has never seen, exercising the Δ_DM smoothing of equation 4.3.
+//!
+//! The paper's two domain tables are nested year subsets of IMDB — post-1960
+//! (DM I, 270k records) and post-1980 (DM II, 190k records) — reproduced by
+//! [`subset_by_min_year`].
+
+use crate::domain::record_year;
+use crate::presets::Preset;
+use dwc_model::{AttrId, UniversalTable};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a paired generation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PairedSpec {
+    /// Scale factor: 1.0 gives the paper's sizes (sample 400k, target ≈35k).
+    pub scale: f64,
+    /// Fraction of target records copied from the master (the rest are fresh
+    /// draws from the hidden model). The paper's Amazon/IMDB overlap is high;
+    /// 0.8 is the default.
+    pub overlap: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PairedSpec {
+    fn default() -> Self {
+        PairedSpec { scale: 1.0, overlap: 0.8, seed: 0x1CDE_2006 }
+    }
+}
+
+/// A generated (sample, target) pair from one hidden domain model.
+#[derive(Debug, Clone)]
+pub struct PairedDataset {
+    /// The domain sample source ("IMDB") used to build domain tables.
+    pub sample: UniversalTable,
+    /// The crawl target ("Amazon DVD").
+    pub target: UniversalTable,
+}
+
+impl PairedDataset {
+    /// Size of the target at scale 1 (the paper estimates the Amazon DVD
+    /// database at just under 37,000 records).
+    pub const BASE_TARGET_RECORDS: usize = 35_000;
+
+    /// Generates the pair.
+    pub fn generate(spec: PairedSpec) -> Self {
+        assert!(spec.scale > 0.0 && spec.scale <= 1.0, "scale must be in (0, 1]");
+        assert!((0.0..=1.0).contains(&spec.overlap), "overlap must be a probability");
+        let model = Preset::Imdb.model(spec.scale);
+        let n_sample =
+            ((Preset::Imdb.base_records() as f64 * spec.scale).round() as usize).max(64);
+        let n_target =
+            ((Self::BASE_TARGET_RECORDS as f64 * spec.scale).round() as usize).max(16);
+        let sample = model.generate(n_sample, spec.seed);
+        // Fresh records come from the same hidden model but a different
+        // stream, so some of their values fall outside the sample.
+        let fresh_pool = model.generate(n_target, spec.seed.wrapping_add(0x9E37_79B9));
+        let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_add(1));
+        let mut target = UniversalTable::new(model.schema());
+        let mut fresh_cursor = 0usize;
+        for _ in 0..n_target {
+            let source_rec = if rng.gen::<f64>() < spec.overlap {
+                let i = rng.gen_range(0..n_sample);
+                (&sample, dwc_model::RecordId(i as u32))
+            } else {
+                let i = fresh_cursor.min(fresh_pool.num_records() - 1);
+                fresh_cursor += 1;
+                (&fresh_pool, dwc_model::RecordId(i as u32))
+            };
+            let (src_table, rid) = source_rec;
+            let fields: Vec<(AttrId, &str)> = src_table
+                .record(rid)
+                .values()
+                .iter()
+                .map(|&v| (src_table.interner().attr_of(v), src_table.interner().value_str(v)))
+                .collect();
+            target.push_record_strs(fields);
+        }
+        PairedDataset { sample, target }
+    }
+}
+
+/// Builds the sub-table of `table` containing only the records whose `Year`
+/// attribute value is `≥ min_year` — the construction behind DM(I) (post-1960)
+/// and DM(II) (post-1980).
+///
+/// # Panics
+/// Panics if the table has no `Year` attribute.
+pub fn subset_by_min_year(table: &UniversalTable, min_year: u32) -> UniversalTable {
+    let year_attr = table
+        .schema()
+        .attr_by_name("Year")
+        .expect("subset_by_min_year requires a Year attribute");
+    let mut out = UniversalTable::new(table.schema().clone());
+    for (_, rec) in table.iter() {
+        match record_year(table, rec, year_attr) {
+            Some(y) if y >= min_year => {
+                let fields: Vec<(AttrId, &str)> = rec
+                    .values()
+                    .iter()
+                    .map(|&v| (table.interner().attr_of(v), table.interner().value_str(v)))
+                    .collect();
+                out.push_record_strs(fields);
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_pair() -> PairedDataset {
+        PairedDataset::generate(PairedSpec { scale: 0.01, overlap: 0.8, seed: 42 })
+    }
+
+    #[test]
+    fn sizes_scale() {
+        let p = small_pair();
+        assert_eq!(p.sample.num_records(), 4_000);
+        assert_eq!(p.target.num_records(), 350);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_pair();
+        let b = small_pair();
+        assert_eq!(a.target.num_distinct_values(), b.target.num_distinct_values());
+        for (id, r) in a.target.iter() {
+            let ra: Vec<&str> =
+                r.values().iter().map(|&v| a.target.interner().value_str(v)).collect();
+            let rb: Vec<&str> = b
+                .target
+                .record(id)
+                .values()
+                .iter()
+                .map(|&v| b.target.interner().value_str(v)).collect();
+            assert_eq!(ra, rb);
+        }
+    }
+
+    #[test]
+    fn target_values_mostly_present_in_sample() {
+        let p = small_pair();
+        let mut hits = 0usize;
+        let mut total = 0usize;
+        for (_, rec) in p.target.iter() {
+            for &v in rec.values() {
+                total += 1;
+                let attr = p.target.interner().attr_of(v);
+                let s = p.target.interner().value_str(v);
+                if p.sample.interner().get(attr, s).is_some() {
+                    hits += 1;
+                }
+            }
+        }
+        let hit_rate = hits as f64 / total as f64;
+        assert!(hit_rate > 0.75, "domain hit rate {hit_rate} too low for overlap 0.8");
+        assert!(hit_rate < 1.0, "some fresh values must be absent from the sample");
+    }
+
+    #[test]
+    fn year_subsets_nest_and_shrink() {
+        let p = small_pair();
+        let dm1 = subset_by_min_year(&p.sample, 1960);
+        let dm2 = subset_by_min_year(&p.sample, 1980);
+        assert!(dm1.num_records() > dm2.num_records());
+        assert!(dm1.num_records() < p.sample.num_records());
+        // Paper proportions: post-1960 ≈ 2/3, post-1980 ≈ 1/2 of all records.
+        let f1 = dm1.num_records() as f64 / p.sample.num_records() as f64;
+        let f2 = dm2.num_records() as f64 / p.sample.num_records() as f64;
+        assert!(f1 > 0.6 && f1 < 0.9, "post-1960 fraction {f1}");
+        assert!(f2 > 0.35 && f2 < 0.65, "post-1980 fraction {f2}");
+    }
+
+    #[test]
+    fn subset_preserves_schema() {
+        let p = small_pair();
+        let dm = subset_by_min_year(&p.sample, 1980);
+        assert_eq!(dm.schema(), p.sample.schema());
+        let year_attr = dm.schema().attr_by_name("Year").unwrap();
+        for (_, rec) in dm.iter() {
+            let y = record_year(&dm, rec, year_attr).unwrap();
+            assert!(y >= 1980);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "Year attribute")]
+    fn subset_requires_year_attribute() {
+        let t = dwc_model::fixtures::figure1_table();
+        let _ = subset_by_min_year(&t, 1980);
+    }
+}

@@ -1,0 +1,210 @@
+//! The four controlled datasets of the paper's Section 5, as scalable
+//! generative presets.
+//!
+//! | Paper dataset | Records | Queriable attributes (Table 2) | Distinct values |
+//! |---|---|---|---|
+//! | eBay auctions ('01) | 20,000 | Categories, Seller, Location, Price | 22,950 |
+//! | ACM Digital Library | 150,000 | Title, Conference, Journal, Author, Subject keywords | 370,416 |
+//! | DBLP | 500,000 | Title, Conference, Journal, Author, Volume | 860,293 |
+//! | IMDB | 400,000 | Actor, Actress, Director, Editor, Producer, Costumer, Composer, Photographer, Language, Company, Release Location | 1,225,895 |
+//!
+//! `scale = 1.0` reproduces the paper's record counts; smaller scales shrink
+//! records and value pools proportionally so density, connectivity and degree
+//! shape are preserved. Every preset is deterministic in `(scale, seed)`.
+
+use crate::domain::{AttrGen, DomainModel};
+use dwc_model::UniversalTable;
+
+/// The four controlled datasets of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Preset {
+    /// eBay auction items (20k records at scale 1).
+    Ebay,
+    /// ACM Digital Library (150k records at scale 1).
+    Acm,
+    /// DBLP (500k records at scale 1).
+    Dblp,
+    /// Internet Movie Database (400k records at scale 1).
+    Imdb,
+}
+
+impl Preset {
+    /// All four presets, in the paper's order.
+    pub const ALL: [Preset; 4] = [Preset::Ebay, Preset::Acm, Preset::Dblp, Preset::Imdb];
+
+    /// Dataset label as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Ebay => "eBay",
+            Preset::Acm => "ACM Digital Library",
+            Preset::Dblp => "DBLP",
+            Preset::Imdb => "IMDB",
+        }
+    }
+
+    /// Paper record count at scale 1.
+    pub fn base_records(self) -> usize {
+        match self {
+            Preset::Ebay => 20_000,
+            Preset::Acm => 150_000,
+            Preset::Dblp => 500_000,
+            Preset::Imdb => 400_000,
+        }
+    }
+
+    /// Paper-reported distinct attribute-value count (Table 2), for the
+    /// paper-vs-ours comparison printed by the Table 2 harness.
+    pub fn paper_distinct_values(self) -> usize {
+        match self {
+            Preset::Ebay => 22_950,
+            Preset::Acm => 370_416,
+            Preset::Dblp => 860_293,
+            Preset::Imdb => 1_225_895,
+        }
+    }
+
+    /// The generative model at the given scale.
+    pub fn model(self, scale: f64) -> DomainModel {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        let s = |base: usize| ((base as f64 * scale).round() as usize).max(8);
+        match self {
+            // Auction listings cluster hard: a seller lists many items in the
+            // same category, from the same location, at similar prices. The
+            // strong grouping reproduces the attribute-value dependency that
+            // §3.3 observes in real data ("many authors often publish papers
+            // together") and that the MMMI experiments (Figure 4) rely on.
+            Preset::Ebay => DomainModel {
+                name: "eBay".into(),
+                attrs: vec![
+                    // Categories are global hubs (a handful of categories
+                    // span much of the site) — the structure the greedy
+                    // link-based crawler exploits in Figure 3.
+                    AttrGen::grouped("Categories", s(2_500), 1.15, 1, 1, 4, 0.35),
+                    // Sellers and locations cluster hard within communities —
+                    // the §3.3 attribute-value dependency behind Figure 4.
+                    AttrGen::grouped("Seller", s(14_000), 0.85, 1, 1, 8, 0.95),
+                    AttrGen::grouped("Location", s(5_500), 0.95, 1, 1, 10, 0.85),
+                    AttrGen::grouped("Price", s(1_000), 0.9, 1, 1, 4, 0.6),
+                ],
+                communities: s(600),
+                community_exponent: 0.8,
+            },
+            Preset::Acm => DomainModel {
+                name: "ACM Digital Library".into(),
+                attrs: vec![
+                    AttrGen::unique("Title"),
+                    AttrGen::categorical("Conference", s(2_000), 1.0).optional(),
+                    AttrGen::categorical("Journal", s(800), 1.0).optional(),
+                    AttrGen::grouped("Author", s(300_000), 0.8, 1, 4, 10, 0.65),
+                    AttrGen::grouped("Subject keywords", s(12_000), 1.0, 1, 4, 12, 0.4),
+                ],
+                communities: s(6_000),
+                community_exponent: 0.85,
+            },
+            Preset::Dblp => DomainModel {
+                name: "DBLP".into(),
+                attrs: vec![
+                    AttrGen::unique("Title"),
+                    AttrGen::categorical("Conference", s(4_000), 1.0).optional(),
+                    AttrGen::categorical("Journal", s(1_500), 1.0).optional(),
+                    AttrGen::grouped("Author", s(550_000), 0.8, 1, 4, 10, 0.65),
+                    AttrGen::categorical("Volume", s(600), 0.9),
+                ],
+                communities: s(20_000),
+                community_exponent: 0.85,
+            },
+            Preset::Imdb => DomainModel {
+                name: "IMDB".into(),
+                attrs: vec![
+                    AttrGen::grouped("Actor", s(900_000), 0.75, 1, 5, 20, 0.6),
+                    AttrGen::grouped("Actress", s(500_000), 0.75, 0, 3, 20, 0.6),
+                    AttrGen::grouped("Director", s(200_000), 0.8, 1, 1, 5, 0.5),
+                    AttrGen::categorical("Editor", s(100_000), 0.8).optional(),
+                    AttrGen::grouped("Producer", s(150_000), 0.8, 0, 2, 5, 0.4),
+                    AttrGen::categorical("Costumer", s(60_000), 0.8).optional(),
+                    AttrGen::categorical("Composer", s(50_000), 0.85).optional(),
+                    AttrGen::categorical("Photographer", s(70_000), 0.8).optional(),
+                    AttrGen::categorical("Language", 150.max(s(150)), 1.1),
+                    AttrGen::categorical("Company", s(80_000), 0.9).optional(),
+                    AttrGen::categorical("Release Location", 300.max(s(300)), 1.0),
+                    AttrGen::year("Year", 1920, 2005),
+                ],
+                communities: s(15_000),
+                community_exponent: 0.85,
+            },
+        }
+    }
+
+    /// Generates the dataset at `scale` with the given seed.
+    pub fn table(self, scale: f64, seed: u64) -> UniversalTable {
+        let records = ((self.base_records() as f64 * scale).round() as usize).max(16);
+        self.model(scale).generate(records, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_model::components::Connectivity;
+
+    #[test]
+    fn all_presets_generate_at_small_scale() {
+        for p in Preset::ALL {
+            let t = p.table(0.01, 1);
+            assert!(t.num_records() > 0, "{} empty", p.name());
+            assert!(t.num_distinct_values() > 0);
+        }
+    }
+
+    #[test]
+    fn record_counts_scale() {
+        let t = Preset::Ebay.table(0.1, 1);
+        assert_eq!(t.num_records(), 2_000);
+        let t = Preset::Dblp.table(0.01, 1);
+        assert_eq!(t.num_records(), 5_000);
+    }
+
+    #[test]
+    fn presets_are_well_connected_like_the_paper() {
+        // Section 5: "99% of all the records are connected".
+        for p in [Preset::Ebay, Preset::Acm] {
+            let t = p.table(0.05, 3);
+            let c = Connectivity::analyze(&t);
+            assert!(
+                c.largest_component_coverage() > 0.99,
+                "{} coverage {}",
+                p.name(),
+                c.largest_component_coverage()
+            );
+        }
+    }
+
+    #[test]
+    fn distinct_value_ratio_roughly_matches_table2() {
+        // Table 2 ratio for eBay: 22,950 / 20,000 ≈ 1.15 values per record.
+        // At small scale we accept a generous band; the Table 2 harness
+        // reports exact realized numbers.
+        let t = Preset::Ebay.table(0.1, 7);
+        let ratio = t.num_distinct_values() as f64 / t.num_records() as f64;
+        assert!(ratio > 0.4 && ratio < 3.0, "eBay ratio {ratio}");
+        // DBLP ratio: 860,293 / 500,000 ≈ 1.7.
+        let t = Preset::Dblp.table(0.02, 7);
+        let ratio = t.num_distinct_values() as f64 / t.num_records() as f64;
+        assert!(ratio > 0.8 && ratio < 3.5, "DBLP ratio {ratio}");
+    }
+
+    #[test]
+    fn imdb_year_is_result_only() {
+        let t = Preset::Imdb.table(0.005, 1);
+        let year = t.schema().attr_by_name("Year").unwrap();
+        assert!(!t.schema().attr(year).queriable);
+        // Exactly the 11 Table 2 attributes are queriable.
+        assert_eq!(t.schema().queriable_attrs().len(), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn zero_scale_rejected() {
+        let _ = Preset::Ebay.model(0.0);
+    }
+}

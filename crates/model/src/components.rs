@@ -1,0 +1,197 @@
+//! Connectivity analysis of structured web databases.
+//!
+//! Section 5 of the paper checks that its controlled databases are "well
+//! connected": starting from any record, 99% of all records are reachable
+//! within finitely many queries. Section 4 motivates domain knowledge partly
+//! by "data islands" — components unreachable from the seed values.
+//!
+//! Connectivity is computed on the record–value incidence structure with a
+//! union–find: all values of a record are unioned together (cost `O(Σ|r|·α)`),
+//! which yields exactly the connected components of the AVG without
+//! materializing its edges.
+
+use crate::interner::ValueId;
+use crate::table::{RecordId, UniversalTable};
+
+/// Union–find (disjoint set union) over dense `u32` ids.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    /// `n` singleton sets `0..n`.
+    pub fn new(n: usize) -> Self {
+        UnionFind { parent: (0..n as u32).collect(), rank: vec![0; n] }
+    }
+
+    /// Representative of `x`'s set, with path halving.
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grandparent = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grandparent;
+            x = grandparent;
+        }
+        x
+    }
+
+    /// Unions the sets of `a` and `b`; returns `true` if they were separate.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] { (ra, rb) } else { (rb, ra) };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        true
+    }
+
+    /// Whether `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+}
+
+/// Result of analyzing the connectivity of a database's AVG.
+#[derive(Debug, Clone)]
+pub struct Connectivity {
+    uf: UnionFind,
+    /// Component representative for each record (via its first value).
+    record_root: Vec<u32>,
+    /// Records per component root.
+    component_records: std::collections::HashMap<u32, u32>,
+    num_records: usize,
+}
+
+impl Connectivity {
+    /// Analyzes a table: unions all values within each record.
+    pub fn analyze(table: &UniversalTable) -> Self {
+        let mut uf = UnionFind::new(table.num_distinct_values());
+        for (_, rec) in table.iter() {
+            let vals = rec.values();
+            for w in vals.windows(2) {
+                uf.union(w[0].0, w[1].0);
+            }
+        }
+        let mut record_root = Vec::with_capacity(table.num_records());
+        let mut component_records = std::collections::HashMap::new();
+        for (_, rec) in table.iter() {
+            let root = match rec.values().first() {
+                Some(v) => uf.find(v.0),
+                None => u32::MAX, // empty record: its own island
+            };
+            record_root.push(root);
+            *component_records.entry(root).or_insert(0u32) += 1;
+        }
+        Connectivity { uf, record_root, component_records, num_records: table.num_records() }
+    }
+
+    /// Number of connected components that contain at least one record.
+    pub fn num_components(&self) -> usize {
+        self.component_records.len()
+    }
+
+    /// Fraction of records in the largest component.
+    ///
+    /// The paper's "well connected" claim is `largest_component_coverage() ≥ 0.99`.
+    pub fn largest_component_coverage(&self) -> f64 {
+        if self.num_records == 0 {
+            return 0.0;
+        }
+        let max = self.component_records.values().copied().max().unwrap_or(0);
+        max as f64 / self.num_records as f64
+    }
+
+    /// Fraction of records reachable from the given seed values — the
+    /// *coverage convergence* of a crawl started at those seeds (Section 1:
+    /// "the ultimate database coverage ... is predetermined by the seed
+    /// values").
+    pub fn reachable_coverage(&mut self, seeds: &[ValueId]) -> f64 {
+        if self.num_records == 0 {
+            return 0.0;
+        }
+        let roots: Vec<u32> = {
+            let uf = &mut self.uf;
+            seeds.iter().map(|s| uf.find(s.0)).collect()
+        };
+        let mut count = 0usize;
+        for &r in &self.record_root {
+            if r != u32::MAX && roots.contains(&r) {
+                count += 1;
+            }
+        }
+        count as f64 / self.num_records as f64
+    }
+
+    /// Whether a record is reachable from a seed value.
+    pub fn record_reachable_from(&mut self, record: RecordId, seed: ValueId) -> bool {
+        let root = self.record_root[record.index()];
+        root != u32::MAX && self.uf.find(seed.0) == self.uf.find(root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{figure1_schema, figure1_table};
+    use crate::interner::AttrId;
+
+    #[test]
+    fn union_find_basics() {
+        let mut uf = UnionFind::new(5);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(1, 2));
+        assert!(!uf.union(0, 2), "already joined");
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn figure1_is_one_component() {
+        let t = figure1_table();
+        let mut c = Connectivity::analyze(&t);
+        assert_eq!(c.num_components(), 1);
+        assert_eq!(c.largest_component_coverage(), 1.0);
+        let a2 = t.interner().get(AttrId(0), "a2").unwrap();
+        assert_eq!(c.reachable_coverage(&[a2]), 1.0);
+    }
+
+    #[test]
+    fn data_islands_detected() {
+        let mut t = figure1_table();
+        // An island: two records sharing values with each other but nothing else.
+        t.push_record_strs([(AttrId(0), "x1"), (AttrId(1), "y1")]);
+        t.push_record_strs([(AttrId(0), "x1"), (AttrId(1), "y2")]);
+        let mut c = Connectivity::analyze(&t);
+        assert_eq!(c.num_components(), 2);
+        assert!((c.largest_component_coverage() - 5.0 / 7.0).abs() < 1e-12);
+        let a2 = t.interner().get(AttrId(0), "a2").unwrap();
+        let x1 = t.interner().get(AttrId(0), "x1").unwrap();
+        assert!((c.reachable_coverage(&[a2]) - 5.0 / 7.0).abs() < 1e-12);
+        // Seeding both components reaches everything.
+        assert_eq!(c.reachable_coverage(&[a2, x1]), 1.0);
+    }
+
+    #[test]
+    fn record_reachability() {
+        let mut t = figure1_table();
+        t.push_record_strs([(AttrId(0), "x1"), (AttrId(1), "y1")]);
+        let mut c = Connectivity::analyze(&t);
+        let a2 = t.interner().get(AttrId(0), "a2").unwrap();
+        assert!(c.record_reachable_from(RecordId(0), a2));
+        assert!(!c.record_reachable_from(RecordId(5), a2));
+    }
+
+    #[test]
+    fn empty_table() {
+        let t = crate::table::UniversalTable::new(figure1_schema());
+        let mut c = Connectivity::analyze(&t);
+        assert_eq!(c.num_components(), 0);
+        assert_eq!(c.largest_component_coverage(), 0.0);
+        assert_eq!(c.reachable_coverage(&[]), 0.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Degree distributions of attribute-value graphs (paper Figure 2).
+//!
+//! Section 3.2 of the paper plots `log(frequency)` against `log(degree)` for
+//! the AVGs of DBLP, IMDB and the ACM Digital Library and observes a
+//! distribution "very close to power-law": a few hub values are extremely
+//! popular while "the massive many" are sparsely connected. This module
+//! computes the histogram, the log–log series, and a least-squares power-law
+//! exponent fit.
+
+use crate::graph::AvGraph;
+use dwc_stats::regression::{log_log_fit, LineFit};
+
+/// A degree histogram: `counts[d]` = number of vertices with degree `d`.
+#[derive(Debug, Clone)]
+pub struct DegreeDistribution {
+    counts: Vec<u32>,
+    num_vertices: usize,
+}
+
+impl DegreeDistribution {
+    /// Computes the degree histogram of a graph.
+    pub fn of_graph(g: &AvGraph) -> Self {
+        let mut counts: Vec<u32> = Vec::new();
+        for v in g.vertices() {
+            let d = g.degree(v);
+            if d >= counts.len() {
+                counts.resize(d + 1, 0);
+            }
+            counts[d] += 1;
+        }
+        DegreeDistribution { counts, num_vertices: g.num_vertices() }
+    }
+
+    /// Number of vertices with degree exactly `d`.
+    pub fn count(&self, d: usize) -> u32 {
+        self.counts.get(d).copied().unwrap_or(0)
+    }
+
+    /// Maximum degree observed.
+    pub fn max_degree(&self) -> usize {
+        self.counts.len().saturating_sub(1)
+    }
+
+    /// Mean degree.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices == 0 {
+            return 0.0;
+        }
+        let total: u64 = self.counts.iter().enumerate().map(|(d, &c)| d as u64 * c as u64).sum();
+        total as f64 / self.num_vertices as f64
+    }
+
+    /// `(degree, frequency)` points with `degree ≥ 1` and `frequency ≥ 1` —
+    /// the Figure 2 scatter before taking logs.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, &c)| c > 0)
+            .map(|(d, &c)| (d as f64, c as f64))
+            .collect()
+    }
+
+    /// Least-squares power-law fit of the positive-degree points:
+    /// `frequency ∝ degree^{slope}` (slope is negative for a power law).
+    ///
+    /// Returns `None` with fewer than two distinct positive degrees.
+    pub fn power_law_fit(&self) -> Option<LineFit> {
+        let pts = self.points();
+        let xs: Vec<f64> = pts.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pts.iter().map(|p| p.1).collect();
+        log_log_fit(&xs, &ys)
+    }
+
+    /// Log-binned `(degree, frequency)` series for plotting: degrees are
+    /// grouped into `bins_per_decade` logarithmic bins and frequencies summed,
+    /// which smooths the heavy tail exactly as Figure 2's axes imply.
+    pub fn log_binned(&self, bins_per_decade: usize) -> Vec<(f64, f64)> {
+        assert!(bins_per_decade > 0);
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        let mut bin_lo = 1.0f64;
+        let factor = 10f64.powf(1.0 / bins_per_decade as f64);
+        while bin_lo <= self.max_degree() as f64 {
+            let bin_hi = bin_lo * factor;
+            let mut freq = 0u64;
+            let lo = bin_lo.ceil() as usize;
+            let hi = (bin_hi.ceil() as usize).min(self.counts.len());
+            for d in lo..hi {
+                freq += self.counts[d] as u64;
+            }
+            if freq > 0 {
+                // Representative degree = geometric mean of the bin bounds.
+                out.push(((bin_lo * bin_hi).sqrt(), freq as f64));
+            }
+            bin_lo = bin_hi;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_table;
+    use crate::graph::AvGraph;
+    use crate::interner::AttrId;
+    use crate::schema::{AttrSpec, Schema};
+    use crate::table::UniversalTable;
+
+    #[test]
+    fn figure1_histogram() {
+        let g = AvGraph::from_table(&figure1_table());
+        let dd = DegreeDistribution::of_graph(&g);
+        // Degrees: a1:2 b1:2 c1:4 a2:4 b2:3 c2:5 b3:2 a3:2 b4:2.
+        assert_eq!(dd.count(2), 5);
+        assert_eq!(dd.count(3), 1);
+        assert_eq!(dd.count(4), 2);
+        assert_eq!(dd.count(5), 1);
+        assert_eq!(dd.count(1), 0);
+        assert_eq!(dd.max_degree(), 5);
+        assert!((dd.mean_degree() - 26.0 / 9.0).abs() < 1e-12);
+    }
+
+    /// A synthetic star-heavy table should produce a steep negative slope.
+    #[test]
+    fn power_law_fit_is_negative_on_hubby_graph() {
+        let schema = Schema::new(vec![AttrSpec::queriable("H"), AttrSpec::queriable("L")]);
+        let mut t = UniversalTable::new(schema);
+        // One hub value co-occurring with 200 leaves, pairwise-disjoint leaves.
+        for i in 0..200 {
+            t.push_record_strs([(AttrId(0), "hub"), (AttrId(1), &format!("leaf{i}"))]);
+        }
+        // Plus a sprinkle of medium-degree values.
+        for i in 0..20 {
+            for j in 0..5 {
+                t.push_record_strs([(AttrId(0), &format!("mid{i}")), (AttrId(1), &format!("mleaf{i}_{j}"))]);
+            }
+        }
+        let g = AvGraph::from_table(&t);
+        let dd = DegreeDistribution::of_graph(&g);
+        let fit = dd.power_law_fit().expect("enough points");
+        assert!(fit.slope < 0.0, "hub-dominated graph must have decreasing degree frequency");
+    }
+
+    #[test]
+    fn points_skip_zero_frequency_and_degree_zero() {
+        let g = AvGraph::from_table(&figure1_table());
+        let dd = DegreeDistribution::of_graph(&g);
+        let pts = dd.points();
+        assert!(pts.iter().all(|&(d, f)| d >= 1.0 && f >= 1.0));
+        assert_eq!(pts.len(), 4); // degrees 2, 3, 4, 5
+    }
+
+    #[test]
+    fn log_binning_conserves_mass() {
+        let g = AvGraph::from_table(&figure1_table());
+        let dd = DegreeDistribution::of_graph(&g);
+        let binned = dd.log_binned(4);
+        let total: f64 = binned.iter().map(|&(_, f)| f).sum();
+        assert_eq!(total, 9.0, "all 9 vertices have degree ≥ 1 in Figure 1");
+    }
+
+    #[test]
+    fn empty_graph_degenerates_gracefully() {
+        let t = UniversalTable::new(Schema::new(vec![AttrSpec::queriable("A")]));
+        let g = AvGraph::from_table(&t);
+        let dd = DegreeDistribution::of_graph(&g);
+        assert_eq!(dd.max_degree(), 0);
+        assert_eq!(dd.mean_degree(), 0.0);
+        assert!(dd.power_law_fit().is_none());
+    }
+}

@@ -1,0 +1,257 @@
+//! Weighted dominating sets (Definition 2.4).
+//!
+//! The paper shows that an optimal query-selection plan is a *Weighted
+//! Minimum Dominating Set* of the attribute-value graph: a vertex set `V'` of
+//! minimum total weight such that every other vertex is adjacent to some
+//! member of `V'`. The problem is NP-complete; a crawler additionally only
+//! ever sees a partial graph. This module provides:
+//!
+//! * [`greedy_weighted_dominating_set`] — the classic `ln Δ`-approximate
+//!   greedy (pick the vertex maximizing newly-dominated-count / weight),
+//!   which is the full-information analogue of the paper's greedy link-based
+//!   crawler;
+//! * [`exact_minimum_dominating_set`] — exhaustive search for tiny graphs,
+//!   used as a test oracle;
+//! * [`is_dominating_set`] — validity check.
+
+use crate::graph::AvGraph;
+use crate::interner::ValueId;
+
+/// Checks whether `set` dominates the graph: every vertex is in `set` or
+/// adjacent to a member of `set`.
+pub fn is_dominating_set(g: &AvGraph, set: &[ValueId]) -> bool {
+    let n = g.num_vertices();
+    if n == 0 {
+        return true;
+    }
+    let mut dominated = vec![false; n];
+    for &v in set {
+        dominated[v.index()] = true;
+        for &w in g.neighbors(v) {
+            dominated[w as usize] = true;
+        }
+    }
+    dominated.iter().all(|&d| d)
+}
+
+/// Total weight of a vertex set under `weight`.
+pub fn set_weight(set: &[ValueId], weight: impl Fn(ValueId) -> f64) -> f64 {
+    set.iter().map(|&v| weight(v)).sum()
+}
+
+/// Greedy weighted-dominating-set approximation.
+///
+/// Repeatedly selects the vertex with the best ratio of newly dominated
+/// vertices to weight, until all vertices are dominated. Runs in
+/// `O((V + E) log V)` with a lazy-priority rebuild. Guarantees the standard
+/// `H(Δ+1)` approximation factor of greedy set cover.
+///
+/// `weight` must be strictly positive for every vertex.
+pub fn greedy_weighted_dominating_set(g: &AvGraph, weight: impl Fn(ValueId) -> f64) -> Vec<ValueId> {
+    let n = g.num_vertices();
+    let mut dominated = vec![false; n];
+    let mut remaining = n;
+    let mut chosen = Vec::new();
+    // Lazy max-heap of (score, gain_at_push, vertex): stale entries are
+    // re-scored on pop.
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    #[derive(PartialEq)]
+    struct Entry {
+        score: f64,
+        vertex: u32,
+    }
+    impl Eq for Entry {}
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+    impl Ord for Entry {
+        fn cmp(&self, other: &Self) -> Ordering {
+            self.score.partial_cmp(&other.score).unwrap_or(Ordering::Equal)
+        }
+    }
+
+    let gain = |v: u32, dominated: &[bool], g: &AvGraph| -> usize {
+        let mut k = usize::from(!dominated[v as usize]);
+        for &w in g.neighbors(ValueId(v)) {
+            if !dominated[w as usize] {
+                k += 1;
+            }
+        }
+        k
+    };
+
+    let mut heap = BinaryHeap::with_capacity(n);
+    for v in 0..n as u32 {
+        let w = weight(ValueId(v));
+        assert!(w > 0.0, "vertex weights must be positive");
+        let k = 1 + g.degree(ValueId(v));
+        heap.push(Entry { score: k as f64 / w, vertex: v });
+    }
+
+    while remaining > 0 {
+        let top = heap.pop().expect("undominated vertices remain, so the heap cannot be empty");
+        let current_gain = gain(top.vertex, &dominated, g);
+        if current_gain == 0 {
+            continue;
+        }
+        let w = weight(ValueId(top.vertex));
+        let fresh = current_gain as f64 / w;
+        if let Some(next) = heap.peek() {
+            if fresh < next.score {
+                heap.push(Entry { score: fresh, vertex: top.vertex });
+                continue;
+            }
+        }
+        // Select it.
+        chosen.push(ValueId(top.vertex));
+        if !dominated[top.vertex as usize] {
+            dominated[top.vertex as usize] = true;
+            remaining -= 1;
+        }
+        for &nb in g.neighbors(ValueId(top.vertex)) {
+            if !dominated[nb as usize] {
+                dominated[nb as usize] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    chosen
+}
+
+/// Exact weighted minimum dominating set by exhaustive subset search.
+///
+/// Only usable for graphs with at most 24 vertices (it enumerates `2^n`
+/// subsets); intended purely as a test oracle for the greedy algorithm.
+///
+/// Returns `None` when the graph is too large.
+pub fn exact_minimum_dominating_set(
+    g: &AvGraph,
+    weight: impl Fn(ValueId) -> f64,
+) -> Option<Vec<ValueId>> {
+    let n = g.num_vertices();
+    if n > 24 {
+        return None;
+    }
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // Precompute closed-neighborhood bitmasks.
+    let masks: Vec<u32> = (0..n as u32)
+        .map(|v| {
+            let mut m = 1u32 << v;
+            for &w in g.neighbors(ValueId(v)) {
+                m |= 1 << w;
+            }
+            m
+        })
+        .collect();
+    let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+    let mut best: Option<(f64, u32)> = None;
+    for subset in 0..=full {
+        let mut covered = 0u32;
+        let mut wsum = 0.0;
+        let mut bits = subset;
+        while bits != 0 {
+            let v = bits.trailing_zeros();
+            covered |= masks[v as usize];
+            wsum += weight(ValueId(v));
+            bits &= bits - 1;
+        }
+        if covered == full {
+            match best {
+                Some((bw, _)) if bw <= wsum => {}
+                _ => best = Some((wsum, subset)),
+            }
+        }
+    }
+    best.map(|(_, subset)| {
+        (0..n as u32).filter(|v| subset & (1 << v) != 0).map(ValueId).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_table;
+    use crate::graph::AvGraph;
+
+    fn unit(_: ValueId) -> f64 {
+        1.0
+    }
+
+    #[test]
+    fn greedy_result_is_dominating() {
+        let g = AvGraph::from_table(&figure1_table());
+        let ds = greedy_weighted_dominating_set(&g, unit);
+        assert!(is_dominating_set(&g, &ds));
+    }
+
+    #[test]
+    fn figure1_minimum_is_two() {
+        let g = AvGraph::from_table(&figure1_table());
+        let exact = exact_minimum_dominating_set(&g, unit).unwrap();
+        // {c1, c2} dominates the whole Figure 1 graph.
+        assert_eq!(exact.len(), 2);
+        assert!(is_dominating_set(&g, &exact));
+        let greedy = greedy_weighted_dominating_set(&g, unit);
+        assert!(greedy.len() <= 3, "greedy within H(Δ+1) of 2 on this tiny graph");
+    }
+
+    #[test]
+    fn weights_steer_the_greedy_choice() {
+        let g = AvGraph::from_table(&figure1_table());
+        // Make the true hubs (c1, c2 = ids 2 and 5) enormously expensive.
+        let expensive_hubs =
+            |v: ValueId| if v == ValueId(2) || v == ValueId(5) { 1000.0 } else { 1.0 };
+        let ds = greedy_weighted_dominating_set(&g, expensive_hubs);
+        assert!(is_dominating_set(&g, &ds));
+        assert!(
+            !ds.contains(&ValueId(2)) && !ds.contains(&ValueId(5)),
+            "greedy must avoid the costly hubs: {ds:?}"
+        );
+    }
+
+    #[test]
+    fn empty_graph_has_empty_dominating_set() {
+        let t = crate::table::UniversalTable::new(crate::fixtures::figure1_schema());
+        let g = AvGraph::from_table(&t);
+        assert!(greedy_weighted_dominating_set(&g, unit).is_empty());
+        assert_eq!(exact_minimum_dominating_set(&g, unit), Some(vec![]));
+        assert!(is_dominating_set(&g, &[]));
+    }
+
+    #[test]
+    fn isolated_vertices_must_be_chosen() {
+        use crate::interner::AttrId;
+        use crate::schema::{AttrSpec, Schema};
+        let mut t = crate::table::UniversalTable::new(Schema::new(vec![AttrSpec::queriable("A")]));
+        t.push_record_strs([(AttrId(0), "lonely1")]);
+        t.push_record_strs([(AttrId(0), "lonely2")]);
+        let g = AvGraph::from_table(&t);
+        let ds = greedy_weighted_dominating_set(&g, unit);
+        assert_eq!(ds.len(), 2, "isolated vertices dominate only themselves");
+    }
+
+    #[test]
+    fn is_dominating_set_rejects_incomplete() {
+        let g = AvGraph::from_table(&figure1_table());
+        // a1 alone (id 0) only dominates itself, b1, c1.
+        assert!(!is_dominating_set(&g, &[ValueId(0)]));
+    }
+
+    #[test]
+    fn exact_rejects_large_graphs() {
+        use crate::interner::AttrId;
+        use crate::schema::{AttrSpec, Schema};
+        let mut t = crate::table::UniversalTable::new(Schema::new(vec![AttrSpec::queriable("A"), AttrSpec::queriable("B")]));
+        for i in 0..30 {
+            t.push_record_strs([(AttrId(0), &format!("x{i}")), (AttrId(1), &format!("y{i}"))]);
+        }
+        let g = AvGraph::from_table(&t);
+        assert!(exact_minimum_dominating_set(&g, unit).is_none());
+    }
+}

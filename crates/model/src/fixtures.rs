@@ -1,0 +1,49 @@
+//! Small shared fixtures, chiefly the Figure 1 example of the paper.
+//!
+//! Example 2.1 / Figure 1 of the paper shows a five-record relational table
+//! and its attribute-value graph; the quickstart example and many tests walk
+//! through exactly that instance.
+
+use crate::interner::AttrId;
+use crate::schema::{AttrSpec, Schema};
+use crate::table::UniversalTable;
+
+/// The three-attribute schema (`A`, `B`, `C`) of the Figure 1 example.
+pub fn figure1_schema() -> Schema {
+    Schema::new(vec![AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C")])
+}
+
+/// The Figure 1 example table:
+///
+/// | A  | B  | C  |
+/// |----|----|----|
+/// | a1 | b1 | c1 |
+/// | a2 | b2 | c1 |
+/// | a2 | b2 | c2 |
+/// | a2 | b3 | c2 |
+/// | a3 | b4 | c2 |
+///
+/// Nine distinct attribute values; starting from seed `a2` a crawler can reach
+/// the entire database (Example 2.1).
+pub fn figure1_table() -> UniversalTable {
+    let mut t = UniversalTable::new(figure1_schema());
+    let (a, b, c) = (AttrId(0), AttrId(1), AttrId(2));
+    t.push_record_strs([(a, "a1"), (b, "b1"), (c, "c1")]);
+    t.push_record_strs([(a, "a2"), (b, "b2"), (c, "c1")]);
+    t.push_record_strs([(a, "a2"), (b, "b2"), (c, "c2")]);
+    t.push_record_strs([(a, "a2"), (b, "b3"), (c, "c2")]);
+    t.push_record_strs([(a, "a3"), (b, "b4"), (c, "c2")]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_shape() {
+        let t = figure1_table();
+        assert_eq!(t.num_records(), 5);
+        assert_eq!(t.num_distinct_values(), 9);
+    }
+}

@@ -1,0 +1,223 @@
+//! The attribute-value graph (AVG) of Definition 2.1, in CSR form.
+//!
+//! One vertex per distinct attribute value; an undirected edge `(v_i, v_j)`
+//! iff the two values co-occur in at least one record. Each record therefore
+//! induces a clique, and a value shared by two records "bridges" their
+//! cliques.
+//!
+//! Construction is a two-pass counting sort into a CSR layout followed by a
+//! per-vertex sort + dedup — `O(Σ_r |r|²)` work, no per-edge allocation.
+
+use crate::interner::ValueId;
+use crate::table::UniversalTable;
+
+/// Compressed-sparse-row adjacency of an attribute-value graph.
+#[derive(Debug, Clone)]
+pub struct AvGraph {
+    /// `offsets[v] .. offsets[v+1]` indexes `neighbors` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Concatenated, per-vertex sorted and deduplicated neighbor lists.
+    neighbors: Vec<u32>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+impl AvGraph {
+    /// Builds the AVG of a universal table.
+    pub fn from_table(table: &UniversalTable) -> Self {
+        let n = table.num_distinct_values();
+        // Pass 1: count raw (pre-dedup) neighbor entries per vertex.
+        let mut counts = vec![0u32; n + 1];
+        for (_, rec) in table.iter() {
+            let k = rec.values().len() as u32;
+            if k < 2 {
+                continue;
+            }
+            for &v in rec.values() {
+                counts[v.index() + 1] += k - 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        // Pass 2: scatter neighbor entries.
+        let mut neighbors = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        let mut cursor = offsets.clone();
+        for (_, rec) in table.iter() {
+            let vals = rec.values();
+            if vals.len() < 2 {
+                continue;
+            }
+            for (i, &v) in vals.iter().enumerate() {
+                let c = &mut cursor[v.index()];
+                for (j, &w) in vals.iter().enumerate() {
+                    if i != j {
+                        neighbors[*c as usize] = w.0;
+                        *c += 1;
+                    }
+                }
+            }
+        }
+        // Pass 3: sort + dedup each vertex's list in place, compacting.
+        let mut write = 0usize;
+        let mut new_offsets = Vec::with_capacity(offsets.len());
+        new_offsets.push(0u32);
+        let mut num_edge_endpoints = 0usize;
+        for v in 0..n {
+            let (start, end) = (offsets[v] as usize, offsets[v + 1] as usize);
+            neighbors[start..end].sort_unstable();
+            // Dedup into the compacted prefix of `neighbors`.
+            let mut prev: Option<u32> = None;
+            let mut kept = 0usize;
+            for k in start..end {
+                let x = neighbors[k];
+                if prev != Some(x) {
+                    neighbors[write + kept] = x;
+                    kept += 1;
+                    prev = Some(x);
+                }
+            }
+            write += kept;
+            num_edge_endpoints += kept;
+            new_offsets.push(write as u32);
+        }
+        neighbors.truncate(write);
+        neighbors.shrink_to_fit();
+        AvGraph { offsets: new_offsets, neighbors, num_edges: num_edge_endpoints / 2 }
+    }
+
+    /// Number of vertices (distinct attribute values).
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len().saturating_sub(1)
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// The neighbors of `v` (sorted ascending, unique, excludes `v`).
+    #[inline]
+    pub fn neighbors(&self, v: ValueId) -> &[u32] {
+        let (s, e) = (self.offsets[v.index()] as usize, self.offsets[v.index() + 1] as usize);
+        &self.neighbors[s..e]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: ValueId) -> usize {
+        (self.offsets[v.index() + 1] - self.offsets[v.index()]) as usize
+    }
+
+    /// Whether `(a, b)` is an edge.
+    pub fn has_edge(&self, a: ValueId, b: ValueId) -> bool {
+        self.neighbors(a).binary_search(&b.0).is_ok()
+    }
+
+    /// Iterates all vertices.
+    pub fn vertices(&self) -> impl Iterator<Item = ValueId> + '_ {
+        (0..self.num_vertices() as u32).map(ValueId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::figure1_table;
+    use crate::interner::AttrId;
+
+    fn vid(t: &UniversalTable, attr: u16, s: &str) -> ValueId {
+        t.interner().get(AttrId(attr), s).expect("fixture value")
+    }
+
+    #[test]
+    fn figure1_graph_shape() {
+        let t = figure1_table();
+        let g = AvGraph::from_table(&t);
+        assert_eq!(g.num_vertices(), 9);
+        // Figure 1's drawn graph: edges =
+        // a1-b1, a1-c1, b1-c1 (record 0 clique)
+        // a2-b2, a2-c1, b2-c1 (record 1)
+        // a2-c2, b2-c2 (record 2 adds)
+        // a2-b3, b3-c2 (record 3 adds)
+        // a3-b4, a3-c2, b4-c2 (record 4)
+        assert_eq!(g.num_edges(), 13);
+    }
+
+    #[test]
+    fn degrees_match_figure1() {
+        let t = figure1_table();
+        let g = AvGraph::from_table(&t);
+        // a2 co-occurs with b2, c1, c2, b3.
+        assert_eq!(g.degree(vid(&t, 0, "a2")), 4);
+        // c2 co-occurs with a2, b2, b3, a3, b4.
+        assert_eq!(g.degree(vid(&t, 2, "c2")), 5);
+        // b1 only with a1 and c1.
+        assert_eq!(g.degree(vid(&t, 1, "b1")), 2);
+    }
+
+    #[test]
+    fn edges_iff_cooccurrence() {
+        let t = figure1_table();
+        let g = AvGraph::from_table(&t);
+        assert!(g.has_edge(vid(&t, 0, "a2"), vid(&t, 1, "b2")));
+        assert!(g.has_edge(vid(&t, 1, "b2"), vid(&t, 2, "c2")));
+        // a1 and c2 never co-occur.
+        assert!(!g.has_edge(vid(&t, 0, "a1"), vid(&t, 2, "c2")));
+        // A vertex is never its own neighbor.
+        for v in g.vertices() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn adjacency_is_symmetric() {
+        let t = figure1_table();
+        let g = AvGraph::from_table(&t);
+        for v in g.vertices() {
+            for &w in g.neighbors(v) {
+                assert!(g.has_edge(ValueId(w), v), "edge {v}->{w} must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbor_lists_sorted_unique() {
+        let t = figure1_table();
+        let g = AvGraph::from_table(&t);
+        for v in g.vertices() {
+            let ns = g.neighbors(v);
+            assert!(ns.windows(2).all(|w| w[0] < w[1]), "sorted + unique");
+        }
+    }
+
+    #[test]
+    fn empty_table_empty_graph() {
+        let t = UniversalTable::new(crate::fixtures::figure1_schema());
+        let g = AvGraph::from_table(&t);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn singleton_records_have_no_edges() {
+        let mut t = UniversalTable::new(crate::fixtures::figure1_schema());
+        t.push_record_strs([(AttrId(0), "x")]);
+        t.push_record_strs([(AttrId(0), "y")]);
+        let g = AvGraph::from_table(&t);
+        assert_eq!(g.num_vertices(), 2);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_records_do_not_duplicate_edges() {
+        let mut t = UniversalTable::new(crate::fixtures::figure1_schema());
+        for _ in 0..3 {
+            t.push_record_strs([(AttrId(0), "x"), (AttrId(1), "y")]);
+        }
+        let g = AvGraph::from_table(&t);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(vid(&t, 0, "x")), 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Attribute-qualified string interning.
+//!
+//! Every distinct attribute value — e.g. `(Actor, "Hanks, Tom")` — is interned
+//! once and referred to by a compact [`ValueId`] everywhere else (table,
+//! graph, server postings, crawler frontier). Values are qualified by their
+//! attribute, so `(Title, "Alien")` and `(Keyword, "Alien")` are distinct
+//! vertices, matching Definition 2.1's distinct attribute value set `DAV`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of an attribute (column) in the universal table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AttrId(pub u16);
+
+/// Identifier of a distinct attribute value (a vertex of the AVG).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for AttrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// Interner mapping `(attribute, string)` pairs to dense [`ValueId`]s.
+///
+/// Lookups are per-attribute maps so that probing with a borrowed `&str`
+/// never allocates.
+#[derive(Debug, Default, Clone)]
+pub struct ValueInterner {
+    per_attr: Vec<HashMap<Box<str>, ValueId>>,
+    strings: Vec<Box<str>>,
+    attrs: Vec<AttrId>,
+}
+
+impl ValueInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `(attr, value)`, returning the existing id when already known.
+    pub fn intern(&mut self, attr: AttrId, value: &str) -> ValueId {
+        let slot = attr.0 as usize;
+        if slot >= self.per_attr.len() {
+            self.per_attr.resize_with(slot + 1, HashMap::new);
+        }
+        if let Some(&id) = self.per_attr[slot].get(value) {
+            return id;
+        }
+        let id = ValueId(u32::try_from(self.strings.len()).expect("more than u32::MAX distinct values"));
+        self.strings.push(Box::from(value));
+        self.attrs.push(attr);
+        self.per_attr[slot].insert(Box::from(value), id);
+        id
+    }
+
+    /// Looks up an already-interned value without inserting.
+    pub fn get(&self, attr: AttrId, value: &str) -> Option<ValueId> {
+        self.per_attr.get(attr.0 as usize)?.get(value).copied()
+    }
+
+    /// Looks up a bare string across all attributes (the keyword-interface
+    /// view of Section 2.2's "fading schema"): returns every value id whose
+    /// string equals `value`, regardless of attribute.
+    pub fn get_keyword(&self, value: &str) -> Vec<ValueId> {
+        self.per_attr.iter().filter_map(|m| m.get(value).copied()).collect()
+    }
+
+    /// The string form of a value.
+    pub fn value_str(&self, id: ValueId) -> &str {
+        &self.strings[id.index()]
+    }
+
+    /// The attribute a value belongs to.
+    pub fn attr_of(&self, id: ValueId) -> AttrId {
+        self.attrs[id.index()]
+    }
+
+    /// Number of distinct attribute values interned so far (|DAV|).
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+
+    /// Iterates all interned ids in insertion order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = ValueId> + '_ {
+        (0..self.strings.len() as u32).map(ValueId)
+    }
+
+    /// All value ids belonging to `attr` (linear scan; intended for analysis,
+    /// not hot paths).
+    pub fn ids_of_attr(&self, attr: AttrId) -> Vec<ValueId> {
+        self.attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == attr)
+            .map(|(i, _)| ValueId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut it = ValueInterner::new();
+        let a = it.intern(AttrId(0), "Hanks, Tom");
+        let b = it.intern(AttrId(0), "Hanks, Tom");
+        assert_eq!(a, b);
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn same_string_different_attr_is_distinct() {
+        let mut it = ValueInterner::new();
+        let a = it.intern(AttrId(0), "Alien");
+        let b = it.intern(AttrId(1), "Alien");
+        assert_ne!(a, b);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn roundtrip_string_and_attr() {
+        let mut it = ValueInterner::new();
+        let id = it.intern(AttrId(3), "IBM");
+        assert_eq!(it.value_str(id), "IBM");
+        assert_eq!(it.attr_of(id), AttrId(3));
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut it = ValueInterner::new();
+        assert_eq!(it.get(AttrId(0), "x"), None);
+        let id = it.intern(AttrId(0), "x");
+        assert_eq!(it.get(AttrId(0), "x"), Some(id));
+        assert_eq!(it.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut it = ValueInterner::new();
+        let ids: Vec<_> = ["a", "b", "c"].iter().map(|s| it.intern(AttrId(0), s)).collect();
+        assert_eq!(ids, vec![ValueId(0), ValueId(1), ValueId(2)]);
+        assert_eq!(it.iter_ids().collect::<Vec<_>>(), ids);
+    }
+
+    #[test]
+    fn ids_of_attr_filters() {
+        let mut it = ValueInterner::new();
+        it.intern(AttrId(0), "x");
+        let b = it.intern(AttrId(1), "y");
+        it.intern(AttrId(0), "z");
+        assert_eq!(it.ids_of_attr(AttrId(1)), vec![b]);
+    }
+}

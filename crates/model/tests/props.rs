@@ -1,0 +1,83 @@
+//! Property tests for the data-model substrate.
+
+use dwc_model::components::UnionFind;
+use dwc_model::{AttrId, Record, ValueId, ValueInterner};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Interning arbitrary strings (any unicode) round-trips exactly, and
+    /// repeated interning is idempotent.
+    #[test]
+    fn interner_roundtrips_arbitrary_strings(
+        strings in prop::collection::vec(any::<String>(), 1..30),
+        attrs in prop::collection::vec(0u16..4, 1..30),
+    ) {
+        let mut it = ValueInterner::new();
+        let mut ids = Vec::new();
+        for (s, a) in strings.iter().zip(attrs.iter().cycle()) {
+            ids.push((it.intern(AttrId(*a), s), AttrId(*a), s.clone()));
+        }
+        for (id, attr, s) in &ids {
+            prop_assert_eq!(it.value_str(*id), s.as_str());
+            prop_assert_eq!(it.attr_of(*id), *attr);
+            prop_assert_eq!(it.intern(*attr, s), *id, "idempotent");
+            prop_assert_eq!(it.get(*attr, s), Some(*id));
+        }
+    }
+
+    /// Distinct (attr, string) pairs always get distinct ids.
+    #[test]
+    fn interner_ids_injective(pairs in prop::collection::btree_set((0u16..4, ".{0,12}"), 1..50)) {
+        let mut it = ValueInterner::new();
+        let ids: Vec<ValueId> =
+            pairs.iter().map(|(a, s)| it.intern(AttrId(*a), s)).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), pairs.len());
+    }
+
+    /// Record construction sorts, dedups, and is idempotent.
+    #[test]
+    fn record_normalization(ids in prop::collection::vec(0u32..64, 0..24)) {
+        let rec = Record::new(ids.iter().map(|&i| ValueId(i)).collect());
+        let vals = rec.values();
+        prop_assert!(vals.windows(2).all(|w| w[0] < w[1]), "strictly sorted");
+        for &i in &ids {
+            prop_assert!(rec.contains(ValueId(i)));
+        }
+        let again = Record::new(vals.to_vec());
+        prop_assert_eq!(again.values(), vals);
+    }
+
+    /// Union–find maintains an equivalence relation: reflexive, symmetric
+    /// (trivially), transitive through arbitrary union sequences.
+    #[test]
+    fn union_find_equivalence(unions in prop::collection::vec((0u32..40, 0u32..40), 0..80)) {
+        let mut uf = UnionFind::new(40);
+        // Reference: naive set partition.
+        let mut labels: Vec<u32> = (0..40).collect();
+        for &(a, b) in &unions {
+            uf.union(a, b);
+            let (la, lb) = (labels[a as usize], labels[b as usize]);
+            if la != lb {
+                for l in labels.iter_mut() {
+                    if *l == lb {
+                        *l = la;
+                    }
+                }
+            }
+        }
+        for i in 0..40u32 {
+            for j in 0..40u32 {
+                prop_assert_eq!(
+                    uf.connected(i, j),
+                    labels[i as usize] == labels[j as usize],
+                    "pair ({}, {})", i, j
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! Deterministic transient-fault injection.
+//!
+//! A production hidden-web crawler faces throttling, timeouts and 5xx
+//! responses. The paper's cost model only counts communication rounds, so a
+//! failed round still costs one round. [`FaultPolicy`] lets tests and
+//! benchmarks inject failures deterministically (no randomness → reproducible
+//! assertions) and verify the crawler's retry logic leaves the harvested
+//! database unchanged.
+
+/// Deterministic schedule of transient failures.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPolicy {
+    /// Fail every `n`-th request (1-based). `None` disables injection.
+    pub fail_every: Option<u64>,
+    /// Maximum number of failures to inject (`None` = unbounded).
+    pub max_faults: Option<u64>,
+}
+
+impl FaultPolicy {
+    /// No faults.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Fail every `n`-th request.
+    pub fn every(n: u64) -> Self {
+        assert!(n > 0, "fault period must be positive");
+        FaultPolicy { fail_every: Some(n), max_faults: None }
+    }
+
+    /// Caps the total number of injected faults.
+    pub fn up_to(mut self, max: u64) -> Self {
+        self.max_faults = Some(max);
+        self
+    }
+
+    /// Whether request number `request_no` (1-based) should fail, given that
+    /// `faults_so_far` have already been injected.
+    pub fn should_fail(&self, request_no: u64, faults_so_far: u64) -> bool {
+        let Some(n) = self.fail_every else { return false };
+        if let Some(max) = self.max_faults {
+            if faults_so_far >= max {
+                return false;
+            }
+        }
+        request_no.is_multiple_of(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let p = FaultPolicy::none();
+        assert!((1..100).all(|i| !p.should_fail(i, 0)));
+    }
+
+    #[test]
+    fn every_third_fails() {
+        let p = FaultPolicy::every(3);
+        let fails: Vec<u64> = (1..=9).filter(|&i| p.should_fail(i, 0)).collect();
+        assert_eq!(fails, vec![3, 6, 9]);
+    }
+
+    #[test]
+    fn max_faults_caps_injection() {
+        let p = FaultPolicy::every(2).up_to(2);
+        assert!(p.should_fail(2, 0));
+        assert!(p.should_fail(4, 1));
+        assert!(!p.should_fail(6, 2), "budget exhausted");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_period_panics() {
+        let _ = FaultPolicy::every(0);
+    }
+}

@@ -1,0 +1,194 @@
+//! Inverted index from attribute values to record ids.
+//!
+//! The server's query-answering hot path: `ValueId → sorted postings list` of
+//! the records containing that value. Built once from the universal table in
+//! two counting passes (no per-posting allocation).
+
+use dwc_model::{RecordId, UniversalTable, ValueId};
+
+/// Inverted index: postings per distinct attribute value.
+#[derive(Debug, Clone)]
+pub struct InvertedIndex {
+    offsets: Vec<u32>,
+    postings: Vec<u32>,
+}
+
+impl InvertedIndex {
+    /// Builds the index over all records of the table.
+    pub fn build(table: &UniversalTable) -> Self {
+        let n = table.num_distinct_values();
+        let mut counts = vec![0u32; n + 1];
+        for (_, rec) in table.iter() {
+            for &v in rec.values() {
+                counts[v.index() + 1] += 1;
+            }
+        }
+        for i in 1..counts.len() {
+            counts[i] += counts[i - 1];
+        }
+        let offsets = counts;
+        let mut postings = vec![0u32; *offsets.last().unwrap_or(&0) as usize];
+        let mut cursor = offsets.clone();
+        for (rid, rec) in table.iter() {
+            for &v in rec.values() {
+                let c = &mut cursor[v.index()];
+                postings[*c as usize] = rid.0;
+                *c += 1;
+            }
+        }
+        // Record ids are visited in ascending order, so each postings list is
+        // already sorted.
+        InvertedIndex { offsets, postings }
+    }
+
+    /// Sorted record ids containing `v`.
+    #[inline]
+    pub fn postings(&self, v: ValueId) -> &[u32] {
+        match self.offsets.get(v.index()..=v.index() + 1) {
+            Some([s, e]) => &self.postings[*s as usize..*e as usize],
+            _ => &[],
+        }
+    }
+
+    /// Number of records matching `v` (`num(q_i, DB)` in Definition 2.3).
+    #[inline]
+    pub fn match_count(&self, v: ValueId) -> usize {
+        self.postings(v).len()
+    }
+
+    /// Intersection of several postings lists as sorted record ids (used for
+    /// conjunctive multi-attribute queries). An empty input intersects to
+    /// nothing.
+    pub fn intersect(&self, values: &[ValueId]) -> Vec<RecordId> {
+        match values {
+            [] => Vec::new(),
+            [v] => self.postings(*v).iter().map(|&r| RecordId(r)).collect(),
+            [first, rest @ ..] => {
+                // Start from the shortest list for early exit.
+                let mut lists: Vec<&[u32]> = Vec::with_capacity(values.len());
+                lists.push(self.postings(*first));
+                for v in rest {
+                    lists.push(self.postings(*v));
+                }
+                lists.sort_by_key(|l| l.len());
+                let mut acc: Vec<u32> = lists[0].to_vec();
+                for l in &lists[1..] {
+                    if acc.is_empty() {
+                        break;
+                    }
+                    let mut out = Vec::with_capacity(acc.len().min(l.len()));
+                    let (mut i, mut j) = (0, 0);
+                    while i < acc.len() && j < l.len() {
+                        match acc[i].cmp(&l[j]) {
+                            std::cmp::Ordering::Less => i += 1,
+                            std::cmp::Ordering::Greater => j += 1,
+                            std::cmp::Ordering::Equal => {
+                                out.push(acc[i]);
+                                i += 1;
+                                j += 1;
+                            }
+                        }
+                    }
+                    acc = out;
+                }
+                acc.into_iter().map(RecordId).collect()
+            }
+        }
+    }
+
+    /// Union of several postings lists as sorted record ids (used for keyword
+    /// queries that hit the same string under multiple attributes).
+    pub fn union(&self, values: &[ValueId]) -> Vec<RecordId> {
+        match values {
+            [] => Vec::new(),
+            [v] => self.postings(*v).iter().map(|&r| RecordId(r)).collect(),
+            _ => {
+                let mut all: Vec<u32> =
+                    values.iter().flat_map(|&v| self.postings(v).iter().copied()).collect();
+                all.sort_unstable();
+                all.dedup();
+                all.into_iter().map(RecordId).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_model::fixtures::figure1_table;
+    use dwc_model::AttrId;
+
+    #[test]
+    fn postings_match_table_scan() {
+        let t = figure1_table();
+        let idx = InvertedIndex::build(&t);
+        for v in t.interner().iter_ids() {
+            assert_eq!(idx.match_count(v), t.count_matches(v), "value {v}");
+        }
+    }
+
+    #[test]
+    fn postings_sorted() {
+        let t = figure1_table();
+        let idx = InvertedIndex::build(&t);
+        for v in t.interner().iter_ids() {
+            let p = idx.postings(v);
+            assert!(p.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn figure1_a2_matches_three_records() {
+        let t = figure1_table();
+        let idx = InvertedIndex::build(&t);
+        let a2 = t.interner().get(AttrId(0), "a2").unwrap();
+        assert_eq!(idx.postings(a2), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn union_dedups_across_lists() {
+        let t = figure1_table();
+        let idx = InvertedIndex::build(&t);
+        let a2 = t.interner().get(AttrId(0), "a2").unwrap();
+        let c2 = t.interner().get(AttrId(2), "c2").unwrap();
+        // a2 → {1,2,3}, c2 → {2,3,4}; union {1,2,3,4}.
+        let u = idx.union(&[a2, c2]);
+        assert_eq!(u, vec![RecordId(1), RecordId(2), RecordId(3), RecordId(4)]);
+    }
+
+    #[test]
+    fn intersect_narrows() {
+        let t = figure1_table();
+        let idx = InvertedIndex::build(&t);
+        let a2 = t.interner().get(AttrId(0), "a2").unwrap();
+        let c2 = t.interner().get(AttrId(2), "c2").unwrap();
+        // a2 → {1,2,3}, c2 → {2,3,4}; intersection {2,3}.
+        assert_eq!(idx.intersect(&[a2, c2]), vec![RecordId(2), RecordId(3)]);
+        assert_eq!(idx.intersect(&[a2]), vec![RecordId(1), RecordId(2), RecordId(3)]);
+        assert!(idx.intersect(&[]).is_empty());
+    }
+
+    #[test]
+    fn intersect_disjoint_is_empty() {
+        let t = figure1_table();
+        let idx = InvertedIndex::build(&t);
+        let a1 = t.interner().get(AttrId(0), "a1").unwrap();
+        let c2 = t.interner().get(AttrId(2), "c2").unwrap();
+        assert!(idx.intersect(&[a1, c2]).is_empty());
+    }
+
+    #[test]
+    fn union_of_nothing_is_empty() {
+        let t = figure1_table();
+        let idx = InvertedIndex::build(&t);
+        assert!(idx.union(&[]).is_empty());
+    }
+
+    #[test]
+    fn out_of_range_value_has_no_postings() {
+        let t = figure1_table();
+        let idx = InvertedIndex::build(&t);
+        assert_eq!(idx.match_count(ValueId(10_000)), 0);
+    }
+}

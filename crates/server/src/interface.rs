@@ -1,0 +1,162 @@
+//! Query interface specifications and query forms.
+//!
+//! Definition 2.2 of the paper models a source's interface as the set of
+//! queriable attributes; the Table 1 case study additionally distinguishes
+//! sources that accept keyword search (K.W.) from those that accept
+//! single-attribute structured queries (S.Q.M.). [`InterfaceSpec`] carries
+//! those capabilities plus the cost-model knobs: page size `k`
+//! (Definition 2.3), the per-query result cap (Section 5.4 / Figure 6), and
+//! whether the first result page reports the total match count (the §3.4
+//! abortion heuristics rely on it).
+
+use dwc_model::{AttrId, Schema, ValueId};
+
+/// Capabilities and cost parameters of a source's query interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterfaceSpec {
+    /// Maximum records per result page (`k` in Definition 2.3).
+    pub page_size: usize,
+    /// Per-query cap on accessible results (`None` = unlimited). Amazon's
+    /// Web Service capped at 3200; Figure 6 studies caps of 10 and 50.
+    pub result_cap: Option<usize>,
+    /// Whether the first page reports the total number of matches
+    /// ("most Web sources report the number of total query results in the
+    /// first return page", §3.4).
+    pub reports_total: bool,
+    /// Whether a keyword box searching all columns is available (K.W.).
+    pub keyword_search: bool,
+    /// Attributes accepting structured single-value equality queries (`A_q`).
+    pub queriable_attrs: Vec<AttrId>,
+    /// Minimum number of equality predicates a structured query must carry.
+    /// `1` is the paper's simplified query model; "highly structured and
+    /// restrictive" sources (the paper names airfare and hotel sites; Table 1
+    /// shows the Car domain) demand `≥ 2`. Keyword queries are unaffected.
+    pub min_query_attrs: usize,
+}
+
+impl InterfaceSpec {
+    /// A permissive interface: every attribute of `schema` marked queriable
+    /// is exposed, keyword search is on, totals are reported, no result cap.
+    pub fn permissive(schema: &Schema, page_size: usize) -> Self {
+        InterfaceSpec {
+            page_size,
+            result_cap: None,
+            reports_total: true,
+            keyword_search: true,
+            queriable_attrs: schema.queriable_attrs(),
+            min_query_attrs: 1,
+        }
+    }
+
+    /// Returns a copy demanding at least `n` equality predicates per
+    /// structured query (a restrictive multi-attribute form). Disables the
+    /// keyword box, which such forms rarely offer.
+    pub fn requiring_attrs(mut self, n: usize) -> Self {
+        assert!(n >= 1, "a form requires at least one field");
+        self.min_query_attrs = n;
+        if n > 1 {
+            self.keyword_search = false;
+        }
+        self
+    }
+
+    /// Returns a copy with the given result cap.
+    pub fn with_result_cap(mut self, cap: usize) -> Self {
+        self.result_cap = Some(cap);
+        self
+    }
+
+    /// Returns a copy that hides total match counts.
+    pub fn without_totals(mut self) -> Self {
+        self.reports_total = false;
+        self
+    }
+
+    /// Whether `attr` may be queried through this interface.
+    pub fn is_queriable(&self, attr: AttrId) -> bool {
+        self.queriable_attrs.contains(&attr)
+    }
+
+    /// Number of accessible results for a query matching `total` records.
+    pub fn accessible(&self, total: usize) -> usize {
+        match self.result_cap {
+            Some(cap) => total.min(cap),
+            None => total,
+        }
+    }
+
+    /// Number of result pages (communication rounds to exhaust the query):
+    /// `⌈accessible / k⌉` per Definition 2.3.
+    pub fn pages_for(&self, total: usize) -> usize {
+        self.accessible(total).div_ceil(self.page_size)
+    }
+}
+
+/// A query submitted through the interface — always a single attribute value,
+/// per the simplified query model of Section 2.2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Fast path: an already-interned value id (in-process experiments).
+    Value(ValueId),
+    /// Structured form fill: attribute name + value string, resolved by the
+    /// server against its own schema and interner.
+    ByString {
+        /// Attribute (form field) name.
+        attr: String,
+        /// The value typed into the field.
+        value: String,
+    },
+    /// Keyword search: the string is matched against every column ("throw
+    /// attribute values into the target query box and rely on the end site's
+    /// query processing", Section 2.2).
+    Keyword(String),
+    /// Conjunction of equality predicates (multi-attribute form fill): a
+    /// record matches when it carries *every* listed `(attribute, value)`
+    /// pair. This is the query class the paper defers to future work and
+    /// that restrictive sources (airfare, hotels, cars) demand.
+    Conjunctive(Vec<(String, String)>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_model::fixtures::figure1_schema;
+
+    #[test]
+    fn permissive_exposes_all_queriable() {
+        let spec = InterfaceSpec::permissive(&figure1_schema(), 10);
+        assert_eq!(spec.queriable_attrs.len(), 3);
+        assert!(spec.is_queriable(AttrId(0)));
+        assert!(spec.keyword_search);
+        assert!(spec.reports_total);
+    }
+
+    #[test]
+    fn accessible_respects_cap() {
+        let spec = InterfaceSpec::permissive(&figure1_schema(), 10).with_result_cap(50);
+        assert_eq!(spec.accessible(20), 20);
+        assert_eq!(spec.accessible(500), 50);
+    }
+
+    #[test]
+    fn pages_for_matches_cost_model() {
+        let spec = InterfaceSpec::permissive(&figure1_schema(), 10);
+        // The paper's example: 95 matches, 10 per page → 10 rounds.
+        assert_eq!(spec.pages_for(95), 10);
+        assert_eq!(spec.pages_for(0), 0);
+        assert_eq!(spec.pages_for(10), 1);
+        assert_eq!(spec.pages_for(11), 2);
+    }
+
+    #[test]
+    fn pages_for_with_cap() {
+        let spec = InterfaceSpec::permissive(&figure1_schema(), 10).with_result_cap(25);
+        assert_eq!(spec.pages_for(1000), 3, "only 25 accessible → 3 pages");
+    }
+
+    #[test]
+    fn builder_style_modifiers() {
+        let spec = InterfaceSpec::permissive(&figure1_schema(), 10).without_totals();
+        assert!(!spec.reports_total);
+    }
+}

@@ -1,0 +1,473 @@
+//! The simulated web-database server.
+//!
+//! Answers single attribute-value and keyword queries with paginated result
+//! pages, counting every page request as one communication round
+//! (Definition 2.3). Result ordering is deterministic (record-id order), the
+//! per-query result cap truncates deep pagination (Section 5.4), and the
+//! total match count is reported when the interface says so (Section 3.4).
+
+use crate::error::ServerError;
+use crate::fault::FaultPolicy;
+use crate::index::InvertedIndex;
+use crate::interface::{InterfaceSpec, Query};
+use dwc_model::{RecordId, UniversalTable, ValueId};
+
+/// A record as it appears in a result page: the source-assigned stable key
+/// (like an Amazon ASIN) plus the record's attribute values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PageRecord {
+    /// Stable source-assigned record key; identical across queries, so the
+    /// crawler can deduplicate.
+    pub key: u64,
+    /// The record's attribute-value ids (sorted, unique).
+    pub values: Vec<ValueId>,
+}
+
+/// One result page returned for `(query, page_index)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResultPage {
+    /// Zero-based index of this page.
+    pub page_index: usize,
+    /// Total number of matching records in the backend — reported only when
+    /// the interface advertises totals. Note this is the *true* total, which
+    /// may exceed what pagination will ever return under a result cap (the
+    /// Yahoo!-Autos example of Section 5.4).
+    pub total_matches: Option<usize>,
+    /// The records on this page (at most `k`).
+    pub records: Vec<PageRecord>,
+    /// Whether further pages are accessible after this one.
+    pub has_more: bool,
+}
+
+/// An in-memory structured web database behind a query interface.
+#[derive(Debug, Clone)]
+pub struct WebDbServer {
+    table: UniversalTable,
+    index: InvertedIndex,
+    interface: InterfaceSpec,
+    fault: FaultPolicy,
+    requests: u64,
+    faults_injected: u64,
+}
+
+impl WebDbServer {
+    /// Builds a server over `table` with the given interface.
+    pub fn new(table: UniversalTable, interface: InterfaceSpec) -> Self {
+        let index = InvertedIndex::build(&table);
+        WebDbServer { table, index, interface, fault: FaultPolicy::none(), requests: 0, faults_injected: 0 }
+    }
+
+    /// Enables deterministic transient-fault injection.
+    pub fn with_faults(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
+        self
+    }
+
+    /// The backing table (test/analysis access — a real crawler has no such
+    /// view; experiment harnesses use it to compute true coverage).
+    pub fn table(&self) -> &UniversalTable {
+        &self.table
+    }
+
+    /// The interface specification.
+    pub fn interface(&self) -> &InterfaceSpec {
+        &self.interface
+    }
+
+    /// Replaces the interface (used by the Figure 6 result-cap sweeps).
+    pub fn set_interface(&mut self, interface: InterfaceSpec) {
+        self.interface = interface;
+    }
+
+    /// Total page requests served so far — the crawl's communication cost.
+    pub fn rounds_used(&self) -> u64 {
+        self.requests
+    }
+
+    /// Resets the communication-round counter (between experiment runs).
+    pub fn reset_rounds(&mut self) {
+        self.requests = 0;
+        self.faults_injected = 0;
+    }
+
+    /// Number of records that match `query` (oracle helper for tests and
+    /// harnesses; not part of the crawler-visible interface).
+    pub fn oracle_match_count(&self, query: &Query) -> usize {
+        match self.resolve(query) {
+            Ok(Resolved::None) => 0,
+            Ok(Resolved::Single(v)) => self.index.match_count(v),
+            Ok(Resolved::Many(vs)) => self.index.union(&vs).len(),
+            Ok(Resolved::All(vs)) => self.index.intersect(&vs).len(),
+            Err(_) => 0,
+        }
+    }
+
+    /// Serves one result page. Every call — including failed ones — costs one
+    /// communication round.
+    pub fn query_page(&mut self, query: &Query, page_index: usize) -> Result<ResultPage, ServerError> {
+        self.requests += 1;
+        if self.fault.should_fail(self.requests, self.faults_injected) {
+            self.faults_injected += 1;
+            return Err(ServerError::Transient);
+        }
+        let matches: MatchList<'_> = match self.resolve(query)? {
+            Resolved::None => MatchList::Empty,
+            Resolved::Single(v) => MatchList::Postings(self.index.postings(v)),
+            Resolved::Many(vs) => MatchList::Owned(self.index.union(&vs)),
+            Resolved::All(vs) => MatchList::Owned(self.index.intersect(&vs)),
+        };
+        let total = matches.len();
+        let accessible = self.interface.accessible(total);
+        let k = self.interface.page_size;
+        let start = (page_index * k).min(accessible);
+        let end = ((page_index + 1) * k).min(accessible);
+        let records = matches
+            .slice(start, end)
+            .map(|rid| PageRecord {
+                key: u64::from(rid.0),
+                values: self.table.record(rid).values().to_vec(),
+            })
+            .collect();
+        Ok(ResultPage {
+            page_index,
+            total_matches: self.interface.reports_total.then_some(total),
+            records,
+            has_more: end < accessible,
+        })
+    }
+
+    fn resolve(&self, query: &Query) -> Result<Resolved, ServerError> {
+        match query {
+            Query::Value(v) => {
+                self.check_arity(1)?;
+                if v.index() >= self.table.num_distinct_values() {
+                    return Ok(Resolved::None);
+                }
+                let attr = self.table.interner().attr_of(*v);
+                if !self.interface.is_queriable(attr) {
+                    return Err(ServerError::NotQueriable {
+                        attr: self.table.schema().attr(attr).name.clone(),
+                    });
+                }
+                Ok(Resolved::Single(*v))
+            }
+            Query::ByString { attr, value } => {
+                self.check_arity(1)?;
+                Ok(match self.resolve_pair(attr, value)? {
+                    Some(v) => Resolved::Single(v),
+                    None => Resolved::None,
+                })
+            }
+            Query::Conjunctive(pairs) => {
+                self.check_arity(pairs.len())?;
+                let mut values = Vec::with_capacity(pairs.len());
+                for (attr, value) in pairs {
+                    match self.resolve_pair(attr, value)? {
+                        Some(v) => values.push(v),
+                        // One unmatched predicate empties the conjunction.
+                        None => return Ok(Resolved::None),
+                    }
+                }
+                Ok(match values.len() {
+                    0 => Resolved::None,
+                    1 => Resolved::Single(values[0]),
+                    _ => Resolved::All(values),
+                })
+            }
+            Query::Keyword(s) => {
+                if !self.interface.keyword_search {
+                    return Err(ServerError::KeywordUnsupported);
+                }
+                let vs = self.table.interner().get_keyword(s);
+                Ok(match vs.len() {
+                    0 => Resolved::None,
+                    1 => Resolved::Single(vs[0]),
+                    _ => Resolved::Many(vs),
+                })
+            }
+        }
+    }
+}
+
+impl WebDbServer {
+    /// Structured queries must carry at least the form's required number of
+    /// predicates.
+    fn check_arity(&self, got: usize) -> Result<(), ServerError> {
+        let required = self.interface.min_query_attrs;
+        if got < required {
+            return Err(ServerError::TooFewPredicates { required, got });
+        }
+        Ok(())
+    }
+
+    /// Resolves one `(attribute name, value string)` predicate, enforcing
+    /// queriability. `Ok(None)` means the value simply does not occur.
+    fn resolve_pair(&self, attr: &str, value: &str) -> Result<Option<ValueId>, ServerError> {
+        let attr_id = self
+            .table
+            .schema()
+            .attr_by_name(attr)
+            .ok_or_else(|| ServerError::UnknownAttribute { attr: attr.to_owned() })?;
+        if !self.interface.is_queriable(attr_id) {
+            return Err(ServerError::NotQueriable { attr: attr.to_owned() });
+        }
+        Ok(self.table.interner().get(attr_id, value))
+    }
+}
+
+enum Resolved {
+    None,
+    Single(ValueId),
+    Many(Vec<ValueId>),
+    All(Vec<ValueId>),
+}
+
+enum MatchList<'a> {
+    Empty,
+    Postings(&'a [u32]),
+    Owned(Vec<RecordId>),
+}
+
+impl MatchList<'_> {
+    fn len(&self) -> usize {
+        match self {
+            MatchList::Empty => 0,
+            MatchList::Postings(p) => p.len(),
+            MatchList::Owned(v) => v.len(),
+        }
+    }
+
+    fn slice(&self, start: usize, end: usize) -> Box<dyn Iterator<Item = RecordId> + '_> {
+        match self {
+            MatchList::Empty => Box::new(std::iter::empty()),
+            MatchList::Postings(p) => Box::new(p[start..end].iter().map(|&r| RecordId(r))),
+            MatchList::Owned(v) => Box::new(v[start..end].iter().copied()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_model::fixtures::figure1_table;
+    use dwc_model::AttrId;
+
+    fn figure1_server(page_size: usize) -> WebDbServer {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), page_size);
+        WebDbServer::new(t, spec)
+    }
+
+    fn val(s: &WebDbServer, attr: u16, v: &str) -> ValueId {
+        s.table().interner().get(AttrId(attr), v).unwrap()
+    }
+
+    #[test]
+    fn example_2_1_crawl_steps() {
+        // Example 2.1 of the paper: query a2 first and see records 1,2,3.
+        let mut s = figure1_server(10);
+        let a2 = val(&s, 0, "a2");
+        let page = s.query_page(&Query::Value(a2), 0).unwrap();
+        assert_eq!(page.total_matches, Some(3));
+        assert_eq!(page.records.len(), 3);
+        assert!(!page.has_more);
+        assert_eq!(s.rounds_used(), 1);
+    }
+
+    #[test]
+    fn pagination_partitions_results() {
+        let mut s = figure1_server(2);
+        let c2 = val(&s, 2, "c2");
+        let p0 = s.query_page(&Query::Value(c2), 0).unwrap();
+        assert_eq!(p0.records.len(), 2);
+        assert!(p0.has_more);
+        let p1 = s.query_page(&Query::Value(c2), 1).unwrap();
+        assert_eq!(p1.records.len(), 1);
+        assert!(!p1.has_more);
+        // No key appears twice across pages.
+        let mut keys: Vec<u64> =
+            p0.records.iter().chain(&p1.records).map(|r| r.key).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 3);
+        assert_eq!(s.rounds_used(), 2);
+    }
+
+    #[test]
+    fn result_cap_truncates_pagination_but_not_total() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 1).with_result_cap(2);
+        let mut s = WebDbServer::new(t, spec);
+        let c2 = val(&s, 2, "c2");
+        let p0 = s.query_page(&Query::Value(c2), 0).unwrap();
+        assert_eq!(p0.total_matches, Some(3), "true total still reported");
+        assert!(p0.has_more);
+        let p1 = s.query_page(&Query::Value(c2), 1).unwrap();
+        assert!(!p1.has_more, "cap of 2 reached");
+        let p2 = s.query_page(&Query::Value(c2), 2).unwrap();
+        assert!(p2.records.is_empty(), "beyond the cap nothing is accessible");
+    }
+
+    #[test]
+    fn totals_hidden_when_interface_says_so() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10).without_totals();
+        let mut s = WebDbServer::new(t, spec);
+        let a2 = val(&s, 0, "a2");
+        let page = s.query_page(&Query::Value(a2), 0).unwrap();
+        assert_eq!(page.total_matches, None);
+    }
+
+    #[test]
+    fn by_string_query_resolves() {
+        let mut s = figure1_server(10);
+        let q = Query::ByString { attr: "A".into(), value: "a2".into() };
+        let page = s.query_page(&q, 0).unwrap();
+        assert_eq!(page.records.len(), 3);
+    }
+
+    #[test]
+    fn by_string_no_match_is_empty_not_error() {
+        let mut s = figure1_server(10);
+        let q = Query::ByString { attr: "A".into(), value: "zz" .into() };
+        let page = s.query_page(&q, 0).unwrap();
+        assert!(page.records.is_empty());
+        assert_eq!(page.total_matches, Some(0));
+        assert!(!page.has_more);
+    }
+
+    #[test]
+    fn unknown_attribute_is_error() {
+        let mut s = figure1_server(10);
+        let q = Query::ByString { attr: "Nope".into(), value: "x".into() };
+        assert_eq!(s.query_page(&q, 0), Err(ServerError::UnknownAttribute { attr: "Nope".into() }));
+        assert_eq!(s.rounds_used(), 1, "a failed request still costs a round");
+    }
+
+    #[test]
+    fn non_queriable_attribute_is_rejected() {
+        let t = figure1_table();
+        let mut spec = InterfaceSpec::permissive(t.schema(), 10);
+        spec.queriable_attrs.retain(|&a| a != AttrId(0));
+        let mut s = WebDbServer::new(t, spec);
+        let a2 = val(&s, 0, "a2");
+        assert!(matches!(
+            s.query_page(&Query::Value(a2), 0),
+            Err(ServerError::NotQueriable { .. })
+        ));
+    }
+
+    #[test]
+    fn keyword_query_works_and_can_be_disabled() {
+        let mut s = figure1_server(10);
+        let page = s.query_page(&Query::Keyword("a2".into()), 0).unwrap();
+        assert_eq!(page.records.len(), 3);
+        let t = figure1_table();
+        let mut spec = InterfaceSpec::permissive(t.schema(), 10);
+        spec.keyword_search = false;
+        let mut s2 = WebDbServer::new(t, spec);
+        assert_eq!(
+            s2.query_page(&Query::Keyword("a2".into()), 0),
+            Err(ServerError::KeywordUnsupported)
+        );
+    }
+
+    #[test]
+    fn unknown_value_id_yields_empty() {
+        let mut s = figure1_server(10);
+        let page = s.query_page(&Query::Value(ValueId(9999)), 0).unwrap();
+        assert!(page.records.is_empty());
+        assert_eq!(page.total_matches, Some(0));
+    }
+
+    #[test]
+    fn fault_injection_costs_rounds_and_recovers() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let mut s = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(2));
+        let a2 = val(&s, 0, "a2");
+        let q = Query::Value(a2);
+        assert!(s.query_page(&q, 0).is_ok()); // request 1
+        assert_eq!(s.query_page(&q, 0), Err(ServerError::Transient)); // request 2
+        assert!(s.query_page(&q, 0).is_ok()); // request 3: retry succeeds
+        assert_eq!(s.rounds_used(), 3);
+    }
+
+    #[test]
+    fn conjunctive_query_intersects() {
+        let mut s = figure1_server(10);
+        // a2 ∧ c2 matches records 2 and 3 only.
+        let q = Query::Conjunctive(vec![
+            ("A".into(), "a2".into()),
+            ("C".into(), "c2".into()),
+        ]);
+        let page = s.query_page(&q, 0).unwrap();
+        assert_eq!(page.total_matches, Some(2));
+        let keys: Vec<u64> = page.records.iter().map(|r| r.key).collect();
+        assert_eq!(keys, vec![2, 3]);
+    }
+
+    #[test]
+    fn conjunctive_with_unmatched_predicate_is_empty() {
+        let mut s = figure1_server(10);
+        let q = Query::Conjunctive(vec![
+            ("A".into(), "a2".into()),
+            ("C".into(), "does-not-exist".into()),
+        ]);
+        let page = s.query_page(&q, 0).unwrap();
+        assert_eq!(page.total_matches, Some(0));
+        assert!(page.records.is_empty());
+    }
+
+    #[test]
+    fn restrictive_form_rejects_single_predicates() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10).requiring_attrs(2);
+        assert!(!spec.keyword_search, "restrictive forms drop the keyword box");
+        let mut s = WebDbServer::new(t, spec);
+        let single = Query::ByString { attr: "A".into(), value: "a2".into() };
+        assert_eq!(
+            s.query_page(&single, 0),
+            Err(ServerError::TooFewPredicates { required: 2, got: 1 })
+        );
+        let pair = Query::Conjunctive(vec![
+            ("A".into(), "a2".into()),
+            ("B".into(), "b2".into()),
+        ]);
+        let page = s.query_page(&pair, 0).unwrap();
+        assert_eq!(page.total_matches, Some(2), "a2 ∧ b2 matches records 1 and 2");
+    }
+
+    #[test]
+    fn conjunctive_of_three_predicates() {
+        let mut s = figure1_server(10);
+        let q = Query::Conjunctive(vec![
+            ("A".into(), "a2".into()),
+            ("B".into(), "b2".into()),
+            ("C".into(), "c1".into()),
+        ]);
+        let page = s.query_page(&q, 0).unwrap();
+        assert_eq!(page.total_matches, Some(1));
+        assert_eq!(page.records[0].key, 1);
+    }
+
+    #[test]
+    fn oracle_match_count_agrees_with_pages() {
+        let mut s = figure1_server(2);
+        let c2 = val(&s, 2, "c2");
+        let q = Query::Value(c2);
+        assert_eq!(s.oracle_match_count(&q), 3);
+        let p0 = s.query_page(&q, 0).unwrap();
+        assert_eq!(p0.total_matches, Some(3));
+    }
+
+    #[test]
+    fn reset_rounds_zeroes_counter() {
+        let mut s = figure1_server(10);
+        let a2 = val(&s, 0, "a2");
+        s.query_page(&Query::Value(a2), 0).unwrap();
+        assert_eq!(s.rounds_used(), 1);
+        s.reset_rounds();
+        assert_eq!(s.rounds_used(), 0);
+    }
+}

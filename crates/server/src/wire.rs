@@ -1,0 +1,156 @@
+//! XML wire format for result pages.
+//!
+//! The paper crawls Amazon through its Web Service, whose "returned query
+//! results are in the format of XML documents, which eliminates the possible
+//! accuracy problems of extracting structured records from Web pages"
+//! (Section 5). This module renders a [`ResultPage`] the way such a service
+//! would; the crawler's result extractor (`dwc-core::extract`) parses it back.
+//!
+//! Format:
+//!
+//! ```xml
+//! <results page="0" more="true" total="95">
+//!   <record key="42">
+//!     <field attr="Actor">Hanks, Tom</field>
+//!   </record>
+//! </results>
+//! ```
+//!
+//! Only the five XML-mandated character escapes are applied; the format is
+//! deliberately minimal but round-trip exact.
+
+use crate::server::ResultPage;
+use dwc_model::UniversalTable;
+use std::fmt::Write as _;
+
+/// Escapes text content / attribute values.
+pub fn escape_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    push_escaped(&mut out, s);
+    out
+}
+
+fn push_escaped(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+}
+
+/// Unescapes the five XML entities; unknown entities are left verbatim.
+pub fn unescape_xml(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find('&') {
+        out.push_str(&rest[..pos]);
+        rest = &rest[pos..];
+        let mapped = [
+            ("&amp;", '&'),
+            ("&lt;", '<'),
+            ("&gt;", '>'),
+            ("&quot;", '"'),
+            ("&apos;", '\''),
+        ]
+        .iter()
+        .find(|(ent, _)| rest.starts_with(ent));
+        match mapped {
+            Some((ent, ch)) => {
+                out.push(*ch);
+                rest = &rest[ent.len()..];
+            }
+            None => {
+                out.push('&');
+                rest = &rest[1..];
+            }
+        }
+    }
+    out.push_str(rest);
+    out
+}
+
+/// Serializes a result page to the XML wire format, resolving value ids to
+/// attribute names and value strings through the server's table.
+pub fn page_to_xml(page: &ResultPage, table: &UniversalTable) -> String {
+    let mut out = String::with_capacity(64 + page.records.len() * 128);
+    out.push_str("<results page=\"");
+    let _ = write!(out, "{}", page.page_index);
+    out.push_str("\" more=\"");
+    out.push_str(if page.has_more { "true" } else { "false" });
+    out.push('"');
+    if let Some(total) = page.total_matches {
+        let _ = write!(out, " total=\"{total}\"");
+    }
+    out.push_str(">\n");
+    for rec in &page.records {
+        let _ = writeln!(out, "  <record key=\"{}\">", rec.key);
+        for &v in &rec.values {
+            let attr = table.interner().attr_of(v);
+            let name = &table.schema().attr(attr).name;
+            out.push_str("    <field attr=\"");
+            push_escaped(&mut out, name);
+            out.push_str("\">");
+            push_escaped(&mut out, table.interner().value_str(v));
+            out.push_str("</field>\n");
+        }
+        out.push_str("  </record>\n");
+    }
+    out.push_str("</results>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::{InterfaceSpec, Query};
+    use crate::server::WebDbServer;
+    use dwc_model::fixtures::figure1_table;
+    use dwc_model::AttrId;
+
+    #[test]
+    fn escape_roundtrip() {
+        let nasty = r#"Tom & Jerry <"quoted"> 'n stuff"#;
+        assert_eq!(unescape_xml(&escape_xml(nasty)), nasty);
+    }
+
+    #[test]
+    fn unescape_leaves_unknown_entities() {
+        assert_eq!(unescape_xml("a&nbsp;b"), "a&nbsp;b");
+        assert_eq!(unescape_xml("trailing &"), "trailing &");
+    }
+
+    #[test]
+    fn page_serialization_contains_fields() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let mut s = WebDbServer::new(t, spec);
+        let a2 = s.table().interner().get(AttrId(0), "a2").unwrap();
+        let page = s.query_page(&Query::Value(a2), 0).unwrap();
+        let xml = page_to_xml(&page, s.table());
+        assert!(xml.starts_with("<results page=\"0\" more=\"false\" total=\"3\">"));
+        assert_eq!(xml.matches("<record key=").count(), 3);
+        assert!(xml.contains("<field attr=\"A\">a2</field>"));
+        assert!(xml.contains("<field attr=\"C\">c1</field>"));
+    }
+
+    #[test]
+    fn special_characters_are_escaped_in_output() {
+        use dwc_model::{AttrSpec, Schema, UniversalTable};
+        let schema = Schema::new(vec![AttrSpec::queriable("T&C")]);
+        let mut t = UniversalTable::new(schema);
+        t.push_record_strs([(AttrId(0), "a<b>\"c\"")]);
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let mut s = WebDbServer::new(t, spec);
+        let q = Query::ByString { attr: "T&C".into(), value: "a<b>\"c\"".into() };
+        let page = s.query_page(&q, 0).unwrap();
+        let xml = page_to_xml(&page, s.table());
+        assert!(xml.contains("attr=\"T&amp;C\""));
+        assert!(xml.contains(">a&lt;b&gt;&quot;c&quot;</field>"));
+        assert!(!xml.contains(">a<b>"));
+    }
+}

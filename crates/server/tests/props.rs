@@ -1,0 +1,117 @@
+//! Property tests for the server's query semantics: conjunctive queries
+//! intersect, keyword queries union, pagination respects caps.
+
+use dwc_model::{AttrId, AttrSpec, Schema, UniversalTable};
+use dwc_server::{InterfaceSpec, Query, WebDbServer};
+use proptest::prelude::*;
+
+fn table_from(records: &[Vec<(u16, u8)>]) -> UniversalTable {
+    let schema =
+        Schema::new(vec![AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C")]);
+    let mut t = UniversalTable::new(schema);
+    for rec in records {
+        let fields: Vec<(AttrId, String)> =
+            rec.iter().map(|&(a, v)| (AttrId(a % 3), format!("v{v}"))).collect();
+        t.push_record_strs(fields.iter().map(|(a, s)| (*a, s.as_str())));
+    }
+    t
+}
+
+fn record_strategy() -> impl Strategy<Value = Vec<(u16, u8)>> {
+    prop::collection::vec((0u16..3, 0u8..10), 1..=5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// A conjunctive query's result is exactly the intersection of its
+    /// single-predicate results.
+    #[test]
+    fn conjunctive_equals_intersection(
+        records in prop::collection::vec(record_strategy(), 1..30),
+        a_val in 0u8..10,
+        b_val in 0u8..10,
+    ) {
+        let t = table_from(&records);
+        let mut server = WebDbServer::new(t, InterfaceSpec::permissive(&Schema::new(vec![
+            AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C"),
+        ]), 100));
+        let single = |server: &mut WebDbServer, attr: &str, v: u8| -> Vec<u64> {
+            let q = Query::ByString { attr: attr.into(), value: format!("v{v}") };
+            server.query_page(&q, 0).unwrap().records.iter().map(|r| r.key).collect()
+        };
+        let sa = single(&mut server, "A", a_val);
+        let sb = single(&mut server, "B", b_val);
+        let conj = Query::Conjunctive(vec![
+            ("A".into(), format!("v{a_val}")),
+            ("B".into(), format!("v{b_val}")),
+        ]);
+        let got: Vec<u64> =
+            server.query_page(&conj, 0).unwrap().records.iter().map(|r| r.key).collect();
+        let expected: Vec<u64> = sa.iter().copied().filter(|k| sb.contains(k)).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// A keyword query's result is the union of the same string queried
+    /// through every attribute's form field.
+    #[test]
+    fn keyword_equals_union(
+        records in prop::collection::vec(record_strategy(), 1..30),
+        val in 0u8..10,
+    ) {
+        let t = table_from(&records);
+        let mut server = WebDbServer::new(t, InterfaceSpec::permissive(&Schema::new(vec![
+            AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C"),
+        ]), 100));
+        let mut expected: Vec<u64> = Vec::new();
+        for attr in ["A", "B", "C"] {
+            let q = Query::ByString { attr: attr.into(), value: format!("v{val}") };
+            expected.extend(server.query_page(&q, 0).unwrap().records.iter().map(|r| r.key));
+        }
+        expected.sort_unstable();
+        expected.dedup();
+        let kw = Query::Keyword(format!("v{val}"));
+        let mut got: Vec<u64> =
+            server.query_page(&kw, 0).unwrap().records.iter().map(|r| r.key).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Under any result cap, the accessible records are a prefix of the
+    /// uncapped result and pagination totals never change.
+    #[test]
+    fn caps_take_prefixes(
+        records in prop::collection::vec(record_strategy(), 1..40),
+        val in 0u8..10,
+        cap in 1usize..20,
+    ) {
+        let schema = Schema::new(vec![
+            AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C"),
+        ]);
+        let collect = |server: &mut WebDbServer| -> (Option<usize>, Vec<u64>) {
+            let q = Query::ByString { attr: "A".into(), value: format!("v{val}") };
+            let mut keys = Vec::new();
+            let mut page = 0;
+            let mut total = None;
+            loop {
+                let p = server.query_page(&q, page).unwrap();
+                total = p.total_matches.or(total);
+                keys.extend(p.records.iter().map(|r| r.key));
+                if !p.has_more {
+                    break;
+                }
+                page += 1;
+            }
+            (total, keys)
+        };
+        let t = table_from(&records);
+        let mut uncapped = WebDbServer::new(t.clone(), InterfaceSpec::permissive(&schema, 3));
+        let (total_u, keys_u) = collect(&mut uncapped);
+        let mut capped =
+            WebDbServer::new(t, InterfaceSpec::permissive(&schema, 3).with_result_cap(cap));
+        let (total_c, keys_c) = collect(&mut capped);
+        prop_assert_eq!(total_u, total_c, "reported totals are cap-independent");
+        prop_assert!(keys_c.len() <= cap);
+        prop_assert_eq!(&keys_u[..keys_c.len()], &keys_c[..], "capped result is a prefix");
+    }
+}

@@ -1,0 +1,110 @@
+//! Capture–recapture ("overlap analysis") database-size estimation.
+//!
+//! The paper (Section 5, citing Lawrence & Giles) estimates the size of the
+//! Amazon DVD database from six independent crawls: every pair of crawls
+//! yields a Lincoln–Petersen estimate `|A|·|B| / |A∩B|`, producing
+//! `C(6,2) = 15` estimates that feed a t-test.
+
+/// Lincoln–Petersen estimator of population size from two independent
+/// samples: `N̂ = |A|·|B| / |A∩B|`.
+///
+/// Returns `None` when the samples do not overlap (the estimator is
+/// undefined) or either sample is empty.
+pub fn lincoln_petersen(size_a: usize, size_b: usize, overlap: usize) -> Option<f64> {
+    if overlap == 0 || size_a == 0 || size_b == 0 {
+        return None;
+    }
+    Some(size_a as f64 * size_b as f64 / overlap as f64)
+}
+
+/// All pairwise Lincoln–Petersen estimates over a family of samples.
+///
+/// Each sample is a *sorted, deduplicated* slice of record identifiers.
+/// Non-overlapping pairs are skipped, matching the paper's procedure (an
+/// estimate simply cannot be formed for them). For `n` samples, at most
+/// `n·(n−1)/2` estimates are returned.
+///
+/// # Panics
+/// Panics (in debug builds) if a sample is not strictly sorted.
+pub fn pairwise_estimates(samples: &[Vec<u32>]) -> Vec<f64> {
+    for s in samples {
+        debug_assert!(s.windows(2).all(|w| w[0] < w[1]), "samples must be sorted and deduplicated");
+    }
+    let mut out = Vec::with_capacity(samples.len() * samples.len().saturating_sub(1) / 2);
+    for i in 0..samples.len() {
+        for j in (i + 1)..samples.len() {
+            let overlap = sorted_intersection_size(&samples[i], &samples[j]);
+            if let Some(est) = lincoln_petersen(samples[i].len(), samples[j].len(), overlap) {
+                out.push(est);
+            }
+        }
+    }
+    out
+}
+
+/// Size of the intersection of two sorted, deduplicated id lists (linear merge).
+pub fn sorted_intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_exact_when_samples_are_whole_population() {
+        // Both samples are the full population of 100: estimate is exact.
+        assert_eq!(lincoln_petersen(100, 100, 100), Some(100.0));
+    }
+
+    #[test]
+    fn lp_half_overlap() {
+        // |A|=50, |B|=40, overlap 20 → 100.
+        assert_eq!(lincoln_petersen(50, 40, 20), Some(100.0));
+    }
+
+    #[test]
+    fn lp_undefined_without_overlap() {
+        assert_eq!(lincoln_petersen(10, 10, 0), None);
+        assert_eq!(lincoln_petersen(0, 10, 0), None);
+    }
+
+    #[test]
+    fn intersection_size_basic() {
+        assert_eq!(sorted_intersection_size(&[1, 3, 5, 7], &[3, 4, 5, 6, 7]), 3);
+        assert_eq!(sorted_intersection_size(&[], &[1, 2]), 0);
+        assert_eq!(sorted_intersection_size(&[1, 2], &[3, 4]), 0);
+    }
+
+    #[test]
+    fn pairwise_counts_and_values() {
+        let samples = vec![
+            vec![0, 1, 2, 3, 4],       // 5 ids
+            vec![2, 3, 4, 5, 6],       // 5 ids, overlap 3 → 25/3
+            vec![100, 101],            // disjoint from both → skipped
+        ];
+        let ests = pairwise_estimates(&samples);
+        assert_eq!(ests.len(), 1);
+        assert!((ests[0] - 25.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_full_family() {
+        // Three identical samples of a 4-element population: 3 estimates of 4.
+        let s = vec![vec![1, 2, 3, 4]; 3];
+        let ests = pairwise_estimates(&s);
+        assert_eq!(ests, vec![4.0, 4.0, 4.0]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Statistical substrate for the deep-web crawling reproduction.
+//!
+//! Everything the paper's evaluation needs that would normally come from a
+//! statistics package is implemented here from first principles:
+//!
+//! * [`zipf`] — power-law (Zipf) sampling used by the dataset generators, since
+//!   Figure 2 of the paper shows database graphs follow power-law degree
+//!   distributions.
+//! * [`descriptive`] — means, variances, quantiles.
+//! * [`regression`] — least-squares line fits for the log–log degree plots.
+//! * [`ttest`] — Student-t machinery (log-gamma, regularized incomplete beta)
+//!   for the Amazon-size hypothesis test in Section 5 of the paper.
+//! * [`capture`] — Lincoln–Petersen capture–recapture ("overlap analysis",
+//!   Lawrence & Giles) database-size estimation.
+//! * [`mod@pmi`] — pointwise mutual information used by the MMMI query-selection
+//!   policy (Definition 3.1 of the paper).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capture;
+pub mod descriptive;
+pub mod pmi;
+pub mod regression;
+pub mod ttest;
+pub mod zipf;
+
+pub use capture::{lincoln_petersen, pairwise_estimates};
+pub use descriptive::{mean, sample_variance, std_dev};
+pub use pmi::pmi;
+pub use regression::{linear_fit, LineFit};
+pub use ttest::{one_sample_upper_bound, t_cdf, TTest};
+pub use zipf::Zipf;

@@ -1,0 +1,79 @@
+//! Pointwise mutual information between attribute values.
+//!
+//! Definition 3.1 of the paper scores the dependency between a candidate query
+//! `q_i` and a past query `q_j` as
+//!
+//! ```text
+//! ln  P(q_i, q_j | DB_local) / ( P(q_i | DB_local) · P(q_j | DB_local) )
+//! ```
+//!
+//! computed from record co-occurrence counts in the locally harvested
+//! database. The MMMI policy takes the *maximum* of this over all issued
+//! queries and prefers candidates with the smallest maximum (min–max).
+
+/// Pointwise mutual information from raw counts.
+///
+/// * `co` — number of records where both values occur,
+/// * `a`, `b` — numbers of records where each value occurs,
+/// * `n` — total number of records.
+///
+/// Returns `ln( (co/n) / ((a/n)·(b/n)) ) = ln( co·n / (a·b) )`.
+/// Returns `f64::NEG_INFINITY` when the pair never co-occurs (independent or
+/// anti-correlated beyond observation), and `None` for inconsistent counts
+/// (zero marginals with nonzero co-occurrence, or `n == 0`).
+pub fn pmi(co: usize, a: usize, b: usize, n: usize) -> Option<f64> {
+    if n == 0 || co > a || co > b || a > n || b > n {
+        return None;
+    }
+    if a == 0 || b == 0 {
+        return None;
+    }
+    if co == 0 {
+        return Some(f64::NEG_INFINITY);
+    }
+    Some(((co as f64 * n as f64) / (a as f64 * b as f64)).ln())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn independent_values_have_zero_pmi() {
+        // P(a)=0.5, P(b)=0.5, P(ab)=0.25 over n=100.
+        let v = pmi(25, 50, 50, 100).unwrap();
+        assert!(v.abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfectly_correlated_values_positive() {
+        // a and b always co-occur: P(ab)=P(a)=P(b)=0.1 → ln(10) > 0.
+        let v = pmi(10, 10, 10, 100).unwrap();
+        assert!((v - 10f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn never_cooccurring_is_neg_infinity() {
+        assert_eq!(pmi(0, 10, 10, 100), Some(f64::NEG_INFINITY));
+    }
+
+    #[test]
+    fn symmetric_in_arguments() {
+        assert_eq!(pmi(5, 20, 30, 100), pmi(5, 30, 20, 100));
+    }
+
+    #[test]
+    fn inconsistent_counts_rejected() {
+        assert_eq!(pmi(5, 3, 10, 100), None); // co > a
+        assert_eq!(pmi(0, 0, 10, 100), None); // zero marginal
+        assert_eq!(pmi(0, 1, 1, 0), None); // empty database
+        assert_eq!(pmi(1, 200, 10, 100), None); // a > n
+    }
+
+    #[test]
+    fn anti_correlated_is_negative() {
+        // P(a)=P(b)=0.5 but they co-occur in only 5% of records.
+        let v = pmi(5, 50, 50, 100).unwrap();
+        assert!(v < 0.0);
+    }
+}

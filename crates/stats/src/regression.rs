@@ -1,0 +1,130 @@
+//! Ordinary least-squares line fitting.
+//!
+//! Used to fit the log–log degree distributions of attribute-value graphs
+//! (paper Figure 2): a power law `freq ∝ degree^{-α}` appears as a straight
+//! line with slope `-α` in log–log space.
+
+/// Result of a least-squares line fit `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+/// Fits a straight line to the paired observations by ordinary least squares.
+///
+/// Returns `None` when fewer than two points are given, the lengths differ, or
+/// all `x` values coincide (vertical line).
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        sxy += (x - mx) * (y - my);
+        syy += (y - my) * (y - my);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    let r_squared = if syy == 0.0 {
+        1.0 // all ys equal: the horizontal line is a perfect fit
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
+    Some(LineFit { slope, intercept, r_squared })
+}
+
+/// Fits `log10(y) ≈ slope·log10(x) + intercept`, skipping non-positive points.
+///
+/// This is the Figure 2 transformation; the returned slope is `-α` for a power
+/// law with exponent `α`. Returns `None` when fewer than two positive points
+/// survive the filter.
+pub fn log_log_fit(xs: &[f64], ys: &[f64]) -> Option<LineFit> {
+    let mut lx = Vec::with_capacity(xs.len());
+    let mut ly = Vec::with_capacity(ys.len());
+    for (&x, &y) in xs.iter().zip(ys) {
+        if x > 0.0 && y > 0.0 {
+            lx.push(x.log10());
+            ly.push(y.log10());
+        }
+    }
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let ys = [1.0, 3.0, 5.0, 7.0];
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 2.0).abs() < 1e-12);
+        assert!((fit.intercept - 1.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_reasonable_r2() {
+        let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + if x % 2.0 == 0.0 { 0.5 } else { -0.5 }).collect();
+        let fit = linear_fit(&xs, &ys).unwrap();
+        assert!((fit.slope - 3.0).abs() < 0.05);
+        assert!(fit.r_squared > 0.99);
+    }
+
+    #[test]
+    fn too_few_points_is_none() {
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+        assert!(linear_fit(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn mismatched_lengths_is_none() {
+        assert!(linear_fit(&[1.0, 2.0], &[1.0]).is_none());
+    }
+
+    #[test]
+    fn vertical_line_is_none() {
+        assert!(linear_fit(&[2.0, 2.0, 2.0], &[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn horizontal_line_has_r2_one() {
+        let fit = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn log_log_recovers_power_law_exponent() {
+        // y = 100 * x^{-2}
+        let xs: Vec<f64> = (1..=50).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 100.0 * x.powf(-2.0)).collect();
+        let fit = log_log_fit(&xs, &ys).unwrap();
+        assert!((fit.slope + 2.0).abs() < 1e-9, "slope {}", fit.slope);
+        assert!((fit.intercept - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn log_log_skips_nonpositive_points() {
+        let xs = [0.0, 1.0, 10.0, 100.0];
+        let ys = [5.0, 1.0, 0.1, 0.01];
+        let fit = log_log_fit(&xs, &ys).unwrap();
+        assert!((fit.slope + 1.0).abs() < 1e-9);
+    }
+}

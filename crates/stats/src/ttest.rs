@@ -1,0 +1,312 @@
+//! Student-t machinery: log-gamma, regularized incomplete beta, the t
+//! cumulative distribution, one-sample t-tests and one-sided confidence
+//! bounds.
+//!
+//! Section 5 of the paper estimates the Amazon DVD database size by running
+//! six independent crawls, forming the 15 pairwise capture–recapture
+//! estimates, and applying a t-test to conclude "with 90% confidence, the
+//! Amazon DVD product database contains less than 37,000 data records". The
+//! [`one_sample_upper_bound`] function reproduces exactly that computation.
+
+use crate::descriptive::{mean, sample_variance};
+
+/// Natural log of the gamma function (Lanczos approximation, g=7, n=9).
+///
+/// Accurate to ~15 significant digits for positive arguments, which is far
+/// more than the t-tests here require.
+pub fn ln_gamma(x: f64) -> f64 {
+    assert!(x > 0.0, "ln_gamma requires a positive argument");
+    // Lanczos coefficients for g = 7.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula keeps accuracy for small x.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via Lentz's continued
+/// fraction, as in Numerical Recipes.
+pub fn incomplete_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && b > 0.0, "incomplete_beta requires positive shape parameters");
+    assert!((0.0..=1.0).contains(&x), "incomplete_beta requires x in [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    // Use the symmetry relation so the continued fraction converges fast.
+    // Both branches are computed directly (no recursion) so that x exactly at
+    // the switch-over threshold cannot loop.
+    if x < (a + 1.0) / (a + b + 2.0) {
+        ln_front.exp() * beta_cf(a, b, x) / a
+    } else {
+        1.0 - ln_front.exp() * beta_cf(b, a, 1.0 - x) / b
+    }
+}
+
+/// Continued-fraction helper for [`incomplete_beta`] (modified Lentz method).
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-15;
+    const TINY: f64 = 1e-300;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of Student's t distribution with `df` degrees of freedom.
+pub fn t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if t == 0.0 {
+        return 0.5;
+    }
+    let x = df / (df + t * t);
+    let p = 0.5 * incomplete_beta(0.5 * df, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Inverse CDF (quantile) of Student's t via bisection on [`t_cdf`].
+///
+/// `p` must lie strictly inside `(0, 1)`.
+pub fn t_quantile(p: f64, df: f64) -> f64 {
+    assert!(p > 0.0 && p < 1.0, "quantile probability must be in (0,1)");
+    assert!(df > 0.0, "degrees of freedom must be positive");
+    if (p - 0.5).abs() < 1e-15 {
+        return 0.0;
+    }
+    // Bracket the root; t quantiles for sane p are well within ±1e5.
+    let (mut lo, mut hi) = (-1e6, 1e6);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Result of a one-sample t-test of `H0: μ = mu0`.
+#[derive(Debug, Clone, Copy)]
+pub struct TTest {
+    /// The t statistic `(x̄ − μ0)·√n / s`.
+    pub t_statistic: f64,
+    /// Degrees of freedom, `n − 1`.
+    pub df: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Sample mean.
+    pub sample_mean: f64,
+    /// Sample standard deviation.
+    pub sample_std: f64,
+}
+
+/// One-sample, two-sided Student t-test of the null hypothesis `μ = mu0`.
+///
+/// Returns `None` when fewer than two observations are available or the
+/// sample variance is zero.
+pub fn one_sample_ttest(xs: &[f64], mu0: f64) -> Option<TTest> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let m = mean(xs);
+    let var = sample_variance(xs);
+    if var == 0.0 {
+        return None;
+    }
+    let s = var.sqrt();
+    let t = (m - mu0) * n.sqrt() / s;
+    let df = n - 1.0;
+    let p = 2.0 * (1.0 - t_cdf(t.abs(), df));
+    Some(TTest { t_statistic: t, df, p_value: p, sample_mean: m, sample_std: s })
+}
+
+/// One-sided upper confidence bound for the population mean:
+/// `x̄ + t_{conf, n−1} · s / √n`.
+///
+/// With `confidence = 0.90` and the 15 pairwise size estimates, this is the
+/// computation behind the paper's "< 37,000 records with 90% confidence"
+/// claim. Returns `None` with fewer than two observations.
+pub fn one_sample_upper_bound(xs: &[f64], confidence: f64) -> Option<f64> {
+    if xs.len() < 2 || !(0.0..1.0).contains(&confidence) {
+        return None;
+    }
+    let n = xs.len() as f64;
+    let m = mean(xs);
+    let s = sample_variance(xs).sqrt();
+    if s == 0.0 {
+        return Some(m);
+    }
+    let t = t_quantile(confidence, n - 1.0);
+    Some(m + t * s / n.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(0.5)=√π
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-10);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn incomplete_beta_boundaries() {
+        assert_eq!(incomplete_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(incomplete_beta(2.0, 3.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn incomplete_beta_uniform_case() {
+        // I_x(1,1) = x.
+        for &x in &[0.1, 0.37, 0.5, 0.92] {
+            assert!((incomplete_beta(1.0, 1.0, x) - x).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn incomplete_beta_symmetry() {
+        for &(a, b, x) in &[(2.0, 5.0, 0.3), (0.7, 1.3, 0.6), (4.0, 4.0, 0.25)] {
+            let lhs = incomplete_beta(a, b, x);
+            let rhs = 1.0 - incomplete_beta(b, a, 1.0 - x);
+            assert!((lhs - rhs).abs() < 1e-12, "symmetry failed for ({a},{b},{x})");
+        }
+    }
+
+    #[test]
+    fn t_cdf_symmetry_and_median() {
+        assert!((t_cdf(0.0, 5.0) - 0.5).abs() < 1e-15);
+        for &t in &[0.5, 1.0, 2.3] {
+            let up = t_cdf(t, 7.0);
+            let dn = t_cdf(-t, 7.0);
+            assert!((up + dn - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn t_cdf_known_quantiles() {
+        // Standard tables: t_{0.95, 5} = 2.015, t_{0.975, 10} = 2.228,
+        // t_{0.90, 14} = 1.345.
+        assert!((t_cdf(2.015, 5.0) - 0.95).abs() < 2e-3);
+        assert!((t_cdf(2.228, 10.0) - 0.975).abs() < 2e-3);
+        assert!((t_cdf(1.345, 14.0) - 0.90).abs() < 2e-3);
+    }
+
+    #[test]
+    fn t_quantile_inverts_cdf() {
+        for &(p, df) in &[(0.9, 14.0), (0.95, 5.0), (0.1, 3.0), (0.5, 9.0)] {
+            let q = t_quantile(p, df);
+            assert!((t_cdf(q, df) - p).abs() < 1e-9, "p={p}, df={df}");
+        }
+    }
+
+    #[test]
+    fn t_quantile_matches_tables() {
+        assert!((t_quantile(0.90, 14.0) - 1.345).abs() < 2e-3);
+        assert!((t_quantile(0.95, 5.0) - 2.015).abs() < 2e-3);
+    }
+
+    #[test]
+    fn ttest_detects_shifted_mean() {
+        let xs = [5.1, 4.9, 5.2, 5.0, 5.1, 4.8, 5.0, 5.2];
+        let t = one_sample_ttest(&xs, 4.0).unwrap();
+        assert!(t.p_value < 1e-6, "strongly shifted mean must reject H0");
+        let t2 = one_sample_ttest(&xs, 5.0).unwrap();
+        assert!(t2.p_value > 0.1, "true mean must not be rejected");
+    }
+
+    #[test]
+    fn ttest_degenerate_inputs() {
+        assert!(one_sample_ttest(&[1.0], 0.0).is_none());
+        assert!(one_sample_ttest(&[2.0, 2.0, 2.0], 0.0).is_none());
+    }
+
+    #[test]
+    fn upper_bound_covers_mean() {
+        let xs = [30_000.0, 32_000.0, 35_000.0, 31_000.0, 33_000.0, 36_000.0];
+        let ub = one_sample_upper_bound(&xs, 0.90).unwrap();
+        let m = mean(&xs);
+        assert!(ub > m, "upper bound must exceed the sample mean");
+        // Hand computation: mean 32833.33, s ≈ 2316.61, n=6, t_{0.9,5} ≈ 1.476
+        // → ub ≈ 34229.
+        assert!((ub - 34_229.0).abs() < 20.0, "ub = {ub}");
+    }
+
+    #[test]
+    fn upper_bound_tightens_with_lower_confidence() {
+        let xs = [10.0, 12.0, 11.0, 13.0, 9.0];
+        let ub90 = one_sample_upper_bound(&xs, 0.90).unwrap();
+        let ub50 = one_sample_upper_bound(&xs, 0.50).unwrap();
+        assert!(ub90 > ub50);
+    }
+}

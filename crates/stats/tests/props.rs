@@ -1,0 +1,80 @@
+//! Property tests for the statistical substrate.
+
+use dwc_stats::ttest::{incomplete_beta, one_sample_ttest, t_cdf, t_quantile};
+use dwc_stats::{lincoln_petersen, Zipf};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The t CDF is a CDF: bounded in [0,1], non-decreasing in t, symmetric
+    /// around 0.
+    #[test]
+    fn t_cdf_is_a_cdf(t1 in -50.0f64..50.0, t2 in -50.0f64..50.0, df in 1.0f64..100.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        let (c_lo, c_hi) = (t_cdf(lo, df), t_cdf(hi, df));
+        prop_assert!((0.0..=1.0).contains(&c_lo));
+        prop_assert!((0.0..=1.0).contains(&c_hi));
+        prop_assert!(c_lo <= c_hi + 1e-12, "monotone: F({lo})={c_lo} vs F({hi})={c_hi}");
+        prop_assert!((t_cdf(t1, df) + t_cdf(-t1, df) - 1.0).abs() < 1e-9, "symmetry");
+    }
+
+    /// The quantile function inverts the CDF across the usable range.
+    #[test]
+    fn t_quantile_inverts(p in 0.01f64..0.99, df in 1.0f64..60.0) {
+        let q = t_quantile(p, df);
+        prop_assert!((t_cdf(q, df) - p).abs() < 1e-7);
+    }
+
+    /// Incomplete beta stays within [0,1] and is monotone in x.
+    #[test]
+    fn incomplete_beta_bounded_monotone(
+        a in 0.1f64..20.0,
+        b in 0.1f64..20.0,
+        x1 in 0.0f64..1.0,
+        x2 in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let (i_lo, i_hi) = (incomplete_beta(a, b, lo), incomplete_beta(a, b, hi));
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&i_lo));
+        prop_assert!(i_lo <= i_hi + 1e-9);
+    }
+
+    /// Zipf: pmf sums to 1; every sample lands in range; pmf is decreasing.
+    #[test]
+    fn zipf_is_a_distribution(n in 1usize..2000, s in 0.2f64..2.5, seed in any::<u64>()) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (1..=n).map(|r| z.pmf(r)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-6);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..32 {
+            let r = z.sample(&mut rng);
+            prop_assert!((1..=n).contains(&r));
+        }
+        for r in 1..n.min(50) {
+            prop_assert!(z.pmf(r) >= z.pmf(r + 1));
+        }
+    }
+
+    /// Lincoln–Petersen never estimates below the larger sample, and is
+    /// exact when one sample is contained in the other of full size.
+    #[test]
+    fn lincoln_petersen_lower_bound(a in 1usize..10_000, b in 1usize..10_000) {
+        let overlap = a.min(b);
+        let est = lincoln_petersen(a, b, overlap).unwrap();
+        prop_assert!(est + 1e-9 >= a.max(b) as f64);
+    }
+
+    /// A one-sample t-test of data against its own mean never rejects
+    /// violently: |t| small, p large.
+    #[test]
+    fn ttest_against_own_mean_is_calm(xs in prop::collection::vec(-100.0f64..100.0, 3..40)) {
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        if let Some(t) = one_sample_ttest(&xs, mean) {
+            prop_assert!(t.t_statistic.abs() < 1e-6);
+            prop_assert!(t.p_value > 0.99);
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Domain-knowledge crawling: use an IMDB-like sample to crawl an
+//! Amazon-DVD-like target (the paper's Section 4 / Figure 5 setting).
+//!
+//! A domain statistics table built from a same-domain sample database gives
+//! the crawler (a) candidate queries it has never seen in the target and
+//! (b) global frequency statistics for harvest-rate estimation.
+//!
+//! Run with: `cargo run --release --example domain_crawl`
+
+use deep_web_crawler::datagen::paired::subset_by_min_year;
+use deep_web_crawler::prelude::*;
+use std::sync::Arc;
+
+fn main() {
+    // One hidden movie-domain model produces both sources.
+    let pair = PairedDataset::generate(PairedSpec { scale: 0.03, overlap: 0.8, seed: 1 });
+    let n = pair.target.num_records();
+    println!(
+        "sample (IMDB-like): {} records   target (Amazon-DVD-like): {} records",
+        pair.sample.num_records(),
+        n
+    );
+
+    // Domain table from the post-1960 subset of the sample.
+    let dm = Arc::new(DomainTable::build(subset_by_min_year(&pair.sample, 1960)));
+    println!(
+        "domain table: {} records, {} candidate attribute values\n",
+        dm.num_records(),
+        dm.num_values()
+    );
+
+    let budget = 300u64;
+    for kind in [PolicyKind::GreedyLink, PolicyKind::Domain(Arc::clone(&dm))] {
+        let interface = InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(100);
+        let mut server = WebDbServer::new(pair.target.clone(), interface);
+        let config = CrawlConfig {
+            known_target_size: Some(n),
+            max_rounds: Some(budget),
+            ..Default::default()
+        };
+        let mut crawler = Crawler::new(&mut server, kind.build(), config);
+        crawler.add_seed("Language", "Language_0");
+        let report = crawler.run();
+        println!(
+            "{:<4} after {budget} rounds: {:5} records  (coverage {:.1}%)",
+            kind.label(),
+            report.records,
+            report.final_coverage.unwrap_or(0.0) * 100.0
+        );
+    }
+    println!(
+        "\nThe DM crawler leverages the sample's statistics — it knows which unseen\n\
+         values are likely hubs — and harvests faster, as in the paper's Figure 5."
+    );
+}

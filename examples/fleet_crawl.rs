@@ -1,0 +1,61 @@
+//! Fleet crawling: harvest several structured sources under one global
+//! communication budget (the paper's closing "real world product database
+//! crawler" deployment scenario).
+//!
+//! Compares even budget allocation against harvest-proportional allocation,
+//! which shifts rounds toward the sources that are still producing new
+//! records.
+//!
+//! Run with: `cargo run --release --example fleet_crawl`
+
+use deep_web_crawler::core::fleet::{run_fleet, AllocationStrategy, FleetConfig, FleetJob};
+use deep_web_crawler::prelude::*;
+
+fn jobs() -> Vec<FleetJob> {
+    // Four stores of very different sizes from the same movie domain.
+    [0.002, 0.004, 0.01, 0.02]
+        .iter()
+        .enumerate()
+        .map(|(i, &scale)| {
+            let table = Preset::Imdb.table(scale, i as u64 + 1);
+            let n = table.num_records();
+            let spec = InterfaceSpec::permissive(table.schema(), 10);
+            FleetJob {
+                server: WebDbServer::new(table, spec),
+                policy: PolicyKind::GreedyLink,
+                seeds: vec![("Language".into(), "Language_0".into())],
+                config: CrawlConfig { known_target_size: Some(n), ..Default::default() },
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let budget = 2_000;
+    for allocation in [AllocationStrategy::Even, AllocationStrategy::HarvestProportional] {
+        let report = run_fleet(
+            jobs(),
+            FleetConfig { total_rounds: budget, slice: 100, allocation },
+        );
+        println!("{allocation:?} allocation — budget {budget} rounds:");
+        for (i, r) in report.sources.iter().enumerate() {
+            println!(
+                "  source {}: {:5} records ({:5.1}% coverage) in {:4} rounds [{:?}]",
+                i + 1,
+                r.records,
+                r.final_coverage.unwrap_or(0.0) * 100.0,
+                r.rounds,
+                r.stop
+            );
+        }
+        println!(
+            "  total: {} records in {} rounds\n",
+            report.total_records(),
+            report.total_rounds
+        );
+    }
+    println!(
+        "Harvest-proportional allocation moves budget away from saturated sources,\n\
+         which lifts the fleet-wide record total at the same cost."
+    );
+}

@@ -1,0 +1,53 @@
+//! Estimate a hidden database's size by overlap analysis (capture–recapture),
+//! as the paper does for the Amazon DVD database in Section 5.
+//!
+//! Several independent short crawls each collect a sample of record keys; the
+//! Lincoln–Petersen estimator on every pair of samples yields a family of
+//! size estimates; a one-sided Student-t bound turns them into a confidence
+//! statement.
+//!
+//! Run with: `cargo run --release --example size_estimation`
+
+use deep_web_crawler::prelude::*;
+use deep_web_crawler::stats;
+
+fn main() {
+    let table = Preset::Imdb.table(0.01, 5);
+    let true_size = table.num_records();
+    let crawls = 6;
+    let budget = 120u64;
+    println!("hidden target of {true_size} records; {crawls} crawls × {budget} rounds each\n");
+
+    let mut samples: Vec<Vec<u32>> = Vec::new();
+    for i in 0..crawls {
+        let interface = InterfaceSpec::permissive(table.schema(), 10);
+        let mut server = WebDbServer::new(table.clone(), interface);
+        let config = CrawlConfig { max_rounds: Some(budget), ..Default::default() };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::Random(i).build(), config);
+        crawler.add_seed("Language", &format!("Language_{i}"));
+        crawler.add_seed("Actor", &format!("Actor_{}", i * 17));
+        while crawler.rounds() < budget {
+            if crawler.step().is_none() {
+                break;
+            }
+        }
+        let mut keys: Vec<u32> = (0..true_size as u32)
+            .filter(|&k| crawler.state().local.contains_key(u64::from(k)))
+            .collect();
+        keys.sort_unstable();
+        println!("crawl {} harvested {} records", i + 1, keys.len());
+        samples.push(keys);
+    }
+
+    let estimates = stats::pairwise_estimates(&samples);
+    println!("\n{} pairwise Lincoln–Petersen estimates", estimates.len());
+    let mean = stats::mean(&estimates);
+    let upper = stats::one_sample_upper_bound(&estimates, 0.90).expect("enough estimates");
+    println!("mean estimate     : {mean:.0}");
+    println!("90% upper bound   : {upper:.0}");
+    println!("true size         : {true_size}");
+    println!(
+        "\nThe paper used exactly this procedure to conclude the Amazon DVD database\n\
+         held fewer than 37,000 records with 90% confidence."
+    );
+}

@@ -1,0 +1,257 @@
+//! `dwc` — command-line front end for the deep-web crawler.
+//!
+//! ```text
+//! dwc generate <ebay|acm|dblp|imdb> [--scale S] [--seed N] [--out FILE.csv]
+//! dwc graph <FILE.csv>
+//! dwc crawl <FILE.csv> [--policy bfs|dfs|random|freq|gl|mmmi]
+//!           [--seed-value ATTR=VALUE]... [--budget ROUNDS] [--page-size K]
+//!           [--cap N] [--coverage F] [--keyword] [--stats]
+//!           [--checkpoint OUT] [--resume IN] [--trace OUT.csv]
+//! ```
+//!
+//! `generate` writes a synthetic dataset as CSV; `graph` prints the
+//! attribute-value-graph statistics of a CSV table (Figure 2 style);
+//! `crawl` runs a crawl against an in-process server over the CSV table and
+//! reports cost and coverage, optionally checkpointing/resuming and dumping
+//! the per-query trace for plotting.
+
+use deep_web_crawler::datagen::loader::{load_csv, to_csv};
+use deep_web_crawler::model::components::Connectivity;
+use deep_web_crawler::model::degree::DegreeDistribution;
+use deep_web_crawler::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("generate") => cmd_generate(&args[1..]),
+        Some("graph") => cmd_graph(&args[1..]),
+        Some("crawl") => cmd_crawl(&args[1..]),
+        Some("help") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown subcommand {other:?}; see `dwc help`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("dwc: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const HELP: &str = "\
+dwc — query-selection crawler for structured web sources
+
+USAGE:
+  dwc generate <ebay|acm|dblp|imdb> [--scale S] [--seed N] [--out FILE.csv]
+  dwc graph <FILE.csv>
+  dwc crawl <FILE.csv> [--policy bfs|dfs|random|freq|gl|mmmi]
+            [--seed-value ATTR=VALUE]... [--budget ROUNDS] [--page-size K]
+            [--cap N] [--coverage F] [--keyword] [--stats]
+            [--checkpoint OUT] [--resume IN] [--trace OUT.csv]
+  dwc help
+";
+
+/// Parsed command line: positional arguments plus accumulated `--flag value`
+/// pairs.
+type ParsedArgs = (Vec<String>, Vec<(String, String)>);
+
+/// Tiny flag parser: returns (positional args, flag map); repeatable flags
+/// accumulate.
+fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if let Some(name) = a.strip_prefix("--") {
+            if name == "keyword" || name == "stats" {
+                flags.push((name.to_string(), "true".to_string()));
+                continue;
+            }
+            let value =
+                it.next().ok_or_else(|| format!("flag --{name} needs a value"))?.to_string();
+            flags.push((name.to_string(), value));
+        } else {
+            positional.push(a.clone());
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    flags.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+fn cmd_generate(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let preset = match pos.first().map(String::as_str) {
+        Some("ebay") => Preset::Ebay,
+        Some("acm") => Preset::Acm,
+        Some("dblp") => Preset::Dblp,
+        Some("imdb") => Preset::Imdb,
+        other => return Err(format!("unknown preset {other:?} (ebay|acm|dblp|imdb)")),
+    };
+    let scale: f64 = flag(&flags, "scale").unwrap_or("0.01").parse().map_err(|_| "bad --scale")?;
+    let seed: u64 = flag(&flags, "seed").unwrap_or("1").parse().map_err(|_| "bad --seed")?;
+    let table = preset.table(scale, seed);
+    let csv = to_csv(&table);
+    match flag(&flags, "out") {
+        Some(path) => {
+            std::fs::write(path, &csv).map_err(|e| format!("writing {path}: {e}"))?;
+            eprintln!(
+                "wrote {} records ({} distinct values) to {path}",
+                table.num_records(),
+                table.num_distinct_values()
+            );
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn cmd_graph(args: &[String]) -> Result<(), String> {
+    let (pos, _) = parse_flags(args)?;
+    let path = pos.first().ok_or("graph needs a CSV file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let table = load_csv(&text).map_err(|e| e.to_string())?;
+    let graph = AvGraph::from_table(&table);
+    let dd = DegreeDistribution::of_graph(&graph);
+    let conn = Connectivity::analyze(&table);
+    println!("records            : {}", table.num_records());
+    println!("distinct values    : {}", table.num_distinct_values());
+    println!("AVG edges          : {}", graph.num_edges());
+    println!("max / mean degree  : {} / {:.2}", dd.max_degree(), dd.mean_degree());
+    println!("largest component  : {:.1}% of records", conn.largest_component_coverage() * 100.0);
+    if let Some(fit) = dd.power_law_fit() {
+        println!(
+            "power-law fit      : slope {:.3}, intercept {:.3}, R² {:.3}",
+            fit.slope, fit.intercept, fit.r_squared
+        );
+    }
+    Ok(())
+}
+
+fn parse_policy(name: &str) -> Result<PolicyKind, String> {
+    Ok(match name {
+        "bfs" => PolicyKind::Bfs,
+        "dfs" => PolicyKind::Dfs,
+        "random" => PolicyKind::Random(7),
+        "freq" => PolicyKind::FreqGreedy,
+        "gl" => PolicyKind::GreedyLink,
+        "mmmi" => PolicyKind::Mmmi(MmmiConfig {
+            trigger: Saturation::HarvestWindow { window: 32, threshold: 0.25 },
+            batch: 50,
+        }),
+        other => return Err(format!("unknown policy {other:?} (bfs|dfs|random|freq|gl|mmmi)")),
+    })
+}
+
+fn cmd_crawl(args: &[String]) -> Result<(), String> {
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("crawl needs a CSV file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let table = load_csv(&text).map_err(|e| e.to_string())?;
+    let n = table.num_records();
+
+    let policy = parse_policy(flag(&flags, "policy").unwrap_or("gl"))?;
+    let page_size: usize =
+        flag(&flags, "page-size").unwrap_or("10").parse().map_err(|_| "bad --page-size")?;
+    let mut interface = InterfaceSpec::permissive(table.schema(), page_size);
+    if let Some(cap) = flag(&flags, "cap") {
+        interface = interface.with_result_cap(cap.parse().map_err(|_| "bad --cap")?);
+    }
+    let mut config = CrawlConfig {
+        known_target_size: Some(n),
+        ..Default::default()
+    };
+    if let Some(b) = flag(&flags, "budget") {
+        config.max_rounds = Some(b.parse().map_err(|_| "bad --budget")?);
+    }
+    if let Some(c) = flag(&flags, "coverage") {
+        config.target_coverage = Some(c.parse().map_err(|_| "bad --coverage")?);
+    }
+    if flag(&flags, "keyword").is_some() {
+        config.query_mode = QueryMode::Keyword;
+    }
+
+    let mut server = WebDbServer::new(table, interface);
+    let crawler = if let Some(resume_path) = flag(&flags, "resume") {
+        let blob = std::fs::read_to_string(resume_path)
+            .map_err(|e| format!("reading {resume_path}: {e}"))?;
+        let cp = Checkpoint::from_text(&blob).map_err(|e| e.to_string())?;
+        Crawler::resume(&mut server, policy.build(), &cp, config)
+    } else {
+        let mut crawler = Crawler::new(&mut server, policy.build(), config);
+        let mut seeded = false;
+        for (name, value) in flags.iter().filter(|(n, _)| n == "seed-value") {
+            let (attr, val) = value
+                .split_once('=')
+                .ok_or_else(|| format!("--{name} wants ATTR=VALUE, got {value:?}"))?;
+            if !crawler.add_seed(attr, val) {
+                return Err(format!("seed attribute {attr:?} is unknown or not queriable"));
+            }
+            seeded = true;
+        }
+        if !seeded {
+            return Err("crawl needs at least one --seed-value ATTR=VALUE (or --resume)".into());
+        }
+        crawler
+    };
+
+    // Run manually so a checkpoint can be taken at the end regardless of the
+    // stop reason.
+    let mut crawler = crawler;
+    loop {
+        if let Some(max) = crawler_budget_hit(&crawler) {
+            eprintln!("stopping: {max}");
+            break;
+        }
+        if crawler.step().is_none() {
+            eprintln!("stopping: frontier exhausted");
+            break;
+        }
+    }
+    if let Some(cp_path) = flag(&flags, "checkpoint") {
+        std::fs::write(cp_path, crawler.checkpoint().to_text())
+            .map_err(|e| format!("writing {cp_path}: {e}"))?;
+        eprintln!("checkpoint written to {cp_path}");
+    }
+    if flag(&flags, "stats").is_some() {
+        println!(
+            "{}",
+            deep_web_crawler::core::report::CrawlSummary::from_state(crawler.state(), 10)
+        );
+    }
+    let report = crawler.into_report(deep_web_crawler::core::crawler::StopReason::RoundBudget);
+    if let Some(trace_path) = flag(&flags, "trace") {
+        std::fs::write(trace_path, report.trace.to_csv())
+            .map_err(|e| format!("writing {trace_path}: {e}"))?;
+        eprintln!("trace written to {trace_path}");
+    }
+    println!("records   : {} / {}", report.records, n);
+    println!("coverage  : {:.1}%", report.final_coverage.unwrap_or(0.0) * 100.0);
+    println!("queries   : {}", report.queries);
+    println!("rounds    : {}", report.rounds);
+    println!("aborted   : {}", report.aborted_queries);
+    Ok(())
+}
+
+/// Mirrors the crawler's internal budget checks for the manual loop.
+fn crawler_budget_hit(crawler: &Crawler) -> Option<String> {
+    if let Some(cov) = crawler.state().coverage() {
+        if let Some(target) = crawler.target_coverage() {
+            if cov >= target {
+                return Some(format!("coverage target {target} reached"));
+            }
+        }
+    }
+    if let Some(max) = crawler.max_rounds() {
+        if crawler.rounds() >= max {
+            return Some(format!("round budget {max} exhausted"));
+        }
+    }
+    None
+}

@@ -1,0 +1,173 @@
+//! Small-scale assertions of the paper's headline experimental *shapes* —
+//! the same comparisons the figure binaries print, pinned as tests so a
+//! regression in any policy breaks the build.
+
+use deep_web_crawler::datagen::paired::{subset_by_min_year, PairedDataset, PairedSpec};
+use deep_web_crawler::datagen::survey::{paper_table1, run_survey};
+use deep_web_crawler::model::degree::DegreeDistribution;
+use deep_web_crawler::prelude::*;
+use std::sync::Arc;
+
+fn rounds_to(table: &UniversalTable, kind: &PolicyKind, coverage: f64, seeds: &[(&str, &str)]) -> u64 {
+    let n = table.num_records();
+    let mut server = WebDbServer::new(table.clone(), InterfaceSpec::permissive(table.schema(), 10));
+    let config = CrawlConfig {
+        known_target_size: Some(n),
+        target_coverage: Some(coverage),
+        ..Default::default()
+    };
+    let mut crawler = Crawler::new(&mut server, kind.build(), config);
+    for (a, v) in seeds {
+        crawler.add_seed(a, v);
+    }
+    let report = crawler.run();
+    report.trace.rounds_to_coverage(coverage, n).unwrap_or(u64::MAX)
+}
+
+/// Figure 3's shape: GL reaches 90% coverage with fewer rounds than DFS and
+/// Random, and no worse than ~1.2× BFS, on a small eBay instance.
+#[test]
+fn fig3_shape_gl_beats_naive() {
+    let table = Preset::Ebay.table(0.02, 1);
+    let seeds = [("Categories", "Categories_0"), ("Seller", "Seller_1")];
+    let gl = rounds_to(&table, &PolicyKind::GreedyLink, 0.9, &seeds);
+    let dfs = rounds_to(&table, &PolicyKind::Dfs, 0.9, &seeds);
+    let random = rounds_to(&table, &PolicyKind::Random(3), 0.9, &seeds);
+    let bfs = rounds_to(&table, &PolicyKind::Bfs, 0.9, &seeds);
+    assert!(gl < dfs, "GL ({gl}) must beat DFS ({dfs})");
+    assert!(gl < random, "GL ({gl}) must beat Random ({random})");
+    assert!(
+        (gl as f64) < bfs as f64 * 1.2,
+        "GL ({gl}) must be at least competitive with BFS ({bfs})"
+    );
+}
+
+/// Figure 2's shape: the generated DBLP degree distribution is heavy-tailed
+/// (clearly negative log–log slope with a decent fit).
+#[test]
+fn fig2_shape_power_law_degrees() {
+    let table = Preset::Dblp.table(0.01, 1);
+    let g = AvGraph::from_table(&table);
+    let fit = DegreeDistribution::of_graph(&g).power_law_fit().unwrap();
+    assert!(fit.slope < -0.7, "slope {}", fit.slope);
+    assert!(fit.r_squared > 0.5, "R² {}", fit.r_squared);
+}
+
+/// Figure 5's shape: with the same budget, the DM crawler covers at least as
+/// much of the Amazon-like target as GL at the half-budget snapshot.
+#[test]
+fn fig5_shape_dm_dominates_gl_mid_budget() {
+    let pair = PairedDataset::generate(PairedSpec { scale: 0.02, ..Default::default() });
+    let n = pair.target.num_records();
+    let budget = 200u64;
+    let dm = Arc::new(DomainTable::build(subset_by_min_year(&pair.sample, 1960)));
+    let run = |kind: PolicyKind| {
+        let mut server = WebDbServer::new(
+            pair.target.clone(),
+            InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(64),
+        );
+        let config = CrawlConfig {
+            known_target_size: Some(n),
+            max_rounds: Some(budget),
+            ..Default::default()
+        };
+        let mut crawler = Crawler::new(&mut server, kind.build(), config);
+        crawler.add_seed("Language", "Language_0");
+        crawler.add_seed("Actor", "Actor_1");
+        crawler.run()
+    };
+    let gl = run(PolicyKind::GreedyLink);
+    let dm_report = run(PolicyKind::Domain(dm));
+    let at = budget / 2;
+    let gl_cov = gl.trace.coverage_at_rounds(at, n);
+    let dm_cov = dm_report.trace.coverage_at_rounds(at, n);
+    assert!(
+        dm_cov >= gl_cov,
+        "DM ({dm_cov:.3}) must be at least GL ({gl_cov:.3}) at the half-budget snapshot"
+    );
+}
+
+/// Figure 6's shape: tighter result caps reduce coverage at a fixed budget,
+/// monotonically.
+#[test]
+fn fig6_shape_caps_degrade_monotonically() {
+    let pair = PairedDataset::generate(PairedSpec { scale: 0.02, ..Default::default() });
+    let n = pair.target.num_records();
+    let budget = 150u64;
+    let run = |cap: usize| {
+        let mut server = WebDbServer::new(
+            pair.target.clone(),
+            InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(cap),
+        );
+        let config = CrawlConfig {
+            known_target_size: Some(n),
+            max_rounds: Some(budget),
+            ..Default::default()
+        };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+        crawler.add_seed("Language", "Language_0");
+        crawler.run().trace.coverage_at_rounds(budget, n)
+    };
+    let generous = run(10_000);
+    let mid = run(50);
+    let tight = run(10);
+    assert!(generous >= mid, "generous {generous:.3} vs cap-50 {mid:.3}");
+    assert!(mid >= tight, "cap-50 {mid:.3} vs cap-10 {tight:.3}");
+    assert!(generous > tight, "caps must bite overall");
+}
+
+/// Table 1's shape: the simulated survey reproduces the paper's headline —
+/// the overwhelming majority of product sources are crawlable with
+/// single-value queries, with Car the clear outlier.
+#[test]
+fn table1_shape_crawlability() {
+    let outcomes = run_survey(&paper_table1(), 2006);
+    let car = outcomes.iter().find(|o| o.spec.domain == "Car").unwrap();
+    for o in &outcomes {
+        if o.spec.domain == "Car" {
+            assert!(o.observed_crawlable < 0.8, "Car sources are mostly form-locked");
+        } else {
+            assert!(
+                o.observed_crawlable > 0.85,
+                "{} should be mostly crawlable ({:.2})",
+                o.spec.domain,
+                o.observed_crawlable
+            );
+        }
+    }
+    assert!(car.observed_single_attr < 0.75);
+}
+
+/// The size-estimation pipeline lands within a factor-2 band of the truth on
+/// a simulated target (the estimator is biased by sample dependence, as any
+/// capture–recapture over crawl samples is).
+#[test]
+fn size_estimation_is_in_the_right_ballpark() {
+    let table = Preset::Imdb.table(0.005, 5);
+    let true_size = table.num_records() as f64;
+    let mut samples = Vec::new();
+    for i in 0..4u64 {
+        let mut server =
+            WebDbServer::new(table.clone(), InterfaceSpec::permissive(table.schema(), 10));
+        let config = CrawlConfig { max_rounds: Some(80), ..Default::default() };
+        let mut crawler = Crawler::new(&mut server, PolicyKind::Random(i).build(), config);
+        crawler.add_seed("Language", &format!("Language_{i}"));
+        while crawler.rounds() < 80 {
+            if crawler.step().is_none() {
+                break;
+            }
+        }
+        let mut keys: Vec<u32> = (0..table.num_records() as u32)
+            .filter(|&k| crawler.state().local.contains_key(u64::from(k)))
+            .collect();
+        keys.sort_unstable();
+        samples.push(keys);
+    }
+    let estimates = deep_web_crawler::stats::pairwise_estimates(&samples);
+    assert!(!estimates.is_empty());
+    let mean = deep_web_crawler::stats::mean(&estimates);
+    assert!(
+        mean > true_size * 0.5 && mean < true_size * 2.0,
+        "estimate {mean:.0} vs true {true_size}"
+    );
+}
