@@ -1,0 +1,65 @@
+//! Benchmark of the shared-source fleet path: two crawl jobs targeting the
+//! same `Arc<WebDbServer>` (with and without transient-fault injection), so
+//! the cost of the atomic round accounting and the retry/backoff loop shows
+//! up directly.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwc_core::fleet::{run_fleet, FleetConfig, FleetJob};
+use dwc_core::policy::PolicyKind;
+use dwc_core::CrawlConfig;
+use dwc_datagen::presets::Preset;
+use dwc_server::{FaultPolicy, InterfaceSpec, WebDbServer};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn shared_jobs(faults: Option<FaultPolicy>) -> (Arc<WebDbServer>, Vec<FleetJob<Arc<WebDbServer>>>) {
+    let table = Preset::Imdb.table(0.005, 5);
+    let n = table.num_records();
+    let spec = InterfaceSpec::permissive(table.schema(), 10);
+    let mut server = WebDbServer::new(table, spec);
+    if let Some(f) = faults {
+        server = server.with_faults(f);
+    }
+    let shared = Arc::new(server);
+    let jobs = (0..2)
+        .map(|i| FleetJob {
+            source: Arc::clone(&shared),
+            policy: PolicyKind::GreedyLink,
+            seeds: vec![("Language".into(), format!("Language_{i}"))],
+            config: CrawlConfig::builder()
+                .known_target_size(n)
+                .max_retries(32)
+                .build()
+                .expect("valid crawl config"),
+        })
+        .collect();
+    (shared, jobs)
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig::builder().total_rounds(2_000).slice(50).build().expect("valid fleet config")
+}
+
+fn bench_fleet_shared(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fleet_shared");
+    group.sample_size(10);
+    group.bench_function("two_jobs_one_source", |b| {
+        b.iter(|| {
+            let (_shared, jobs) = shared_jobs(None);
+            black_box(run_fleet(jobs, fleet_config()))
+        })
+    });
+    group.bench_function("two_jobs_one_faulty_source", |b| {
+        b.iter(|| {
+            let (shared, jobs) = shared_jobs(Some(FaultPolicy::every(7)));
+            let report = black_box(run_fleet(jobs, fleet_config()));
+            let summed: u64 = report.sources.iter().map(|r| r.rounds).sum();
+            assert_eq!(summed, shared.rounds_used(), "shared billing must stay exact");
+            report
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_shared);
+criterion_main!(benches);

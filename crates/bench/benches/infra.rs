@@ -15,10 +15,10 @@ use std::hint::black_box;
 fn half_crawled() -> (WebDbServer, Checkpoint) {
     let table = Preset::Acm.table(0.01, 1);
     let spec = InterfaceSpec::permissive(table.schema(), 10);
-    let mut server = WebDbServer::new(table, spec);
+    let server = WebDbServer::new(table, spec);
     let cp = {
         let mut crawler =
-            Crawler::new(&mut server, PolicyKind::GreedyLink.build(), CrawlConfig::default());
+            Crawler::new(&server, PolicyKind::GreedyLink.build(), CrawlConfig::default());
         crawler.add_seed("Conference", "Conference_0");
         for _ in 0..40 {
             if crawler.step().is_none() {
@@ -31,7 +31,7 @@ fn half_crawled() -> (WebDbServer, Checkpoint) {
 }
 
 fn bench_checkpoint(c: &mut Criterion) {
-    let (mut server, cp) = half_crawled();
+    let (server, cp) = half_crawled();
     let text = cp.to_text();
     c.bench_function("checkpoint_serialize", |b| b.iter(|| black_box(cp.to_text())));
     c.bench_function("checkpoint_parse", |b| {
@@ -42,7 +42,7 @@ fn bench_checkpoint(c: &mut Criterion) {
     group.bench_function("rebuild_policy_state", |b| {
         b.iter(|| {
             let crawler = Crawler::resume(
-                &mut server,
+                &server,
                 PolicyKind::GreedyLink.build(),
                 &cp,
                 CrawlConfig::default(),
@@ -68,9 +68,8 @@ fn bench_csv(c: &mut Criterion) {
 fn bench_report(c: &mut Criterion) {
     let table = Preset::Acm.table(0.01, 1);
     let spec = InterfaceSpec::permissive(table.schema(), 10);
-    let mut server = WebDbServer::new(table, spec);
-    let mut crawler =
-        Crawler::new(&mut server, PolicyKind::GreedyLink.build(), CrawlConfig::default());
+    let server = WebDbServer::new(table, spec);
+    let mut crawler = Crawler::new(&server, PolicyKind::GreedyLink.build(), CrawlConfig::default());
     crawler.add_seed("Conference", "Conference_0");
     for _ in 0..40 {
         if crawler.step().is_none() {

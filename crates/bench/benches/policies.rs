@@ -20,20 +20,15 @@ fn bench_fig3_point(c: &mut Criterion) {
     let seeds = pick_seeds(&table, 2, 9);
     let mut group = c.benchmark_group("fig3_crawl_to_90pct");
     group.sample_size(10);
-    for kind in [
-        PolicyKind::Bfs,
-        PolicyKind::Dfs,
-        PolicyKind::Random(3),
-        PolicyKind::GreedyLink,
-    ] {
+    for kind in [PolicyKind::Bfs, PolicyKind::Dfs, PolicyKind::Random(3), PolicyKind::GreedyLink] {
         group.bench_with_input(BenchmarkId::from_parameter(kind.label()), &kind, |b, kind| {
             b.iter(|| {
                 let interface = InterfaceSpec::permissive(table.schema(), 10);
-                let config = CrawlConfig {
-                    known_target_size: Some(n),
-                    target_coverage: Some(0.9),
-                    ..Default::default()
-                };
+                let config = CrawlConfig::builder()
+                    .known_target_size(n)
+                    .target_coverage(0.9)
+                    .build()
+                    .expect("valid crawl config");
                 black_box(run_crawl(&table, interface, kind, &seeds, config))
             })
         });
@@ -51,7 +46,8 @@ fn bench_fig4_point(c: &mut Criterion) {
     group.bench_function("gl_mmmi_full", |b| {
         b.iter(|| {
             let interface = InterfaceSpec::permissive(table.schema(), 10);
-            let config = CrawlConfig { known_target_size: Some(n), ..Default::default() };
+            let config =
+                CrawlConfig::builder().known_target_size(n).build().expect("valid crawl config");
             black_box(run_crawl(
                 &table,
                 interface,
@@ -79,11 +75,11 @@ fn bench_fig5_point(c: &mut Criterion) {
             b.iter(|| {
                 let interface =
                     InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(64);
-                let config = CrawlConfig {
-                    known_target_size: Some(n),
-                    max_rounds: Some(150),
-                    ..Default::default()
-                };
+                let config = CrawlConfig::builder()
+                    .known_target_size(n)
+                    .max_rounds(150)
+                    .build()
+                    .expect("valid crawl config");
                 black_box(run_crawl(&pair.target, interface, kind, &seeds, config))
             })
         });
@@ -102,12 +98,12 @@ fn bench_abort_ablation(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(label), &abort, |b, abort| {
             b.iter(|| {
                 let interface = InterfaceSpec::permissive(table.schema(), 10);
-                let config = CrawlConfig {
-                    known_target_size: Some(n),
-                    target_coverage: Some(0.95),
-                    abort: abort.clone(),
-                    ..Default::default()
-                };
+                let config = CrawlConfig::builder()
+                    .known_target_size(n)
+                    .target_coverage(0.95)
+                    .abort(abort.clone())
+                    .build()
+                    .expect("valid crawl config");
                 black_box(run_crawl(&table, interface, &PolicyKind::GreedyLink, &seeds, config))
             })
         });

@@ -34,13 +34,12 @@ fn popular_query(server: &WebDbServer) -> Query {
 fn bench_query_page(c: &mut Criterion) {
     let table = Preset::Acm.table(0.02, 1);
     let spec = InterfaceSpec::permissive(table.schema(), 10);
-    let mut server = WebDbServer::new(table, spec);
+    let server = WebDbServer::new(table, spec);
     let q = popular_query(&server);
     c.bench_function("query_page_hub", |b| {
         b.iter(|| black_box(server.query_page(black_box(&q), 0).unwrap()))
     });
-    let by_string =
-        Query::ByString { attr: "Conference".into(), value: "Conference_0".into() };
+    let by_string = Query::ByString { attr: "Conference".into(), value: "Conference_0".into() };
     c.bench_function("query_page_by_string", |b| {
         b.iter(|| black_box(server.query_page(black_box(&by_string), 0).unwrap()))
     });
@@ -49,7 +48,7 @@ fn bench_query_page(c: &mut Criterion) {
 fn bench_wire_roundtrip(c: &mut Criterion) {
     let table = Preset::Acm.table(0.02, 1);
     let spec = InterfaceSpec::permissive(table.schema(), 10);
-    let mut server = WebDbServer::new(table, spec);
+    let server = WebDbServer::new(table, spec);
     let q = popular_query(&server);
     let page = server.query_page(&q, 0).unwrap();
     c.bench_function("wire_serialize", |b| {

@@ -35,14 +35,14 @@ fn main() {
         if min_attrs > 1 {
             spec = spec.requiring_attrs(min_attrs);
         }
-        let mut server = WebDbServer::new(table.clone(), spec);
-        let config = CrawlConfig {
-            query_mode: mode,
-            known_target_size: Some(n),
-            max_rounds: Some(400 * n as u64),
-            ..Default::default()
-        };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+        let server = WebDbServer::new(table.clone(), spec);
+        let config = CrawlConfig::builder()
+            .query_mode(mode)
+            .known_target_size(n)
+            .max_rounds(400 * n as u64)
+            .build()
+            .expect("valid crawl config");
+        let mut crawler = Crawler::new(&server, PolicyKind::GreedyLink.build(), config);
         if min_attrs > 1 {
             crawler.add_seed_group(&[("Categories", "Categories_0"), ("Seller", "Seller_0")]);
             crawler.add_seed_group(&[("Categories", "Categories_1"), ("Location", "Location_0")]);
@@ -61,10 +61,7 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(
-            &["Interface", "final coverage", "queries", "rounds", "records/round"],
-            &rows
-        )
+        render_table(&["Interface", "final coverage", "queries", "rounds", "records/round"], &rows)
     );
     println!(
         "\nReading: conjunctive-only interfaces fragment the database graph (each\n\

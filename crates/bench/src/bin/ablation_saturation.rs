@@ -26,10 +26,7 @@ fn main() {
     let table = Preset::Ebay.table(scale, 1);
     let n = table.num_records();
     let interface = InterfaceSpec::permissive(table.schema(), 10);
-    println!(
-        "Saturation-trigger ablation (eBay, {} records): when should MMMI take over?\n",
-        n
-    );
+    println!("Saturation-trigger ablation (eBay, {} records): when should MMMI take over?\n", n);
 
     let variants: Vec<(String, PolicyKind)> = vec![
         ("GL (never)".into(), PolicyKind::GreedyLink),
@@ -73,11 +70,11 @@ fn main() {
                 let kind = kind.clone();
                 Box::new(move || {
                     let seeds = pick_seeds(table, 2, 500 + run);
-                    let config = CrawlConfig {
-                        known_target_size: Some(n),
-                        max_rounds: Some(500 * n as u64 + 10_000),
-                        ..Default::default()
-                    };
+                    let config = CrawlConfig::builder()
+                        .known_target_size(n)
+                        .max_rounds(500 * n as u64 + 10_000)
+                        .build()
+                        .expect("valid crawl config");
                     run_crawl(table, interface, &kind, &seeds, config)
                 }) as Box<dyn FnOnce() -> CrawlReport + Send>
             })
@@ -94,10 +91,7 @@ fn main() {
         }
         rows.push(row);
     }
-    println!(
-        "{}",
-        render_table(&["Trigger", "rounds@90%", "rounds@95%", "rounds@99%"], &rows)
-    );
+    println!("{}", render_table(&["Trigger", "rounds@90%", "rounds@95%", "rounds@99%"], &rows));
     println!(
         "\nReading: a well-tuned harvest-window detector should track the oracle\n\
          coverage trigger closely; switching immediately wastes the early phase\n\

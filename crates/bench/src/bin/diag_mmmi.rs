@@ -33,13 +33,13 @@ fn main() {
     let table = Preset::Ebay.table(scale, 1);
     let n = table.num_records();
     let interface = InterfaceSpec::permissive(table.schema(), 10);
-    let mut server = WebDbServer::new(table.clone(), interface);
-    let config = CrawlConfig {
-        known_target_size: Some(n),
-        target_coverage: Some(0.85),
-        ..Default::default()
-    };
-    let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+    let server = WebDbServer::new(table.clone(), interface);
+    let config = CrawlConfig::builder()
+        .known_target_size(n)
+        .target_coverage(0.85)
+        .build()
+        .expect("valid crawl config");
+    let mut crawler = Crawler::new(&server, PolicyKind::GreedyLink.build(), config);
     for (a, v) in pick_seeds(&table, 2, 1000) {
         crawler.add_seed(&a, &v);
     }

@@ -34,7 +34,9 @@ fn main() {
         let rows: Vec<Vec<String>> = dd
             .log_binned(4)
             .into_iter()
-            .map(|(d, f)| vec![num(d), num(f), format!("{:.3}", d.log10()), format!("{:.3}", f.log10())])
+            .map(|(d, f)| {
+                vec![num(d), num(f), format!("{:.3}", d.log10()), format!("{:.3}", f.log10())]
+            })
             .collect();
         println!(
             "{}",

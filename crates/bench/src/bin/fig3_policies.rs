@@ -25,7 +25,9 @@ const SEED_RUNS: u64 = 4;
 fn main() {
     let with_abort = std::env::args().any(|a| a == "--abort");
     let scale = scale_from_env();
-    println!("Figure 3 — GL vs naive query selection, k=10, {SEED_RUNS} seed runs (scale {scale})\n");
+    println!(
+        "Figure 3 — GL vs naive query selection, k=10, {SEED_RUNS} seed runs (scale {scale})\n"
+    );
 
     let mut policies: Vec<(String, PolicyKind, AbortPolicy)> = vec![
         ("BFS".into(), PolicyKind::Bfs, AbortPolicy::never()),
@@ -52,13 +54,13 @@ fn main() {
                     let abort = abort.clone();
                     Box::new(move || {
                         let seeds = pick_seeds(table, 2, 1000 + run);
-                        let config = CrawlConfig {
-                            known_target_size: Some(n),
-                            target_coverage: Some(0.90),
-                            max_rounds: Some(200 * n as u64 + 10_000),
-                            abort,
-                            ..Default::default()
-                        };
+                        let config = CrawlConfig::builder()
+                            .known_target_size(n)
+                            .target_coverage(0.90)
+                            .max_rounds(200 * n as u64 + 10_000)
+                            .abort(abort)
+                            .build()
+                            .expect("valid crawl config");
                         run_crawl(table, interface, &kind, &seeds, config)
                     }) as Box<dyn FnOnce() -> CrawlReport + Send>
                 })
@@ -76,10 +78,7 @@ fn main() {
             rows.push(row);
         }
         println!("{} — {} records (y = mean communication rounds)", preset.name(), n);
-        println!(
-            "{}",
-            render_table(&["Policy", "10%", "30%", "50%", "70%", "90%"], &rows)
-        );
+        println!("{}", render_table(&["Policy", "10%", "30%", "50%", "70%", "90%"], &rows));
     }
     println!(
         "Paper shape: GL achieves every coverage level with the least rounds on all\n\

@@ -51,11 +51,11 @@ fn main() {
                 let kind = kind.clone();
                 Box::new(move || {
                     let seeds = pick_seeds(table, 2, 500 + run);
-                    let config = CrawlConfig {
-                        known_target_size: Some(n),
-                        max_rounds: Some(500 * n as u64 + 10_000),
-                        ..Default::default()
-                    };
+                    let config = CrawlConfig::builder()
+                        .known_target_size(n)
+                        .max_rounds(500 * n as u64 + 10_000)
+                        .build()
+                        .expect("valid crawl config");
                     run_crawl(table, interface, &kind, &seeds, config)
                 }) as Box<dyn FnOnce() -> CrawlReport + Send>
             })

@@ -64,11 +64,11 @@ fn main() {
             let kind = kind.clone();
             Box::new(move || {
                 let seeds = pick_seeds(target, 2, 77);
-                let config = CrawlConfig {
-                    known_target_size: Some(n),
-                    max_rounds: Some(budget),
-                    ..Default::default()
-                };
+                let config = CrawlConfig::builder()
+                    .known_target_size(n)
+                    .max_rounds(budget)
+                    .build()
+                    .expect("valid crawl config");
                 run_crawl(target, interface, &kind, &seeds, config)
             }) as Box<dyn FnOnce() -> CrawlReport + Send>
         })

@@ -48,11 +48,11 @@ fn main() {
                     InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(*cap);
                 Box::new(move || {
                     let seeds = pick_seeds(target, 2, 77);
-                    let config = CrawlConfig {
-                        known_target_size: Some(n),
-                        max_rounds: Some(budget),
-                        ..Default::default()
-                    };
+                    let config = CrawlConfig::builder()
+                        .known_target_size(n)
+                        .max_rounds(budget)
+                        .build()
+                        .expect("valid crawl config");
                     run_crawl(target, interface, &kind, &seeds, config)
                 }) as Box<dyn FnOnce() -> CrawlReport + Send>
             })
@@ -76,7 +76,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["Policy (cap)", "coverage@half budget", "coverage@budget", "records"], &rows)
+        render_table(
+            &["Policy (cap)", "coverage@half budget", "coverage@budget", "records"],
+            &rows
+        )
     );
     println!(
         "\nPaper shape: both methods degrade as the cap tightens — roughly 20% lower\n\

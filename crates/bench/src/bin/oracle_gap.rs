@@ -24,10 +24,7 @@ fn main() {
     let table = Preset::Ebay.table(scale, 1);
     let n = table.num_records();
     let interface = InterfaceSpec::permissive(table.schema(), 10);
-    println!(
-        "Oracle gap (eBay-like, {} records): offline dominating set vs online crawling\n",
-        n
-    );
+    println!("Oracle gap (eBay-like, {} records): offline dominating set vs online crawling\n", n);
 
     // Offline oracle: greedy WDS over the FULL graph, weighted by the
     // Definition 2.3 cost of issuing each value as a query.
@@ -44,15 +41,19 @@ fn main() {
     );
 
     let mut rows = Vec::new();
-    for kind in
-        [PolicyKind::Bfs, PolicyKind::Random(3), PolicyKind::FreqGreedy, PolicyKind::GreedyLink, PolicyKind::Mmmi(Default::default())]
-    {
+    for kind in [
+        PolicyKind::Bfs,
+        PolicyKind::Random(3),
+        PolicyKind::FreqGreedy,
+        PolicyKind::GreedyLink,
+        PolicyKind::Mmmi(Default::default()),
+    ] {
         let seeds = pick_seeds(&table, 2, 42);
-        let config = CrawlConfig {
-            known_target_size: Some(n),
-            max_rounds: Some(500 * n as u64),
-            ..Default::default()
-        };
+        let config = CrawlConfig::builder()
+            .known_target_size(n)
+            .max_rounds(500 * n as u64)
+            .build()
+            .expect("valid crawl config");
         let report = run_crawl(&table, interface.clone(), &kind, &seeds, config);
         // To exhaustion every policy issues the same query set (convergence
         // is policy-independent), so the discriminating numbers are the

@@ -46,12 +46,12 @@ fn main() {
                 let kind = kind.clone();
                 Box::new(move || {
                     let seeds = pick_seeds(table, 2, 3_000 + run);
-                    let config = CrawlConfig {
-                        known_target_size: Some(n),
-                        target_coverage: Some(0.9),
-                        max_rounds: Some(500 * n as u64),
-                        ..Default::default()
-                    };
+                    let config = CrawlConfig::builder()
+                        .known_target_size(n)
+                        .target_coverage(0.9)
+                        .max_rounds(500 * n as u64)
+                        .build()
+                        .expect("valid crawl config");
                     let report = run_crawl(table, interface, &kind, &seeds, config);
                     report.trace.rounds_to_coverage(0.9, n)
                 }) as Box<dyn FnOnce() -> Option<u64> + Send>

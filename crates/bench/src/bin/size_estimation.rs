@@ -39,10 +39,10 @@ fn main() {
             let target = &pair.target;
             Box::new(move || {
                 let interface = InterfaceSpec::permissive(target.schema(), 10);
-                let mut server = WebDbServer::new(target.clone(), interface);
-                let config = CrawlConfig { max_rounds: Some(budget), ..Default::default() };
-                let mut crawler =
-                    Crawler::new(&mut server, PolicyKind::Random(i).build(), config);
+                let server = WebDbServer::new(target.clone(), interface);
+                let config =
+                    CrawlConfig::builder().max_rounds(budget).build().expect("valid crawl config");
+                let mut crawler = Crawler::new(&server, PolicyKind::Random(i).build(), config);
                 for (attr, value) in pick_seeds(target, 1, 9_000 + i) {
                     crawler.add_seed(&attr, &value);
                 }
@@ -76,7 +76,10 @@ fn main() {
     println!("\nmean estimate        : {mean:.0}");
     println!("90% upper bound (t)  : {ub:.0}");
     println!("true simulated size  : {true_size}");
-    println!("relative error (mean): {:+.1}%", (mean - true_size as f64) / true_size as f64 * 100.0);
+    println!(
+        "relative error (mean): {:+.1}%",
+        (mean - true_size as f64) / true_size as f64 * 100.0
+    );
     println!(
         "\nPaper procedure: the same 15 estimates + one-sided t-test led to\n\
          \"with 90% confidence, the Amazon DVD product database contains less than\n\

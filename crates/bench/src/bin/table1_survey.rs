@@ -46,10 +46,8 @@ fn main() {
         )
     );
     let total: usize = outcomes.iter().map(|o| o.spec.num_sources).sum();
-    let crawlable: f64 = outcomes
-        .iter()
-        .map(|o| o.observed_crawlable * o.spec.num_sources as f64)
-        .sum::<f64>()
-        / total as f64;
+    let crawlable: f64 =
+        outcomes.iter().map(|o| o.observed_crawlable * o.spec.num_sources as f64).sum::<f64>()
+            / total as f64;
     println!("{total} sources; {} crawlable by a single-value crawler overall.", pct(crawlable));
 }

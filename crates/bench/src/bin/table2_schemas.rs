@@ -17,12 +17,8 @@ fn main() {
     let mut rows = Vec::new();
     for p in Preset::ALL {
         let t = p.table(scale, 1);
-        let queriable: Vec<String> = t
-            .schema()
-            .queriable_attrs()
-            .iter()
-            .map(|&a| t.schema().attr(a).name.clone())
-            .collect();
+        let queriable: Vec<String> =
+            t.schema().queriable_attrs().iter().map(|&a| t.schema().attr(a).name.clone()).collect();
         let conn = Connectivity::analyze(&t);
         rows.push(vec![
             p.name().to_string(),
@@ -36,7 +32,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Dataset", "Records", "Queriable attributes", "Distinct values", "Paper |DAV|", "Largest component"],
+            &[
+                "Dataset",
+                "Records",
+                "Queriable attributes",
+                "Distinct values",
+                "Paper |DAV|",
+                "Largest component"
+            ],
             &rows
         )
     );

@@ -63,10 +63,7 @@ mod tests {
     fn table_alignment() {
         let out = render_table(
             &["name", "value"],
-            &[
-                vec!["a".into(), "1".into()],
-                vec!["long-name".into(), "22".into()],
-            ],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

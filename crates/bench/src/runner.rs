@@ -14,8 +14,8 @@ pub fn run_crawl(
     seeds: &[(String, String)],
     config: CrawlConfig,
 ) -> CrawlReport {
-    let mut server = WebDbServer::new(table.clone(), interface);
-    let mut crawler = Crawler::new(&mut server, policy.build(), config);
+    let server = WebDbServer::new(table.clone(), interface);
+    let mut crawler = Crawler::new(&server, policy.build(), config);
     for (attr, value) in seeds {
         crawler.add_seed(attr, value);
     }
@@ -100,11 +100,8 @@ mod tests {
         let n = t.num_records();
         let seeds = pick_seeds(&t, 1, 3);
         let interface = InterfaceSpec::permissive(t.schema(), 10);
-        let config = CrawlConfig {
-            known_target_size: Some(n),
-            max_rounds: Some(2),
-            ..Default::default()
-        };
+        let config =
+            CrawlConfig { known_target_size: Some(n), max_rounds: Some(2), ..Default::default() };
         let report = run_crawl(&t, interface, &PolicyKind::Bfs, &seeds, config);
         let reports = vec![report];
         assert!(mean_rounds_to_coverage(&reports, 0.99, n).is_none());

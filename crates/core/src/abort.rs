@@ -101,7 +101,8 @@ impl AbortState {
         if self.policy.dup_pages > 0 && self.consecutive_dup_pages >= self.policy.dup_pages {
             return true;
         }
-        if let (Some(threshold), Some(total)) = (self.policy.min_remaining_rate, self.reported_total)
+        if let (Some(threshold), Some(total)) =
+            (self.policy.min_remaining_rate, self.reported_total)
         {
             let remaining_slots = total.saturating_sub(self.returned_so_far);
             if remaining_slots == 0 {

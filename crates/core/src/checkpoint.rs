@@ -100,7 +100,14 @@ impl Checkpoint {
     pub fn to_text(&self) -> String {
         let mut out = String::new();
         let _ = writeln!(out, "{HEADER}");
-        let _ = writeln!(out, "meta\t{}\t{}\t{}\t{}", self.page_size, u8::from(self.keyword_mode), self.rounds, self.queries);
+        let _ = writeln!(
+            out,
+            "meta\t{}\t{}\t{}\t{}",
+            self.page_size,
+            u8::from(self.keyword_mode),
+            self.rounds,
+            self.queries
+        );
         let _ = writeln!(out, "attrs\t{}", self.attr_names.len());
         for (name, q) in self.attr_names.iter().zip(&self.attr_queriable) {
             let _ = writeln!(out, "a\t{}\t{}", escape(name), u8::from(*q));
@@ -189,7 +196,8 @@ impl Checkpoint {
         }
 
         let status_line = lines.next().ok_or(CheckpointError::Malformed("status"))?;
-        let st = status_line.strip_prefix("status\t").ok_or(CheckpointError::Malformed("status"))?;
+        let st =
+            status_line.strip_prefix("status\t").ok_or(CheckpointError::Malformed("status"))?;
         if st.len() != n_values {
             return Err(CheckpointError::Malformed("status length"));
         }
@@ -204,9 +212,8 @@ impl Checkpoint {
             .collect::<Result<_, _>>()?;
 
         let queried_line = lines.next().ok_or(CheckpointError::Malformed("queried"))?;
-        let q = queried_line
-            .strip_prefix("queried\t")
-            .ok_or(CheckpointError::Malformed("queried"))?;
+        let q =
+            queried_line.strip_prefix("queried\t").ok_or(CheckpointError::Malformed("queried"))?;
         let queried: Vec<u32> = if q.is_empty() {
             Vec::new()
         } else {
@@ -227,7 +234,8 @@ impl Checkpoint {
             if parts.len() != 3 || parts[0] != "r" {
                 return Err(CheckpointError::Malformed("record line"));
             }
-            let key: u64 = parts[1].parse().map_err(|_| CheckpointError::Malformed("record key"))?;
+            let key: u64 =
+                parts[1].parse().map_err(|_| CheckpointError::Malformed("record key"))?;
             let vals: Vec<u32> = if parts[2].is_empty() {
                 Vec::new()
             } else {

@@ -1,0 +1,103 @@
+//! Shared configuration primitives: retry policy and builder validation.
+//!
+//! Crawl and fleet configurations are built through validating builders
+//! ([`crate::CrawlConfig::builder`], [`crate::fleet::FleetConfig::builder`])
+//! that reject nonsensical parameters — zero budgets, zero slices,
+//! conjunctive arity below 2 — at build time with a [`ConfigError`], instead
+//! of panicking (or silently stalling) mid-crawl.
+
+/// Retry behaviour on transient page-request failures.
+///
+/// A real crawler that gets throttled waits before retrying; waiting costs
+/// wall-clock time that the simulation bills as *backoff rounds*. The
+/// schedule is deterministic exponential backoff: before retry attempt `k`
+/// (1-based) the crawler waits `backoff_base · 2^(k−1)` simulated rounds,
+/// capped at `backoff_cap`. Backoff rounds count against round budgets
+/// (Definition 2.3 bills time, not just served pages) but are not server
+/// requests — the source's own counter only grows by real attempts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries per page after the first attempt (0 = fail fast).
+    pub max_retries: u32,
+    /// Backoff before the first retry, in simulated rounds.
+    pub backoff_base: u64,
+    /// Upper bound on a single backoff wait, in simulated rounds.
+    pub backoff_cap: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { max_retries: 0, backoff_base: 1, backoff_cap: 64 }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy with `n` retries and the default backoff schedule.
+    pub fn retries(n: u32) -> Self {
+        RetryPolicy { max_retries: n, ..Default::default() }
+    }
+
+    /// Simulated rounds to wait before retry attempt `attempt` (1-based).
+    /// Attempt 0 is the initial request: no wait.
+    pub fn backoff_before(&self, attempt: u32) -> u64 {
+        if attempt == 0 {
+            return 0;
+        }
+        let exp = (attempt - 1).min(63);
+        self.backoff_base.saturating_mul(1u64 << exp).min(self.backoff_cap)
+    }
+}
+
+/// A configuration rejected at build time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// A budget or slice parameter was zero where positive is required.
+    ZeroBudget(&'static str),
+    /// Conjunctive query mode needs at least two predicates per query.
+    BadArity(usize),
+    /// A coverage target outside `(0, 1]`.
+    BadCoverage(f64),
+    /// A coverage target without a known target size can never fire.
+    CoverageNeedsTargetSize,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::ZeroBudget(what) => write!(f, "{what} must be positive"),
+            ConfigError::BadArity(n) => {
+                write!(f, "conjunctive arity must be at least 2, got {n}")
+            }
+            ConfigError::BadCoverage(c) => {
+                write!(f, "target coverage must lie in (0, 1], got {c}")
+            }
+            ConfigError::CoverageNeedsTargetSize => {
+                write!(f, "a coverage target requires known_target_size")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let r = RetryPolicy { max_retries: 10, backoff_base: 2, backoff_cap: 9 };
+        assert_eq!(r.backoff_before(0), 0);
+        assert_eq!(r.backoff_before(1), 2);
+        assert_eq!(r.backoff_before(2), 4);
+        assert_eq!(r.backoff_before(3), 8);
+        assert_eq!(r.backoff_before(4), 9, "capped");
+        assert_eq!(r.backoff_before(100), 9, "huge attempts saturate, no overflow");
+    }
+
+    #[test]
+    fn default_policy_fails_fast() {
+        assert_eq!(RetryPolicy::default().max_retries, 0);
+        assert_eq!(RetryPolicy::retries(3).max_retries, 3);
+    }
+}

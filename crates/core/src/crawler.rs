@@ -8,21 +8,25 @@
 //! repeated until all the possible queries are issued or some stopping
 //! criterion is met."
 //!
-//! The crawler talks to the server exclusively through the public query
-//! interface: queries go out as attribute-name + value-string form fills
-//! ([`dwc_server::Query::ByString`]); results come back as paginated pages,
-//! optionally serialized through the XML wire format and re-parsed by the
-//! Result Extractor ([`ProberMode::Wire`]). Every page request — including
-//! failed ones — costs one communication round (Definition 2.3).
+//! The crawler talks to its source exclusively through the [`DataSource`]
+//! trait: queries go out as attribute-name + value-string form fills
+//! ([`dwc_server::Query::ByString`]); results come back as extracted pages
+//! (attribute names + value strings), materialized per [`ProberMode`].
+//! Every page request — including failed ones — costs one communication
+//! round (Definition 2.3); retry backoff waits are billed additionally as
+//! simulated rounds ([`RetryPolicy`]).
 
 use crate::abort::{AbortPolicy, AbortState};
-use crate::extract::{parse_page, ExtractedRecord};
+use crate::config::{ConfigError, RetryPolicy};
+use crate::extract::ExtractedRecord;
 use crate::policy::SelectionPolicy;
+use crate::source::{CrawlError, DataSource};
 use crate::state::{CandStatus, CrawlState, QueryOutcome};
 use crate::trace::{CrawlTrace, TracePoint};
 use dwc_model::ValueId;
-use dwc_server::wire::page_to_xml;
-use dwc_server::{Query, ServerError, WebDbServer};
+use dwc_server::Query;
+
+pub use crate::source::ProberMode;
 
 /// How queries are submitted to the source.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -49,27 +53,15 @@ pub enum QueryMode {
     },
 }
 
-/// How the Database Prober materializes result pages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum ProberMode {
-    /// Read the in-process result page directly (fast path for large
-    /// simulations; identical observable content).
-    #[default]
-    InProcess,
-    /// Serialize each page to the XML wire format and re-parse it with the
-    /// Result Extractor — the full pipeline the paper's crawler runs against
-    /// Amazon's Web Service.
-    Wire,
-    /// Render each page as a template-generated HTML document and run the
-    /// HTML wrapper extractor — the pipeline against ordinary result pages
-    /// ("records … may be in the form of HTML Web pages", §1).
-    Html,
-}
-
 /// Crawl limits and knobs.
+///
+/// Prefer [`CrawlConfig::builder`], which validates parameters at build
+/// time; the struct literal form remains available for tests that want an
+/// intentionally odd configuration.
 #[derive(Debug, Clone, Default)]
 pub struct CrawlConfig {
-    /// Stop after this many communication rounds (Figures 5–6 use 10,000).
+    /// Stop after this many elapsed rounds — page requests plus retry
+    /// backoff waits (Figures 5–6 use 10,000).
     pub max_rounds: Option<u64>,
     /// Stop after this many queries.
     pub max_queries: Option<u64>,
@@ -81,13 +73,108 @@ pub struct CrawlConfig {
     pub known_target_size: Option<usize>,
     /// Per-query abortion heuristics (§3.4).
     pub abort: AbortPolicy,
-    /// Retries per page on transient server failures (each attempt costs a
-    /// round).
-    pub max_retries: u32,
+    /// Transient-failure retry schedule (each attempt costs a round; waits
+    /// between attempts cost backoff rounds).
+    pub retry: RetryPolicy,
     /// Prober mode.
     pub prober: ProberMode,
     /// Query submission mode (structured form fill vs keyword box).
     pub query_mode: QueryMode,
+}
+
+impl CrawlConfig {
+    /// Starts building a validated configuration.
+    pub fn builder() -> CrawlConfigBuilder {
+        CrawlConfigBuilder { config: CrawlConfig::default() }
+    }
+}
+
+/// Builder for [`CrawlConfig`]; see [`CrawlConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct CrawlConfigBuilder {
+    config: CrawlConfig,
+}
+
+impl CrawlConfigBuilder {
+    /// Caps elapsed rounds (requests + backoff waits). Must be positive.
+    pub fn max_rounds(mut self, rounds: u64) -> Self {
+        self.config.max_rounds = Some(rounds);
+        self
+    }
+
+    /// Caps issued queries. Must be positive.
+    pub fn max_queries(mut self, queries: u64) -> Self {
+        self.config.max_queries = Some(queries);
+        self
+    }
+
+    /// Stops once true coverage reaches `fraction` (in `(0, 1]`); requires
+    /// [`known_target_size`](Self::known_target_size).
+    pub fn target_coverage(mut self, fraction: f64) -> Self {
+        self.config.target_coverage = Some(fraction);
+        self
+    }
+
+    /// Declares the target's true size (controlled experiments).
+    pub fn known_target_size(mut self, records: usize) -> Self {
+        self.config.known_target_size = Some(records);
+        self
+    }
+
+    /// Sets the per-query abortion heuristics.
+    pub fn abort(mut self, abort: AbortPolicy) -> Self {
+        self.config.abort = abort;
+        self
+    }
+
+    /// Sets the transient-failure retry schedule.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Shorthand: `n` retries with the default backoff schedule.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.config.retry.max_retries = n;
+        self
+    }
+
+    /// Sets the prober mode.
+    pub fn prober(mut self, prober: ProberMode) -> Self {
+        self.config.prober = prober;
+        self
+    }
+
+    /// Sets the query submission mode.
+    pub fn query_mode(mut self, mode: QueryMode) -> Self {
+        self.config.query_mode = mode;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<CrawlConfig, ConfigError> {
+        let c = &self.config;
+        if c.max_rounds == Some(0) {
+            return Err(ConfigError::ZeroBudget("max_rounds"));
+        }
+        if c.max_queries == Some(0) {
+            return Err(ConfigError::ZeroBudget("max_queries"));
+        }
+        if let QueryMode::Conjunctive { arity } = c.query_mode {
+            if arity < 2 {
+                return Err(ConfigError::BadArity(arity));
+            }
+        }
+        if let Some(t) = c.target_coverage {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(ConfigError::BadCoverage(t));
+            }
+            if c.known_target_size.is_none() {
+                return Err(ConfigError::CoverageNeedsTargetSize);
+            }
+        }
+        Ok(self.config)
+    }
 }
 
 /// Why a crawl ended.
@@ -108,8 +195,11 @@ pub enum StopReason {
 pub struct CrawlReport {
     /// Queries issued.
     pub queries: u64,
-    /// Communication rounds spent (page requests, including retries).
+    /// Page requests issued (including failed attempts). Matches the
+    /// source-side request count attributable to this crawler.
     pub rounds: u64,
+    /// Simulated rounds spent waiting in retry backoff.
+    pub backoff_rounds: u64,
     /// Records harvested into `DB_local`.
     pub records: u64,
     /// Queries cut short by the abortion heuristics.
@@ -124,14 +214,26 @@ pub struct CrawlReport {
     pub final_coverage: Option<f64>,
 }
 
-/// A hidden-web database crawler bound to one target server.
-pub struct Crawler<'s> {
-    server: &'s mut WebDbServer,
+impl CrawlReport {
+    /// Total rounds billed against budgets: requests plus backoff waits.
+    pub fn elapsed_rounds(&self) -> u64 {
+        self.rounds + self.backoff_rounds
+    }
+}
+
+/// A hidden-web database crawler bound to one target source.
+///
+/// The crawler owns its source handle `S`. Borrow-style use passes
+/// `&server` (the blanket `DataSource for &S` impl); fleet workers sharing
+/// one server each own an `Arc<WebDbServer>` clone.
+pub struct Crawler<S: DataSource> {
+    source: S,
     policy: Box<dyn SelectionPolicy>,
     state: CrawlState,
     config: CrawlConfig,
     trace: CrawlTrace,
     rounds: u64,
+    backoff_rounds: u64,
     queries: u64,
     aborted_queries: u64,
     transient_failures: u64,
@@ -140,23 +242,18 @@ pub struct Crawler<'s> {
     pending_seed_groups: Vec<Vec<(String, String)>>,
 }
 
-impl<'s> Crawler<'s> {
-    /// Creates a crawler for `server` with the given policy.
+impl<S: DataSource> Crawler<S> {
+    /// Creates a crawler for `source` with the given policy.
     ///
     /// The attribute names and their queriability are read from the source's
     /// interface — the information a crawler gets from inspecting the query
-    /// form — not from the backend data.
-    pub fn new(
-        server: &'s mut WebDbServer,
-        policy: Box<dyn SelectionPolicy>,
-        config: CrawlConfig,
-    ) -> Self {
-        let schema = server.table().schema();
-        let iface = server.interface();
-        let attr_names: Vec<String> =
-            schema.iter().map(|(_, spec)| spec.name.clone()).collect();
-        let attr_queriable: Vec<bool> =
-            schema.iter().map(|(id, _)| iface.is_queriable(id)).collect();
+    /// form — never from backend data.
+    pub fn new(source: S, policy: Box<dyn SelectionPolicy>, config: CrawlConfig) -> Self {
+        let iface = source.interface();
+        let attr_names = iface.attr_names.clone();
+        let attr_queriable: Vec<bool> = (0..attr_names.len())
+            .map(|i| iface.is_queriable(dwc_model::AttrId(i as u16)))
+            .collect();
         let keyword_available = iface.keyword_search;
         let mut state = CrawlState::new(attr_names, attr_queriable, iface.page_size);
         state.target_size = config.known_target_size;
@@ -168,12 +265,13 @@ impl<'s> Crawler<'s> {
         let mut policy = policy;
         policy.init(&mut state);
         Crawler {
-            server,
+            source,
             policy,
             state,
             config,
             trace: CrawlTrace::new(),
             rounds: 0,
+            backoff_rounds: 0,
             queries: 0,
             aborted_queries: 0,
             transient_failures: 0,
@@ -194,9 +292,7 @@ impl<'s> Crawler<'s> {
                 .state
                 .vocab
                 .iter_ids()
-                .map(|v| {
-                    (self.state.vocab.attr_of(v).0, self.state.vocab.value_str(v).to_owned())
-                })
+                .map(|v| (self.state.vocab.attr_of(v).0, self.state.vocab.value_str(v).to_owned()))
                 .collect(),
             status: self.state.status.clone(),
             queried: self.state.queried.iter().map(|v| v.0).collect(),
@@ -211,7 +307,7 @@ impl<'s> Crawler<'s> {
         }
     }
 
-    /// Resumes a checkpointed crawl against `server` with a fresh policy
+    /// Resumes a checkpointed crawl against `source` with a fresh policy
     /// instance. The shared state (vocabulary, statuses, `DB_local`,
     /// `L_queried`, cost counters) is restored exactly; policy internals are
     /// rebuilt via [`SelectionPolicy::resume`].
@@ -221,7 +317,7 @@ impl<'s> Crawler<'s> {
     /// range) or if `config.query_mode` demands keyword support the
     /// checkpoint's interface flags contradict.
     pub fn resume(
-        server: &'s mut WebDbServer,
+        source: S,
         policy: Box<dyn SelectionPolicy>,
         checkpoint: &crate::checkpoint::Checkpoint,
         config: CrawlConfig,
@@ -243,7 +339,8 @@ impl<'s> Crawler<'s> {
             state.intern(dwc_model::AttrId(*attr), s);
         }
         state.status.copy_from_slice(&checkpoint.status);
-        state.queried = checkpoint.queried
+        state.queried = checkpoint
+            .queried
             .iter()
             .map(|&q| {
                 assert!((q as usize) < checkpoint.values.len(), "queried id out of range");
@@ -269,12 +366,13 @@ impl<'s> Crawler<'s> {
             records: state.local.num_records() as u64,
         });
         Crawler {
-            server,
+            source,
             policy,
             state,
             config,
             trace,
             rounds: checkpoint.rounds,
+            backoff_rounds: 0,
             queries: checkpoint.queries,
             aborted_queries: 0,
             transient_failures: 0,
@@ -311,9 +409,24 @@ impl<'s> Crawler<'s> {
         &self.state
     }
 
-    /// Communication rounds spent so far.
+    /// Read access to the source handle.
+    pub fn source(&self) -> &S {
+        &self.source
+    }
+
+    /// Page requests issued so far (including failed attempts).
     pub fn rounds(&self) -> u64 {
         self.rounds
+    }
+
+    /// Simulated rounds spent waiting in retry backoff so far.
+    pub fn backoff_rounds(&self) -> u64 {
+        self.backoff_rounds
+    }
+
+    /// Rounds billed against budgets: requests plus backoff waits.
+    pub fn elapsed_rounds(&self) -> u64 {
+        self.rounds + self.backoff_rounds
     }
 
     /// The configured round budget, if any.
@@ -347,6 +460,7 @@ impl<'s> Crawler<'s> {
         CrawlReport {
             queries: self.queries,
             rounds: self.rounds,
+            backoff_rounds: self.backoff_rounds,
             records: self.state.local.num_records() as u64,
             aborted_queries: self.aborted_queries,
             transient_failures: self.transient_failures,
@@ -358,7 +472,7 @@ impl<'s> Crawler<'s> {
 
     fn budget_stop(&self) -> Option<StopReason> {
         if let Some(max) = self.config.max_rounds {
-            if self.rounds >= max {
+            if self.elapsed_rounds() >= max {
                 return Some(StopReason::RoundBudget);
             }
         }
@@ -473,7 +587,7 @@ impl<'s> Crawler<'s> {
         let mut page_index = 0usize;
         loop {
             if let Some(max) = self.config.max_rounds {
-                if self.rounds >= max {
+                if self.elapsed_rounds() >= max {
                     break;
                 }
             }
@@ -511,70 +625,35 @@ impl<'s> Crawler<'s> {
         outcome
     }
 
-    /// One page request with transient-failure retries; every attempt costs a
-    /// round. Non-transient errors and retry exhaustion end the query.
+    /// One page request with transient-failure retries. Every attempt costs
+    /// a round; every wait between attempts costs backoff rounds per the
+    /// [`RetryPolicy`] schedule. Fatal errors, retry exhaustion, and running
+    /// out of round budget mid-backoff end the query.
     fn fetch_page_with_retries(
         &mut self,
         query: &Query,
         page_index: usize,
     ) -> Option<crate::extract::ExtractedPage> {
-        let mut attempts = 0;
+        let mut attempt = 0u32;
         loop {
             self.rounds += 1;
-            match self.server.query_page(query, page_index) {
-                Ok(page) => {
-                    return Some(match self.config.prober {
-                        ProberMode::InProcess => self.translate_in_process(&page),
-                        ProberMode::Wire => {
-                            let xml = page_to_xml(&page, self.server.table());
-                            parse_page(&xml).expect("wire format must round-trip")
-                        }
-                        ProberMode::Html => {
-                            let html =
-                                dwc_server::html::page_to_html(&page, self.server.table());
-                            crate::extract::parse_html_page(&html)
-                                .expect("HTML wrapper must round-trip")
-                        }
-                    });
-                }
-                Err(ServerError::Transient) => {
+            match self.source.query_page(query, page_index, self.config.prober) {
+                Ok(page) => return Some(page),
+                Err(CrawlError::Transient) => {
                     self.transient_failures += 1;
-                    attempts += 1;
-                    if attempts > self.config.max_retries {
+                    attempt += 1;
+                    if attempt > self.config.retry.max_retries {
                         return None;
                     }
+                    self.backoff_rounds += self.config.retry.backoff_before(attempt);
+                    if let Some(max) = self.config.max_rounds {
+                        if self.elapsed_rounds() >= max {
+                            return None;
+                        }
+                    }
                 }
-                Err(_) => return None,
+                Err(CrawlError::Fatal(_)) => return None,
             }
-        }
-    }
-
-    /// Translates an in-process result page into extracted-record form
-    /// (attribute names + value strings — the crawler-visible content).
-    fn translate_in_process(&self, page: &dwc_server::ResultPage) -> crate::extract::ExtractedPage {
-        let table = self.server.table();
-        crate::extract::ExtractedPage {
-            page_index: page.page_index,
-            total_matches: page.total_matches,
-            has_more: page.has_more,
-            records: page
-                .records
-                .iter()
-                .map(|r| ExtractedRecord {
-                    key: r.key,
-                    fields: r
-                        .values
-                        .iter()
-                        .map(|&sv| {
-                            let attr = table.interner().attr_of(sv);
-                            (
-                                table.schema().attr(attr).name.clone(),
-                                table.interner().value_str(sv).to_owned(),
-                            )
-                        })
-                        .collect(),
-                })
-                .collect(),
         }
     }
 
@@ -611,8 +690,9 @@ impl<'s> Crawler<'s> {
 mod tests {
     use super::*;
     use crate::policy::PolicyKind;
+    use crate::source::FaultySource;
     use dwc_model::fixtures::figure1_table;
-    use dwc_server::{FaultPolicy, InterfaceSpec};
+    use dwc_server::{FaultPolicy, InterfaceSpec, WebDbServer};
 
     fn figure1_server(page_size: usize) -> WebDbServer {
         let t = figure1_table();
@@ -621,9 +701,9 @@ mod tests {
     }
 
     fn run_policy(kind: PolicyKind, page_size: usize) -> CrawlReport {
-        let mut server = figure1_server(page_size);
-        let config = CrawlConfig { known_target_size: Some(5), ..Default::default() };
-        let mut crawler = Crawler::new(&mut server, kind.build(), config);
+        let server = figure1_server(page_size);
+        let config = CrawlConfig::builder().known_target_size(5).build().unwrap();
+        let mut crawler = Crawler::new(&server, kind.build(), config);
         assert!(crawler.add_seed("A", "a2"));
         crawler.run()
     }
@@ -646,9 +726,8 @@ mod tests {
 
     #[test]
     fn example_2_1_first_query_sees_three_records() {
-        let mut server = figure1_server(10);
-        let mut crawler =
-            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let server = figure1_server(10);
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
         crawler.add_seed("A", "a2");
         crawler.step().unwrap();
         assert_eq!(crawler.state().local.num_records(), 3);
@@ -660,9 +739,9 @@ mod tests {
     #[test]
     fn wire_and_html_modes_equal_in_process_mode() {
         let run = |prober| {
-            let mut server = figure1_server(2);
-            let config = CrawlConfig { prober, ..Default::default() };
-            let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+            let server = figure1_server(2);
+            let config = CrawlConfig::builder().prober(prober).build().unwrap();
+            let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
             crawler.add_seed("A", "a2");
             let report = crawler.run();
             (report.records, report.rounds, report.queries)
@@ -675,19 +754,19 @@ mod tests {
     #[test]
     fn rounds_match_cost_model() {
         // Page size 1: querying a2 (3 matches) costs 3 rounds.
-        let mut server = figure1_server(1);
-        let mut crawler =
-            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let server = figure1_server(1);
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
         crawler.add_seed("A", "a2");
         crawler.step().unwrap();
         assert_eq!(crawler.rounds(), 3);
+        assert_eq!(crawler.rounds(), DataSource::rounds_used(crawler.source()));
     }
 
     #[test]
     fn round_budget_stops_mid_query() {
-        let mut server = figure1_server(1);
-        let config = CrawlConfig { max_rounds: Some(2), ..Default::default() };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        let server = figure1_server(1);
+        let config = CrawlConfig::builder().max_rounds(2).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
         crawler.add_seed("A", "a2");
         let report = crawler.run();
         assert_eq!(report.stop, StopReason::RoundBudget);
@@ -696,9 +775,9 @@ mod tests {
 
     #[test]
     fn query_budget_respected() {
-        let mut server = figure1_server(10);
-        let config = CrawlConfig { max_queries: Some(1), ..Default::default() };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        let server = figure1_server(10);
+        let config = CrawlConfig::builder().max_queries(1).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
         crawler.add_seed("A", "a2");
         let report = crawler.run();
         assert_eq!(report.stop, StopReason::QueryBudget);
@@ -707,13 +786,10 @@ mod tests {
 
     #[test]
     fn coverage_target_stops_early() {
-        let mut server = figure1_server(10);
-        let config = CrawlConfig {
-            known_target_size: Some(5),
-            target_coverage: Some(0.6),
-            ..Default::default()
-        };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        let server = figure1_server(10);
+        let config =
+            CrawlConfig::builder().known_target_size(5).target_coverage(0.6).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
         crawler.add_seed("A", "a2");
         let report = crawler.run();
         assert_eq!(report.stop, StopReason::CoverageReached);
@@ -721,24 +797,104 @@ mod tests {
     }
 
     #[test]
+    fn builder_rejects_nonsense() {
+        assert_eq!(
+            CrawlConfig::builder().max_rounds(0).build().unwrap_err(),
+            ConfigError::ZeroBudget("max_rounds")
+        );
+        assert_eq!(
+            CrawlConfig::builder().max_queries(0).build().unwrap_err(),
+            ConfigError::ZeroBudget("max_queries")
+        );
+        assert_eq!(
+            CrawlConfig::builder()
+                .query_mode(QueryMode::Conjunctive { arity: 1 })
+                .build()
+                .unwrap_err(),
+            ConfigError::BadArity(1)
+        );
+        assert_eq!(
+            CrawlConfig::builder().known_target_size(5).target_coverage(1.5).build().unwrap_err(),
+            ConfigError::BadCoverage(1.5)
+        );
+        assert_eq!(
+            CrawlConfig::builder().target_coverage(0.9).build().unwrap_err(),
+            ConfigError::CoverageNeedsTargetSize
+        );
+        assert!(CrawlConfig::builder()
+            .max_rounds(10_000)
+            .known_target_size(5)
+            .target_coverage(0.9)
+            .build()
+            .is_ok());
+    }
+
+    #[test]
     fn transient_faults_are_retried_and_counted() {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10);
-        let mut server = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(2));
-        let config = CrawlConfig { max_retries: 3, ..Default::default() };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        let server = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(2));
+        let config = CrawlConfig::builder().max_retries(3).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
         crawler.add_seed("A", "a2");
         let report = crawler.run();
         assert_eq!(report.records, 5, "faults must not lose records");
         assert!(report.transient_failures > 0);
         assert!(report.rounds > report.queries, "failed rounds are counted");
+        assert!(report.backoff_rounds > 0, "retries wait before re-asking");
+    }
+
+    #[test]
+    fn faulty_source_decorator_behaves_like_builtin_faults() {
+        let run_with = |decorated: bool| {
+            let t = figure1_table();
+            let spec = InterfaceSpec::permissive(t.schema(), 10);
+            let config = CrawlConfig::builder().max_retries(3).build().unwrap();
+            let report = if decorated {
+                let source = FaultySource::new(WebDbServer::new(t, spec), FaultPolicy::every(2));
+                let mut crawler = Crawler::new(source, PolicyKind::Bfs.build(), config);
+                crawler.add_seed("A", "a2");
+                crawler.run()
+            } else {
+                let server = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(2));
+                let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
+                crawler.add_seed("A", "a2");
+                crawler.run()
+            };
+            (report.records, report.rounds, report.transient_failures)
+        };
+        assert_eq!(run_with(true), run_with(false));
+    }
+
+    #[test]
+    fn backoff_counts_against_round_budget() {
+        // Every request fails; generous retries but a tiny round budget. The
+        // budget must stop the crawl even though no page ever arrives.
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let server = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(1));
+        let config = CrawlConfig::builder()
+            .max_rounds(10)
+            .retry(RetryPolicy { max_retries: 100, backoff_base: 1, backoff_cap: 8 })
+            .build()
+            .unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
+        crawler.add_seed("A", "a2");
+        let report = crawler.run();
+        assert_eq!(report.stop, StopReason::RoundBudget);
+        assert!(report.elapsed_rounds() >= 10);
+        assert!(
+            report.rounds < 10,
+            "backoff waits, not just requests, must fill the budget: {} requests",
+            report.rounds
+        );
     }
 
     #[test]
     fn keyword_mode_crawls_through_the_keyword_box() {
-        let mut server = figure1_server(10);
-        let config = CrawlConfig { query_mode: QueryMode::Keyword, ..Default::default() };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        let server = figure1_server(10);
+        let config = CrawlConfig::builder().query_mode(QueryMode::Keyword).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
         assert!(crawler.add_seed("A", "a2"));
         let report = crawler.run();
         assert_eq!(report.records, 5, "keyword crawling reaches everything too");
@@ -746,17 +902,13 @@ mod tests {
 
     #[test]
     fn keyword_mode_unlocks_form_locked_attributes() {
-        // Structured interface exposes only attribute C; keyword search is on.
-        let t = figure1_table();
-        let mut spec = InterfaceSpec::permissive(t.schema(), 10);
-        spec.queriable_attrs.retain(|&a| a == dwc_model::AttrId(2));
         let run = |mode: QueryMode| {
             let t = figure1_table();
             let mut spec2 = InterfaceSpec::permissive(t.schema(), 10);
             spec2.queriable_attrs.retain(|&a| a == dwc_model::AttrId(2));
-            let mut server = WebDbServer::new(t, spec2);
+            let server = WebDbServer::new(t, spec2);
             let config = CrawlConfig { query_mode: mode, ..Default::default() };
-            let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+            let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
             crawler.add_seed("C", "c1");
             crawler.run()
         };
@@ -777,13 +929,13 @@ mod tests {
         // The form demands two filled fields; the keyword box is gone.
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10).requiring_attrs(2);
-        let mut server = WebDbServer::new(t, spec);
-        let config = CrawlConfig {
-            query_mode: QueryMode::Conjunctive { arity: 2 },
-            known_target_size: Some(5),
-            ..Default::default()
-        };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+        let server = WebDbServer::new(t, spec);
+        let config = CrawlConfig::builder()
+            .query_mode(QueryMode::Conjunctive { arity: 2 })
+            .known_target_size(5)
+            .build()
+            .unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::GreedyLink.build(), config);
         crawler.add_seed_group(&[("A", "a2"), ("B", "b2")]);
         let report = crawler.run();
         // The seed pair a2 ∧ b2 retrieves records 1–2; follow-up conjunctive
@@ -802,9 +954,9 @@ mod tests {
             if restrictive {
                 spec = spec.requiring_attrs(2);
             }
-            let mut server = WebDbServer::new(t, spec);
+            let server = WebDbServer::new(t, spec);
             let config = CrawlConfig { query_mode: mode, ..Default::default() };
-            let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+            let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
             if restrictive {
                 crawler.add_seed_group(&[("A", "a2"), ("B", "b2")]);
             } else {
@@ -824,16 +976,15 @@ mod tests {
         let t = figure1_table();
         let mut spec = InterfaceSpec::permissive(t.schema(), 10);
         spec.keyword_search = false;
-        let mut server = WebDbServer::new(t, spec);
+        let server = WebDbServer::new(t, spec);
         let config = CrawlConfig { query_mode: QueryMode::Keyword, ..Default::default() };
-        let _ = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        let _ = Crawler::new(&server, PolicyKind::Bfs.build(), config);
     }
 
     #[test]
     fn bad_seed_rejected() {
-        let mut server = figure1_server(10);
-        let mut crawler =
-            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let server = figure1_server(10);
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
         assert!(!crawler.add_seed("Nope", "x"));
         let report = crawler.run();
         assert_eq!(report.stop, StopReason::FrontierExhausted);
@@ -842,9 +993,8 @@ mod tests {
 
     #[test]
     fn seed_that_matches_nothing_still_costs_a_round() {
-        let mut server = figure1_server(10);
-        let mut crawler =
-            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let server = figure1_server(10);
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
         assert!(crawler.add_seed("A", "does-not-exist"));
         let report = crawler.run();
         assert_eq!(report.rounds, 1);
@@ -854,9 +1004,8 @@ mod tests {
 
     #[test]
     fn duplicate_records_not_double_counted() {
-        let mut server = figure1_server(10);
-        let mut crawler =
-            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let server = figure1_server(10);
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
         crawler.add_seed("A", "a2");
         crawler.add_seed("C", "c2");
         let report = crawler.run();
@@ -866,17 +1015,15 @@ mod tests {
     #[test]
     fn checkpoint_resume_completes_like_uninterrupted_run() {
         // Uninterrupted baseline.
-        let mut server = figure1_server(2);
-        let mut crawler =
-            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let server = figure1_server(2);
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
         crawler.add_seed("A", "a2");
         let baseline = crawler.run();
 
         // Interrupted run: two queries, checkpoint through the text format,
         // resume with a fresh server and policy, finish.
-        let mut server1 = figure1_server(2);
-        let mut crawler1 =
-            Crawler::new(&mut server1, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let server1 = figure1_server(2);
+        let mut crawler1 = Crawler::new(&server1, PolicyKind::Bfs.build(), CrawlConfig::default());
         crawler1.add_seed("A", "a2");
         crawler1.step().unwrap();
         crawler1.step().unwrap();
@@ -884,9 +1031,9 @@ mod tests {
         drop(crawler1);
 
         let cp = crate::checkpoint::Checkpoint::from_text(&text).unwrap();
-        let mut server2 = figure1_server(2);
+        let server2 = figure1_server(2);
         let crawler2 =
-            Crawler::resume(&mut server2, PolicyKind::Bfs.build(), &cp, CrawlConfig::default());
+            Crawler::resume(&server2, PolicyKind::Bfs.build(), &cp, CrawlConfig::default());
         let resumed = crawler2.run();
 
         assert_eq!(resumed.records, baseline.records);
@@ -904,15 +1051,15 @@ mod tests {
         let kind = PolicyKind::Domain(Arc::clone(&dm));
         let config = || CrawlConfig { known_target_size: Some(5), ..Default::default() };
 
-        let mut server1 = figure1_server(10);
-        let mut crawler1 = Crawler::new(&mut server1, kind.build(), config());
+        let server1 = figure1_server(10);
+        let mut crawler1 = Crawler::new(&server1, kind.build(), config());
         crawler1.add_seed("A", "a2");
         crawler1.step().unwrap();
         let cp = crawler1.checkpoint();
         drop(crawler1);
 
-        let mut server2 = figure1_server(10);
-        let crawler2 = Crawler::resume(&mut server2, kind.build(), &cp, config());
+        let server2 = figure1_server(10);
+        let crawler2 = Crawler::resume(&server2, kind.build(), &cp, config());
         let resumed = crawler2.run();
         assert_eq!(resumed.records, 5, "DM resume must still reach everything");
         assert_eq!(resumed.final_coverage, Some(1.0));
@@ -920,9 +1067,8 @@ mod tests {
 
     #[test]
     fn checkpoint_counters_carry_over() {
-        let mut server = figure1_server(1);
-        let mut crawler =
-            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let server = figure1_server(1);
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
         crawler.add_seed("A", "a2");
         crawler.step().unwrap(); // 3 matches at page size 1 → 3 rounds
         let cp = crawler.checkpoint();
@@ -930,22 +1076,17 @@ mod tests {
         assert_eq!(cp.queries, 1);
         assert_eq!(cp.records.len(), 3);
         drop(crawler);
-        let mut server2 = figure1_server(1);
-        let crawler2 = Crawler::resume(
-            &mut server2,
-            PolicyKind::Bfs.build(),
-            &cp,
-            CrawlConfig::default(),
-        );
+        let server2 = figure1_server(1);
+        let crawler2 =
+            Crawler::resume(&server2, PolicyKind::Bfs.build(), &cp, CrawlConfig::default());
         assert_eq!(crawler2.rounds(), 3);
         assert_eq!(crawler2.state().local.num_records(), 3);
     }
 
     #[test]
     fn trace_is_recorded_per_query() {
-        let mut server = figure1_server(10);
-        let mut crawler =
-            Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let server = figure1_server(10);
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
         crawler.add_seed("A", "a2");
         let report = crawler.run();
         assert_eq!(report.trace.points().len() as u64, report.queries);

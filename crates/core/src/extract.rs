@@ -64,10 +64,9 @@ impl std::error::Error for ExtractError {}
 /// wrapper here is known rather than induced, but the crawler-side pipeline
 /// (HTML → records) is exercised end-to-end.
 pub fn parse_html_page(html: &str) -> Result<ExtractedPage, ExtractError> {
-    let summary_start = html
-        .find("<div id=\"summary\">")
-        .ok_or(ExtractError::MissingResultsElement)?
-        + "<div id=\"summary\">".len();
+    let summary_start =
+        html.find("<div id=\"summary\">").ok_or(ExtractError::MissingResultsElement)?
+            + "<div id=\"summary\">".len();
     let summary_end =
         html[summary_start..].find("</div>").ok_or(ExtractError::MissingResultsElement)?
             + summary_start;
@@ -92,31 +91,26 @@ pub fn parse_html_page(html: &str) -> Result<ExtractedPage, ExtractError> {
     let mut rest = &html[summary_end..];
     while let Some(item_start) = rest.find("<div class=\"item\" id=\"item-") {
         let key_start = item_start + "<div class=\"item\" id=\"item-".len();
-        let key_end = rest[key_start..]
-            .find('"')
-            .ok_or(ExtractError::MalformedElement("item"))?
-            + key_start;
+        let key_end =
+            rest[key_start..].find('"').ok_or(ExtractError::MalformedElement("item"))? + key_start;
         let key: u64 =
             rest[key_start..key_end].parse().map_err(|_| ExtractError::BadAttribute("key"))?;
         let body_start =
             rest[key_end..].find('>').ok_or(ExtractError::MalformedElement("item"))? + key_end + 1;
-        let body_end = rest[body_start..]
-            .find("</div>")
-            .ok_or(ExtractError::MalformedElement("item"))?
-            + body_start;
+        let body_end =
+            rest[body_start..].find("</div>").ok_or(ExtractError::MalformedElement("item"))?
+                + body_start;
         let mut fields = Vec::new();
         let mut item_body = &rest[body_start..body_end];
         while let Some(f_start) = item_body.find("<span class=\"f\" title=\"") {
             let attr_start = f_start + "<span class=\"f\" title=\"".len();
-            let attr_end = item_body[attr_start..]
-                .find('"')
-                .ok_or(ExtractError::MalformedElement("field"))?
-                + attr_start;
-            let val_start = item_body[attr_end..]
-                .find('>')
-                .ok_or(ExtractError::MalformedElement("field"))?
-                + attr_end
-                + 1;
+            let attr_end =
+                item_body[attr_start..].find('"').ok_or(ExtractError::MalformedElement("field"))?
+                    + attr_start;
+            let val_start =
+                item_body[attr_end..].find('>').ok_or(ExtractError::MalformedElement("field"))?
+                    + attr_end
+                    + 1;
             let val_end = item_body[val_start..]
                 .find("</span>")
                 .ok_or(ExtractError::MalformedElement("field"))?
@@ -163,8 +157,7 @@ pub fn parse_page(xml: &str) -> Result<ExtractedPage, ExtractError> {
     let mut records = Vec::new();
     while let Some(rec_start) = body.find("<record") {
         let rec_rest = &body[rec_start + "<record".len()..];
-        let rec_header_end =
-            rec_rest.find('>').ok_or(ExtractError::MalformedElement("record"))?;
+        let rec_header_end = rec_rest.find('>').ok_or(ExtractError::MalformedElement("record"))?;
         let key: u64 = attr_value(&rec_rest[..rec_header_end], "key")
             .and_then(|s| s.parse().ok())
             .ok_or(ExtractError::BadAttribute("key"))?;
@@ -201,7 +194,7 @@ mod tests {
     fn roundtrip_page() -> (ExtractedPage, usize) {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 2);
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let a2 = s.table().interner().get(AttrId(0), "a2").unwrap();
         let page = s.query_page(&Query::Value(a2), 0).unwrap();
         let xml = page_to_xml(&page, s.table());
@@ -227,7 +220,7 @@ mod tests {
         let mut t = UniversalTable::new(schema);
         t.push_record_strs([(AttrId(0), "a<b>&\"c\"")]);
         let spec = InterfaceSpec::permissive(t.schema(), 10);
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let q = Query::ByString { attr: "T&C".into(), value: "a<b>&\"c\"".into() };
         let page = s.query_page(&q, 0).unwrap();
         let xml = page_to_xml(&page, s.table());
@@ -237,7 +230,8 @@ mod tests {
 
     #[test]
     fn empty_page_parses() {
-        let parsed = parse_page("<results page=\"3\" more=\"false\" total=\"0\">\n</results>\n").unwrap();
+        let parsed =
+            parse_page("<results page=\"3\" more=\"false\" total=\"0\">\n</results>\n").unwrap();
         assert_eq!(parsed.page_index, 3);
         assert!(!parsed.has_more);
         assert_eq!(parsed.total_matches, Some(0));
@@ -266,9 +260,7 @@ mod tests {
             Err(ExtractError::MalformedElement("record"))
         );
         assert_eq!(
-            parse_page(
-                "<results page=\"0\" more=\"false\"><record key=\"x\"></record></results>"
-            ),
+            parse_page("<results page=\"0\" more=\"false\"><record key=\"x\"></record></results>"),
             Err(ExtractError::BadAttribute("key"))
         );
     }
@@ -278,7 +270,7 @@ mod tests {
         use dwc_server::html::page_to_html;
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 2);
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let a2 = s.table().interner().get(AttrId(0), "a2").unwrap();
         let page = s.query_page(&Query::Value(a2), 0).unwrap();
         let from_xml = parse_page(&page_to_xml(&page, s.table())).unwrap();
@@ -304,7 +296,7 @@ mod tests {
         let mut t = UniversalTable::new(schema);
         t.push_record_strs([(AttrId(0), "a<b> & \"c\"")]);
         let spec = InterfaceSpec::permissive(t.schema(), 10);
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let q = Query::ByString { attr: "T&C".into(), value: "a<b> & \"c\"".into() };
         let page = s.query_page(&q, 0).unwrap();
         let parsed = parse_html_page(&page_to_html(&page, s.table())).unwrap();
@@ -318,7 +310,8 @@ mod tests {
             parse_html_page("<div id=\"summary\">nonsense</div>"),
             Err(ExtractError::BadAttribute("page"))
         );
-        let bad_key = "<div id=\"summary\">page 0 of results</div><div class=\"item\" id=\"item-xyz\"></div>";
+        let bad_key =
+            "<div id=\"summary\">page 0 of results</div><div class=\"item\" id=\"item-xyz\"></div>";
         assert_eq!(parse_html_page(bad_key), Err(ExtractError::BadAttribute("key")));
     }
 

@@ -1,54 +1,67 @@
-//! Multi-source fleet crawling.
+//! Multi-worker fleet crawling — distinct and *shared* sources.
 //!
 //! The paper closes with "our future work also includes the implementation
 //! and deployment of a real world product database crawler" — a crawler that
-//! faces *many* sources at once under one global communication budget (e.g.
-//! a comparison-shopping engine harvesting every DVD store it knows). This
-//! module provides that deployment layer on top of [`crate::Crawler`]:
+//! faces *many* crawl jobs at once under one global communication budget
+//! (e.g. a comparison-shopping engine harvesting every DVD store it knows).
+//! This module provides that deployment layer on top of [`crate::Crawler`]:
 //!
-//! * each source runs its own crawler (own policy, own vocabulary, own
+//! * each job runs its own crawler (own policy, own vocabulary, own
 //!   `DB_local`) on its own worker thread;
-//! * the global budget is handed out in *slices*, split across sources by an
-//!   [`AllocationStrategy`]: evenly, or proportionally to each source's
+//! * jobs are generic over [`DataSource`], so a fleet can mix distinct
+//!   servers with *shared* ones — pass `Arc<WebDbServer>` clones and N
+//!   workers probe the same source concurrently, every page request landing
+//!   in the same atomic round counter (partitioned crawling of one large
+//!   source, e.g. different seed regions of the same store);
+//! * the global budget is handed out in *slices*, split across jobs by an
+//!   [`AllocationStrategy`]: evenly, or proportionally to each job's
 //!   observed recent harvest rate — the fleet-level analogue of per-query
 //!   selection (spend the next rounds where they buy the most new records);
-//! * a source whose frontier dries up stops drawing budget, and under
-//!   proportional allocation a saturating source gradually loses budget to
+//! * workers are billed in **elapsed rounds** — page requests plus retry
+//!   backoff waits ([`crate::RetryPolicy`]) — so a worker stuck retrying a
+//!   flaky source drains its own budget, not its siblings';
+//! * a job whose frontier dries up stops drawing budget, and under
+//!   proportional allocation a saturating job gradually loses budget to
 //!   fresher ones.
 
+use crate::config::ConfigError;
 use crate::crawler::{CrawlConfig, CrawlReport, Crawler, StopReason};
 use crate::policy::PolicyKind;
-use dwc_server::WebDbServer;
+use crate::source::DataSource;
 use std::sync::mpsc;
 
-/// How the global round budget is divided across sources.
+/// How the global round budget is divided across jobs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum AllocationStrategy {
-    /// Every active source gets the same share of every slice.
+    /// Every active job gets the same share of every slice.
     Even,
-    /// Each slice is divided proportionally to the sources' mean normalized
-    /// harvest rates over their recent queries (floored at 5% so a source is
+    /// Each slice is divided proportionally to the jobs' mean normalized
+    /// harvest rates over their recent queries (floored at 5% so a job is
     /// never starved before it can prove itself).
     HarvestProportional,
 }
 
 /// One crawl job of the fleet.
-pub struct FleetJob {
-    /// The target source.
-    pub server: WebDbServer,
-    /// Selection policy for this source.
+///
+/// `S` is any [`DataSource`] handle the worker thread can own: a
+/// `WebDbServer` (exclusive), an `Arc<WebDbServer>` (shared with other
+/// workers), or a [`crate::FaultySource`]-wrapped source.
+pub struct FleetJob<S: DataSource> {
+    /// The target source handle.
+    pub source: S,
+    /// Selection policy for this job.
     pub policy: PolicyKind,
     /// Seed values (attribute name, value string).
     pub seeds: Vec<(String, String)>,
-    /// Per-source config template (budgets are driven by the fleet; leave
+    /// Per-job config template (budgets are driven by the fleet; leave
     /// `max_rounds` unset).
     pub config: CrawlConfig,
 }
 
-/// Fleet-level configuration.
+/// Fleet-level configuration. Prefer [`FleetConfig::builder`].
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
-    /// Total communication rounds across all sources.
+    /// Total elapsed rounds across all jobs (requests + backoff waits).
     pub total_rounds: u64,
     /// Rounds distributed per allocation slice.
     pub slice: u64,
@@ -62,17 +75,61 @@ impl Default for FleetConfig {
     }
 }
 
-/// Result of a fleet crawl: one report per source, in input order.
+impl FleetConfig {
+    /// Starts building a validated configuration.
+    pub fn builder() -> FleetConfigBuilder {
+        FleetConfigBuilder { config: FleetConfig::default() }
+    }
+}
+
+/// Builder for [`FleetConfig`]; see [`FleetConfig::builder`].
+#[derive(Debug, Clone)]
+pub struct FleetConfigBuilder {
+    config: FleetConfig,
+}
+
+impl FleetConfigBuilder {
+    /// Sets the global round budget. Must be positive.
+    pub fn total_rounds(mut self, rounds: u64) -> Self {
+        self.config.total_rounds = rounds;
+        self
+    }
+
+    /// Sets the per-slice grant size. Must be positive.
+    pub fn slice(mut self, slice: u64) -> Self {
+        self.config.slice = slice;
+        self
+    }
+
+    /// Sets the budget split strategy.
+    pub fn allocation(mut self, allocation: AllocationStrategy) -> Self {
+        self.config.allocation = allocation;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<FleetConfig, ConfigError> {
+        if self.config.total_rounds == 0 {
+            return Err(ConfigError::ZeroBudget("total_rounds"));
+        }
+        if self.config.slice == 0 {
+            return Err(ConfigError::ZeroBudget("slice"));
+        }
+        Ok(self.config)
+    }
+}
+
+/// Result of a fleet crawl: one report per job, in input order.
 #[derive(Debug)]
 pub struct FleetReport {
-    /// Per-source crawl reports.
+    /// Per-job crawl reports.
     pub sources: Vec<CrawlReport>,
-    /// Total rounds actually spent across the fleet.
+    /// Total elapsed rounds actually spent across the fleet.
     pub total_rounds: u64,
 }
 
 impl FleetReport {
-    /// Total records harvested across all sources.
+    /// Total records harvested across all jobs.
     pub fn total_records(&self) -> u64 {
         self.sources.iter().map(|r| r.records).sum()
     }
@@ -91,11 +148,14 @@ struct SliceResult {
     report: Option<CrawlReport>,
 }
 
-/// Runs the fleet to budget exhaustion (or until every source's frontier is
-/// dry). Each source lives on its own worker thread (the crawler borrows its
-/// server mutably, so the pair stays together); the coordinator hands out
-/// budget grants per slice and collects progress.
-pub fn run_fleet(jobs: Vec<FleetJob>, config: FleetConfig) -> FleetReport {
+/// Runs the fleet to budget exhaustion (or until every job's frontier is
+/// dry). Each job lives on its own worker thread and owns its source handle;
+/// the coordinator hands out budget grants per slice and collects progress.
+/// All accounting is in elapsed rounds (requests + backoff waits).
+pub fn run_fleet<S>(jobs: Vec<FleetJob<S>>, config: FleetConfig) -> FleetReport
+where
+    S: DataSource + Send + 'static,
+{
     assert!(config.slice > 0, "slice must be positive");
     let n = jobs.len();
     if n == 0 {
@@ -109,8 +169,7 @@ pub fn run_fleet(jobs: Vec<FleetJob>, config: FleetConfig) -> FleetReport {
         grant_txs.push(grant_tx);
         let result_tx = result_tx.clone();
         handles.push(std::thread::spawn(move || {
-            let mut server = job.server;
-            let mut crawler = Crawler::new(&mut server, job.policy.build(), job.config);
+            let mut crawler = Crawler::new(job.source, job.policy.build(), job.config);
             for (a, v) in &job.seeds {
                 crawler.add_seed(a, v);
             }
@@ -118,8 +177,8 @@ pub fn run_fleet(jobs: Vec<FleetJob>, config: FleetConfig) -> FleetReport {
             while let Ok(grant) = grant_rx.recv() {
                 match grant {
                     Grant::Rounds(rounds) => {
-                        let target = crawler.rounds() + rounds;
-                        while !exhausted && crawler.rounds() < target {
+                        let target = crawler.elapsed_rounds() + rounds;
+                        while !exhausted && crawler.elapsed_rounds() < target {
                             if crawler.step().is_none() {
                                 exhausted = true;
                             }
@@ -130,14 +189,14 @@ pub fn run_fleet(jobs: Vec<FleetJob>, config: FleetConfig) -> FleetReport {
                             .unwrap_or(if exhausted { 0.0 } else { 1.0 });
                         let _ = result_tx.send(SliceResult {
                             idx,
-                            rounds_used: crawler.rounds(),
+                            rounds_used: crawler.elapsed_rounds(),
                             recent_rate,
                             exhausted,
                             report: None,
                         });
                     }
                     Grant::Finish => {
-                        let rounds_used = crawler.rounds();
+                        let rounds_used = crawler.elapsed_rounds();
                         let stop = if exhausted {
                             StopReason::FrontierExhausted
                         } else {
@@ -221,37 +280,46 @@ pub fn run_fleet(jobs: Vec<FleetJob>, config: FleetConfig) -> FleetReport {
     }
     let sources: Vec<CrawlReport> =
         finals.into_iter().map(|r| r.expect("every worker reported")).collect();
-    let total_rounds = sources.iter().map(|r| r.rounds).sum();
+    let total_rounds = sources.iter().map(|r| r.elapsed_rounds()).sum();
     FleetReport { sources, total_rounds }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dwc_server::InterfaceSpec;
+    use dwc_server::{FaultPolicy, InterfaceSpec, WebDbServer};
+    use std::sync::Arc;
 
-    fn job(seed_value: &str) -> FleetJob {
+    fn figure1_server() -> WebDbServer {
         let t = dwc_model::fixtures::figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10);
+        WebDbServer::new(t, spec)
+    }
+
+    fn job(seed_value: &str) -> FleetJob<WebDbServer> {
         FleetJob {
-            server: WebDbServer::new(t, spec),
+            source: figure1_server(),
             policy: PolicyKind::GreedyLink,
             seeds: vec![("A".into(), seed_value.to_string())],
-            config: CrawlConfig { known_target_size: Some(5), ..Default::default() },
+            config: CrawlConfig::builder().known_target_size(5).build().unwrap(),
         }
     }
 
     #[test]
     fn empty_fleet_is_fine() {
-        let report = run_fleet(Vec::new(), FleetConfig::default());
+        let report = run_fleet(Vec::<FleetJob<WebDbServer>>::new(), FleetConfig::default());
         assert_eq!(report.total_records(), 0);
     }
 
     #[test]
     fn fleet_crawls_every_source_to_exhaustion() {
         let jobs = vec![job("a2"), job("a2"), job("a3")];
-        let config =
-            FleetConfig { total_rounds: 1000, slice: 10, allocation: AllocationStrategy::Even };
+        let config = FleetConfig::builder()
+            .total_rounds(1000)
+            .slice(10)
+            .allocation(AllocationStrategy::Even)
+            .build()
+            .unwrap();
         let report = run_fleet(jobs, config);
         assert_eq!(report.sources.len(), 3);
         assert_eq!(report.sources[0].records, 5);
@@ -264,24 +332,99 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let jobs = vec![job("a2"), job("a2")];
-        let config =
-            FleetConfig { total_rounds: 4, slice: 2, allocation: AllocationStrategy::Even };
+        let config = FleetConfig::builder().total_rounds(4).slice(2).build().unwrap();
         let report = run_fleet(jobs, config);
-        assert!(report.total_rounds <= 6, "slight overshoot ≤ one query per source allowed, got {}", report.total_rounds);
+        assert!(
+            report.total_rounds <= 6,
+            "slight overshoot ≤ one query per source allowed, got {}",
+            report.total_rounds
+        );
         assert!(report.total_records() > 0);
     }
 
     #[test]
     fn proportional_allocation_finishes_too() {
         let jobs = vec![job("a2"), job("a1")];
-        let config = FleetConfig {
-            total_rounds: 100,
-            slice: 4,
-            allocation: AllocationStrategy::HarvestProportional,
-        };
+        let config = FleetConfig::builder()
+            .total_rounds(100)
+            .slice(4)
+            .allocation(AllocationStrategy::HarvestProportional)
+            .build()
+            .unwrap();
         let report = run_fleet(jobs, config);
         assert_eq!(report.sources.len(), 2);
         assert_eq!(report.sources[0].records, 5);
         assert_eq!(report.sources[1].records, 5);
+    }
+
+    #[test]
+    fn builder_rejects_zero_parameters() {
+        assert_eq!(
+            FleetConfig::builder().total_rounds(0).build().unwrap_err(),
+            ConfigError::ZeroBudget("total_rounds")
+        );
+        assert_eq!(
+            FleetConfig::builder().slice(0).build().unwrap_err(),
+            ConfigError::ZeroBudget("slice")
+        );
+    }
+
+    #[test]
+    fn two_jobs_share_one_source() {
+        // Two workers crawl the SAME server (different seed regions) — the
+        // Arc handles land every request on one global round counter.
+        let shared = Arc::new(figure1_server());
+        let jobs: Vec<FleetJob<Arc<WebDbServer>>> = ["a2", "a3"]
+            .iter()
+            .map(|seed| FleetJob {
+                source: Arc::clone(&shared),
+                policy: PolicyKind::GreedyLink,
+                seeds: vec![("A".into(), seed.to_string())],
+                config: CrawlConfig::builder().known_target_size(5).build().unwrap(),
+            })
+            .collect();
+        let config = FleetConfig::builder().total_rounds(1000).slice(10).build().unwrap();
+        let report = run_fleet(jobs, config);
+        assert_eq!(report.sources.len(), 2);
+        for r in &report.sources {
+            assert_eq!(r.records, 5, "each worker harvests the full database");
+        }
+        let summed: u64 = report.sources.iter().map(|r| r.rounds).sum();
+        assert_eq!(
+            summed,
+            shared.rounds_used(),
+            "per-worker request counts must add up to the shared global counter"
+        );
+    }
+
+    #[test]
+    fn shared_source_with_faults_loses_no_records() {
+        // The ISSUE acceptance scenario: two crawlers share one server with
+        // FaultPolicy::every(7); retries (billed as rounds + backoff) must
+        // still deliver every record to both workers.
+        let shared = Arc::new(figure1_server().with_faults(FaultPolicy::every(7)));
+        let jobs: Vec<FleetJob<Arc<WebDbServer>>> = ["a2", "a3"]
+            .iter()
+            .map(|seed| FleetJob {
+                source: Arc::clone(&shared),
+                policy: PolicyKind::GreedyLink,
+                seeds: vec![("A".into(), seed.to_string())],
+                config: CrawlConfig::builder()
+                    .known_target_size(5)
+                    .max_retries(32)
+                    .build()
+                    .unwrap(),
+            })
+            .collect();
+        let config = FleetConfig::builder().total_rounds(4000).slice(50).build().unwrap();
+        let report = run_fleet(jobs, config);
+        for r in &report.sources {
+            assert_eq!(r.records, 5, "zero records may be lost to faults");
+        }
+        let failures: u64 = report.sources.iter().map(|r| r.transient_failures).sum();
+        assert!(failures > 0, "the fault schedule must actually have fired");
+        assert_eq!(failures, shared.faults_injected());
+        let summed: u64 = report.sources.iter().map(|r| r.rounds).sum();
+        assert_eq!(summed, shared.rounds_used(), "failed rounds are billed too");
     }
 }

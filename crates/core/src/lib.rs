@@ -15,9 +15,17 @@
 //!
 //! Architecture (paper §2.5): the **Query Selector** (a
 //! [`policy::SelectionPolicy`]), the **Database Prober**
-//! ([`crawler::ProberMode`]) and the **Result Extractor** ([`extract`]).
+//! ([`source::ProberMode`]) and the **Result Extractor** ([`extract`]).
 //! The crawler maintains `L_to-query` / `L_queried`, a statistics table, and
 //! the local database `DB_local` ([`local::LocalDb`]).
+//!
+//! The crawler reaches its target exclusively through the [`source::DataSource`]
+//! trait — one page request per call, `&self`, atomically billed — which makes
+//! an in-process [`dwc_server::WebDbServer`], a fault-injecting decorator
+//! ([`source::FaultySource`]), and future real-HTTP backends interchangeable.
+//! Because the trait is implemented for `&S` and `Arc<S>` too, the same
+//! generic [`Crawler`] covers both exclusive borrow-style use and fleets of
+//! workers sharing one source ([`fleet`]).
 //!
 //! The crawler-side vocabulary is its own [`dwc_model::ValueInterner`]: the
 //! crawler never shares an id space with the server — queries go out as
@@ -28,6 +36,7 @@
 
 pub mod abort;
 pub mod checkpoint;
+pub mod config;
 pub mod crawler;
 pub mod domain_table;
 pub mod extract;
@@ -35,15 +44,18 @@ pub mod fleet;
 pub mod local;
 pub mod policy;
 pub mod report;
+pub mod source;
 pub mod state;
 pub mod trace;
 
 pub use abort::AbortPolicy;
 pub use checkpoint::Checkpoint;
+pub use config::{ConfigError, RetryPolicy};
 pub use crawler::{CrawlConfig, CrawlReport, Crawler, ProberMode, QueryMode};
 pub use domain_table::DomainTable;
 pub use local::LocalDb;
-pub use report::CrawlSummary;
 pub use policy::{PolicyKind, SelectionPolicy};
+pub use report::CrawlSummary;
+pub use source::{CrawlError, DataSource, FaultySource};
 pub use state::{CandStatus, CrawlState, QueryOutcome};
 pub use trace::CrawlTrace;

@@ -386,10 +386,7 @@ mod tests {
     fn init_interns_whole_table_as_undiscovered() {
         let (_, st) = policy_with_figure1_dm();
         assert_eq!(st.vocab.len(), 9);
-        assert!(st
-            .vocab
-            .iter_ids()
-            .all(|v| st.status_of(v) == CandStatus::Undiscovered));
+        assert!(st.vocab.iter_ids().all(|v| st.status_of(v) == CandStatus::Undiscovered));
     }
 
     #[test]

@@ -82,7 +82,14 @@ impl Mmmi {
     /// New GL+MMMI policy.
     pub fn new(config: MmmiConfig) -> Self {
         assert!(config.batch > 0, "batch must be positive");
-        Mmmi { config, greedy: GreedyLink::new(), active: false, ranked: Vec::new(), cursor: 0, since_recompute: 0 }
+        Mmmi {
+            config,
+            greedy: GreedyLink::new(),
+            active: false,
+            ranked: Vec::new(),
+            cursor: 0,
+            since_recompute: 0,
+        }
     }
 
     /// Whether the MMMI phase has begun.
@@ -162,9 +169,8 @@ impl Mmmi {
         // the greedy productivity signal minus the min–max dependency
         // penalty, each in frontier-relative standard deviations.
         let deg_of = |v: ValueId| (1.0 + f64::from(state.local.degree(v))).ln();
-        let dep_of = |v: ValueId| {
-            score.get(&v.0).copied().unwrap_or(f64::NEG_INFINITY).clamp(-8.0, 8.0)
-        };
+        let dep_of =
+            |v: ValueId| score.get(&v.0).copied().unwrap_or(f64::NEG_INFINITY).clamp(-8.0, 8.0);
         let m = self.ranked.len().max(1) as f64;
         let (mut mean_deg, mut mean_dep) = (0.0, 0.0);
         for &v in &self.ranked {
@@ -181,14 +187,10 @@ impl Mmmi {
         let sd_deg = (var_deg / m).sqrt().max(1e-9);
         let sd_dep = (var_dep / m).sqrt().max(1e-9);
         let rank_key = |v: ValueId| -> f64 {
-            (deg_of(v) - mean_deg) / sd_deg
-                - MMMI_PENALTY_WEIGHT * (dep_of(v) - mean_dep) / sd_dep
+            (deg_of(v) - mean_deg) / sd_deg - MMMI_PENALTY_WEIGHT * (dep_of(v) - mean_dep) / sd_dep
         };
-        self.ranked.sort_by(|a, b| {
-            rank_key(*b)
-                .total_cmp(&rank_key(*a))
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        self.ranked
+            .sort_by(|a, b| rank_key(*b).total_cmp(&rank_key(*a)).then_with(|| a.0.cmp(&b.0)));
         self.cursor = 0;
         self.since_recompute = 0;
     }
@@ -259,13 +261,37 @@ mod tests {
         // 2 contain {independent}, 1 contains {fresh}.
         let mut key = 0u64;
         for _ in 0..6 {
-            st.local.insert({ key += 1; key }, vec![ids[0], ids[1]]);
+            st.local.insert(
+                {
+                    key += 1;
+                    key
+                },
+                vec![ids[0], ids[1]],
+            );
         }
-        st.local.insert({ key += 1; key }, vec![ids[0], ids[2]]);
+        st.local.insert(
+            {
+                key += 1;
+                key
+            },
+            vec![ids[0], ids[2]],
+        );
         for _ in 0..2 {
-            st.local.insert({ key += 1; key }, vec![ids[2]]);
+            st.local.insert(
+                {
+                    key += 1;
+                    key
+                },
+                vec![ids[2]],
+            );
         }
-        st.local.insert({ key += 1; key }, vec![ids[3]]);
+        st.local.insert(
+            {
+                key += 1;
+                key
+            },
+            vec![ids[3]],
+        );
         (st, ids)
     }
 
@@ -319,10 +345,22 @@ mod tests {
         st.queried.push(q);
         // One record with all three; four more spreading hub out.
         let mut key = 0u64;
-        st.local.insert({ key += 1; key }, vec![q, hub, tiny]);
+        st.local.insert(
+            {
+                key += 1;
+                key
+            },
+            vec![q, hub, tiny],
+        );
         for i in 0..4u32 {
             let other = st.intern(AttrId(0), &format!("x{i}"));
-            st.local.insert({ key += 1; key }, vec![hub, other]);
+            st.local.insert(
+                {
+                    key += 1;
+                    key
+                },
+                vec![hub, other],
+            );
         }
         // PMI(hub, q) = ln(1·5/(5·1)) = 0; PMI(tiny, q) = ln(5) > 0.
         let mut p = Mmmi::new(MmmiConfig { trigger: Saturation::Immediately, batch: 100 });

@@ -133,9 +133,9 @@ mod tests {
     fn summary_after(steps: usize) -> CrawlSummary {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10);
-        let mut server = WebDbServer::new(t, spec);
+        let server = WebDbServer::new(t, spec);
         let config = CrawlConfig { known_target_size: Some(5), ..Default::default() };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+        let mut crawler = Crawler::new(&server, PolicyKind::GreedyLink.build(), config);
         crawler.add_seed("A", "a2");
         for _ in 0..steps {
             crawler.step();
@@ -158,8 +158,7 @@ mod tests {
     #[test]
     fn per_attribute_breakdown_sums() {
         let s = summary_after(2);
-        let total: usize =
-            s.attrs.iter().map(|a| a.frontier + a.queried + a.undiscovered).sum();
+        let total: usize = s.attrs.iter().map(|a| a.frontier + a.queried + a.undiscovered).sum();
         assert!(total >= 5, "all interned values are classified");
         assert_eq!(s.attrs.len(), 3);
     }

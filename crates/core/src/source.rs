@@ -1,0 +1,331 @@
+//! The crawler-side boundary to a data source.
+//!
+//! A crawler sees a hidden-web source only through its query interface:
+//! queries go out, paginated result pages come back, and every page request
+//! — successful or not — costs one communication round (Definition 2.3).
+//! [`DataSource`] captures exactly that contract, so [`crate::Crawler`] can
+//! drive an in-process [`WebDbServer`], a fault-injecting decorator
+//! ([`FaultySource`]), or a future real-HTTP backend interchangeably.
+//!
+//! Results cross the boundary in *extracted* form
+//! ([`crate::extract::ExtractedPage`]: attribute names + value strings) —
+//! the crawler never touches server-side id spaces or backing tables. How a
+//! page is materialized (direct translation, XML wire round-trip, HTML
+//! wrapper extraction) is the source's business, selected per request by
+//! [`ProberMode`].
+//!
+//! Sharing: `DataSource` takes `&self`, and blanket impls cover `&S` and
+//! `Arc<S>`. N crawler workers can therefore target one server —
+//! `Arc<WebDbServer>` clones hand every worker the same atomic round
+//! counter, so the source is billed globally no matter who asks.
+
+use crate::extract::{parse_page, ExtractedPage, ExtractedRecord};
+use dwc_server::html::page_to_html;
+use dwc_server::wire::page_to_xml;
+use dwc_server::{InterfaceSpec, Query, ServerError, WebDbServer};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the Database Prober materializes result pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ProberMode {
+    /// Read the in-process result page directly (fast path for large
+    /// simulations; identical observable content).
+    #[default]
+    InProcess,
+    /// Serialize each page to the XML wire format and re-parse it with the
+    /// Result Extractor — the full pipeline the paper's crawler runs against
+    /// Amazon's Web Service.
+    Wire,
+    /// Render each page as a template-generated HTML document and run the
+    /// HTML wrapper extractor — the pipeline against ordinary result pages
+    /// ("records … may be in the form of HTML Web pages", §1).
+    Html,
+}
+
+/// Why a page request failed, from the crawler's point of view.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrawlError {
+    /// A transient condition (throttling, timeout, 5xx). Retrying the same
+    /// request may succeed; the failed round is still billed.
+    Transient,
+    /// A definitive interface rejection — retrying the identical request
+    /// cannot succeed.
+    Fatal(ServerError),
+}
+
+impl CrawlError {
+    /// Whether a retry of the same request can possibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CrawlError::Transient)
+    }
+}
+
+impl From<ServerError> for CrawlError {
+    fn from(e: ServerError) -> Self {
+        match e {
+            ServerError::Transient => CrawlError::Transient,
+            fatal => CrawlError::Fatal(fatal),
+        }
+    }
+}
+
+impl std::fmt::Display for CrawlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrawlError::Transient => write!(f, "transient source failure"),
+            CrawlError::Fatal(e) => write!(f, "fatal source error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CrawlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CrawlError::Transient => None,
+            CrawlError::Fatal(e) => Some(e),
+        }
+    }
+}
+
+/// A queryable structured web source, as a crawler sees it.
+///
+/// All methods take `&self`: implementations do their own (atomic) request
+/// accounting so one source instance can serve concurrent crawlers.
+pub trait DataSource {
+    /// Requests one result page of `query`, materialized per `prober`.
+    /// Every call costs one communication round, including failed ones.
+    fn query_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+    ) -> Result<ExtractedPage, CrawlError>;
+
+    /// The source's advertised interface: form fields, queriability, page
+    /// size, caps. Everything a crawler knows about the source up front.
+    fn interface(&self) -> &InterfaceSpec;
+
+    /// Total communication rounds billed to this source so far.
+    fn rounds_used(&self) -> u64;
+}
+
+impl<S: DataSource + ?Sized> DataSource for &S {
+    fn query_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+    ) -> Result<ExtractedPage, CrawlError> {
+        (**self).query_page(query, page_index, prober)
+    }
+
+    fn interface(&self) -> &InterfaceSpec {
+        (**self).interface()
+    }
+
+    fn rounds_used(&self) -> u64 {
+        (**self).rounds_used()
+    }
+}
+
+impl<S: DataSource + ?Sized> DataSource for Arc<S> {
+    fn query_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+    ) -> Result<ExtractedPage, CrawlError> {
+        (**self).query_page(query, page_index, prober)
+    }
+
+    fn interface(&self) -> &InterfaceSpec {
+        (**self).interface()
+    }
+
+    fn rounds_used(&self) -> u64 {
+        (**self).rounds_used()
+    }
+}
+
+impl DataSource for WebDbServer {
+    fn query_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+    ) -> Result<ExtractedPage, CrawlError> {
+        let page = WebDbServer::query_page(self, query, page_index)?;
+        Ok(match prober {
+            ProberMode::InProcess => {
+                let table = self.table();
+                ExtractedPage {
+                    page_index: page.page_index,
+                    total_matches: page.total_matches,
+                    has_more: page.has_more,
+                    records: page
+                        .records
+                        .iter()
+                        .map(|r| ExtractedRecord {
+                            key: r.key,
+                            fields: r
+                                .values
+                                .iter()
+                                .map(|&sv| {
+                                    let attr = table.interner().attr_of(sv);
+                                    (
+                                        table.schema().attr(attr).name.clone(),
+                                        table.interner().value_str(sv).to_owned(),
+                                    )
+                                })
+                                .collect(),
+                        })
+                        .collect(),
+                }
+            }
+            ProberMode::Wire => {
+                let xml = page_to_xml(&page, self.table());
+                parse_page(&xml).expect("wire format must round-trip")
+            }
+            ProberMode::Html => {
+                let html = page_to_html(&page, self.table());
+                crate::extract::parse_html_page(&html).expect("HTML wrapper must round-trip")
+            }
+        })
+    }
+
+    fn interface(&self) -> &InterfaceSpec {
+        WebDbServer::interface(self)
+    }
+
+    fn rounds_used(&self) -> u64 {
+        WebDbServer::rounds_used(self)
+    }
+}
+
+/// A decorator that injects transient faults in front of any source.
+///
+/// [`WebDbServer`] has built-in fault injection; this wrapper provides the
+/// same deterministic schedule for sources that don't (a real HTTP backend,
+/// a shared server whose own policy is disabled). An injected fault consumes
+/// the request *before* it reaches the inner source — the round is billed
+/// here, so `rounds_used` is inner rounds plus injected faults.
+pub struct FaultySource<S> {
+    inner: S,
+    policy: dwc_server::FaultPolicy,
+    state: dwc_server::fault::FaultState,
+    requests: AtomicU64,
+}
+
+impl<S: DataSource> FaultySource<S> {
+    /// Wraps `inner`, failing requests per `policy`.
+    pub fn new(inner: S, policy: dwc_server::FaultPolicy) -> Self {
+        FaultySource {
+            inner,
+            policy,
+            state: dwc_server::fault::FaultState::new(),
+            requests: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped source.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of faults injected by this wrapper so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.state.injected()
+    }
+}
+
+impl<S: DataSource> DataSource for FaultySource<S> {
+    fn query_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+    ) -> Result<ExtractedPage, CrawlError> {
+        let request_no = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.state.try_inject(&self.policy, request_no) {
+            return Err(CrawlError::Transient);
+        }
+        self.inner.query_page(query, page_index, prober)
+    }
+
+    fn interface(&self) -> &InterfaceSpec {
+        self.inner.interface()
+    }
+
+    fn rounds_used(&self) -> u64 {
+        self.inner.rounds_used() + self.faults_injected()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_model::fixtures::figure1_table;
+    use dwc_server::FaultPolicy;
+
+    fn server() -> WebDbServer {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        WebDbServer::new(t, spec)
+    }
+
+    fn a2_query() -> Query {
+        Query::ByString { attr: "A".into(), value: "a2".into() }
+    }
+
+    /// Calls through the trait even where an inherent method would shadow it.
+    fn fetch<S: DataSource>(
+        s: &S,
+        query: &Query,
+        page: usize,
+        prober: ProberMode,
+    ) -> Result<ExtractedPage, CrawlError> {
+        s.query_page(query, page, prober)
+    }
+
+    #[test]
+    fn all_prober_modes_extract_identical_content() {
+        let s = server();
+        let base = fetch(&s, &a2_query(), 0, ProberMode::InProcess).unwrap();
+        assert_eq!(base.records.len(), 3);
+        assert_eq!(base, fetch(&s, &a2_query(), 0, ProberMode::Wire).unwrap());
+        assert_eq!(base, fetch(&s, &a2_query(), 0, ProberMode::Html).unwrap());
+        assert_eq!(DataSource::rounds_used(&s), 3);
+    }
+
+    #[test]
+    fn fatal_and_transient_errors_are_distinguished() {
+        let s = server().with_faults(FaultPolicy::every(2));
+        let bad = Query::ByString { attr: "Nope".into(), value: "x".into() };
+        let err = fetch(&s, &bad, 0, ProberMode::InProcess).unwrap_err();
+        assert!(!err.is_transient());
+        assert!(matches!(err, CrawlError::Fatal(ServerError::UnknownAttribute { .. })));
+        let err = fetch(&s, &a2_query(), 0, ProberMode::InProcess).unwrap_err();
+        assert!(err.is_transient(), "request 2 hits the fault schedule");
+    }
+
+    #[test]
+    fn blanket_impls_share_the_billing() {
+        let s = Arc::new(server());
+        let a = Arc::clone(&s);
+        fetch(&a, &a2_query(), 0, ProberMode::InProcess).unwrap();
+        fetch(&&*s, &a2_query(), 0, ProberMode::InProcess).unwrap();
+        assert_eq!(DataSource::rounds_used(&s), 2, "one counter behind every handle");
+    }
+
+    #[test]
+    fn faulty_source_bills_injected_rounds() {
+        let f = FaultySource::new(server(), FaultPolicy::every(2));
+        assert!(fetch(&f, &a2_query(), 0, ProberMode::InProcess).is_ok());
+        assert_eq!(fetch(&f, &a2_query(), 0, ProberMode::InProcess), Err(CrawlError::Transient));
+        assert!(fetch(&f, &a2_query(), 0, ProberMode::InProcess).is_ok());
+        assert_eq!(f.faults_injected(), 1);
+        assert_eq!(DataSource::rounds_used(&f), 3, "2 served + 1 injected");
+        assert_eq!(f.inner().rounds_used(), 2, "the fault never reached the server");
+    }
+}

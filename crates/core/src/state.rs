@@ -154,13 +154,15 @@ impl CrawlState {
 
     /// True coverage (`|DB_local| / |DB|`) when the target size is known.
     pub fn coverage(&self) -> Option<f64> {
-        self.target_size.map(|n| {
-            if n == 0 {
-                1.0
-            } else {
-                self.local.num_records() as f64 / n as f64
-            }
-        })
+        self.target_size.map(
+            |n| {
+                if n == 0 {
+                    1.0
+                } else {
+                    self.local.num_records() as f64 / n as f64
+                }
+            },
+        )
     }
 }
 

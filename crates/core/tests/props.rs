@@ -52,13 +52,13 @@ proptest! {
     ) {
         let n = value_strs.len().min(statuses.len());
         let cp = Checkpoint {
-            attr_queriable: attr_names.iter().map(|s| s.len() % 2 == 0).collect(),
+            attr_queriable: attr_names.iter().map(|s| s.len().is_multiple_of(2)).collect(),
             attr_names,
             page_size,
-            keyword_mode: rounds % 2 == 0,
+            keyword_mode: rounds.is_multiple_of(2),
             values: value_strs[..n].to_vec(),
             status: statuses[..n].to_vec(),
-            queried: (0..n as u32).filter(|i| i % 3 == 0).collect(),
+            queried: (0..n as u32).filter(|i| i.is_multiple_of(3)).collect(),
             records: (0..n as u64).map(|k| (k, vec![k as u32 % n.max(1) as u32])).collect(),
             rounds,
             queries,
@@ -78,14 +78,14 @@ proptest! {
         let t = table_from(&records);
         let seed = format!("v{seed_val}");
         let baseline = {
-            let mut server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
-            let mut c = Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+            let server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
+            let mut c = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
             c.add_seed("B", &seed);
             c.run()
         };
         let resumed = {
-            let mut server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
-            let mut c = Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+            let server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
+            let mut c = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
             c.add_seed("B", &seed);
             for _ in 0..cut_after {
                 if c.step().is_none() {
@@ -94,8 +94,8 @@ proptest! {
             }
             let cp = Checkpoint::from_text(&c.checkpoint().to_text()).unwrap();
             drop(c);
-            let mut server2 = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
-            let c2 = Crawler::resume(&mut server2, PolicyKind::Bfs.build(), &cp, CrawlConfig::default());
+            let server2 = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
+            let c2 = Crawler::resume(&server2, PolicyKind::Bfs.build(), &cp, CrawlConfig::default());
             c2.run()
         };
         prop_assert_eq!(resumed.records, baseline.records);
@@ -114,9 +114,9 @@ proptest! {
         let t = table_from(&records);
         let seed = format!("v{seed_val}");
         let run = |mode: QueryMode| {
-            let mut server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
+            let server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
             let config = CrawlConfig { query_mode: mode, ..Default::default() };
-            let mut c = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+            let mut c = Crawler::new(&server, PolicyKind::Bfs.build(), config);
             c.add_seed("A", &seed);
             c.run().records
         };
@@ -136,9 +136,9 @@ proptest! {
         let t = table_from(&records);
         let seed = format!("v{seed_val}");
         let run = |abort: AbortPolicy| {
-            let mut server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 2));
+            let server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 2));
             let config = CrawlConfig { abort, ..Default::default() };
-            let mut c = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+            let mut c = Crawler::new(&server, PolicyKind::Bfs.build(), config);
             c.add_seed("C", &seed);
             c.run()
         };
@@ -158,18 +158,18 @@ proptest! {
         let t = table_from(&records);
         let seed = format!("v{seed_val}");
         let structured = {
-            let mut server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
-            let mut c = Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+            let server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
+            let mut c = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
             c.add_seed("A", &seed);
             c.run().records
         };
         let conjunctive = {
-            let mut server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
+            let server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 3));
             let config = CrawlConfig {
                 query_mode: QueryMode::Conjunctive { arity: 2 },
                 ..Default::default()
             };
-            let mut c = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+            let mut c = Crawler::new(&server, PolicyKind::Bfs.build(), config);
             c.add_seed("A", &seed);
             c.run().records
         };

@@ -209,7 +209,8 @@ pub fn to_csv(table: &UniversalTable) -> String {
 mod tests {
     use super::*;
 
-    const SAMPLE: &str = "Title,Author+,Year*\n\"Paper, the first\",smith;jones,2004\nSecond paper,lee,2005\n";
+    const SAMPLE: &str =
+        "Title,Author+,Year*\n\"Paper, the first\",smith;jones,2004\nSecond paper,lee,2005\n";
 
     #[test]
     fn loads_schema_conventions() {

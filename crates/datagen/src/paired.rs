@@ -59,10 +59,8 @@ impl PairedDataset {
         assert!(spec.scale > 0.0 && spec.scale <= 1.0, "scale must be in (0, 1]");
         assert!((0.0..=1.0).contains(&spec.overlap), "overlap must be a probability");
         let model = Preset::Imdb.model(spec.scale);
-        let n_sample =
-            ((Preset::Imdb.base_records() as f64 * spec.scale).round() as usize).max(64);
-        let n_target =
-            ((Self::BASE_TARGET_RECORDS as f64 * spec.scale).round() as usize).max(16);
+        let n_sample = ((Preset::Imdb.base_records() as f64 * spec.scale).round() as usize).max(64);
+        let n_target = ((Self::BASE_TARGET_RECORDS as f64 * spec.scale).round() as usize).max(16);
         let sample = model.generate(n_sample, spec.seed);
         // Fresh records come from the same hidden model but a different
         // stream, so some of their values fall outside the sample.
@@ -99,10 +97,8 @@ impl PairedDataset {
 /// # Panics
 /// Panics if the table has no `Year` attribute.
 pub fn subset_by_min_year(table: &UniversalTable, min_year: u32) -> UniversalTable {
-    let year_attr = table
-        .schema()
-        .attr_by_name("Year")
-        .expect("subset_by_min_year requires a Year attribute");
+    let year_attr =
+        table.schema().attr_by_name("Year").expect("subset_by_min_year requires a Year attribute");
     let mut out = UniversalTable::new(table.schema().clone());
     for (_, rec) in table.iter() {
         match record_year(table, rec, year_attr) {
@@ -148,7 +144,8 @@ mod tests {
                 .record(id)
                 .values()
                 .iter()
-                .map(|&v| b.target.interner().value_str(v)).collect();
+                .map(|&v| b.target.interner().value_str(v))
+                .collect();
             assert_eq!(ra, rb);
         }
     }

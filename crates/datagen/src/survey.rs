@@ -182,8 +182,7 @@ mod tests {
     fn certain_capabilities_are_certain() {
         // Computer and Appliance are 100%/100% in the paper: every sampled
         // source must be crawlable regardless of seed.
-        let specs: Vec<_> =
-            paper_table1().into_iter().filter(|s| s.p_keyword >= 1.0).collect();
+        let specs: Vec<_> = paper_table1().into_iter().filter(|s| s.p_keyword >= 1.0).collect();
         for seed in 0..5 {
             for o in run_survey(&specs, seed) {
                 assert_eq!(o.observed_crawlable, 1.0, "{}", o.spec.domain);

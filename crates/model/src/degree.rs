@@ -134,7 +134,10 @@ mod tests {
         // Plus a sprinkle of medium-degree values.
         for i in 0..20 {
             for j in 0..5 {
-                t.push_record_strs([(AttrId(0), &format!("mid{i}")), (AttrId(1), &format!("mleaf{i}_{j}"))]);
+                t.push_record_strs([
+                    (AttrId(0), &format!("mid{i}")),
+                    (AttrId(1), &format!("mleaf{i}_{j}")),
+                ]);
             }
         }
         let g = AvGraph::from_table(&t);

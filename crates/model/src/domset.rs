@@ -47,7 +47,10 @@ pub fn set_weight(set: &[ValueId], weight: impl Fn(ValueId) -> f64) -> f64 {
 /// `H(Δ+1)` approximation factor of greedy set cover.
 ///
 /// `weight` must be strictly positive for every vertex.
-pub fn greedy_weighted_dominating_set(g: &AvGraph, weight: impl Fn(ValueId) -> f64) -> Vec<ValueId> {
+pub fn greedy_weighted_dominating_set(
+    g: &AvGraph,
+    weight: impl Fn(ValueId) -> f64,
+) -> Vec<ValueId> {
     let n = g.num_vertices();
     let mut dominated = vec![false; n];
     let mut remaining = n;
@@ -168,9 +171,7 @@ pub fn exact_minimum_dominating_set(
             }
         }
     }
-    best.map(|(_, subset)| {
-        (0..n as u32).filter(|v| subset & (1 << v) != 0).map(ValueId).collect()
-    })
+    best.map(|(_, subset)| (0..n as u32).filter(|v| subset & (1 << v) != 0).map(ValueId).collect())
 }
 
 #[cfg(test)]
@@ -247,7 +248,10 @@ mod tests {
     fn exact_rejects_large_graphs() {
         use crate::interner::AttrId;
         use crate::schema::{AttrSpec, Schema};
-        let mut t = crate::table::UniversalTable::new(Schema::new(vec![AttrSpec::queriable("A"), AttrSpec::queriable("B")]));
+        let mut t = crate::table::UniversalTable::new(Schema::new(vec![
+            AttrSpec::queriable("A"),
+            AttrSpec::queriable("B"),
+        ]));
         for i in 0..30 {
             t.push_record_strs([(AttrId(0), &format!("x{i}")), (AttrId(1), &format!("y{i}"))]);
         }

@@ -63,7 +63,8 @@ impl ValueInterner {
         if let Some(&id) = self.per_attr[slot].get(value) {
             return id;
         }
-        let id = ValueId(u32::try_from(self.strings.len()).expect("more than u32::MAX distinct values"));
+        let id =
+            ValueId(u32::try_from(self.strings.len()).expect("more than u32::MAX distinct values"));
         self.strings.push(Box::from(value));
         self.attrs.push(attr);
         self.per_attr[slot].insert(Box::from(value), id);

@@ -7,6 +7,8 @@
 //! assertions) and verify the crawler's retry logic leaves the harvested
 //! database unchanged.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Deterministic schedule of transient failures.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPolicy {
@@ -47,6 +49,62 @@ impl FaultPolicy {
     }
 }
 
+/// Thread-safe fault-injection ledger.
+///
+/// [`FaultPolicy`] is a pure schedule; `FaultState` holds the mutable side —
+/// how many faults have actually been injected — behind an atomic so a shared
+/// server can decide fault outcomes from `&self`. The `max_faults` budget is
+/// claimed with a compare-and-swap loop, so even under concurrent probing the
+/// cap is exact: never one fault more than allowed.
+#[derive(Debug, Default)]
+pub struct FaultState {
+    injected: AtomicU64,
+}
+
+impl FaultState {
+    /// A fresh ledger with zero injected faults.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Zeroes the ledger (between experiment runs).
+    pub fn reset(&self) {
+        self.injected.store(0, Ordering::Relaxed);
+    }
+
+    /// Decides whether request number `request_no` (1-based) fails under
+    /// `policy`, atomically claiming one unit of the fault budget when it
+    /// does. Returns `true` exactly when the caller must report a transient
+    /// failure.
+    pub fn try_inject(&self, policy: &FaultPolicy, request_no: u64) -> bool {
+        let Some(n) = policy.fail_every else { return false };
+        if !request_no.is_multiple_of(n) {
+            return false;
+        }
+        match policy.max_faults {
+            None => {
+                self.injected.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            Some(max) => self
+                .injected
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |f| (f < max).then_some(f + 1))
+                .is_ok(),
+        }
+    }
+}
+
+impl Clone for FaultState {
+    fn clone(&self) -> Self {
+        FaultState { injected: AtomicU64::new(self.injected()) }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -76,5 +134,36 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn zero_period_panics() {
         let _ = FaultPolicy::every(0);
+    }
+
+    #[test]
+    fn state_tracks_and_caps_injection() {
+        let p = FaultPolicy::every(2).up_to(2);
+        let s = FaultState::new();
+        assert!(!s.try_inject(&p, 1));
+        assert!(s.try_inject(&p, 2));
+        assert!(s.try_inject(&p, 4));
+        assert!(!s.try_inject(&p, 6), "budget exhausted");
+        assert_eq!(s.injected(), 2);
+        s.reset();
+        assert_eq!(s.injected(), 0);
+        assert!(s.try_inject(&p, 2), "budget refreshed after reset");
+    }
+
+    #[test]
+    fn state_cap_is_exact_under_contention() {
+        let p = FaultPolicy::every(1).up_to(100);
+        let s = FaultState::new();
+        std::thread::scope(|scope| {
+            for t in 0..8 {
+                let (s, p) = (&s, &p);
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        s.try_inject(p, t * 1000 + i + 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.injected(), 100, "CAS loop must never overshoot the cap");
     }
 }

@@ -64,7 +64,7 @@ mod tests {
     fn html_structure_and_counts() {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 2);
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let a2 = s.table().interner().get(AttrId(0), "a2").unwrap();
         let page = s.query_page(&Query::Value(a2), 0).unwrap();
         let html = page_to_html(&page, s.table());
@@ -84,7 +84,7 @@ mod tests {
         let mut t = UniversalTable::new(schema);
         t.push_record_strs([(AttrId(0), "<script>alert(1)</script>")]);
         let spec = InterfaceSpec::permissive(t.schema(), 10);
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let q = Query::ByString { attr: "T".into(), value: "<script>alert(1)</script>".into() };
         let page = s.query_page(&q, 0).unwrap();
         let html = page_to_html(&page, s.table());
@@ -96,7 +96,7 @@ mod tests {
     fn totals_omitted_when_not_reported() {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10).without_totals();
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let a2 = s.table().interner().get(AttrId(0), "a2").unwrap();
         let page = s.query_page(&Query::Value(a2), 0).unwrap();
         let html = page_to_html(&page, s.table());

@@ -32,6 +32,11 @@ pub struct InterfaceSpec {
     /// restrictive" sources (the paper names airfare and hotel sites; Table 1
     /// shows the Car domain) demand `≥ 2`. Keyword queries are unaffected.
     pub min_query_attrs: usize,
+    /// Names of *all* attributes of the source, indexed by `AttrId`. Form
+    /// field labels are part of what a real interface shows, so publishing
+    /// them here lets a crawler phrase `ByString`/`Conjunctive` queries
+    /// without any back-door view of the underlying table.
+    pub attr_names: Vec<String>,
 }
 
 impl InterfaceSpec {
@@ -45,7 +50,13 @@ impl InterfaceSpec {
             keyword_search: true,
             queriable_attrs: schema.queriable_attrs(),
             min_query_attrs: 1,
+            attr_names: schema.iter().map(|(_, a)| a.name.clone()).collect(),
         }
+    }
+
+    /// The form-field name of attribute `attr`.
+    pub fn attr_name(&self, attr: AttrId) -> &str {
+        &self.attr_names[attr.0 as usize]
     }
 
     /// Returns a copy demanding at least `n` equality predicates per

@@ -32,7 +32,7 @@ pub mod server;
 pub mod wire;
 
 pub use error::ServerError;
-pub use fault::FaultPolicy;
+pub use fault::{FaultPolicy, FaultState};
 pub use index::InvertedIndex;
 pub use interface::{InterfaceSpec, Query};
 pub use server::{PageRecord, ResultPage, WebDbServer};

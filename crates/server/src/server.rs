@@ -7,10 +7,11 @@
 //! total match count is reported when the interface says so (Section 3.4).
 
 use crate::error::ServerError;
-use crate::fault::FaultPolicy;
+use crate::fault::{FaultPolicy, FaultState};
 use crate::index::InvertedIndex;
 use crate::interface::{InterfaceSpec, Query};
 use dwc_model::{RecordId, UniversalTable, ValueId};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A record as it appears in a result page: the source-assigned stable key
 /// (like an Amazon ASIN) plus the record's attribute values.
@@ -40,21 +41,46 @@ pub struct ResultPage {
 }
 
 /// An in-memory structured web database behind a query interface.
-#[derive(Debug, Clone)]
+///
+/// All request/fault accounting lives in atomics, so a single server can be
+/// probed concurrently through `&self` — share one instance between crawler
+/// workers as `Arc<WebDbServer>` and every page request lands in the same
+/// global round counter (Definition 2.3 bills the *source*, not the worker).
+#[derive(Debug)]
 pub struct WebDbServer {
     table: UniversalTable,
     index: InvertedIndex,
     interface: InterfaceSpec,
     fault: FaultPolicy,
-    requests: u64,
-    faults_injected: u64,
+    requests: AtomicU64,
+    faults: FaultState,
+}
+
+impl Clone for WebDbServer {
+    fn clone(&self) -> Self {
+        WebDbServer {
+            table: self.table.clone(),
+            index: self.index.clone(),
+            interface: self.interface.clone(),
+            fault: self.fault.clone(),
+            requests: AtomicU64::new(self.rounds_used()),
+            faults: self.faults.clone(),
+        }
+    }
 }
 
 impl WebDbServer {
     /// Builds a server over `table` with the given interface.
     pub fn new(table: UniversalTable, interface: InterfaceSpec) -> Self {
         let index = InvertedIndex::build(&table);
-        WebDbServer { table, index, interface, fault: FaultPolicy::none(), requests: 0, faults_injected: 0 }
+        WebDbServer {
+            table,
+            index,
+            interface,
+            fault: FaultPolicy::none(),
+            requests: AtomicU64::new(0),
+            faults: FaultState::new(),
+        }
     }
 
     /// Enables deterministic transient-fault injection.
@@ -81,13 +107,18 @@ impl WebDbServer {
 
     /// Total page requests served so far — the crawl's communication cost.
     pub fn rounds_used(&self) -> u64 {
-        self.requests
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Number of transient faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.faults.injected()
     }
 
     /// Resets the communication-round counter (between experiment runs).
-    pub fn reset_rounds(&mut self) {
-        self.requests = 0;
-        self.faults_injected = 0;
+    pub fn reset_rounds(&self) {
+        self.requests.store(0, Ordering::Relaxed);
+        self.faults.reset();
     }
 
     /// Number of records that match `query` (oracle helper for tests and
@@ -103,11 +134,11 @@ impl WebDbServer {
     }
 
     /// Serves one result page. Every call — including failed ones — costs one
-    /// communication round.
-    pub fn query_page(&mut self, query: &Query, page_index: usize) -> Result<ResultPage, ServerError> {
-        self.requests += 1;
-        if self.fault.should_fail(self.requests, self.faults_injected) {
-            self.faults_injected += 1;
+    /// communication round. Takes `&self`: concurrent callers each get their
+    /// own request number from the shared atomic counter.
+    pub fn query_page(&self, query: &Query, page_index: usize) -> Result<ResultPage, ServerError> {
+        let request_no = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.faults.try_inject(&self.fault, request_no) {
             return Err(ServerError::Transient);
         }
         let matches: MatchList<'_> = match self.resolve(query)? {
@@ -265,7 +296,7 @@ mod tests {
     #[test]
     fn example_2_1_crawl_steps() {
         // Example 2.1 of the paper: query a2 first and see records 1,2,3.
-        let mut s = figure1_server(10);
+        let s = figure1_server(10);
         let a2 = val(&s, 0, "a2");
         let page = s.query_page(&Query::Value(a2), 0).unwrap();
         assert_eq!(page.total_matches, Some(3));
@@ -276,7 +307,7 @@ mod tests {
 
     #[test]
     fn pagination_partitions_results() {
-        let mut s = figure1_server(2);
+        let s = figure1_server(2);
         let c2 = val(&s, 2, "c2");
         let p0 = s.query_page(&Query::Value(c2), 0).unwrap();
         assert_eq!(p0.records.len(), 2);
@@ -285,8 +316,7 @@ mod tests {
         assert_eq!(p1.records.len(), 1);
         assert!(!p1.has_more);
         // No key appears twice across pages.
-        let mut keys: Vec<u64> =
-            p0.records.iter().chain(&p1.records).map(|r| r.key).collect();
+        let mut keys: Vec<u64> = p0.records.iter().chain(&p1.records).map(|r| r.key).collect();
         keys.sort_unstable();
         keys.dedup();
         assert_eq!(keys.len(), 3);
@@ -297,7 +327,7 @@ mod tests {
     fn result_cap_truncates_pagination_but_not_total() {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 1).with_result_cap(2);
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let c2 = val(&s, 2, "c2");
         let p0 = s.query_page(&Query::Value(c2), 0).unwrap();
         assert_eq!(p0.total_matches, Some(3), "true total still reported");
@@ -312,7 +342,7 @@ mod tests {
     fn totals_hidden_when_interface_says_so() {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10).without_totals();
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let a2 = val(&s, 0, "a2");
         let page = s.query_page(&Query::Value(a2), 0).unwrap();
         assert_eq!(page.total_matches, None);
@@ -320,7 +350,7 @@ mod tests {
 
     #[test]
     fn by_string_query_resolves() {
-        let mut s = figure1_server(10);
+        let s = figure1_server(10);
         let q = Query::ByString { attr: "A".into(), value: "a2".into() };
         let page = s.query_page(&q, 0).unwrap();
         assert_eq!(page.records.len(), 3);
@@ -328,8 +358,8 @@ mod tests {
 
     #[test]
     fn by_string_no_match_is_empty_not_error() {
-        let mut s = figure1_server(10);
-        let q = Query::ByString { attr: "A".into(), value: "zz" .into() };
+        let s = figure1_server(10);
+        let q = Query::ByString { attr: "A".into(), value: "zz".into() };
         let page = s.query_page(&q, 0).unwrap();
         assert!(page.records.is_empty());
         assert_eq!(page.total_matches, Some(0));
@@ -338,7 +368,7 @@ mod tests {
 
     #[test]
     fn unknown_attribute_is_error() {
-        let mut s = figure1_server(10);
+        let s = figure1_server(10);
         let q = Query::ByString { attr: "Nope".into(), value: "x".into() };
         assert_eq!(s.query_page(&q, 0), Err(ServerError::UnknownAttribute { attr: "Nope".into() }));
         assert_eq!(s.rounds_used(), 1, "a failed request still costs a round");
@@ -349,7 +379,7 @@ mod tests {
         let t = figure1_table();
         let mut spec = InterfaceSpec::permissive(t.schema(), 10);
         spec.queriable_attrs.retain(|&a| a != AttrId(0));
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let a2 = val(&s, 0, "a2");
         assert!(matches!(
             s.query_page(&Query::Value(a2), 0),
@@ -359,13 +389,13 @@ mod tests {
 
     #[test]
     fn keyword_query_works_and_can_be_disabled() {
-        let mut s = figure1_server(10);
+        let s = figure1_server(10);
         let page = s.query_page(&Query::Keyword("a2".into()), 0).unwrap();
         assert_eq!(page.records.len(), 3);
         let t = figure1_table();
         let mut spec = InterfaceSpec::permissive(t.schema(), 10);
         spec.keyword_search = false;
-        let mut s2 = WebDbServer::new(t, spec);
+        let s2 = WebDbServer::new(t, spec);
         assert_eq!(
             s2.query_page(&Query::Keyword("a2".into()), 0),
             Err(ServerError::KeywordUnsupported)
@@ -374,7 +404,7 @@ mod tests {
 
     #[test]
     fn unknown_value_id_yields_empty() {
-        let mut s = figure1_server(10);
+        let s = figure1_server(10);
         let page = s.query_page(&Query::Value(ValueId(9999)), 0).unwrap();
         assert!(page.records.is_empty());
         assert_eq!(page.total_matches, Some(0));
@@ -384,7 +414,7 @@ mod tests {
     fn fault_injection_costs_rounds_and_recovers() {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10);
-        let mut s = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(2));
+        let s = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(2));
         let a2 = val(&s, 0, "a2");
         let q = Query::Value(a2);
         assert!(s.query_page(&q, 0).is_ok()); // request 1
@@ -395,12 +425,9 @@ mod tests {
 
     #[test]
     fn conjunctive_query_intersects() {
-        let mut s = figure1_server(10);
+        let s = figure1_server(10);
         // a2 ∧ c2 matches records 2 and 3 only.
-        let q = Query::Conjunctive(vec![
-            ("A".into(), "a2".into()),
-            ("C".into(), "c2".into()),
-        ]);
+        let q = Query::Conjunctive(vec![("A".into(), "a2".into()), ("C".into(), "c2".into())]);
         let page = s.query_page(&q, 0).unwrap();
         assert_eq!(page.total_matches, Some(2));
         let keys: Vec<u64> = page.records.iter().map(|r| r.key).collect();
@@ -409,7 +436,7 @@ mod tests {
 
     #[test]
     fn conjunctive_with_unmatched_predicate_is_empty() {
-        let mut s = figure1_server(10);
+        let s = figure1_server(10);
         let q = Query::Conjunctive(vec![
             ("A".into(), "a2".into()),
             ("C".into(), "does-not-exist".into()),
@@ -424,23 +451,20 @@ mod tests {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10).requiring_attrs(2);
         assert!(!spec.keyword_search, "restrictive forms drop the keyword box");
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let single = Query::ByString { attr: "A".into(), value: "a2".into() };
         assert_eq!(
             s.query_page(&single, 0),
             Err(ServerError::TooFewPredicates { required: 2, got: 1 })
         );
-        let pair = Query::Conjunctive(vec![
-            ("A".into(), "a2".into()),
-            ("B".into(), "b2".into()),
-        ]);
+        let pair = Query::Conjunctive(vec![("A".into(), "a2".into()), ("B".into(), "b2".into())]);
         let page = s.query_page(&pair, 0).unwrap();
         assert_eq!(page.total_matches, Some(2), "a2 ∧ b2 matches records 1 and 2");
     }
 
     #[test]
     fn conjunctive_of_three_predicates() {
-        let mut s = figure1_server(10);
+        let s = figure1_server(10);
         let q = Query::Conjunctive(vec![
             ("A".into(), "a2".into()),
             ("B".into(), "b2".into()),
@@ -453,7 +477,7 @@ mod tests {
 
     #[test]
     fn oracle_match_count_agrees_with_pages() {
-        let mut s = figure1_server(2);
+        let s = figure1_server(2);
         let c2 = val(&s, 2, "c2");
         let q = Query::Value(c2);
         assert_eq!(s.oracle_match_count(&q), 3);
@@ -463,7 +487,7 @@ mod tests {
 
     #[test]
     fn reset_rounds_zeroes_counter() {
-        let mut s = figure1_server(10);
+        let s = figure1_server(10);
         let a2 = val(&s, 0, "a2");
         s.query_page(&Query::Value(a2), 0).unwrap();
         assert_eq!(s.rounds_used(), 1);

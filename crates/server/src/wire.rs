@@ -50,15 +50,10 @@ pub fn unescape_xml(s: &str) -> String {
     while let Some(pos) = rest.find('&') {
         out.push_str(&rest[..pos]);
         rest = &rest[pos..];
-        let mapped = [
-            ("&amp;", '&'),
-            ("&lt;", '<'),
-            ("&gt;", '>'),
-            ("&quot;", '"'),
-            ("&apos;", '\''),
-        ]
-        .iter()
-        .find(|(ent, _)| rest.starts_with(ent));
+        let mapped =
+            [("&amp;", '&'), ("&lt;", '<'), ("&gt;", '>'), ("&quot;", '"'), ("&apos;", '\'')]
+                .iter()
+                .find(|(ent, _)| rest.starts_with(ent));
         match mapped {
             Some((ent, ch)) => {
                 out.push(*ch);
@@ -128,7 +123,7 @@ mod tests {
     fn page_serialization_contains_fields() {
         let t = figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10);
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let a2 = s.table().interner().get(AttrId(0), "a2").unwrap();
         let page = s.query_page(&Query::Value(a2), 0).unwrap();
         let xml = page_to_xml(&page, s.table());
@@ -145,7 +140,7 @@ mod tests {
         let mut t = UniversalTable::new(schema);
         t.push_record_strs([(AttrId(0), "a<b>\"c\"")]);
         let spec = InterfaceSpec::permissive(t.schema(), 10);
-        let mut s = WebDbServer::new(t, spec);
+        let s = WebDbServer::new(t, spec);
         let q = Query::ByString { attr: "T&C".into(), value: "a<b>\"c\"".into() };
         let page = s.query_page(&q, 0).unwrap();
         let xml = page_to_xml(&page, s.table());

@@ -6,8 +6,11 @@ use dwc_server::{InterfaceSpec, Query, WebDbServer};
 use proptest::prelude::*;
 
 fn table_from(records: &[Vec<(u16, u8)>]) -> UniversalTable {
-    let schema =
-        Schema::new(vec![AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C")]);
+    let schema = Schema::new(vec![
+        AttrSpec::queriable("A"),
+        AttrSpec::queriable("B"),
+        AttrSpec::queriable("C"),
+    ]);
     let mut t = UniversalTable::new(schema);
     for rec in records {
         let fields: Vec<(AttrId, String)> =
@@ -33,15 +36,15 @@ proptest! {
         b_val in 0u8..10,
     ) {
         let t = table_from(&records);
-        let mut server = WebDbServer::new(t, InterfaceSpec::permissive(&Schema::new(vec![
+        let server = WebDbServer::new(t, InterfaceSpec::permissive(&Schema::new(vec![
             AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C"),
         ]), 100));
-        let single = |server: &mut WebDbServer, attr: &str, v: u8| -> Vec<u64> {
+        let single = |server: &WebDbServer, attr: &str, v: u8| -> Vec<u64> {
             let q = Query::ByString { attr: attr.into(), value: format!("v{v}") };
             server.query_page(&q, 0).unwrap().records.iter().map(|r| r.key).collect()
         };
-        let sa = single(&mut server, "A", a_val);
-        let sb = single(&mut server, "B", b_val);
+        let sa = single(&server, "A", a_val);
+        let sb = single(&server, "B", b_val);
         let conj = Query::Conjunctive(vec![
             ("A".into(), format!("v{a_val}")),
             ("B".into(), format!("v{b_val}")),
@@ -60,7 +63,7 @@ proptest! {
         val in 0u8..10,
     ) {
         let t = table_from(&records);
-        let mut server = WebDbServer::new(t, InterfaceSpec::permissive(&Schema::new(vec![
+        let server = WebDbServer::new(t, InterfaceSpec::permissive(&Schema::new(vec![
             AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C"),
         ]), 100));
         let mut expected: Vec<u64> = Vec::new();

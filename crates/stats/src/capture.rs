@@ -91,9 +91,9 @@ mod tests {
     #[test]
     fn pairwise_counts_and_values() {
         let samples = vec![
-            vec![0, 1, 2, 3, 4],       // 5 ids
-            vec![2, 3, 4, 5, 6],       // 5 ids, overlap 3 → 25/3
-            vec![100, 101],            // disjoint from both → skipped
+            vec![0, 1, 2, 3, 4], // 5 ids
+            vec![2, 3, 4, 5, 6], // 5 ids, overlap 3 → 25/3
+            vec![100, 101],      // disjoint from both → skipped
         ];
         let ests = pairwise_estimates(&samples);
         assert_eq!(ests.len(), 1);

@@ -81,7 +81,8 @@ mod tests {
     #[test]
     fn noisy_line_reasonable_r2() {
         let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x + if x % 2.0 == 0.0 { 0.5 } else { -0.5 }).collect();
+        let ys: Vec<f64> =
+            xs.iter().map(|x| 3.0 * x + if x % 2.0 == 0.0 { 0.5 } else { -0.5 }).collect();
         let fit = linear_fit(&xs, &ys).unwrap();
         assert!((fit.slope - 3.0).abs() < 0.05);
         assert!(fit.r_squared > 0.99);

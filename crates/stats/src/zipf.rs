@@ -73,10 +73,7 @@ impl Zipf {
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
         // First index whose CDF value is >= u.
-        match self
-            .cdf
-            .binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite"))
-        {
+        match self.cdf.binary_search_by(|c| c.partial_cmp(&u).expect("CDF is finite")) {
             Ok(i) => i + 1,
             Err(i) => i + 1,
         }

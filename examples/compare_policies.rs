@@ -11,7 +11,11 @@ use deep_web_crawler::prelude::*;
 fn main() {
     let table = Preset::Ebay.table(0.05, 42);
     let n = table.num_records();
-    println!("target: eBay-like auction source ({} records, {} distinct values)\n", n, table.num_distinct_values());
+    println!(
+        "target: eBay-like auction source ({} records, {} distinct values)\n",
+        n,
+        table.num_distinct_values()
+    );
 
     let policies = [
         PolicyKind::Bfs,
@@ -20,16 +24,19 @@ fn main() {
         PolicyKind::GreedyLink,
         PolicyKind::Mmmi(MmmiConfig::default()),
     ];
-    println!("{:<10}  {:>12}  {:>12}  {:>8}  {:>8}", "policy", "rounds@50%", "rounds@90%", "queries", "records");
+    println!(
+        "{:<10}  {:>12}  {:>12}  {:>8}  {:>8}",
+        "policy", "rounds@50%", "rounds@90%", "queries", "records"
+    );
     for kind in policies {
         let interface = InterfaceSpec::permissive(table.schema(), 10);
-        let mut server = WebDbServer::new(table.clone(), interface);
-        let config = CrawlConfig {
-            known_target_size: Some(n),
-            target_coverage: Some(0.9),
-            ..Default::default()
-        };
-        let mut crawler = Crawler::new(&mut server, kind.build(), config);
+        let server = WebDbServer::new(table.clone(), interface);
+        let config = CrawlConfig::builder()
+            .known_target_size(n)
+            .target_coverage(0.9)
+            .build()
+            .expect("valid crawl config");
+        let mut crawler = Crawler::new(&server, kind.build(), config);
         // Same two seed values for every policy.
         crawler.add_seed("Categories", "Categories_0");
         crawler.add_seed("Seller", "Seller_1");

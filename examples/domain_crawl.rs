@@ -32,13 +32,13 @@ fn main() {
     let budget = 300u64;
     for kind in [PolicyKind::GreedyLink, PolicyKind::Domain(Arc::clone(&dm))] {
         let interface = InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(100);
-        let mut server = WebDbServer::new(pair.target.clone(), interface);
-        let config = CrawlConfig {
-            known_target_size: Some(n),
-            max_rounds: Some(budget),
-            ..Default::default()
-        };
-        let mut crawler = Crawler::new(&mut server, kind.build(), config);
+        let server = WebDbServer::new(pair.target.clone(), interface);
+        let config = CrawlConfig::builder()
+            .known_target_size(n)
+            .max_rounds(budget)
+            .build()
+            .expect("valid crawl config");
+        let mut crawler = Crawler::new(&server, kind.build(), config);
         crawler.add_seed("Language", "Language_0");
         let report = crawler.run();
         println!(

@@ -7,7 +7,9 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use deep_web_crawler::model::degree::DegreeDistribution;
-use deep_web_crawler::model::domset::{exact_minimum_dominating_set, greedy_weighted_dominating_set};
+use deep_web_crawler::model::domset::{
+    exact_minimum_dominating_set, greedy_weighted_dominating_set,
+};
 use deep_web_crawler::model::fixtures::figure1_table;
 use deep_web_crawler::prelude::*;
 
@@ -28,7 +30,11 @@ fn main() {
         graph.num_edges()
     );
     let dd = DegreeDistribution::of_graph(&graph);
-    println!("max degree {} (the hub value c2), mean degree {:.2}", dd.max_degree(), dd.mean_degree());
+    println!(
+        "max degree {} (the hub value c2), mean degree {:.2}",
+        dd.max_degree(),
+        dd.mean_degree()
+    );
 
     // ---- Optimal query selection = minimum dominating set (Def. 2.4) --
     let exact = exact_minimum_dominating_set(&graph, |_| 1.0).expect("tiny graph");
@@ -42,9 +48,9 @@ fn main() {
 
     // ---- Crawl it (Example 2.1) ----------------------------------------
     let interface = InterfaceSpec::permissive(table.schema(), 10);
-    let mut server = WebDbServer::new(table, interface);
-    let config = CrawlConfig { known_target_size: Some(5), ..Default::default() };
-    let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+    let server = WebDbServer::new(table, interface);
+    let config = CrawlConfig::builder().known_target_size(5).build().expect("valid crawl config");
+    let mut crawler = Crawler::new(&server, PolicyKind::GreedyLink.build(), config);
     crawler.add_seed("A", "a2");
     let report = crawler.run();
     println!(

@@ -14,11 +14,11 @@ fn server() -> WebDbServer {
 
 fn main() {
     let n = server().table().num_records();
-    let config = CrawlConfig { known_target_size: Some(n), ..Default::default() };
+    let config = CrawlConfig::builder().known_target_size(n).build().expect("valid crawl config");
 
     // Phase 1: crawl until ~40% coverage, then checkpoint.
-    let mut s1 = server();
-    let mut crawler = Crawler::new(&mut s1, PolicyKind::GreedyLink.build(), config.clone());
+    let s1 = server();
+    let mut crawler = Crawler::new(&s1, PolicyKind::GreedyLink.build(), config.clone());
     crawler.add_seed("Conference", "Conference_0");
     crawler.add_seed("Author", "Author_5");
     while crawler.state().coverage().unwrap_or(0.0) < 0.4 {
@@ -39,8 +39,8 @@ fn main() {
     // Phase 2: a "new process" parses the blob and resumes with a fresh
     // server connection and a fresh policy instance.
     let checkpoint = Checkpoint::from_text(&blob).expect("valid checkpoint");
-    let mut s2 = server();
-    let resumed = Crawler::resume(&mut s2, PolicyKind::GreedyLink.build(), &checkpoint, config);
+    let s2 = server();
+    let resumed = Crawler::resume(&s2, PolicyKind::GreedyLink.build(), &checkpoint, config);
     let report = resumed.run();
     println!(
         "resumed run finished: {} records ({:.1}% coverage) in {} total rounds",

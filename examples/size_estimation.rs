@@ -21,9 +21,9 @@ fn main() {
     let mut samples: Vec<Vec<u32>> = Vec::new();
     for i in 0..crawls {
         let interface = InterfaceSpec::permissive(table.schema(), 10);
-        let mut server = WebDbServer::new(table.clone(), interface);
-        let config = CrawlConfig { max_rounds: Some(budget), ..Default::default() };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::Random(i).build(), config);
+        let server = WebDbServer::new(table.clone(), interface);
+        let config = CrawlConfig::builder().max_rounds(budget).build().expect("valid crawl config");
+        let mut crawler = Crawler::new(&server, PolicyKind::Random(i).build(), config);
         crawler.add_seed("Language", &format!("Language_{i}"));
         crawler.add_seed("Actor", &format!("Actor_{}", i * 17));
         while crawler.rounds() < budget {

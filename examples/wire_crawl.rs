@@ -16,15 +16,15 @@ fn main() {
     println!("ACM-like source: {} records, {} distinct values", n, table.num_distinct_values());
 
     let interface = InterfaceSpec::permissive(table.schema(), 10);
-    let mut server = WebDbServer::new(table, interface).with_faults(FaultPolicy::every(7));
-    let config = CrawlConfig {
-        known_target_size: Some(n),
-        prober: ProberMode::Wire,
-        max_retries: 5,
-        abort: AbortPolicy::standard(),
-        ..Default::default()
-    };
-    let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+    let server = WebDbServer::new(table, interface).with_faults(FaultPolicy::every(7));
+    let config = CrawlConfig::builder()
+        .known_target_size(n)
+        .prober(ProberMode::Wire)
+        .max_retries(5)
+        .abort(AbortPolicy::standard())
+        .build()
+        .expect("valid crawl config");
+    let mut crawler = Crawler::new(&server, PolicyKind::GreedyLink.build(), config);
     crawler.add_seed("Conference", "Conference_0");
     crawler.add_seed("Author", "Author_3");
     let report = crawler.run();

@@ -163,28 +163,26 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     if let Some(cap) = flag(&flags, "cap") {
         interface = interface.with_result_cap(cap.parse().map_err(|_| "bad --cap")?);
     }
-    let mut config = CrawlConfig {
-        known_target_size: Some(n),
-        ..Default::default()
-    };
+    let mut builder = CrawlConfig::builder().known_target_size(n);
     if let Some(b) = flag(&flags, "budget") {
-        config.max_rounds = Some(b.parse().map_err(|_| "bad --budget")?);
+        builder = builder.max_rounds(b.parse().map_err(|_| "bad --budget")?);
     }
     if let Some(c) = flag(&flags, "coverage") {
-        config.target_coverage = Some(c.parse().map_err(|_| "bad --coverage")?);
+        builder = builder.target_coverage(c.parse().map_err(|_| "bad --coverage")?);
     }
     if flag(&flags, "keyword").is_some() {
-        config.query_mode = QueryMode::Keyword;
+        builder = builder.query_mode(QueryMode::Keyword);
     }
+    let config = builder.build().map_err(|e| e.to_string())?;
 
-    let mut server = WebDbServer::new(table, interface);
+    let server = WebDbServer::new(table, interface);
     let crawler = if let Some(resume_path) = flag(&flags, "resume") {
         let blob = std::fs::read_to_string(resume_path)
             .map_err(|e| format!("reading {resume_path}: {e}"))?;
         let cp = Checkpoint::from_text(&blob).map_err(|e| e.to_string())?;
-        Crawler::resume(&mut server, policy.build(), &cp, config)
+        Crawler::resume(&server, policy.build(), &cp, config)
     } else {
-        let mut crawler = Crawler::new(&mut server, policy.build(), config);
+        let mut crawler = Crawler::new(&server, policy.build(), config);
         let mut seeded = false;
         for (name, value) in flags.iter().filter(|(n, _)| n == "seed-value") {
             let (attr, val) = value
@@ -240,7 +238,9 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
 }
 
 /// Mirrors the crawler's internal budget checks for the manual loop.
-fn crawler_budget_hit(crawler: &Crawler) -> Option<String> {
+fn crawler_budget_hit<S: deep_web_crawler::core::DataSource>(
+    crawler: &Crawler<S>,
+) -> Option<String> {
     if let Some(cov) = crawler.state().coverage() {
         if let Some(target) = crawler.target_coverage() {
             if cov >= target {
@@ -249,7 +249,7 @@ fn crawler_budget_hit(crawler: &Crawler) -> Option<String> {
         }
     }
     if let Some(max) = crawler.max_rounds() {
-        if crawler.rounds() >= max {
+        if crawler.elapsed_rounds() >= max {
             return Some(format!("round budget {max} exhausted"));
         }
     }

@@ -27,11 +27,11 @@
 //! // A tiny structured source (the paper's Figure 1 example).
 //! let table = deep_web_crawler::model::fixtures::figure1_table();
 //! let interface = InterfaceSpec::permissive(table.schema(), 10);
-//! let mut server = WebDbServer::new(table, interface);
+//! let server = WebDbServer::new(table, interface);
 //!
 //! // Crawl it greedily from seed value (A, "a2").
-//! let config = CrawlConfig { known_target_size: Some(5), ..Default::default() };
-//! let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+//! let config = CrawlConfig::builder().known_target_size(5).build().unwrap();
+//! let mut crawler = Crawler::new(&server, PolicyKind::GreedyLink.build(), config);
 //! crawler.add_seed("A", "a2");
 //! let report = crawler.run();
 //! assert_eq!(report.records, 5); // full coverage
@@ -50,8 +50,8 @@ pub use dwc_stats as stats;
 pub mod prelude {
     pub use dwc_core::policy::{MmmiConfig, PolicyKind, Saturation, SelectionPolicy};
     pub use dwc_core::{
-        AbortPolicy, Checkpoint, CrawlConfig, CrawlReport, CrawlTrace, Crawler, DomainTable, ProberMode,
-        QueryMode,
+        AbortPolicy, Checkpoint, ConfigError, CrawlConfig, CrawlError, CrawlReport, CrawlTrace,
+        Crawler, DataSource, DomainTable, FaultySource, ProberMode, QueryMode, RetryPolicy,
     };
     pub use dwc_datagen::presets::Preset;
     pub use dwc_datagen::{PairedDataset, PairedSpec};

@@ -13,8 +13,8 @@ fn crawl(
     seeds: &[(&str, &str)],
     config: CrawlConfig,
 ) -> CrawlReport {
-    let mut server = WebDbServer::new(table.clone(), interface);
-    let mut crawler = Crawler::new(&mut server, kind.build(), config);
+    let server = WebDbServer::new(table.clone(), interface);
+    let mut crawler = Crawler::new(&server, kind.build(), config);
     for (a, v) in seeds {
         crawler.add_seed(a, v);
     }
@@ -38,12 +38,16 @@ fn coverage_convergence_is_policy_independent() {
         PolicyKind::GreedyLink,
         PolicyKind::Mmmi(MmmiConfig::default()),
     ] {
-        let config = CrawlConfig { known_target_size: Some(n), ..Default::default() };
-        let report = crawl(&table, InterfaceSpec::permissive(table.schema(), 10), &kind, &seeds, config);
+        let config = CrawlConfig::builder().known_target_size(n).build().unwrap();
+        let report =
+            crawl(&table, InterfaceSpec::permissive(table.schema(), 10), &kind, &seeds, config);
         assert_eq!(report.stop, StopReason::FrontierExhausted, "{}", kind.label());
         reached.push(report.records);
     }
-    assert!(reached.windows(2).all(|w| w[0] == w[1]), "all policies reach the same set: {reached:?}");
+    assert!(
+        reached.windows(2).all(|w| w[0] == w[1]),
+        "all policies reach the same set: {reached:?}"
+    );
 }
 
 /// The crawl's final record count equals the reachability predicted by the
@@ -59,7 +63,7 @@ fn crawl_matches_connectivity_analysis() {
     let mut conn = Connectivity::analyze(&table);
     let predicted = conn.reachable_coverage(&[seed_value]);
 
-    let config = CrawlConfig { known_target_size: Some(n), ..Default::default() };
+    let config = CrawlConfig::builder().known_target_size(n).build().unwrap();
     let report = crawl(
         &table,
         InterfaceSpec::permissive(table.schema(), 10),
@@ -81,7 +85,7 @@ fn wire_and_in_process_probers_agree() {
     let table = Preset::Ebay.table(0.005, 2);
     let n = table.num_records();
     let run = |prober| {
-        let config = CrawlConfig { known_target_size: Some(n), prober, ..Default::default() };
+        let config = CrawlConfig::builder().known_target_size(n).prober(prober).build().unwrap();
         let report = crawl(
             &table,
             InterfaceSpec::permissive(table.schema(), 10),
@@ -101,16 +105,13 @@ fn faults_change_cost_not_content() {
     let table = Preset::Ebay.table(0.005, 2);
     let n = table.num_records();
     let run = |faults: Option<FaultPolicy>| {
-        let mut server = WebDbServer::new(table.clone(), InterfaceSpec::permissive(table.schema(), 10));
+        let mut server =
+            WebDbServer::new(table.clone(), InterfaceSpec::permissive(table.schema(), 10));
         if let Some(f) = faults {
             server = server.with_faults(f);
         }
-        let config = CrawlConfig {
-            known_target_size: Some(n),
-            max_retries: 4,
-            ..Default::default()
-        };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), config);
+        let config = CrawlConfig::builder().known_target_size(n).max_retries(4).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
         crawler.add_seed("Categories", "Categories_0");
         crawler.run()
     };
@@ -129,12 +130,12 @@ fn abortion_saves_rounds_without_losing_target_coverage() {
     let table = Preset::Ebay.table(0.02, 7);
     let n = table.num_records();
     let run = |abort: AbortPolicy| {
-        let config = CrawlConfig {
-            known_target_size: Some(n),
-            target_coverage: Some(0.9),
-            abort,
-            ..Default::default()
-        };
+        let config = CrawlConfig::builder()
+            .known_target_size(n)
+            .target_coverage(0.9)
+            .abort(abort)
+            .build()
+            .unwrap();
         crawl(
             &table,
             InterfaceSpec::permissive(table.schema(), 10),
@@ -178,7 +179,7 @@ fn domain_policy_escapes_data_islands() {
     let dm = Arc::new(DomainTable::build(sample));
 
     let n = target.num_records();
-    let config = CrawlConfig { known_target_size: Some(n), ..Default::default() };
+    let config = CrawlConfig::builder().known_target_size(n).build().unwrap();
     // GL from a block-1 seed gets stuck at 50%.
     let gl = crawl(
         &target,
@@ -206,7 +207,7 @@ fn result_caps_limit_but_do_not_corrupt() {
     let table = Preset::Ebay.table(0.005, 2);
     let n = table.num_records();
     let run = |cap: usize| {
-        let config = CrawlConfig { known_target_size: Some(n), ..Default::default() };
+        let config = CrawlConfig::builder().known_target_size(n).build().unwrap();
         crawl(
             &table,
             InterfaceSpec::permissive(table.schema(), 10).with_result_cap(cap),

@@ -8,15 +8,17 @@ use deep_web_crawler::model::degree::DegreeDistribution;
 use deep_web_crawler::prelude::*;
 use std::sync::Arc;
 
-fn rounds_to(table: &UniversalTable, kind: &PolicyKind, coverage: f64, seeds: &[(&str, &str)]) -> u64 {
+fn rounds_to(
+    table: &UniversalTable,
+    kind: &PolicyKind,
+    coverage: f64,
+    seeds: &[(&str, &str)],
+) -> u64 {
     let n = table.num_records();
-    let mut server = WebDbServer::new(table.clone(), InterfaceSpec::permissive(table.schema(), 10));
-    let config = CrawlConfig {
-        known_target_size: Some(n),
-        target_coverage: Some(coverage),
-        ..Default::default()
-    };
-    let mut crawler = Crawler::new(&mut server, kind.build(), config);
+    let server = WebDbServer::new(table.clone(), InterfaceSpec::permissive(table.schema(), 10));
+    let config =
+        CrawlConfig::builder().known_target_size(n).target_coverage(coverage).build().unwrap();
+    let mut crawler = Crawler::new(&server, kind.build(), config);
     for (a, v) in seeds {
         crawler.add_seed(a, v);
     }
@@ -62,16 +64,13 @@ fn fig5_shape_dm_dominates_gl_mid_budget() {
     let budget = 200u64;
     let dm = Arc::new(DomainTable::build(subset_by_min_year(&pair.sample, 1960)));
     let run = |kind: PolicyKind| {
-        let mut server = WebDbServer::new(
+        let server = WebDbServer::new(
             pair.target.clone(),
             InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(64),
         );
-        let config = CrawlConfig {
-            known_target_size: Some(n),
-            max_rounds: Some(budget),
-            ..Default::default()
-        };
-        let mut crawler = Crawler::new(&mut server, kind.build(), config);
+        let config =
+            CrawlConfig::builder().known_target_size(n).max_rounds(budget).build().unwrap();
+        let mut crawler = Crawler::new(&server, kind.build(), config);
         crawler.add_seed("Language", "Language_0");
         crawler.add_seed("Actor", "Actor_1");
         crawler.run()
@@ -95,16 +94,13 @@ fn fig6_shape_caps_degrade_monotonically() {
     let n = pair.target.num_records();
     let budget = 150u64;
     let run = |cap: usize| {
-        let mut server = WebDbServer::new(
+        let server = WebDbServer::new(
             pair.target.clone(),
             InterfaceSpec::permissive(pair.target.schema(), 10).with_result_cap(cap),
         );
-        let config = CrawlConfig {
-            known_target_size: Some(n),
-            max_rounds: Some(budget),
-            ..Default::default()
-        };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::GreedyLink.build(), config);
+        let config =
+            CrawlConfig::builder().known_target_size(n).max_rounds(budget).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::GreedyLink.build(), config);
         crawler.add_seed("Language", "Language_0");
         crawler.run().trace.coverage_at_rounds(budget, n)
     };
@@ -147,10 +143,9 @@ fn size_estimation_is_in_the_right_ballpark() {
     let true_size = table.num_records() as f64;
     let mut samples = Vec::new();
     for i in 0..4u64 {
-        let mut server =
-            WebDbServer::new(table.clone(), InterfaceSpec::permissive(table.schema(), 10));
-        let config = CrawlConfig { max_rounds: Some(80), ..Default::default() };
-        let mut crawler = Crawler::new(&mut server, PolicyKind::Random(i).build(), config);
+        let server = WebDbServer::new(table.clone(), InterfaceSpec::permissive(table.schema(), 10));
+        let config = CrawlConfig::builder().max_rounds(80).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Random(i).build(), config);
         crawler.add_seed("Language", &format!("Language_{i}"));
         while crawler.rounds() < 80 {
             if crawler.step().is_none() {

@@ -16,8 +16,11 @@ fn record_strategy() -> impl Strategy<Value = Vec<(u16, u8)>> {
 }
 
 fn table_from(records: &[Vec<(u16, u8)>]) -> UniversalTable {
-    let schema =
-        Schema::new(vec![AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C")]);
+    let schema = Schema::new(vec![
+        AttrSpec::queriable("A"),
+        AttrSpec::queriable("B"),
+        AttrSpec::queriable("C"),
+    ]);
     let mut t = UniversalTable::new(schema);
     for rec in records {
         let fields: Vec<(AttrId, String)> =
@@ -98,7 +101,7 @@ proptest! {
         if let Some(c) = cap {
             spec = spec.with_result_cap(c);
         }
-        let mut server = WebDbServer::new(t, spec);
+        let server = WebDbServer::new(t, spec);
         let q = Query::ByString { attr: "A".into(), value: "v0".into() };
         let total = server.oracle_match_count(&q);
         let accessible = cap.map_or(total, |c| total.min(c));
@@ -139,10 +142,10 @@ proptest! {
             None => 0,
         };
         let attr_name = t.schema().attr(AttrId(seed_attr)).name.clone();
-        let mut server = WebDbServer::new(t, InterfaceSpec::permissive(&Schema::new(vec![
+        let server = WebDbServer::new(t, InterfaceSpec::permissive(&Schema::new(vec![
             AttrSpec::queriable("A"), AttrSpec::queriable("B"), AttrSpec::queriable("C"),
         ]), 3));
-        let mut crawler = Crawler::new(&mut server, PolicyKind::Bfs.build(), CrawlConfig::default());
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), CrawlConfig::default());
         crawler.add_seed(&attr_name, &seed_string);
         let report = crawler.run();
         prop_assert_eq!(report.records, expected);
@@ -158,9 +161,8 @@ proptest! {
         let t = table_from(&records);
         let seed = format!("v{seed_val}");
         let run = |kind: PolicyKind| {
-            let mut server =
-                WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 4));
-            let mut crawler = Crawler::new(&mut server, kind.build(), CrawlConfig::default());
+            let server = WebDbServer::new(t.clone(), InterfaceSpec::permissive(t.schema(), 4));
+            let mut crawler = Crawler::new(&server, kind.build(), CrawlConfig::default());
             crawler.add_seed("B", &seed);
             crawler.run().records
         };

@@ -1,0 +1,127 @@
+//! Offline stub of `crossbeam` 0.8 (see `vendor/README.md`).
+//!
+//! Provides `queue::SegQueue` (mutex-backed, not lock-free — correctness
+//! over throughput) and `thread::scope` built on `std::thread::scope`.
+
+/// Concurrent queues.
+pub mod queue {
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// An unbounded MPMC FIFO queue. The real crossbeam `SegQueue` is
+    /// lock-free; this stub trades throughput for simplicity with a mutex.
+    #[derive(Debug, Default)]
+    pub struct SegQueue<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> SegQueue<T> {
+        /// Creates an empty queue.
+        pub fn new() -> Self {
+            SegQueue { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Appends `value` at the back.
+        pub fn push(&self, value: T) {
+            self.inner.lock().expect("SegQueue poisoned").push_back(value);
+        }
+
+        /// Removes the front element, if any.
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("SegQueue poisoned").pop_front()
+        }
+
+        /// Number of queued elements.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("SegQueue poisoned").len()
+        }
+
+        /// Whether the queue is empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}
+
+/// Scoped threads.
+pub mod thread {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle; mirrors `crossbeam::thread::Scope`.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (so it can
+        /// spawn further threads), like crossbeam's API.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing-threads can be spawned; all
+    /// threads are joined before `scope` returns. Returns `Err` with the
+    /// panic payload if any spawned thread panicked.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::queue::SegQueue;
+    use super::thread;
+
+    #[test]
+    fn queue_is_fifo() {
+        let q = SegQueue::new();
+        q.push(1);
+        q.push(2);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn scope_joins_and_borrows() {
+        let data = vec![1u64, 2, 3, 4];
+        let q = SegQueue::new();
+        let out = thread::scope(|s| {
+            for chunk in data.chunks(2) {
+                s.spawn(|_| {
+                    for &v in chunk {
+                        q.push(v);
+                    }
+                });
+            }
+            7u64
+        })
+        .unwrap();
+        assert_eq!(out, 7);
+        let mut seen = Vec::new();
+        while let Some(v) = q.pop() {
+            seen.push(v);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, data);
+    }
+
+    #[test]
+    fn scope_reports_panics() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

@@ -1,0 +1,609 @@
+//! Offline stub of `proptest` 1 (see `vendor/README.md`).
+//!
+//! Implements the strategy combinators and the `proptest!` macro surface
+//! this workspace uses, generating inputs from a deterministic per-test
+//! seed. **No shrinking**: a failing case panics immediately with the test
+//! name and case number, which — because generation is deterministic — is
+//! enough to reproduce it.
+
+use std::marker::PhantomData;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn seed(seed: u64) -> Self {
+        TestRng { state: seed.wrapping_add(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)`; `n` must be positive.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "below(0)");
+        self.next_u64() % n
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// How a test case ends when it does not simply succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// An assertion failed; the run aborts.
+    Fail(String),
+    /// The inputs were rejected (`prop_assume!`); another case is drawn.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected input.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Runner configuration (stub of `proptest::test_runner::Config`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).new_value(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as u128).wrapping_sub(self.start as u128);
+                self.start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn new_value(&self, rng: &mut TestRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as u128) - (start as u128) + 1;
+                start + (rng.next_u64() as u128 % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn new_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + rng.unit_f64() * (self.end - self.start)
+    }
+}
+
+impl Strategy for core::ops::Range<f32> {
+    type Value = f32;
+    fn new_value(&self, rng: &mut TestRng) -> f32 {
+        assert!(self.start < self.end, "empty range strategy");
+        self.start + (rng.unit_f64() as f32) * (self.end - self.start)
+    }
+}
+
+/// Characters used for `'.'` in string patterns and for `any::<String>()`:
+/// a deliberate mix of plain ASCII, CSV/XML metacharacters and multi-byte
+/// code points to stress parsers and serializers.
+const CHAR_POOL: &[char] = &[
+    'a', 'b', 'c', 'x', 'y', 'z', 'A', 'Z', '0', '1', '9', ' ', '_', '-', '.', ',', ';', ':',
+    '"', '\'', '\\', '/', '<', '>', '&', '=', '|', '{', '}', '#', '%', 'é', 'ß', '漢', '☃',
+];
+
+/// String pattern strategy: supports the `X{min,max}` shape with `X == '.'`
+/// (regex "any char except newline"), the only pattern form this workspace
+/// uses. Anything else panics loudly rather than silently generating the
+/// wrong distribution.
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let pattern = *self;
+        let (min, max) = parse_dot_repeat(pattern)
+            .unwrap_or_else(|| panic!("unsupported string pattern {pattern:?} (stub supports \".{{min,max}}\")"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len).map(|_| CHAR_POOL[rng.below(CHAR_POOL.len() as u64) as usize]).collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (min, max) = rest.split_once(',')?;
+    Some((min.trim().parse().ok()?, max.trim().parse().ok()?))
+}
+
+/// Always-the-same-value strategy.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn new_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.new_value(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy! {
+    (S0 / 0)
+    (S0 / 0, S1 / 1)
+    (S0 / 0, S1 / 1, S2 / 2)
+    (S0 / 0, S1 / 1, S2 / 2, S3 / 3)
+}
+
+/// Strategy combinators that need named types.
+pub mod strategy {
+    pub use super::Just;
+    use super::{Strategy, TestRng};
+
+    /// Uniform choice among boxed alternative strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds the union; `arms` must be non-empty.
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.below(self.arms.len() as u64) as usize;
+            self.arms[i].new_value(rng)
+        }
+    }
+}
+
+/// Size specification for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max_inclusive: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        self.min + rng.below((self.max_inclusive - self.min + 1) as u64) as usize
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max_inclusive: r.end - 1 }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        SizeRange { min: *r.start(), max_inclusive: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max_inclusive: n }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::{SizeRange, Strategy, TestRng};
+    use std::collections::BTreeSet;
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`. Sizes are best-effort: duplicates
+    /// are retried a bounded number of times, so very tight domains may
+    /// yield smaller sets than requested.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy { element, size: size.into() }
+    }
+
+    /// See [`btree_set`].
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let want = self.size.draw(rng);
+            let mut out = BTreeSet::new();
+            let mut tries = 0;
+            while out.len() < want && tries < want * 10 + 16 {
+                out.insert(self.element.new_value(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+}
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`: `None` in one case out of four.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// See [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.inner.new_value(rng))
+            }
+        }
+    }
+}
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Finite, sign-balanced, wide magnitude spread.
+        let mag = (rng.unit_f64() * 600.0) - 300.0;
+        mag.exp2() * if rng.next_u64() & 1 == 1 { -1.0 } else { 1.0 }
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary_value(rng: &mut TestRng) -> Self {
+        // Metacharacter-heavy strings, including newlines and tabs, to
+        // stress serialization round-trips.
+        const EXTRA: &[char] = &['\n', '\t', '\r', '\u{0}', '\u{7f}'];
+        let len = rng.below(13) as usize;
+        (0..len)
+            .map(|_| {
+                if rng.below(8) == 0 {
+                    EXTRA[rng.below(EXTRA.len() as u64) as usize]
+                } else {
+                    CHAR_POOL[rng.below(CHAR_POOL.len() as u64) as usize]
+                }
+            })
+            .collect()
+    }
+}
+
+/// The canonical strategy for `A` (see [`Arbitrary`]).
+pub struct Any<A>(PhantomData<A>);
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+    fn new_value(&self, rng: &mut TestRng) -> A {
+        A::arbitrary_value(rng)
+    }
+}
+
+/// Returns the canonical strategy for `A`.
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+/// Namespace mirror of the real crate's `prop` prelude module.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::option;
+}
+
+/// Drives one property test: repeatedly draws inputs and runs `case` until
+/// `config.cases` cases pass, a case fails, or too many are rejected.
+pub fn run_proptest<F>(config: ProptestConfig, name: &str, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    // Stable per-test seed: FNV-1a over the test name.
+    let mut seed = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        seed = (seed ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_no = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::seed(seed ^ case_no.wrapping_mul(0x2545_F491_4F6C_DD1D));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < config.cases.saturating_mul(10).max(64),
+                    "proptest {name}: too many rejected cases ({rejected})"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest {name}: case #{case_no} failed: {msg}")
+            }
+        }
+        case_no += 1;
+    }
+}
+
+/// Everything a property-test module needs, in one import.
+pub mod prelude {
+    pub use crate::strategy::{Just, Union};
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Arbitrary, ProptestConfig, Strategy, TestCaseError, TestRng,
+    };
+}
+
+/// Defines property tests (stub of `proptest::proptest!`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal recursion for [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::run_proptest(
+                $cfg,
+                stringify!($name),
+                |rng: &mut $crate::TestRng|
+                    -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $crate::Strategy::new_value(&($strat), rng);)+
+                    $body
+                    ::std::result::Result::Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{} ({:?} vs {:?})", format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($left), stringify!($right), l
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case, drawing a fresh one instead.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Uniform choice among several strategies of the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(::std::boxed::Box::new($arm) as _),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_and_collections_generate_in_bounds() {
+        let mut rng = TestRng::seed(1);
+        for _ in 0..200 {
+            let v = (3u16..9).new_value(&mut rng);
+            assert!((3..9).contains(&v));
+            let xs = prop::collection::vec(0u8..4, 2..6).new_value(&mut rng);
+            assert!((2..6).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 4));
+        }
+    }
+
+    #[test]
+    fn pattern_strings_respect_length() {
+        let mut rng = TestRng::seed(2);
+        for _ in 0..100 {
+            let s = ".{0,12}".new_value(&mut rng);
+            assert!(s.chars().count() <= 12);
+        }
+    }
+
+    #[test]
+    fn oneof_draws_every_arm() {
+        let strat = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut rng = TestRng::seed(3);
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.new_value(&mut rng) as usize] = true;
+        }
+        assert_eq!(&seen[1..], &[true, true, true]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn the_macro_itself_works(x in 0u32..50, ys in prop::collection::vec(0u32..10, 0..5)) {
+            prop_assume!(x != 13);
+            prop_assert!(x < 50);
+            prop_assert_eq!(ys.len(), ys.iter().count());
+        }
+    }
+}
