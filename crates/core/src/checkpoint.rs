@@ -12,6 +12,14 @@
 //! The format is a line-oriented, versioned text format with percent-escaping
 //! for the three metacharacters (tab, newline, `%`) — dependency-free and
 //! diff-friendly.
+//!
+//! Version 2 (current) carries an FNV-1a checksum of the entire body in the
+//! header line, so *any* truncation or bit-rot — down to a lost trailing
+//! newline — is detected at parse time instead of resuming from silently
+//! damaged state. Version 1 blobs (no checksum) are still accepted; unknown
+//! future versions are rejected with [`CheckpointError::UnsupportedVersion`].
+//! Durable storage (atomic writes, backup rotation) is [`crate::store`]'s
+//! job; this module only defines the blob.
 
 use crate::state::CandStatus;
 use dwc_model::ValueId;
@@ -47,6 +55,16 @@ pub struct Checkpoint {
 pub enum CheckpointError {
     /// Wrong or missing header line.
     BadHeader,
+    /// A header from a format version this build does not understand.
+    UnsupportedVersion(String),
+    /// The body does not hash to the checksum recorded in the header —
+    /// truncation or bit-rot.
+    ChecksumMismatch {
+        /// Checksum recorded in the header.
+        expected: u64,
+        /// Checksum computed over the body actually read.
+        actual: u64,
+    },
     /// A section or field is malformed.
     Malformed(&'static str),
 }
@@ -55,6 +73,13 @@ impl std::fmt::Display for CheckpointError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CheckpointError::BadHeader => write!(f, "not a DWC checkpoint (bad header)"),
+            CheckpointError::UnsupportedVersion(v) => {
+                write!(f, "unsupported checkpoint version {v:?} (this build reads v1 and v2)")
+            }
+            CheckpointError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checkpoint corrupt: checksum {actual:016x} does not match recorded {expected:016x}"
+            ),
             CheckpointError::Malformed(what) => write!(f, "malformed checkpoint section: {what}"),
         }
     }
@@ -93,13 +118,34 @@ fn unescape(s: &str) -> Result<String, CheckpointError> {
     Ok(out)
 }
 
-const HEADER: &str = "DWC-CHECKPOINT v1";
+const HEADER_V1: &str = "DWC-CHECKPOINT v1";
+const HEADER_V2_PREFIX: &str = "DWC-CHECKPOINT v2 crc=";
+const HEADER_ANY_PREFIX: &str = "DWC-CHECKPOINT ";
+
+/// FNV-1a over the raw bytes — dependency-free, stable across platforms.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
 
 impl Checkpoint {
-    /// Serializes to the text format.
+    /// Serializes to the current (v2) text format: a header line carrying the
+    /// FNV-1a checksum of everything after it, then the body sections.
     pub fn to_text(&self) -> String {
+        let body = self.body_text();
+        let mut out = String::with_capacity(HEADER_V2_PREFIX.len() + 17 + body.len());
+        let _ = writeln!(out, "{HEADER_V2_PREFIX}{:016x}", fnv1a64(body.as_bytes()));
+        out.push_str(&body);
+        out
+    }
+
+    /// The body sections (everything after the header line).
+    fn body_text(&self) -> String {
         let mut out = String::new();
-        let _ = writeln!(out, "{HEADER}");
         let _ = writeln!(
             out,
             "meta\t{}\t{}\t{}\t{}",
@@ -142,12 +188,40 @@ impl Checkpoint {
         out
     }
 
-    /// Parses the text format.
+    /// Parses the text format, negotiating the version from the header: v2
+    /// (checksum verified before anything else), v1 (legacy, no checksum),
+    /// or an error for anything newer or foreign.
     pub fn from_text(text: &str) -> Result<Self, CheckpointError> {
-        let mut lines = text.lines();
-        if lines.next() != Some(HEADER) {
-            return Err(CheckpointError::BadHeader);
+        let newline = text.find('\n');
+        let header = match newline {
+            Some(i) => &text[..i],
+            None => text,
+        };
+        let body = match newline {
+            Some(i) => &text[i + 1..],
+            None => "",
+        };
+        if let Some(crc_hex) = header.strip_prefix(HEADER_V2_PREFIX) {
+            let expected = u64::from_str_radix(crc_hex, 16)
+                .map_err(|_| CheckpointError::Malformed("header checksum"))?;
+            let actual = fnv1a64(body.as_bytes());
+            if actual != expected {
+                return Err(CheckpointError::ChecksumMismatch { expected, actual });
+            }
+        } else if header != HEADER_V1 {
+            return Err(match header.strip_prefix(HEADER_ANY_PREFIX) {
+                Some(version) => CheckpointError::UnsupportedVersion(
+                    version.split(' ').next().unwrap_or(version).to_string(),
+                ),
+                None => CheckpointError::BadHeader,
+            });
         }
+        Self::body_from_text(body)
+    }
+
+    /// Parses the body sections (everything after the header line).
+    fn body_from_text(body: &str) -> Result<Self, CheckpointError> {
+        let mut lines = body.lines();
         let meta_line = lines.next().ok_or(CheckpointError::Malformed("meta"))?;
         let meta: Vec<&str> = meta_line.split('\t').collect();
         if meta.len() != 5 || meta[0] != "meta" {
@@ -309,12 +383,62 @@ mod tests {
     #[test]
     fn bad_inputs_rejected() {
         assert_eq!(Checkpoint::from_text("nope"), Err(CheckpointError::BadHeader));
+        assert_eq!(Checkpoint::from_text(""), Err(CheckpointError::BadHeader));
         assert_eq!(
             Checkpoint::from_text("DWC-CHECKPOINT v1\nmeta\tx"),
             Err(CheckpointError::Malformed("meta"))
         );
         let truncated = demo().to_text().lines().take(4).collect::<Vec<_>>().join("\n");
         assert!(Checkpoint::from_text(&truncated).is_err());
+    }
+
+    #[test]
+    fn v1_blobs_still_parse() {
+        let cp = demo();
+        let text = cp.to_text();
+        let body = &text[text.find('\n').unwrap() + 1..];
+        let v1 = format!("DWC-CHECKPOINT v1\n{body}");
+        assert_eq!(Checkpoint::from_text(&v1).unwrap(), cp);
+    }
+
+    #[test]
+    fn future_versions_rejected_with_version_error() {
+        assert_eq!(
+            Checkpoint::from_text("DWC-CHECKPOINT v3 crc=0\nmeta\t1\t0\t0\t0"),
+            Err(CheckpointError::UnsupportedVersion("v3".into()))
+        );
+    }
+
+    #[test]
+    fn bit_flip_anywhere_in_body_is_detected() {
+        let text = demo().to_text();
+        let body_start = text.find('\n').unwrap() + 1;
+        for i in body_start..text.len() {
+            let mut bytes = text.as_bytes().to_vec();
+            bytes[i] ^= 0x01;
+            let Ok(flipped) = String::from_utf8(bytes) else { continue };
+            assert!(
+                matches!(
+                    Checkpoint::from_text(&flipped),
+                    Err(CheckpointError::ChecksumMismatch { .. })
+                ),
+                "flip at byte {i} must fail the checksum"
+            );
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_byte_is_detected() {
+        let text = demo().to_text();
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            assert!(
+                Checkpoint::from_text(&text[..cut]).is_err(),
+                "prefix of {cut} bytes must not parse as a valid checkpoint"
+            );
+        }
     }
 
     #[test]

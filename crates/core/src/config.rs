@@ -15,6 +15,15 @@
 /// capped at `backoff_cap`. Backoff rounds count against round budgets
 /// (Definition 2.3 bills time, not just served pages) but are not server
 /// requests — the source's own counter only grows by real attempts.
+///
+/// **The default is `max_retries: 0` — fail fast.** A bare
+/// [`crate::CrawlConfig`] abandons a page on its first transient error;
+/// only the total-failure requeue path
+/// ([`crate::CrawlConfig::max_requeues`]) gives the query another chance.
+/// Set retries explicitly for any fault-prone source
+/// ([`crate::crawler::CrawlConfigBuilder::max_retries`]); fleet runners
+/// substitute [`crate::fleet::FleetConfig::default_retry`] into jobs left
+/// on this default.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RetryPolicy {
     /// Retries per page after the first attempt (0 = fail fast).

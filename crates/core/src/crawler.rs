@@ -58,7 +58,14 @@ pub enum QueryMode {
 /// Prefer [`CrawlConfig::builder`], which validates parameters at build
 /// time; the struct literal form remains available for tests that want an
 /// intentionally odd configuration.
-#[derive(Debug, Clone, Default)]
+///
+/// Note the retry default: [`RetryPolicy::default`] has `max_retries: 0`, so
+/// a bare `CrawlConfig` **fails fast on the first transient error** of a
+/// page (the total-failure requeue path is the only second chance). Any
+/// crawl against a source that can throttle should set
+/// [`CrawlConfigBuilder::max_retries`] (fleets apply
+/// [`crate::fleet::FleetConfig::default_retry`] automatically).
+#[derive(Debug, Clone)]
 pub struct CrawlConfig {
     /// Stop after this many elapsed rounds — page requests plus retry
     /// backoff waits (Figures 5–6 use 10,000).
@@ -76,10 +83,43 @@ pub struct CrawlConfig {
     /// Transient-failure retry schedule (each attempt costs a round; waits
     /// between attempts cost backoff rounds).
     pub retry: RetryPolicy,
+    /// How many times a query that failed *entirely* on transient-class
+    /// errors (zero pages retrieved) is put back on the frontier for a later
+    /// attempt, per value. Keeps a burst of failures from permanently losing
+    /// the records behind the affected candidates.
+    pub max_requeues: u32,
     /// Prober mode.
     pub prober: ProberMode,
     /// Query submission mode (structured form fill vs keyword box).
     pub query_mode: QueryMode,
+    /// Where periodic checkpoints are persisted. `None` disables periodic
+    /// checkpointing (manual [`Crawler::checkpoint`] still works).
+    pub checkpoint_store: Option<crate::store::CheckpointStore>,
+    /// Snapshot cadence in completed queries, when a store is set; `None`
+    /// uses [`DEFAULT_CHECKPOINT_EVERY`].
+    pub checkpoint_every: Option<u64>,
+}
+
+/// Checkpoint cadence (in completed queries) used when a store is configured
+/// without an explicit [`CrawlConfig::checkpoint_every`].
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 32;
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            max_rounds: None,
+            max_queries: None,
+            target_coverage: None,
+            known_target_size: None,
+            abort: AbortPolicy::default(),
+            retry: RetryPolicy::default(),
+            max_requeues: 4,
+            prober: ProberMode::default(),
+            query_mode: QueryMode::default(),
+            checkpoint_store: None,
+            checkpoint_every: None,
+        }
+    }
 }
 
 impl CrawlConfig {
@@ -139,6 +179,24 @@ impl CrawlConfigBuilder {
         self
     }
 
+    /// Caps total-failure requeues per value (0 = never requeue).
+    pub fn max_requeues(mut self, n: u32) -> Self {
+        self.config.max_requeues = n;
+        self
+    }
+
+    /// Enables periodic checkpointing into `store`.
+    pub fn checkpoint_store(mut self, store: crate::store::CheckpointStore) -> Self {
+        self.config.checkpoint_store = Some(store);
+        self
+    }
+
+    /// Sets the checkpoint cadence in completed queries. Must be positive.
+    pub fn checkpoint_every(mut self, queries: u64) -> Self {
+        self.config.checkpoint_every = Some(queries);
+        self
+    }
+
     /// Sets the prober mode.
     pub fn prober(mut self, prober: ProberMode) -> Self {
         self.config.prober = prober;
@@ -159,6 +217,9 @@ impl CrawlConfigBuilder {
         }
         if c.max_queries == Some(0) {
             return Err(ConfigError::ZeroBudget("max_queries"));
+        }
+        if c.checkpoint_every == Some(0) {
+            return Err(ConfigError::ZeroBudget("checkpoint_every"));
         }
         if let QueryMode::Conjunctive { arity } = c.query_mode {
             if arity < 2 {
@@ -188,6 +249,9 @@ pub enum StopReason {
     QueryBudget,
     /// The coverage target was reached.
     CoverageReached,
+    /// A supervised fleet abandoned the job after its worker exceeded the
+    /// restart budget ([`crate::fleet::FleetConfig::max_restarts`]).
+    WorkerFailed,
 }
 
 /// Summary of a finished crawl.
@@ -200,12 +264,25 @@ pub struct CrawlReport {
     pub rounds: u64,
     /// Simulated rounds spent waiting in retry backoff.
     pub backoff_rounds: u64,
+    /// Simulated rounds lost to source-side latency stalls.
+    pub stall_rounds: u64,
     /// Records harvested into `DB_local`.
     pub records: u64,
     /// Queries cut short by the abortion heuristics.
     pub aborted_queries: u64,
     /// Transient failures encountered (and retried).
     pub transient_failures: u64,
+    /// Pages that arrived truncated or otherwise corrupt (subset of
+    /// `transient_failures`).
+    pub corrupt_pages: u64,
+    /// Attempts put back on the frontier after failing entirely on
+    /// transient-class errors.
+    pub requeued_queries: u64,
+    /// Periodic checkpoints persisted during the crawl.
+    pub checkpoints_written: u64,
+    /// Periodic checkpoint saves that failed (the crawl continues; the
+    /// previous on-disk generation remains valid).
+    pub checkpoint_failures: u64,
     /// Why the crawl stopped.
     pub stop: StopReason,
     /// Per-query progress trace.
@@ -215,10 +292,23 @@ pub struct CrawlReport {
 }
 
 impl CrawlReport {
-    /// Total rounds billed against budgets: requests plus backoff waits.
+    /// Total rounds billed against budgets: requests plus backoff waits
+    /// plus stall waits.
     pub fn elapsed_rounds(&self) -> u64 {
-        self.rounds + self.backoff_rounds
+        self.rounds + self.backoff_rounds + self.stall_rounds
     }
+}
+
+/// Outcome of one page fetch (after retries).
+enum PageFetch {
+    /// The page arrived intact.
+    Page(crate::extract::ExtractedPage),
+    /// The fetch was abandoned; `transient` says whether the final error was
+    /// transient-class (retry exhaustion / budget) rather than fatal.
+    GaveUp {
+        /// Whether the last error seen was transient-class.
+        transient: bool,
+    },
 }
 
 /// A hidden-web database crawler bound to one target source.
@@ -234,9 +324,19 @@ pub struct Crawler<S: DataSource> {
     trace: CrawlTrace,
     rounds: u64,
     backoff_rounds: u64,
+    stall_rounds: u64,
     queries: u64,
     aborted_queries: u64,
     transient_failures: u64,
+    corrupt_pages: u64,
+    requeued_queries: u64,
+    checkpoints_written: u64,
+    checkpoint_failures: u64,
+    /// Consecutive transient-class failures with no successful page in
+    /// between; the circuit-breaker signal a supervisor samples.
+    fault_streak: u32,
+    /// Per-value requeue tally (values absent have never been requeued).
+    requeues: std::collections::HashMap<ValueId, u32>,
     /// Whole-query seed groups for conjunctive mode, issued before the policy
     /// takes over.
     pending_seed_groups: Vec<Vec<(String, String)>>,
@@ -272,9 +372,16 @@ impl<S: DataSource> Crawler<S> {
             trace: CrawlTrace::new(),
             rounds: 0,
             backoff_rounds: 0,
+            stall_rounds: 0,
             queries: 0,
             aborted_queries: 0,
             transient_failures: 0,
+            corrupt_pages: 0,
+            requeued_queries: 0,
+            checkpoints_written: 0,
+            checkpoint_failures: 0,
+            fault_streak: 0,
+            requeues: std::collections::HashMap::new(),
             pending_seed_groups: Vec::new(),
         }
     }
@@ -373,9 +480,16 @@ impl<S: DataSource> Crawler<S> {
             trace,
             rounds: checkpoint.rounds,
             backoff_rounds: 0,
+            stall_rounds: 0,
             queries: checkpoint.queries,
             aborted_queries: 0,
             transient_failures: 0,
+            corrupt_pages: 0,
+            requeued_queries: 0,
+            checkpoints_written: 0,
+            checkpoint_failures: 0,
+            fault_streak: 0,
+            requeues: std::collections::HashMap::new(),
             pending_seed_groups: Vec::new(),
         }
     }
@@ -424,9 +538,33 @@ impl<S: DataSource> Crawler<S> {
         self.backoff_rounds
     }
 
-    /// Rounds billed against budgets: requests plus backoff waits.
+    /// Simulated rounds lost to source-side latency stalls so far.
+    pub fn stall_rounds(&self) -> u64 {
+        self.stall_rounds
+    }
+
+    /// Rounds billed against budgets: requests plus backoff waits plus
+    /// stall waits.
     pub fn elapsed_rounds(&self) -> u64 {
-        self.rounds + self.backoff_rounds
+        self.rounds + self.backoff_rounds + self.stall_rounds
+    }
+
+    /// Consecutive transient-class failures since the last successful page.
+    /// Resets to zero on every page that arrives intact. Supervisors sample
+    /// this at slice boundaries to drive per-source circuit breakers.
+    pub fn fault_streak(&self) -> u32 {
+        self.fault_streak
+    }
+
+    /// Checkpoints persisted by the periodic checkpointing loop so far.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Consumes the crawler and returns its source handle (used by
+    /// supervisors that must re-wrap the source for a restarted worker).
+    pub fn into_source(self) -> S {
+        self.source
     }
 
     /// The configured round budget, if any.
@@ -461,9 +599,14 @@ impl<S: DataSource> Crawler<S> {
             queries: self.queries,
             rounds: self.rounds,
             backoff_rounds: self.backoff_rounds,
+            stall_rounds: self.stall_rounds,
             records: self.state.local.num_records() as u64,
             aborted_queries: self.aborted_queries,
             transient_failures: self.transient_failures,
+            corrupt_pages: self.corrupt_pages,
+            requeued_queries: self.requeued_queries,
+            checkpoints_written: self.checkpoints_written,
+            checkpoint_failures: self.checkpoint_failures,
             stop,
             final_coverage: self.state.coverage(),
             trace: self.trace,
@@ -515,8 +658,35 @@ impl<S: DataSource> Crawler<S> {
         };
         let local_before = u64::from(self.state.local.count(v));
         let outcome = self.fetch_all_pages(&query, local_before);
-        self.finish_query(Some(v), outcome);
+        if outcome.failed_transient && self.try_requeue(v) {
+            // The attempt is billed (rounds, a query, a trace point) but the
+            // candidate goes back on the frontier instead of being treated
+            // as answered: the records behind it are not lost to the fault
+            // burst that swallowed this attempt.
+            self.finish_query(None, outcome);
+        } else {
+            self.finish_query(Some(v), outcome);
+        }
         Some(())
+    }
+
+    /// Puts `v` back on the frontier after a total transient failure, if its
+    /// requeue budget allows. Returns whether the requeue happened.
+    fn try_requeue(&mut self, v: ValueId) -> bool {
+        let n = self.requeues.entry(v).or_insert(0);
+        if *n >= self.config.max_requeues {
+            return false;
+        }
+        *n += 1;
+        self.requeued_queries += 1;
+        // The candidate was pushed onto `L_queried` at selection time; take
+        // it back out so the checkpointed state requeues it too.
+        if let Some(pos) = self.state.queried.iter().rposition(|&q| q == v) {
+            self.state.queried.remove(pos);
+        }
+        self.state.status[v.index()] = CandStatus::Frontier;
+        self.policy.on_discovered(&self.state, v);
+        true
     }
 
     /// Book-keeping shared by candidate queries and seed-group queries.
@@ -530,6 +700,23 @@ impl<S: DataSource> Crawler<S> {
         });
         if let Some(v) = v {
             self.policy.on_query_done(&self.state, v, &outcome);
+        }
+        self.maybe_checkpoint();
+    }
+
+    /// Persists a periodic checkpoint when a store is configured and the
+    /// cadence is due. Persistence failures never kill the crawl — they are
+    /// tallied in [`CrawlReport::checkpoint_failures`] and the previous
+    /// on-disk generation stays valid.
+    fn maybe_checkpoint(&mut self) {
+        let Some(store) = self.config.checkpoint_store.clone() else { return };
+        let every = self.config.checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY).max(1);
+        if !self.queries.is_multiple_of(every) {
+            return;
+        }
+        match store.save(&self.checkpoint()) {
+            Ok(()) => self.checkpoints_written += 1,
+            Err(_) => self.checkpoint_failures += 1,
         }
     }
 
@@ -585,13 +772,20 @@ impl<S: DataSource> Crawler<S> {
         let mut touched: Vec<ValueId> = Vec::new();
         let mut newly_discovered: Vec<ValueId> = Vec::new();
         let mut page_index = 0usize;
+        let mut gave_up_transient = false;
         loop {
             if let Some(max) = self.config.max_rounds {
                 if self.elapsed_rounds() >= max {
                     break;
                 }
             }
-            let Some(page) = self.fetch_page_with_retries(query, page_index) else { break };
+            let page = match self.fetch_page_with_retries(query, page_index) {
+                PageFetch::Page(page) => page,
+                PageFetch::GaveUp { transient } => {
+                    gave_up_transient = transient;
+                    break;
+                }
+            };
             outcome.pages += 1;
             if page.total_matches.is_some() {
                 outcome.reported_total = page.total_matches;
@@ -619,6 +813,7 @@ impl<S: DataSource> Crawler<S> {
         touched.sort_unstable();
         touched.dedup();
         outcome.touched_values = touched;
+        outcome.failed_transient = outcome.pages == 0 && gave_up_transient;
         for &d in &newly_discovered {
             self.policy.on_discovered(&self.state, d);
         }
@@ -627,32 +822,43 @@ impl<S: DataSource> Crawler<S> {
 
     /// One page request with transient-failure retries. Every attempt costs
     /// a round; every wait between attempts costs backoff rounds per the
-    /// [`RetryPolicy`] schedule. Fatal errors, retry exhaustion, and running
-    /// out of round budget mid-backoff end the query.
-    fn fetch_page_with_retries(
-        &mut self,
-        query: &Query,
-        page_index: usize,
-    ) -> Option<crate::extract::ExtractedPage> {
+    /// [`RetryPolicy`] schedule, and latency stalls bill their wasted rounds
+    /// on top. Fatal errors, retry exhaustion, and running out of round
+    /// budget mid-backoff end the query.
+    fn fetch_page_with_retries(&mut self, query: &Query, page_index: usize) -> PageFetch {
         let mut attempt = 0u32;
         loop {
             self.rounds += 1;
-            match self.source.query_page(query, page_index, self.config.prober) {
-                Ok(page) => return Some(page),
-                Err(CrawlError::Transient) => {
-                    self.transient_failures += 1;
-                    attempt += 1;
-                    if attempt > self.config.retry.max_retries {
-                        return None;
-                    }
-                    self.backoff_rounds += self.config.retry.backoff_before(attempt);
-                    if let Some(max) = self.config.max_rounds {
-                        if self.elapsed_rounds() >= max {
-                            return None;
-                        }
-                    }
+            let err = match self.source.query_page(query, page_index, self.config.prober) {
+                Ok(page) => {
+                    self.fault_streak = 0;
+                    return PageFetch::Page(page);
                 }
-                Err(CrawlError::Fatal(_)) => return None,
+                Err(e) => e,
+            };
+            if !err.is_transient() {
+                return PageFetch::GaveUp { transient: false };
+            }
+            self.fault_streak = self.fault_streak.saturating_add(1);
+            self.transient_failures += 1;
+            match err {
+                // A stall is its own wait: the wasted rounds are billed, no
+                // extra backoff is layered on top.
+                CrawlError::Stalled { wasted_rounds } => self.stall_rounds += wasted_rounds,
+                CrawlError::CorruptPage => self.corrupt_pages += 1,
+                _ => {}
+            }
+            attempt += 1;
+            if attempt > self.config.retry.max_retries {
+                return PageFetch::GaveUp { transient: true };
+            }
+            if !matches!(err, CrawlError::Stalled { .. }) {
+                self.backoff_rounds += self.config.retry.backoff_before(attempt);
+            }
+            if let Some(max) = self.config.max_rounds {
+                if self.elapsed_rounds() >= max {
+                    return PageFetch::GaveUp { transient: true };
+                }
             }
         }
     }

@@ -183,6 +183,38 @@ pub fn parse_page(xml: &str) -> Result<ExtractedPage, ExtractError> {
     Ok(ExtractedPage { page_index, total_matches, has_more, records })
 }
 
+/// Serializes an extracted page back to the XML wire format — the crawler-side
+/// inverse of [`parse_page`]. Round-trip exact for any page (names and values
+/// are XML-escaped).
+///
+/// Used by the fault-injection harness ([`crate::fault::FaultPlanSource`]) to
+/// materialize a page as wire bytes, truncate them, and demonstrate that the
+/// extractor rejects the damage; also handy for recording crawls.
+pub fn page_to_wire(page: &ExtractedPage) -> String {
+    use dwc_server::wire::escape_xml;
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + page.records.len() * 128);
+    let _ = write!(out, "<results page=\"{}\" more=\"{}\"", page.page_index, page.has_more);
+    if let Some(total) = page.total_matches {
+        let _ = write!(out, " total=\"{total}\"");
+    }
+    out.push_str(">\n");
+    for rec in &page.records {
+        let _ = writeln!(out, "  <record key=\"{}\">", rec.key);
+        for (attr, value) in &rec.fields {
+            let _ = writeln!(
+                out,
+                "    <field attr=\"{}\">{}</field>",
+                escape_xml(attr),
+                escape_xml(value)
+            );
+        }
+        out.push_str("  </record>\n");
+    }
+    out.push_str("</results>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -226,6 +258,23 @@ mod tests {
         let xml = page_to_xml(&page, s.table());
         let parsed = parse_page(&xml).unwrap();
         assert_eq!(parsed.records[0].fields[0], ("T&C".to_string(), "a<b>&\"c\"".to_string()));
+    }
+
+    #[test]
+    fn crawler_side_serializer_roundtrips() {
+        let (page, _) = roundtrip_page();
+        let wire = page_to_wire(&page);
+        assert_eq!(parse_page(&wire).unwrap(), page);
+        let nasty = ExtractedPage {
+            page_index: 2,
+            total_matches: None,
+            has_more: true,
+            records: vec![ExtractedRecord {
+                key: 9,
+                fields: vec![("T&C".into(), "a<b>&\"c\"".into())],
+            }],
+        };
+        assert_eq!(parse_page(&page_to_wire(&nasty)).unwrap(), nasty);
     }
 
     #[test]

@@ -23,9 +23,35 @@
 //! * a job whose frontier dries up stops drawing budget, and under
 //!   proportional allocation a saturating job gradually loses budget to
 //!   fresher ones.
+//!
+//! # Supervision
+//!
+//! [`run_fleet_supervised`] adds crash safety on top (for `Clone` source
+//! handles, which is what real fleets hold — `Arc<WebDbServer>` clones or
+//! fault-injection wrappers):
+//!
+//! * worker threads run their stepping loop under
+//!   [`std::panic::catch_unwind`]; a panicking worker reports in and dies,
+//!   and the supervisor respawns it from the job's last persisted
+//!   checkpoint ([`CrawlConfig::checkpoint_store`]) — completed rounds are
+//!   not re-billed, at most one checkpoint interval of work is repeated;
+//! * a job that panics more than [`FleetConfig::max_restarts`] times is
+//!   abandoned with [`StopReason::WorkerFailed`] instead of wedging the
+//!   fleet;
+//! * each job runs behind a per-source [`CircuitBreaker`]: a worker whose
+//!   consecutive-failure streak reaches [`BreakerConfig::trip_after`] is
+//!   paused, its budget flows to healthy jobs, and after the cooldown a
+//!   half-open probe slice decides between recovery and another pause;
+//! * jobs whose retry policy was left on the fail-fast
+//!   [`RetryPolicy::default`] get [`FleetConfig::default_retry`]
+//!   substituted, so a fleet never hammers a flaky source without backoff
+//!   by accident;
+//! * per-job trips, recoveries, restarts, and abandonment land in
+//!   [`FleetReport::health`].
 
-use crate::config::ConfigError;
+use crate::config::{ConfigError, RetryPolicy};
 use crate::crawler::{CrawlConfig, CrawlReport, Crawler, StopReason};
+use crate::health::{BreakerConfig, CircuitBreaker, JobHealth};
 use crate::policy::PolicyKind;
 use crate::source::DataSource;
 use std::sync::mpsc;
@@ -67,11 +93,29 @@ pub struct FleetConfig {
     pub slice: u64,
     /// Budget split strategy.
     pub allocation: AllocationStrategy,
+    /// Retry schedule substituted into any job whose config still carries
+    /// the fail-fast [`RetryPolicy::default`] (`max_retries: 0`). Defaults
+    /// to 4 retries — a fleet-scale crawl against sources that can throttle
+    /// should never fail fast by accident. A job that *wants* to fail fast
+    /// must say so with a non-default schedule (e.g. `backoff_cap: 63`).
+    pub default_retry: RetryPolicy,
+    /// Worker restarts per job before the job is abandoned with
+    /// [`StopReason::WorkerFailed`] (supervised fleets).
+    pub max_restarts: u32,
+    /// Per-source circuit-breaker thresholds (supervised fleets).
+    pub breaker: BreakerConfig,
 }
 
 impl Default for FleetConfig {
     fn default() -> Self {
-        FleetConfig { total_rounds: 10_000, slice: 500, allocation: AllocationStrategy::Even }
+        FleetConfig {
+            total_rounds: 10_000,
+            slice: 500,
+            allocation: AllocationStrategy::Even,
+            default_retry: RetryPolicy::retries(4),
+            max_restarts: 3,
+            breaker: BreakerConfig::default(),
+        }
     }
 }
 
@@ -107,6 +151,25 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Sets the retry schedule substituted into jobs left on
+    /// [`RetryPolicy::default`].
+    pub fn default_retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.default_retry = retry;
+        self
+    }
+
+    /// Sets worker restarts per job before abandonment.
+    pub fn max_restarts(mut self, restarts: u32) -> Self {
+        self.config.max_restarts = restarts;
+        self
+    }
+
+    /// Sets the per-source circuit-breaker thresholds.
+    pub fn breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.config.breaker = breaker;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<FleetConfig, ConfigError> {
         if self.config.total_rounds == 0 {
@@ -126,12 +189,30 @@ pub struct FleetReport {
     pub sources: Vec<CrawlReport>,
     /// Total elapsed rounds actually spent across the fleet.
     pub total_rounds: u64,
+    /// Per-job fault-tolerance counters, in input order. All-zero for
+    /// unsupervised fleets ([`run_fleet`]).
+    pub health: Vec<JobHealth>,
 }
 
 impl FleetReport {
     /// Total records harvested across all jobs.
     pub fn total_records(&self) -> u64 {
         self.sources.iter().map(|r| r.records).sum()
+    }
+
+    /// Total circuit-breaker trips across all jobs.
+    pub fn breaker_trips(&self) -> u64 {
+        self.health.iter().map(|h| h.breaker_trips).sum()
+    }
+
+    /// Total circuit-breaker recoveries across all jobs.
+    pub fn breaker_recoveries(&self) -> u64 {
+        self.health.iter().map(|h| h.breaker_recoveries).sum()
+    }
+
+    /// Total worker restarts across all jobs.
+    pub fn worker_restarts(&self) -> u64 {
+        self.health.iter().map(|h| u64::from(h.worker_restarts)).sum()
     }
 }
 
@@ -144,7 +225,9 @@ struct SliceResult {
     idx: usize,
     rounds_used: u64,
     recent_rate: f64,
+    fault_streak: u32,
     exhausted: bool,
+    panicked: bool,
     report: Option<CrawlReport>,
 }
 
@@ -159,12 +242,13 @@ where
     assert!(config.slice > 0, "slice must be positive");
     let n = jobs.len();
     if n == 0 {
-        return FleetReport { sources: Vec::new(), total_rounds: 0 };
+        return FleetReport { sources: Vec::new(), total_rounds: 0, health: Vec::new() };
     }
     let (result_tx, result_rx) = mpsc::channel::<SliceResult>();
     let mut grant_txs = Vec::with_capacity(n);
     let mut handles = Vec::with_capacity(n);
-    for (idx, job) in jobs.into_iter().enumerate() {
+    for (idx, mut job) in jobs.into_iter().enumerate() {
+        apply_default_retry(&mut job.config, &config);
         let (grant_tx, grant_rx) = mpsc::channel::<Grant>();
         grant_txs.push(grant_tx);
         let result_tx = result_tx.clone();
@@ -191,7 +275,9 @@ where
                             idx,
                             rounds_used: crawler.elapsed_rounds(),
                             recent_rate,
+                            fault_streak: crawler.fault_streak(),
                             exhausted,
+                            panicked: false,
                             report: None,
                         });
                     }
@@ -206,7 +292,9 @@ where
                             idx,
                             rounds_used,
                             recent_rate: 0.0,
+                            fault_streak: 0,
                             exhausted,
+                            panicked: false,
                             report: Some(crawler.into_report(stop)),
                         });
                         break;
@@ -281,12 +369,293 @@ where
     let sources: Vec<CrawlReport> =
         finals.into_iter().map(|r| r.expect("every worker reported")).collect();
     let total_rounds = sources.iter().map(|r| r.elapsed_rounds()).sum();
-    FleetReport { sources, total_rounds }
+    FleetReport { sources, total_rounds, health: vec![JobHealth::default(); n] }
+}
+
+/// Substitutes the fleet's [`FleetConfig::default_retry`] into a job left on
+/// the fail-fast [`RetryPolicy::default`]. An explicitly chosen schedule
+/// (any non-default field) passes through untouched; an explicit
+/// *fail-fast* wish must be expressed with a non-default schedule, since it
+/// is indistinguishable from the unset default.
+fn apply_default_retry(job_config: &mut CrawlConfig, fleet: &FleetConfig) {
+    if job_config.retry == RetryPolicy::default() {
+        job_config.retry = fleet.default_retry;
+    }
+}
+
+/// Everything the supervisor needs to (re)spawn one job's worker.
+struct JobSpec<S: DataSource> {
+    source: S,
+    policy: PolicyKind,
+    seeds: Vec<(String, String)>,
+    config: CrawlConfig,
+}
+
+impl<S: DataSource + Clone + Send + 'static> JobSpec<S> {
+    /// Spawns a worker for this job, fresh (seeds) or resumed from a
+    /// checkpoint. The stepping loop runs under `catch_unwind`; on a panic
+    /// the worker reports `panicked` and dies, leaving restart policy to the
+    /// supervisor.
+    fn spawn(
+        &self,
+        idx: usize,
+        result_tx: mpsc::Sender<SliceResult>,
+        resume_from: Option<crate::checkpoint::Checkpoint>,
+    ) -> (mpsc::Sender<Grant>, std::thread::JoinHandle<()>) {
+        let (grant_tx, grant_rx) = mpsc::channel::<Grant>();
+        let source = self.source.clone();
+        let policy = self.policy.clone();
+        let seeds = self.seeds.clone();
+        let config = self.config.clone();
+        let handle = std::thread::spawn(move || {
+            let mut crawler = match &resume_from {
+                Some(cp) => Crawler::resume(source, policy.build(), cp, config),
+                None => {
+                    let mut c = Crawler::new(source, policy.build(), config);
+                    for (a, v) in &seeds {
+                        c.add_seed(a, v);
+                    }
+                    c
+                }
+            };
+            let mut exhausted = false;
+            while let Ok(grant) = grant_rx.recv() {
+                match grant {
+                    Grant::Rounds(rounds) => {
+                        let target = crawler.elapsed_rounds() + rounds;
+                        let stepped =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                let mut ex = exhausted;
+                                while !ex && crawler.elapsed_rounds() < target {
+                                    if crawler.step().is_none() {
+                                        ex = true;
+                                    }
+                                }
+                                ex
+                            }));
+                        match stepped {
+                            Ok(ex) => {
+                                exhausted = ex;
+                                let recent_rate = crawler
+                                    .state()
+                                    .recent_harvest_mean(8)
+                                    .unwrap_or(if exhausted { 0.0 } else { 1.0 });
+                                let _ = result_tx.send(SliceResult {
+                                    idx,
+                                    rounds_used: crawler.elapsed_rounds(),
+                                    recent_rate,
+                                    fault_streak: crawler.fault_streak(),
+                                    exhausted,
+                                    panicked: false,
+                                    report: None,
+                                });
+                            }
+                            Err(_) => {
+                                // The crawler's in-memory state is suspect
+                                // now; report the crash and die. The
+                                // supervisor restarts from the last durable
+                                // checkpoint, not from this wreck.
+                                let _ = result_tx.send(SliceResult {
+                                    idx,
+                                    rounds_used: 0,
+                                    recent_rate: 0.0,
+                                    fault_streak: 0,
+                                    exhausted: false,
+                                    panicked: true,
+                                    report: None,
+                                });
+                                return;
+                            }
+                        }
+                    }
+                    Grant::Finish => {
+                        let stop = if exhausted {
+                            StopReason::FrontierExhausted
+                        } else {
+                            StopReason::RoundBudget
+                        };
+                        let rounds_used = crawler.elapsed_rounds();
+                        let _ = result_tx.send(SliceResult {
+                            idx,
+                            rounds_used,
+                            recent_rate: 0.0,
+                            fault_streak: 0,
+                            exhausted,
+                            panicked: false,
+                            report: Some(crawler.into_report(stop)),
+                        });
+                        return;
+                    }
+                }
+            }
+        });
+        (grant_tx, handle)
+    }
+
+    /// The last persisted checkpoint for this job, if any generation loads.
+    fn load_checkpoint(&self) -> Option<crate::checkpoint::Checkpoint> {
+        let store = self.config.checkpoint_store.as_ref()?;
+        store.load_or_backup().ok().map(|(cp, _)| cp)
+    }
+
+    /// A supervisor-side final report for a job whose worker is gone:
+    /// whatever the last checkpoint proves was harvested, under `stop`.
+    fn synthesize_report(&self, stop: StopReason) -> CrawlReport {
+        match self.load_checkpoint() {
+            Some(cp) => {
+                Crawler::resume(self.source.clone(), self.policy.build(), &cp, self.config.clone())
+                    .into_report(stop)
+            }
+            None => Crawler::new(self.source.clone(), self.policy.build(), self.config.clone())
+                .into_report(stop),
+        }
+    }
+}
+
+/// Runs the fleet with crash supervision and per-source circuit breakers.
+///
+/// Semantics of [`run_fleet`] plus the fault tolerance described in the
+/// [module docs](self): panicking workers are restarted from their job's
+/// last persisted checkpoint (up to [`FleetConfig::max_restarts`] times,
+/// then abandoned with [`StopReason::WorkerFailed`]), jobs whose failure
+/// streak trips their [`CircuitBreaker`] are paused and their budget flows
+/// to healthy jobs, and [`FleetReport::health`] carries the per-job tallies.
+///
+/// Requires `S: Clone` so the supervisor can hand a fresh source handle to
+/// restarted workers — the shape real fleets already have
+/// (`Arc<WebDbServer>`, [`crate::FaultPlanSource`]).
+pub fn run_fleet_supervised<S>(jobs: Vec<FleetJob<S>>, config: FleetConfig) -> FleetReport
+where
+    S: DataSource + Clone + Send + 'static,
+{
+    assert!(config.slice > 0, "slice must be positive");
+    let n = jobs.len();
+    if n == 0 {
+        return FleetReport { sources: Vec::new(), total_rounds: 0, health: Vec::new() };
+    }
+    let specs: Vec<JobSpec<S>> = jobs
+        .into_iter()
+        .map(|mut job| {
+            apply_default_retry(&mut job.config, &config);
+            JobSpec { source: job.source, policy: job.policy, seeds: job.seeds, config: job.config }
+        })
+        .collect();
+    let (result_tx, result_rx) = mpsc::channel::<SliceResult>();
+    let mut grant_txs = Vec::with_capacity(n);
+    let mut handles: Vec<Option<std::thread::JoinHandle<()>>> = Vec::with_capacity(n);
+    for (idx, spec) in specs.iter().enumerate() {
+        let (tx, handle) = spec.spawn(idx, result_tx.clone(), None);
+        grant_txs.push(tx);
+        handles.push(Some(handle));
+    }
+
+    let mut rates = vec![1.0f64; n];
+    let mut done = vec![false; n];
+    let mut rounds_used = vec![0u64; n];
+    let mut breakers: Vec<CircuitBreaker> =
+        (0..n).map(|_| CircuitBreaker::new(config.breaker)).collect();
+    let mut health = vec![JobHealth::default(); n];
+    let mut finals: Vec<Option<CrawlReport>> = (0..n).map(|_| None).collect();
+    loop {
+        let spent: u64 = rounds_used.iter().sum();
+        let remaining = config.total_rounds.saturating_sub(spent);
+        if remaining == 0 || done.iter().all(|&d| d) {
+            break;
+        }
+        // One allocation round passes: open breakers cool toward half-open.
+        for b in &mut breakers {
+            b.tick();
+        }
+        let active: Vec<usize> = (0..n).filter(|&i| !done[i] && !breakers[i].is_open()).collect();
+        if active.is_empty() {
+            // Every live job is paused; the round passes idle until a
+            // breaker reaches its half-open probe (tick guarantees progress).
+            continue;
+        }
+        let slice = remaining.min(config.slice);
+        let shares: Vec<u64> = match config.allocation {
+            AllocationStrategy::Even => {
+                let each = (slice / active.len() as u64).max(1);
+                active.iter().map(|_| each).collect()
+            }
+            AllocationStrategy::HarvestProportional => {
+                const FLOOR: f64 = 0.05;
+                let weights: Vec<f64> = active.iter().map(|&i| rates[i].max(FLOOR)).collect();
+                let total: f64 = weights.iter().sum();
+                weights
+                    .iter()
+                    .map(|w| (((w / total) * slice as f64).round() as u64).max(1))
+                    .collect()
+            }
+        };
+        for (k, &i) in active.iter().enumerate() {
+            grant_txs[i].send(Grant::Rounds(shares[k])).expect("worker alive");
+        }
+        for _ in 0..active.len() {
+            let r = result_rx.recv().expect("worker reports");
+            if r.panicked {
+                // The worker announced its own death; reap the thread, then
+                // restart from the last durable checkpoint or abandon.
+                if let Some(h) = handles[r.idx].take() {
+                    let _ = h.join();
+                }
+                if health[r.idx].worker_restarts >= config.max_restarts {
+                    health[r.idx].abandoned = true;
+                    done[r.idx] = true;
+                    finals[r.idx] = Some(specs[r.idx].synthesize_report(StopReason::WorkerFailed));
+                } else {
+                    health[r.idx].worker_restarts += 1;
+                    let resume = specs[r.idx].load_checkpoint();
+                    if let Some(cp) = &resume {
+                        // The checkpointed rounds stay billed; only the work
+                        // since the last snapshot is repeated.
+                        rounds_used[r.idx] = rounds_used[r.idx].max(cp.rounds);
+                    }
+                    let (tx, handle) = specs[r.idx].spawn(r.idx, result_tx.clone(), resume);
+                    grant_txs[r.idx] = tx;
+                    handles[r.idx] = Some(handle);
+                }
+            } else {
+                rates[r.idx] = r.recent_rate;
+                done[r.idx] |= r.exhausted;
+                rounds_used[r.idx] = rounds_used[r.idx].max(r.rounds_used);
+                breakers[r.idx].observe(r.fault_streak);
+            }
+        }
+    }
+    for (i, tx) in grant_txs.iter().enumerate() {
+        if finals[i].is_none() {
+            let _ = tx.send(Grant::Finish);
+        }
+    }
+    drop(result_tx);
+    for r in result_rx.iter() {
+        if let Some(report) = r.report {
+            rounds_used[r.idx] = rounds_used[r.idx].max(r.rounds_used);
+            finals[r.idx] = Some(report);
+        }
+    }
+    for h in handles.into_iter().flatten() {
+        let _ = h.join();
+    }
+    for (i, b) in breakers.iter().enumerate() {
+        health[i].breaker_trips = b.trips();
+        health[i].breaker_recoveries = b.recoveries();
+    }
+    let sources: Vec<CrawlReport> = finals
+        .into_iter()
+        .enumerate()
+        .map(|(i, r)| r.unwrap_or_else(|| specs[i].synthesize_report(StopReason::WorkerFailed)))
+        .collect();
+    let total_rounds = rounds_used.iter().sum();
+    FleetReport { sources, total_rounds, health }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultPlan, FaultPlanSource};
+    use crate::store::CheckpointStore;
     use dwc_server::{FaultPolicy, InterfaceSpec, WebDbServer};
     use std::sync::Arc;
 
@@ -294,6 +663,18 @@ mod tests {
         let t = dwc_model::fixtures::figure1_table();
         let spec = InterfaceSpec::permissive(t.schema(), 10);
         WebDbServer::new(t, spec)
+    }
+
+    fn scratch_store(name: &str) -> CheckpointStore {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "dwc-fleet-{}-{}-{name}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        CheckpointStore::new(dir.join("job.ckpt"))
     }
 
     fn job(seed_value: &str) -> FleetJob<WebDbServer> {
@@ -395,6 +776,95 @@ mod tests {
             shared.rounds_used(),
             "per-worker request counts must add up to the shared global counter"
         );
+    }
+
+    /// A one-job supervised fleet over a fault-plan-wrapped shared server.
+    fn supervised_job(
+        plan: FaultPlan,
+        store: Option<CheckpointStore>,
+    ) -> FleetJob<FaultPlanSource<Arc<WebDbServer>>> {
+        let mut builder = CrawlConfig::builder().known_target_size(5).max_requeues(10);
+        if let Some(store) = store {
+            builder = builder.checkpoint_store(store).checkpoint_every(1);
+        }
+        FleetJob {
+            source: FaultPlanSource::new(Arc::new(figure1_server()), plan),
+            policy: PolicyKind::GreedyLink,
+            seeds: vec![("A".into(), "a2".to_string())],
+            config: builder.build().unwrap(),
+        }
+    }
+
+    #[test]
+    fn supervised_fleet_without_faults_matches_plain() {
+        let jobs =
+            vec![supervised_job(FaultPlan::new(), None), supervised_job(FaultPlan::new(), None)];
+        let config = FleetConfig::builder().total_rounds(1000).slice(10).build().unwrap();
+        let report = run_fleet_supervised(jobs, config);
+        assert_eq!(report.sources.len(), 2);
+        for r in &report.sources {
+            assert_eq!(r.records, 5);
+        }
+        assert_eq!(report.breaker_trips(), 0);
+        assert_eq!(report.worker_restarts(), 0);
+        assert!(report.health.iter().all(|h| !h.abandoned));
+    }
+
+    #[test]
+    fn panicking_worker_restarts_from_checkpoint_and_finishes() {
+        let store = scratch_store("restart");
+        let jobs = vec![supervised_job(FaultPlan::new().panic_at(4), Some(store.clone()))];
+        let config = FleetConfig::builder().total_rounds(1000).slice(5).build().unwrap();
+        let report = run_fleet_supervised(jobs, config);
+        assert_eq!(report.health[0].worker_restarts, 1, "one injected crash, one restart");
+        assert!(!report.health[0].abandoned);
+        assert_eq!(report.sources[0].records, 5, "recovery must lose no records");
+        assert!(store.exists(), "periodic checkpoints were persisted");
+    }
+
+    #[test]
+    fn worker_without_restart_budget_is_abandoned() {
+        let store = scratch_store("abandon");
+        // Panic on every early request: even restarted workers die again.
+        let plan = FaultPlan::new().panic_at(1).panic_at(2).panic_at(3).panic_at(4);
+        let jobs = vec![supervised_job(plan, Some(store))];
+        let config =
+            FleetConfig::builder().total_rounds(1000).slice(5).max_restarts(2).build().unwrap();
+        let report = run_fleet_supervised(jobs, config);
+        assert!(report.health[0].abandoned);
+        assert_eq!(report.health[0].worker_restarts, 2, "restart budget spent before abandoning");
+        assert_eq!(report.sources[0].stop, StopReason::WorkerFailed);
+    }
+
+    #[test]
+    fn breaker_trips_on_burst_and_recovers() {
+        let store = scratch_store("breaker");
+        // 20 consecutive transient failures starting at request 4: long
+        // enough that a slice boundary lands mid-burst with a live streak.
+        let jobs = vec![supervised_job(FaultPlan::new().burst(4, 20), Some(store))];
+        let config = FleetConfig::builder()
+            .total_rounds(4000)
+            .slice(8)
+            .breaker(BreakerConfig { trip_after: 3, cooldown: 1 })
+            .build()
+            .unwrap();
+        let report = run_fleet_supervised(jobs, config);
+        assert!(report.breaker_trips() >= 1, "the burst must trip the breaker");
+        assert!(report.breaker_recoveries() >= 1, "the probe after the burst must recover");
+        assert_eq!(report.sources[0].records, 5, "zero records lost through the pause");
+        assert!(!report.health[0].abandoned);
+    }
+
+    #[test]
+    fn default_retry_substituted_only_for_default_jobs() {
+        let fleet = FleetConfig::default();
+        let mut on_default = CrawlConfig::default();
+        apply_default_retry(&mut on_default, &fleet);
+        assert_eq!(on_default.retry, fleet.default_retry, "default jobs get fleet retries");
+        let explicit = RetryPolicy { max_retries: 2, backoff_base: 3, backoff_cap: 10 };
+        let mut custom = CrawlConfig { retry: explicit, ..CrawlConfig::default() };
+        apply_default_retry(&mut custom, &fleet);
+        assert_eq!(custom.retry, explicit, "explicit schedules pass through");
     }
 
     #[test]

@@ -1,0 +1,199 @@
+//! Per-source circuit breakers and fleet job health accounting.
+//!
+//! A crawler hammering a sick source wastes budget: every request costs a
+//! round (Definition 2.3) whether it succeeds or not. The supervisor keeps a
+//! [`CircuitBreaker`] per job and samples the worker's consecutive-failure
+//! streak at every slice boundary:
+//!
+//! * **Closed** — the job is healthy and competes for budget normally.
+//! * **Open** — the streak reached [`BreakerConfig::trip_after`]; the job is
+//!   paused and excluded from allocation for
+//!   [`BreakerConfig::cooldown`] allocation rounds, so its budget flows to
+//!   healthy jobs instead of being burned on a source that is down.
+//! * **HalfOpen** — cooldown elapsed; the job gets one probe slice. A clean
+//!   slice closes the breaker (a *recovery*); more faults re-open it.
+//!
+//! Trips, recoveries, and worker restarts are tallied per job in
+//! [`JobHealth`] and surfaced through `FleetReport`.
+
+/// Circuit-breaker thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive transient-class failures (worker fault streak observed at
+    /// a slice boundary) that trip the breaker open.
+    pub trip_after: u32,
+    /// Allocation rounds an open breaker waits before probing (minimum 1).
+    pub cooldown: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { trip_after: 8, cooldown: 2 }
+    }
+}
+
+/// Where a breaker currently is in its Closed → Open → HalfOpen cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: slices flow normally.
+    Closed,
+    /// Tripped: the job is paused for `remaining` more allocation rounds.
+    Open {
+        /// Allocation rounds left before the half-open probe.
+        remaining: u32,
+    },
+    /// Cooled down: the next slice is a probe.
+    HalfOpen,
+}
+
+/// One job's breaker: state machine plus trip/recovery tallies.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: BreakerState,
+    trips: u64,
+    recoveries: u64,
+}
+
+impl Default for CircuitBreaker {
+    fn default() -> Self {
+        CircuitBreaker::new(BreakerConfig::default())
+    }
+}
+
+impl CircuitBreaker {
+    /// A closed breaker with the given thresholds.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker { config, state: BreakerState::Closed, trips: 0, recoveries: 0 }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BreakerState {
+        self.state
+    }
+
+    /// Whether the job is paused (open breaker): excluded from allocation.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, BreakerState::Open { .. })
+    }
+
+    /// Times the breaker tripped open.
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Times a half-open probe came back clean and the breaker re-closed.
+    pub fn recoveries(&self) -> u64 {
+        self.recoveries
+    }
+
+    /// Feeds the worker-reported consecutive-failure streak at a slice
+    /// boundary into the state machine.
+    pub fn observe(&mut self, fault_streak: u32) {
+        match self.state {
+            BreakerState::Closed => {
+                if fault_streak >= self.config.trip_after {
+                    self.trip();
+                }
+            }
+            BreakerState::HalfOpen => {
+                if fault_streak == 0 {
+                    self.state = BreakerState::Closed;
+                    self.recoveries += 1;
+                } else {
+                    self.trip();
+                }
+            }
+            // An open job receives no slices; a stale report changes nothing.
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// Advances one allocation round: open breakers cool toward half-open.
+    pub fn tick(&mut self) {
+        if let BreakerState::Open { remaining } = &mut self.state {
+            *remaining = remaining.saturating_sub(1);
+            if *remaining == 0 {
+                self.state = BreakerState::HalfOpen;
+            }
+        }
+    }
+
+    fn trip(&mut self) {
+        self.trips += 1;
+        self.state = BreakerState::Open { remaining: self.config.cooldown.max(1) };
+    }
+}
+
+/// Fault-tolerance counters for one fleet job, reported in `FleetReport`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobHealth {
+    /// Times this job's breaker tripped open.
+    pub breaker_trips: u64,
+    /// Times this job's breaker recovered via a clean half-open probe.
+    pub breaker_recoveries: u64,
+    /// Times this job's worker was restarted after a panic.
+    pub worker_restarts: u32,
+    /// Whether the job was abandoned after exhausting its restart budget.
+    pub abandoned: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_breaker_ignores_small_streaks() {
+        let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 3, cooldown: 2 });
+        b.observe(0);
+        b.observe(2);
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn full_trip_cooldown_probe_recovery_cycle() {
+        let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 3, cooldown: 2 });
+        b.observe(3);
+        assert!(b.is_open());
+        assert_eq!(b.trips(), 1);
+        b.tick();
+        assert!(b.is_open(), "cooldown not yet elapsed");
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.observe(0);
+        assert_eq!(b.state(), BreakerState::Closed, "clean probe closes");
+        assert_eq!(b.recoveries(), 1);
+    }
+
+    #[test]
+    fn dirty_probe_reopens() {
+        let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 2, cooldown: 1 });
+        b.observe(2);
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.observe(1);
+        assert!(b.is_open(), "any fault during the probe re-opens");
+        assert_eq!(b.trips(), 2);
+        assert_eq!(b.recoveries(), 0);
+    }
+
+    #[test]
+    fn observations_while_open_change_nothing() {
+        let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 1, cooldown: 3 });
+        b.observe(1);
+        let state = b.state();
+        b.observe(5);
+        assert_eq!(b.state(), state);
+        assert_eq!(b.trips(), 1);
+    }
+
+    #[test]
+    fn zero_cooldown_still_waits_one_round() {
+        let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 1, cooldown: 0 });
+        b.observe(1);
+        assert_eq!(b.state(), BreakerState::Open { remaining: 1 });
+        b.tick();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+    }
+}

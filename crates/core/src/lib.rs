@@ -40,12 +40,15 @@ pub mod config;
 pub mod crawler;
 pub mod domain_table;
 pub mod extract;
+pub mod fault;
 pub mod fleet;
+pub mod health;
 pub mod local;
 pub mod policy;
 pub mod report;
 pub mod source;
 pub mod state;
+pub mod store;
 pub mod trace;
 
 pub use abort::AbortPolicy;
@@ -53,9 +56,12 @@ pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, RetryPolicy};
 pub use crawler::{CrawlConfig, CrawlReport, Crawler, ProberMode, QueryMode};
 pub use domain_table::DomainTable;
+pub use fault::{FaultKind, FaultPlan, FaultPlanSource, FaultTally};
+pub use health::{BreakerConfig, BreakerState, CircuitBreaker, JobHealth};
 pub use local::LocalDb;
 pub use policy::{PolicyKind, SelectionPolicy};
 pub use report::CrawlSummary;
 pub use source::{CrawlError, DataSource, FaultySource};
 pub use state::{CandStatus, CrawlState, QueryOutcome};
-pub use trace::CrawlTrace;
+pub use store::{CheckpointStore, StoreError};
+pub use trace::{CrawlTrace, TraceError};

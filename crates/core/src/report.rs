@@ -3,8 +3,11 @@
 //!
 //! Answers the questions an operator asks a long-running crawler: how big is
 //! the frontier and what is it made of, how much of the recent effort is
-//! duplicates, and which hub values carry the local graph.
+//! duplicates, and which hub values carry the local graph — and, for fleets,
+//! which jobs crashed, tripped their breaker, or were abandoned
+//! ([`crate::fleet::FleetReport`]'s `Display`).
 
+use crate::fleet::FleetReport;
 use crate::state::{CandStatus, CrawlState};
 use dwc_model::ValueId;
 use std::fmt;
@@ -122,6 +125,43 @@ impl fmt::Display for CrawlSummary {
     }
 }
 
+impl fmt::Display for FleetReport {
+    /// One line per job — harvest, cost, stop reason — plus fault-tolerance
+    /// tallies when anything noteworthy happened to the job.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet: {} jobs, {} records, {} elapsed rounds",
+            self.sources.len(),
+            self.total_records(),
+            self.total_rounds
+        )?;
+        for (i, r) in self.sources.iter().enumerate() {
+            write!(
+                f,
+                "  job {i}: {} records / {} rounds / stop {:?}",
+                r.records,
+                r.elapsed_rounds(),
+                r.stop
+            )?;
+            if let Some(h) = self.health.get(i) {
+                if h.breaker_trips > 0 || h.worker_restarts > 0 || h.abandoned {
+                    write!(
+                        f,
+                        " [trips {}, recoveries {}, restarts {}{}]",
+                        h.breaker_trips,
+                        h.breaker_recoveries,
+                        h.worker_restarts,
+                        if h.abandoned { ", ABANDONED" } else { "" }
+                    )?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -179,5 +219,37 @@ mod tests {
         assert!(text.contains("records harvested : 3"));
         assert!(text.contains("per attribute"));
         assert!(text.contains("top hubs"));
+    }
+
+    #[test]
+    fn fleet_display_includes_health_when_noteworthy() {
+        use crate::fault::{FaultPlan, FaultPlanSource};
+        use crate::fleet::{run_fleet_supervised, FleetConfig, FleetJob};
+        use crate::health::JobHealth;
+        use std::sync::Arc;
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let server = Arc::new(WebDbServer::new(t, spec));
+        let jobs = vec![FleetJob {
+            source: FaultPlanSource::new(server, FaultPlan::new()),
+            policy: PolicyKind::GreedyLink,
+            seeds: vec![("A".into(), "a2".into())],
+            config: CrawlConfig::default(),
+        }];
+        let mut report = run_fleet_supervised(
+            jobs,
+            FleetConfig::builder().total_rounds(100).slice(10).build().unwrap(),
+        );
+        let clean = report.to_string();
+        assert!(clean.contains("fleet: 1 jobs"));
+        assert!(!clean.contains("trips"), "healthy jobs stay terse");
+        report.health[0] = JobHealth {
+            breaker_trips: 2,
+            breaker_recoveries: 1,
+            worker_restarts: 1,
+            abandoned: true,
+        };
+        let sick = report.to_string();
+        assert!(sick.contains("trips 2, recoveries 1, restarts 1, ABANDONED"));
     }
 }

@@ -49,6 +49,17 @@ pub enum CrawlError {
     /// A transient condition (throttling, timeout, 5xx). Retrying the same
     /// request may succeed; the failed round is still billed.
     Transient,
+    /// The request stalled — a response that never arrived in time. The
+    /// failed round is billed like any other, and the wait itself costs
+    /// `wasted_rounds` additional simulated rounds (Definition 2.3 bills
+    /// time, not just served pages). Retrying may succeed.
+    Stalled {
+        /// Extra elapsed rounds the caller must bill for the wait.
+        wasted_rounds: u64,
+    },
+    /// A result page arrived but was truncated or otherwise garbled and the
+    /// Result Extractor rejected it. Retrying may return an intact page.
+    CorruptPage,
     /// A definitive interface rejection — retrying the identical request
     /// cannot succeed.
     Fatal(ServerError),
@@ -57,7 +68,7 @@ pub enum CrawlError {
 impl CrawlError {
     /// Whether a retry of the same request can possibly succeed.
     pub fn is_transient(&self) -> bool {
-        matches!(self, CrawlError::Transient)
+        matches!(self, CrawlError::Transient | CrawlError::Stalled { .. } | CrawlError::CorruptPage)
     }
 }
 
@@ -74,6 +85,10 @@ impl std::fmt::Display for CrawlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CrawlError::Transient => write!(f, "transient source failure"),
+            CrawlError::Stalled { wasted_rounds } => {
+                write!(f, "request stalled ({wasted_rounds} rounds wasted waiting)")
+            }
+            CrawlError::CorruptPage => write!(f, "corrupt result page rejected by extractor"),
             CrawlError::Fatal(e) => write!(f, "fatal source error: {e}"),
         }
     }
@@ -82,8 +97,8 @@ impl std::fmt::Display for CrawlError {
 impl std::error::Error for CrawlError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            CrawlError::Transient => None,
             CrawlError::Fatal(e) => Some(e),
+            _ => None,
         }
     }
 }

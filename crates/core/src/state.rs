@@ -36,6 +36,10 @@ pub struct QueryOutcome {
     pub reported_total: Option<usize>,
     /// Whether the abortion heuristic cut the query short.
     pub aborted: bool,
+    /// Whether the query failed *entirely* on transient-class errors: zero
+    /// pages retrieved, every attempt lost to faults. Such queries are
+    /// eligible for requeueing ([`crate::CrawlConfig::max_requeues`]).
+    pub failed_transient: bool,
     /// Distinct values occurring in the *new* records of this query
     /// (both newly discovered and previously known): the values whose local
     /// statistics (counts, degrees) may have changed.

@@ -16,6 +16,33 @@ pub struct TracePoint {
     pub records: u64,
 }
 
+/// A [`TracePoint`] that would move the series backwards, rejected by
+/// [`CrawlTrace::try_push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceError {
+    /// The series' current last point.
+    pub last: TracePoint,
+    /// The non-monotone point that was rejected.
+    pub rejected: TracePoint,
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "non-monotone trace point: ({}, {}, {}) after ({}, {}, {})",
+            self.rejected.rounds,
+            self.rejected.queries,
+            self.rejected.records,
+            self.last.rounds,
+            self.last.queries,
+            self.last.records,
+        )
+    }
+}
+
+impl std::error::Error for TraceError {}
+
 /// A monotone series of [`TracePoint`]s.
 #[derive(Debug, Clone, Default)]
 pub struct CrawlTrace {
@@ -28,15 +55,35 @@ impl CrawlTrace {
         Self::default()
     }
 
-    /// Appends a point; rounds/queries/records must be non-decreasing.
-    pub fn push(&mut self, p: TracePoint) {
-        if let Some(last) = self.points.last() {
-            debug_assert!(
-                p.rounds >= last.rounds && p.queries >= last.queries && p.records >= last.records,
-                "trace must be monotone"
-            );
+    /// Appends a point if rounds/queries/records are all non-decreasing;
+    /// rejects it with a [`TraceError`] otherwise. The lookup methods
+    /// (`rounds_to_coverage`, `records_at_rounds`) binary-search the series
+    /// and silently return wrong answers on a non-monotone one — so a bad
+    /// point must never get in.
+    pub fn try_push(&mut self, p: TracePoint) -> Result<(), TraceError> {
+        if let Some(&last) = self.points.last() {
+            if p.rounds < last.rounds || p.queries < last.queries || p.records < last.records {
+                return Err(TraceError { last, rejected: p });
+            }
         }
         self.points.push(p);
+        Ok(())
+    }
+
+    /// Appends a point, clamping each counter up to the series' last value
+    /// when it would otherwise move backwards. Counters can regress in
+    /// crash-recovery paths (a worker restarted from a checkpoint older
+    /// than its last report); clamping keeps the series monotone — and the
+    /// lookups correct — instead of crashing the crawl over analytics.
+    pub fn push(&mut self, p: TracePoint) {
+        if let Err(e) = self.try_push(p) {
+            let last = e.last;
+            self.points.push(TracePoint {
+                rounds: p.rounds.max(last.rounds),
+                queries: p.queries.max(last.queries),
+                records: p.records.max(last.records),
+            });
+        }
     }
 
     /// All recorded points.
@@ -143,5 +190,28 @@ mod tests {
         assert_eq!(t.points().len(), 4);
         assert_eq!(t.last().unwrap().records, 90);
         assert!(CrawlTrace::new().last().is_none());
+    }
+
+    #[test]
+    fn try_push_rejects_regressions() {
+        let mut t = demo_trace();
+        let bad = TracePoint { rounds: 19, queries: 5, records: 95 };
+        let err = t.try_push(bad).unwrap_err();
+        assert_eq!(err.rejected, bad);
+        assert_eq!(err.last.rounds, 20);
+        assert_eq!(t.points().len(), 4, "rejected point must not land");
+        assert!(err.to_string().contains("non-monotone"));
+        t.try_push(TracePoint { rounds: 21, queries: 5, records: 95 }).unwrap();
+        assert_eq!(t.points().len(), 5);
+    }
+
+    #[test]
+    fn push_clamps_instead_of_regressing() {
+        let mut t = demo_trace();
+        t.push(TracePoint { rounds: 7, queries: 9, records: 10 });
+        let last = t.last().unwrap();
+        assert_eq!(last, TracePoint { rounds: 20, queries: 9, records: 90 });
+        // Lookups still work on the clamped series.
+        assert_eq!(t.records_at_rounds(20), 90);
     }
 }

@@ -36,6 +36,44 @@ fn status_strategy() -> impl Strategy<Value = CandStatus> {
     ]
 }
 
+/// Strings stacked with the characters the checkpoint text format must
+/// escape or survive: its own field separator (tab), its escape introducer
+/// (%), line breaks that could forge record boundaries, and multi-byte
+/// unicode that could break naive byte slicing.
+fn adversarial_string() -> impl Strategy<Value = String> {
+    let fragment = prop_oneof![
+        Just("\t".to_string()),
+        Just("%".to_string()),
+        Just("\r\n".to_string()),
+        Just("\n".to_string()),
+        Just("%09".to_string()),
+        Just("%%".to_string()),
+        Just("é⟩𝄞".to_string()),
+        Just("DWC-CHECKPOINT v2 crc=".to_string()),
+        ".{0,3}",
+    ];
+    prop::collection::vec(fragment, 0..6).prop_map(|parts| parts.concat())
+}
+
+/// A structurally valid checkpoint over arbitrary value strings.
+fn checkpoint_from(values: Vec<(u16, String)>, rounds: u64, queries: u64) -> Checkpoint {
+    let n = values.len();
+    Checkpoint {
+        attr_names: vec!["A".into(), "B".into(), "C".into()],
+        attr_queriable: vec![true, true, false],
+        page_size: 7,
+        keyword_mode: queries.is_multiple_of(2),
+        values: values.into_iter().map(|(a, s)| (a % 3, s)).collect(),
+        status: (0..n)
+            .map(|i| if i.is_multiple_of(2) { CandStatus::Frontier } else { CandStatus::Queried })
+            .collect(),
+        queried: (0..n as u32).filter(|i| i.is_multiple_of(3)).collect(),
+        records: (0..n as u64).map(|k| (k, vec![k as u32])).collect(),
+        rounds,
+        queries,
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -65,6 +103,43 @@ proptest! {
         };
         let back = Checkpoint::from_text(&cp.to_text()).unwrap();
         prop_assert_eq!(back, cp);
+    }
+
+    /// Round-trips survive value strings built specifically to attack the
+    /// text format: tabs (the field separator), % (the escape introducer),
+    /// CR/LF (record-boundary forgery), unicode, and header look-alikes.
+    #[test]
+    fn checkpoint_roundtrips_adversarial_strings(
+        values in prop::collection::vec((0u16..3, adversarial_string()), 0..12),
+        rounds in any::<u64>(),
+        queries in any::<u64>(),
+    ) {
+        let cp = checkpoint_from(values, rounds, queries);
+        let back = Checkpoint::from_text(&cp.to_text()).unwrap();
+        prop_assert_eq!(back, cp);
+    }
+
+    /// A v2 checkpoint truncated at ANY byte — the torn-write shape a crash
+    /// leaves behind — must be rejected by the checksum, never half-parsed.
+    #[test]
+    fn truncation_at_every_byte_is_rejected(
+        values in prop::collection::vec((0u16..3, adversarial_string()), 0..8),
+        rounds in any::<u64>(),
+        queries in any::<u64>(),
+    ) {
+        let cp = checkpoint_from(values, rounds, queries);
+        let text = cp.to_text();
+        prop_assert!(Checkpoint::from_text(&text).is_ok());
+        for cut in 0..text.len() {
+            if !text.is_char_boundary(cut) {
+                continue;
+            }
+            prop_assert!(
+                Checkpoint::from_text(&text[..cut]).is_err(),
+                "prefix of {cut}/{} bytes must not parse",
+                text.len()
+            );
+        }
     }
 
     /// Interrupt-at-any-point + resume harvests exactly the same record set

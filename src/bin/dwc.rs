@@ -7,6 +7,8 @@
 //!           [--seed-value ATTR=VALUE]... [--budget ROUNDS] [--page-size K]
 //!           [--cap N] [--coverage F] [--keyword] [--stats]
 //!           [--checkpoint OUT] [--resume IN] [--trace OUT.csv]
+//!           [--checkpoint-path FILE] [--checkpoint-every N]
+//! dwc resume <FILE.csv> --checkpoint-path FILE [crawl flags]
 //! ```
 //!
 //! `generate` writes a synthetic dataset as CSV; `graph` prints the
@@ -14,7 +16,17 @@
 //! `crawl` runs a crawl against an in-process server over the CSV table and
 //! reports cost and coverage, optionally checkpointing/resuming and dumping
 //! the per-query trace for plotting.
+//!
+//! Crash safety: `--checkpoint-path` turns on *periodic* checkpointing
+//! through [`CheckpointStore`] (atomic temp-file + rename, `.bak` rotation),
+//! every `--checkpoint-every` completed queries (default
+//! [`DEFAULT_CHECKPOINT_EVERY`]). After a crash, `dwc resume` reloads the
+//! latest intact snapshot — falling back to the `.bak` generation when the
+//! primary is torn — and continues the crawl, still checkpointing into the
+//! same store. The plain `--checkpoint`/`--resume` flags remain the one-shot,
+//! bare-file variant.
 
+use deep_web_crawler::core::crawler::DEFAULT_CHECKPOINT_EVERY;
 use deep_web_crawler::datagen::loader::{load_csv, to_csv};
 use deep_web_crawler::model::components::Connectivity;
 use deep_web_crawler::model::degree::DegreeDistribution;
@@ -26,7 +38,8 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("generate") => cmd_generate(&args[1..]),
         Some("graph") => cmd_graph(&args[1..]),
-        Some("crawl") => cmd_crawl(&args[1..]),
+        Some("crawl") => cmd_crawl(&args[1..], false),
+        Some("resume") => cmd_crawl(&args[1..], true),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -52,7 +65,13 @@ USAGE:
             [--seed-value ATTR=VALUE]... [--budget ROUNDS] [--page-size K]
             [--cap N] [--coverage F] [--keyword] [--stats]
             [--checkpoint OUT] [--resume IN] [--trace OUT.csv]
+            [--checkpoint-path FILE] [--checkpoint-every N]
+  dwc resume <FILE.csv> --checkpoint-path FILE [crawl flags]
   dwc help
+
+Crash safety: --checkpoint-path enables periodic, atomic checkpointing
+(every --checkpoint-every queries; .bak rotation). `dwc resume` restarts
+from the latest intact snapshot after a crash.
 ";
 
 /// Parsed command line: positional arguments plus accumulated `--flag value`
@@ -149,7 +168,7 @@ fn parse_policy(name: &str) -> Result<PolicyKind, String> {
     })
 }
 
-fn cmd_crawl(args: &[String]) -> Result<(), String> {
+fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
     let (pos, flags) = parse_flags(args)?;
     let path = pos.first().ok_or("crawl needs a CSV file")?;
     let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
@@ -173,10 +192,36 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
     if flag(&flags, "keyword").is_some() {
         builder = builder.query_mode(QueryMode::Keyword);
     }
+    let store = flag(&flags, "checkpoint-path").map(CheckpointStore::new);
+    if resume_from_store && store.is_none() {
+        return Err("resume needs --checkpoint-path FILE".into());
+    }
+    if let Some(ref s) = store {
+        builder = builder.checkpoint_store(s.clone());
+        let every: u64 = flag(&flags, "checkpoint-every")
+            .unwrap_or(&DEFAULT_CHECKPOINT_EVERY.to_string())
+            .parse()
+            .map_err(|_| "bad --checkpoint-every")?;
+        builder = builder.checkpoint_every(every);
+    } else if flag(&flags, "checkpoint-every").is_some() {
+        return Err("--checkpoint-every needs --checkpoint-path FILE".into());
+    }
     let config = builder.build().map_err(|e| e.to_string())?;
 
     let server = WebDbServer::new(table, interface);
-    let crawler = if let Some(resume_path) = flag(&flags, "resume") {
+    let crawler = if resume_from_store {
+        let s = store.as_ref().expect("checked above");
+        let (cp, from_backup) = s.load_or_backup().map_err(|e| e.to_string())?;
+        if from_backup {
+            eprintln!(
+                "primary checkpoint {} unreadable; resumed from backup {}",
+                s.path().display(),
+                s.backup_path().display()
+            );
+        }
+        eprintln!("resuming at {} records / {} rounds", cp.records.len(), cp.rounds);
+        Crawler::resume(&server, policy.build(), &cp, config)
+    } else if let Some(resume_path) = flag(&flags, "resume") {
         let blob = std::fs::read_to_string(resume_path)
             .map_err(|e| format!("reading {resume_path}: {e}"))?;
         let cp = Checkpoint::from_text(&blob).map_err(|e| e.to_string())?;
@@ -216,6 +261,15 @@ fn cmd_crawl(args: &[String]) -> Result<(), String> {
         std::fs::write(cp_path, crawler.checkpoint().to_text())
             .map_err(|e| format!("writing {cp_path}: {e}"))?;
         eprintln!("checkpoint written to {cp_path}");
+    }
+    if let Some(ref s) = store {
+        // Final snapshot so `dwc resume` after a clean exit is a no-op crawl.
+        s.save(&crawler.checkpoint()).map_err(|e| format!("saving checkpoint: {e}"))?;
+        eprintln!(
+            "{} periodic + 1 final checkpoint in {}",
+            crawler.checkpoints_written(),
+            s.path().display()
+        );
     }
     if flag(&flags, "stats").is_some() {
         println!(

@@ -50,8 +50,10 @@ pub use dwc_stats as stats;
 pub mod prelude {
     pub use dwc_core::policy::{MmmiConfig, PolicyKind, Saturation, SelectionPolicy};
     pub use dwc_core::{
-        AbortPolicy, Checkpoint, ConfigError, CrawlConfig, CrawlError, CrawlReport, CrawlTrace,
-        Crawler, DataSource, DomainTable, FaultySource, ProberMode, QueryMode, RetryPolicy,
+        AbortPolicy, BreakerConfig, Checkpoint, CheckpointStore, CircuitBreaker, ConfigError,
+        CrawlConfig, CrawlError, CrawlReport, CrawlTrace, Crawler, DataSource, DomainTable,
+        FaultKind, FaultPlan, FaultPlanSource, FaultySource, JobHealth, ProberMode, QueryMode,
+        RetryPolicy, StoreError,
     };
     pub use dwc_datagen::presets::Preset;
     pub use dwc_datagen::{PairedDataset, PairedSpec};

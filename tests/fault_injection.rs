@@ -1,0 +1,177 @@
+//! Fault-injection acceptance suite: the ISSUE's crash-safety scenarios run
+//! end to end through the public façade.
+//!
+//! * **Kill and recover** — a fleet job killed mid-crawl by a scheduled
+//!   panic is restarted from its last persisted checkpoint and finishes
+//!   with the same record count as an uninterrupted baseline, at a total
+//!   cost within one checkpoint interval of the baseline.
+//! * **Circuit breaker** — a job hit by a long fault burst trips its
+//!   per-source breaker, is paused, probed half-open, recovers, and still
+//!   loses zero records.
+//! * **Fault matrix** — the same no-loss invariant under each fault kind,
+//!   parameterized by `DWC_FAULT_KIND` (`burst`|`stall`|`corrupt`|`panic`|
+//!   `mixed`) and `DWC_FAULT_SEED` so CI can sweep a seeds × kinds matrix
+//!   with a single test binary.
+
+use deep_web_crawler::core::fleet::{run_fleet_supervised, FleetConfig, FleetJob};
+use deep_web_crawler::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A small IMDB-flavoured source: big enough that crawls span many queries
+/// (so checkpoints and slices interleave with faults), capped so one query
+/// costs a bounded number of pages.
+fn imdb_server(seed: u64) -> Arc<WebDbServer> {
+    let table = Preset::Imdb.table(0.002, seed);
+    let spec = InterfaceSpec::permissive(table.schema(), 10).with_result_cap(40);
+    Arc::new(WebDbServer::new(table, spec))
+}
+
+fn scratch_store(name: &str) -> CheckpointStore {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dwc-faultinj-{}-{}-{name}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    CheckpointStore::new(dir.join("job.ckpt"))
+}
+
+/// One supervised job over a faulty view of an IMDB source.
+fn job(
+    data_seed: u64,
+    plan: FaultPlan,
+    store: Option<CheckpointStore>,
+) -> FleetJob<FaultPlanSource<Arc<WebDbServer>>> {
+    let mut builder = CrawlConfig::builder().max_requeues(20);
+    if let Some(store) = store {
+        builder = builder.checkpoint_store(store).checkpoint_every(1);
+    }
+    FleetJob {
+        source: FaultPlanSource::new(imdb_server(data_seed), plan),
+        policy: PolicyKind::GreedyLink,
+        seeds: vec![("Language".into(), "Language_0".into())],
+        config: builder.build().unwrap(),
+    }
+}
+
+fn fleet_config() -> FleetConfig {
+    FleetConfig::builder()
+        .total_rounds(20_000)
+        .slice(8)
+        .default_retry(RetryPolicy::retries(4))
+        .max_restarts(5)
+        .breaker(BreakerConfig { trip_after: 3, cooldown: 2 })
+        .build()
+        .unwrap()
+}
+
+/// The fault-free reference run every scenario is measured against.
+fn baseline(data_seed: u64) -> deep_web_crawler::core::fleet::FleetReport {
+    run_fleet_supervised(vec![job(data_seed, FaultPlan::new(), None)], fleet_config())
+}
+
+/// Kill-and-recover: with a checkpoint after every query, a worker killed by
+/// a mid-crawl panic restarts from disk and redoes at most the one query
+/// that was in flight — so the harvested set matches the uninterrupted
+/// baseline and the cost overshoot is bounded by one checkpoint interval.
+#[test]
+fn killed_worker_recovers_from_checkpoint_and_matches_baseline() {
+    let clean = baseline(11);
+    assert_eq!(clean.worker_restarts(), 0);
+    let store = scratch_store("kill-recover");
+    let faulted = run_fleet_supervised(
+        vec![job(11, FaultPlan::new().panic_at(25), Some(store.clone()))],
+        fleet_config(),
+    );
+    assert_eq!(faulted.worker_restarts(), 1, "the scheduled panic kills exactly one worker");
+    assert!(!faulted.health[0].abandoned);
+    assert!(store.exists(), "periodic checkpoints persisted");
+    assert_eq!(
+        faulted.sources[0].records, clean.sources[0].records,
+        "recovery must not lose or duplicate records"
+    );
+    assert_eq!(faulted.sources[0].stop, clean.sources[0].stop);
+    // One checkpoint interval is one query here; with the result cap at 40
+    // and pages of 10, redoing the in-flight query costs at most 4 requests
+    // plus that query's retry backoff. 16 elapsed rounds is a safe envelope.
+    let slack = 16;
+    assert!(
+        faulted.total_rounds <= clean.total_rounds + slack,
+        "recovery redid more than one checkpoint interval: {} vs baseline {}",
+        faulted.total_rounds,
+        clean.total_rounds
+    );
+}
+
+/// Breaker acceptance: a long transient burst trips the per-source breaker
+/// (pausing the job) and the half-open probe later recovers it; requeues
+/// put every failed value back on the frontier, so nothing is lost.
+#[test]
+fn breaker_trips_on_burst_recovers_and_loses_nothing() {
+    let clean = baseline(13);
+    let report =
+        run_fleet_supervised(vec![job(13, FaultPlan::new().burst(10, 60), None)], fleet_config());
+    assert!(report.breaker_trips() >= 1, "the 60-request burst must trip the breaker");
+    assert!(report.breaker_recoveries() >= 1, "the probe must eventually find the source healthy");
+    assert!(!report.health[0].abandoned);
+    assert_eq!(
+        report.sources[0].records, clean.sources[0].records,
+        "breaker pauses and requeues must not lose records"
+    );
+    assert!(report.sources[0].transient_failures > 0);
+    let rendered = report.to_string();
+    assert!(rendered.contains("trips"), "FleetReport::Display surfaces breaker activity");
+}
+
+/// Builds the fault plan the CI matrix selects via `DWC_FAULT_KIND`; the
+/// schedule is offset by `DWC_FAULT_SEED` so different matrix cells hit
+/// different crawl phases.
+fn matrix_plan(kind: &str, seed: u64) -> FaultPlan {
+    match kind {
+        "burst" => FaultPlan::new().burst(8 + seed % 13, 40),
+        "stall" => FaultPlan::seeded(seed, 600, 0.08, &[FaultKind::Stall { rounds: 3 }]),
+        "corrupt" => FaultPlan::seeded(seed, 600, 0.10, &[FaultKind::Corrupt]),
+        "panic" => FaultPlan::new().panic_at(9 + seed % 17).panic_at(60 + seed % 29),
+        _ => FaultPlan::seeded(
+            seed,
+            600,
+            0.08,
+            &[FaultKind::Transient, FaultKind::Stall { rounds: 2 }, FaultKind::Corrupt],
+        ),
+    }
+}
+
+/// The matrix invariant: whatever the fault kind and seed, a supervised
+/// fleet with periodic checkpoints harvests exactly the fault-free record
+/// set, and the per-kind side effects show up in the report.
+#[test]
+fn fault_matrix_preserves_the_harvest() {
+    let kind = std::env::var("DWC_FAULT_KIND").unwrap_or_else(|_| "mixed".into());
+    let seed: u64 = std::env::var("DWC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    let clean = baseline(17);
+    let store = scratch_store("matrix");
+    let report = run_fleet_supervised(
+        vec![job(17, matrix_plan(&kind, seed), Some(store.clone()))],
+        fleet_config(),
+    );
+    assert!(!report.health[0].abandoned, "kind {kind} seed {seed} exhausted its restart budget");
+    assert_eq!(
+        report.sources[0].records, clean.sources[0].records,
+        "kind {kind} seed {seed} lost records"
+    );
+    assert!(store.exists());
+    let r = &report.sources[0];
+    match kind.as_str() {
+        "stall" => assert!(r.stall_rounds > 0, "stall plan must bill stall rounds"),
+        "corrupt" => assert!(r.corrupt_pages > 0, "corrupt plan must surface corrupt pages"),
+        "panic" => assert!(report.worker_restarts() >= 1, "panic plan must force a restart"),
+        "burst" => assert!(r.transient_failures > 0),
+        _ => assert!(r.transient_failures > 0, "mixed plan must inject something"),
+    }
+    assert!(
+        report.total_rounds >= clean.total_rounds,
+        "faults can only make the crawl more expensive"
+    );
+}
