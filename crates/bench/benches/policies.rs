@@ -111,11 +111,82 @@ fn bench_abort_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+/// Conjunctive partner selection: the incremental co-occurrence index kept
+/// by the ingestor vs the per-query full record scan it replaced. Setup
+/// first checks the two paths agree and that the index is actually faster
+/// over a batch of candidates — so a regression fails `cargo bench` loudly —
+/// then benches both paths for the numbers.
+fn bench_partner_selection(c: &mut Criterion) {
+    use dwc_core::extract::ExtractedRecord;
+    use dwc_core::stage::{best_partners_by_scan, Ingestor};
+    use dwc_core::state::CrawlState;
+    use std::time::Instant;
+
+    let table = Preset::Ebay.table(0.05, 1);
+    let names: Vec<String> = table.schema().iter().map(|(_, a)| a.name.clone()).collect();
+    let mut state = CrawlState::new(names.clone(), vec![true; names.len()], 10);
+    let mut ingestor = Ingestor::new(true);
+    let (mut touched, mut newly) = (Vec::new(), Vec::new());
+    for (key, (_, rec)) in table.iter().enumerate() {
+        let fields: Vec<(String, String)> = rec
+            .values()
+            .iter()
+            .map(|&v| {
+                let a = table.interner().attr_of(v);
+                (names[a.0 as usize].clone(), table.interner().value_str(v).to_string())
+            })
+            .collect();
+        let extracted = ExtractedRecord { key: key as u64, fields };
+        ingestor.ingest_record(&mut state, &extracted, &mut touched, &mut newly);
+    }
+    let candidates: Vec<_> = state.vocab.iter_ids().step_by(17).take(64).collect();
+    assert!(!candidates.is_empty());
+    for &v in &candidates {
+        assert_eq!(
+            ingestor.co_index().best_partners(&state, v, 1),
+            best_partners_by_scan(&state, v, 1),
+            "incremental index must rank partners exactly like the scan"
+        );
+    }
+    let start = Instant::now();
+    for &v in &candidates {
+        black_box(ingestor.co_index().best_partners(&state, v, 1));
+    }
+    let incremental = start.elapsed();
+    let start = Instant::now();
+    for &v in &candidates {
+        black_box(best_partners_by_scan(&state, v, 1));
+    }
+    let scan = start.elapsed();
+    assert!(
+        incremental < scan,
+        "incremental co-occurrence index must beat the full scan: {incremental:?} vs {scan:?}"
+    );
+
+    let mut group = c.benchmark_group("conjunctive_partner_selection");
+    group.bench_function("incremental_index", |b| {
+        b.iter(|| {
+            for &v in &candidates {
+                black_box(ingestor.co_index().best_partners(&state, v, 1));
+            }
+        })
+    });
+    group.bench_function("full_scan", |b| {
+        b.iter(|| {
+            for &v in &candidates {
+                black_box(best_partners_by_scan(&state, v, 1));
+            }
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_fig3_point,
     bench_fig4_point,
     bench_fig5_point,
-    bench_abort_ablation
+    bench_abort_ablation,
+    bench_partner_selection
 );
 criterion_main!(benches);

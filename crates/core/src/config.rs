@@ -1,10 +1,13 @@
-//! Shared configuration primitives: retry policy and builder validation.
+//! Crawl configuration: limits, modes, retry policy, builder validation.
 //!
 //! Crawl and fleet configurations are built through validating builders
-//! ([`crate::CrawlConfig::builder`], [`crate::fleet::FleetConfig::builder`])
+//! ([`CrawlConfig::builder`], [`crate::fleet::FleetConfig::builder`])
 //! that reject nonsensical parameters — zero budgets, zero slices,
 //! conjunctive arity below 2 — at build time with a [`ConfigError`], instead
 //! of panicking (or silently stalling) mid-crawl.
+
+use crate::abort::AbortPolicy;
+use crate::source::ProberMode;
 
 /// Retry behaviour on transient page-request failures.
 ///
@@ -89,6 +92,216 @@ impl std::fmt::Display for ConfigError {
 
 impl std::error::Error for ConfigError {}
 
+/// How queries are submitted to the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueryMode {
+    /// Fill the value into its attribute's structured form field
+    /// (`Query::ByString`). Requires the attribute to be queriable.
+    #[default]
+    Structured,
+    /// Throw the bare value string into the keyword box (`Query::Keyword`)
+    /// and "rely on the end site's query processing mechanism to decide which
+    /// column that value should actually match" (§2.2). Requires the
+    /// interface to advertise keyword search; makes every discovered value a
+    /// candidate, even from attributes without a form field.
+    Keyword,
+    /// Multi-attribute form fill: the selected candidate value is combined
+    /// with its most co-occurring locally-known partner values from `arity−1`
+    /// *other* attributes into a [`dwc_server::Query::Conjunctive`]. This is
+    /// the query class the paper defers to future work; restrictive sources
+    /// (`InterfaceSpec::requiring_attrs`) only accept it. Seeds must be
+    /// provided as whole groups via [`crate::Crawler::add_seed_group`].
+    Conjunctive {
+        /// Number of equality predicates per query (≥ 2).
+        arity: usize,
+    },
+}
+
+/// Checkpoint cadence (in completed queries) used when a store is configured
+/// without an explicit [`CrawlConfig::checkpoint_every`].
+pub const DEFAULT_CHECKPOINT_EVERY: u64 = 32;
+
+/// Crawl limits and knobs.
+///
+/// Prefer [`CrawlConfig::builder`], which validates parameters at build
+/// time; the struct literal form remains available for tests that want an
+/// intentionally odd configuration.
+///
+/// Note the retry default: [`RetryPolicy::default`] has `max_retries: 0`, so
+/// a bare `CrawlConfig` **fails fast on the first transient error** of a
+/// page (the total-failure requeue path is the only second chance). Any
+/// crawl against a source that can throttle should set
+/// [`CrawlConfigBuilder::max_retries`] (fleets apply
+/// [`crate::fleet::FleetConfig::default_retry`] automatically).
+#[derive(Debug, Clone)]
+pub struct CrawlConfig {
+    /// Stop after this many elapsed rounds — page requests plus retry
+    /// backoff waits (Figures 5–6 use 10,000).
+    pub max_rounds: Option<u64>,
+    /// Stop after this many queries.
+    pub max_queries: Option<u64>,
+    /// Stop when true coverage reaches this fraction (requires
+    /// `known_target_size`; Figure 3 uses 0.9).
+    pub target_coverage: Option<f64>,
+    /// The target's true size, when the harness knows it (controlled
+    /// experiments).
+    pub known_target_size: Option<usize>,
+    /// Per-query abortion heuristics (§3.4).
+    pub abort: AbortPolicy,
+    /// Transient-failure retry schedule (each attempt costs a round; waits
+    /// between attempts cost backoff rounds).
+    pub retry: RetryPolicy,
+    /// How many times a query that failed *entirely* on transient-class
+    /// errors (zero pages retrieved) is put back on the frontier for a later
+    /// attempt, per value. Keeps a burst of failures from permanently losing
+    /// the records behind the affected candidates.
+    pub max_requeues: u32,
+    /// Prober mode.
+    pub prober: ProberMode,
+    /// Query submission mode (structured form fill vs keyword box).
+    pub query_mode: QueryMode,
+    /// Where periodic checkpoints are persisted. `None` disables periodic
+    /// checkpointing (manual [`crate::Crawler::checkpoint`] still works).
+    pub checkpoint_store: Option<crate::store::CheckpointStore>,
+    /// Snapshot cadence in completed queries, when a store is set; `None`
+    /// uses [`DEFAULT_CHECKPOINT_EVERY`].
+    pub checkpoint_every: Option<u64>,
+}
+
+impl Default for CrawlConfig {
+    fn default() -> Self {
+        CrawlConfig {
+            max_rounds: None,
+            max_queries: None,
+            target_coverage: None,
+            known_target_size: None,
+            abort: AbortPolicy::default(),
+            retry: RetryPolicy::default(),
+            max_requeues: 4,
+            prober: ProberMode::default(),
+            query_mode: QueryMode::default(),
+            checkpoint_store: None,
+            checkpoint_every: None,
+        }
+    }
+}
+
+impl CrawlConfig {
+    /// Starts building a validated configuration.
+    pub fn builder() -> CrawlConfigBuilder {
+        CrawlConfigBuilder { config: CrawlConfig::default() }
+    }
+}
+
+/// Builder for [`CrawlConfig`]; see [`CrawlConfig::builder`].
+#[derive(Debug, Clone, Default)]
+pub struct CrawlConfigBuilder {
+    config: CrawlConfig,
+}
+
+impl CrawlConfigBuilder {
+    /// Caps elapsed rounds (requests + backoff waits). Must be positive.
+    pub fn max_rounds(mut self, rounds: u64) -> Self {
+        self.config.max_rounds = Some(rounds);
+        self
+    }
+
+    /// Caps issued queries. Must be positive.
+    pub fn max_queries(mut self, queries: u64) -> Self {
+        self.config.max_queries = Some(queries);
+        self
+    }
+
+    /// Stops once true coverage reaches `fraction` (in `(0, 1]`); requires
+    /// [`known_target_size`](Self::known_target_size).
+    pub fn target_coverage(mut self, fraction: f64) -> Self {
+        self.config.target_coverage = Some(fraction);
+        self
+    }
+
+    /// Declares the target's true size (controlled experiments).
+    pub fn known_target_size(mut self, records: usize) -> Self {
+        self.config.known_target_size = Some(records);
+        self
+    }
+
+    /// Sets the per-query abortion heuristics.
+    pub fn abort(mut self, abort: AbortPolicy) -> Self {
+        self.config.abort = abort;
+        self
+    }
+
+    /// Sets the transient-failure retry schedule.
+    pub fn retry(mut self, retry: RetryPolicy) -> Self {
+        self.config.retry = retry;
+        self
+    }
+
+    /// Shorthand: `n` retries with the default backoff schedule.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.config.retry.max_retries = n;
+        self
+    }
+
+    /// Caps total-failure requeues per value (0 = never requeue).
+    pub fn max_requeues(mut self, n: u32) -> Self {
+        self.config.max_requeues = n;
+        self
+    }
+
+    /// Enables periodic checkpointing into `store`.
+    pub fn checkpoint_store(mut self, store: crate::store::CheckpointStore) -> Self {
+        self.config.checkpoint_store = Some(store);
+        self
+    }
+
+    /// Sets the checkpoint cadence in completed queries. Must be positive.
+    pub fn checkpoint_every(mut self, queries: u64) -> Self {
+        self.config.checkpoint_every = Some(queries);
+        self
+    }
+
+    /// Sets the prober mode.
+    pub fn prober(mut self, prober: ProberMode) -> Self {
+        self.config.prober = prober;
+        self
+    }
+
+    /// Sets the query submission mode.
+    pub fn query_mode(mut self, mode: QueryMode) -> Self {
+        self.config.query_mode = mode;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<CrawlConfig, ConfigError> {
+        let c = &self.config;
+        if c.max_rounds == Some(0) {
+            return Err(ConfigError::ZeroBudget("max_rounds"));
+        }
+        if c.max_queries == Some(0) {
+            return Err(ConfigError::ZeroBudget("max_queries"));
+        }
+        if c.checkpoint_every == Some(0) {
+            return Err(ConfigError::ZeroBudget("checkpoint_every"));
+        }
+        if let QueryMode::Conjunctive { arity } = c.query_mode {
+            if arity < 2 {
+                return Err(ConfigError::BadArity(arity));
+            }
+        }
+        if let Some(t) = c.target_coverage {
+            if !(t > 0.0 && t <= 1.0) {
+                return Err(ConfigError::BadCoverage(t));
+            }
+            if c.known_target_size.is_none() {
+                return Err(ConfigError::CoverageNeedsTargetSize);
+            }
+        }
+        Ok(self.config)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -108,5 +321,38 @@ mod tests {
     fn default_policy_fails_fast() {
         assert_eq!(RetryPolicy::default().max_retries, 0);
         assert_eq!(RetryPolicy::retries(3).max_retries, 3);
+    }
+
+    #[test]
+    fn builder_rejects_nonsense() {
+        assert_eq!(
+            CrawlConfig::builder().max_rounds(0).build().unwrap_err(),
+            ConfigError::ZeroBudget("max_rounds")
+        );
+        assert_eq!(
+            CrawlConfig::builder().max_queries(0).build().unwrap_err(),
+            ConfigError::ZeroBudget("max_queries")
+        );
+        assert_eq!(
+            CrawlConfig::builder()
+                .query_mode(QueryMode::Conjunctive { arity: 1 })
+                .build()
+                .unwrap_err(),
+            ConfigError::BadArity(1)
+        );
+        assert_eq!(
+            CrawlConfig::builder().known_target_size(5).target_coverage(1.5).build().unwrap_err(),
+            ConfigError::BadCoverage(1.5)
+        );
+        assert_eq!(
+            CrawlConfig::builder().target_coverage(0.9).build().unwrap_err(),
+            ConfigError::CoverageNeedsTargetSize
+        );
+        assert!(CrawlConfig::builder()
+            .max_rounds(10_000)
+            .known_target_size(5)
+            .target_coverage(0.9)
+            .build()
+            .is_ok());
     }
 }

@@ -8,308 +8,31 @@
 //! repeated until all the possible queries are issued or some stopping
 //! criterion is met."
 //!
-//! The crawler talks to its source exclusively through the [`DataSource`]
-//! trait: queries go out as attribute-name + value-string form fills
-//! ([`dwc_server::Query::ByString`]); results come back as extracted pages
-//! (attribute names + value strings), materialized per [`ProberMode`].
-//! Every page request — including failed ones — costs one communication
-//! round (Definition 2.3); retry backoff waits are billed additionally as
-//! simulated rounds ([`RetryPolicy`]).
+//! [`Crawler`] is a thin driver over the staged engine in [`crate::stage`]:
+//! the [`Planner`] selects and formulates the next query, the [`Executor`]
+//! runs it against the source (pagination, retries, abortion, round
+//! billing), and the [`Ingestor`] harvests its records and grows the
+//! frontier. The driver contributes only the glue the stages cannot own —
+//! requeue bookkeeping, periodic checkpointing, and stop conditions.
+//!
+//! Nothing here keeps counters. Every observable fact flows as a
+//! [`CrawlEvent`] through the crawler's [`EventBus`], and the bus's
+//! [`crate::metrics::MetricsRegistry`] is the single source of truth the
+//! [`CrawlReport`] is derived from. Attach extra sinks (JSONL streams, test
+//! buffers) with [`Crawler::add_sink`].
 
-use crate::abort::{AbortPolicy, AbortState};
-use crate::config::{ConfigError, RetryPolicy};
-use crate::extract::ExtractedRecord;
+use crate::events::{CrawlEvent, EventBus, EventSink};
 use crate::policy::SelectionPolicy;
-use crate::source::{CrawlError, DataSource};
+use crate::source::DataSource;
+use crate::stage::{Executor, Ingestor, Planner};
 use crate::state::{CandStatus, CrawlState, QueryOutcome};
-use crate::trace::{CrawlTrace, TracePoint};
 use dwc_model::ValueId;
-use dwc_server::Query;
+use std::collections::HashMap;
 
+pub use crate::config::{CrawlConfig, CrawlConfigBuilder, QueryMode, DEFAULT_CHECKPOINT_EVERY};
+pub use crate::events::StopReason;
+pub use crate::metrics::CrawlReport;
 pub use crate::source::ProberMode;
-
-/// How queries are submitted to the source.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum QueryMode {
-    /// Fill the value into its attribute's structured form field
-    /// (`Query::ByString`). Requires the attribute to be queriable.
-    #[default]
-    Structured,
-    /// Throw the bare value string into the keyword box (`Query::Keyword`)
-    /// and "rely on the end site's query processing mechanism to decide which
-    /// column that value should actually match" (§2.2). Requires the
-    /// interface to advertise keyword search; makes every discovered value a
-    /// candidate, even from attributes without a form field.
-    Keyword,
-    /// Multi-attribute form fill: the selected candidate value is combined
-    /// with its most co-occurring locally-known partner values from `arity−1`
-    /// *other* attributes into a [`Query::Conjunctive`]. This is the query
-    /// class the paper defers to future work; restrictive sources
-    /// (`InterfaceSpec::requiring_attrs`) only accept it. Seeds must be
-    /// provided as whole groups via [`Crawler::add_seed_group`].
-    Conjunctive {
-        /// Number of equality predicates per query (≥ 2).
-        arity: usize,
-    },
-}
-
-/// Crawl limits and knobs.
-///
-/// Prefer [`CrawlConfig::builder`], which validates parameters at build
-/// time; the struct literal form remains available for tests that want an
-/// intentionally odd configuration.
-///
-/// Note the retry default: [`RetryPolicy::default`] has `max_retries: 0`, so
-/// a bare `CrawlConfig` **fails fast on the first transient error** of a
-/// page (the total-failure requeue path is the only second chance). Any
-/// crawl against a source that can throttle should set
-/// [`CrawlConfigBuilder::max_retries`] (fleets apply
-/// [`crate::fleet::FleetConfig::default_retry`] automatically).
-#[derive(Debug, Clone)]
-pub struct CrawlConfig {
-    /// Stop after this many elapsed rounds — page requests plus retry
-    /// backoff waits (Figures 5–6 use 10,000).
-    pub max_rounds: Option<u64>,
-    /// Stop after this many queries.
-    pub max_queries: Option<u64>,
-    /// Stop when true coverage reaches this fraction (requires
-    /// `known_target_size`; Figure 3 uses 0.9).
-    pub target_coverage: Option<f64>,
-    /// The target's true size, when the harness knows it (controlled
-    /// experiments).
-    pub known_target_size: Option<usize>,
-    /// Per-query abortion heuristics (§3.4).
-    pub abort: AbortPolicy,
-    /// Transient-failure retry schedule (each attempt costs a round; waits
-    /// between attempts cost backoff rounds).
-    pub retry: RetryPolicy,
-    /// How many times a query that failed *entirely* on transient-class
-    /// errors (zero pages retrieved) is put back on the frontier for a later
-    /// attempt, per value. Keeps a burst of failures from permanently losing
-    /// the records behind the affected candidates.
-    pub max_requeues: u32,
-    /// Prober mode.
-    pub prober: ProberMode,
-    /// Query submission mode (structured form fill vs keyword box).
-    pub query_mode: QueryMode,
-    /// Where periodic checkpoints are persisted. `None` disables periodic
-    /// checkpointing (manual [`Crawler::checkpoint`] still works).
-    pub checkpoint_store: Option<crate::store::CheckpointStore>,
-    /// Snapshot cadence in completed queries, when a store is set; `None`
-    /// uses [`DEFAULT_CHECKPOINT_EVERY`].
-    pub checkpoint_every: Option<u64>,
-}
-
-/// Checkpoint cadence (in completed queries) used when a store is configured
-/// without an explicit [`CrawlConfig::checkpoint_every`].
-pub const DEFAULT_CHECKPOINT_EVERY: u64 = 32;
-
-impl Default for CrawlConfig {
-    fn default() -> Self {
-        CrawlConfig {
-            max_rounds: None,
-            max_queries: None,
-            target_coverage: None,
-            known_target_size: None,
-            abort: AbortPolicy::default(),
-            retry: RetryPolicy::default(),
-            max_requeues: 4,
-            prober: ProberMode::default(),
-            query_mode: QueryMode::default(),
-            checkpoint_store: None,
-            checkpoint_every: None,
-        }
-    }
-}
-
-impl CrawlConfig {
-    /// Starts building a validated configuration.
-    pub fn builder() -> CrawlConfigBuilder {
-        CrawlConfigBuilder { config: CrawlConfig::default() }
-    }
-}
-
-/// Builder for [`CrawlConfig`]; see [`CrawlConfig::builder`].
-#[derive(Debug, Clone, Default)]
-pub struct CrawlConfigBuilder {
-    config: CrawlConfig,
-}
-
-impl CrawlConfigBuilder {
-    /// Caps elapsed rounds (requests + backoff waits). Must be positive.
-    pub fn max_rounds(mut self, rounds: u64) -> Self {
-        self.config.max_rounds = Some(rounds);
-        self
-    }
-
-    /// Caps issued queries. Must be positive.
-    pub fn max_queries(mut self, queries: u64) -> Self {
-        self.config.max_queries = Some(queries);
-        self
-    }
-
-    /// Stops once true coverage reaches `fraction` (in `(0, 1]`); requires
-    /// [`known_target_size`](Self::known_target_size).
-    pub fn target_coverage(mut self, fraction: f64) -> Self {
-        self.config.target_coverage = Some(fraction);
-        self
-    }
-
-    /// Declares the target's true size (controlled experiments).
-    pub fn known_target_size(mut self, records: usize) -> Self {
-        self.config.known_target_size = Some(records);
-        self
-    }
-
-    /// Sets the per-query abortion heuristics.
-    pub fn abort(mut self, abort: AbortPolicy) -> Self {
-        self.config.abort = abort;
-        self
-    }
-
-    /// Sets the transient-failure retry schedule.
-    pub fn retry(mut self, retry: RetryPolicy) -> Self {
-        self.config.retry = retry;
-        self
-    }
-
-    /// Shorthand: `n` retries with the default backoff schedule.
-    pub fn max_retries(mut self, n: u32) -> Self {
-        self.config.retry.max_retries = n;
-        self
-    }
-
-    /// Caps total-failure requeues per value (0 = never requeue).
-    pub fn max_requeues(mut self, n: u32) -> Self {
-        self.config.max_requeues = n;
-        self
-    }
-
-    /// Enables periodic checkpointing into `store`.
-    pub fn checkpoint_store(mut self, store: crate::store::CheckpointStore) -> Self {
-        self.config.checkpoint_store = Some(store);
-        self
-    }
-
-    /// Sets the checkpoint cadence in completed queries. Must be positive.
-    pub fn checkpoint_every(mut self, queries: u64) -> Self {
-        self.config.checkpoint_every = Some(queries);
-        self
-    }
-
-    /// Sets the prober mode.
-    pub fn prober(mut self, prober: ProberMode) -> Self {
-        self.config.prober = prober;
-        self
-    }
-
-    /// Sets the query submission mode.
-    pub fn query_mode(mut self, mode: QueryMode) -> Self {
-        self.config.query_mode = mode;
-        self
-    }
-
-    /// Validates and returns the configuration.
-    pub fn build(self) -> Result<CrawlConfig, ConfigError> {
-        let c = &self.config;
-        if c.max_rounds == Some(0) {
-            return Err(ConfigError::ZeroBudget("max_rounds"));
-        }
-        if c.max_queries == Some(0) {
-            return Err(ConfigError::ZeroBudget("max_queries"));
-        }
-        if c.checkpoint_every == Some(0) {
-            return Err(ConfigError::ZeroBudget("checkpoint_every"));
-        }
-        if let QueryMode::Conjunctive { arity } = c.query_mode {
-            if arity < 2 {
-                return Err(ConfigError::BadArity(arity));
-            }
-        }
-        if let Some(t) = c.target_coverage {
-            if !(t > 0.0 && t <= 1.0) {
-                return Err(ConfigError::BadCoverage(t));
-            }
-            if c.known_target_size.is_none() {
-                return Err(ConfigError::CoverageNeedsTargetSize);
-            }
-        }
-        Ok(self.config)
-    }
-}
-
-/// Why a crawl ended.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum StopReason {
-    /// `L_to-query` is empty: every reachable candidate was issued.
-    FrontierExhausted,
-    /// The round budget was exhausted.
-    RoundBudget,
-    /// The query budget was exhausted.
-    QueryBudget,
-    /// The coverage target was reached.
-    CoverageReached,
-    /// A supervised fleet abandoned the job after its worker exceeded the
-    /// restart budget ([`crate::fleet::FleetConfig::max_restarts`]).
-    WorkerFailed,
-}
-
-/// Summary of a finished crawl.
-#[derive(Debug)]
-pub struct CrawlReport {
-    /// Queries issued.
-    pub queries: u64,
-    /// Page requests issued (including failed attempts). Matches the
-    /// source-side request count attributable to this crawler.
-    pub rounds: u64,
-    /// Simulated rounds spent waiting in retry backoff.
-    pub backoff_rounds: u64,
-    /// Simulated rounds lost to source-side latency stalls.
-    pub stall_rounds: u64,
-    /// Records harvested into `DB_local`.
-    pub records: u64,
-    /// Queries cut short by the abortion heuristics.
-    pub aborted_queries: u64,
-    /// Transient failures encountered (and retried).
-    pub transient_failures: u64,
-    /// Pages that arrived truncated or otherwise corrupt (subset of
-    /// `transient_failures`).
-    pub corrupt_pages: u64,
-    /// Attempts put back on the frontier after failing entirely on
-    /// transient-class errors.
-    pub requeued_queries: u64,
-    /// Periodic checkpoints persisted during the crawl.
-    pub checkpoints_written: u64,
-    /// Periodic checkpoint saves that failed (the crawl continues; the
-    /// previous on-disk generation remains valid).
-    pub checkpoint_failures: u64,
-    /// Why the crawl stopped.
-    pub stop: StopReason,
-    /// Per-query progress trace.
-    pub trace: CrawlTrace,
-    /// Final true coverage, when the target size was known.
-    pub final_coverage: Option<f64>,
-}
-
-impl CrawlReport {
-    /// Total rounds billed against budgets: requests plus backoff waits
-    /// plus stall waits.
-    pub fn elapsed_rounds(&self) -> u64 {
-        self.rounds + self.backoff_rounds + self.stall_rounds
-    }
-}
-
-/// Outcome of one page fetch (after retries).
-enum PageFetch {
-    /// The page arrived intact.
-    Page(crate::extract::ExtractedPage),
-    /// The fetch was abandoned; `transient` says whether the final error was
-    /// transient-class (retry exhaustion / budget) rather than fatal.
-    GaveUp {
-        /// Whether the last error seen was transient-class.
-        transient: bool,
-    },
-}
 
 /// A hidden-web database crawler bound to one target source.
 ///
@@ -318,28 +41,14 @@ enum PageFetch {
 /// one server each own an `Arc<WebDbServer>` clone.
 pub struct Crawler<S: DataSource> {
     source: S,
-    policy: Box<dyn SelectionPolicy>,
+    planner: Planner,
+    executor: Executor,
+    ingestor: Ingestor,
     state: CrawlState,
     config: CrawlConfig,
-    trace: CrawlTrace,
-    rounds: u64,
-    backoff_rounds: u64,
-    stall_rounds: u64,
-    queries: u64,
-    aborted_queries: u64,
-    transient_failures: u64,
-    corrupt_pages: u64,
-    requeued_queries: u64,
-    checkpoints_written: u64,
-    checkpoint_failures: u64,
-    /// Consecutive transient-class failures with no successful page in
-    /// between; the circuit-breaker signal a supervisor samples.
-    fault_streak: u32,
+    bus: EventBus,
     /// Per-value requeue tally (values absent have never been requeued).
-    requeues: std::collections::HashMap<ValueId, u32>,
-    /// Whole-query seed groups for conjunctive mode, issued before the policy
-    /// takes over.
-    pending_seed_groups: Vec<Vec<(String, String)>>,
+    requeues: HashMap<ValueId, u32>,
 }
 
 impl<S: DataSource> Crawler<S> {
@@ -362,62 +71,26 @@ impl<S: DataSource> Crawler<S> {
             !state.keyword_mode || keyword_available,
             "keyword query mode requires an interface with keyword search"
         );
-        let mut policy = policy;
-        policy.init(&mut state);
+        let mut planner = Planner::new(policy, config.query_mode);
+        planner.init(&mut state);
+        let executor = Executor::from_config(&config);
+        let ingestor = Ingestor::new(matches!(config.query_mode, QueryMode::Conjunctive { .. }));
         Crawler {
             source,
-            policy,
+            planner,
+            executor,
+            ingestor,
             state,
             config,
-            trace: CrawlTrace::new(),
-            rounds: 0,
-            backoff_rounds: 0,
-            stall_rounds: 0,
-            queries: 0,
-            aborted_queries: 0,
-            transient_failures: 0,
-            corrupt_pages: 0,
-            requeued_queries: 0,
-            checkpoints_written: 0,
-            checkpoint_failures: 0,
-            fault_streak: 0,
-            requeues: std::collections::HashMap::new(),
-            pending_seed_groups: Vec::new(),
-        }
-    }
-
-    /// Snapshots the crawl into a [`crate::checkpoint::Checkpoint`]:
-    /// vocabulary, statuses, `L_queried`, harvested records and cost
-    /// counters. Policy internals are rebuilt on resume.
-    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
-        crate::checkpoint::Checkpoint {
-            attr_names: self.state.attr_names.clone(),
-            attr_queriable: self.state.attr_queriable.clone(),
-            page_size: self.state.page_size,
-            keyword_mode: self.state.keyword_mode,
-            values: self
-                .state
-                .vocab
-                .iter_ids()
-                .map(|v| (self.state.vocab.attr_of(v).0, self.state.vocab.value_str(v).to_owned()))
-                .collect(),
-            status: self.state.status.clone(),
-            queried: self.state.queried.iter().map(|v| v.0).collect(),
-            records: self
-                .state
-                .local
-                .iter_keyed()
-                .map(|(k, vals)| (k, vals.iter().map(|v| v.0).collect()))
-                .collect(),
-            rounds: self.rounds,
-            queries: self.queries,
+            bus: EventBus::new(),
+            requeues: HashMap::new(),
         }
     }
 
     /// Resumes a checkpointed crawl against `source` with a fresh policy
     /// instance. The shared state (vocabulary, statuses, `DB_local`,
-    /// `L_queried`, cost counters) is restored exactly; policy internals are
-    /// rebuilt via [`SelectionPolicy::resume`].
+    /// `L_queried`, cost counters) is restored exactly; policy internals and
+    /// derived indexes are rebuilt.
     ///
     /// # Panics
     /// Panics if the checkpoint is internally inconsistent (ids out of
@@ -464,33 +137,55 @@ impl<S: DataSource> Crawler<S> {
                 .collect();
             state.local.insert(*key, values);
         }
-        let mut policy = policy;
-        policy.resume(&mut state);
-        let mut trace = CrawlTrace::new();
-        trace.push(TracePoint {
+        let mut planner = Planner::new(policy, config.query_mode);
+        planner.resume(&mut state);
+        let executor = Executor::from_config(&config);
+        let mut ingestor =
+            Ingestor::new(matches!(config.query_mode, QueryMode::Conjunctive { .. }));
+        ingestor.rebuild_from(&state);
+        let mut bus = EventBus::new();
+        bus.emit(CrawlEvent::CrawlResumed {
             rounds: checkpoint.rounds,
             queries: checkpoint.queries,
             records: state.local.num_records() as u64,
         });
         Crawler {
             source,
-            policy,
+            planner,
+            executor,
+            ingestor,
             state,
             config,
-            trace,
-            rounds: checkpoint.rounds,
-            backoff_rounds: 0,
-            stall_rounds: 0,
-            queries: checkpoint.queries,
-            aborted_queries: 0,
-            transient_failures: 0,
-            corrupt_pages: 0,
-            requeued_queries: 0,
-            checkpoints_written: 0,
-            checkpoint_failures: 0,
-            fault_streak: 0,
-            requeues: std::collections::HashMap::new(),
-            pending_seed_groups: Vec::new(),
+            bus,
+            requeues: HashMap::new(),
+        }
+    }
+
+    /// Snapshots the crawl into a [`crate::checkpoint::Checkpoint`]:
+    /// vocabulary, statuses, `L_queried`, harvested records and cost
+    /// counters. Policy internals are rebuilt on resume.
+    pub fn checkpoint(&self) -> crate::checkpoint::Checkpoint {
+        crate::checkpoint::Checkpoint {
+            attr_names: self.state.attr_names.clone(),
+            attr_queriable: self.state.attr_queriable.clone(),
+            page_size: self.state.page_size,
+            keyword_mode: self.state.keyword_mode,
+            values: self
+                .state
+                .vocab
+                .iter_ids()
+                .map(|v| (self.state.vocab.attr_of(v).0, self.state.vocab.value_str(v).to_owned()))
+                .collect(),
+            status: self.state.status.clone(),
+            queried: self.state.queried.iter().map(|v| v.0).collect(),
+            records: self
+                .state
+                .local
+                .iter_keyed()
+                .map(|(k, vals)| (k, vals.iter().map(|v| v.0).collect()))
+                .collect(),
+            rounds: self.bus.metrics().rounds(),
+            queries: self.bus.metrics().queries(),
         }
     }
 
@@ -499,23 +194,21 @@ impl<S: DataSource> Crawler<S> {
     /// how a crawl of a restrictive multi-attribute form is bootstrapped
     /// (single seed values cannot be issued there).
     pub fn add_seed_group(&mut self, pairs: &[(&str, &str)]) {
-        self.pending_seed_groups
-            .push(pairs.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect());
+        self.planner.add_seed_group(pairs);
     }
 
     /// Adds a seed attribute value. Returns `false` when the attribute is
     /// unknown or not queriable (the seed is useless then).
     pub fn add_seed(&mut self, attr_name: &str, value: &str) -> bool {
-        let Some(attr) = self.state.attr_by_name(attr_name) else { return false };
-        if !self.state.keyword_mode && !self.state.attr_queriable[attr.0 as usize] {
-            return false;
-        }
-        let v = self.state.intern(attr, value);
-        if self.state.status_of(v) == CandStatus::Undiscovered {
-            self.state.status[v.index()] = CandStatus::Frontier;
-            self.policy.on_discovered(&self.state, v);
-        }
-        true
+        self.planner.add_seed(&mut self.state, attr_name, value)
+    }
+
+    /// Attaches a streaming [`EventSink`] to the crawl's bus. A sink
+    /// attached to a crawl that already has history first receives a
+    /// [`CrawlEvent::CrawlResumed`] snapshot so its stream replays to the
+    /// same totals.
+    pub fn add_sink(&mut self, sink: Box<dyn EventSink>) {
+        self.bus.add_sink(sink);
     }
 
     /// Read access to the crawl state (vocabulary, `DB_local`, `L_queried`).
@@ -528,37 +221,43 @@ impl<S: DataSource> Crawler<S> {
         &self.source
     }
 
+    /// Read access to the metrics registry — every counter the crawl has
+    /// folded so far.
+    pub fn metrics(&self) -> &crate::metrics::MetricsRegistry {
+        self.bus.metrics()
+    }
+
     /// Page requests issued so far (including failed attempts).
     pub fn rounds(&self) -> u64 {
-        self.rounds
+        self.bus.metrics().rounds()
     }
 
     /// Simulated rounds spent waiting in retry backoff so far.
     pub fn backoff_rounds(&self) -> u64 {
-        self.backoff_rounds
+        self.bus.metrics().backoff_rounds()
     }
 
     /// Simulated rounds lost to source-side latency stalls so far.
     pub fn stall_rounds(&self) -> u64 {
-        self.stall_rounds
+        self.bus.metrics().stall_rounds()
     }
 
     /// Rounds billed against budgets: requests plus backoff waits plus
     /// stall waits.
     pub fn elapsed_rounds(&self) -> u64 {
-        self.rounds + self.backoff_rounds + self.stall_rounds
+        self.bus.metrics().elapsed_rounds()
     }
 
     /// Consecutive transient-class failures since the last successful page.
     /// Resets to zero on every page that arrives intact. Supervisors sample
     /// this at slice boundaries to drive per-source circuit breakers.
     pub fn fault_streak(&self) -> u32 {
-        self.fault_streak
+        self.bus.metrics().fault_streak()
     }
 
     /// Checkpoints persisted by the periodic checkpointing loop so far.
     pub fn checkpoints_written(&self) -> u64 {
-        self.checkpoints_written
+        self.bus.metrics().checkpoints_written()
     }
 
     /// Consumes the crawler and returns its source handle (used by
@@ -593,34 +292,22 @@ impl<S: DataSource> Crawler<S> {
 
     /// Finalizes the crawl at its current state without issuing further
     /// queries (used by drivers that call [`Crawler::step`] themselves, like
-    /// the fleet coordinator).
-    pub fn into_report(self, stop: StopReason) -> CrawlReport {
-        CrawlReport {
-            queries: self.queries,
-            rounds: self.rounds,
-            backoff_rounds: self.backoff_rounds,
-            stall_rounds: self.stall_rounds,
-            records: self.state.local.num_records() as u64,
-            aborted_queries: self.aborted_queries,
-            transient_failures: self.transient_failures,
-            corrupt_pages: self.corrupt_pages,
-            requeued_queries: self.requeued_queries,
-            checkpoints_written: self.checkpoints_written,
-            checkpoint_failures: self.checkpoint_failures,
-            stop,
-            final_coverage: self.state.coverage(),
-            trace: self.trace,
-        }
+    /// the fleet coordinator). Emits [`CrawlEvent::CrawlFinished`] and
+    /// derives the report from the registry.
+    pub fn into_report(mut self, stop: StopReason) -> CrawlReport {
+        self.bus.emit(CrawlEvent::CrawlFinished { stop, coverage: self.state.coverage() });
+        self.bus.metrics().report().expect("CrawlFinished was just emitted")
     }
 
     fn budget_stop(&self) -> Option<StopReason> {
+        let metrics = self.bus.metrics();
         if let Some(max) = self.config.max_rounds {
-            if self.elapsed_rounds() >= max {
+            if metrics.elapsed_rounds() >= max {
                 return Some(StopReason::RoundBudget);
             }
         }
         if let Some(max) = self.config.max_queries {
-            if self.queries >= max {
+            if metrics.queries() >= max {
                 return Some(StopReason::QueryBudget);
             }
         }
@@ -632,40 +319,33 @@ impl<S: DataSource> Crawler<S> {
         None
     }
 
-    /// Issues one query — a pending seed group if any, otherwise the next
-    /// candidate the policy selects. Returns `None` when both are exhausted.
+    /// Issues one query through the staged pipeline — plan, execute, ingest,
+    /// then the driver's bookkeeping. Returns `None` when seeds and frontier
+    /// are both exhausted.
     pub fn step(&mut self) -> Option<()> {
-        if let Some(group) = self.pending_seed_groups.pop() {
-            let query = Query::Conjunctive(group);
-            let outcome = self.fetch_all_pages(&query, 0);
-            self.finish_query(None, outcome);
-            return Some(());
+        let planned = self.planner.plan(&mut self.state, &self.ingestor, &mut self.bus)?;
+        let local_before =
+            planned.candidate.map(|v| u64::from(self.state.local.count(v))).unwrap_or(0);
+        let exec = self.executor.run(
+            &self.source,
+            &planned.query,
+            local_before,
+            &mut self.state,
+            &mut self.ingestor,
+            &mut self.bus,
+        );
+        for &d in &exec.newly_discovered {
+            self.planner.notify_discovered(&self.state, d);
         }
-        let v = self.policy.select(&self.state)?;
-        self.state.status[v.index()] = CandStatus::Queried;
-        self.state.queried.push(v);
-        let value_str = self.state.vocab.value_str(v).to_owned();
-        let attr = self.state.vocab.attr_of(v);
-        let attr_name = self.state.attr_names[attr.0 as usize].clone();
-        let query = match self.config.query_mode {
-            QueryMode::Structured => Query::ByString { attr: attr_name, value: value_str },
-            QueryMode::Keyword => Query::Keyword(value_str),
-            QueryMode::Conjunctive { arity } => {
-                let mut pairs = vec![(attr_name, value_str)];
-                pairs.extend(self.best_partners(v, arity.saturating_sub(1)));
-                Query::Conjunctive(pairs)
+        match planned.candidate {
+            Some(v) if exec.outcome.failed_transient && self.try_requeue(v) => {
+                // The attempt is billed (rounds, a query, a trace point) but
+                // the candidate goes back on the frontier instead of being
+                // treated as answered: the records behind it are not lost to
+                // the fault burst that swallowed this attempt.
+                self.finish_query(None, exec.outcome);
             }
-        };
-        let local_before = u64::from(self.state.local.count(v));
-        let outcome = self.fetch_all_pages(&query, local_before);
-        if outcome.failed_transient && self.try_requeue(v) {
-            // The attempt is billed (rounds, a query, a trace point) but the
-            // candidate goes back on the frontier instead of being treated
-            // as answered: the records behind it are not lost to the fault
-            // burst that swallowed this attempt.
-            self.finish_query(None, outcome);
-        } else {
-            self.finish_query(Some(v), outcome);
+            candidate => self.finish_query(candidate, exec.outcome),
         }
         Some(())
     }
@@ -678,223 +358,62 @@ impl<S: DataSource> Crawler<S> {
             return false;
         }
         *n += 1;
-        self.requeued_queries += 1;
-        // The candidate was pushed onto `L_queried` at selection time; take
-        // it back out so the checkpointed state requeues it too.
-        if let Some(pos) = self.state.queried.iter().rposition(|&q| q == v) {
-            self.state.queried.remove(pos);
+        // The candidate was pushed onto `L_queried` at selection time and no
+        // other query completes in between, so it is still the tail: popping
+        // is O(1) and order-preserving. The swap_remove fallback keeps the
+        // bookkeeping correct should a future driver interleave queries.
+        if self.state.queried.last() == Some(&v) {
+            self.state.queried.pop();
+        } else if let Some(pos) = self.state.queried.iter().rposition(|&q| q == v) {
+            self.state.queried.swap_remove(pos);
         }
         self.state.status[v.index()] = CandStatus::Frontier;
-        self.policy.on_discovered(&self.state, v);
+        self.planner.notify_discovered(&self.state, v);
+        self.bus.emit(CrawlEvent::QueryRequeued { candidate: v.0 });
         true
     }
 
     /// Book-keeping shared by candidate queries and seed-group queries.
     fn finish_query(&mut self, v: Option<ValueId>, outcome: QueryOutcome) {
         self.state.push_harvest(outcome.normalized_harvest_rate(self.state.page_size));
-        self.queries += 1;
-        self.trace.push(TracePoint {
-            rounds: self.rounds,
-            queries: self.queries,
-            records: self.state.local.num_records() as u64,
-        });
+        self.bus.emit(CrawlEvent::QueryCompleted);
         if let Some(v) = v {
-            self.policy.on_query_done(&self.state, v, &outcome);
+            self.planner.on_query_done(&self.state, v, &outcome);
         }
         self.maybe_checkpoint();
     }
 
     /// Persists a periodic checkpoint when a store is configured and the
-    /// cadence is due. Persistence failures never kill the crawl — they are
-    /// tallied in [`CrawlReport::checkpoint_failures`] and the previous
-    /// on-disk generation stays valid.
+    /// cadence is due. The cadence check runs before any snapshot is built,
+    /// and the store is borrowed, never cloned. Persistence failures never
+    /// kill the crawl — they are tallied as [`CrawlEvent::CheckpointFailed`]
+    /// and the previous on-disk generation stays valid.
     fn maybe_checkpoint(&mut self) {
-        let Some(store) = self.config.checkpoint_store.clone() else { return };
-        let every = self.config.checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY).max(1);
-        if !self.queries.is_multiple_of(every) {
+        if self.config.checkpoint_store.is_none() {
             return;
         }
-        match store.save(&self.checkpoint()) {
-            Ok(()) => self.checkpoints_written += 1,
-            Err(_) => self.checkpoint_failures += 1,
+        let every = self.config.checkpoint_every.unwrap_or(DEFAULT_CHECKPOINT_EVERY).max(1);
+        if !self.bus.metrics().queries().is_multiple_of(every) {
+            return;
         }
-    }
-
-    /// For conjunctive mode: the locally most co-occurring partner values of
-    /// `v`, one per distinct attribute other than `v`'s (and each other's).
-    /// Partners make the conjunction as unrestrictive as local knowledge
-    /// allows — a popular co-value keeps the intersection large.
-    fn best_partners(&self, v: ValueId, want: usize) -> Vec<(String, String)> {
-        use std::collections::HashMap;
-        if want == 0 {
-            return Vec::new();
-        }
-        let my_attr = self.state.vocab.attr_of(v);
-        let mut co_counts: HashMap<ValueId, u32> = HashMap::new();
-        for rec in self.state.local.records() {
-            if rec.binary_search(&v).is_err() {
-                continue;
-            }
-            for &w in rec {
-                if w != v && self.state.vocab.attr_of(w) != my_attr {
-                    *co_counts.entry(w).or_insert(0) += 1;
-                }
-            }
-        }
-        let mut ranked: Vec<(ValueId, u32)> = co_counts.into_iter().collect();
-        ranked.sort_by_key(|&(w, c)| (std::cmp::Reverse(c), w.0));
-        let mut used_attrs = vec![my_attr];
-        let mut out = Vec::with_capacity(want);
-        for (w, _) in ranked {
-            let attr = self.state.vocab.attr_of(w);
-            if used_attrs.contains(&attr) {
-                continue;
-            }
-            used_attrs.push(attr);
-            out.push((
-                self.state.attr_names[attr.0 as usize].clone(),
-                self.state.vocab.value_str(w).to_owned(),
-            ));
-            if out.len() == want {
-                break;
-            }
-        }
-        out
-    }
-
-    /// Fetches pages of one query until pagination ends, the abortion
-    /// heuristic fires, or a budget is hit. `local_before` is the number of
-    /// matching records already held (`num(q, DB_local)` at query start).
-    fn fetch_all_pages(&mut self, query: &Query, local_before: u64) -> QueryOutcome {
-        let mut outcome = QueryOutcome::default();
-        let mut abort_state =
-            AbortState::new(self.config.abort.clone(), self.state.page_size, local_before);
-        let mut touched: Vec<ValueId> = Vec::new();
-        let mut newly_discovered: Vec<ValueId> = Vec::new();
-        let mut page_index = 0usize;
-        let mut gave_up_transient = false;
-        loop {
-            if let Some(max) = self.config.max_rounds {
-                if self.elapsed_rounds() >= max {
-                    break;
-                }
-            }
-            let page = match self.fetch_page_with_retries(query, page_index) {
-                PageFetch::Page(page) => page,
-                PageFetch::GaveUp { transient } => {
-                    gave_up_transient = transient;
-                    break;
-                }
-            };
-            outcome.pages += 1;
-            if page.total_matches.is_some() {
-                outcome.reported_total = page.total_matches;
-            }
-            let returned = page.records.len() as u64;
-            let mut new_in_page = 0u64;
-            for rec in &page.records {
-                if self.ingest_record(rec, &mut touched, &mut newly_discovered) {
-                    new_in_page += 1;
-                }
-            }
-            outcome.returned_records += returned;
-            outcome.new_records += new_in_page;
-            abort_state.observe_page(page.total_matches, returned, new_in_page);
-            if !page.has_more {
-                break;
-            }
-            if abort_state.should_abort() {
-                outcome.aborted = true;
-                self.aborted_queries += 1;
-                break;
-            }
-            page_index += 1;
-        }
-        touched.sort_unstable();
-        touched.dedup();
-        outcome.touched_values = touched;
-        outcome.failed_transient = outcome.pages == 0 && gave_up_transient;
-        for &d in &newly_discovered {
-            self.policy.on_discovered(&self.state, d);
-        }
-        outcome
-    }
-
-    /// One page request with transient-failure retries. Every attempt costs
-    /// a round; every wait between attempts costs backoff rounds per the
-    /// [`RetryPolicy`] schedule, and latency stalls bill their wasted rounds
-    /// on top. Fatal errors, retry exhaustion, and running out of round
-    /// budget mid-backoff end the query.
-    fn fetch_page_with_retries(&mut self, query: &Query, page_index: usize) -> PageFetch {
-        let mut attempt = 0u32;
-        loop {
-            self.rounds += 1;
-            let err = match self.source.query_page(query, page_index, self.config.prober) {
-                Ok(page) => {
-                    self.fault_streak = 0;
-                    return PageFetch::Page(page);
-                }
-                Err(e) => e,
-            };
-            if !err.is_transient() {
-                return PageFetch::GaveUp { transient: false };
-            }
-            self.fault_streak = self.fault_streak.saturating_add(1);
-            self.transient_failures += 1;
-            match err {
-                // A stall is its own wait: the wasted rounds are billed, no
-                // extra backoff is layered on top.
-                CrawlError::Stalled { wasted_rounds } => self.stall_rounds += wasted_rounds,
-                CrawlError::CorruptPage => self.corrupt_pages += 1,
-                _ => {}
-            }
-            attempt += 1;
-            if attempt > self.config.retry.max_retries {
-                return PageFetch::GaveUp { transient: true };
-            }
-            if !matches!(err, CrawlError::Stalled { .. }) {
-                self.backoff_rounds += self.config.retry.backoff_before(attempt);
-            }
-            if let Some(max) = self.config.max_rounds {
-                if self.elapsed_rounds() >= max {
-                    return PageFetch::GaveUp { transient: true };
-                }
-            }
-        }
-    }
-
-    /// Inserts one extracted record into `DB_local`; returns `true` when new.
-    /// Decomposes the record into candidate values (the "decompose" step).
-    fn ingest_record(
-        &mut self,
-        rec: &ExtractedRecord,
-        touched: &mut Vec<ValueId>,
-        newly_discovered: &mut Vec<ValueId>,
-    ) -> bool {
-        if self.state.local.contains_key(rec.key) {
-            return false;
-        }
-        let mut values = Vec::with_capacity(rec.fields.len());
-        for (attr_name, s) in &rec.fields {
-            let Some(attr) = self.state.attr_by_name(attr_name) else { continue };
-            let vid = self.state.intern(attr, s);
-            values.push(vid);
-        }
-        for &vid in &values {
-            touched.push(vid);
-            if self.state.status_of(vid) == CandStatus::Undiscovered && self.state.is_queriable(vid)
-            {
-                self.state.status[vid.index()] = CandStatus::Frontier;
-                newly_discovered.push(vid);
-            }
-        }
-        self.state.local.insert(rec.key, values)
+        let snapshot = self.checkpoint();
+        let saved = self
+            .config
+            .checkpoint_store
+            .as_ref()
+            .expect("presence checked above")
+            .save_with_receipt(&snapshot);
+        self.bus.emit(match saved {
+            Ok(receipt) => CrawlEvent::CheckpointWritten { rotated_backup: receipt.rotated_backup },
+            Err(_) => CrawlEvent::CheckpointFailed,
+        });
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::RetryPolicy;
     use crate::policy::PolicyKind;
     use crate::source::FaultySource;
     use dwc_model::fixtures::figure1_table;
@@ -1000,39 +519,6 @@ mod tests {
         let report = crawler.run();
         assert_eq!(report.stop, StopReason::CoverageReached);
         assert!(report.records >= 3);
-    }
-
-    #[test]
-    fn builder_rejects_nonsense() {
-        assert_eq!(
-            CrawlConfig::builder().max_rounds(0).build().unwrap_err(),
-            ConfigError::ZeroBudget("max_rounds")
-        );
-        assert_eq!(
-            CrawlConfig::builder().max_queries(0).build().unwrap_err(),
-            ConfigError::ZeroBudget("max_queries")
-        );
-        assert_eq!(
-            CrawlConfig::builder()
-                .query_mode(QueryMode::Conjunctive { arity: 1 })
-                .build()
-                .unwrap_err(),
-            ConfigError::BadArity(1)
-        );
-        assert_eq!(
-            CrawlConfig::builder().known_target_size(5).target_coverage(1.5).build().unwrap_err(),
-            ConfigError::BadCoverage(1.5)
-        );
-        assert_eq!(
-            CrawlConfig::builder().target_coverage(0.9).build().unwrap_err(),
-            ConfigError::CoverageNeedsTargetSize
-        );
-        assert!(CrawlConfig::builder()
-            .max_rounds(10_000)
-            .known_target_size(5)
-            .target_coverage(0.9)
-            .build()
-            .is_ok());
     }
 
     #[test]
@@ -1299,5 +785,50 @@ mod tests {
         let last = report.trace.last().unwrap();
         assert_eq!(last.records, report.records);
         assert_eq!(last.rounds, report.rounds);
+    }
+
+    #[test]
+    fn attached_sink_replays_to_the_returned_report() {
+        use crate::events::MemorySink;
+        use crate::metrics::replay_report;
+        let server = figure1_server(2);
+        let config = CrawlConfig::builder().max_retries(2).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);
+        let sink = MemorySink::new();
+        crawler.add_sink(Box::new(sink.clone()));
+        crawler.add_seed("A", "a2");
+        let report = crawler.run();
+        let events = sink.collected();
+        assert_eq!(replay_report(&events), Some(report));
+    }
+
+    #[test]
+    fn requeued_candidate_survives_a_checkpoint_round_trip() {
+        use crate::events::MemorySink;
+        // One fault total: the first query fails entirely (fail-fast retry
+        // default) and its candidate is requeued.
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let server = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(1).up_to(1));
+        let config = CrawlConfig::builder().known_target_size(5).max_requeues(5).build().unwrap();
+        let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config.clone());
+        assert!(crawler.add_seed("A", "a2"));
+        let sink = MemorySink::new();
+        crawler.add_sink(Box::new(sink.clone()));
+        crawler.step().unwrap();
+        assert!(
+            sink.collected().iter().any(|e| matches!(e, CrawlEvent::QueryRequeued { .. })),
+            "the failed attempt must requeue its candidate"
+        );
+        assert!(crawler.state().queried.is_empty(), "the requeued candidate must leave L_queried");
+
+        // The requeue must survive the text checkpoint format: the resumed
+        // crawl re-selects the value and still harvests everything.
+        let text = crawler.checkpoint().to_text();
+        drop(crawler);
+        let cp = crate::checkpoint::Checkpoint::from_text(&text).unwrap();
+        let resumed = Crawler::resume(&server, PolicyKind::Bfs.build(), &cp, config).run();
+        assert_eq!(resumed.records, 5, "nothing behind the requeued value may be lost");
+        assert_eq!(resumed.final_coverage, Some(1.0));
     }
 }

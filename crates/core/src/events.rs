@@ -1,0 +1,527 @@
+//! The cross-layer structured event bus.
+//!
+//! Every observable thing that happens during a crawl — a query planned, a
+//! page requested, a retry billed, records ingested, a checkpoint written, a
+//! breaker transition, a worker restart — is a [`CrawlEvent`]. Events are
+//! emitted exactly once, at the layer where the fact is established
+//! (executor, ingestor, checkpoint loop, fleet supervisor), and flow through
+//! an [`EventBus`] to any number of [`EventSink`]s. The first, mandatory
+//! sink is the [`crate::metrics::MetricsRegistry`]: the *single source of
+//! truth* from which [`crate::CrawlReport`], `FleetReport::health` and
+//! [`crate::CrawlTrace`] are derived, so reports can no longer drift from
+//! what actually happened. Additional sinks stream the same events elsewhere
+//! — [`JsonlSink`] writes one JSON object per line for offline analysis
+//! (`dwc crawl --events <path>`), [`MemorySink`] buffers them for tests.
+//!
+//! The JSONL encoding round-trips: [`CrawlEvent::to_json`] /
+//! [`CrawlEvent::from_json`] are inverses, and replaying a recorded stream
+//! through a fresh registry ([`crate::metrics::replay_report`]) rebuilds the
+//! exact [`crate::CrawlReport`] the crawl returned.
+
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+
+/// Why a crawl ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StopReason {
+    /// `L_to-query` is empty: every reachable candidate was issued.
+    FrontierExhausted,
+    /// The round budget was exhausted.
+    RoundBudget,
+    /// The query budget was exhausted.
+    QueryBudget,
+    /// The coverage target was reached.
+    CoverageReached,
+    /// A supervised fleet abandoned the job after its worker exceeded the
+    /// restart budget ([`crate::fleet::FleetConfig::max_restarts`]).
+    WorkerFailed,
+}
+
+impl StopReason {
+    /// Stable identifier used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::FrontierExhausted => "frontier_exhausted",
+            StopReason::RoundBudget => "round_budget",
+            StopReason::QueryBudget => "query_budget",
+            StopReason::CoverageReached => "coverage_reached",
+            StopReason::WorkerFailed => "worker_failed",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "frontier_exhausted" => StopReason::FrontierExhausted,
+            "round_budget" => StopReason::RoundBudget,
+            "query_budget" => StopReason::QueryBudget,
+            "coverage_reached" => StopReason::CoverageReached,
+            "worker_failed" => StopReason::WorkerFailed,
+            _ => return None,
+        })
+    }
+}
+
+/// A circuit breaker's position, flattened for event reporting (the
+/// cooldown countdown of [`crate::health::BreakerState::Open`] is supervisor
+/// detail, not an observable transition).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerPhase {
+    /// Healthy: slices flow normally.
+    Closed,
+    /// Tripped: the job is paused.
+    Open,
+    /// Cooled down: the next slice is a probe.
+    HalfOpen,
+}
+
+impl BreakerPhase {
+    /// Stable identifier used in the JSONL encoding.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            BreakerPhase::Closed => "closed",
+            BreakerPhase::Open => "open",
+            BreakerPhase::HalfOpen => "half_open",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Self> {
+        Some(match s {
+            "closed" => BreakerPhase::Closed,
+            "open" => BreakerPhase::Open,
+            "half_open" => BreakerPhase::HalfOpen,
+            _ => return None,
+        })
+    }
+}
+
+/// One structured fact about a crawl, emitted where it happens.
+///
+/// The taxonomy spans all layers: planner (`QueryPlanned`), executor
+/// (`PageRequested` through `QueryAborted`), ingestor (`PageFetched`
+/// carries the harvest), the driver's bookkeeping (`QueryCompleted`,
+/// `QueryRequeued`, checkpoint events, `CrawlResumed`/`CrawlFinished`) and
+/// the fleet supervisor (`BreakerTransition`, `WorkerRestarted`,
+/// `JobAbandoned`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum CrawlEvent {
+    /// The planner chose the next query: a policy-selected candidate
+    /// (`candidate = Some(value id)`) or a pending seed group (`None`).
+    QueryPlanned {
+        /// Crawler-vocabulary id of the selected candidate, if any.
+        candidate: Option<u32>,
+    },
+    /// One page request went out (successful or not): one communication
+    /// round billed (Definition 2.3).
+    PageRequested,
+    /// A page arrived intact and was ingested.
+    PageFetched {
+        /// Records returned on the page (including duplicates).
+        returned: u64,
+        /// Records new to `DB_local`.
+        new: u64,
+    },
+    /// A page request failed on a transient-class error.
+    TransientFailure {
+        /// Whether the page arrived but was truncated/garbled
+        /// ([`crate::CrawlError::CorruptPage`]).
+        corrupt: bool,
+    },
+    /// The retry schedule billed a backoff wait.
+    BackoffBilled {
+        /// Simulated rounds spent waiting.
+        rounds: u64,
+    },
+    /// A stalled request billed its wasted wait rounds.
+    StallBilled {
+        /// Simulated rounds lost to the stall.
+        rounds: u64,
+    },
+    /// The abortion heuristic cut the current query short (§3.4).
+    QueryAborted,
+    /// A query finished (pages exhausted, aborted, or given up); one trace
+    /// point is derived from the registry's counters at this instant.
+    QueryCompleted,
+    /// A query that failed entirely on transient errors was put back on the
+    /// frontier.
+    QueryRequeued {
+        /// Crawler-vocabulary id of the requeued candidate.
+        candidate: u32,
+    },
+    /// A periodic checkpoint was persisted.
+    CheckpointWritten {
+        /// Whether the previous on-disk generation was rotated to `.bak`.
+        rotated_backup: bool,
+    },
+    /// A periodic checkpoint save failed (the crawl continues; the previous
+    /// on-disk generation remains valid).
+    CheckpointFailed,
+    /// The crawl resumed from a checkpoint with these already-billed
+    /// counters. Also emitted as a snapshot when a sink attaches to a crawl
+    /// that already has history, so every stream is replayable from its
+    /// first line.
+    CrawlResumed {
+        /// Page-request rounds already billed.
+        rounds: u64,
+        /// Queries already issued.
+        queries: u64,
+        /// Records already harvested.
+        records: u64,
+    },
+    /// The crawl ended; carries the verdict a report needs.
+    CrawlFinished {
+        /// Why the crawl stopped.
+        stop: StopReason,
+        /// Final true coverage, when the target size was known.
+        coverage: Option<f64>,
+    },
+    /// A fleet job's circuit breaker moved between phases.
+    BreakerTransition {
+        /// Fleet job index.
+        job: u32,
+        /// Phase before the transition.
+        from: BreakerPhase,
+        /// Phase after the transition.
+        to: BreakerPhase,
+    },
+    /// A fleet worker was restarted from its last checkpoint after a panic.
+    WorkerRestarted {
+        /// Fleet job index.
+        job: u32,
+    },
+    /// A fleet job was abandoned after exhausting its restart budget.
+    JobAbandoned {
+        /// Fleet job index.
+        job: u32,
+    },
+}
+
+impl CrawlEvent {
+    /// Encodes the event as one JSON object (no trailing newline), e.g.
+    /// `{"event":"page_fetched","returned":10,"new":3}`.
+    pub fn to_json(&self) -> String {
+        match *self {
+            CrawlEvent::QueryPlanned { candidate } => match candidate {
+                Some(c) => format!("{{\"event\":\"query_planned\",\"candidate\":{c}}}"),
+                None => "{\"event\":\"query_planned\"}".to_string(),
+            },
+            CrawlEvent::PageRequested => "{\"event\":\"page_requested\"}".to_string(),
+            CrawlEvent::PageFetched { returned, new } => {
+                format!("{{\"event\":\"page_fetched\",\"returned\":{returned},\"new\":{new}}}")
+            }
+            CrawlEvent::TransientFailure { corrupt } => {
+                format!("{{\"event\":\"transient_failure\",\"corrupt\":{corrupt}}}")
+            }
+            CrawlEvent::BackoffBilled { rounds } => {
+                format!("{{\"event\":\"backoff_billed\",\"rounds\":{rounds}}}")
+            }
+            CrawlEvent::StallBilled { rounds } => {
+                format!("{{\"event\":\"stall_billed\",\"rounds\":{rounds}}}")
+            }
+            CrawlEvent::QueryAborted => "{\"event\":\"query_aborted\"}".to_string(),
+            CrawlEvent::QueryCompleted => "{\"event\":\"query_completed\"}".to_string(),
+            CrawlEvent::QueryRequeued { candidate } => {
+                format!("{{\"event\":\"query_requeued\",\"candidate\":{candidate}}}")
+            }
+            CrawlEvent::CheckpointWritten { rotated_backup } => {
+                format!("{{\"event\":\"checkpoint_written\",\"rotated_backup\":{rotated_backup}}}")
+            }
+            CrawlEvent::CheckpointFailed => "{\"event\":\"checkpoint_failed\"}".to_string(),
+            CrawlEvent::CrawlResumed { rounds, queries, records } => format!(
+                "{{\"event\":\"crawl_resumed\",\"rounds\":{rounds},\"queries\":{queries},\
+                 \"records\":{records}}}"
+            ),
+            CrawlEvent::CrawlFinished { stop, coverage } => match coverage {
+                Some(cov) => format!(
+                    "{{\"event\":\"crawl_finished\",\"stop\":\"{}\",\"coverage\":{cov}}}",
+                    stop.as_str()
+                ),
+                None => {
+                    format!("{{\"event\":\"crawl_finished\",\"stop\":\"{}\"}}", stop.as_str())
+                }
+            },
+            CrawlEvent::BreakerTransition { job, from, to } => format!(
+                "{{\"event\":\"breaker_transition\",\"job\":{job},\"from\":\"{}\",\"to\":\"{}\"}}",
+                from.as_str(),
+                to.as_str()
+            ),
+            CrawlEvent::WorkerRestarted { job } => {
+                format!("{{\"event\":\"worker_restarted\",\"job\":{job}}}")
+            }
+            CrawlEvent::JobAbandoned { job } => {
+                format!("{{\"event\":\"job_abandoned\",\"job\":{job}}}")
+            }
+        }
+    }
+
+    /// Decodes one JSON object produced by [`CrawlEvent::to_json`]. Returns
+    /// `None` on anything else — the parser understands exactly the flat
+    /// single-object lines this module writes, not arbitrary JSON.
+    pub fn from_json(line: &str) -> Option<Self> {
+        let kind = json_str(line, "event")?;
+        Some(match kind {
+            "query_planned" => CrawlEvent::QueryPlanned {
+                candidate: json_u64(line, "candidate").map(|c| c as u32),
+            },
+            "page_requested" => CrawlEvent::PageRequested,
+            "page_fetched" => CrawlEvent::PageFetched {
+                returned: json_u64(line, "returned")?,
+                new: json_u64(line, "new")?,
+            },
+            "transient_failure" => {
+                CrawlEvent::TransientFailure { corrupt: json_bool(line, "corrupt")? }
+            }
+            "backoff_billed" => CrawlEvent::BackoffBilled { rounds: json_u64(line, "rounds")? },
+            "stall_billed" => CrawlEvent::StallBilled { rounds: json_u64(line, "rounds")? },
+            "query_aborted" => CrawlEvent::QueryAborted,
+            "query_completed" => CrawlEvent::QueryCompleted,
+            "query_requeued" => {
+                CrawlEvent::QueryRequeued { candidate: json_u64(line, "candidate")? as u32 }
+            }
+            "checkpoint_written" => {
+                CrawlEvent::CheckpointWritten { rotated_backup: json_bool(line, "rotated_backup")? }
+            }
+            "checkpoint_failed" => CrawlEvent::CheckpointFailed,
+            "crawl_resumed" => CrawlEvent::CrawlResumed {
+                rounds: json_u64(line, "rounds")?,
+                queries: json_u64(line, "queries")?,
+                records: json_u64(line, "records")?,
+            },
+            "crawl_finished" => CrawlEvent::CrawlFinished {
+                stop: StopReason::parse(json_str(line, "stop")?)?,
+                coverage: json_f64(line, "coverage"),
+            },
+            "breaker_transition" => CrawlEvent::BreakerTransition {
+                job: json_u64(line, "job")? as u32,
+                from: BreakerPhase::parse(json_str(line, "from")?)?,
+                to: BreakerPhase::parse(json_str(line, "to")?)?,
+            },
+            "worker_restarted" => {
+                CrawlEvent::WorkerRestarted { job: json_u64(line, "job")? as u32 }
+            }
+            "job_abandoned" => CrawlEvent::JobAbandoned { job: json_u64(line, "job")? as u32 },
+            _ => return None,
+        })
+    }
+}
+
+/// Finds the raw value text after `"key":` in a flat JSON object. String
+/// values in our encoding are bare identifiers (no escapes), so scanning to
+/// the next `,`/`}`/closing quote is exact.
+fn json_raw<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let start = line.find(&needle)? + needle.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+fn json_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    json_raw(line, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+fn json_u64(line: &str, key: &str) -> Option<u64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_bool(line: &str, key: &str) -> Option<bool> {
+    json_raw(line, key)?.parse().ok()
+}
+
+fn json_f64(line: &str, key: &str) -> Option<f64> {
+    json_raw(line, key)?.parse().ok()
+}
+
+/// A consumer of crawl events. Sinks must keep up — emission is synchronous
+/// on the crawl path — and must never panic the crawl over analytics.
+pub trait EventSink: Send {
+    /// Consumes one event.
+    fn emit(&mut self, event: &CrawlEvent);
+}
+
+/// The per-crawl event bus: the metrics registry (always first, the source
+/// of truth) plus any number of streaming sinks.
+#[derive(Default)]
+pub struct EventBus {
+    metrics: crate::metrics::MetricsRegistry,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for EventBus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventBus")
+            .field("metrics", &self.metrics)
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl EventBus {
+    /// A bus with a fresh registry and no streaming sinks.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Publishes one event: records it in the registry, then forwards it to
+    /// every attached sink.
+    pub fn emit(&mut self, event: CrawlEvent) {
+        self.metrics.record(&event);
+        for sink in &mut self.sinks {
+            sink.emit(&event);
+        }
+    }
+
+    /// Attaches a streaming sink. If the crawl already has history (a
+    /// resumed or mid-flight crawl), the sink first receives a
+    /// [`CrawlEvent::CrawlResumed`] snapshot so its stream replays to the
+    /// same totals as the registry.
+    pub fn add_sink(&mut self, mut sink: Box<dyn EventSink>) {
+        if let Some(snapshot) = self.metrics.snapshot_event() {
+            sink.emit(&snapshot);
+        }
+        self.sinks.push(sink);
+    }
+
+    /// Read access to the registry — the single source of truth for every
+    /// counter a report surfaces.
+    pub fn metrics(&self) -> &crate::metrics::MetricsRegistry {
+        &self.metrics
+    }
+}
+
+/// A sink that writes one JSON line per event (the `dwc crawl --events`
+/// stream). Write errors are counted, not propagated: analytics must never
+/// kill a crawl.
+pub struct JsonlSink<W: Write + Send> {
+    writer: W,
+    write_errors: u64,
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// Wraps a writer. Consider a `BufWriter` for file targets.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, write_errors: 0 }
+    }
+
+    /// Write errors swallowed so far.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors
+    }
+}
+
+impl<W: Write + Send> EventSink for JsonlSink<W> {
+    fn emit(&mut self, event: &CrawlEvent) {
+        if writeln!(self.writer, "{}", event.to_json()).is_err() {
+            self.write_errors += 1;
+        }
+    }
+}
+
+/// A sink buffering events in a shared vector (test and tooling harnesses
+/// read the buffer after the crawl consumed the crawler).
+#[derive(Debug, Clone, Default)]
+pub struct MemorySink {
+    events: Arc<Mutex<Vec<CrawlEvent>>>,
+}
+
+impl MemorySink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A handle to the shared buffer; clones observe the same stream.
+    pub fn events(&self) -> Arc<Mutex<Vec<CrawlEvent>>> {
+        Arc::clone(&self.events)
+    }
+
+    /// Copies the buffered events out.
+    pub fn collected(&self) -> Vec<CrawlEvent> {
+        self.events.lock().expect("event buffer poisoned").clone()
+    }
+}
+
+impl EventSink for MemorySink {
+    fn emit(&mut self, event: &CrawlEvent) {
+        self.events.lock().expect("event buffer poisoned").push(*event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<CrawlEvent> {
+        vec![
+            CrawlEvent::QueryPlanned { candidate: Some(7) },
+            CrawlEvent::QueryPlanned { candidate: None },
+            CrawlEvent::PageRequested,
+            CrawlEvent::PageFetched { returned: 10, new: 3 },
+            CrawlEvent::TransientFailure { corrupt: true },
+            CrawlEvent::TransientFailure { corrupt: false },
+            CrawlEvent::BackoffBilled { rounds: 4 },
+            CrawlEvent::StallBilled { rounds: 9 },
+            CrawlEvent::QueryAborted,
+            CrawlEvent::QueryCompleted,
+            CrawlEvent::QueryRequeued { candidate: 12 },
+            CrawlEvent::CheckpointWritten { rotated_backup: true },
+            CrawlEvent::CheckpointFailed,
+            CrawlEvent::CrawlResumed { rounds: 100, queries: 5, records: 42 },
+            CrawlEvent::CrawlFinished { stop: StopReason::RoundBudget, coverage: Some(0.75) },
+            CrawlEvent::CrawlFinished { stop: StopReason::FrontierExhausted, coverage: None },
+            CrawlEvent::BreakerTransition {
+                job: 2,
+                from: BreakerPhase::HalfOpen,
+                to: BreakerPhase::Closed,
+            },
+            CrawlEvent::WorkerRestarted { job: 1 },
+            CrawlEvent::JobAbandoned { job: 0 },
+        ]
+    }
+
+    #[test]
+    fn json_roundtrips_every_variant() {
+        for ev in all_variants() {
+            let line = ev.to_json();
+            let back =
+                CrawlEvent::from_json(&line).unwrap_or_else(|| panic!("unparseable line {line:?}"));
+            assert_eq!(back, ev, "round-trip through {line:?}");
+        }
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert_eq!(CrawlEvent::from_json(""), None);
+        assert_eq!(CrawlEvent::from_json("{\"event\":\"warp_drive\"}"), None);
+        assert_eq!(CrawlEvent::from_json("{\"event\":\"page_fetched\"}"), None, "missing fields");
+        assert_eq!(CrawlEvent::from_json("not json at all"), None);
+    }
+
+    #[test]
+    fn key_lookup_is_not_fooled_by_suffix_keys() {
+        // "rounds" must not match inside another key that ends in `rounds`.
+        let line = "{\"event\":\"stall_billed\",\"xrounds\":7,\"rounds\":3}";
+        assert_eq!(CrawlEvent::from_json(line), Some(CrawlEvent::StallBilled { rounds: 3 }));
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let mut sink = JsonlSink::new(Vec::new());
+        sink.emit(&CrawlEvent::PageRequested);
+        sink.emit(&CrawlEvent::QueryCompleted);
+        assert_eq!(sink.write_errors(), 0);
+        let text = String::from_utf8(sink.writer).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(CrawlEvent::from_json(lines[0]), Some(CrawlEvent::PageRequested));
+    }
+
+    #[test]
+    fn memory_sink_shares_its_buffer() {
+        let sink = MemorySink::new();
+        let handle = sink.events();
+        let mut boxed: Box<dyn EventSink> = Box::new(sink.clone());
+        boxed.emit(&CrawlEvent::QueryAborted);
+        assert_eq!(handle.lock().unwrap().as_slice(), &[CrawlEvent::QueryAborted]);
+        assert_eq!(sink.collected(), vec![CrawlEvent::QueryAborted]);
+    }
+}

@@ -46,12 +46,17 @@
 //!   [`RetryPolicy::default`] get [`FleetConfig::default_retry`]
 //!   substituted, so a fleet never hammers a flaky source without backoff
 //!   by accident;
-//! * per-job trips, recoveries, restarts, and abandonment land in
-//!   [`FleetReport::health`].
+//! * every supervision fact — breaker phase transition, worker restart,
+//!   abandonment — is recorded as a [`CrawlEvent`] on a per-job
+//!   [`MetricsRegistry`], and [`FleetReport::health`] is *derived* from
+//!   those streams ([`MetricsRegistry::job_health`]); the supervisor keeps
+//!   no tallies of its own.
 
 use crate::config::{ConfigError, RetryPolicy};
 use crate::crawler::{CrawlConfig, CrawlReport, Crawler, StopReason};
+use crate::events::CrawlEvent;
 use crate::health::{BreakerConfig, CircuitBreaker, JobHealth};
+use crate::metrics::MetricsRegistry;
 use crate::policy::PolicyKind;
 use crate::source::DataSource;
 use std::sync::mpsc;
@@ -554,7 +559,9 @@ where
     let mut rounds_used = vec![0u64; n];
     let mut breakers: Vec<CircuitBreaker> =
         (0..n).map(|_| CircuitBreaker::new(config.breaker)).collect();
-    let mut health = vec![JobHealth::default(); n];
+    // One supervision event stream per job; `FleetReport::health` is derived
+    // from these, never tallied by hand.
+    let mut supervision: Vec<MetricsRegistry> = (0..n).map(|_| MetricsRegistry::new()).collect();
     let mut finals: Vec<Option<CrawlReport>> = (0..n).map(|_| None).collect();
     loop {
         let spent: u64 = rounds_used.iter().sum();
@@ -563,8 +570,10 @@ where
             break;
         }
         // One allocation round passes: open breakers cool toward half-open.
-        for b in &mut breakers {
-            b.tick();
+        for (i, b) in breakers.iter_mut().enumerate() {
+            if let Some((from, to)) = b.tick() {
+                supervision[i].record(&CrawlEvent::BreakerTransition { job: i as u32, from, to });
+            }
         }
         let active: Vec<usize> = (0..n).filter(|&i| !done[i] && !breakers[i].is_open()).collect();
         if active.is_empty() {
@@ -599,12 +608,12 @@ where
                 if let Some(h) = handles[r.idx].take() {
                     let _ = h.join();
                 }
-                if health[r.idx].worker_restarts >= config.max_restarts {
-                    health[r.idx].abandoned = true;
+                if supervision[r.idx].worker_restarts() >= config.max_restarts {
+                    supervision[r.idx].record(&CrawlEvent::JobAbandoned { job: r.idx as u32 });
                     done[r.idx] = true;
                     finals[r.idx] = Some(specs[r.idx].synthesize_report(StopReason::WorkerFailed));
                 } else {
-                    health[r.idx].worker_restarts += 1;
+                    supervision[r.idx].record(&CrawlEvent::WorkerRestarted { job: r.idx as u32 });
                     let resume = specs[r.idx].load_checkpoint();
                     if let Some(cp) = &resume {
                         // The checkpointed rounds stay billed; only the work
@@ -619,7 +628,13 @@ where
                 rates[r.idx] = r.recent_rate;
                 done[r.idx] |= r.exhausted;
                 rounds_used[r.idx] = rounds_used[r.idx].max(r.rounds_used);
-                breakers[r.idx].observe(r.fault_streak);
+                if let Some((from, to)) = breakers[r.idx].observe(r.fault_streak) {
+                    supervision[r.idx].record(&CrawlEvent::BreakerTransition {
+                        job: r.idx as u32,
+                        from,
+                        to,
+                    });
+                }
             }
         }
     }
@@ -638,10 +653,7 @@ where
     for h in handles.into_iter().flatten() {
         let _ = h.join();
     }
-    for (i, b) in breakers.iter().enumerate() {
-        health[i].breaker_trips = b.trips();
-        health[i].breaker_recoveries = b.recoveries();
-    }
+    let health: Vec<JobHealth> = supervision.iter().map(MetricsRegistry::job_health).collect();
     let sources: Vec<CrawlReport> = finals
         .into_iter()
         .enumerate()

@@ -13,8 +13,14 @@
 //! * **HalfOpen** — cooldown elapsed; the job gets one probe slice. A clean
 //!   slice closes the breaker (a *recovery*); more faults re-open it.
 //!
-//! Trips, recoveries, and worker restarts are tallied per job in
+//! The breaker itself keeps no tallies: [`CircuitBreaker::observe`] and
+//! [`CircuitBreaker::tick`] *return* the phase transition they caused (if
+//! any), and the supervisor records each one as a
+//! [`crate::events::CrawlEvent::BreakerTransition`] on the job's metrics
+//! registry. Trips, recoveries, and worker restarts are then derived into
 //! [`JobHealth`] and surfaced through `FleetReport`.
+
+use crate::events::BreakerPhase;
 
 /// Circuit-breaker thresholds.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,13 +52,23 @@ pub enum BreakerState {
     HalfOpen,
 }
 
-/// One job's breaker: state machine plus trip/recovery tallies.
+impl BreakerState {
+    /// The coarse phase of this state, as carried by breaker events.
+    pub fn phase(self) -> BreakerPhase {
+        match self {
+            BreakerState::Closed => BreakerPhase::Closed,
+            BreakerState::Open { .. } => BreakerPhase::Open,
+            BreakerState::HalfOpen => BreakerPhase::HalfOpen,
+        }
+    }
+}
+
+/// One job's breaker: a pure state machine whose methods return the phase
+/// transitions they cause (the caller records them as events).
 #[derive(Debug, Clone)]
 pub struct CircuitBreaker {
     config: BreakerConfig,
     state: BreakerState,
-    trips: u64,
-    recoveries: u64,
 }
 
 impl Default for CircuitBreaker {
@@ -64,7 +80,7 @@ impl Default for CircuitBreaker {
 impl CircuitBreaker {
     /// A closed breaker with the given thresholds.
     pub fn new(config: BreakerConfig) -> Self {
-        CircuitBreaker { config, state: BreakerState::Closed, trips: 0, recoveries: 0 }
+        CircuitBreaker { config, state: BreakerState::Closed }
     }
 
     /// Current state.
@@ -77,51 +93,48 @@ impl CircuitBreaker {
         matches!(self.state, BreakerState::Open { .. })
     }
 
-    /// Times the breaker tripped open.
-    pub fn trips(&self) -> u64 {
-        self.trips
-    }
-
-    /// Times a half-open probe came back clean and the breaker re-closed.
-    pub fn recoveries(&self) -> u64 {
-        self.recoveries
-    }
-
     /// Feeds the worker-reported consecutive-failure streak at a slice
-    /// boundary into the state machine.
-    pub fn observe(&mut self, fault_streak: u32) {
+    /// boundary into the state machine. Returns the `(from, to)` phase
+    /// transition when the observation changed phase: a trip
+    /// (`… → Open`) or a clean-probe recovery (`HalfOpen → Closed`).
+    pub fn observe(&mut self, fault_streak: u32) -> Option<(BreakerPhase, BreakerPhase)> {
         match self.state {
             BreakerState::Closed => {
                 if fault_streak >= self.config.trip_after {
-                    self.trip();
+                    return Some(self.trip());
                 }
+                None
             }
             BreakerState::HalfOpen => {
                 if fault_streak == 0 {
                     self.state = BreakerState::Closed;
-                    self.recoveries += 1;
+                    Some((BreakerPhase::HalfOpen, BreakerPhase::Closed))
                 } else {
-                    self.trip();
+                    Some(self.trip())
                 }
             }
             // An open job receives no slices; a stale report changes nothing.
-            BreakerState::Open { .. } => {}
+            BreakerState::Open { .. } => None,
         }
     }
 
     /// Advances one allocation round: open breakers cool toward half-open.
-    pub fn tick(&mut self) {
+    /// Returns `(Open, HalfOpen)` on the round the cooldown elapses.
+    pub fn tick(&mut self) -> Option<(BreakerPhase, BreakerPhase)> {
         if let BreakerState::Open { remaining } = &mut self.state {
             *remaining = remaining.saturating_sub(1);
             if *remaining == 0 {
                 self.state = BreakerState::HalfOpen;
+                return Some((BreakerPhase::Open, BreakerPhase::HalfOpen));
             }
         }
+        None
     }
 
-    fn trip(&mut self) {
-        self.trips += 1;
+    fn trip(&mut self) -> (BreakerPhase, BreakerPhase) {
+        let from = self.state.phase();
         self.state = BreakerState::Open { remaining: self.config.cooldown.max(1) };
+        (from, BreakerPhase::Open)
     }
 }
 
@@ -145,47 +158,49 @@ mod tests {
     #[test]
     fn closed_breaker_ignores_small_streaks() {
         let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 3, cooldown: 2 });
-        b.observe(0);
-        b.observe(2);
+        assert_eq!(b.observe(0), None);
+        assert_eq!(b.observe(2), None);
         assert_eq!(b.state(), BreakerState::Closed);
-        assert_eq!(b.trips(), 0);
     }
 
     #[test]
     fn full_trip_cooldown_probe_recovery_cycle() {
         let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 3, cooldown: 2 });
-        b.observe(3);
+        assert_eq!(b.observe(3), Some((BreakerPhase::Closed, BreakerPhase::Open)));
         assert!(b.is_open());
-        assert_eq!(b.trips(), 1);
-        b.tick();
-        assert!(b.is_open(), "cooldown not yet elapsed");
-        b.tick();
+        assert_eq!(b.tick(), None, "cooldown not yet elapsed");
+        assert!(b.is_open());
+        assert_eq!(b.tick(), Some((BreakerPhase::Open, BreakerPhase::HalfOpen)));
         assert_eq!(b.state(), BreakerState::HalfOpen);
-        b.observe(0);
-        assert_eq!(b.state(), BreakerState::Closed, "clean probe closes");
-        assert_eq!(b.recoveries(), 1);
+        assert_eq!(
+            b.observe(0),
+            Some((BreakerPhase::HalfOpen, BreakerPhase::Closed)),
+            "clean probe closes"
+        );
+        assert_eq!(b.state(), BreakerState::Closed);
     }
 
     #[test]
     fn dirty_probe_reopens() {
         let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 2, cooldown: 1 });
-        b.observe(2);
+        assert_eq!(b.observe(2), Some((BreakerPhase::Closed, BreakerPhase::Open)));
         b.tick();
         assert_eq!(b.state(), BreakerState::HalfOpen);
-        b.observe(1);
-        assert!(b.is_open(), "any fault during the probe re-opens");
-        assert_eq!(b.trips(), 2);
-        assert_eq!(b.recoveries(), 0);
+        assert_eq!(
+            b.observe(1),
+            Some((BreakerPhase::HalfOpen, BreakerPhase::Open)),
+            "any fault during the probe re-opens"
+        );
+        assert!(b.is_open());
     }
 
     #[test]
     fn observations_while_open_change_nothing() {
         let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 1, cooldown: 3 });
-        b.observe(1);
+        assert!(b.observe(1).is_some());
         let state = b.state();
-        b.observe(5);
+        assert_eq!(b.observe(5), None);
         assert_eq!(b.state(), state);
-        assert_eq!(b.trips(), 1);
     }
 
     #[test]
@@ -193,7 +208,7 @@ mod tests {
         let mut b = CircuitBreaker::new(BreakerConfig { trip_after: 1, cooldown: 0 });
         b.observe(1);
         assert_eq!(b.state(), BreakerState::Open { remaining: 1 });
-        b.tick();
+        assert_eq!(b.tick(), Some((BreakerPhase::Open, BreakerPhase::HalfOpen)));
         assert_eq!(b.state(), BreakerState::HalfOpen);
     }
 }

@@ -39,14 +39,17 @@ pub mod checkpoint;
 pub mod config;
 pub mod crawler;
 pub mod domain_table;
+pub mod events;
 pub mod extract;
 pub mod fault;
 pub mod fleet;
 pub mod health;
 pub mod local;
+pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod source;
+pub mod stage;
 pub mod state;
 pub mod store;
 pub mod trace;
@@ -54,14 +57,17 @@ pub mod trace;
 pub use abort::AbortPolicy;
 pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, RetryPolicy};
-pub use crawler::{CrawlConfig, CrawlReport, Crawler, ProberMode, QueryMode};
+pub use crawler::{CrawlConfig, CrawlReport, Crawler, ProberMode, QueryMode, StopReason};
 pub use domain_table::DomainTable;
+pub use events::{BreakerPhase, CrawlEvent, EventBus, EventSink, JsonlSink, MemorySink};
 pub use fault::{FaultKind, FaultPlan, FaultPlanSource, FaultTally};
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker, JobHealth};
 pub use local::LocalDb;
+pub use metrics::{replay_report, MetricsRegistry};
 pub use policy::{PolicyKind, SelectionPolicy};
 pub use report::CrawlSummary;
 pub use source::{CrawlError, DataSource, FaultySource};
+pub use stage::{Executor, Ingestor, Planner};
 pub use state::{CandStatus, CrawlState, QueryOutcome};
-pub use store::{CheckpointStore, StoreError};
+pub use store::{CheckpointStore, SaveReceipt, StoreError};
 pub use trace::{CrawlTrace, TraceError};

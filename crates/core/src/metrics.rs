@@ -1,0 +1,389 @@
+//! The metrics registry: the single source of truth behind every report.
+//!
+//! A [`MetricsRegistry`] is an [`EventSink`](crate::events::EventSink) that
+//! folds the [`CrawlEvent`] stream into counters, the
+//! [`CrawlTrace`], and the final verdict. Nothing else in the engine keeps
+//! tallies: [`CrawlReport`], `FleetReport::health` and the trace are all
+//! *derived* from a registry, so a figure in a report is — by construction —
+//! a fold over events that actually happened. [`replay_report`] runs the
+//! same fold over a recorded stream (e.g. a `dwc crawl --events` JSONL
+//! file), rebuilding the exact report the original crawl returned.
+
+use crate::events::{BreakerPhase, CrawlEvent, EventSink, StopReason};
+use crate::trace::{CrawlTrace, TracePoint};
+
+/// Summary of a finished crawl.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrawlReport {
+    /// Queries issued.
+    pub queries: u64,
+    /// Page requests issued (including failed attempts). Matches the
+    /// source-side request count attributable to this crawler.
+    pub rounds: u64,
+    /// Simulated rounds spent waiting in retry backoff.
+    pub backoff_rounds: u64,
+    /// Simulated rounds lost to source-side latency stalls.
+    pub stall_rounds: u64,
+    /// Records harvested into `DB_local`.
+    pub records: u64,
+    /// Queries cut short by the abortion heuristics.
+    pub aborted_queries: u64,
+    /// Transient failures encountered (and retried).
+    pub transient_failures: u64,
+    /// Pages that arrived truncated or otherwise corrupt (subset of
+    /// `transient_failures`).
+    pub corrupt_pages: u64,
+    /// Attempts put back on the frontier after failing entirely on
+    /// transient-class errors.
+    pub requeued_queries: u64,
+    /// Periodic checkpoints persisted during the crawl.
+    pub checkpoints_written: u64,
+    /// Periodic checkpoint saves that failed (the crawl continues; the
+    /// previous on-disk generation remains valid).
+    pub checkpoint_failures: u64,
+    /// Why the crawl stopped.
+    pub stop: StopReason,
+    /// Per-query progress trace.
+    pub trace: CrawlTrace,
+    /// Final true coverage, when the target size was known.
+    pub final_coverage: Option<f64>,
+}
+
+impl CrawlReport {
+    /// Total rounds billed against budgets: requests plus backoff waits
+    /// plus stall waits.
+    pub fn elapsed_rounds(&self) -> u64 {
+        self.rounds + self.backoff_rounds + self.stall_rounds
+    }
+}
+
+/// Folds a [`CrawlEvent`] stream into every figure a report surfaces.
+///
+/// One registry backs one crawl (or, fleet-side, one job's supervision
+/// stream). It is `Clone` so supervisors can snapshot it across worker
+/// restarts.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    rounds: u64,
+    backoff_rounds: u64,
+    stall_rounds: u64,
+    queries: u64,
+    records: u64,
+    aborted_queries: u64,
+    transient_failures: u64,
+    corrupt_pages: u64,
+    requeued_queries: u64,
+    checkpoints_written: u64,
+    checkpoint_failures: u64,
+    fault_streak: u32,
+    breaker_trips: u64,
+    breaker_recoveries: u64,
+    worker_restarts: u32,
+    abandoned: bool,
+    trace: CrawlTrace,
+    stop: Option<StopReason>,
+    final_coverage: Option<f64>,
+}
+
+impl MetricsRegistry {
+    /// A registry with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one event into the registry. This is the *only* place any
+    /// crawl counter changes.
+    pub fn record(&mut self, event: &CrawlEvent) {
+        match *event {
+            CrawlEvent::QueryPlanned { .. } => {}
+            CrawlEvent::PageRequested => self.rounds += 1,
+            CrawlEvent::PageFetched { new, .. } => {
+                self.records += new;
+                self.fault_streak = 0;
+            }
+            CrawlEvent::TransientFailure { corrupt } => {
+                self.transient_failures += 1;
+                self.corrupt_pages += u64::from(corrupt);
+                self.fault_streak = self.fault_streak.saturating_add(1);
+            }
+            CrawlEvent::BackoffBilled { rounds } => self.backoff_rounds += rounds,
+            CrawlEvent::StallBilled { rounds } => self.stall_rounds += rounds,
+            CrawlEvent::QueryAborted => self.aborted_queries += 1,
+            CrawlEvent::QueryCompleted => {
+                self.queries += 1;
+                self.trace.push(TracePoint {
+                    rounds: self.rounds,
+                    queries: self.queries,
+                    records: self.records,
+                });
+            }
+            CrawlEvent::QueryRequeued { .. } => self.requeued_queries += 1,
+            CrawlEvent::CheckpointWritten { .. } => self.checkpoints_written += 1,
+            CrawlEvent::CheckpointFailed => self.checkpoint_failures += 1,
+            CrawlEvent::CrawlResumed { rounds, queries, records } => {
+                self.rounds = rounds;
+                self.queries = queries;
+                self.records = records;
+                self.trace.push(TracePoint { rounds, queries, records });
+            }
+            CrawlEvent::CrawlFinished { stop, coverage } => {
+                self.stop = Some(stop);
+                self.final_coverage = coverage;
+            }
+            CrawlEvent::BreakerTransition { from, to, .. } => {
+                if to == BreakerPhase::Open {
+                    self.breaker_trips += 1;
+                }
+                if from == BreakerPhase::HalfOpen && to == BreakerPhase::Closed {
+                    self.breaker_recoveries += 1;
+                }
+            }
+            CrawlEvent::WorkerRestarted { .. } => {
+                self.worker_restarts = self.worker_restarts.saturating_add(1);
+            }
+            CrawlEvent::JobAbandoned { .. } => self.abandoned = true,
+        }
+    }
+
+    /// Page requests billed so far (including failed attempts).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// Simulated rounds spent waiting in retry backoff so far.
+    pub fn backoff_rounds(&self) -> u64 {
+        self.backoff_rounds
+    }
+
+    /// Simulated rounds lost to source-side latency stalls so far.
+    pub fn stall_rounds(&self) -> u64 {
+        self.stall_rounds
+    }
+
+    /// Rounds billed against budgets: requests plus backoff waits plus
+    /// stall waits (Definition 2.3 bills time, not just served pages).
+    pub fn elapsed_rounds(&self) -> u64 {
+        self.rounds + self.backoff_rounds + self.stall_rounds
+    }
+
+    /// Queries completed so far.
+    pub fn queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Records harvested so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Consecutive transient-class failures since the last intact page.
+    /// Supervisors sample this at slice boundaries to drive per-source
+    /// circuit breakers.
+    pub fn fault_streak(&self) -> u32 {
+        self.fault_streak
+    }
+
+    /// Periodic checkpoints persisted so far.
+    pub fn checkpoints_written(&self) -> u64 {
+        self.checkpoints_written
+    }
+
+    /// Worker restarts observed so far (fleet supervision stream).
+    pub fn worker_restarts(&self) -> u32 {
+        self.worker_restarts
+    }
+
+    /// The per-query progress trace.
+    pub fn trace(&self) -> &CrawlTrace {
+        &self.trace
+    }
+
+    /// A [`CrawlEvent::CrawlResumed`] snapshot carrying this registry's
+    /// resumable counters, or `None` when nothing has happened yet. Sinks
+    /// attached mid-crawl receive this first so their streams replay to the
+    /// same totals.
+    pub fn snapshot_event(&self) -> Option<CrawlEvent> {
+        if self.rounds == 0 && self.queries == 0 && self.records == 0 {
+            return None;
+        }
+        Some(CrawlEvent::CrawlResumed {
+            rounds: self.rounds,
+            queries: self.queries,
+            records: self.records,
+        })
+    }
+
+    /// Derives the final [`CrawlReport`]. `None` until a
+    /// [`CrawlEvent::CrawlFinished`] has been recorded — a report needs a
+    /// verdict.
+    pub fn report(&self) -> Option<CrawlReport> {
+        Some(CrawlReport {
+            queries: self.queries,
+            rounds: self.rounds,
+            backoff_rounds: self.backoff_rounds,
+            stall_rounds: self.stall_rounds,
+            records: self.records,
+            aborted_queries: self.aborted_queries,
+            transient_failures: self.transient_failures,
+            corrupt_pages: self.corrupt_pages,
+            requeued_queries: self.requeued_queries,
+            checkpoints_written: self.checkpoints_written,
+            checkpoint_failures: self.checkpoint_failures,
+            stop: self.stop?,
+            trace: self.trace.clone(),
+            final_coverage: self.final_coverage,
+        })
+    }
+
+    /// Derives a fleet job's [`crate::health::JobHealth`] from the
+    /// supervision events recorded here.
+    pub fn job_health(&self) -> crate::health::JobHealth {
+        crate::health::JobHealth {
+            breaker_trips: self.breaker_trips,
+            breaker_recoveries: self.breaker_recoveries,
+            worker_restarts: self.worker_restarts,
+            abandoned: self.abandoned,
+        }
+    }
+}
+
+impl EventSink for MetricsRegistry {
+    fn emit(&mut self, event: &CrawlEvent) {
+        self.record(event);
+    }
+}
+
+/// Replays a recorded event stream through a fresh registry and derives the
+/// report. Returns `None` when the stream has no
+/// [`CrawlEvent::CrawlFinished`] (an unfinished or truncated stream).
+///
+/// For any stream recorded by a sink attached before the crawl's first
+/// event, the result is identical to the report the crawl itself returned.
+pub fn replay_report<'a, I: IntoIterator<Item = &'a CrawlEvent>>(events: I) -> Option<CrawlReport> {
+    let mut registry = MetricsRegistry::new();
+    for event in events {
+        registry.record(event);
+    }
+    registry.report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_folds_the_cost_model() {
+        let mut m = MetricsRegistry::new();
+        for ev in [
+            CrawlEvent::PageRequested,
+            CrawlEvent::TransientFailure { corrupt: false },
+            CrawlEvent::BackoffBilled { rounds: 2 },
+            CrawlEvent::PageRequested,
+            CrawlEvent::TransientFailure { corrupt: true },
+            CrawlEvent::StallBilled { rounds: 5 },
+            CrawlEvent::PageRequested,
+            CrawlEvent::PageFetched { returned: 10, new: 7 },
+            CrawlEvent::QueryCompleted,
+        ] {
+            m.record(&ev);
+        }
+        assert_eq!(m.rounds(), 3);
+        assert_eq!(m.backoff_rounds(), 2);
+        assert_eq!(m.stall_rounds(), 5);
+        assert_eq!(m.elapsed_rounds(), 10);
+        assert_eq!(m.records(), 7);
+        assert_eq!(m.queries(), 1);
+        assert_eq!(m.fault_streak(), 0, "an intact page resets the streak");
+        let r = m.report();
+        assert!(r.is_none(), "no CrawlFinished yet");
+        m.record(&CrawlEvent::CrawlFinished {
+            stop: StopReason::FrontierExhausted,
+            coverage: Some(1.0),
+        });
+        let r = m.report().unwrap();
+        assert_eq!(r.transient_failures, 2);
+        assert_eq!(r.corrupt_pages, 1);
+        assert_eq!(r.elapsed_rounds(), 10);
+        assert_eq!(r.trace.points(), &[TracePoint { rounds: 3, queries: 1, records: 7 }]);
+    }
+
+    #[test]
+    fn fault_streak_counts_consecutive_failures() {
+        let mut m = MetricsRegistry::new();
+        m.record(&CrawlEvent::TransientFailure { corrupt: false });
+        m.record(&CrawlEvent::TransientFailure { corrupt: false });
+        assert_eq!(m.fault_streak(), 2);
+        m.record(&CrawlEvent::PageFetched { returned: 1, new: 1 });
+        assert_eq!(m.fault_streak(), 0);
+    }
+
+    #[test]
+    fn resume_seeds_counters_and_trace() {
+        let mut m = MetricsRegistry::new();
+        m.record(&CrawlEvent::CrawlResumed { rounds: 40, queries: 3, records: 25 });
+        assert_eq!(m.rounds(), 40);
+        assert_eq!(m.queries(), 3);
+        assert_eq!(m.records(), 25);
+        assert_eq!(m.trace().points().len(), 1, "resume contributes the initial trace point");
+        assert_eq!(
+            m.snapshot_event(),
+            Some(CrawlEvent::CrawlResumed { rounds: 40, queries: 3, records: 25 })
+        );
+        assert_eq!(MetricsRegistry::new().snapshot_event(), None);
+    }
+
+    #[test]
+    fn breaker_transitions_fold_into_job_health() {
+        let mut m = MetricsRegistry::new();
+        let trip = CrawlEvent::BreakerTransition {
+            job: 0,
+            from: BreakerPhase::Closed,
+            to: BreakerPhase::Open,
+        };
+        let probe = CrawlEvent::BreakerTransition {
+            job: 0,
+            from: BreakerPhase::Open,
+            to: BreakerPhase::HalfOpen,
+        };
+        let recover = CrawlEvent::BreakerTransition {
+            job: 0,
+            from: BreakerPhase::HalfOpen,
+            to: BreakerPhase::Closed,
+        };
+        let retrip = CrawlEvent::BreakerTransition {
+            job: 0,
+            from: BreakerPhase::HalfOpen,
+            to: BreakerPhase::Open,
+        };
+        for ev in
+            [trip, probe, recover, trip, probe, retrip, CrawlEvent::WorkerRestarted { job: 0 }]
+        {
+            m.record(&ev);
+        }
+        let h = m.job_health();
+        assert_eq!(h.breaker_trips, 3, "every entry into Open is a trip");
+        assert_eq!(h.breaker_recoveries, 1, "only HalfOpen→Closed recovers");
+        assert_eq!(h.worker_restarts, 1);
+        assert!(!h.abandoned);
+        m.record(&CrawlEvent::JobAbandoned { job: 0 });
+        assert!(m.job_health().abandoned);
+    }
+
+    #[test]
+    fn replay_is_a_pure_fold() {
+        let events = vec![
+            CrawlEvent::CrawlResumed { rounds: 10, queries: 1, records: 4 },
+            CrawlEvent::PageRequested,
+            CrawlEvent::PageFetched { returned: 3, new: 2 },
+            CrawlEvent::QueryCompleted,
+            CrawlEvent::CrawlFinished { stop: StopReason::RoundBudget, coverage: None },
+        ];
+        let a = replay_report(&events).unwrap();
+        let b = replay_report(&events).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.rounds, 11);
+        assert_eq!(a.records, 6);
+        assert_eq!(a.stop, StopReason::RoundBudget);
+        assert_eq!(replay_report(&events[..4]), None, "truncated stream has no verdict");
+    }
+}

@@ -1,0 +1,256 @@
+//! Executor stage: pagination, transient-failure retries, per-query
+//! abortion, and round billing.
+//!
+//! Every page request — including failed ones — costs one communication
+//! round (Definition 2.3); retry backoff waits and latency stalls are billed
+//! additionally as simulated rounds. The executor holds no counters of its
+//! own: each billable fact is emitted as a [`CrawlEvent`] and the bus's
+//! [`crate::metrics::MetricsRegistry`] does the arithmetic (including the
+//! elapsed-rounds budget the executor itself consults mid-query).
+
+use crate::abort::{AbortPolicy, AbortState};
+use crate::config::{CrawlConfig, RetryPolicy};
+use crate::events::{CrawlEvent, EventBus};
+use crate::source::{CrawlError, DataSource, ProberMode};
+use crate::stage::ingestor::Ingestor;
+use crate::state::{CrawlState, QueryOutcome};
+use dwc_model::ValueId;
+use dwc_server::Query;
+
+/// What one executed query produced.
+#[derive(Debug)]
+pub struct ExecResult {
+    /// The query's outcome (pages, new records, abortion, failure class).
+    pub outcome: QueryOutcome,
+    /// Values promoted to the frontier by this query's records, in
+    /// decomposition order — the driver announces them to the policy.
+    pub newly_discovered: Vec<ValueId>,
+}
+
+/// Outcome of one page fetch (after retries).
+enum PageFetch {
+    /// The page arrived intact.
+    Page(crate::extract::ExtractedPage),
+    /// The fetch was abandoned; `transient` says whether the final error was
+    /// transient-class (retry exhaustion / budget) rather than fatal.
+    GaveUp { transient: bool },
+}
+
+/// The execute stage: runs one query against the source until pagination
+/// ends, the abortion heuristic fires, or a budget is hit.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    abort: AbortPolicy,
+    retry: RetryPolicy,
+    prober: ProberMode,
+    max_rounds: Option<u64>,
+}
+
+impl Executor {
+    /// An executor applying `config`'s abort, retry, prober, and
+    /// round-budget settings.
+    pub fn from_config(config: &CrawlConfig) -> Self {
+        Executor {
+            abort: config.abort.clone(),
+            retry: config.retry,
+            prober: config.prober,
+            max_rounds: config.max_rounds,
+        }
+    }
+
+    /// Fetches pages of one query until pagination ends, the abortion
+    /// heuristic fires, or the round budget is hit. `local_before` is the
+    /// number of matching records already held (`num(q, DB_local)` at query
+    /// start). Records are handed to the `ingestor` as they arrive; billing
+    /// flows through the `bus`.
+    pub fn run<S: DataSource>(
+        &self,
+        source: &S,
+        query: &Query,
+        local_before: u64,
+        state: &mut CrawlState,
+        ingestor: &mut Ingestor,
+        bus: &mut EventBus,
+    ) -> ExecResult {
+        let mut outcome = QueryOutcome::default();
+        let mut abort_state = AbortState::new(self.abort.clone(), state.page_size, local_before);
+        let mut touched: Vec<ValueId> = Vec::new();
+        let mut newly_discovered: Vec<ValueId> = Vec::new();
+        let mut page_index = 0usize;
+        let mut gave_up_transient = false;
+        loop {
+            if let Some(max) = self.max_rounds {
+                if bus.metrics().elapsed_rounds() >= max {
+                    break;
+                }
+            }
+            let page = match self.fetch_page_with_retries(source, query, page_index, bus) {
+                PageFetch::Page(page) => page,
+                PageFetch::GaveUp { transient } => {
+                    gave_up_transient = transient;
+                    break;
+                }
+            };
+            outcome.pages += 1;
+            if page.total_matches.is_some() {
+                outcome.reported_total = page.total_matches;
+            }
+            let returned = page.records.len() as u64;
+            let mut new_in_page = 0u64;
+            for rec in &page.records {
+                if ingestor.ingest_record(state, rec, &mut touched, &mut newly_discovered) {
+                    new_in_page += 1;
+                }
+            }
+            bus.emit(CrawlEvent::PageFetched { returned, new: new_in_page });
+            outcome.returned_records += returned;
+            outcome.new_records += new_in_page;
+            abort_state.observe_page(page.total_matches, returned, new_in_page);
+            if !page.has_more {
+                break;
+            }
+            if abort_state.should_abort() {
+                outcome.aborted = true;
+                bus.emit(CrawlEvent::QueryAborted);
+                break;
+            }
+            page_index += 1;
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        outcome.touched_values = touched;
+        outcome.failed_transient = outcome.pages == 0 && gave_up_transient;
+        ExecResult { outcome, newly_discovered }
+    }
+
+    /// One page request with transient-failure retries. Every attempt emits
+    /// a `PageRequested` round; every wait between attempts emits
+    /// `BackoffBilled` rounds per the [`RetryPolicy`] schedule, and latency
+    /// stalls emit their wasted rounds as `StallBilled` instead (a stall is
+    /// its own wait — no extra backoff is layered on top). Fatal errors,
+    /// retry exhaustion, and running out of round budget mid-backoff end the
+    /// query.
+    fn fetch_page_with_retries<S: DataSource>(
+        &self,
+        source: &S,
+        query: &Query,
+        page_index: usize,
+        bus: &mut EventBus,
+    ) -> PageFetch {
+        let mut attempt = 0u32;
+        loop {
+            bus.emit(CrawlEvent::PageRequested);
+            let err = match source.query_page(query, page_index, self.prober) {
+                Ok(page) => return PageFetch::Page(page),
+                Err(e) => e,
+            };
+            if !err.is_transient() {
+                return PageFetch::GaveUp { transient: false };
+            }
+            bus.emit(CrawlEvent::TransientFailure {
+                corrupt: matches!(err, CrawlError::CorruptPage),
+            });
+            if let CrawlError::Stalled { wasted_rounds } = err {
+                bus.emit(CrawlEvent::StallBilled { rounds: wasted_rounds });
+            }
+            attempt += 1;
+            if attempt > self.retry.max_retries {
+                return PageFetch::GaveUp { transient: true };
+            }
+            if !matches!(err, CrawlError::Stalled { .. }) {
+                let wait = self.retry.backoff_before(attempt);
+                if wait > 0 {
+                    bus.emit(CrawlEvent::BackoffBilled { rounds: wait });
+                }
+            }
+            if let Some(max) = self.max_rounds {
+                if bus.metrics().elapsed_rounds() >= max {
+                    return PageFetch::GaveUp { transient: true };
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_model::fixtures::figure1_table;
+    use dwc_server::{FaultPolicy, InterfaceSpec, WebDbServer};
+
+    fn state_for(server: &WebDbServer) -> CrawlState {
+        let iface = server.interface();
+        let names = iface.attr_names.clone();
+        let queriable: Vec<bool> =
+            (0..names.len()).map(|i| iface.is_queriable(dwc_model::AttrId(i as u16))).collect();
+        CrawlState::new(names, queriable, iface.page_size)
+    }
+
+    fn a2_query() -> Query {
+        Query::ByString { attr: "A".into(), value: "a2".into() }
+    }
+
+    #[test]
+    fn run_pages_through_and_bills_rounds() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 1);
+        let server = WebDbServer::new(t, spec);
+        let mut state = state_for(&server);
+        let mut ingestor = Ingestor::new(false);
+        let mut bus = EventBus::new();
+        let exec = Executor::from_config(&CrawlConfig::default());
+        let result = exec.run(&server, &a2_query(), 0, &mut state, &mut ingestor, &mut bus);
+        // a2 matches 3 records at page size 1 → 3 pages, 3 rounds.
+        assert_eq!(result.outcome.pages, 3);
+        assert_eq!(result.outcome.new_records, 3);
+        assert_eq!(bus.metrics().rounds(), 3);
+        assert_eq!(bus.metrics().records(), 3);
+        assert!(!result.newly_discovered.is_empty(), "decomposition feeds the frontier");
+    }
+
+    #[test]
+    fn round_budget_stops_mid_query() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 1);
+        let server = WebDbServer::new(t, spec);
+        let mut state = state_for(&server);
+        let mut ingestor = Ingestor::new(false);
+        let mut bus = EventBus::new();
+        let config = CrawlConfig::builder().max_rounds(2).build().unwrap();
+        let exec = Executor::from_config(&config);
+        let result = exec.run(&server, &a2_query(), 0, &mut state, &mut ingestor, &mut bus);
+        assert_eq!(bus.metrics().rounds(), 2, "budget cuts pagination short");
+        assert_eq!(result.outcome.pages, 2);
+    }
+
+    #[test]
+    fn total_transient_failure_is_flagged_for_requeue() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let server = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(1));
+        let mut state = state_for(&server);
+        let mut ingestor = Ingestor::new(false);
+        let mut bus = EventBus::new();
+        let exec = Executor::from_config(&CrawlConfig::default());
+        let result = exec.run(&server, &a2_query(), 0, &mut state, &mut ingestor, &mut bus);
+        assert!(result.outcome.failed_transient, "zero pages + transient error");
+        assert_eq!(result.outcome.pages, 0);
+        assert!(bus.metrics().fault_streak() > 0, "the streak survives for supervisors");
+    }
+
+    #[test]
+    fn retries_emit_backoff_and_recover() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let server = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(1).up_to(2));
+        let mut state = state_for(&server);
+        let mut ingestor = Ingestor::new(false);
+        let mut bus = EventBus::new();
+        let config = CrawlConfig::builder().max_retries(3).build().unwrap();
+        let exec = Executor::from_config(&config);
+        let result = exec.run(&server, &a2_query(), 0, &mut state, &mut ingestor, &mut bus);
+        assert_eq!(result.outcome.new_records, 3, "retries must not lose the page");
+        assert!(bus.metrics().backoff_rounds() > 0, "waits between attempts are billed");
+        assert_eq!(bus.metrics().fault_streak(), 0, "an intact page resets the streak");
+    }
+}

@@ -1,0 +1,373 @@
+//! Ingestor stage: record extraction into `DB_local`, frontier discovery,
+//! and the incremental co-occurrence index behind conjunctive partners.
+//!
+//! This is the "harvest and decompose" half of the paper's loop (§2.5):
+//! every record returned by a query is inserted into the local database and
+//! decomposed into attribute values, which become candidates for future
+//! queries. In conjunctive mode the ingestor additionally maintains a
+//! per-value co-occurrence count so partner selection is an index lookup,
+//! not a scan over every harvested record per query.
+
+use crate::extract::ExtractedRecord;
+use crate::state::{CandStatus, CrawlState};
+use dwc_model::ValueId;
+use std::collections::HashMap;
+
+/// Incrementally maintained co-occurrence counts between values of
+/// *different* attributes.
+///
+/// `counts[v][w]` is the number of harvested records containing both `v` and
+/// `w` (each record counted once; values within a record are deduplicated,
+/// matching [`crate::local::LocalDb`]'s stored form). Same-attribute pairs
+/// are never recorded — conjunctive partners must come from other attributes.
+#[derive(Debug, Default)]
+pub struct CoOccurrenceIndex {
+    enabled: bool,
+    counts: HashMap<ValueId, HashMap<ValueId, u32>>,
+}
+
+impl CoOccurrenceIndex {
+    /// An index that tracks pairs only when `enabled` (conjunctive mode);
+    /// a disabled index costs nothing per ingested record.
+    pub fn new(enabled: bool) -> Self {
+        CoOccurrenceIndex { enabled, counts: HashMap::new() }
+    }
+
+    /// Whether the index records pairs at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one harvested record's cross-attribute pairs. `values` must
+    /// be sorted and deduplicated (the form [`crate::local::LocalDb`] stores).
+    pub fn observe_record(&mut self, state: &CrawlState, values: &[ValueId]) {
+        if !self.enabled {
+            return;
+        }
+        for (i, &a) in values.iter().enumerate() {
+            let attr_a = state.vocab.attr_of(a);
+            for &b in &values[i + 1..] {
+                if state.vocab.attr_of(b) == attr_a {
+                    continue;
+                }
+                *self.counts.entry(a).or_default().entry(b).or_insert(0) += 1;
+                *self.counts.entry(b).or_default().entry(a).or_insert(0) += 1;
+            }
+        }
+    }
+
+    /// Rebuilds the index from every record already in `DB_local` (the
+    /// resume path: checkpoints persist records, not derived indexes).
+    pub fn rebuild(&mut self, state: &CrawlState) {
+        self.counts.clear();
+        if !self.enabled {
+            return;
+        }
+        for rec in state.local.records() {
+            self.observe_record(state, rec);
+        }
+    }
+
+    /// How many records contain both `v` and `w` (zero when never seen
+    /// together, or when they share an attribute).
+    pub fn count(&self, v: ValueId, w: ValueId) -> u32 {
+        self.counts.get(&v).and_then(|m| m.get(&w)).copied().unwrap_or(0)
+    }
+
+    /// The locally most co-occurring partner values of `v`, one per distinct
+    /// attribute other than `v`'s (and each other's). Partners make the
+    /// conjunction as unrestrictive as local knowledge allows — a popular
+    /// co-value keeps the intersection large. Equivalent to
+    /// [`best_partners_by_scan`] but served from the incremental index.
+    pub fn best_partners(
+        &self,
+        state: &CrawlState,
+        v: ValueId,
+        want: usize,
+    ) -> Vec<(String, String)> {
+        if want == 0 {
+            return Vec::new();
+        }
+        let ranked: Vec<(ValueId, u32)> = self
+            .counts
+            .get(&v)
+            .map(|m| m.iter().map(|(&w, &c)| (w, c)).collect())
+            .unwrap_or_default();
+        rank_partners(state, v, ranked, want)
+    }
+}
+
+/// Shared ranking tail of partner selection: order by co-occurrence count
+/// (ties by id for determinism), take one per distinct attribute.
+fn rank_partners(
+    state: &CrawlState,
+    v: ValueId,
+    mut ranked: Vec<(ValueId, u32)>,
+    want: usize,
+) -> Vec<(String, String)> {
+    ranked.sort_by_key(|&(w, c)| (std::cmp::Reverse(c), w.0));
+    let my_attr = state.vocab.attr_of(v);
+    let mut used_attrs = vec![my_attr];
+    let mut out = Vec::with_capacity(want);
+    for (w, _) in ranked {
+        let attr = state.vocab.attr_of(w);
+        if used_attrs.contains(&attr) {
+            continue;
+        }
+        used_attrs.push(attr);
+        out.push((state.attr_names[attr.0 as usize].clone(), state.vocab.value_str(w).to_owned()));
+        if out.len() == want {
+            break;
+        }
+    }
+    out
+}
+
+/// Reference implementation of partner selection that scans every record in
+/// `DB_local` per query (the pre-index behavior). Kept for the benchmark
+/// and equivalence tests pitting it against [`CoOccurrenceIndex`].
+pub fn best_partners_by_scan(state: &CrawlState, v: ValueId, want: usize) -> Vec<(String, String)> {
+    if want == 0 {
+        return Vec::new();
+    }
+    let my_attr = state.vocab.attr_of(v);
+    let mut co_counts: HashMap<ValueId, u32> = HashMap::new();
+    for rec in state.local.records() {
+        if rec.binary_search(&v).is_err() {
+            continue;
+        }
+        for &w in rec {
+            if w != v && state.vocab.attr_of(w) != my_attr {
+                *co_counts.entry(w).or_insert(0) += 1;
+            }
+        }
+    }
+    rank_partners(state, v, co_counts.into_iter().collect(), want)
+}
+
+/// The ingest stage: inserts extracted records into `DB_local`, decomposes
+/// them into candidates, and keeps the co-occurrence index current.
+#[derive(Debug)]
+pub struct Ingestor {
+    co: CoOccurrenceIndex,
+}
+
+impl Ingestor {
+    /// An ingestor; `track_cooccurrence` enables the conjunctive partner
+    /// index (only conjunctive crawls pay its upkeep).
+    pub fn new(track_cooccurrence: bool) -> Self {
+        Ingestor { co: CoOccurrenceIndex::new(track_cooccurrence) }
+    }
+
+    /// The co-occurrence index (the planner reads partners from it).
+    pub fn co_index(&self) -> &CoOccurrenceIndex {
+        &self.co
+    }
+
+    /// Rebuilds derived indexes from restored state (the resume path).
+    pub fn rebuild_from(&mut self, state: &CrawlState) {
+        self.co.rebuild(state);
+    }
+
+    /// Inserts one extracted record into `DB_local`; returns `true` when new.
+    /// Decomposes the record into candidate values (the "decompose" step):
+    /// every value is pushed to `touched`, and values seen for the first
+    /// time that can actually be queried are promoted to the frontier and
+    /// pushed to `newly_discovered`.
+    pub fn ingest_record(
+        &mut self,
+        state: &mut CrawlState,
+        rec: &ExtractedRecord,
+        touched: &mut Vec<ValueId>,
+        newly_discovered: &mut Vec<ValueId>,
+    ) -> bool {
+        if state.local.contains_key(rec.key) {
+            return false;
+        }
+        let mut values = Vec::with_capacity(rec.fields.len());
+        for (attr_name, s) in &rec.fields {
+            let Some(attr) = state.attr_by_name(attr_name) else { continue };
+            let vid = state.intern(attr, s);
+            values.push(vid);
+        }
+        for &vid in &values {
+            touched.push(vid);
+            if state.status_of(vid) == CandStatus::Undiscovered && state.is_queriable(vid) {
+                state.status[vid.index()] = CandStatus::Frontier;
+                newly_discovered.push(vid);
+            }
+        }
+        let before = state.local.num_records();
+        let inserted = state.local.insert(rec.key, values);
+        if inserted && self.co.is_enabled() {
+            if let Some(stored) = state.local.records_since(before).next() {
+                let stored = stored.to_vec();
+                self.co.observe_record(state, &stored);
+            }
+        }
+        inserted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dwc_model::AttrId;
+
+    fn abc_state() -> CrawlState {
+        CrawlState::new(vec!["A".into(), "B".into(), "C".into()], vec![true, true, true], 10)
+    }
+
+    fn record(key: u64, fields: &[(&str, &str)]) -> ExtractedRecord {
+        ExtractedRecord {
+            key,
+            fields: fields.iter().map(|(a, v)| (a.to_string(), v.to_string())).collect(),
+        }
+    }
+
+    #[test]
+    fn ingest_inserts_and_discovers_frontier() {
+        let mut state = abc_state();
+        let mut ing = Ingestor::new(false);
+        let (mut touched, mut newly) = (Vec::new(), Vec::new());
+        assert!(ing.ingest_record(
+            &mut state,
+            &record(1, &[("A", "a1"), ("B", "b1")]),
+            &mut touched,
+            &mut newly
+        ));
+        assert_eq!(state.local.num_records(), 1);
+        assert_eq!(touched.len(), 2);
+        assert_eq!(newly.len(), 2, "both values are queriable and new");
+        assert!(newly.iter().all(|&v| state.status_of(v) == CandStatus::Frontier));
+        // The same key again is a duplicate.
+        assert!(!ing.ingest_record(
+            &mut state,
+            &record(1, &[("A", "a1")]),
+            &mut touched,
+            &mut newly
+        ));
+        assert_eq!(state.local.num_records(), 1);
+    }
+
+    #[test]
+    fn unqueriable_values_are_not_promoted() {
+        let mut state = CrawlState::new(vec!["A".into(), "B".into()], vec![true, false], 10);
+        let mut ing = Ingestor::new(false);
+        let (mut touched, mut newly) = (Vec::new(), Vec::new());
+        ing.ingest_record(
+            &mut state,
+            &record(1, &[("A", "a1"), ("B", "b1")]),
+            &mut touched,
+            &mut newly,
+        );
+        assert_eq!(newly.len(), 1, "only the queriable A value joins the frontier");
+        assert_eq!(touched.len(), 2, "but both values' statistics were touched");
+    }
+
+    #[test]
+    fn unknown_attributes_are_skipped() {
+        let mut state = abc_state();
+        let mut ing = Ingestor::new(false);
+        let (mut touched, mut newly) = (Vec::new(), Vec::new());
+        assert!(ing.ingest_record(
+            &mut state,
+            &record(1, &[("Nope", "x"), ("A", "a1")]),
+            &mut touched,
+            &mut newly
+        ));
+        assert_eq!(state.vocab.len(), 1, "the unknown attribute interned nothing");
+    }
+
+    #[test]
+    fn incremental_index_matches_full_scan() {
+        let mut state = abc_state();
+        let mut ing = Ingestor::new(true);
+        let (mut touched, mut newly) = (Vec::new(), Vec::new());
+        let recs = [
+            record(1, &[("A", "a1"), ("B", "b1"), ("C", "c1")]),
+            record(2, &[("A", "a1"), ("B", "b2"), ("C", "c1")]),
+            record(3, &[("A", "a2"), ("B", "b1"), ("C", "c2")]),
+            record(4, &[("A", "a1"), ("B", "b1"), ("C", "c2")]),
+            record(5, &[("A", "a3"), ("B", "b3")]),
+        ];
+        for r in &recs {
+            ing.ingest_record(&mut state, r, &mut touched, &mut newly);
+        }
+        for v in state.vocab.iter_ids() {
+            for want in 0..3 {
+                assert_eq!(
+                    ing.co_index().best_partners(&state, v, want),
+                    best_partners_by_scan(&state, v, want),
+                    "partners for {v:?} (want {want}) must match the scan"
+                );
+            }
+        }
+        let a1 = state.vocab.intern(AttrId(0), "a1");
+        let b1 = state.vocab.intern(AttrId(1), "b1");
+        assert_eq!(ing.co_index().count(a1, b1), 2, "records 1 and 4");
+    }
+
+    #[test]
+    fn rebuild_recovers_the_index_from_state() {
+        let mut state = abc_state();
+        let mut ing = Ingestor::new(true);
+        let (mut touched, mut newly) = (Vec::new(), Vec::new());
+        ing.ingest_record(
+            &mut state,
+            &record(1, &[("A", "a1"), ("B", "b1")]),
+            &mut touched,
+            &mut newly,
+        );
+        ing.ingest_record(
+            &mut state,
+            &record(2, &[("A", "a1"), ("B", "b2")]),
+            &mut touched,
+            &mut newly,
+        );
+        // A fresh ingestor (the resume path) rebuilds to the same counts.
+        let mut fresh = Ingestor::new(true);
+        fresh.rebuild_from(&state);
+        for v in state.vocab.iter_ids() {
+            assert_eq!(
+                fresh.co_index().best_partners(&state, v, 2),
+                ing.co_index().best_partners(&state, v, 2)
+            );
+        }
+    }
+
+    #[test]
+    fn same_attribute_pairs_are_never_counted() {
+        let mut state = abc_state();
+        let mut ing = Ingestor::new(true);
+        let (mut touched, mut newly) = (Vec::new(), Vec::new());
+        // A record with two A values (multi-valued field).
+        ing.ingest_record(
+            &mut state,
+            &record(1, &[("A", "a1"), ("A", "a2"), ("B", "b1")]),
+            &mut touched,
+            &mut newly,
+        );
+        let a1 = state.vocab.intern(AttrId(0), "a1");
+        let a2 = state.vocab.intern(AttrId(0), "a2");
+        assert_eq!(ing.co_index().count(a1, a2), 0);
+        let partners = ing.co_index().best_partners(&state, a1, 2);
+        assert_eq!(partners, vec![("B".to_string(), "b1".to_string())]);
+    }
+
+    #[test]
+    fn disabled_index_returns_nothing() {
+        let mut state = abc_state();
+        let mut ing = Ingestor::new(false);
+        let (mut touched, mut newly) = (Vec::new(), Vec::new());
+        ing.ingest_record(
+            &mut state,
+            &record(1, &[("A", "a1"), ("B", "b1")]),
+            &mut touched,
+            &mut newly,
+        );
+        let a1 = state.vocab.intern(AttrId(0), "a1");
+        assert!(!ing.co_index().is_enabled());
+        assert!(ing.co_index().best_partners(&state, a1, 2).is_empty());
+    }
+}

@@ -26,6 +26,13 @@ pub struct CheckpointStore {
     path: PathBuf,
 }
 
+/// What a successful [`CheckpointStore::save_with_receipt`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaveReceipt {
+    /// Whether a previous generation existed and was rotated to `.bak`.
+    pub rotated_backup: bool,
+}
+
 /// Errors loading from a [`CheckpointStore`].
 #[derive(Debug)]
 pub enum StoreError {
@@ -103,6 +110,13 @@ impl CheckpointStore {
     /// place. A crash at any point leaves either the old or the new
     /// generation intact and loadable.
     pub fn save(&self, checkpoint: &Checkpoint) -> std::io::Result<()> {
+        self.save_with_receipt(checkpoint).map(|_| ())
+    }
+
+    /// Like [`CheckpointStore::save`], but reports what the save did — event
+    /// emitters use the receipt to describe the write
+    /// (`CrawlEvent::CheckpointWritten`).
+    pub fn save_with_receipt(&self, checkpoint: &Checkpoint) -> std::io::Result<SaveReceipt> {
         if let Some(parent) = self.path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -114,10 +128,12 @@ impl CheckpointStore {
             f.write_all(checkpoint.to_text().as_bytes())?;
             f.sync_all()?;
         }
-        if self.path.exists() {
+        let rotated_backup = self.path.exists();
+        if rotated_backup {
             std::fs::rename(&self.path, self.backup_path())?;
         }
-        std::fs::rename(&tmp, &self.path)
+        std::fs::rename(&tmp, &self.path)?;
+        Ok(SaveReceipt { rotated_backup })
     }
 
     /// Loads and parses the primary file, strictly: corruption is an error,
@@ -198,8 +214,10 @@ mod tests {
     #[test]
     fn save_rotates_previous_generation() {
         let store = CheckpointStore::new(scratch("rotate"));
-        store.save(&demo(2)).unwrap();
-        store.save(&demo(6)).unwrap();
+        let first = store.save_with_receipt(&demo(2)).unwrap();
+        assert!(!first.rotated_backup, "nothing to rotate on the first save");
+        let second = store.save_with_receipt(&demo(6)).unwrap();
+        assert!(second.rotated_backup, "the second save rotates the first");
         assert_eq!(store.load().unwrap(), demo(6));
         let bak = CheckpointStore::new(store.backup_path()).load().unwrap();
         assert_eq!(bak, demo(2), "previous generation survives as .bak");

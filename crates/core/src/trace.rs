@@ -44,7 +44,7 @@ impl std::fmt::Display for TraceError {
 impl std::error::Error for TraceError {}
 
 /// A monotone series of [`TracePoint`]s.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CrawlTrace {
     points: Vec<TracePoint>,
 }

@@ -8,6 +8,7 @@
 //!           [--cap N] [--coverage F] [--keyword] [--stats]
 //!           [--checkpoint OUT] [--resume IN] [--trace OUT.csv]
 //!           [--checkpoint-path FILE] [--checkpoint-every N]
+//!           [--events FILE.jsonl]
 //! dwc resume <FILE.csv> --checkpoint-path FILE [crawl flags]
 //! ```
 //!
@@ -25,8 +26,13 @@
 //! primary is torn — and continues the crawl, still checkpointing into the
 //! same store. The plain `--checkpoint`/`--resume` flags remain the one-shot,
 //! bare-file variant.
+//!
+//! Observability: `--events FILE.jsonl` streams every structured crawl event
+//! as one JSON line. Replaying the file through
+//! `dwc_core::metrics::replay_report` reconstructs the exact final report —
+//! the stream *is* the accounting, not a log of it.
 
-use deep_web_crawler::core::crawler::DEFAULT_CHECKPOINT_EVERY;
+use deep_web_crawler::core::crawler::{StopReason, DEFAULT_CHECKPOINT_EVERY};
 use deep_web_crawler::datagen::loader::{load_csv, to_csv};
 use deep_web_crawler::model::components::Connectivity;
 use deep_web_crawler::model::degree::DegreeDistribution;
@@ -66,12 +72,16 @@ USAGE:
             [--cap N] [--coverage F] [--keyword] [--stats]
             [--checkpoint OUT] [--resume IN] [--trace OUT.csv]
             [--checkpoint-path FILE] [--checkpoint-every N]
+            [--events FILE.jsonl]
   dwc resume <FILE.csv> --checkpoint-path FILE [crawl flags]
   dwc help
 
 Crash safety: --checkpoint-path enables periodic, atomic checkpointing
 (every --checkpoint-every queries; .bak rotation). `dwc resume` restarts
 from the latest intact snapshot after a crash.
+
+Observability: --events streams the crawl's structured event log as JSONL;
+replaying it reconstructs the final report figure for figure.
 ";
 
 /// Parsed command line: positional arguments plus accumulated `--flag value`
@@ -247,16 +257,22 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
     // Run manually so a checkpoint can be taken at the end regardless of the
     // stop reason.
     let mut crawler = crawler;
-    loop {
-        if let Some(max) = crawler_budget_hit(&crawler) {
-            eprintln!("stopping: {max}");
-            break;
+    if let Some(events_path) = flag(&flags, "events") {
+        let file = std::fs::File::create(events_path)
+            .map_err(|e| format!("creating {events_path}: {e}"))?;
+        crawler.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(file))));
+        eprintln!("streaming events to {events_path}");
+    }
+    let stop = loop {
+        if let Some((reason, why)) = crawler_budget_hit(&crawler) {
+            eprintln!("stopping: {why}");
+            break reason;
         }
         if crawler.step().is_none() {
             eprintln!("stopping: frontier exhausted");
-            break;
+            break StopReason::FrontierExhausted;
         }
-    }
+    };
     if let Some(cp_path) = flag(&flags, "checkpoint") {
         std::fs::write(cp_path, crawler.checkpoint().to_text())
             .map_err(|e| format!("writing {cp_path}: {e}"))?;
@@ -277,7 +293,7 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
             deep_web_crawler::core::report::CrawlSummary::from_state(crawler.state(), 10)
         );
     }
-    let report = crawler.into_report(deep_web_crawler::core::crawler::StopReason::RoundBudget);
+    let report = crawler.into_report(stop);
     if let Some(trace_path) = flag(&flags, "trace") {
         std::fs::write(trace_path, report.trace.to_csv())
             .map_err(|e| format!("writing {trace_path}: {e}"))?;
@@ -291,20 +307,24 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
     Ok(())
 }
 
-/// Mirrors the crawler's internal budget checks for the manual loop.
+/// Mirrors the crawler's internal budget checks for the manual loop,
+/// returning the stop verdict alongside the human-readable reason.
 fn crawler_budget_hit<S: deep_web_crawler::core::DataSource>(
     crawler: &Crawler<S>,
-) -> Option<String> {
+) -> Option<(StopReason, String)> {
     if let Some(cov) = crawler.state().coverage() {
         if let Some(target) = crawler.target_coverage() {
             if cov >= target {
-                return Some(format!("coverage target {target} reached"));
+                return Some((
+                    StopReason::CoverageReached,
+                    format!("coverage target {target} reached"),
+                ));
             }
         }
     }
     if let Some(max) = crawler.max_rounds() {
         if crawler.elapsed_rounds() >= max {
-            return Some(format!("round budget {max} exhausted"));
+            return Some((StopReason::RoundBudget, format!("round budget {max} exhausted")));
         }
     }
     None

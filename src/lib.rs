@@ -51,9 +51,9 @@ pub mod prelude {
     pub use dwc_core::policy::{MmmiConfig, PolicyKind, Saturation, SelectionPolicy};
     pub use dwc_core::{
         AbortPolicy, BreakerConfig, Checkpoint, CheckpointStore, CircuitBreaker, ConfigError,
-        CrawlConfig, CrawlError, CrawlReport, CrawlTrace, Crawler, DataSource, DomainTable,
-        FaultKind, FaultPlan, FaultPlanSource, FaultySource, JobHealth, ProberMode, QueryMode,
-        RetryPolicy, StoreError,
+        CrawlConfig, CrawlError, CrawlEvent, CrawlReport, CrawlTrace, Crawler, DataSource,
+        DomainTable, EventSink, FaultKind, FaultPlan, FaultPlanSource, FaultySource, JobHealth,
+        JsonlSink, MemorySink, MetricsRegistry, ProberMode, QueryMode, RetryPolicy, StoreError,
     };
     pub use dwc_datagen::presets::Preset;
     pub use dwc_datagen::{PairedDataset, PairedSpec};
