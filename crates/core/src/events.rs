@@ -120,6 +120,10 @@ pub enum CrawlEvent {
         /// Records new to `DB_local`.
         new: u64,
     },
+    /// The source served the page from its render cache (shared-fleet
+    /// overlap): the round was billed as usual, but no re-render happened.
+    /// Emitted immediately before the page's `PageFetched`.
+    PageCacheHit,
     /// A page request failed on a transient-class error.
     TransientFailure {
         /// Whether the page arrived but was truncated/garbled
@@ -208,6 +212,7 @@ impl CrawlEvent {
             CrawlEvent::PageFetched { returned, new } => {
                 format!("{{\"event\":\"page_fetched\",\"returned\":{returned},\"new\":{new}}}")
             }
+            CrawlEvent::PageCacheHit => "{\"event\":\"page_cache_hit\"}".to_string(),
             CrawlEvent::TransientFailure { corrupt } => {
                 format!("{{\"event\":\"transient_failure\",\"corrupt\":{corrupt}}}")
             }
@@ -267,6 +272,7 @@ impl CrawlEvent {
                 returned: json_u64(line, "returned")?,
                 new: json_u64(line, "new")?,
             },
+            "page_cache_hit" => CrawlEvent::PageCacheHit,
             "transient_failure" => {
                 CrawlEvent::TransientFailure { corrupt: json_bool(line, "corrupt")? }
             }
@@ -456,6 +462,7 @@ mod tests {
             CrawlEvent::QueryPlanned { candidate: None },
             CrawlEvent::PageRequested,
             CrawlEvent::PageFetched { returned: 10, new: 3 },
+            CrawlEvent::PageCacheHit,
             CrawlEvent::TransientFailure { corrupt: true },
             CrawlEvent::TransientFailure { corrupt: false },
             CrawlEvent::BackoffBilled { rounds: 4 },

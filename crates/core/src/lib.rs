@@ -66,7 +66,7 @@ pub use local::LocalDb;
 pub use metrics::{replay_report, MetricsRegistry};
 pub use policy::{PolicyKind, SelectionPolicy};
 pub use report::CrawlSummary;
-pub use source::{CrawlError, DataSource, FaultySource};
+pub use source::{CrawlError, DataSource, FaultySource, PageMeta};
 pub use stage::{Executor, Ingestor, Planner};
 pub use state::{CandStatus, CrawlState, QueryOutcome};
 pub use store::{CheckpointStore, SaveReceipt, StoreError};

@@ -36,6 +36,10 @@ pub struct CrawlReport {
     /// Attempts put back on the frontier after failing entirely on
     /// transient-class errors.
     pub requeued_queries: u64,
+    /// Pages the source served from its render cache (overlapping fleet
+    /// workers re-requesting the same `(query, page)`); each such round was
+    /// still billed per Definition 2.3.
+    pub page_cache_hits: u64,
     /// Periodic checkpoints persisted during the crawl.
     pub checkpoints_written: u64,
     /// Periodic checkpoint saves that failed (the crawl continues; the
@@ -73,6 +77,7 @@ pub struct MetricsRegistry {
     transient_failures: u64,
     corrupt_pages: u64,
     requeued_queries: u64,
+    page_cache_hits: u64,
     checkpoints_written: u64,
     checkpoint_failures: u64,
     fault_streak: u32,
@@ -117,6 +122,7 @@ impl MetricsRegistry {
                     records: self.records,
                 });
             }
+            CrawlEvent::PageCacheHit => self.page_cache_hits += 1,
             CrawlEvent::QueryRequeued { .. } => self.requeued_queries += 1,
             CrawlEvent::CheckpointWritten { .. } => self.checkpoints_written += 1,
             CrawlEvent::CheckpointFailed => self.checkpoint_failures += 1,
@@ -183,6 +189,11 @@ impl MetricsRegistry {
         self.fault_streak
     }
 
+    /// Pages served from the source's render cache so far.
+    pub fn page_cache_hits(&self) -> u64 {
+        self.page_cache_hits
+    }
+
     /// Periodic checkpoints persisted so far.
     pub fn checkpoints_written(&self) -> u64 {
         self.checkpoints_written
@@ -227,6 +238,7 @@ impl MetricsRegistry {
             transient_failures: self.transient_failures,
             corrupt_pages: self.corrupt_pages,
             requeued_queries: self.requeued_queries,
+            page_cache_hits: self.page_cache_hits,
             checkpoints_written: self.checkpoints_written,
             checkpoint_failures: self.checkpoint_failures,
             stop: self.stop?,

@@ -22,7 +22,14 @@ use std::collections::BinaryHeap;
 pub struct GreedyLink {
     /// Packed `(degree << 32) | value_id` max-heap entries.
     heap: BinaryHeap<u64>,
+    /// Live entry count as of the last compaction — the baseline the stale
+    /// threshold is measured against.
+    live_after_compact: usize,
 }
+
+/// Heap size below which compaction is never attempted (tiny crawls churn
+/// freely without paying the rebuild).
+const COMPACT_MIN: usize = 32;
 
 #[inline]
 fn pack(degree: u32, v: ValueId) -> u64 {
@@ -44,6 +51,30 @@ impl GreedyLink {
     pub fn heap_len(&self) -> usize {
         self.heap.len()
     }
+
+    /// Rebuilds the heap from its live entries once stale ones outnumber
+    /// live 2:1 (heap > 3× the last live count). Long crawls re-push every
+    /// touched frontier value per query, so without this the lazy heap
+    /// grows with total churn instead of frontier size.
+    fn maybe_compact(&mut self, state: &CrawlState) {
+        if self.heap.len() <= COMPACT_MIN.max(3 * self.live_after_compact) {
+            return;
+        }
+        let entries = std::mem::take(&mut self.heap).into_vec();
+        let mut seen = std::collections::HashSet::with_capacity(entries.len());
+        let mut kept = Vec::with_capacity(entries.len() / 3);
+        for e in entries {
+            let (degree, v) = unpack(e);
+            if state.status_of(v) == CandStatus::Frontier
+                && degree == state.local.degree(v)
+                && seen.insert(v.0)
+            {
+                kept.push(e);
+            }
+        }
+        self.live_after_compact = kept.len();
+        self.heap = BinaryHeap::from(kept);
+    }
 }
 
 impl SelectionPolicy for GreedyLink {
@@ -53,6 +84,7 @@ impl SelectionPolicy for GreedyLink {
 
     fn on_discovered(&mut self, state: &CrawlState, v: ValueId) {
         self.heap.push(pack(state.local.degree(v), v));
+        self.maybe_compact(state);
     }
 
     fn on_query_done(&mut self, state: &CrawlState, _v: ValueId, outcome: &QueryOutcome) {
@@ -61,6 +93,7 @@ impl SelectionPolicy for GreedyLink {
                 self.heap.push(pack(state.local.degree(v), v));
             }
         }
+        self.maybe_compact(state);
     }
 
     fn select(&mut self, state: &CrawlState) -> Option<ValueId> {
@@ -174,6 +207,64 @@ mod tests {
         st.status[ids[0].index()] = CandStatus::Queried;
         let got = p.select(&st);
         assert!(got == Some(ids[1]) || got == Some(ids[2]), "got {got:?}");
+    }
+
+    #[test]
+    fn heap_stays_bounded_over_a_long_churny_crawl() {
+        // 50 frontier values whose degrees change every round: each round
+        // inserts a record linking all of them to one fresh filler value,
+        // then reports them all touched. The lazy heap would otherwise
+        // accumulate 50 stale entries per round (10_000 over the run).
+        let mut st = CrawlState::new(vec!["A".into()], vec![true], 10);
+        let ids: Vec<ValueId> = (0..50)
+            .map(|i| {
+                let id = st.intern(AttrId(0), &format!("v{i}"));
+                st.status[id.index()] = CandStatus::Frontier;
+                id
+            })
+            .collect();
+        let mut p = GreedyLink::new();
+        for &v in &ids {
+            p.on_discovered(&st, v);
+        }
+        let mut max_len = p.heap_len();
+        for round in 0..200u64 {
+            let filler = st.intern(AttrId(0), &format!("filler{round}"));
+            let mut rec = ids.clone();
+            rec.push(filler);
+            st.local.insert(1000 + round, rec);
+            let outcome = QueryOutcome { touched_values: ids.clone(), ..Default::default() };
+            p.on_query_done(&st, ids[0], &outcome);
+            max_len = max_len.max(p.heap_len());
+        }
+        // Live entries never exceed 50 (one fresh per frontier value), so a
+        // 2:1 stale ratio caps the heap at ~3×50 plus one round of pushes.
+        assert!(max_len <= 3 * ids.len() + 64, "heap peaked at {max_len}");
+        // Compaction must not change what gets selected: the freshest entry
+        // per value survives, so selection still sees true degrees.
+        let picked = p.select(&st).unwrap();
+        assert_eq!(st.local.degree(picked), 200 + 49, "all values tie at max degree");
+    }
+
+    #[test]
+    fn compaction_preserves_selection_order() {
+        let (mut st, ids) = seeded_state();
+        let mut p = GreedyLink::new();
+        for &v in &ids {
+            p.on_discovered(&st, v);
+        }
+        // Churn mid's entry hundreds of times to force compactions.
+        for i in 0..300u64 {
+            let e = st.intern(AttrId(0), &format!("churn{i}"));
+            st.local.insert(2000 + i, vec![ids[1], e]);
+            let outcome = QueryOutcome { touched_values: vec![ids[1]], ..Default::default() };
+            p.on_query_done(&st, ids[0], &outcome);
+        }
+        assert!(p.heap_len() <= 3 * 4 + COMPACT_MIN, "heap peaked at {}", p.heap_len());
+        // mid now has degree 300+, dwarfing hub's 4.
+        assert_eq!(p.select(&st), Some(ids[1]));
+        st.status[ids[1].index()] = CandStatus::Queried;
+        assert_eq!(p.select(&st), Some(ids[0]), "hub is next");
     }
 
     #[test]

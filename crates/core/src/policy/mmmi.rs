@@ -189,8 +189,25 @@ impl Mmmi {
         let rank_key = |v: ValueId| -> f64 {
             (deg_of(v) - mean_deg) / sd_deg - MMMI_PENALTY_WEIGHT * (dep_of(v) - mean_dep) / sd_dep
         };
-        self.ranked
-            .sort_by(|a, b| rank_key(*b).total_cmp(&rank_key(*a)).then_with(|| a.0.cmp(&b.0)));
+        // Only the next `batch` selections can happen before the scores go
+        // stale and this runs again, so a full `O(m log m)` sort of the
+        // frontier is wasted work: partition the top `batch` candidates out
+        // with `select_nth_unstable` (`O(m)`) and sort just those. The key
+        // (id tie-broken) is a strict total order, so the partition — and
+        // therefore the selection order — is identical to the full sort's.
+        let mut keyed: Vec<(f64, ValueId)> =
+            self.ranked.iter().map(|&v| (rank_key(v), v)).collect();
+        let cmp = |a: &(f64, ValueId), b: &(f64, ValueId)| {
+            b.0.total_cmp(&a.0).then_with(|| (a.1).0.cmp(&(b.1).0))
+        };
+        let k = self.config.batch.min(keyed.len());
+        if k > 0 && k < keyed.len() {
+            keyed.select_nth_unstable_by(k - 1, cmp);
+            keyed.truncate(k);
+        }
+        keyed.sort_by(cmp);
+        self.ranked.clear();
+        self.ranked.extend(keyed.into_iter().map(|(_, v)| v));
         self.cursor = 0;
         self.since_recompute = 0;
     }
@@ -367,6 +384,46 @@ mod tests {
         p.on_discovered(&st, hub);
         p.on_discovered(&st, tiny);
         assert_eq!(p.select(&st), Some(hub));
+    }
+
+    #[test]
+    fn top_k_ranking_is_a_prefix_of_the_full_sort() {
+        // 20 frontier values with distinct degrees; the batch-5 policy keeps
+        // only its top 5 but must hand them out in exactly the order the
+        // batch-100 (effectively full-sort) policy does.
+        let mut st = CrawlState::new(vec!["A".into()], vec![true], 10);
+        let q = st.intern(AttrId(0), "q");
+        st.status[q.index()] = CandStatus::Queried;
+        st.queried.push(q);
+        let mut key = 0u64;
+        let ids: Vec<ValueId> = (0..20u32)
+            .map(|i| {
+                let v = st.intern(AttrId(0), &format!("v{i}"));
+                st.status[v.index()] = CandStatus::Frontier;
+                // Give v{i} a degree of i by linking it to i fillers.
+                for j in 0..i {
+                    let filler = st.intern(AttrId(0), &format!("f{i}_{j}"));
+                    key += 1;
+                    st.local.insert(key, vec![v, filler]);
+                }
+                v
+            })
+            .collect();
+        // A couple of dependency edges so scores are not all-absent.
+        for &v in &ids[..3] {
+            key += 1;
+            st.local.insert(key, vec![q, v]);
+        }
+        let mut small = Mmmi::new(MmmiConfig { trigger: Saturation::Immediately, batch: 5 });
+        let mut full = Mmmi::new(MmmiConfig { trigger: Saturation::Immediately, batch: 100 });
+        for &v in &ids {
+            small.on_discovered(&st, v);
+            full.on_discovered(&st, v);
+        }
+        // No statuses change between selects, so each call walks the cursor.
+        let first5_small: Vec<_> = (0..5).map(|_| small.select(&st).unwrap()).collect();
+        let first5_full: Vec<_> = (0..5).map(|_| full.select(&st).unwrap()).collect();
+        assert_eq!(first5_small, first5_full);
     }
 
     #[test]

@@ -19,10 +19,14 @@
 //! `Arc<WebDbServer>` clones hand every worker the same atomic round
 //! counter, so the source is billed globally no matter who asks.
 
-use crate::extract::{parse_page, ExtractedPage, ExtractedRecord};
+use crate::extract::{
+    parse_html_page_ref, parse_page, parse_page_ref, ExtractedPage, ExtractedPageRef,
+    ExtractedRecord, ExtractedRecordRef,
+};
 use dwc_server::html::page_to_html;
 use dwc_server::wire::page_to_xml;
-use dwc_server::{InterfaceSpec, Query, ServerError, WebDbServer};
+use dwc_server::{InterfaceSpec, Query, RenderFormat, ServerError, WebDbServer};
+use std::borrow::Cow;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -103,6 +107,21 @@ impl std::error::Error for CrawlError {
     }
 }
 
+/// Page-level facts a [`DataSource::visit_page`] call reports alongside the
+/// borrowed records it hands to the visitor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageMeta {
+    /// Zero-based page index served.
+    pub page_index: usize,
+    /// Total match count, when the source reports it.
+    pub total_matches: Option<usize>,
+    /// Whether more pages follow.
+    pub has_more: bool,
+    /// Whether the source served this page from a render cache (the round is
+    /// billed either way — Definition 2.3 counts requests, not CPU).
+    pub served_from_cache: bool,
+}
+
 /// A queryable structured web source, as a crawler sees it.
 ///
 /// All methods take `&self`: implementations do their own (atomic) request
@@ -116,6 +135,29 @@ pub trait DataSource {
         page_index: usize,
         prober: ProberMode,
     ) -> Result<ExtractedPage, CrawlError>;
+
+    /// Zero-copy flavor of [`DataSource::query_page`]: on success the page is
+    /// handed to `visit` as a borrowed [`ExtractedPageRef`] (fields are `Cow`
+    /// slices into the source's wire buffer) and the page-level facts come
+    /// back as [`PageMeta`]. `visit` runs at most once, and only on success —
+    /// errors propagate before any visitation, so decorators that wrap
+    /// `query_page` inherit correct behavior from this default impl.
+    fn visit_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<PageMeta, CrawlError> {
+        let page = self.query_page(query, page_index, prober)?;
+        visit(&ExtractedPageRef::borrowed(&page));
+        Ok(PageMeta {
+            page_index: page.page_index,
+            total_matches: page.total_matches,
+            has_more: page.has_more,
+            served_from_cache: false,
+        })
+    }
 
     /// The source's advertised interface: form fields, queriability, page
     /// size, caps. Everything a crawler knows about the source up front.
@@ -135,6 +177,16 @@ impl<S: DataSource + ?Sized> DataSource for &S {
         (**self).query_page(query, page_index, prober)
     }
 
+    fn visit_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<PageMeta, CrawlError> {
+        (**self).visit_page(query, page_index, prober, visit)
+    }
+
     fn interface(&self) -> &InterfaceSpec {
         (**self).interface()
     }
@@ -152,6 +204,16 @@ impl<S: DataSource + ?Sized> DataSource for Arc<S> {
         prober: ProberMode,
     ) -> Result<ExtractedPage, CrawlError> {
         (**self).query_page(query, page_index, prober)
+    }
+
+    fn visit_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<PageMeta, CrawlError> {
+        (**self).visit_page(query, page_index, prober, visit)
     }
 
     fn interface(&self) -> &InterfaceSpec {
@@ -207,6 +269,82 @@ impl DataSource for WebDbServer {
                 crate::extract::parse_html_page(&html).expect("HTML wrapper must round-trip")
             }
         })
+    }
+
+    /// The allocation-free hot path. `InProcess` builds the borrowed view
+    /// straight off the server's interner (no render, no parse, no string
+    /// copies); `Wire`/`Html` go through [`WebDbServer::rendered_page`], so
+    /// overlapping fleet workers reuse cached renders and the zero-copy
+    /// parsers slice the shared buffer in place.
+    fn visit_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<PageMeta, CrawlError> {
+        match prober {
+            ProberMode::InProcess => {
+                let page = WebDbServer::query_page(self, query, page_index)?;
+                let table = self.table();
+                let view = ExtractedPageRef {
+                    page_index: page.page_index,
+                    total_matches: page.total_matches,
+                    has_more: page.has_more,
+                    records: page
+                        .records
+                        .iter()
+                        .map(|r| ExtractedRecordRef {
+                            key: r.key,
+                            fields: r
+                                .values
+                                .iter()
+                                .map(|&sv| {
+                                    let attr = table.interner().attr_of(sv);
+                                    (
+                                        Cow::Borrowed(table.schema().attr(attr).name.as_str()),
+                                        Cow::Borrowed(table.interner().value_str(sv)),
+                                    )
+                                })
+                                .collect(),
+                        })
+                        .collect(),
+                };
+                let meta = PageMeta {
+                    page_index: page.page_index,
+                    total_matches: page.total_matches,
+                    has_more: page.has_more,
+                    served_from_cache: false,
+                };
+                visit(&view);
+                Ok(meta)
+            }
+            ProberMode::Wire => {
+                let rendered = self.rendered_page(query, page_index, RenderFormat::Xml)?;
+                let view = parse_page_ref(rendered.text()).expect("wire format must round-trip");
+                let meta = PageMeta {
+                    page_index: view.page_index,
+                    total_matches: view.total_matches,
+                    has_more: view.has_more,
+                    served_from_cache: rendered.cache_hit(),
+                };
+                visit(&view);
+                Ok(meta)
+            }
+            ProberMode::Html => {
+                let rendered = self.rendered_page(query, page_index, RenderFormat::Html)?;
+                let view =
+                    parse_html_page_ref(rendered.text()).expect("HTML wrapper must round-trip");
+                let meta = PageMeta {
+                    page_index: view.page_index,
+                    total_matches: view.total_matches,
+                    has_more: view.has_more,
+                    served_from_cache: rendered.cache_hit(),
+                };
+                visit(&view);
+                Ok(meta)
+            }
+        }
     }
 
     fn interface(&self) -> &InterfaceSpec {
@@ -266,6 +404,20 @@ impl<S: DataSource> DataSource for FaultySource<S> {
             return Err(CrawlError::Transient);
         }
         self.inner.query_page(query, page_index, prober)
+    }
+
+    fn visit_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        prober: ProberMode,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<PageMeta, CrawlError> {
+        let request_no = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.state.try_inject(&self.policy, request_no) {
+            return Err(CrawlError::Transient);
+        }
+        self.inner.visit_page(query, page_index, prober, visit)
     }
 
     fn interface(&self) -> &InterfaceSpec {
@@ -331,6 +483,67 @@ mod tests {
         fetch(&a, &a2_query(), 0, ProberMode::InProcess).unwrap();
         fetch(&&*s, &a2_query(), 0, ProberMode::InProcess).unwrap();
         assert_eq!(DataSource::rounds_used(&s), 2, "one counter behind every handle");
+    }
+
+    /// Materializes a page through `visit_page` for comparisons.
+    fn visit_owned<S: DataSource>(
+        s: &S,
+        query: &Query,
+        page: usize,
+        prober: ProberMode,
+    ) -> Result<(PageMeta, ExtractedPage), CrawlError> {
+        let mut owned = None;
+        let meta =
+            s.visit_page(query, page, prober, &mut |view| owned = Some(view.to_owned_page()))?;
+        Ok((meta, owned.expect("visit runs on success")))
+    }
+
+    #[test]
+    fn visit_page_matches_query_page_in_every_prober_mode() {
+        let s = server();
+        let base = fetch(&s, &a2_query(), 0, ProberMode::InProcess).unwrap();
+        for prober in [ProberMode::InProcess, ProberMode::Wire, ProberMode::Html] {
+            let (meta, owned) = visit_owned(&s, &a2_query(), 0, prober).unwrap();
+            assert_eq!(owned, base, "{prober:?}");
+            assert_eq!(meta.page_index, 0);
+            assert_eq!(meta.total_matches, base.total_matches);
+            assert_eq!(meta.has_more, base.has_more);
+        }
+        assert_eq!(DataSource::rounds_used(&s), 4, "every visit bills a round");
+    }
+
+    #[test]
+    fn repeated_wire_visits_hit_the_page_cache() {
+        let s = Arc::new(server());
+        let (first, _) = visit_owned(&s, &a2_query(), 0, ProberMode::Wire).unwrap();
+        assert!(!first.served_from_cache);
+        let (second, owned) = visit_owned(&s, &a2_query(), 0, ProberMode::Wire).unwrap();
+        assert!(second.served_from_cache, "same (query, page) reuses the render");
+        assert_eq!(owned, fetch(&s, &a2_query(), 0, ProberMode::InProcess).unwrap());
+        assert_eq!(s.page_cache().hits(), 1);
+    }
+
+    #[test]
+    fn visit_page_propagates_errors_without_visiting() {
+        let s = server();
+        let bad = Query::ByString { attr: "Nope".into(), value: "x".into() };
+        let mut visited = false;
+        let err = s.visit_page(&bad, 0, ProberMode::Wire, &mut |_| visited = true).unwrap_err();
+        assert!(matches!(err, CrawlError::Fatal(_)));
+        assert!(!visited, "errors must not invoke the visitor");
+    }
+
+    #[test]
+    fn faulty_source_injects_on_visit_too() {
+        let f = FaultySource::new(server(), FaultPolicy::every(2));
+        assert!(visit_owned(&f, &a2_query(), 0, ProberMode::Wire).is_ok());
+        assert_eq!(
+            visit_owned(&f, &a2_query(), 0, ProberMode::Wire).unwrap_err(),
+            CrawlError::Transient
+        );
+        let (meta, _) = visit_owned(&f, &a2_query(), 0, ProberMode::Wire).unwrap();
+        assert!(meta.served_from_cache, "retry after the fault reuses the cached render");
+        assert_eq!(f.faults_injected(), 1);
     }
 
     #[test]

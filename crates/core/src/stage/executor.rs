@@ -11,8 +11,9 @@
 use crate::abort::{AbortPolicy, AbortState};
 use crate::config::{CrawlConfig, RetryPolicy};
 use crate::events::{CrawlEvent, EventBus};
-use crate::source::{CrawlError, DataSource, ProberMode};
-use crate::stage::ingestor::Ingestor;
+use crate::extract::ExtractedPageRef;
+use crate::source::{CrawlError, DataSource, PageMeta, ProberMode};
+use crate::stage::ingestor::{Ingestor, PageIngest};
 use crate::state::{CrawlState, QueryOutcome};
 use dwc_model::ValueId;
 use dwc_server::Query;
@@ -29,8 +30,9 @@ pub struct ExecResult {
 
 /// Outcome of one page fetch (after retries).
 enum PageFetch {
-    /// The page arrived intact.
-    Page(crate::extract::ExtractedPage),
+    /// The page arrived intact and was handed to the visitor; only its
+    /// metadata outlives the borrow.
+    Meta(PageMeta),
     /// The fetch was abandoned; `transient` says whether the final error was
     /// transient-class (retry exhaustion / budget) rather than fatal.
     GaveUp { transient: bool },
@@ -84,29 +86,38 @@ impl Executor {
                     break;
                 }
             }
-            let page = match self.fetch_page_with_retries(source, query, page_index, bus) {
-                PageFetch::Page(page) => page,
+            let mut page_stats = PageIngest::default();
+            let meta = match self.fetch_page_with_retries(
+                source,
+                query,
+                page_index,
+                bus,
+                &mut |page: &ExtractedPageRef<'_>| {
+                    page_stats =
+                        ingestor.ingest_page(state, page, &mut touched, &mut newly_discovered);
+                },
+            ) {
+                PageFetch::Meta(meta) => meta,
                 PageFetch::GaveUp { transient } => {
                     gave_up_transient = transient;
                     break;
                 }
             };
             outcome.pages += 1;
-            if page.total_matches.is_some() {
-                outcome.reported_total = page.total_matches;
+            if meta.total_matches.is_some() {
+                outcome.reported_total = meta.total_matches;
             }
-            let returned = page.records.len() as u64;
-            let mut new_in_page = 0u64;
-            for rec in &page.records {
-                if ingestor.ingest_record(state, rec, &mut touched, &mut newly_discovered) {
-                    new_in_page += 1;
-                }
+            if meta.served_from_cache {
+                bus.emit(CrawlEvent::PageCacheHit);
             }
-            bus.emit(CrawlEvent::PageFetched { returned, new: new_in_page });
-            outcome.returned_records += returned;
-            outcome.new_records += new_in_page;
-            abort_state.observe_page(page.total_matches, returned, new_in_page);
-            if !page.has_more {
+            bus.emit(CrawlEvent::PageFetched {
+                returned: page_stats.returned,
+                new: page_stats.new,
+            });
+            outcome.returned_records += page_stats.returned;
+            outcome.new_records += page_stats.new;
+            abort_state.observe_page(meta.total_matches, page_stats.returned, page_stats.new);
+            if !meta.has_more {
                 break;
             }
             if abort_state.should_abort() {
@@ -136,12 +147,13 @@ impl Executor {
         query: &Query,
         page_index: usize,
         bus: &mut EventBus,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
     ) -> PageFetch {
         let mut attempt = 0u32;
         loop {
             bus.emit(CrawlEvent::PageRequested);
-            let err = match source.query_page(query, page_index, self.prober) {
-                Ok(page) => return PageFetch::Page(page),
+            let err = match source.visit_page(query, page_index, self.prober, visit) {
+                Ok(meta) => return PageFetch::Meta(meta),
                 Err(e) => e,
             };
             if !err.is_transient() {
@@ -221,6 +233,29 @@ mod tests {
         let result = exec.run(&server, &a2_query(), 0, &mut state, &mut ingestor, &mut bus);
         assert_eq!(bus.metrics().rounds(), 2, "budget cuts pagination short");
         assert_eq!(result.outcome.pages, 2);
+    }
+
+    #[test]
+    fn wire_reruns_are_cache_hits_in_the_event_stream() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 1);
+        let server = WebDbServer::new(t, spec);
+        let mut state = state_for(&server);
+        let mut ingestor = Ingestor::new(false);
+        let mut bus = EventBus::new();
+        let config = CrawlConfig::builder().prober(ProberMode::Wire).build().unwrap();
+        let exec = Executor::from_config(&config);
+        let first = exec.run(&server, &a2_query(), 0, &mut state, &mut ingestor, &mut bus);
+        assert_eq!(first.outcome.new_records, 3);
+        assert_eq!(bus.metrics().page_cache_hits(), 0, "a cold cache renders every page");
+        // A second worker re-running the same query hits the render cache on
+        // all three pages — the wire bytes are identical, so the harvest is
+        // too, and every round is still billed.
+        let second = exec.run(&server, &a2_query(), 0, &mut state, &mut ingestor, &mut bus);
+        assert_eq!(second.outcome.returned_records, 3);
+        assert_eq!(second.outcome.new_records, 0, "all duplicates the second time");
+        assert_eq!(bus.metrics().page_cache_hits(), 3);
+        assert_eq!(bus.metrics().rounds(), 6, "cache hits do not discount rounds");
     }
 
     #[test]

@@ -8,9 +8,9 @@
 //! per-value co-occurrence count so partner selection is an index lookup,
 //! not a scan over every harvested record per query.
 
-use crate::extract::ExtractedRecord;
+use crate::extract::{ExtractedPageRef, ExtractedRecord, ExtractedRecordRef};
 use crate::state::{CandStatus, CrawlState};
-use dwc_model::ValueId;
+use dwc_model::{AttrId, ValueId};
 use std::collections::HashMap;
 
 /// Incrementally maintained co-occurrence counts between values of
@@ -145,18 +145,38 @@ pub fn best_partners_by_scan(state: &CrawlState, v: ValueId, want: usize) -> Vec
     rank_partners(state, v, co_counts.into_iter().collect(), want)
 }
 
+/// Per-page ingest tallies returned by [`Ingestor::ingest_page`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct PageIngest {
+    /// Records returned on the page (including duplicates).
+    pub returned: u64,
+    /// Records new to `DB_local`.
+    pub new: u64,
+}
+
 /// The ingest stage: inserts extracted records into `DB_local`, decomposes
 /// them into candidates, and keeps the co-occurrence index current.
 #[derive(Debug)]
 pub struct Ingestor {
     co: CoOccurrenceIndex,
+    /// Attribute-name resolution memo for the zero-copy path: wire pages
+    /// repeat the same handful of names on every record, so resolve each
+    /// spelling once per crawl instead of scanning the name table per field.
+    attr_memo: Vec<(Box<str>, Option<AttrId>)>,
+    /// Scratch `(attribute, field index)` pairs reused across
+    /// [`Ingestor::ingest_record_ref`] calls.
+    resolved_scratch: Vec<(AttrId, u32)>,
 }
 
 impl Ingestor {
     /// An ingestor; `track_cooccurrence` enables the conjunctive partner
     /// index (only conjunctive crawls pay its upkeep).
     pub fn new(track_cooccurrence: bool) -> Self {
-        Ingestor { co: CoOccurrenceIndex::new(track_cooccurrence) }
+        Ingestor {
+            co: CoOccurrenceIndex::new(track_cooccurrence),
+            attr_memo: Vec::new(),
+            resolved_scratch: Vec::new(),
+        }
     }
 
     /// The co-occurrence index (the planner reads partners from it).
@@ -190,6 +210,82 @@ impl Ingestor {
             let vid = state.intern(attr, s);
             values.push(vid);
         }
+        self.finish_record(state, rec.key, values, touched, newly_discovered)
+    }
+
+    /// Zero-copy counterpart of [`Ingestor::ingest_record`]: the record's
+    /// fields still borrow the wire buffer, attribute names resolve through
+    /// the memo, and every value string is hashed exactly once via the
+    /// vocabulary's batch path ([`crate::state::CrawlState::intern_page`]).
+    /// Behavior (insertions, promotions, `touched`/`newly_discovered`) is
+    /// identical to the owned path.
+    pub fn ingest_record_ref(
+        &mut self,
+        state: &mut CrawlState,
+        rec: &ExtractedRecordRef<'_>,
+        touched: &mut Vec<ValueId>,
+        newly_discovered: &mut Vec<ValueId>,
+    ) -> bool {
+        if state.local.contains_key(rec.key) {
+            return false;
+        }
+        self.resolved_scratch.clear();
+        for (i, (attr_name, _)) in rec.fields.iter().enumerate() {
+            if let Some(attr) = self.attr_lookup(state, attr_name) {
+                self.resolved_scratch.push((attr, i as u32));
+            }
+        }
+        let mut values = Vec::with_capacity(self.resolved_scratch.len());
+        state.intern_page(
+            self.resolved_scratch
+                .iter()
+                .map(|&(attr, i)| (attr, rec.fields[i as usize].1.as_ref())),
+            &mut values,
+        );
+        self.finish_record(state, rec.key, values, touched, newly_discovered)
+    }
+
+    /// Ingests every record of a borrowed page, returning the per-page
+    /// tallies the executor reports in
+    /// [`crate::events::CrawlEvent::PageFetched`].
+    pub fn ingest_page(
+        &mut self,
+        state: &mut CrawlState,
+        page: &ExtractedPageRef<'_>,
+        touched: &mut Vec<ValueId>,
+        newly_discovered: &mut Vec<ValueId>,
+    ) -> PageIngest {
+        let mut stats = PageIngest::default();
+        for rec in &page.records {
+            stats.returned += 1;
+            if self.ingest_record_ref(state, rec, touched, newly_discovered) {
+                stats.new += 1;
+            }
+        }
+        stats
+    }
+
+    /// Resolves an attribute name through the memo, falling back to (and
+    /// memoizing) a scan of the state's name table on first sight.
+    fn attr_lookup(&mut self, state: &CrawlState, name: &str) -> Option<AttrId> {
+        if let Some((_, id)) = self.attr_memo.iter().find(|(n, _)| &**n == name) {
+            return *id;
+        }
+        let id = state.attr_by_name(name);
+        self.attr_memo.push((name.into(), id));
+        id
+    }
+
+    /// Shared tail of both ingest paths: candidate promotion, `DB_local`
+    /// insertion, and the co-occurrence feed.
+    fn finish_record(
+        &mut self,
+        state: &mut CrawlState,
+        key: u64,
+        values: Vec<ValueId>,
+        touched: &mut Vec<ValueId>,
+        newly_discovered: &mut Vec<ValueId>,
+    ) -> bool {
         for &vid in &values {
             touched.push(vid);
             if state.status_of(vid) == CandStatus::Undiscovered && state.is_queriable(vid) {
@@ -198,7 +294,7 @@ impl Ingestor {
             }
         }
         let before = state.local.num_records();
-        let inserted = state.local.insert(rec.key, values);
+        let inserted = state.local.insert(key, values);
         if inserted && self.co.is_enabled() {
             if let Some(stored) = state.local.records_since(before).next() {
                 let stored = stored.to_vec();
@@ -306,6 +402,54 @@ mod tests {
         let a1 = state.vocab.intern(AttrId(0), "a1");
         let b1 = state.vocab.intern(AttrId(1), "b1");
         assert_eq!(ing.co_index().count(a1, b1), 2, "records 1 and 4");
+    }
+
+    #[test]
+    fn zero_copy_ingest_matches_the_owned_path() {
+        use crate::extract::{ExtractedPage, ExtractedPageRef};
+        let recs = vec![
+            record(1, &[("A", "a1"), ("B", "b1"), ("Nope", "x")]),
+            record(2, &[("A", "a1"), ("C", "c1")]),
+            record(1, &[("A", "dup")]),
+            record(3, &[("B", "b1"), ("C", "c2")]),
+        ];
+        let page =
+            ExtractedPage { page_index: 0, total_matches: None, has_more: false, records: recs };
+
+        // Owned baseline.
+        let mut st_owned = abc_state();
+        let mut ing_owned = Ingestor::new(true);
+        let (mut touched_o, mut newly_o) = (Vec::new(), Vec::new());
+        let mut new_o = 0u64;
+        for rec in &page.records {
+            new_o += u64::from(ing_owned.ingest_record(
+                &mut st_owned,
+                rec,
+                &mut touched_o,
+                &mut newly_o,
+            ));
+        }
+
+        // Zero-copy path over the borrowed view of the same page.
+        let mut st_ref = abc_state();
+        let mut ing_ref = Ingestor::new(true);
+        let (mut touched_r, mut newly_r) = (Vec::new(), Vec::new());
+        let view = ExtractedPageRef::borrowed(&page);
+        let stats = ing_ref.ingest_page(&mut st_ref, &view, &mut touched_r, &mut newly_r);
+
+        assert_eq!(stats, PageIngest { returned: 4, new: new_o });
+        assert_eq!(touched_r, touched_o);
+        assert_eq!(newly_r, newly_o);
+        assert_eq!(st_ref.vocab.len(), st_owned.vocab.len());
+        assert_eq!(st_ref.local.num_records(), st_owned.local.num_records());
+        for v in st_owned.vocab.iter_ids() {
+            assert_eq!(st_ref.status_of(v), st_owned.status_of(v), "status of {v:?}");
+            assert_eq!(st_ref.vocab.value_str(v), st_owned.vocab.value_str(v));
+            assert_eq!(
+                ing_ref.co_index().best_partners(&st_ref, v, 2),
+                ing_owned.co_index().best_partners(&st_owned, v, 2)
+            );
+        }
     }
 
     #[test]

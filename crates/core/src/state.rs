@@ -120,6 +120,20 @@ impl CrawlState {
         id
     }
 
+    /// Batch-interns one record's `(attribute, value)` fields through the
+    /// vocabulary's single-hash path ([`ValueInterner::intern_page`]),
+    /// appending the ids to `out` and extending the status array; newly
+    /// created ids start as [`CandStatus::Undiscovered`].
+    pub fn intern_page<'a, I>(&mut self, fields: I, out: &mut Vec<ValueId>)
+    where
+        I: IntoIterator<Item = (AttrId, &'a str)>,
+    {
+        self.vocab.intern_page(fields, out);
+        if self.vocab.len() > self.status.len() {
+            self.status.resize(self.vocab.len(), CandStatus::Undiscovered);
+        }
+    }
+
     /// Resolves an attribute name to its id.
     pub fn attr_by_name(&self, name: &str) -> Option<AttrId> {
         self.attr_names.iter().position(|n| n == name).map(|i| AttrId(i as u16))
@@ -184,6 +198,18 @@ mod tests {
         let v = st.intern(AttrId(0), "x");
         assert_eq!(st.status_of(v), CandStatus::Undiscovered);
         assert_eq!(st.status.len(), 1);
+    }
+
+    #[test]
+    fn intern_page_batches_and_extends_status() {
+        let mut st = tiny_state();
+        let mut out = Vec::new();
+        st.intern_page([(AttrId(0), "x"), (AttrId(1), "y"), (AttrId(0), "x")], &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[2], "duplicate field resolves to the same id");
+        assert_eq!(st.status.len(), st.vocab.len());
+        assert!(out.iter().all(|&v| st.status_of(v) == CandStatus::Undiscovered));
+        assert_eq!(st.intern(AttrId(0), "x"), out[0], "agrees with the scalar path");
     }
 
     #[test]

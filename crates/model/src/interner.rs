@@ -5,8 +5,18 @@
 //! graph, server postings, crawler frontier). Values are qualified by their
 //! attribute, so `(Title, "Alien")` and `(Keyword, "Alien")` are distinct
 //! vertices, matching Definition 2.1's distinct attribute value set `DAV`.
+//!
+//! The interner is built for the per-page hot path: all value bytes live in
+//! one arena `String` (one `(offset, len)` span per value instead of one heap
+//! allocation per value), every value's [`value_hash`] is stored so rehashing
+//! on table growth never touches the strings, and the lookup table is a flat
+//! open-addressing array probed with that same precomputed hash. Callers on
+//! the hot path compute the hash once via [`value_hash`] and pass it to
+//! [`ValueInterner::intern_prehashed`] / [`ValueInterner::get_prehashed`] (or
+//! use the batch [`ValueInterner::intern_page`]) so each string is hashed
+//! exactly once per sighting — the convenience [`ValueInterner::intern`] /
+//! [`ValueInterner::get`] wrappers do it for you.
 
-use std::collections::HashMap;
 use std::fmt;
 
 /// Identifier of an attribute (column) in the universal table.
@@ -37,15 +47,63 @@ impl fmt::Display for AttrId {
     }
 }
 
+/// Multiplier from the FxHash family (`0x51_7c_c1_b7_27_22_0a_95` is the
+/// 64-bit constant rustc's own interners use). Not cryptographic — chosen for
+/// throughput on short identifier-like strings.
+const FX_SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[inline]
+fn fx_mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(5) ^ word).wrapping_mul(FX_SEED)
+}
+
+/// FxHash-style hash of an `(attribute, string)` pair, folding eight bytes
+/// per multiply. This is the interner's canonical hash: compute it once per
+/// sighting and reuse it for both [`ValueInterner::get_prehashed`] and
+/// [`ValueInterner::intern_prehashed`].
+#[inline]
+pub fn value_hash(attr: AttrId, value: &str) -> u64 {
+    let bytes = value.as_bytes();
+    let mut h = fx_mix(bytes.len() as u64, u64::from(attr.0));
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("chunks_exact yields 8 bytes"));
+        h = fx_mix(h, word);
+    }
+    let rem = chunks.remainder();
+    if !rem.is_empty() {
+        let mut word = [0u8; 8];
+        word[..rem.len()].copy_from_slice(rem);
+        h = fx_mix(h, u64::from_le_bytes(word));
+    }
+    h
+}
+
+/// Vacant-slot sentinel in the open-addressing table. `u32::MAX` can never be
+/// a live id because `intern` panics before the id space reaches it.
+const EMPTY_SLOT: u32 = u32::MAX;
+
 /// Interner mapping `(attribute, string)` pairs to dense [`ValueId`]s.
 ///
-/// Lookups are per-attribute maps so that probing with a borrowed `&str`
-/// never allocates.
+/// Storage is a single byte arena plus parallel per-id columns (span, attr,
+/// hash); lookups probe a flat power-of-two open-addressing table with
+/// precomputed hashes, so probing with a borrowed `&str` never allocates and
+/// growth never rehashes a string.
 #[derive(Debug, Default, Clone)]
 pub struct ValueInterner {
-    per_attr: Vec<HashMap<Box<str>, ValueId>>,
-    strings: Vec<Box<str>>,
+    /// All value bytes, concatenated in insertion order.
+    arena: String,
+    /// `(offset, len)` into `arena`, one per [`ValueId`].
+    spans: Vec<(u32, u32)>,
+    /// Owning attribute, one per [`ValueId`].
     attrs: Vec<AttrId>,
+    /// Precomputed [`value_hash`], one per [`ValueId`].
+    hashes: Vec<u64>,
+    /// Open-addressing table of id indices (power-of-two length, linear
+    /// probing, [`EMPTY_SLOT`] = vacant). Empty until the first intern.
+    slots: Vec<u32>,
+    /// One past the highest attribute slot seen, for keyword scans.
+    num_attrs: u32,
 }
 
 impl ValueInterner {
@@ -56,36 +114,93 @@ impl ValueInterner {
 
     /// Interns `(attr, value)`, returning the existing id when already known.
     pub fn intern(&mut self, attr: AttrId, value: &str) -> ValueId {
-        let slot = attr.0 as usize;
-        if slot >= self.per_attr.len() {
-            self.per_attr.resize_with(slot + 1, HashMap::new);
+        self.intern_prehashed(attr, value, value_hash(attr, value))
+    }
+
+    /// Like [`ValueInterner::intern`], but with the caller supplying
+    /// `value_hash(attr, value)` so a string sighted once is hashed once —
+    /// the same hash drives the lookup probe and, on a miss, the insertion.
+    pub fn intern_prehashed(&mut self, attr: AttrId, value: &str, hash: u64) -> ValueId {
+        if self.slots.is_empty() || (self.spans.len() + 1) * 8 > self.slots.len() * 7 {
+            self.grow_slots();
         }
-        if let Some(&id) = self.per_attr[slot].get(value) {
-            return id;
+        let mask = self.slots.len() - 1;
+        let mut probe = (hash as usize) & mask;
+        loop {
+            let slot = self.slots[probe];
+            if slot == EMPTY_SLOT {
+                let id = ValueId(
+                    u32::try_from(self.spans.len()).expect("more than u32::MAX distinct values"),
+                );
+                let offset = u32::try_from(self.arena.len()).expect("arena exceeds u32 offsets");
+                let len = u32::try_from(value.len()).expect("value exceeds u32 length");
+                self.arena.push_str(value);
+                self.spans.push((offset, len));
+                self.attrs.push(attr);
+                self.hashes.push(hash);
+                self.slots[probe] = id.0;
+                self.num_attrs = self.num_attrs.max(u32::from(attr.0) + 1);
+                return id;
+            }
+            let idx = slot as usize;
+            if self.hashes[idx] == hash && self.attrs[idx] == attr && self.span_str(idx) == value {
+                return ValueId(slot);
+            }
+            probe = (probe + 1) & mask;
         }
-        let id =
-            ValueId(u32::try_from(self.strings.len()).expect("more than u32::MAX distinct values"));
-        self.strings.push(Box::from(value));
-        self.attrs.push(attr);
-        self.per_attr[slot].insert(Box::from(value), id);
-        id
     }
 
     /// Looks up an already-interned value without inserting.
     pub fn get(&self, attr: AttrId, value: &str) -> Option<ValueId> {
-        self.per_attr.get(attr.0 as usize)?.get(value).copied()
+        self.get_prehashed(attr, value, value_hash(attr, value))
+    }
+
+    /// Like [`ValueInterner::get`], but with the caller supplying
+    /// `value_hash(attr, value)`.
+    pub fn get_prehashed(&self, attr: AttrId, value: &str, hash: u64) -> Option<ValueId> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut probe = (hash as usize) & mask;
+        loop {
+            let slot = self.slots[probe];
+            if slot == EMPTY_SLOT {
+                return None;
+            }
+            let idx = slot as usize;
+            if self.hashes[idx] == hash && self.attrs[idx] == attr && self.span_str(idx) == value {
+                return Some(ValueId(slot));
+            }
+            probe = (probe + 1) & mask;
+        }
+    }
+
+    /// Batch-interns one page's `(attr, value)` fields, appending the
+    /// resulting ids to `out` in field order. Each field string is hashed
+    /// exactly once ([`value_hash`]), with the hash reused across the table
+    /// probe and any insertion — the entry point the Ingestor stage uses so
+    /// page ingestion never double-hashes or allocates for already-known
+    /// values.
+    pub fn intern_page<'a, I>(&mut self, fields: I, out: &mut Vec<ValueId>)
+    where
+        I: IntoIterator<Item = (AttrId, &'a str)>,
+    {
+        for (attr, value) in fields {
+            out.push(self.intern_prehashed(attr, value, value_hash(attr, value)));
+        }
     }
 
     /// Looks up a bare string across all attributes (the keyword-interface
     /// view of Section 2.2's "fading schema"): returns every value id whose
     /// string equals `value`, regardless of attribute.
     pub fn get_keyword(&self, value: &str) -> Vec<ValueId> {
-        self.per_attr.iter().filter_map(|m| m.get(value).copied()).collect()
+        (0..self.num_attrs).filter_map(|a| self.get(AttrId(a as u16), value)).collect()
     }
 
     /// The string form of a value.
     pub fn value_str(&self, id: ValueId) -> &str {
-        &self.strings[id.index()]
+        self.span_str(id.index())
     }
 
     /// The attribute a value belongs to.
@@ -93,19 +208,24 @@ impl ValueInterner {
         self.attrs[id.index()]
     }
 
+    /// The precomputed hash a value was interned under.
+    pub fn hash_of(&self, id: ValueId) -> u64 {
+        self.hashes[id.index()]
+    }
+
     /// Number of distinct attribute values interned so far (|DAV|).
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.spans.len()
     }
 
     /// Whether nothing has been interned yet.
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.spans.is_empty()
     }
 
     /// Iterates all interned ids in insertion order.
     pub fn iter_ids(&self) -> impl Iterator<Item = ValueId> + '_ {
-        (0..self.strings.len() as u32).map(ValueId)
+        (0..self.spans.len() as u32).map(ValueId)
     }
 
     /// All value ids belonging to `attr` (linear scan; intended for analysis,
@@ -117,6 +237,28 @@ impl ValueInterner {
             .filter(|(_, &a)| a == attr)
             .map(|(i, _)| ValueId(i as u32))
             .collect()
+    }
+
+    #[inline]
+    fn span_str(&self, idx: usize) -> &str {
+        let (offset, len) = self.spans[idx];
+        &self.arena[offset as usize..(offset + len) as usize]
+    }
+
+    /// Doubles the slot table (min 16) and re-places every id from its stored
+    /// hash — growth never re-reads, let alone rehashes, the arena.
+    fn grow_slots(&mut self) {
+        let new_len = (self.slots.len() * 2).max(16);
+        self.slots.clear();
+        self.slots.resize(new_len, EMPTY_SLOT);
+        let mask = new_len - 1;
+        for (idx, &hash) in self.hashes.iter().enumerate() {
+            let mut probe = (hash as usize) & mask;
+            while self.slots[probe] != EMPTY_SLOT {
+                probe = (probe + 1) & mask;
+            }
+            self.slots[probe] = idx as u32;
+        }
     }
 }
 
@@ -174,5 +316,58 @@ mod tests {
         let b = it.intern(AttrId(1), "y");
         it.intern(AttrId(0), "z");
         assert_eq!(it.ids_of_attr(AttrId(1)), vec![b]);
+    }
+
+    #[test]
+    fn prehashed_paths_agree_with_convenience_wrappers() {
+        let mut it = ValueInterner::new();
+        let h = value_hash(AttrId(2), "Blade Runner");
+        let id = it.intern_prehashed(AttrId(2), "Blade Runner", h);
+        assert_eq!(it.get_prehashed(AttrId(2), "Blade Runner", h), Some(id));
+        assert_eq!(it.get(AttrId(2), "Blade Runner"), Some(id));
+        assert_eq!(it.intern(AttrId(2), "Blade Runner"), id);
+        assert_eq!(it.hash_of(id), h);
+    }
+
+    #[test]
+    fn intern_page_batches_in_field_order() {
+        let mut it = ValueInterner::new();
+        let mut out = Vec::new();
+        it.intern_page(vec![(AttrId(0), "x"), (AttrId(1), "y"), (AttrId(0), "x")], &mut out);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out[0], out[2], "repeat sightings reuse the id");
+        assert_ne!(out[0], out[1]);
+        assert_eq!(it.len(), 2);
+    }
+
+    #[test]
+    fn keyword_lookup_spans_attributes() {
+        let mut it = ValueInterner::new();
+        let a = it.intern(AttrId(0), "Alien");
+        let b = it.intern(AttrId(2), "Alien");
+        it.intern(AttrId(1), "Aliens");
+        assert_eq!(it.get_keyword("Alien"), vec![a, b]);
+        assert!(it.get_keyword("Predator").is_empty());
+    }
+
+    #[test]
+    fn survives_growth_across_many_values() {
+        let mut it = ValueInterner::new();
+        let ids: Vec<_> =
+            (0..1000).map(|i| it.intern(AttrId((i % 5) as u16), &format!("val-{i}"))).collect();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(it.value_str(id), format!("val-{i}"));
+            assert_eq!(it.attr_of(id), AttrId((i % 5) as u16));
+            assert_eq!(it.get(AttrId((i % 5) as u16), &format!("val-{i}")), Some(id));
+        }
+        assert_eq!(it.len(), 1000);
+    }
+
+    #[test]
+    fn hash_distinguishes_length_from_zero_padding() {
+        // The trailing partial word is zero-padded, so the length must be
+        // mixed in to keep "a" and "a\0" distinct.
+        assert_ne!(value_hash(AttrId(0), "a"), value_hash(AttrId(0), "a\0"));
+        assert_ne!(value_hash(AttrId(0), ""), value_hash(AttrId(0), "\0"));
     }
 }

@@ -18,13 +18,20 @@
 //! ```
 
 use crate::server::ResultPage;
-use crate::wire::escape_xml;
+use crate::wire::push_escaped;
 use dwc_model::UniversalTable;
 use std::fmt::Write as _;
 
 /// Renders a result page as a template-generated HTML document.
 pub fn page_to_html(page: &ResultPage, table: &UniversalTable) -> String {
     let mut out = String::with_capacity(128 + page.records.len() * 160);
+    page_to_html_into(page, table, &mut out);
+    out
+}
+
+/// Renders a result page into a caller-provided buffer (appending), escaping
+/// field names and values in place instead of through per-field temporaries.
+pub fn page_to_html_into(page: &ResultPage, table: &UniversalTable, out: &mut String) {
     out.push_str("<html><body>\n<div id=\"summary\">page ");
     let _ = write!(out, "{}", page.page_index);
     out.push_str(" of results");
@@ -38,9 +45,9 @@ pub fn page_to_html(page: &ResultPage, table: &UniversalTable) -> String {
             let attr = table.interner().attr_of(v);
             let name = &table.schema().attr(attr).name;
             out.push_str("  <span class=\"f\" title=\"");
-            out.push_str(&escape_xml(name));
+            push_escaped(out, name);
             out.push_str("\">");
-            out.push_str(&escape_xml(table.interner().value_str(v)));
+            push_escaped(out, table.interner().value_str(v));
             out.push_str("</span>\n");
         }
         out.push_str("</div>\n");
@@ -49,7 +56,6 @@ pub fn page_to_html(page: &ResultPage, table: &UniversalTable) -> String {
         let _ = writeln!(out, "<a id=\"next\" href=\"?page={}\">more</a>", page.page_index + 1);
     }
     out.push_str("</body></html>\n");
-    out
 }
 
 #[cfg(test)]

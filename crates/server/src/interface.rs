@@ -105,7 +105,7 @@ impl InterfaceSpec {
 
 /// A query submitted through the interface — always a single attribute value,
 /// per the simplified query model of Section 2.2.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Query {
     /// Fast path: an already-interned value id (in-process experiments).
     Value(ValueId),

@@ -23,6 +23,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod error;
 pub mod fault;
 pub mod html;
@@ -31,6 +32,7 @@ pub mod interface;
 pub mod server;
 pub mod wire;
 
+pub use cache::{PageCache, RenderFormat, RenderedPage};
 pub use error::ServerError;
 pub use fault::{FaultPolicy, FaultState};
 pub use index::InvertedIndex;

@@ -6,12 +6,14 @@
 //! per-query result cap truncates deep pagination (Section 5.4), and the
 //! total match count is reported when the interface says so (Section 3.4).
 
+use crate::cache::{PageCache, RenderFormat, RenderedPage};
 use crate::error::ServerError;
 use crate::fault::{FaultPolicy, FaultState};
 use crate::index::InvertedIndex;
 use crate::interface::{InterfaceSpec, Query};
 use dwc_model::{RecordId, UniversalTable, ValueId};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// A record as it appears in a result page: the source-assigned stable key
 /// (like an Amazon ASIN) plus the record's attribute values.
@@ -54,6 +56,7 @@ pub struct WebDbServer {
     fault: FaultPolicy,
     requests: AtomicU64,
     faults: FaultState,
+    cache: PageCache,
 }
 
 impl Clone for WebDbServer {
@@ -65,6 +68,8 @@ impl Clone for WebDbServer {
             fault: self.fault.clone(),
             requests: AtomicU64::new(self.rounds_used()),
             faults: self.faults.clone(),
+            // A clone serves its own traffic: it starts with a cold cache.
+            cache: self.cache.clone(),
         }
     }
 }
@@ -80,6 +85,7 @@ impl WebDbServer {
             fault: FaultPolicy::none(),
             requests: AtomicU64::new(0),
             faults: FaultState::new(),
+            cache: PageCache::default(),
         }
     }
 
@@ -87,6 +93,17 @@ impl WebDbServer {
     pub fn with_faults(mut self, fault: FaultPolicy) -> Self {
         self.fault = fault;
         self
+    }
+
+    /// Sizes the rendered-page cache (`0` disables it).
+    pub fn with_page_cache(mut self, capacity: usize) -> Self {
+        self.cache = PageCache::new(capacity);
+        self
+    }
+
+    /// The rendered-page cache (hit/miss statistics for harnesses).
+    pub fn page_cache(&self) -> &PageCache {
+        &self.cache
     }
 
     /// The backing table (test/analysis access — a real crawler has no such
@@ -101,8 +118,11 @@ impl WebDbServer {
     }
 
     /// Replaces the interface (used by the Figure 6 result-cap sweeps).
+    /// Bumps the page-cache epoch: pagination and caps may have changed, so
+    /// every cached render is invalid.
     pub fn set_interface(&mut self, interface: InterfaceSpec) {
         self.interface = interface;
+        self.cache.bump_epoch();
     }
 
     /// Total page requests served so far — the crawl's communication cost.
@@ -137,10 +157,48 @@ impl WebDbServer {
     /// communication round. Takes `&self`: concurrent callers each get their
     /// own request number from the shared atomic counter.
     pub fn query_page(&self, query: &Query, page_index: usize) -> Result<ResultPage, ServerError> {
+        self.bill()?;
+        self.compute_page(query, page_index)
+    }
+
+    /// Serves one page already rendered to its wire form, reusing the page
+    /// cache: overlapping requests from fleet workers sharing this source
+    /// skip the resolve + paginate + render work entirely. The communication
+    /// round (and any injected fault) is billed exactly as in
+    /// [`WebDbServer::query_page`] — a cache hit is cheaper, not free.
+    pub fn rendered_page(
+        &self,
+        query: &Query,
+        page_index: usize,
+        format: RenderFormat,
+    ) -> Result<RenderedPage, ServerError> {
+        self.bill()?;
+        if let Some(text) = self.cache.get(format, query, page_index) {
+            return Ok(RenderedPage::new(text, true));
+        }
+        let page = self.compute_page(query, page_index)?;
+        let mut buf = String::with_capacity(128 + page.records.len() * 160);
+        match format {
+            RenderFormat::Xml => crate::wire::page_to_xml_into(&page, &self.table, &mut buf),
+            RenderFormat::Html => crate::html::page_to_html_into(&page, &self.table, &mut buf),
+        }
+        let text: Arc<str> = Arc::from(buf);
+        self.cache.insert(format, query, page_index, Arc::clone(&text));
+        Ok(RenderedPage::new(text, false))
+    }
+
+    /// Charges one communication round and rolls the fault dice — the
+    /// billable prefix shared by every page entry point.
+    fn bill(&self) -> Result<(), ServerError> {
         let request_no = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
         if self.faults.try_inject(&self.fault, request_no) {
             return Err(ServerError::Transient);
         }
+        Ok(())
+    }
+
+    /// Resolves, paginates, and materializes one result page (no billing).
+    fn compute_page(&self, query: &Query, page_index: usize) -> Result<ResultPage, ServerError> {
         let matches: MatchList<'_> = match self.resolve(query)? {
             Resolved::None => MatchList::Empty,
             Resolved::Single(v) => MatchList::Postings(self.index.postings(v)),
@@ -483,6 +541,54 @@ mod tests {
         assert_eq!(s.oracle_match_count(&q), 3);
         let p0 = s.query_page(&q, 0).unwrap();
         assert_eq!(p0.total_matches, Some(3));
+    }
+
+    #[test]
+    fn rendered_pages_are_cached_but_still_billed() {
+        let s = figure1_server(10);
+        let a2 = val(&s, 0, "a2");
+        let q = Query::Value(a2);
+        let r1 = s.rendered_page(&q, 0, RenderFormat::Xml).unwrap();
+        assert!(!r1.cache_hit(), "first render is a miss");
+        let r2 = s.rendered_page(&q, 0, RenderFormat::Xml).unwrap();
+        assert!(r2.cache_hit(), "identical request is served from cache");
+        assert_eq!(r1.text(), r2.text());
+        assert_eq!(s.rounds_used(), 2, "a cache hit is cheaper, not free");
+        assert_eq!(s.page_cache().hits(), 1);
+        // The cached XML matches a fresh render of the same page.
+        let page = s.query_page(&q, 0).unwrap();
+        assert_eq!(r1.text(), crate::wire::page_to_xml(&page, s.table()));
+        // Formats are cached independently.
+        let html = s.rendered_page(&q, 0, RenderFormat::Html).unwrap();
+        assert!(!html.cache_hit());
+        assert_ne!(html.text(), r1.text());
+    }
+
+    #[test]
+    fn interface_swap_invalidates_rendered_cache() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let mut s = WebDbServer::new(t, spec.clone());
+        let a2 = val(&s, 0, "a2");
+        let q = Query::Value(a2);
+        let before = s.rendered_page(&q, 0, RenderFormat::Xml).unwrap();
+        s.set_interface(spec.with_result_cap(1));
+        let after = s.rendered_page(&q, 0, RenderFormat::Xml).unwrap();
+        assert!(!after.cache_hit(), "epoch bump must force a re-render");
+        assert_ne!(before.text(), after.text(), "the cap changed the page");
+    }
+
+    #[test]
+    fn fault_injection_applies_before_the_cache() {
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 10);
+        let s = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(2));
+        let a2 = val(&s, 0, "a2");
+        let q = Query::Value(a2);
+        assert!(s.rendered_page(&q, 0, RenderFormat::Xml).is_ok()); // request 1
+                                                                    // Request 2 faults even though the page is cached.
+        assert!(matches!(s.rendered_page(&q, 0, RenderFormat::Xml), Err(ServerError::Transient)));
+        assert!(s.rendered_page(&q, 0, RenderFormat::Xml).unwrap().cache_hit());
     }
 
     #[test]

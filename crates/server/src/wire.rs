@@ -21,6 +21,7 @@
 
 use crate::server::ResultPage;
 use dwc_model::UniversalTable;
+use std::borrow::Cow;
 use std::fmt::Write as _;
 
 /// Escapes text content / attribute values.
@@ -30,7 +31,10 @@ pub fn escape_xml(s: &str) -> String {
     out
 }
 
-fn push_escaped(out: &mut String, s: &str) {
+/// Appends `s` to `out` with the five XML-mandated escapes applied — the
+/// allocation-free building block behind [`escape_xml`] and the `*_into`
+/// renderers.
+pub fn push_escaped(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '&' => out.push_str("&amp;"),
@@ -69,10 +73,28 @@ pub fn unescape_xml(s: &str) -> String {
     out
 }
 
+/// Borrowing flavor of [`unescape_xml`]: returns the input slice untouched
+/// when it contains no `&` (the overwhelmingly common case on the wire hot
+/// path) and only allocates when an entity actually needs resolving.
+pub fn unescape_xml_cow(s: &str) -> Cow<'_, str> {
+    if s.contains('&') {
+        Cow::Owned(unescape_xml(s))
+    } else {
+        Cow::Borrowed(s)
+    }
+}
+
 /// Serializes a result page to the XML wire format, resolving value ids to
 /// attribute names and value strings through the server's table.
 pub fn page_to_xml(page: &ResultPage, table: &UniversalTable) -> String {
     let mut out = String::with_capacity(64 + page.records.len() * 128);
+    page_to_xml_into(page, table, &mut out);
+    out
+}
+
+/// Renders a result page into a caller-provided buffer (appending), so a
+/// server loop can reuse one allocation across pages.
+pub fn page_to_xml_into(page: &ResultPage, table: &UniversalTable, out: &mut String) {
     out.push_str("<results page=\"");
     let _ = write!(out, "{}", page.page_index);
     out.push_str("\" more=\"");
@@ -88,15 +110,14 @@ pub fn page_to_xml(page: &ResultPage, table: &UniversalTable) -> String {
             let attr = table.interner().attr_of(v);
             let name = &table.schema().attr(attr).name;
             out.push_str("    <field attr=\"");
-            push_escaped(&mut out, name);
+            push_escaped(out, name);
             out.push_str("\">");
-            push_escaped(&mut out, table.interner().value_str(v));
+            push_escaped(out, table.interner().value_str(v));
             out.push_str("</field>\n");
         }
         out.push_str("  </record>\n");
     }
     out.push_str("</results>\n");
-    out
 }
 
 #[cfg(test)]
@@ -117,6 +138,17 @@ mod tests {
     fn unescape_leaves_unknown_entities() {
         assert_eq!(unescape_xml("a&nbsp;b"), "a&nbsp;b");
         assert_eq!(unescape_xml("trailing &"), "trailing &");
+    }
+
+    #[test]
+    fn cow_unescape_borrows_when_no_entity_is_present() {
+        assert!(matches!(unescape_xml_cow("Hanks, Tom"), Cow::Borrowed(_)));
+        assert!(matches!(unescape_xml_cow(""), Cow::Borrowed(_)));
+        let owned = unescape_xml_cow("a&amp;b");
+        assert!(matches!(owned, Cow::Owned(_)));
+        assert_eq!(owned, "a&b");
+        // Unknown entities still force the owned path but stay verbatim.
+        assert_eq!(unescape_xml_cow("a&nbsp;b"), "a&nbsp;b");
     }
 
     #[test]

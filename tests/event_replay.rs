@@ -122,6 +122,35 @@ fn late_attached_sink_on_a_resumed_crawl_replays_exactly() {
     assert_eq!(replay_report(&events), Some(report));
 }
 
+/// Cache-hit parity: two wire-mode crawls sharing one server overlap on the
+/// render cache; the second crawl's `PageCacheHit` events must fold into the
+/// report's `page_cache_hits` exactly, and its stream must still replay.
+#[test]
+fn page_cache_hits_survive_replay() {
+    let server = imdb_server(17);
+    let run = |server: &Arc<WebDbServer>| {
+        let config =
+            CrawlConfig::builder().prober(ProberMode::Wire).max_rounds(200).build().unwrap();
+        let mut crawler = Crawler::new(Arc::clone(server), PolicyKind::GreedyLink.build(), config);
+        assert!(crawler.add_seed("Language", "Language_0"));
+        let sink = MemorySink::new();
+        crawler.add_sink(Box::new(sink.clone()));
+        (crawler.run(), sink.collected())
+    };
+    let (first_report, first_events) = run(&server);
+    assert_eq!(first_report.page_cache_hits, 0, "a cold cache renders every page");
+    assert_eq!(replay_report(&first_events), Some(first_report));
+
+    // The second "fleet worker" re-issues the same greedy query sequence and
+    // rides the first worker's rendered pages.
+    let (report, events) = run(&server);
+    assert!(report.page_cache_hits > 0, "overlapping crawls must hit the cache");
+    assert_eq!(report.page_cache_hits, server.page_cache().hits());
+    let hit_events = events.iter().filter(|e| matches!(e, CrawlEvent::PageCacheHit)).count() as u64;
+    assert_eq!(report.page_cache_hits, hit_events, "report is a fold over the stream");
+    assert_eq!(replay_report(&events), Some(report));
+}
+
 proptest! {
     // Whole crawls per case are expensive; a dozen seeded fault plans cover
     // plenty of interleavings of faults, retries, stalls, and requeues.

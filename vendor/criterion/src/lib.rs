@@ -13,11 +13,16 @@ pub use std::hint::black_box;
 /// Benchmark driver (stub of `criterion::Criterion`).
 pub struct Criterion {
     sample_size: usize,
+    quick: bool,
 }
+
+/// Timed iterations per benchmark in `--quick` mode (mirrors real
+/// criterion's reduced-measurement flag; CI's bench gate relies on it).
+const QUICK_SAMPLE_SIZE: usize = 10;
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 50 }
+        Criterion { sample_size: 50, quick: std::env::args().any(|a| a == "--quick") }
     }
 }
 
@@ -34,13 +39,26 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        run_one(name, self.sample_size, &mut f);
+        run_one(name, self.effective_sample_size(), &mut f);
         self
     }
 
     /// Opens a named group of benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.to_owned(), sample_size: self.sample_size, _parent: self }
+        BenchmarkGroup {
+            name: name.to_owned(),
+            sample_size: self.sample_size,
+            quick: self.quick,
+            _parent: self,
+        }
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.quick {
+            self.sample_size.min(QUICK_SAMPLE_SIZE)
+        } else {
+            self.sample_size
+        }
     }
 }
 
@@ -48,6 +66,7 @@ impl Criterion {
 pub struct BenchmarkGroup<'a> {
     name: String,
     sample_size: usize,
+    quick: bool,
     _parent: &'a mut Criterion,
 }
 
@@ -65,7 +84,7 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let id = id.into();
-        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut f);
+        run_one(&format!("{}/{}", self.name, id.0), self.effective_sample_size(), &mut f);
         self
     }
 
@@ -79,8 +98,18 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
-        run_one(&format!("{}/{}", self.name, id.0), self.sample_size, &mut |b| f(b, input));
+        run_one(&format!("{}/{}", self.name, id.0), self.effective_sample_size(), &mut |b| {
+            f(b, input)
+        });
         self
+    }
+
+    fn effective_sample_size(&self) -> usize {
+        if self.quick {
+            self.sample_size.min(QUICK_SAMPLE_SIZE)
+        } else {
+            self.sample_size
+        }
     }
 
     /// Ends the group (no-op in the stub; kept for API compatibility).
@@ -178,6 +207,16 @@ mod tests {
         let mut runs = 0usize;
         c.bench_function("probe", |b| b.iter(|| runs += 1));
         assert!(runs >= 3, "timed + warm-up iterations must run");
+    }
+
+    #[test]
+    fn quick_mode_caps_sample_size() {
+        let mut c = Criterion { sample_size: 50, quick: true };
+        assert_eq!(c.effective_sample_size(), QUICK_SAMPLE_SIZE);
+        let g = c.benchmark_group("g");
+        assert_eq!(g.effective_sample_size(), QUICK_SAMPLE_SIZE);
+        let c = Criterion { sample_size: 50, quick: false };
+        assert_eq!(c.effective_sample_size(), 50);
     }
 
     #[test]
