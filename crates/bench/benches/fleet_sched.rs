@@ -1,0 +1,161 @@
+//! BENCH-5: the work-stealing fleet scheduler against the thread-per-job
+//! engine it replaced, at fleet scale.
+//!
+//! One thousand independent crawl jobs (each its own tiny figure-1 server)
+//! run once through `run_fleet_thread_per_job` — 1,000 OS threads, one
+//! grant channel per job — and once through the pooled `run_fleet` on an
+//! 8-worker pool — one injector, one result channel, 8 threads. Both
+//! engines split the budget through the same allocator, so setup first
+//! asserts their `FleetReport`s are identical job for job; the timing gate
+//! then asserts the pool is at least [`REQUIRED_SPEEDUP`]× faster and
+//! writes the measured numbers to `BENCH_5.json` at the repo root, so a
+//! regression fails `cargo bench` (and CI's bench gate) loudly.
+//!
+//! The win is pure scheduling overhead: the jobs are identical either way,
+//! but the baseline pays ~1,000 thread spawns/joins per run plus a context
+//! switch per grant, while the pool pays 8 spawns and drains slices from
+//! local deques.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dwc_core::fleet::{
+    run_fleet, run_fleet_thread_per_job, AllocationStrategy, FleetConfig, FleetJob,
+};
+use dwc_core::policy::PolicyKind;
+use dwc_core::CrawlConfig;
+use dwc_server::{InterfaceSpec, WebDbServer};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+/// The gate: the pooled scheduler must beat thread-per-job by at least this
+/// factor on the identical 1k-job workload.
+const REQUIRED_SPEEDUP: f64 = 2.0;
+
+/// Pool width for the pooled side (the baseline ignores it).
+const WORKERS: usize = 8;
+
+fn quick_mode() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}
+
+fn job_count() -> usize {
+    if quick_mode() {
+        250
+    } else {
+        1_000
+    }
+}
+
+/// One self-contained job: a private figure-1 server (5 records, every
+/// query costs exactly one round), crawled to exhaustion. Seeds rotate so
+/// the jobs are not byte-identical crawls.
+fn jobs(n: usize) -> Vec<FleetJob<WebDbServer>> {
+    let seeds = ["a1", "a2", "a3"];
+    (0..n)
+        .map(|i| {
+            let t = dwc_model::fixtures::figure1_table();
+            let spec = InterfaceSpec::permissive(t.schema(), 10);
+            FleetJob {
+                source: WebDbServer::new(t, spec),
+                policy: PolicyKind::GreedyLink,
+                seeds: vec![("A".into(), seeds[i % seeds.len()].into())],
+                config: CrawlConfig::builder()
+                    .known_target_size(5)
+                    .build()
+                    .expect("valid crawl config"),
+                resume: None,
+            }
+        })
+        .collect()
+}
+
+fn fleet_config(n: usize, workers: usize) -> FleetConfig {
+    FleetConfig::builder()
+        // Roomy enough that every job exhausts its frontier (~13 rounds).
+        .total_rounds(n as u64 * 40)
+        .slice(n as u64 * 8)
+        .allocation(AllocationStrategy::Even)
+        .workers(workers)
+        .build()
+        .expect("valid fleet config")
+}
+
+fn bench_fleet_sched(c: &mut Criterion) {
+    let n = job_count();
+
+    // Correctness first: same allocator, same jobs — the reports must be
+    // identical job for job before the timing means anything.
+    let pooled = run_fleet(jobs(n), fleet_config(n, WORKERS));
+    let baseline = run_fleet_thread_per_job(jobs(n), fleet_config(n, WORKERS));
+    assert_eq!(
+        pooled.sources, baseline.sources,
+        "pooled and thread-per-job engines must produce identical reports"
+    );
+    assert!(
+        pooled.sources.iter().all(|r| r.records == 5),
+        "every job must crawl its source to exhaustion"
+    );
+    let sched = pooled.scheduler.clone();
+    assert_eq!(sched.workers as usize, WORKERS);
+    assert_eq!(sched.slices_completed, sched.slices_scheduled);
+
+    // The timing gate.
+    let passes = if quick_mode() { 2 } else { 5 };
+    let start = Instant::now();
+    for _ in 0..passes {
+        black_box(run_fleet_thread_per_job(jobs(n), fleet_config(n, WORKERS)));
+    }
+    let baseline_elapsed = start.elapsed();
+    let start = Instant::now();
+    for _ in 0..passes {
+        black_box(run_fleet(jobs(n), fleet_config(n, WORKERS)));
+    }
+    let pooled_elapsed = start.elapsed();
+    let speedup = baseline_elapsed.as_secs_f64() / pooled_elapsed.as_secs_f64().max(1e-12);
+
+    let json = format!(
+        "{{\n  \"bench\": \"fleet_sched\",\n  \"mode\": \"{}\",\n  \"jobs\": {},\n  \
+         \"workers\": {},\n  \"timed_passes\": {},\n  \"thread_per_job_ns_per_pass\": {:.0},\n  \
+         \"pooled_ns_per_pass\": {:.0},\n  \"speedup\": {:.2},\n  \
+         \"required_speedup\": {:.1},\n  \"slices_completed\": {},\n  \"steals\": {},\n  \
+         \"rounds_executed\": {}\n}}\n",
+        if quick_mode() { "quick" } else { "full" },
+        n,
+        WORKERS,
+        passes,
+        baseline_elapsed.as_nanos() as f64 / passes as f64,
+        pooled_elapsed.as_nanos() as f64 / passes as f64,
+        speedup,
+        REQUIRED_SPEEDUP,
+        sched.slices_completed,
+        sched.steals,
+        sched.rounds_executed,
+    );
+    let out = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_5.json");
+    std::fs::write(&out, &json).expect("write BENCH_5.json");
+    println!(
+        "fleet_sched speedup {speedup:.2}x (gate {REQUIRED_SPEEDUP:.1}x) -> {}",
+        out.display()
+    );
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "pooled fleet must be at least {REQUIRED_SPEEDUP}x faster than thread-per-job at {n} \
+         jobs, measured {speedup:.2}x ({baseline_elapsed:?} vs {pooled_elapsed:?})"
+    );
+
+    // Criterion numbers for the record (the gate above already enforced),
+    // at a smaller job count so the full suite stays fast.
+    let small = n / 10;
+    let mut group = c.benchmark_group("fleet_sched");
+    group.sample_size(10);
+    group.bench_function("thread_per_job", |b| {
+        b.iter(|| black_box(run_fleet_thread_per_job(jobs(small), fleet_config(small, WORKERS))))
+    });
+    group.bench_function("pooled_8_workers", |b| {
+        b.iter(|| black_box(run_fleet(jobs(small), fleet_config(small, WORKERS))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fleet_sched);
+criterion_main!(benches);

@@ -31,6 +31,7 @@ fn shared_jobs(faults: Option<FaultPolicy>) -> (Arc<WebDbServer>, Vec<FleetJob<A
                 .max_retries(32)
                 .build()
                 .expect("valid crawl config"),
+            resume: None,
         })
         .collect();
     (shared, jobs)

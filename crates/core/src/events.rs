@@ -197,6 +197,25 @@ pub enum CrawlEvent {
         /// Fleet job index.
         job: u32,
     },
+    /// The fleet coordinator queued one budget slice for a job on the
+    /// work-stealing pool.
+    SliceScheduled {
+        /// Fleet job index.
+        job: u32,
+        /// Rounds granted for this slice.
+        rounds: u64,
+    },
+    /// A pool worker finished executing a job's slice (without panicking).
+    SliceCompleted {
+        /// Fleet job index.
+        job: u32,
+        /// Pool worker that executed the slice.
+        worker: u32,
+        /// Elapsed rounds actually billed during the slice.
+        rounds: u64,
+        /// Whether the worker stole the slice from a sibling's deque.
+        stolen: bool,
+    },
 }
 
 impl CrawlEvent {
@@ -255,6 +274,13 @@ impl CrawlEvent {
             CrawlEvent::JobAbandoned { job } => {
                 format!("{{\"event\":\"job_abandoned\",\"job\":{job}}}")
             }
+            CrawlEvent::SliceScheduled { job, rounds } => {
+                format!("{{\"event\":\"slice_scheduled\",\"job\":{job},\"rounds\":{rounds}}}")
+            }
+            CrawlEvent::SliceCompleted { job, worker, rounds, stolen } => format!(
+                "{{\"event\":\"slice_completed\",\"job\":{job},\"worker\":{worker},\
+                 \"rounds\":{rounds},\"stolen\":{stolen}}}"
+            ),
         }
     }
 
@@ -305,6 +331,16 @@ impl CrawlEvent {
                 CrawlEvent::WorkerRestarted { job: json_u64(line, "job")? as u32 }
             }
             "job_abandoned" => CrawlEvent::JobAbandoned { job: json_u64(line, "job")? as u32 },
+            "slice_scheduled" => CrawlEvent::SliceScheduled {
+                job: json_u64(line, "job")? as u32,
+                rounds: json_u64(line, "rounds")?,
+            },
+            "slice_completed" => CrawlEvent::SliceCompleted {
+                job: json_u64(line, "job")? as u32,
+                worker: json_u64(line, "worker")? as u32,
+                rounds: json_u64(line, "rounds")?,
+                stolen: json_bool(line, "stolen")?,
+            },
             _ => return None,
         })
     }
@@ -482,6 +518,9 @@ mod tests {
             },
             CrawlEvent::WorkerRestarted { job: 1 },
             CrawlEvent::JobAbandoned { job: 0 },
+            CrawlEvent::SliceScheduled { job: 3, rounds: 250 },
+            CrawlEvent::SliceCompleted { job: 3, worker: 1, rounds: 248, stolen: true },
+            CrawlEvent::SliceCompleted { job: 0, worker: 0, rounds: 10, stolen: false },
         ]
     }
 

@@ -1,4 +1,4 @@
-//! Multi-worker fleet crawling — distinct and *shared* sources.
+//! Fleet crawling on a bounded work-stealing scheduler.
 //!
 //! The paper closes with "our future work also includes the implementation
 //! and deployment of a real world product database crawler" — a crawler that
@@ -6,23 +6,39 @@
 //! (e.g. a comparison-shopping engine harvesting every DVD store it knows).
 //! This module provides that deployment layer on top of [`crate::Crawler`]:
 //!
-//! * each job runs its own crawler (own policy, own vocabulary, own
-//!   `DB_local`) on its own worker thread;
+//! * each job is a **parked state machine** around its own crawler (own
+//!   policy, own vocabulary, own `DB_local`); between budget slices the
+//!   crawler sits in a coordinator-owned slot, owning no thread;
+//! * slices are multiplexed onto a bounded [`Pool`] of
+//!   [`FleetConfig::workers`] threads (default `available_parallelism`) —
+//!   a global injector queue plus per-worker deques with sibling stealing
+//!   ([`crate::sched`]), so a 10k-job fleet runs on 8 threads instead of
+//!   10k threads × ~8 MB of stack, and one slow source never strands the
+//!   queue behind it;
 //! * jobs are generic over [`DataSource`], so a fleet can mix distinct
 //!   servers with *shared* ones — pass `Arc<WebDbServer>` clones and N
-//!   workers probe the same source concurrently, every page request landing
+//!   jobs probe the same source concurrently, every page request landing
 //!   in the same atomic round counter (partitioned crawling of one large
 //!   source, e.g. different seed regions of the same store);
 //! * the global budget is handed out in *slices*, split across jobs by an
 //!   [`AllocationStrategy`]: evenly, or proportionally to each job's
 //!   observed recent harvest rate — the fleet-level analogue of per-query
 //!   selection (spend the next rounds where they buy the most new records);
-//! * workers are billed in **elapsed rounds** — page requests plus retry
-//!   backoff waits ([`crate::RetryPolicy`]) — so a worker stuck retrying a
+//!   grants in a cycle are clamped to the remaining global budget;
+//! * jobs are billed in **elapsed rounds** — page requests plus retry
+//!   backoff waits ([`crate::RetryPolicy`]) — so a job stuck retrying a
 //!   flaky source drains its own budget, not its siblings';
 //! * a job whose frontier dries up stops drawing budget, and under
 //!   proportional allocation a saturating job gradually loses budget to
-//!   fresher ones.
+//!   fresher ones;
+//! * every scheduling fact is observable: the coordinator records
+//!   [`CrawlEvent::SliceScheduled`] / [`CrawlEvent::SliceCompleted`] on a
+//!   fleet-level [`MetricsRegistry`], and [`FleetReport::scheduler`] is
+//!   derived from that stream ([`MetricsRegistry::scheduler_stats`]).
+//!
+//! With `workers = 1` the pool drains slices strictly in submission order
+//! and the coordinator folds outcomes in that same order, so a fixed-seed
+//! fleet run is bit-for-bit reproducible, event stream included.
 //!
 //! # Supervision
 //!
@@ -30,18 +46,20 @@
 //! handles, which is what real fleets hold — `Arc<WebDbServer>` clones or
 //! fault-injection wrappers):
 //!
-//! * worker threads run their stepping loop under
-//!   [`std::panic::catch_unwind`]; a panicking worker reports in and dies,
-//!   and the supervisor respawns it from the job's last persisted
-//!   checkpoint ([`CrawlConfig::checkpoint_store`]) — completed rounds are
-//!   not re-billed, at most one checkpoint interval of work is repeated;
+//! * every slice runs under [`std::panic::catch_unwind`] — isolation is
+//!   per *slice*, not per thread, so a panicking job never takes a pool
+//!   worker (or its queued siblings) down with it; the supervisor rebuilds
+//!   the victim from its last persisted checkpoint
+//!   ([`CrawlConfig::checkpoint_store`]) — completed rounds are not
+//!   re-billed, at most one checkpoint interval of work is repeated;
 //! * a job that panics more than [`FleetConfig::max_restarts`] times is
 //!   abandoned with [`StopReason::WorkerFailed`] instead of wedging the
 //!   fleet;
-//! * each job runs behind a per-source [`CircuitBreaker`]: a worker whose
+//! * each job runs behind a per-source [`CircuitBreaker`]: a job whose
 //!   consecutive-failure streak reaches [`BreakerConfig::trip_after`] is
-//!   paused, its budget flows to healthy jobs, and after the cooldown a
-//!   half-open probe slice decides between recovery and another pause;
+//!   paused *by not being scheduled* — no thread blocks on it — its budget
+//!   flows to healthy jobs, and after the cooldown a half-open probe slice
+//!   decides between recovery and another pause;
 //! * jobs whose retry policy was left on the fail-fast
 //!   [`RetryPolicy::default`] get [`FleetConfig::default_retry`]
 //!   substituted, so a fleet never hammers a flaky source without backoff
@@ -51,14 +69,22 @@
 //!   [`MetricsRegistry`], and [`FleetReport::health`] is *derived* from
 //!   those streams ([`MetricsRegistry::job_health`]); the supervisor keeps
 //!   no tallies of its own.
+//!
+//! The original one-OS-thread-per-job engine survives as
+//! [`run_fleet_thread_per_job`], the A/B baseline the `fleet_sched` bench
+//! gate measures the pool against.
 
+use crate::checkpoint::Checkpoint;
 use crate::config::{ConfigError, RetryPolicy};
 use crate::crawler::{CrawlConfig, CrawlReport, Crawler, StopReason};
 use crate::events::CrawlEvent;
 use crate::health::{BreakerConfig, CircuitBreaker, JobHealth};
 use crate::metrics::MetricsRegistry;
 use crate::policy::PolicyKind;
+use crate::sched::{Pool, SchedulerStats, TaskCtx};
 use crate::source::DataSource;
+use crate::store::CheckpointStore;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
 /// How the global round budget is divided across jobs.
@@ -74,19 +100,24 @@ pub enum AllocationStrategy {
 
 /// One crawl job of the fleet.
 ///
-/// `S` is any [`DataSource`] handle the worker thread can own: a
-/// `WebDbServer` (exclusive), an `Arc<WebDbServer>` (shared with other
-/// workers), or a [`crate::FaultySource`]-wrapped source.
+/// `S` is any [`DataSource`] handle a pool worker can own while the job's
+/// slice runs: a `WebDbServer` (exclusive), an `Arc<WebDbServer>` (shared
+/// with other jobs), or a [`crate::FaultySource`]-wrapped source.
 pub struct FleetJob<S: DataSource> {
     /// The target source handle.
     pub source: S,
     /// Selection policy for this job.
     pub policy: PolicyKind,
-    /// Seed values (attribute name, value string).
+    /// Seed values (attribute name, value string). Ignored when `resume`
+    /// is set — a resumed crawl re-enters its persisted frontier instead.
     pub seeds: Vec<(String, String)>,
     /// Per-job config template (budgets are driven by the fleet; leave
     /// `max_rounds` unset).
     pub config: CrawlConfig,
+    /// Start from this checkpoint instead of the seeds (`dwc resume
+    /// --workers` routes a resumed crawl through a one-job fleet this way).
+    /// The checkpointed rounds count against [`FleetConfig::total_rounds`].
+    pub resume: Option<Checkpoint>,
 }
 
 /// Fleet-level configuration. Prefer [`FleetConfig::builder`].
@@ -98,13 +129,18 @@ pub struct FleetConfig {
     pub slice: u64,
     /// Budget split strategy.
     pub allocation: AllocationStrategy,
+    /// Pool worker threads. `None` (the default) resolves to
+    /// `std::thread::available_parallelism()`; the resolved count is capped
+    /// at the job count (idle workers buy nothing). `Some(0)` is rejected
+    /// by the builder.
+    pub workers: Option<usize>,
     /// Retry schedule substituted into any job whose config still carries
     /// the fail-fast [`RetryPolicy::default`] (`max_retries: 0`). Defaults
     /// to 4 retries — a fleet-scale crawl against sources that can throttle
     /// should never fail fast by accident. A job that *wants* to fail fast
     /// must say so with a non-default schedule (e.g. `backoff_cap: 63`).
     pub default_retry: RetryPolicy,
-    /// Worker restarts per job before the job is abandoned with
+    /// Slice restarts per job before the job is abandoned with
     /// [`StopReason::WorkerFailed`] (supervised fleets).
     pub max_restarts: u32,
     /// Per-source circuit-breaker thresholds (supervised fleets).
@@ -117,6 +153,7 @@ impl Default for FleetConfig {
             total_rounds: 10_000,
             slice: 500,
             allocation: AllocationStrategy::Even,
+            workers: None,
             default_retry: RetryPolicy::retries(4),
             max_restarts: 3,
             breaker: BreakerConfig::default(),
@@ -128,6 +165,15 @@ impl FleetConfig {
     /// Starts building a validated configuration.
     pub fn builder() -> FleetConfigBuilder {
         FleetConfigBuilder { config: FleetConfig::default() }
+    }
+
+    /// The worker-thread count this configuration resolves to for a fleet
+    /// of `jobs` jobs: the configured [`FleetConfig::workers`] (or
+    /// `available_parallelism` when unset), capped at the job count,
+    /// floored at 1.
+    pub fn resolved_workers(&self, jobs: usize) -> usize {
+        let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+        self.workers.unwrap_or(hw).min(jobs.max(1)).max(1)
     }
 }
 
@@ -156,6 +202,13 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Sets the pool worker-thread count. Must be positive; leave unset for
+    /// `available_parallelism`.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = Some(workers);
+        self
+    }
+
     /// Sets the retry schedule substituted into jobs left on
     /// [`RetryPolicy::default`].
     pub fn default_retry(mut self, retry: RetryPolicy) -> Self {
@@ -163,7 +216,7 @@ impl FleetConfigBuilder {
         self
     }
 
-    /// Sets worker restarts per job before abandonment.
+    /// Sets slice restarts per job before abandonment.
     pub fn max_restarts(mut self, restarts: u32) -> Self {
         self.config.max_restarts = restarts;
         self
@@ -183,6 +236,9 @@ impl FleetConfigBuilder {
         if self.config.slice == 0 {
             return Err(ConfigError::ZeroBudget("slice"));
         }
+        if self.config.workers == Some(0) {
+            return Err(ConfigError::ZeroBudget("workers"));
+        }
         Ok(self.config)
     }
 }
@@ -197,6 +253,11 @@ pub struct FleetReport {
     /// Per-job fault-tolerance counters, in input order. All-zero for
     /// unsupervised fleets ([`run_fleet`]).
     pub health: Vec<JobHealth>,
+    /// Scheduler counters, derived from the fleet-level
+    /// [`CrawlEvent::SliceScheduled`] / [`CrawlEvent::SliceCompleted`]
+    /// stream. All-zero with `workers = 0` for the thread-per-job baseline
+    /// ([`run_fleet_thread_per_job`]), which schedules no slices on a pool.
+    pub scheduler: SchedulerStats,
 }
 
 impl FleetReport {
@@ -219,35 +280,447 @@ impl FleetReport {
     pub fn worker_restarts(&self) -> u64 {
         self.health.iter().map(|h| u64::from(h.worker_restarts)).sum()
     }
+
+    fn empty(workers: u32) -> FleetReport {
+        FleetReport {
+            sources: Vec::new(),
+            total_rounds: 0,
+            health: Vec::new(),
+            scheduler: SchedulerStats { workers, ..SchedulerStats::default() },
+        }
+    }
 }
 
+/// Splits one slice of the remaining budget across the active jobs,
+/// returning `(job index, grant)` pairs. Shares follow the strategy's
+/// formula, then are clamped so the cycle's grants never sum past the
+/// slice (and therefore never past the remaining global budget). Both the
+/// pooled engine and the thread-per-job baseline allocate through this one
+/// function, which is what makes their grant sequences — and hence their
+/// reports on deterministic sources — identical.
+fn allocate(
+    config: &FleetConfig,
+    active: &[usize],
+    rates: &[f64],
+    remaining: u64,
+) -> Vec<(usize, u64)> {
+    if active.is_empty() || remaining == 0 {
+        return Vec::new();
+    }
+    let slice = remaining.min(config.slice);
+    let shares: Vec<u64> = match config.allocation {
+        AllocationStrategy::Even => {
+            let each = (slice / active.len() as u64).max(1);
+            active.iter().map(|_| each).collect()
+        }
+        AllocationStrategy::HarvestProportional => {
+            const FLOOR: f64 = 0.05;
+            let weights: Vec<f64> = active.iter().map(|&i| rates[i].max(FLOOR)).collect();
+            let total: f64 = weights.iter().sum();
+            weights.iter().map(|w| (((w / total) * slice as f64).round() as u64).max(1)).collect()
+        }
+    };
+    let mut cycle_left = slice;
+    active
+        .iter()
+        .zip(shares)
+        .filter_map(|(&i, share)| {
+            let grant = share.min(cycle_left);
+            cycle_left -= grant;
+            (grant > 0).then_some((i, grant))
+        })
+        .collect()
+}
+
+/// One budget slice queued on the pool: a parked crawler plus its grant.
+struct SliceTask<S: DataSource> {
+    idx: usize,
+    crawler: Crawler<S>,
+    grant: u64,
+}
+
+/// What a pool worker hands back after executing (or crashing on) a slice.
+struct SliceOutcome<S: DataSource> {
+    idx: usize,
+    worker: u32,
+    stolen: bool,
+    /// Cumulative elapsed rounds after the slice (0 when panicked).
+    rounds_total: u64,
+    /// Elapsed rounds billed during this slice alone (0 when panicked).
+    slice_rounds: u64,
+    recent_rate: f64,
+    fault_streak: u32,
+    exhausted: bool,
+    panicked: bool,
+    /// The parked crawler, returned to its coordinator slot. `None` when
+    /// the slice panicked — the in-memory state is suspect then, and the
+    /// supervisor rebuilds from the last durable checkpoint instead.
+    crawler: Option<Crawler<S>>,
+}
+
+/// Executes one slice on a pool worker: steps the crawler until the grant
+/// is spent or the frontier dries up, under `catch_unwind` so a panicking
+/// job is isolated per *slice* and the worker thread survives.
+fn slice_handler<S: DataSource>(ctx: TaskCtx, mut task: SliceTask<S>) -> SliceOutcome<S> {
+    let before = task.crawler.elapsed_rounds();
+    let target = before + task.grant;
+    let stepped = catch_unwind(AssertUnwindSafe(|| {
+        let mut exhausted = false;
+        while !exhausted && task.crawler.elapsed_rounds() < target {
+            if task.crawler.step().is_none() {
+                exhausted = true;
+            }
+        }
+        exhausted
+    }));
+    match stepped {
+        Ok(exhausted) => {
+            let recent_rate = task.crawler.state().recent_harvest_mean(8).unwrap_or(if exhausted {
+                0.0
+            } else {
+                1.0
+            });
+            let rounds_total = task.crawler.elapsed_rounds();
+            SliceOutcome {
+                idx: task.idx,
+                worker: ctx.worker,
+                stolen: ctx.stolen,
+                rounds_total,
+                slice_rounds: rounds_total - before,
+                recent_rate,
+                fault_streak: task.crawler.fault_streak(),
+                exhausted,
+                panicked: false,
+                crawler: Some(task.crawler),
+            }
+        }
+        Err(_) => SliceOutcome {
+            idx: task.idx,
+            worker: ctx.worker,
+            stolen: ctx.stolen,
+            rounds_total: 0,
+            slice_rounds: 0,
+            recent_rate: 0.0,
+            fault_streak: 0,
+            exhausted: false,
+            panicked: true,
+            crawler: None,
+        },
+    }
+}
+
+/// Builds a job's crawler: fresh from its seeds, or resumed from
+/// [`FleetJob::resume`].
+fn build_crawler<S: DataSource>(job: FleetJob<S>) -> Crawler<S> {
+    match &job.resume {
+        Some(cp) => Crawler::resume(job.source, job.policy.build(), cp, job.config),
+        None => {
+            let mut c = Crawler::new(job.source, job.policy.build(), job.config);
+            for (a, v) in &job.seeds {
+                c.add_seed(a, v);
+            }
+            c
+        }
+    }
+}
+
+/// How a supervised fleet rebuilds a job after a panic. Only the supervised
+/// entry point provides one (it needs `S: Clone`); the plain [`run_fleet`]
+/// passes `None` and escalates panics instead.
+trait Respawn<S: DataSource> {
+    /// The job's last persisted checkpoint, if any generation loads.
+    fn load_checkpoint(&self, idx: usize) -> Option<Checkpoint>;
+    /// A fresh crawler for the job, resumed from `resume` when given.
+    fn rebuild(&self, idx: usize, resume: Option<&Checkpoint>) -> Crawler<S>;
+    /// A final report for a job whose crawler is gone: whatever the last
+    /// checkpoint proves was harvested, under `stop`.
+    fn synthesize_report(&self, idx: usize, stop: StopReason) -> CrawlReport;
+}
+
+/// Everything the supervisor needs to rebuild one job.
+struct JobSpec<S: DataSource> {
+    source: S,
+    policy: PolicyKind,
+    seeds: Vec<(String, String)>,
+    config: CrawlConfig,
+    resume: Option<Checkpoint>,
+}
+
+impl<S: DataSource + Clone> Respawn<S> for Vec<JobSpec<S>> {
+    fn load_checkpoint(&self, idx: usize) -> Option<Checkpoint> {
+        let store = self[idx].config.checkpoint_store.as_ref()?;
+        store.load_or_backup().ok().map(|(cp, _)| cp)
+    }
+
+    fn rebuild(&self, idx: usize, resume: Option<&Checkpoint>) -> Crawler<S> {
+        let spec = &self[idx];
+        // No durable checkpoint yet: fall back to the job's own starting
+        // checkpoint (if it was a resumed job) or its seeds.
+        let resume = resume.or(spec.resume.as_ref());
+        build_crawler(FleetJob {
+            source: spec.source.clone(),
+            policy: spec.policy.clone(),
+            seeds: spec.seeds.clone(),
+            config: spec.config.clone(),
+            resume: resume.cloned(),
+        })
+    }
+
+    fn synthesize_report(&self, idx: usize, stop: StopReason) -> CrawlReport {
+        self.rebuild(idx, self.load_checkpoint(idx).as_ref()).into_report(stop)
+    }
+}
+
+/// The pooled fleet engine behind both [`run_fleet`] and
+/// [`run_fleet_supervised`]. The coordinator owns every parked crawler in a
+/// slot vector; each allocation cycle it computes grants ([`allocate`]),
+/// submits one [`SliceTask`] per granted job to the work-stealing pool, and
+/// folds the outcomes back into rates / budget / breaker state before the
+/// next cycle. A job is never in flight on two workers at once.
+fn run_pooled<S>(
+    jobs: Vec<FleetJob<S>>,
+    config: FleetConfig,
+    respawn: Option<&dyn Respawn<S>>,
+) -> FleetReport
+where
+    S: DataSource + Send + 'static,
+{
+    assert!(config.slice > 0, "slice must be positive");
+    let n = jobs.len();
+    let workers = config.resolved_workers(n);
+    if n == 0 {
+        return FleetReport::empty(workers as u32);
+    }
+    // Final checkpoint handles, kept so a finished job's last state is
+    // durable even between periodic checkpoint ticks (what `dwc resume
+    // --workers` picks up). The saves happen outside the crawlers' event
+    // streams, so reports and replay parity are unaffected.
+    let stores: Vec<Option<CheckpointStore>> =
+        jobs.iter().map(|j| j.config.checkpoint_store.clone()).collect();
+    let mut cells: Vec<Option<Crawler<S>>> = jobs
+        .into_iter()
+        .map(|mut job| {
+            apply_default_retry(&mut job.config, &config);
+            Some(build_crawler(job))
+        })
+        .collect();
+
+    let pool: Pool<SliceTask<S>, SliceOutcome<S>> = Pool::new(workers, slice_handler::<S>);
+    let mut fleet_events = MetricsRegistry::new();
+    let mut rates = vec![1.0f64; n];
+    let mut done = vec![false; n];
+    // Resumed jobs enter with their checkpointed rounds already billed.
+    let mut rounds_used: Vec<u64> =
+        cells.iter().map(|c| c.as_ref().map(Crawler::elapsed_rounds).unwrap_or(0)).collect();
+    let mut breakers: Option<Vec<CircuitBreaker>> =
+        respawn.is_some().then(|| (0..n).map(|_| CircuitBreaker::new(config.breaker)).collect());
+    // One supervision event stream per job; `FleetReport::health` is derived
+    // from these, never tallied by hand.
+    let mut supervision: Vec<MetricsRegistry> = (0..n).map(|_| MetricsRegistry::new()).collect();
+    let mut finals: Vec<Option<CrawlReport>> = (0..n).map(|_| None).collect();
+
+    loop {
+        let spent: u64 = rounds_used.iter().sum();
+        let remaining = config.total_rounds.saturating_sub(spent);
+        if remaining == 0 || done.iter().all(|&d| d) {
+            break;
+        }
+        // One allocation round passes: open breakers cool toward half-open.
+        if let Some(bs) = &mut breakers {
+            for (i, b) in bs.iter_mut().enumerate() {
+                if let Some((from, to)) = b.tick() {
+                    supervision[i].record(&CrawlEvent::BreakerTransition {
+                        job: i as u32,
+                        from,
+                        to,
+                    });
+                }
+            }
+        }
+        // A tripped job is paused by *not scheduling it* — it holds no
+        // thread, its crawler just stays parked in its slot.
+        let active: Vec<usize> = (0..n)
+            .filter(|&i| !done[i] && breakers.as_ref().is_none_or(|bs| !bs[i].is_open()))
+            .collect();
+        if active.is_empty() {
+            // Every live job is paused; the round passes idle until a
+            // breaker reaches its half-open probe (tick guarantees progress).
+            continue;
+        }
+        let grants = allocate(&config, &active, &rates, remaining);
+        if grants.is_empty() {
+            break;
+        }
+        for &(i, grant) in &grants {
+            let crawler = cells[i].take().expect("active job has a parked crawler");
+            fleet_events.record(&CrawlEvent::SliceScheduled { job: i as u32, rounds: grant });
+            pool.submit(SliceTask { idx: i, crawler, grant });
+        }
+        for _ in 0..grants.len() {
+            let out = pool.recv();
+            if out.panicked {
+                let Some(respawn) = respawn else {
+                    panic!("fleet worker panicked");
+                };
+                if supervision[out.idx].worker_restarts() >= config.max_restarts {
+                    supervision[out.idx].record(&CrawlEvent::JobAbandoned { job: out.idx as u32 });
+                    done[out.idx] = true;
+                    finals[out.idx] =
+                        Some(respawn.synthesize_report(out.idx, StopReason::WorkerFailed));
+                } else {
+                    supervision[out.idx]
+                        .record(&CrawlEvent::WorkerRestarted { job: out.idx as u32 });
+                    let cp = respawn.load_checkpoint(out.idx);
+                    if let Some(cp) = &cp {
+                        // The checkpointed rounds stay billed; only the work
+                        // since the last snapshot is repeated.
+                        rounds_used[out.idx] = rounds_used[out.idx].max(cp.rounds);
+                    }
+                    cells[out.idx] = Some(respawn.rebuild(out.idx, cp.as_ref()));
+                }
+            } else {
+                fleet_events.record(&CrawlEvent::SliceCompleted {
+                    job: out.idx as u32,
+                    worker: out.worker,
+                    rounds: out.slice_rounds,
+                    stolen: out.stolen,
+                });
+                rates[out.idx] = out.recent_rate;
+                done[out.idx] |= out.exhausted;
+                rounds_used[out.idx] = rounds_used[out.idx].max(out.rounds_total);
+                if let Some(bs) = &mut breakers {
+                    if let Some((from, to)) = bs[out.idx].observe(out.fault_streak) {
+                        supervision[out.idx].record(&CrawlEvent::BreakerTransition {
+                            job: out.idx as u32,
+                            from,
+                            to,
+                        });
+                    }
+                }
+                cells[out.idx] = Some(out.crawler.expect("intact slice returns its crawler"));
+            }
+        }
+    }
+    let _ = pool.join();
+
+    let sources: Vec<CrawlReport> = finals
+        .into_iter()
+        .enumerate()
+        .map(|(i, done_report)| {
+            if let Some(report) = done_report {
+                return report; // abandoned: synthesized at abandonment time
+            }
+            let crawler = cells[i].take().expect("unfinished job has a parked crawler");
+            if let Some(store) = &stores[i] {
+                // Best effort: a failed final save leaves the last periodic
+                // generation valid, exactly like CheckpointFailed mid-crawl.
+                let _ = store.save(&crawler.checkpoint());
+            }
+            let stop =
+                if done[i] { StopReason::FrontierExhausted } else { StopReason::RoundBudget };
+            let report = crawler.into_report(stop);
+            rounds_used[i] = rounds_used[i].max(report.elapsed_rounds());
+            report
+        })
+        .collect();
+    let health: Vec<JobHealth> = supervision.iter().map(MetricsRegistry::job_health).collect();
+    FleetReport {
+        sources,
+        total_rounds: rounds_used.iter().sum(),
+        health,
+        scheduler: fleet_events.scheduler_stats(workers as u32),
+    }
+}
+
+/// Runs the fleet to budget exhaustion (or until every job's frontier is
+/// dry) on the bounded work-stealing pool. All accounting is in elapsed
+/// rounds (requests + backoff waits). A panicking job brings the fleet down
+/// (use [`run_fleet_supervised`] for isolation).
+pub fn run_fleet<S>(jobs: Vec<FleetJob<S>>, config: FleetConfig) -> FleetReport
+where
+    S: DataSource + Send + 'static,
+{
+    run_pooled(jobs, config, None)
+}
+
+/// Runs the fleet on the pool with crash supervision and per-source circuit
+/// breakers.
+///
+/// Semantics of [`run_fleet`] plus the fault tolerance described in the
+/// [module docs](self): a slice that panics is caught on the worker, the
+/// job is rebuilt from its last persisted checkpoint (up to
+/// [`FleetConfig::max_restarts`] times, then abandoned with
+/// [`StopReason::WorkerFailed`]), jobs whose failure streak trips their
+/// [`CircuitBreaker`] are paused by removal from the run queue, and
+/// [`FleetReport::health`] carries the per-job tallies.
+///
+/// Requires `S: Clone` so the supervisor can hand a fresh source handle to
+/// rebuilt jobs — the shape real fleets already have (`Arc<WebDbServer>`,
+/// [`crate::FaultPlanSource`]).
+pub fn run_fleet_supervised<S>(jobs: Vec<FleetJob<S>>, config: FleetConfig) -> FleetReport
+where
+    S: DataSource + Clone + Send + 'static,
+{
+    let specs: Vec<JobSpec<S>> = jobs
+        .iter()
+        .map(|job| JobSpec {
+            source: job.source.clone(),
+            policy: job.policy.clone(),
+            seeds: job.seeds.clone(),
+            config: {
+                let mut c = job.config.clone();
+                apply_default_retry(&mut c, &config);
+                c
+            },
+            resume: job.resume.clone(),
+        })
+        .collect();
+    run_pooled(jobs, config, Some(&specs))
+}
+
+/// Substitutes the fleet's [`FleetConfig::default_retry`] into a job left on
+/// the fail-fast [`RetryPolicy::default`]. An explicitly chosen schedule
+/// (any non-default field) passes through untouched; an explicit
+/// *fail-fast* wish must be expressed with a non-default schedule, since it
+/// is indistinguishable from the unset default.
+fn apply_default_retry(job_config: &mut CrawlConfig, fleet: &FleetConfig) {
+    if job_config.retry == RetryPolicy::default() {
+        job_config.retry = fleet.default_retry;
+    }
+}
+
+/// Budget grants for the thread-per-job baseline's worker channels.
 enum Grant {
     Rounds(u64),
     Finish,
 }
 
+/// Per-slice progress report on the baseline's shared result channel.
 struct SliceResult {
     idx: usize,
     rounds_used: u64,
     recent_rate: f64,
-    fault_streak: u32,
     exhausted: bool,
-    panicked: bool,
     report: Option<CrawlReport>,
 }
 
-/// Runs the fleet to budget exhaustion (or until every job's frontier is
-/// dry). Each job lives on its own worker thread and owns its source handle;
-/// the coordinator hands out budget grants per slice and collects progress.
-/// All accounting is in elapsed rounds (requests + backoff waits).
-pub fn run_fleet<S>(jobs: Vec<FleetJob<S>>, config: FleetConfig) -> FleetReport
+/// The original fleet engine: one OS thread and one grant channel **per
+/// job**, kept as the A/B baseline the `fleet_sched` bench gate measures
+/// the pool against. It allocates through the same [`allocate`] function as
+/// the pool, so on deterministic sources its [`FleetReport`] matches
+/// [`run_fleet`]'s (scheduler section aside — no slices are pooled here).
+///
+/// Don't use this for real fleets: at 1k+ jobs it burns ~8 MB of stack per
+/// job and drowns in context switches — the regime the pooled scheduler
+/// exists for.
+pub fn run_fleet_thread_per_job<S>(jobs: Vec<FleetJob<S>>, config: FleetConfig) -> FleetReport
 where
     S: DataSource + Send + 'static,
 {
     assert!(config.slice > 0, "slice must be positive");
     let n = jobs.len();
     if n == 0 {
-        return FleetReport { sources: Vec::new(), total_rounds: 0, health: Vec::new() };
+        return FleetReport::empty(0);
     }
     let (result_tx, result_rx) = mpsc::channel::<SliceResult>();
     let mut grant_txs = Vec::with_capacity(n);
@@ -258,10 +731,7 @@ where
         grant_txs.push(grant_tx);
         let result_tx = result_tx.clone();
         handles.push(std::thread::spawn(move || {
-            let mut crawler = Crawler::new(job.source, job.policy.build(), job.config);
-            for (a, v) in &job.seeds {
-                crawler.add_seed(a, v);
-            }
+            let mut crawler = build_crawler(job);
             let mut exhausted = false;
             while let Ok(grant) = grant_rx.recv() {
                 match grant {
@@ -280,9 +750,7 @@ where
                             idx,
                             rounds_used: crawler.elapsed_rounds(),
                             recent_rate,
-                            fault_streak: crawler.fault_streak(),
                             exhausted,
-                            panicked: false,
                             report: None,
                         });
                     }
@@ -297,9 +765,7 @@ where
                             idx,
                             rounds_used,
                             recent_rate: 0.0,
-                            fault_streak: 0,
                             exhausted,
-                            panicked: false,
                             report: Some(crawler.into_report(stop)),
                         });
                         break;
@@ -319,43 +785,18 @@ where
         if remaining == 0 || done.iter().all(|&d| d) {
             break;
         }
-        let slice = remaining.min(config.slice);
-        let shares: Vec<u64> = match config.allocation {
-            AllocationStrategy::Even => {
-                let active = done.iter().filter(|&&d| !d).count() as u64;
-                (0..n).map(|i| if done[i] { 0 } else { (slice / active.max(1)).max(1) }).collect()
-            }
-            AllocationStrategy::HarvestProportional => {
-                const FLOOR: f64 = 0.05;
-                let weights: Vec<f64> =
-                    (0..n).map(|i| if done[i] { 0.0 } else { rates[i].max(FLOOR) }).collect();
-                let total: f64 = weights.iter().sum();
-                weights
-                    .iter()
-                    .map(|w| {
-                        if *w == 0.0 {
-                            0
-                        } else {
-                            (((w / total) * slice as f64).round() as u64).max(1)
-                        }
-                    })
-                    .collect()
-            }
-        };
-        let mut expected = 0;
-        for (i, &share) in shares.iter().enumerate() {
-            if share > 0 && !done[i] {
-                grant_txs[i].send(Grant::Rounds(share)).expect("worker alive");
-                expected += 1;
-            }
-        }
-        if expected == 0 {
+        let active: Vec<usize> = (0..n).filter(|&i| !done[i]).collect();
+        let grants = allocate(&config, &active, &rates, remaining);
+        if grants.is_empty() {
             break;
         }
-        for _ in 0..expected {
+        for &(i, grant) in &grants {
+            grant_txs[i].send(Grant::Rounds(grant)).expect("worker alive");
+        }
+        for _ in 0..grants.len() {
             let r = result_rx.recv().expect("worker reports");
             rates[r.idx] = r.recent_rate;
-            done[r.idx] = r.exhausted;
+            done[r.idx] |= r.exhausted;
             rounds_used[r.idx] = r.rounds_used;
         }
     }
@@ -374,293 +815,12 @@ where
     let sources: Vec<CrawlReport> =
         finals.into_iter().map(|r| r.expect("every worker reported")).collect();
     let total_rounds = sources.iter().map(|r| r.elapsed_rounds()).sum();
-    FleetReport { sources, total_rounds, health: vec![JobHealth::default(); n] }
-}
-
-/// Substitutes the fleet's [`FleetConfig::default_retry`] into a job left on
-/// the fail-fast [`RetryPolicy::default`]. An explicitly chosen schedule
-/// (any non-default field) passes through untouched; an explicit
-/// *fail-fast* wish must be expressed with a non-default schedule, since it
-/// is indistinguishable from the unset default.
-fn apply_default_retry(job_config: &mut CrawlConfig, fleet: &FleetConfig) {
-    if job_config.retry == RetryPolicy::default() {
-        job_config.retry = fleet.default_retry;
+    FleetReport {
+        sources,
+        total_rounds,
+        health: vec![JobHealth::default(); n],
+        scheduler: SchedulerStats::default(),
     }
-}
-
-/// Everything the supervisor needs to (re)spawn one job's worker.
-struct JobSpec<S: DataSource> {
-    source: S,
-    policy: PolicyKind,
-    seeds: Vec<(String, String)>,
-    config: CrawlConfig,
-}
-
-impl<S: DataSource + Clone + Send + 'static> JobSpec<S> {
-    /// Spawns a worker for this job, fresh (seeds) or resumed from a
-    /// checkpoint. The stepping loop runs under `catch_unwind`; on a panic
-    /// the worker reports `panicked` and dies, leaving restart policy to the
-    /// supervisor.
-    fn spawn(
-        &self,
-        idx: usize,
-        result_tx: mpsc::Sender<SliceResult>,
-        resume_from: Option<crate::checkpoint::Checkpoint>,
-    ) -> (mpsc::Sender<Grant>, std::thread::JoinHandle<()>) {
-        let (grant_tx, grant_rx) = mpsc::channel::<Grant>();
-        let source = self.source.clone();
-        let policy = self.policy.clone();
-        let seeds = self.seeds.clone();
-        let config = self.config.clone();
-        let handle = std::thread::spawn(move || {
-            let mut crawler = match &resume_from {
-                Some(cp) => Crawler::resume(source, policy.build(), cp, config),
-                None => {
-                    let mut c = Crawler::new(source, policy.build(), config);
-                    for (a, v) in &seeds {
-                        c.add_seed(a, v);
-                    }
-                    c
-                }
-            };
-            let mut exhausted = false;
-            while let Ok(grant) = grant_rx.recv() {
-                match grant {
-                    Grant::Rounds(rounds) => {
-                        let target = crawler.elapsed_rounds() + rounds;
-                        let stepped =
-                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                                let mut ex = exhausted;
-                                while !ex && crawler.elapsed_rounds() < target {
-                                    if crawler.step().is_none() {
-                                        ex = true;
-                                    }
-                                }
-                                ex
-                            }));
-                        match stepped {
-                            Ok(ex) => {
-                                exhausted = ex;
-                                let recent_rate = crawler
-                                    .state()
-                                    .recent_harvest_mean(8)
-                                    .unwrap_or(if exhausted { 0.0 } else { 1.0 });
-                                let _ = result_tx.send(SliceResult {
-                                    idx,
-                                    rounds_used: crawler.elapsed_rounds(),
-                                    recent_rate,
-                                    fault_streak: crawler.fault_streak(),
-                                    exhausted,
-                                    panicked: false,
-                                    report: None,
-                                });
-                            }
-                            Err(_) => {
-                                // The crawler's in-memory state is suspect
-                                // now; report the crash and die. The
-                                // supervisor restarts from the last durable
-                                // checkpoint, not from this wreck.
-                                let _ = result_tx.send(SliceResult {
-                                    idx,
-                                    rounds_used: 0,
-                                    recent_rate: 0.0,
-                                    fault_streak: 0,
-                                    exhausted: false,
-                                    panicked: true,
-                                    report: None,
-                                });
-                                return;
-                            }
-                        }
-                    }
-                    Grant::Finish => {
-                        let stop = if exhausted {
-                            StopReason::FrontierExhausted
-                        } else {
-                            StopReason::RoundBudget
-                        };
-                        let rounds_used = crawler.elapsed_rounds();
-                        let _ = result_tx.send(SliceResult {
-                            idx,
-                            rounds_used,
-                            recent_rate: 0.0,
-                            fault_streak: 0,
-                            exhausted,
-                            panicked: false,
-                            report: Some(crawler.into_report(stop)),
-                        });
-                        return;
-                    }
-                }
-            }
-        });
-        (grant_tx, handle)
-    }
-
-    /// The last persisted checkpoint for this job, if any generation loads.
-    fn load_checkpoint(&self) -> Option<crate::checkpoint::Checkpoint> {
-        let store = self.config.checkpoint_store.as_ref()?;
-        store.load_or_backup().ok().map(|(cp, _)| cp)
-    }
-
-    /// A supervisor-side final report for a job whose worker is gone:
-    /// whatever the last checkpoint proves was harvested, under `stop`.
-    fn synthesize_report(&self, stop: StopReason) -> CrawlReport {
-        match self.load_checkpoint() {
-            Some(cp) => {
-                Crawler::resume(self.source.clone(), self.policy.build(), &cp, self.config.clone())
-                    .into_report(stop)
-            }
-            None => Crawler::new(self.source.clone(), self.policy.build(), self.config.clone())
-                .into_report(stop),
-        }
-    }
-}
-
-/// Runs the fleet with crash supervision and per-source circuit breakers.
-///
-/// Semantics of [`run_fleet`] plus the fault tolerance described in the
-/// [module docs](self): panicking workers are restarted from their job's
-/// last persisted checkpoint (up to [`FleetConfig::max_restarts`] times,
-/// then abandoned with [`StopReason::WorkerFailed`]), jobs whose failure
-/// streak trips their [`CircuitBreaker`] are paused and their budget flows
-/// to healthy jobs, and [`FleetReport::health`] carries the per-job tallies.
-///
-/// Requires `S: Clone` so the supervisor can hand a fresh source handle to
-/// restarted workers — the shape real fleets already have
-/// (`Arc<WebDbServer>`, [`crate::FaultPlanSource`]).
-pub fn run_fleet_supervised<S>(jobs: Vec<FleetJob<S>>, config: FleetConfig) -> FleetReport
-where
-    S: DataSource + Clone + Send + 'static,
-{
-    assert!(config.slice > 0, "slice must be positive");
-    let n = jobs.len();
-    if n == 0 {
-        return FleetReport { sources: Vec::new(), total_rounds: 0, health: Vec::new() };
-    }
-    let specs: Vec<JobSpec<S>> = jobs
-        .into_iter()
-        .map(|mut job| {
-            apply_default_retry(&mut job.config, &config);
-            JobSpec { source: job.source, policy: job.policy, seeds: job.seeds, config: job.config }
-        })
-        .collect();
-    let (result_tx, result_rx) = mpsc::channel::<SliceResult>();
-    let mut grant_txs = Vec::with_capacity(n);
-    let mut handles: Vec<Option<std::thread::JoinHandle<()>>> = Vec::with_capacity(n);
-    for (idx, spec) in specs.iter().enumerate() {
-        let (tx, handle) = spec.spawn(idx, result_tx.clone(), None);
-        grant_txs.push(tx);
-        handles.push(Some(handle));
-    }
-
-    let mut rates = vec![1.0f64; n];
-    let mut done = vec![false; n];
-    let mut rounds_used = vec![0u64; n];
-    let mut breakers: Vec<CircuitBreaker> =
-        (0..n).map(|_| CircuitBreaker::new(config.breaker)).collect();
-    // One supervision event stream per job; `FleetReport::health` is derived
-    // from these, never tallied by hand.
-    let mut supervision: Vec<MetricsRegistry> = (0..n).map(|_| MetricsRegistry::new()).collect();
-    let mut finals: Vec<Option<CrawlReport>> = (0..n).map(|_| None).collect();
-    loop {
-        let spent: u64 = rounds_used.iter().sum();
-        let remaining = config.total_rounds.saturating_sub(spent);
-        if remaining == 0 || done.iter().all(|&d| d) {
-            break;
-        }
-        // One allocation round passes: open breakers cool toward half-open.
-        for (i, b) in breakers.iter_mut().enumerate() {
-            if let Some((from, to)) = b.tick() {
-                supervision[i].record(&CrawlEvent::BreakerTransition { job: i as u32, from, to });
-            }
-        }
-        let active: Vec<usize> = (0..n).filter(|&i| !done[i] && !breakers[i].is_open()).collect();
-        if active.is_empty() {
-            // Every live job is paused; the round passes idle until a
-            // breaker reaches its half-open probe (tick guarantees progress).
-            continue;
-        }
-        let slice = remaining.min(config.slice);
-        let shares: Vec<u64> = match config.allocation {
-            AllocationStrategy::Even => {
-                let each = (slice / active.len() as u64).max(1);
-                active.iter().map(|_| each).collect()
-            }
-            AllocationStrategy::HarvestProportional => {
-                const FLOOR: f64 = 0.05;
-                let weights: Vec<f64> = active.iter().map(|&i| rates[i].max(FLOOR)).collect();
-                let total: f64 = weights.iter().sum();
-                weights
-                    .iter()
-                    .map(|w| (((w / total) * slice as f64).round() as u64).max(1))
-                    .collect()
-            }
-        };
-        for (k, &i) in active.iter().enumerate() {
-            grant_txs[i].send(Grant::Rounds(shares[k])).expect("worker alive");
-        }
-        for _ in 0..active.len() {
-            let r = result_rx.recv().expect("worker reports");
-            if r.panicked {
-                // The worker announced its own death; reap the thread, then
-                // restart from the last durable checkpoint or abandon.
-                if let Some(h) = handles[r.idx].take() {
-                    let _ = h.join();
-                }
-                if supervision[r.idx].worker_restarts() >= config.max_restarts {
-                    supervision[r.idx].record(&CrawlEvent::JobAbandoned { job: r.idx as u32 });
-                    done[r.idx] = true;
-                    finals[r.idx] = Some(specs[r.idx].synthesize_report(StopReason::WorkerFailed));
-                } else {
-                    supervision[r.idx].record(&CrawlEvent::WorkerRestarted { job: r.idx as u32 });
-                    let resume = specs[r.idx].load_checkpoint();
-                    if let Some(cp) = &resume {
-                        // The checkpointed rounds stay billed; only the work
-                        // since the last snapshot is repeated.
-                        rounds_used[r.idx] = rounds_used[r.idx].max(cp.rounds);
-                    }
-                    let (tx, handle) = specs[r.idx].spawn(r.idx, result_tx.clone(), resume);
-                    grant_txs[r.idx] = tx;
-                    handles[r.idx] = Some(handle);
-                }
-            } else {
-                rates[r.idx] = r.recent_rate;
-                done[r.idx] |= r.exhausted;
-                rounds_used[r.idx] = rounds_used[r.idx].max(r.rounds_used);
-                if let Some((from, to)) = breakers[r.idx].observe(r.fault_streak) {
-                    supervision[r.idx].record(&CrawlEvent::BreakerTransition {
-                        job: r.idx as u32,
-                        from,
-                        to,
-                    });
-                }
-            }
-        }
-    }
-    for (i, tx) in grant_txs.iter().enumerate() {
-        if finals[i].is_none() {
-            let _ = tx.send(Grant::Finish);
-        }
-    }
-    drop(result_tx);
-    for r in result_rx.iter() {
-        if let Some(report) = r.report {
-            rounds_used[r.idx] = rounds_used[r.idx].max(r.rounds_used);
-            finals[r.idx] = Some(report);
-        }
-    }
-    for h in handles.into_iter().flatten() {
-        let _ = h.join();
-    }
-    let health: Vec<JobHealth> = supervision.iter().map(MetricsRegistry::job_health).collect();
-    let sources: Vec<CrawlReport> = finals
-        .into_iter()
-        .enumerate()
-        .map(|(i, r)| r.unwrap_or_else(|| specs[i].synthesize_report(StopReason::WorkerFailed)))
-        .collect();
-    let total_rounds = rounds_used.iter().sum();
-    FleetReport { sources, total_rounds, health }
 }
 
 #[cfg(test)]
@@ -695,6 +855,7 @@ mod tests {
             policy: PolicyKind::GreedyLink,
             seeds: vec![("A".into(), seed_value.to_string())],
             config: CrawlConfig::builder().known_target_size(5).build().unwrap(),
+            resume: None,
         }
     }
 
@@ -702,6 +863,7 @@ mod tests {
     fn empty_fleet_is_fine() {
         let report = run_fleet(Vec::<FleetJob<WebDbServer>>::new(), FleetConfig::default());
         assert_eq!(report.total_records(), 0);
+        assert_eq!(report.scheduler.slices_scheduled, 0);
     }
 
     #[test]
@@ -760,11 +922,26 @@ mod tests {
             FleetConfig::builder().slice(0).build().unwrap_err(),
             ConfigError::ZeroBudget("slice")
         );
+        assert_eq!(
+            FleetConfig::builder().workers(0).build().unwrap_err(),
+            ConfigError::ZeroBudget("workers")
+        );
+        assert!(FleetConfig::builder().workers(8).build().is_ok());
+    }
+
+    #[test]
+    fn workers_resolve_capped_at_job_count() {
+        let config = FleetConfig::builder().workers(8).build().unwrap();
+        assert_eq!(config.resolved_workers(3), 3);
+        assert_eq!(config.resolved_workers(100), 8);
+        assert_eq!(config.resolved_workers(0), 1);
+        let auto = FleetConfig::default();
+        assert!(auto.resolved_workers(1000) >= 1);
     }
 
     #[test]
     fn two_jobs_share_one_source() {
-        // Two workers crawl the SAME server (different seed regions) — the
+        // Two jobs crawl the SAME server (different seed regions) — the
         // Arc handles land every request on one global round counter.
         let shared = Arc::new(figure1_server());
         let jobs: Vec<FleetJob<Arc<WebDbServer>>> = ["a2", "a3"]
@@ -774,19 +951,116 @@ mod tests {
                 policy: PolicyKind::GreedyLink,
                 seeds: vec![("A".into(), seed.to_string())],
                 config: CrawlConfig::builder().known_target_size(5).build().unwrap(),
+                resume: None,
             })
             .collect();
         let config = FleetConfig::builder().total_rounds(1000).slice(10).build().unwrap();
         let report = run_fleet(jobs, config);
         assert_eq!(report.sources.len(), 2);
         for r in &report.sources {
-            assert_eq!(r.records, 5, "each worker harvests the full database");
+            assert_eq!(r.records, 5, "each job harvests the full database");
         }
         let summed: u64 = report.sources.iter().map(|r| r.rounds).sum();
         assert_eq!(
             summed,
             shared.rounds_used(),
-            "per-worker request counts must add up to the shared global counter"
+            "per-job request counts must add up to the shared global counter"
+        );
+    }
+
+    #[test]
+    fn pooled_report_matches_thread_per_job_baseline() {
+        let make = || vec![job("a2"), job("a1"), job("a3"), job("a2")];
+        let config = || {
+            FleetConfig::builder()
+                .total_rounds(300)
+                .slice(12)
+                .allocation(AllocationStrategy::HarvestProportional)
+                .workers(2)
+                .build()
+                .unwrap()
+        };
+        let pooled = run_fleet(make(), config());
+        let baseline = run_fleet_thread_per_job(make(), config());
+        assert_eq!(pooled.sources, baseline.sources, "identical grant sequences, identical jobs");
+        assert_eq!(pooled.total_rounds, baseline.total_rounds);
+        assert_eq!(pooled.health, baseline.health);
+    }
+
+    #[test]
+    fn scheduler_stats_account_for_every_slice() {
+        let jobs = vec![job("a2"), job("a3")];
+        let config =
+            FleetConfig::builder().total_rounds(1000).slice(10).workers(2).build().unwrap();
+        let report = run_fleet(jobs, config);
+        let s = &report.scheduler;
+        assert_eq!(s.workers, 2);
+        assert!(s.slices_scheduled > 0);
+        assert_eq!(s.slices_completed, s.slices_scheduled, "no panics: every slice completes");
+        assert_eq!(
+            s.per_worker_slices.iter().sum::<u64>(),
+            s.slices_completed,
+            "per-worker tallies cover every completed slice"
+        );
+        assert!(s.rounds_executed <= s.rounds_granted, "figure1 queries never overshoot");
+        assert_eq!(s.rounds_executed, report.total_rounds);
+    }
+
+    #[test]
+    fn single_worker_run_is_reproducible() {
+        let run = || {
+            let jobs = vec![job("a2"), job("a1"), job("a3")];
+            let config = FleetConfig::builder()
+                .total_rounds(500)
+                .slice(7)
+                .allocation(AllocationStrategy::HarvestProportional)
+                .workers(1)
+                .build()
+                .unwrap();
+            run_fleet(jobs, config)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.sources, b.sources, "reports (traces included) must match");
+        assert_eq!(a.scheduler, b.scheduler, "the full slice schedule must match");
+    }
+
+    #[test]
+    fn fleet_resumes_a_job_from_its_checkpoint() {
+        let store = scratch_store("fleet-resume");
+        let partial_config = CrawlConfig::builder()
+            .known_target_size(5)
+            .checkpoint_store(store.clone())
+            .checkpoint_every(1)
+            .build()
+            .unwrap();
+        let partial = run_fleet(
+            vec![FleetJob {
+                source: figure1_server(),
+                policy: PolicyKind::GreedyLink,
+                seeds: vec![("A".into(), "a2".to_string())],
+                config: partial_config.clone(),
+                resume: None,
+            }],
+            FleetConfig::builder().total_rounds(2).slice(2).build().unwrap(),
+        );
+        assert!(partial.sources[0].records < 5, "tiny budget must stop early");
+        let (cp, _) = store.load_or_backup().expect("final checkpoint persisted");
+        assert!(cp.rounds > 0);
+        let resumed = run_fleet(
+            vec![FleetJob {
+                source: figure1_server(),
+                policy: PolicyKind::GreedyLink,
+                seeds: Vec::new(),
+                config: partial_config,
+                resume: Some(cp.clone()),
+            }],
+            FleetConfig::builder().total_rounds(1000).slice(10).build().unwrap(),
+        );
+        assert_eq!(resumed.sources[0].records, 5, "resume finishes the crawl");
+        assert!(
+            resumed.total_rounds >= cp.rounds,
+            "checkpointed rounds count against the fleet budget"
         );
     }
 
@@ -804,6 +1078,7 @@ mod tests {
             policy: PolicyKind::GreedyLink,
             seeds: vec![("A".into(), "a2".to_string())],
             config: builder.build().unwrap(),
+            resume: None,
         }
     }
 
@@ -823,7 +1098,7 @@ mod tests {
     }
 
     #[test]
-    fn panicking_worker_restarts_from_checkpoint_and_finishes() {
+    fn panicking_slice_restarts_from_checkpoint_and_finishes() {
         let store = scratch_store("restart");
         let jobs = vec![supervised_job(FaultPlan::new().panic_at(4), Some(store.clone()))];
         let config = FleetConfig::builder().total_rounds(1000).slice(5).build().unwrap();
@@ -835,9 +1110,9 @@ mod tests {
     }
 
     #[test]
-    fn worker_without_restart_budget_is_abandoned() {
+    fn job_without_restart_budget_is_abandoned() {
         let store = scratch_store("abandon");
-        // Panic on every early request: even restarted workers die again.
+        // Panic on every early request: even rebuilt jobs die again.
         let plan = FaultPlan::new().panic_at(1).panic_at(2).panic_at(3).panic_at(4);
         let jobs = vec![supervised_job(plan, Some(store))];
         let config =
@@ -883,7 +1158,7 @@ mod tests {
     fn shared_source_with_faults_loses_no_records() {
         // The ISSUE acceptance scenario: two crawlers share one server with
         // FaultPolicy::every(7); retries (billed as rounds + backoff) must
-        // still deliver every record to both workers.
+        // still deliver every record to both jobs.
         let shared = Arc::new(figure1_server().with_faults(FaultPolicy::every(7)));
         let jobs: Vec<FleetJob<Arc<WebDbServer>>> = ["a2", "a3"]
             .iter()
@@ -896,6 +1171,7 @@ mod tests {
                     .max_retries(32)
                     .build()
                     .unwrap(),
+                resume: None,
             })
             .collect();
         let config = FleetConfig::builder().total_rounds(4000).slice(50).build().unwrap();

@@ -48,6 +48,7 @@ pub mod local;
 pub mod metrics;
 pub mod policy;
 pub mod report;
+pub mod sched;
 pub mod source;
 pub mod stage;
 pub mod state;
@@ -61,11 +62,16 @@ pub use crawler::{CrawlConfig, CrawlReport, Crawler, ProberMode, QueryMode, Stop
 pub use domain_table::DomainTable;
 pub use events::{BreakerPhase, CrawlEvent, EventBus, EventSink, JsonlSink, MemorySink};
 pub use fault::{FaultKind, FaultPlan, FaultPlanSource, FaultTally};
+pub use fleet::{
+    run_fleet, run_fleet_supervised, run_fleet_thread_per_job, AllocationStrategy, FleetConfig,
+    FleetJob, FleetReport,
+};
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker, JobHealth};
 pub use local::LocalDb;
 pub use metrics::{replay_report, MetricsRegistry};
 pub use policy::{PolicyKind, SelectionPolicy};
 pub use report::CrawlSummary;
+pub use sched::{Pool, SchedulerStats, TaskCtx, WorkerStats};
 pub use source::{CrawlError, DataSource, FaultySource, PageMeta};
 pub use stage::{Executor, Ingestor, Planner};
 pub use state::{CandStatus, CrawlState, QueryOutcome};

@@ -85,6 +85,12 @@ pub struct MetricsRegistry {
     breaker_recoveries: u64,
     worker_restarts: u32,
     abandoned: bool,
+    slices_scheduled: u64,
+    slices_completed: u64,
+    rounds_granted: u64,
+    rounds_executed: u64,
+    steals: u64,
+    per_worker_slices: Vec<u64>,
     trace: CrawlTrace,
     stop: Option<StopReason>,
     final_coverage: Option<f64>,
@@ -148,6 +154,20 @@ impl MetricsRegistry {
                 self.worker_restarts = self.worker_restarts.saturating_add(1);
             }
             CrawlEvent::JobAbandoned { .. } => self.abandoned = true,
+            CrawlEvent::SliceScheduled { rounds, .. } => {
+                self.slices_scheduled += 1;
+                self.rounds_granted += rounds;
+            }
+            CrawlEvent::SliceCompleted { worker, rounds, stolen, .. } => {
+                self.slices_completed += 1;
+                self.rounds_executed += rounds;
+                self.steals += u64::from(stolen);
+                let idx = worker as usize;
+                if self.per_worker_slices.len() <= idx {
+                    self.per_worker_slices.resize(idx + 1, 0);
+                }
+                self.per_worker_slices[idx] += 1;
+            }
         }
     }
 
@@ -255,6 +275,28 @@ impl MetricsRegistry {
             breaker_recoveries: self.breaker_recoveries,
             worker_restarts: self.worker_restarts,
             abandoned: self.abandoned,
+        }
+    }
+
+    /// Derives the scheduler section of a fleet report from the
+    /// [`CrawlEvent::SliceScheduled`] / [`CrawlEvent::SliceCompleted`]
+    /// stream recorded here. `workers` reports the pool size the fleet ran
+    /// with (the event stream alone can only prove which workers completed
+    /// at least one slice, so the count is supplied by the caller);
+    /// `per_worker_slices` is padded out to that size.
+    pub fn scheduler_stats(&self, workers: u32) -> crate::sched::SchedulerStats {
+        let mut per_worker_slices = self.per_worker_slices.clone();
+        if per_worker_slices.len() < workers as usize {
+            per_worker_slices.resize(workers as usize, 0);
+        }
+        crate::sched::SchedulerStats {
+            workers,
+            slices_scheduled: self.slices_scheduled,
+            slices_completed: self.slices_completed,
+            rounds_granted: self.rounds_granted,
+            rounds_executed: self.rounds_executed,
+            steals: self.steals,
+            per_worker_slices,
         }
     }
 }
@@ -379,6 +421,27 @@ mod tests {
         assert!(!h.abandoned);
         m.record(&CrawlEvent::JobAbandoned { job: 0 });
         assert!(m.job_health().abandoned);
+    }
+
+    #[test]
+    fn scheduler_events_fold_into_stats() {
+        let mut m = MetricsRegistry::new();
+        for ev in [
+            CrawlEvent::SliceScheduled { job: 0, rounds: 100 },
+            CrawlEvent::SliceScheduled { job: 1, rounds: 50 },
+            CrawlEvent::SliceCompleted { job: 0, worker: 2, rounds: 97, stolen: true },
+            CrawlEvent::SliceCompleted { job: 1, worker: 0, rounds: 50, stolen: false },
+        ] {
+            m.record(&ev);
+        }
+        let s = m.scheduler_stats(4);
+        assert_eq!(s.workers, 4);
+        assert_eq!(s.slices_scheduled, 2);
+        assert_eq!(s.slices_completed, 2);
+        assert_eq!(s.rounds_granted, 150);
+        assert_eq!(s.rounds_executed, 147);
+        assert_eq!(s.steals, 1);
+        assert_eq!(s.per_worker_slices, vec![1, 0, 1, 0], "padded to the pool size");
     }
 
     #[test]

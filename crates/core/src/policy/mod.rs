@@ -31,7 +31,11 @@ pub use naive::{Bfs, Dfs, RandomSelect};
 /// [`crate::state::CandStatus::Frontier`] — except the domain-knowledge
 /// policy, which may return `Undiscovered` values from its domain-table pool
 /// (Q_DT).
-pub trait SelectionPolicy {
+///
+/// Policies are `Send` so a parked crawler (policy included) can migrate
+/// between the fleet scheduler's worker threads across budget slices; every
+/// built-in policy is plain owned data.
+pub trait SelectionPolicy: Send {
     /// Display name (used by the experiment harnesses).
     fn name(&self) -> &'static str;
 

@@ -126,8 +126,9 @@ impl fmt::Display for CrawlSummary {
 }
 
 impl fmt::Display for FleetReport {
-    /// One line per job — harvest, cost, stop reason — plus fault-tolerance
-    /// tallies when anything noteworthy happened to the job.
+    /// One line per job — harvest, cost, stop reason — plus a scheduler
+    /// summary and fault-tolerance tallies when anything noteworthy
+    /// happened to the job.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
@@ -136,6 +137,17 @@ impl fmt::Display for FleetReport {
             self.total_records(),
             self.total_rounds
         )?;
+        if self.scheduler.slices_completed > 0 {
+            writeln!(
+                f,
+                "  scheduler: {} workers, {} slices ({} stolen), {}/{} rounds executed/granted",
+                self.scheduler.workers,
+                self.scheduler.slices_completed,
+                self.scheduler.steals,
+                self.scheduler.rounds_executed,
+                self.scheduler.rounds_granted
+            )?;
+        }
         for (i, r) in self.sources.iter().enumerate() {
             write!(
                 f,
@@ -235,6 +247,7 @@ mod tests {
             policy: PolicyKind::GreedyLink,
             seeds: vec![("A".into(), "a2".into())],
             config: CrawlConfig::default(),
+            resume: None,
         }];
         let mut report = run_fleet_supervised(
             jobs,

@@ -1,0 +1,318 @@
+//! Bounded work-stealing slice pool for fleet scheduling.
+//!
+//! The fleet used to spawn one OS thread per crawl job — at 1k+ sources
+//! that is ~8 MB of stack per job and a coordinator drowning in context
+//! switches. This module multiplexes any number of queued *slices* (one
+//! budget grant for one job) onto `N` worker threads:
+//!
+//! * the coordinator [`Pool::submit`]s tasks into a global
+//!   [`crossbeam::deque::Injector`] FIFO;
+//! * each worker owns a local FIFO deque and refills it from the injector
+//!   in batches ([`crossbeam::deque::Injector::steal_batch_and_pop`]), so
+//!   the global queue is not hammered per task;
+//! * an idle worker steals from a sibling's deque before parking, so one
+//!   slow slice never strands queued work behind it;
+//! * results flow back over a single `mpsc` channel ([`Pool::recv`]) — one
+//!   injector + one result channel total, not a channel pair per job.
+//!
+//! With one worker the pool drains the injector strictly in submission
+//! order (local refills preserve the global FIFO prefix and there is no
+//! sibling to steal from), which is what makes `workers = 1` fleet runs
+//! bit-for-bit deterministic.
+//!
+//! The pool is deliberately oblivious to crawling: it moves `T`s through a
+//! `Fn(TaskCtx, T) -> R` handler. Budget accounting, supervision, and
+//! breaker policy all stay in [`crate::fleet`], which also re-submits a
+//! job's next slice only after folding the previous one — a job is never
+//! in flight on two workers at once.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Where and how a task ended up running, passed to the pool handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TaskCtx {
+    /// Index of the worker thread executing the task (`0..workers`).
+    pub worker: u32,
+    /// Whether the task was stolen from a sibling's deque rather than
+    /// taken from the global injector or the worker's own refill batch.
+    pub stolen: bool,
+}
+
+/// Per-worker lifetime counters, returned by [`Pool::join`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Index of the worker thread these counters belong to.
+    pub worker: u32,
+    /// Tasks this worker executed (from any source).
+    pub slices: u64,
+    /// Tasks this worker stole from a sibling's deque.
+    pub steals: u64,
+    /// Batch refills this worker pulled from the global injector.
+    pub refills: u64,
+}
+
+/// Scheduler-level counters for a whole fleet run, derived from
+/// [`crate::events::CrawlEvent::SliceScheduled`] /
+/// [`crate::events::CrawlEvent::SliceCompleted`] streams by
+/// [`crate::metrics::MetricsRegistry::scheduler_stats`] and surfaced as
+/// [`crate::fleet::FleetReport`]`::scheduler`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SchedulerStats {
+    /// Worker threads the pool ran with.
+    pub workers: u32,
+    /// Budget slices handed to the pool by the coordinator.
+    pub slices_scheduled: u64,
+    /// Slices that came back from a worker without panicking.
+    pub slices_completed: u64,
+    /// Rounds granted across all scheduled slices.
+    pub rounds_granted: u64,
+    /// Elapsed rounds actually billed across all completed slices.
+    pub rounds_executed: u64,
+    /// Completed slices that ran on a worker which stole them.
+    pub steals: u64,
+    /// Completed slices per worker, indexed by worker id.
+    pub per_worker_slices: Vec<u64>,
+}
+
+/// Coordination state shared between the pool handle and its workers.
+struct Shared {
+    shutdown: AtomicBool,
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+/// A bounded pool of worker threads draining a global task queue.
+///
+/// Submit with [`Pool::submit`], collect with [`Pool::recv`] (results
+/// arrive in completion order, each tagged however the handler tags them),
+/// and tear down with [`Pool::join`] once every submitted task has been
+/// received. The handler must not panic — wrap fallible work in
+/// `catch_unwind` and encode the failure in `R`, as the fleet does.
+pub struct Pool<T, R> {
+    workers: usize,
+    injector: Arc<Injector<T>>,
+    shared: Arc<Shared>,
+    result_rx: mpsc::Receiver<R>,
+    handles: Vec<std::thread::JoinHandle<WorkerStats>>,
+}
+
+impl<T: Send + 'static, R: Send + 'static> Pool<T, R> {
+    /// Spawns `workers` threads (clamped to at least 1) running `handler`
+    /// over submitted tasks.
+    pub fn new<F>(workers: usize, handler: F) -> Pool<T, R>
+    where
+        F: Fn(TaskCtx, T) -> R + Send + Clone + 'static,
+    {
+        let workers = workers.max(1);
+        let injector = Arc::new(Injector::new());
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        });
+        let (result_tx, result_rx) = mpsc::channel::<R>();
+        let locals: Vec<Worker<T>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+        let stealers: Vec<Stealer<T>> = locals.iter().map(Worker::stealer).collect();
+        let handles = locals
+            .into_iter()
+            .enumerate()
+            .map(|(id, local)| {
+                let injector = Arc::clone(&injector);
+                let stealers = stealers.clone();
+                let shared = Arc::clone(&shared);
+                let handler = handler.clone();
+                let result_tx = result_tx.clone();
+                std::thread::spawn(move || {
+                    worker_loop(
+                        id as u32, local, &injector, &stealers, &shared, handler, &result_tx,
+                    )
+                })
+            })
+            .collect();
+        Pool { workers, injector, shared, result_rx, handles }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues a task on the global injector and wakes a parked worker.
+    pub fn submit(&self, task: T) {
+        self.injector.push(task);
+        // Lock/unlock pairs with the workers' wait: a worker between its
+        // empty-check and its park will see the push after the timeout at
+        // the latest; one already parked is woken now.
+        drop(self.shared.gate.lock().expect("pool gate poisoned"));
+        self.shared.cv.notify_one();
+    }
+
+    /// Blocks until the next result arrives. Call exactly once per
+    /// submitted task; calling with nothing in flight deadlocks by design
+    /// (the workers are still alive waiting for work).
+    pub fn recv(&self) -> R {
+        self.result_rx.recv().expect("pool workers alive")
+    }
+
+    /// Shuts the pool down and returns per-worker counters, indexed by
+    /// worker id. Any still-queued tasks are dropped unexecuted; call only
+    /// after every submitted task has been [`Pool::recv`]'d.
+    pub fn join(mut self) -> Vec<WorkerStats> {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+        let handles = std::mem::take(&mut self.handles);
+        handles.into_iter().map(|h| h.join().expect("pool worker panicked")).collect()
+    }
+}
+
+impl<T, R> Drop for Pool<T, R> {
+    /// Signals shutdown so workers exit instead of parking forever when the
+    /// pool is dropped without [`Pool::join`] (e.g. while the coordinator
+    /// unwinds from a panic). Threads are detached, not joined — joining
+    /// during a panic could deadlock on a worker mid-task.
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.cv.notify_all();
+    }
+}
+
+fn worker_loop<T, R, F>(
+    id: u32,
+    local: Worker<T>,
+    injector: &Injector<T>,
+    stealers: &[Stealer<T>],
+    shared: &Shared,
+    handler: F,
+    result_tx: &mpsc::Sender<R>,
+) -> WorkerStats
+where
+    F: Fn(TaskCtx, T) -> R,
+{
+    let mut stats = WorkerStats { worker: id, ..WorkerStats::default() };
+    loop {
+        // Own deque first, then a batch refill from the global queue, then
+        // steal from a sibling — the classic work-stealing order.
+        let next = local.pop().map(|t| (t, false)).or_else(|| {
+            if let Steal::Success(t) = injector.steal_batch_and_pop(&local) {
+                stats.refills += 1;
+                return Some((t, false));
+            }
+            stealers
+                .iter()
+                .enumerate()
+                .filter(|&(victim, _)| victim != id as usize)
+                .find_map(|(_, s)| s.steal().success())
+                .map(|t| {
+                    stats.steals += 1;
+                    (t, true)
+                })
+        });
+        match next {
+            Some((task, stolen)) => {
+                stats.slices += 1;
+                let result = handler(TaskCtx { worker: id, stolen }, task);
+                if result_tx.send(result).is_err() {
+                    break; // coordinator gone; nothing left to report to
+                }
+            }
+            None => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let guard = shared.gate.lock().expect("pool gate poisoned");
+                // Timeout bounds the cost of a wake-up lost between the
+                // empty-check above and this park.
+                let _unused = shared
+                    .cv
+                    .wait_timeout(guard, Duration::from_millis(1))
+                    .expect("pool gate poisoned");
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_runs_every_task_exactly_once() {
+        let pool = Pool::new(4, |_ctx: TaskCtx, x: u64| x * x);
+        for x in 0..100u64 {
+            pool.submit(x);
+        }
+        let mut sum = 0u64;
+        for _ in 0..100 {
+            sum += pool.recv();
+        }
+        assert_eq!(sum, (0..100u64).map(|x| x * x).sum());
+        let stats = pool.join();
+        assert_eq!(stats.len(), 4);
+        assert_eq!(stats.iter().map(|s| s.slices).sum::<u64>(), 100);
+        for (i, s) in stats.iter().enumerate() {
+            assert_eq!(s.worker, i as u32, "stats come back indexed by worker id");
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = Pool::new(0, |_ctx: TaskCtx, x: u32| x + 1);
+        pool.submit(41);
+        assert_eq!(pool.recv(), 42);
+        assert_eq!(pool.join().len(), 1);
+    }
+
+    #[test]
+    fn single_worker_preserves_submission_order() {
+        let pool = Pool::new(1, |_ctx: TaskCtx, x: u32| x);
+        for x in 0..50u32 {
+            pool.submit(x);
+        }
+        let got: Vec<u32> = (0..50).map(|_| pool.recv()).collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>(), "one worker drains FIFO in order");
+        let stats = pool.join();
+        assert_eq!(stats[0].steals, 0, "nobody to steal from");
+    }
+
+    #[test]
+    fn slow_task_does_not_strand_queued_work() {
+        // Two workers, one long task submitted first: the second worker
+        // must drain the rest (refilled or stolen) while the first sleeps.
+        let pool = Pool::new(2, |_ctx: TaskCtx, ms: u64| {
+            std::thread::sleep(Duration::from_millis(ms));
+            ms
+        });
+        pool.submit(60);
+        for _ in 0..8 {
+            pool.submit(0);
+        }
+        let start = std::time::Instant::now();
+        let mut got = Vec::new();
+        for _ in 0..9 {
+            got.push(pool.recv());
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 0, 0, 0, 0, 0, 0, 0, 60]);
+        assert!(
+            start.elapsed() < Duration::from_millis(400),
+            "quick tasks must not serialize behind the sleeper"
+        );
+        pool.join();
+    }
+
+    #[test]
+    fn handler_sees_worker_ids_within_range() {
+        let pool = Pool::new(3, |ctx: TaskCtx, _x: u8| ctx.worker);
+        for _ in 0..30 {
+            pool.submit(0);
+        }
+        for _ in 0..30 {
+            assert!(pool.recv() < 3);
+        }
+        pool.join();
+    }
+}

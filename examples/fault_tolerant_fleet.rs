@@ -31,6 +31,7 @@ fn job(
         policy: PolicyKind::GreedyLink,
         seeds: vec![("Conference".into(), "Conference_0".into())],
         config: builder.build().expect("valid crawl config"),
+        resume: None,
     }
 }
 

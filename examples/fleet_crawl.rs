@@ -30,6 +30,7 @@ fn jobs() -> Vec<FleetJob<WebDbServer>> {
                     .known_target_size(n)
                     .build()
                     .expect("valid crawl config"),
+                resume: None,
             }
         })
         .collect()
@@ -56,7 +57,12 @@ fn main() {
                 r.stop
             );
         }
-        println!("  total: {} records in {} rounds\n", report.total_records(), report.total_rounds);
+        println!("  total: {} records in {} rounds", report.total_records(), report.total_rounds);
+        let s = &report.scheduler;
+        println!(
+            "  scheduler: {} pool workers, {} slices ({} stolen), {} rounds executed\n",
+            s.workers, s.slices_completed, s.steals, s.rounds_executed
+        );
     }
     println!(
         "Harvest-proportional allocation moves budget away from saturated sources,\n\
@@ -76,6 +82,7 @@ fn main() {
             policy: PolicyKind::GreedyLink,
             seeds: vec![("Language".into(), seed.into())],
             config: config.clone(),
+            resume: None,
         })
         .collect();
     let fleet_config =

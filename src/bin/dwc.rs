@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         Some("graph") => cmd_graph(&args[1..]),
         Some("crawl") => cmd_crawl(&args[1..], false),
         Some("resume") => cmd_crawl(&args[1..], true),
+        Some("fleet") => cmd_fleet(&args[1..]),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -73,7 +74,10 @@ USAGE:
             [--checkpoint OUT] [--resume IN] [--trace OUT.csv]
             [--checkpoint-path FILE] [--checkpoint-every N]
             [--events FILE.jsonl]
-  dwc resume <FILE.csv> --checkpoint-path FILE [crawl flags]
+  dwc resume <FILE.csv> --checkpoint-path FILE [--workers N] [crawl flags]
+  dwc fleet <FILE.csv> --seed-value ATTR=VALUE... [--workers N]
+            [--policy bfs|dfs|random|freq|gl|mmmi] [--budget ROUNDS]
+            [--slice ROUNDS] [--allocation even|harvest] [--page-size K]
   dwc help
 
 Crash safety: --checkpoint-path enables periodic, atomic checkpointing
@@ -82,6 +86,12 @@ from the latest intact snapshot after a crash.
 
 Observability: --events streams the crawl's structured event log as JSONL;
 replaying it reconstructs the final report figure for figure.
+
+Fleet scheduling: `dwc fleet` runs one crawl job per --seed-value against a
+shared in-process server, multiplexed onto a bounded work-stealing pool of
+--workers threads (default: available parallelism; must be >= 1). `dwc
+resume --workers N` routes the resumed crawl through the same pooled
+engine. --workers 0 is rejected.
 ";
 
 /// Parsed command line: positional arguments plus accumulated `--flag value`
@@ -112,6 +122,18 @@ fn parse_flags(args: &[String]) -> Result<ParsedArgs, String> {
 
 fn flag<'a>(flags: &'a [(String, String)], name: &str) -> Option<&'a str> {
     flags.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+/// Parses `--workers`, rejecting 0 right at the command line — a zero-thread
+/// pool is always a mistake, not something to clamp silently.
+fn parse_workers(flags: &[(String, String)]) -> Result<Option<usize>, String> {
+    match flag(flags, "workers") {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) | Err(_) => Err("--workers must be a positive thread count".into()),
+            Ok(w) => Ok(Some(w)),
+        },
+    }
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -218,6 +240,11 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
     }
     let config = builder.build().map_err(|e| e.to_string())?;
 
+    let workers = parse_workers(&flags)?;
+    if workers.is_some() && !resume_from_store {
+        return Err("--workers applies to `dwc resume` and `dwc fleet`".into());
+    }
+
     let server = WebDbServer::new(table, interface);
     let crawler = if resume_from_store {
         let s = store.as_ref().expect("checked above");
@@ -230,6 +257,9 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
             );
         }
         eprintln!("resuming at {} records / {} rounds", cp.records.len(), cp.rounds);
+        if let Some(workers) = workers {
+            return resume_pooled(server, policy, cp, config, workers, &flags, n);
+        }
         Crawler::resume(&server, policy.build(), &cp, config)
     } else if let Some(resume_path) = flag(&flags, "resume") {
         let blob = std::fs::read_to_string(resume_path)
@@ -304,6 +334,115 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
     println!("queries   : {}", report.queries);
     println!("rounds    : {}", report.rounds);
     println!("aborted   : {}", report.aborted_queries);
+    Ok(())
+}
+
+/// Routes a resumed crawl through a one-job pooled fleet (`--workers N`):
+/// the checkpoint re-enters via `FleetJob::resume`, and the round budget is
+/// enforced by the fleet coordinator instead of the manual loop — the
+/// checkpointed rounds count against it, matching the manual loop's
+/// cumulative accounting.
+fn resume_pooled(
+    server: WebDbServer,
+    policy: PolicyKind,
+    cp: Checkpoint,
+    mut config: CrawlConfig,
+    workers: usize,
+    flags: &[(String, String)],
+    n: usize,
+) -> Result<(), String> {
+    if flag(flags, "stats").is_some() || flag(flags, "events").is_some() {
+        return Err("--stats/--events are not supported together with --workers".into());
+    }
+    let fleet = FleetConfig::builder()
+        .workers(workers)
+        .total_rounds(config.max_rounds.take().unwrap_or(u64::MAX))
+        .build()
+        .map_err(|e| e.to_string())?;
+    let report = run_fleet(
+        vec![FleetJob { source: server, policy, seeds: Vec::new(), config, resume: Some(cp) }],
+        fleet,
+    );
+    let r = &report.sources[0];
+    if let Some(trace_path) = flag(flags, "trace") {
+        std::fs::write(trace_path, r.trace.to_csv())
+            .map_err(|e| format!("writing {trace_path}: {e}"))?;
+        eprintln!("trace written to {trace_path}");
+    }
+    eprintln!(
+        "scheduler: {} workers, {} slices, {} rounds executed",
+        report.scheduler.workers,
+        report.scheduler.slices_completed,
+        report.scheduler.rounds_executed
+    );
+    println!("records   : {} / {}", r.records, n);
+    println!("coverage  : {:.1}%", r.final_coverage.unwrap_or(0.0) * 100.0);
+    println!("queries   : {}", r.queries);
+    println!("rounds    : {}", r.rounds);
+    println!("aborted   : {}", r.aborted_queries);
+    Ok(())
+}
+
+/// `dwc fleet`: one crawl job per `--seed-value`, all against a shared
+/// in-process server, multiplexed onto the bounded work-stealing pool.
+fn cmd_fleet(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("fleet needs a CSV file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let table = load_csv(&text).map_err(|e| e.to_string())?;
+    let n = table.num_records();
+    let policy = parse_policy(flag(&flags, "policy").unwrap_or("gl"))?;
+    let page_size: usize =
+        flag(&flags, "page-size").unwrap_or("10").parse().map_err(|_| "bad --page-size")?;
+    let interface = InterfaceSpec::permissive(table.schema(), page_size);
+
+    let seeds: Vec<(String, String)> = flags
+        .iter()
+        .filter(|(name, _)| name == "seed-value")
+        .map(|(_, value)| {
+            value
+                .split_once('=')
+                .map(|(a, v)| (a.to_string(), v.to_string()))
+                .ok_or_else(|| format!("--seed-value wants ATTR=VALUE, got {value:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if seeds.is_empty() {
+        return Err("fleet needs at least one --seed-value ATTR=VALUE (one job per seed)".into());
+    }
+
+    let mut fleet = FleetConfig::builder();
+    if let Some(w) = parse_workers(&flags)? {
+        fleet = fleet.workers(w);
+    }
+    if let Some(b) = flag(&flags, "budget") {
+        fleet = fleet.total_rounds(b.parse().map_err(|_| "bad --budget")?);
+    }
+    if let Some(s) = flag(&flags, "slice") {
+        fleet = fleet.slice(s.parse().map_err(|_| "bad --slice")?);
+    }
+    match flag(&flags, "allocation") {
+        None | Some("even") => {}
+        Some("harvest") => fleet = fleet.allocation(AllocationStrategy::HarvestProportional),
+        Some(other) => return Err(format!("unknown allocation {other:?} (even|harvest)")),
+    }
+    let fleet = fleet.build().map_err(|e| e.to_string())?;
+
+    let shared = Arc::new(WebDbServer::new(table, interface));
+    let config = CrawlConfig::builder().known_target_size(n).build().map_err(|e| e.to_string())?;
+    let jobs: Vec<FleetJob<Arc<WebDbServer>>> = seeds
+        .into_iter()
+        .map(|seed| FleetJob {
+            source: Arc::clone(&shared),
+            policy: policy.clone(),
+            seeds: vec![seed],
+            config: config.clone(),
+            resume: None,
+        })
+        .collect();
+    eprintln!("fleet: {} jobs on {} pool workers", jobs.len(), fleet.resolved_workers(jobs.len()));
+    let report = run_fleet(jobs, fleet);
+    print!("{report}");
     Ok(())
 }
 

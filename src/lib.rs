@@ -50,10 +50,12 @@ pub use dwc_stats as stats;
 pub mod prelude {
     pub use dwc_core::policy::{MmmiConfig, PolicyKind, Saturation, SelectionPolicy};
     pub use dwc_core::{
-        AbortPolicy, BreakerConfig, Checkpoint, CheckpointStore, CircuitBreaker, ConfigError,
-        CrawlConfig, CrawlError, CrawlEvent, CrawlReport, CrawlTrace, Crawler, DataSource,
-        DomainTable, EventSink, FaultKind, FaultPlan, FaultPlanSource, FaultySource, JobHealth,
-        JsonlSink, MemorySink, MetricsRegistry, ProberMode, QueryMode, RetryPolicy, StoreError,
+        run_fleet, run_fleet_supervised, AbortPolicy, AllocationStrategy, BreakerConfig,
+        Checkpoint, CheckpointStore, CircuitBreaker, ConfigError, CrawlConfig, CrawlError,
+        CrawlEvent, CrawlReport, CrawlTrace, Crawler, DataSource, DomainTable, EventSink,
+        FaultKind, FaultPlan, FaultPlanSource, FaultySource, FleetConfig, FleetJob, FleetReport,
+        JobHealth, JsonlSink, MemorySink, MetricsRegistry, ProberMode, QueryMode, RetryPolicy,
+        SchedulerStats, StoreError,
     };
     pub use dwc_datagen::presets::Preset;
     pub use dwc_datagen::{PairedDataset, PairedSpec};

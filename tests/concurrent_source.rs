@@ -102,6 +102,7 @@ fn fleet_jobs_share_a_faulty_source_without_losing_records() {
                 .max_retries(32)
                 .build()
                 .expect("valid crawl config"),
+            resume: None,
         })
         .collect();
     let config =

@@ -53,18 +53,23 @@ fn job(
         policy: PolicyKind::GreedyLink,
         seeds: vec![("Language".into(), "Language_0".into())],
         config: builder.build().unwrap(),
+        resume: None,
     }
 }
 
 fn fleet_config() -> FleetConfig {
-    FleetConfig::builder()
+    let mut builder = FleetConfig::builder()
         .total_rounds(20_000)
         .slice(8)
         .default_retry(RetryPolicy::retries(4))
         .max_restarts(5)
-        .breaker(BreakerConfig { trip_after: 3, cooldown: 2 })
-        .build()
-        .unwrap()
+        .breaker(BreakerConfig { trip_after: 3, cooldown: 2 });
+    // CI's scheduler stress sweeps pool widths over the same fault matrix;
+    // every invariant here must hold at any worker count.
+    if let Some(w) = std::env::var("DWC_WORKERS").ok().and_then(|s| s.parse().ok()) {
+        builder = builder.workers(w);
+    }
+    builder.build().unwrap()
 }
 
 /// The fault-free reference run every scenario is measured against.

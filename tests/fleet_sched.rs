@@ -1,0 +1,251 @@
+//! Acceptance suite for the work-stealing fleet scheduler.
+//!
+//! * **Budget conservation** — a property sweep over job counts × worker
+//!   counts × budgets × slices × allocation strategies: the fleet never
+//!   bills more than `total_rounds`, and the pooled engine's report is
+//!   identical to the thread-per-job baseline's on deterministic sources
+//!   (both engines split budget through the same allocator, so any drift
+//!   is a scheduler bug, not an allocation difference).
+//! * **Victim isolation** — a slice panic kills exactly the faulty job;
+//!   the pool keeps draining its siblings, which finish untouched.
+//! * **Determinism** — a `workers = 1` fleet is bit-for-bit reproducible:
+//!   same reports (per-query traces included) and same slice schedule on
+//!   every run.
+//! * **Stress matrix** — the CI fault matrix (`DWC_FAULT_KIND` ×
+//!   `DWC_FAULT_SEED`) replayed at the pool width given by `DWC_WORKERS`,
+//!   so supervision invariants are exercised at 1, 2, and 8 workers.
+
+use deep_web_crawler::core::fleet::{
+    run_fleet, run_fleet_supervised, run_fleet_thread_per_job, AllocationStrategy, FleetConfig,
+    FleetJob,
+};
+use deep_web_crawler::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn figure1_server() -> WebDbServer {
+    let t = deep_web_crawler::model::fixtures::figure1_table();
+    let spec = InterfaceSpec::permissive(t.schema(), 10);
+    WebDbServer::new(t, spec)
+}
+
+fn scratch_store(name: &str) -> CheckpointStore {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "dwc-fleetsched-{}-{}-{name}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    std::fs::create_dir_all(&dir).unwrap();
+    CheckpointStore::new(dir.join("job.ckpt"))
+}
+
+/// One self-contained figure-1 job. Every figure-1 query costs exactly one
+/// elapsed round (5 records, page size 10, no faults), which is what makes
+/// budget conservation exact rather than "within one query" below.
+fn job(seed_value: &str) -> FleetJob<WebDbServer> {
+    FleetJob {
+        source: figure1_server(),
+        policy: PolicyKind::GreedyLink,
+        seeds: vec![("A".into(), seed_value.to_string())],
+        config: CrawlConfig::builder().known_target_size(5).build().unwrap(),
+        resume: None,
+    }
+}
+
+fn jobs(n: usize) -> Vec<FleetJob<WebDbServer>> {
+    let seeds = ["a1", "a2", "a3"];
+    (0..n).map(|i| job(seeds[i % seeds.len()])).collect()
+}
+
+/// Pool widths to sweep: the CI matrix pins one via `DWC_WORKERS`; local
+/// runs cover the serial, small, and oversubscribed cases.
+fn worker_counts() -> Vec<usize> {
+    match std::env::var("DWC_WORKERS").ok().and_then(|s| s.parse().ok()) {
+        Some(w) => vec![w],
+        None => vec![1, 2, 8],
+    }
+}
+
+/// The property sweep: billed rounds never exceed the budget, and the
+/// pooled report equals the thread-per-job baseline, across the whole
+/// parameter grid.
+#[test]
+fn budget_is_conserved_and_reports_match_baseline_across_the_grid() {
+    for &n in &[1usize, 3, 17] {
+        for &workers in &worker_counts() {
+            for &total in &[5u64, 37, 200, 10_000] {
+                for &slice in &[1u64, 7, 50] {
+                    for &alloc in
+                        &[AllocationStrategy::Even, AllocationStrategy::HarvestProportional]
+                    {
+                        let config = || {
+                            FleetConfig::builder()
+                                .total_rounds(total)
+                                .slice(slice)
+                                .allocation(alloc)
+                                .workers(workers)
+                                .build()
+                                .unwrap()
+                        };
+                        let ctx = format!(
+                            "jobs={n} workers={workers} total={total} slice={slice} alloc={alloc:?}"
+                        );
+                        let pooled = run_fleet(jobs(n), config());
+                        assert!(
+                            pooled.total_rounds <= total,
+                            "budget overrun ({} > {total}) at {ctx}",
+                            pooled.total_rounds
+                        );
+                        let billed: u64 = pooled.sources.iter().map(|r| r.elapsed_rounds()).sum();
+                        assert_eq!(billed, pooled.total_rounds, "billing must be exact at {ctx}");
+                        assert!(
+                            pooled.scheduler.rounds_executed <= pooled.scheduler.rounds_granted,
+                            "one-round queries can never overshoot their grant at {ctx}"
+                        );
+                        let baseline = run_fleet_thread_per_job(jobs(n), config());
+                        assert_eq!(
+                            pooled.sources, baseline.sources,
+                            "pooled report diverged from thread-per-job at {ctx}"
+                        );
+                        assert_eq!(pooled.total_rounds, baseline.total_rounds, "at {ctx}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// A panicking slice must take down only its own job: the supervisor
+/// rebuilds the victim from its checkpoint while the pool keeps draining
+/// the three healthy siblings, whose health stays spotless.
+#[test]
+fn slice_panic_restarts_only_the_victim_job() {
+    for &workers in &worker_counts() {
+        let store = scratch_store("victim");
+        let mut fleet_jobs: Vec<FleetJob<FaultPlanSource<Arc<WebDbServer>>>> = Vec::new();
+        for i in 0..4 {
+            let plan = if i == 0 { FaultPlan::new().panic_at(4) } else { FaultPlan::new() };
+            let mut builder = CrawlConfig::builder().known_target_size(5);
+            if i == 0 {
+                builder = builder.checkpoint_store(store.clone()).checkpoint_every(1);
+            }
+            fleet_jobs.push(FleetJob {
+                source: FaultPlanSource::new(Arc::new(figure1_server()), plan),
+                policy: PolicyKind::GreedyLink,
+                seeds: vec![("A".into(), "a2".into())],
+                config: builder.build().unwrap(),
+                resume: None,
+            });
+        }
+        let config =
+            FleetConfig::builder().total_rounds(2_000).slice(8).workers(workers).build().unwrap();
+        let report = run_fleet_supervised(fleet_jobs, config);
+        assert_eq!(
+            report.health[0].worker_restarts, 1,
+            "exactly one restart for the victim at workers={workers}"
+        );
+        assert!(!report.health[0].abandoned);
+        for (i, h) in report.health.iter().enumerate().skip(1) {
+            assert_eq!(
+                (h.worker_restarts, h.breaker_trips, h.abandoned),
+                (0, 0, false),
+                "healthy job {i} must be untouched by job 0's panic at workers={workers}"
+            );
+        }
+        for (i, r) in report.sources.iter().enumerate() {
+            assert_eq!(r.records, 5, "job {i} must finish its harvest at workers={workers}");
+        }
+    }
+}
+
+/// `workers = 1` is the reproducibility anchor: one worker drains the
+/// injector strictly in submission order, so two identical runs produce
+/// identical reports (per-query traces included) *and* identical slice
+/// schedules.
+#[test]
+fn single_worker_fleet_is_fully_deterministic() {
+    let run = || {
+        let config = FleetConfig::builder()
+            .total_rounds(700)
+            .slice(9)
+            .allocation(AllocationStrategy::HarvestProportional)
+            .workers(1)
+            .build()
+            .unwrap();
+        run_fleet(jobs(5), config)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.sources, b.sources, "reports must be bit-for-bit identical");
+    assert_eq!(a.scheduler, b.scheduler, "the slice schedule must be identical");
+    assert!(a.scheduler.steals == 0, "a single worker has nobody to steal from");
+}
+
+/// Builds the fault plan the CI matrix selects via `DWC_FAULT_KIND`,
+/// scaled to a figure-1 crawl (~15 requests per attempt).
+fn matrix_plan(kind: &str, seed: u64) -> FaultPlan {
+    match kind {
+        "burst" => FaultPlan::new().burst(2 + seed % 5, 6),
+        "stall" => FaultPlan::seeded(seed, 40, 0.15, &[FaultKind::Stall { rounds: 2 }]),
+        "corrupt" => FaultPlan::seeded(seed, 40, 0.15, &[FaultKind::Corrupt]),
+        "panic" => FaultPlan::new().panic_at(3 + seed % 7),
+        _ => FaultPlan::seeded(
+            seed,
+            40,
+            0.12,
+            &[FaultKind::Transient, FaultKind::Stall { rounds: 2 }, FaultKind::Corrupt],
+        ),
+    }
+}
+
+/// The CI stress cell: a supervised fleet (one faulted job among healthy
+/// siblings) must preserve the full harvest at whatever pool width
+/// `DWC_WORKERS` pins — supervision semantics cannot depend on how slices
+/// interleave across workers.
+#[test]
+fn fault_matrix_holds_at_every_pool_width() {
+    let kind = std::env::var("DWC_FAULT_KIND").unwrap_or_else(|_| "mixed".into());
+    let seed: u64 = std::env::var("DWC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    for &workers in &worker_counts() {
+        let store = scratch_store("matrix");
+        let mut fleet_jobs: Vec<FleetJob<FaultPlanSource<Arc<WebDbServer>>>> = Vec::new();
+        for i in 0..3 {
+            let plan = if i == 0 { matrix_plan(&kind, seed) } else { FaultPlan::new() };
+            let mut builder =
+                CrawlConfig::builder().known_target_size(5).max_requeues(10).max_retries(8);
+            if i == 0 {
+                builder = builder.checkpoint_store(store.clone()).checkpoint_every(1);
+            }
+            fleet_jobs.push(FleetJob {
+                source: FaultPlanSource::new(Arc::new(figure1_server()), plan),
+                policy: PolicyKind::GreedyLink,
+                seeds: vec![("A".into(), "a2".into())],
+                config: builder.build().unwrap(),
+                resume: None,
+            });
+        }
+        let config = FleetConfig::builder()
+            .total_rounds(4_000)
+            .slice(8)
+            .max_restarts(5)
+            .breaker(BreakerConfig { trip_after: 3, cooldown: 2 })
+            .workers(workers)
+            .build()
+            .unwrap();
+        let report = run_fleet_supervised(fleet_jobs, config);
+        assert!(
+            !report.health[0].abandoned,
+            "kind {kind} seed {seed} workers {workers}: restart budget exhausted"
+        );
+        for (i, r) in report.sources.iter().enumerate() {
+            assert_eq!(
+                r.records, 5,
+                "kind {kind} seed {seed} workers {workers}: job {i} lost records"
+            );
+        }
+        if kind == "panic" {
+            assert!(report.worker_restarts() >= 1, "panic plan must force a restart");
+        }
+    }
+}

@@ -1,7 +1,173 @@
 //! Offline stub of `crossbeam` 0.8 (see `vendor/README.md`).
 //!
 //! Provides `queue::SegQueue` (mutex-backed, not lock-free — correctness
-//! over throughput) and `thread::scope` built on `std::thread::scope`.
+//! over throughput), `thread::scope` built on `std::thread::scope`, and
+//! `deque::{Injector, Worker, Stealer, Steal}` mirroring
+//! `crossbeam-deque`'s work-stealing API (mutex-backed equivalents of the
+//! Chase–Lev deques; same ownership/stealing semantics, no lock-freedom).
+
+/// Work-stealing deques: a global [`deque::Injector`] FIFO plus per-worker
+/// [`deque::Worker`] deques with [`deque::Stealer`] handles, API-compatible
+/// with `crossbeam-deque` 0.8 for the operations the crawler's fleet
+/// scheduler uses.
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt (mirrors `crossbeam_deque::Steal`).
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// Nothing to steal right now.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The operation lost a race and should be retried. The mutex-backed
+        /// stub never loses races, but callers written against the real
+        /// crate must still handle it.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// Whether the attempt yielded a task.
+        pub fn is_success(&self) -> bool {
+            matches!(self, Steal::Success(_))
+        }
+
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// Upper bound on tasks moved per injector batch refill (the real crate
+    /// uses half the deque capacity capped at 32; half-of-queue capped at 32
+    /// keeps refills fair when thousands of slices are queued).
+    const MAX_BATCH: usize = 32;
+
+    /// A FIFO queue owned by one worker thread. The owner pushes and pops at
+    /// the front; [`Stealer`]s take from the back, so a steal grabs the task
+    /// the owner would reach last.
+    #[derive(Debug)]
+    pub struct Worker<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// Creates an empty FIFO worker deque.
+        pub fn new_fifo() -> Self {
+            Worker { inner: Arc::new(Mutex::new(VecDeque::new())) }
+        }
+
+        /// A stealer handle onto this deque (clone freely across threads).
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+
+        /// Pushes a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("worker deque poisoned").push_back(task);
+        }
+
+        /// Pops the owner's next task (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.inner.lock().expect("worker deque poisoned").pop_front()
+        }
+
+        /// Whether the deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("worker deque poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("worker deque poisoned").len()
+        }
+    }
+
+    /// A handle for stealing tasks from another worker's deque.
+    #[derive(Debug)]
+    pub struct Stealer<T> {
+        inner: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer { inner: Arc::clone(&self.inner) }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steals one task from the back of the victim's deque.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("worker deque poisoned").pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the victim's deque is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("worker deque poisoned").is_empty()
+        }
+    }
+
+    /// The global injector queue every worker refills from (mirrors
+    /// `crossbeam_deque::Injector`).
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        inner: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector { inner: Mutex::new(VecDeque::new()) }
+        }
+
+        /// Enqueues a task at the back of the global queue.
+        pub fn push(&self, task: T) {
+            self.inner.lock().expect("injector poisoned").push_back(task);
+        }
+
+        /// Steals one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.inner.lock().expect("injector poisoned").pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Moves a batch of tasks into `dest` and returns the first of them:
+        /// the injector's FIFO prefix lands in the worker's local deque so
+        /// siblings can steal the tail while the owner works the head.
+        pub fn steal_batch_and_pop(&self, dest: &Worker<T>) -> Steal<T> {
+            let mut q = self.inner.lock().expect("injector poisoned");
+            let first = match q.pop_front() {
+                Some(t) => t,
+                None => return Steal::Empty,
+            };
+            let extra = (q.len() / 2).min(MAX_BATCH);
+            if extra > 0 {
+                let mut dest_q = dest.inner.lock().expect("worker deque poisoned");
+                dest_q.extend(q.drain(..extra));
+            }
+            Steal::Success(first)
+        }
+
+        /// Whether the global queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.inner.lock().expect("injector poisoned").is_empty()
+        }
+
+        /// Number of queued tasks.
+        pub fn len(&self) -> usize {
+            self.inner.lock().expect("injector poisoned").len()
+        }
+    }
+}
 
 /// Concurrent queues.
 pub mod queue {
@@ -123,5 +289,81 @@ mod tests {
             s.spawn(|_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    mod deque {
+        use crate::deque::{Injector, Steal, Worker};
+
+        #[test]
+        fn worker_is_fifo_and_stealers_take_the_tail() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            w.push(1);
+            w.push(2);
+            w.push(3);
+            assert_eq!(w.len(), 3);
+            assert_eq!(w.pop(), Some(1), "owner pops the oldest task");
+            assert_eq!(s.steal(), Steal::Success(3), "stealers take the newest task");
+            assert_eq!(w.pop(), Some(2));
+            assert_eq!(s.steal(), Steal::<i32>::Empty);
+            assert!(w.is_empty() && s.is_empty());
+        }
+
+        #[test]
+        fn injector_batch_refill_preserves_fifo_order() {
+            let inj = Injector::new();
+            for i in 0..10 {
+                inj.push(i);
+            }
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Success(0));
+            // Half the remainder (9 / 2 = 4) moved into the local deque.
+            assert_eq!(w.len(), 4);
+            assert_eq!(inj.len(), 5);
+            for expect in 1..5 {
+                assert_eq!(w.pop(), Some(expect), "local batch keeps global order");
+            }
+            assert_eq!(inj.steal(), Steal::Success(5));
+        }
+
+        #[test]
+        fn empty_injector_reports_empty() {
+            let inj: Injector<u8> = Injector::new();
+            let w = Worker::new_fifo();
+            assert_eq!(inj.steal(), Steal::Empty);
+            assert_eq!(inj.steal_batch_and_pop(&w), Steal::Empty);
+            assert!(inj.is_empty());
+        }
+
+        #[test]
+        fn concurrent_stealing_loses_nothing() {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            let inj = Injector::new();
+            for i in 0..1000u64 {
+                inj.push(i);
+            }
+            let sum = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    s.spawn(|| {
+                        let local = Worker::new_fifo();
+                        loop {
+                            let task = local.pop().or_else(|| match inj.steal_batch_and_pop(&local)
+                            {
+                                Steal::Success(t) => Some(t),
+                                _ => None,
+                            });
+                            match task {
+                                Some(t) => {
+                                    sum.fetch_add(t, Ordering::Relaxed);
+                                }
+                                None => break,
+                            }
+                        }
+                    });
+                }
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 1000 * 999 / 2);
+        }
     }
 }
