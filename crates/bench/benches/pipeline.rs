@@ -19,7 +19,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dwc_core::stage::Ingestor;
 use dwc_core::state::CrawlState;
-use dwc_core::{DataSource, ProberMode};
+use dwc_core::{DataSource, ProberMode, SourceRequest};
 use dwc_model::{AttrId, AttrSpec, Schema, UniversalTable};
 use dwc_server::{InterfaceSpec, Query, WebDbServer};
 use std::hint::black_box;
@@ -127,8 +127,13 @@ fn run_seed_path(server: &WebDbServer, queries: &[Query]) -> (u64, usize) {
         for q in queries {
             let mut page_index = 0usize;
             loop {
-                let page = DataSource::query_page(server, q, page_index, ProberMode::Wire)
+                let mut owned = None;
+                server
+                    .respond(&SourceRequest::new(q, page_index, ProberMode::Wire), &mut |view| {
+                        owned = Some(view.to_owned_page());
+                    })
                     .expect("workload queries are valid");
+                let page = owned.expect("respond visits on success");
                 for rec in &page.records {
                     records += u64::from(ingestor.ingest_record(
                         &mut state,
@@ -159,7 +164,7 @@ fn run_zero_copy_path(server: &WebDbServer, queries: &[Query]) -> (u64, usize) {
             loop {
                 let mut has_more = false;
                 server
-                    .visit_page(q, page_index, ProberMode::Wire, &mut |view| {
+                    .respond(&SourceRequest::new(q, page_index, ProberMode::Wire), &mut |view| {
                         has_more = view.has_more;
                         records +=
                             ingestor.ingest_page(&mut state, view, &mut touched, &mut newly).new;

@@ -7,7 +7,8 @@
 //! of panicking (or silently stalling) mid-crawl.
 
 use crate::abort::AbortPolicy;
-use crate::source::ProberMode;
+use crate::source::{CancelToken, ProberMode};
+use std::time::Duration;
 
 /// Retry behaviour on transient page-request failures.
 ///
@@ -71,6 +72,12 @@ pub enum ConfigError {
     BadCoverage(f64),
     /// A coverage target without a known target size can never fire.
     CoverageNeedsTargetSize,
+    /// A serving-tier queue bound of zero can never admit a request.
+    ZeroQueueDepth,
+    /// A zero deadline would cancel every request at admission.
+    ZeroDeadline,
+    /// A client pool needs at least one connection.
+    ZeroConnections,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -85,6 +92,15 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::CoverageNeedsTargetSize => {
                 write!(f, "a coverage target requires known_target_size")
+            }
+            ConfigError::ZeroQueueDepth => {
+                write!(f, "serving queue depth must be positive")
+            }
+            ConfigError::ZeroDeadline => {
+                write!(f, "a request deadline must be positive")
+            }
+            ConfigError::ZeroConnections => {
+                write!(f, "a client pool needs at least one connection")
             }
         }
     }
@@ -166,6 +182,15 @@ pub struct CrawlConfig {
     /// Snapshot cadence in completed queries, when a store is set; `None`
     /// uses [`DEFAULT_CHECKPOINT_EVERY`].
     pub checkpoint_every: Option<u64>,
+    /// Per-request deadline: each page request's [`crate::SourceRequest`]
+    /// carries `now + deadline` as its absolute deadline. In-process sources
+    /// answer instantly and ignore it; a [`crate::serve::SourceService`]
+    /// cancels (and bills) requests still queued past it.
+    pub deadline: Option<Duration>,
+    /// Cooperative cancellation for the whole crawl: when the token fires,
+    /// the executor stops submitting requests and the driver finalizes the
+    /// report with [`crate::StopReason::Cancelled`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for CrawlConfig {
@@ -182,6 +207,8 @@ impl Default for CrawlConfig {
             query_mode: QueryMode::default(),
             checkpoint_store: None,
             checkpoint_every: None,
+            deadline: None,
+            cancel: None,
         }
     }
 }
@@ -273,6 +300,18 @@ impl CrawlConfigBuilder {
         self
     }
 
+    /// Sets the per-request deadline. Must be positive.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.config.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a crawl-wide cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.config.cancel = Some(token);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<CrawlConfig, ConfigError> {
         let c = &self.config;
@@ -297,6 +336,9 @@ impl CrawlConfigBuilder {
             if c.known_target_size.is_none() {
                 return Err(ConfigError::CoverageNeedsTargetSize);
             }
+        }
+        if c.deadline == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroDeadline);
         }
         Ok(self.config)
     }
@@ -348,6 +390,15 @@ mod tests {
             CrawlConfig::builder().target_coverage(0.9).build().unwrap_err(),
             ConfigError::CoverageNeedsTargetSize
         );
+        assert_eq!(
+            CrawlConfig::builder().deadline(Duration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroDeadline
+        );
+        assert!(CrawlConfig::builder()
+            .deadline(Duration::from_millis(50))
+            .cancel(CancelToken::new())
+            .build()
+            .is_ok());
         assert!(CrawlConfig::builder()
             .max_rounds(10_000)
             .known_target_size(5)

@@ -300,6 +300,9 @@ impl<S: DataSource> Crawler<S> {
     }
 
     fn budget_stop(&self) -> Option<StopReason> {
+        if self.config.cancel.as_ref().is_some_and(crate::source::CancelToken::is_cancelled) {
+            return Some(StopReason::Cancelled);
+        }
         let metrics = self.bus.metrics();
         if let Some(max) = self.config.max_rounds {
             if metrics.elapsed_rounds() >= max {

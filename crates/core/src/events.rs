@@ -35,6 +35,9 @@ pub enum StopReason {
     /// A supervised fleet abandoned the job after its worker exceeded the
     /// restart budget ([`crate::fleet::FleetConfig::max_restarts`]).
     WorkerFailed,
+    /// The crawl's [`crate::source::CancelToken`] fired: the driver stopped
+    /// issuing requests and finalized the report at the current state.
+    Cancelled,
 }
 
 impl StopReason {
@@ -46,6 +49,7 @@ impl StopReason {
             StopReason::QueryBudget => "query_budget",
             StopReason::CoverageReached => "coverage_reached",
             StopReason::WorkerFailed => "worker_failed",
+            StopReason::Cancelled => "cancelled",
         }
     }
 
@@ -56,6 +60,7 @@ impl StopReason {
             "query_budget" => StopReason::QueryBudget,
             "coverage_reached" => StopReason::CoverageReached,
             "worker_failed" => StopReason::WorkerFailed,
+            "cancelled" => StopReason::Cancelled,
             _ => return None,
         })
     }
@@ -216,6 +221,26 @@ pub enum CrawlEvent {
         /// Whether the worker stole the slice from a sibling's deque.
         stolen: bool,
     },
+    /// The serving tier admitted one request into its bounded queue
+    /// ([`crate::serve::SourceService`]).
+    RequestEnqueued {
+        /// Queue depth right after admission (this request included).
+        depth: u32,
+    },
+    /// The serving tier rejected one request at admission: the bounded queue
+    /// was full and the load was shed. The round is still billed
+    /// (Definition 2.3 counts requests, not outcomes).
+    RequestShed,
+    /// An admitted request was cancelled at dequeue — its deadline expired
+    /// while it waited, or its cancellation token fired. Billed like any
+    /// other round.
+    RequestCancelled,
+    /// The serving tier finished processing an admitted request (whether the
+    /// payload succeeded or carried a source error).
+    RequestCompleted {
+        /// Admission-to-reply wall latency in microseconds.
+        latency_us: u64,
+    },
 }
 
 impl CrawlEvent {
@@ -281,6 +306,14 @@ impl CrawlEvent {
                 "{{\"event\":\"slice_completed\",\"job\":{job},\"worker\":{worker},\
                  \"rounds\":{rounds},\"stolen\":{stolen}}}"
             ),
+            CrawlEvent::RequestEnqueued { depth } => {
+                format!("{{\"event\":\"request_enqueued\",\"depth\":{depth}}}")
+            }
+            CrawlEvent::RequestShed => "{\"event\":\"request_shed\"}".to_string(),
+            CrawlEvent::RequestCancelled => "{\"event\":\"request_cancelled\"}".to_string(),
+            CrawlEvent::RequestCompleted { latency_us } => {
+                format!("{{\"event\":\"request_completed\",\"latency_us\":{latency_us}}}")
+            }
         }
     }
 
@@ -341,6 +374,14 @@ impl CrawlEvent {
                 rounds: json_u64(line, "rounds")?,
                 stolen: json_bool(line, "stolen")?,
             },
+            "request_enqueued" => {
+                CrawlEvent::RequestEnqueued { depth: json_u64(line, "depth")? as u32 }
+            }
+            "request_shed" => CrawlEvent::RequestShed,
+            "request_cancelled" => CrawlEvent::RequestCancelled,
+            "request_completed" => {
+                CrawlEvent::RequestCompleted { latency_us: json_u64(line, "latency_us")? }
+            }
             _ => return None,
         })
     }
@@ -521,6 +562,10 @@ mod tests {
             CrawlEvent::SliceScheduled { job: 3, rounds: 250 },
             CrawlEvent::SliceCompleted { job: 3, worker: 1, rounds: 248, stolen: true },
             CrawlEvent::SliceCompleted { job: 0, worker: 0, rounds: 10, stolen: false },
+            CrawlEvent::RequestEnqueued { depth: 5 },
+            CrawlEvent::RequestShed,
+            CrawlEvent::RequestCancelled,
+            CrawlEvent::RequestCompleted { latency_us: 1_250 },
         ]
     }
 

@@ -435,6 +435,36 @@ pub fn page_to_wire(page: &ExtractedPage) -> String {
     out
 }
 
+/// Re-encodes a borrowed [`ExtractedPageRef`] into the XML wire format,
+/// byte-identical to [`page_to_wire`] on the equivalent owned page. This is
+/// the serving-tier frame encoder: a [`crate::serve::SourceService`] worker
+/// visits the inner source's page zero-copy, encodes the view straight off
+/// the borrow, and ships the frame — no owned [`ExtractedPage`] detour.
+pub fn page_ref_to_wire(page: &ExtractedPageRef<'_>) -> String {
+    use dwc_server::wire::escape_xml;
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(64 + page.records.len() * 128);
+    let _ = write!(out, "<results page=\"{}\" more=\"{}\"", page.page_index, page.has_more);
+    if let Some(total) = page.total_matches {
+        let _ = write!(out, " total=\"{total}\"");
+    }
+    out.push_str(">\n");
+    for rec in &page.records {
+        let _ = writeln!(out, "  <record key=\"{}\">", rec.key);
+        for (attr, value) in &rec.fields {
+            let _ = writeln!(
+                out,
+                "    <field attr=\"{}\">{}</field>",
+                escape_xml(attr),
+                escape_xml(value)
+            );
+        }
+        out.push_str("  </record>\n");
+    }
+    out.push_str("</results>\n");
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

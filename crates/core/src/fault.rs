@@ -19,8 +19,8 @@
 //! of replaying the same fault forever).
 
 use crate::extract::{page_to_wire, parse_page, ExtractedPage};
-use crate::source::{CrawlError, DataSource, ProberMode};
-use dwc_server::{InterfaceSpec, Query};
+use crate::source::{CrawlError, DataSource};
+use dwc_server::InterfaceSpec;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -250,15 +250,14 @@ impl<S: DataSource> FaultPlanSource<S> {
 }
 
 impl<S: DataSource> DataSource for FaultPlanSource<S> {
-    fn query_page(
+    fn respond(
         &self,
-        query: &Query,
-        page_index: usize,
-        prober: ProberMode,
-    ) -> Result<ExtractedPage, CrawlError> {
+        request: &crate::source::SourceRequest<'_>,
+        visit: &mut dyn FnMut(&crate::extract::ExtractedPageRef<'_>),
+    ) -> Result<crate::source::SourceResponse, CrawlError> {
         let request_no = self.state.requests.fetch_add(1, Ordering::Relaxed) + 1;
         match self.plan.event_at(request_no) {
-            None => self.inner.query_page(query, page_index, prober),
+            None => self.inner.respond(request, visit),
             Some(FaultKind::Transient) => {
                 self.state.transient.fetch_add(1, Ordering::Relaxed);
                 Err(CrawlError::Transient)
@@ -268,7 +267,12 @@ impl<S: DataSource> DataSource for FaultPlanSource<S> {
                 Err(CrawlError::Stalled { wasted_rounds: rounds })
             }
             Some(FaultKind::Corrupt) => {
-                let page = self.inner.query_page(query, page_index, prober)?;
+                // The inner request executes (and is billed there), but the
+                // caller's visitor never runs: the page is materialized only
+                // to simulate the truncation below.
+                let mut owned = None;
+                self.inner.respond(request, &mut |view| owned = Some(view.to_owned_page()))?;
+                let page: ExtractedPage = owned.expect("respond visits on success");
                 self.state.corrupt.fetch_add(1, Ordering::Relaxed);
                 // Materialize the page as wire bytes and truncate them, as a
                 // flaky connection would. The extractor must reject the
@@ -302,8 +306,9 @@ impl<S: DataSource> DataSource for FaultPlanSource<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::source::ProberMode;
     use dwc_model::fixtures::figure1_table;
-    use dwc_server::WebDbServer;
+    use dwc_server::{Query, WebDbServer};
 
     fn server() -> WebDbServer {
         let t = figure1_table();
@@ -313,6 +318,18 @@ mod tests {
 
     fn a2() -> Query {
         Query::ByString { attr: "A".into(), value: "a2".into() }
+    }
+
+    /// Fetches through the deprecated owned-page shim (the shim itself routes
+    /// through `respond`, so this also exercises the new entry point).
+    #[allow(deprecated)]
+    fn query_page<S: DataSource>(
+        s: &S,
+        query: &Query,
+        page: usize,
+        prober: ProberMode,
+    ) -> Result<ExtractedPage, CrawlError> {
+        s.query_page(query, page, prober)
     }
 
     #[test]
@@ -347,13 +364,13 @@ mod tests {
             server(),
             FaultPlan::new().transient_at(1).stall_at(2, 7).corrupt_at(3),
         );
-        assert_eq!(s.query_page(&a2(), 0, ProberMode::InProcess), Err(CrawlError::Transient));
+        assert_eq!(query_page(&s, &a2(), 0, ProberMode::InProcess), Err(CrawlError::Transient));
         assert_eq!(
-            s.query_page(&a2(), 0, ProberMode::InProcess),
+            query_page(&s, &a2(), 0, ProberMode::InProcess),
             Err(CrawlError::Stalled { wasted_rounds: 7 })
         );
-        assert_eq!(s.query_page(&a2(), 0, ProberMode::InProcess), Err(CrawlError::CorruptPage));
-        assert!(s.query_page(&a2(), 0, ProberMode::InProcess).is_ok());
+        assert_eq!(query_page(&s, &a2(), 0, ProberMode::InProcess), Err(CrawlError::CorruptPage));
+        assert!(query_page(&s, &a2(), 0, ProberMode::InProcess).is_ok());
         let tally = s.tally();
         assert_eq!((tally.transient, tally.stalls, tally.corrupt, tally.panics), (1, 1, 1, 0));
         assert_eq!(tally.total(), 3);
@@ -364,9 +381,9 @@ mod tests {
         // Request 1 transient (absorbed: billed by wrapper), request 2
         // corrupt (served: billed by inner), request 3 clean.
         let s = FaultPlanSource::new(server(), FaultPlan::new().transient_at(1).corrupt_at(2));
-        let _ = s.query_page(&a2(), 0, ProberMode::InProcess);
-        let _ = s.query_page(&a2(), 0, ProberMode::InProcess);
-        let _ = s.query_page(&a2(), 0, ProberMode::InProcess);
+        let _ = query_page(&s, &a2(), 0, ProberMode::InProcess);
+        let _ = query_page(&s, &a2(), 0, ProberMode::InProcess);
+        let _ = query_page(&s, &a2(), 0, ProberMode::InProcess);
         assert_eq!(s.inner().rounds_used(), 2, "corrupt + clean reached the server");
         assert_eq!(DataSource::rounds_used(&s), 3, "every request is billed exactly once");
     }
@@ -376,9 +393,9 @@ mod tests {
         let s =
             FaultPlanSource::new(std::sync::Arc::new(server()), FaultPlan::new().transient_at(2));
         let s2 = s.clone();
-        assert!(s.query_page(&a2(), 0, ProberMode::InProcess).is_ok());
+        assert!(query_page(&s, &a2(), 0, ProberMode::InProcess).is_ok());
         assert_eq!(
-            s2.query_page(&a2(), 0, ProberMode::InProcess),
+            query_page(&s2, &a2(), 0, ProberMode::InProcess),
             Err(CrawlError::Transient),
             "the clone's request is number 2 in the shared stream"
         );
@@ -390,11 +407,11 @@ mod tests {
     fn panic_fault_panics_once_then_schedule_moves_on() {
         let s = FaultPlanSource::new(std::sync::Arc::new(server()), FaultPlan::new().panic_at(1));
         let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let _ = s.query_page(&a2(), 0, ProberMode::InProcess);
+            let _ = query_page(&s, &a2(), 0, ProberMode::InProcess);
         }));
         assert!(caught.is_err(), "the scheduled panic must fire");
         assert_eq!(s.tally().panics, 1);
         // The stream advanced past the panic: the next request succeeds.
-        assert!(s.query_page(&a2(), 0, ProberMode::InProcess).is_ok());
+        assert!(query_page(&s, &a2(), 0, ProberMode::InProcess).is_ok());
     }
 }

@@ -20,9 +20,12 @@
 //! the local database `DB_local` ([`local::LocalDb`]).
 //!
 //! The crawler reaches its target exclusively through the [`source::DataSource`]
-//! trait — one page request per call, `&self`, atomically billed — which makes
-//! an in-process [`dwc_server::WebDbServer`], a fault-injecting decorator
-//! ([`source::FaultySource`]), and future real-HTTP backends interchangeable.
+//! trait — a [`source::SourceRequest`]/[`source::SourceResponse`] envelope per
+//! page request, `&self`, atomically billed — which makes an in-process
+//! [`dwc_server::WebDbServer`], a fault-injecting decorator
+//! ([`source::FaultySource`]), and a protocol-backed [`serve::Connection`]
+//! into a [`serve::SourceService`] (bounded queue, admission control,
+//! deadlines, cancellation) interchangeable.
 //! Because the trait is implemented for `&S` and `Arc<S>` too, the same
 //! generic [`Crawler`] covers both exclusive borrow-style use and fleets of
 //! workers sharing one source ([`fleet`]).
@@ -49,6 +52,7 @@ pub mod metrics;
 pub mod policy;
 pub mod report;
 pub mod sched;
+pub mod serve;
 pub mod source;
 pub mod stage;
 pub mod state;
@@ -68,11 +72,18 @@ pub use fleet::{
 };
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker, JobHealth};
 pub use local::LocalDb;
-pub use metrics::{replay_report, MetricsRegistry};
+pub use metrics::{replay_report, replay_service_report, MetricsRegistry};
 pub use policy::{PolicyKind, SelectionPolicy};
 pub use report::CrawlSummary;
 pub use sched::{Pool, SchedulerStats, TaskCtx, WorkerStats};
-pub use source::{CrawlError, DataSource, FaultySource, PageMeta};
+pub use serve::{
+    ClientPool, Connection, LatencyModel, ServeConfig, ServeConfigBuilder, ServiceReport,
+    SourceService,
+};
+pub use source::{
+    CancelToken, CrawlError, DataSource, FaultySource, PageMeta, ServiceMeta, SourceRequest,
+    SourceResponse,
+};
 pub use stage::{Executor, Ingestor, Planner};
 pub use state::{CandStatus, CrawlState, QueryOutcome};
 pub use store::{CheckpointStore, SaveReceipt, StoreError};

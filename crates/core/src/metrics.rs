@@ -91,9 +91,40 @@ pub struct MetricsRegistry {
     rounds_executed: u64,
     steals: u64,
     per_worker_slices: Vec<u64>,
+    requests_enqueued: u64,
+    requests_shed: u64,
+    requests_cancelled: u64,
+    requests_completed: u64,
+    queue_depth_sum: u64,
+    queue_depth_max: u32,
+    latency_max_us: u64,
+    /// Log2-bucketed completion latencies: bucket 0 holds `0 µs`, bucket
+    /// `i ≥ 1` holds `[2^(i−1), 2^i)` µs. Allocated on first use so crawls
+    /// that never cross a service boundary pay nothing.
+    latency_buckets: Vec<u64>,
     trace: CrawlTrace,
     stop: Option<StopReason>,
     final_coverage: Option<f64>,
+}
+
+/// Log2 bucket index for a microsecond latency (0 → bucket 0).
+fn latency_bucket(us: u64) -> usize {
+    if us == 0 {
+        0
+    } else {
+        64 - us.leading_zeros() as usize
+    }
+}
+
+/// Upper bound (representative value) of a log2 latency bucket — the
+/// pessimistic edge, which is the honest way to quote a tail percentile
+/// from a histogram.
+fn bucket_upper_bound(idx: usize) -> u64 {
+    if idx >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << idx) - 1
+    }
 }
 
 impl MetricsRegistry {
@@ -167,6 +198,21 @@ impl MetricsRegistry {
                     self.per_worker_slices.resize(idx + 1, 0);
                 }
                 self.per_worker_slices[idx] += 1;
+            }
+            CrawlEvent::RequestEnqueued { depth } => {
+                self.requests_enqueued += 1;
+                self.queue_depth_sum += u64::from(depth);
+                self.queue_depth_max = self.queue_depth_max.max(depth);
+            }
+            CrawlEvent::RequestShed => self.requests_shed += 1,
+            CrawlEvent::RequestCancelled => self.requests_cancelled += 1,
+            CrawlEvent::RequestCompleted { latency_us } => {
+                self.requests_completed += 1;
+                self.latency_max_us = self.latency_max_us.max(latency_us);
+                if self.latency_buckets.is_empty() {
+                    self.latency_buckets = vec![0; 65];
+                }
+                self.latency_buckets[latency_bucket(latency_us)] += 1;
             }
         }
     }
@@ -299,6 +345,45 @@ impl MetricsRegistry {
             per_worker_slices,
         }
     }
+
+    /// Nearest-rank percentile over the log2 latency histogram: the upper
+    /// bound of the bucket containing the `⌈q·n⌉`-th smallest completion.
+    fn latency_percentile(&self, q: f64) -> u64 {
+        if self.requests_completed == 0 {
+            return 0;
+        }
+        let rank = ((q * self.requests_completed as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (idx, &count) in self.latency_buckets.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                // The top bucket's upper bound is unbounded; quote the
+                // largest latency actually observed instead.
+                return bucket_upper_bound(idx).min(self.latency_max_us);
+            }
+        }
+        self.latency_max_us
+    }
+
+    /// Derives the serving-tier section of a report from the
+    /// [`CrawlEvent::RequestEnqueued`] / `RequestShed` / `RequestCancelled` /
+    /// `RequestCompleted` stream recorded here. All-zero when the crawl never
+    /// crossed a service boundary.
+    pub fn service_report(&self) -> crate::serve::ServiceReport {
+        let enq = self.requests_enqueued;
+        crate::serve::ServiceReport {
+            enqueued: enq,
+            completed: self.requests_completed,
+            shed: self.requests_shed,
+            cancelled: self.requests_cancelled,
+            max_queue_depth: self.queue_depth_max,
+            mean_queue_depth: if enq == 0 { 0.0 } else { self.queue_depth_sum as f64 / enq as f64 },
+            p50_latency_us: self.latency_percentile(0.50),
+            p95_latency_us: self.latency_percentile(0.95),
+            p99_latency_us: self.latency_percentile(0.99),
+            max_latency_us: self.latency_max_us,
+        }
+    }
 }
 
 impl EventSink for MetricsRegistry {
@@ -319,6 +404,20 @@ pub fn replay_report<'a, I: IntoIterator<Item = &'a CrawlEvent>>(events: I) -> O
         registry.record(event);
     }
     registry.report()
+}
+
+/// Replays a recorded stream through a fresh registry and derives its
+/// serving-tier report — the same fold [`crate::serve::SourceService`] runs
+/// live, so `replay_service_report(recorded) == service.service_report()`
+/// for any stream captured by a sink attached before the first request.
+pub fn replay_service_report<'a, I: IntoIterator<Item = &'a CrawlEvent>>(
+    events: I,
+) -> crate::serve::ServiceReport {
+    let mut registry = MetricsRegistry::new();
+    for event in events {
+        registry.record(event);
+    }
+    registry.service_report()
 }
 
 #[cfg(test)]
@@ -442,6 +541,52 @@ mod tests {
         assert_eq!(s.rounds_executed, 147);
         assert_eq!(s.steals, 1);
         assert_eq!(s.per_worker_slices, vec![1, 0, 1, 0], "padded to the pool size");
+    }
+
+    #[test]
+    fn service_events_fold_into_the_service_report() {
+        let mut m = MetricsRegistry::new();
+        assert_eq!(m.service_report(), crate::serve::ServiceReport::default());
+        let events = [
+            CrawlEvent::RequestEnqueued { depth: 1 },
+            CrawlEvent::RequestCompleted { latency_us: 3 },
+            CrawlEvent::RequestEnqueued { depth: 3 },
+            CrawlEvent::RequestShed,
+            CrawlEvent::RequestEnqueued { depth: 2 },
+            CrawlEvent::RequestCancelled,
+            CrawlEvent::RequestCompleted { latency_us: 900 },
+        ];
+        for ev in &events {
+            m.record(ev);
+        }
+        let s = m.service_report();
+        assert_eq!(s.enqueued, 3);
+        assert_eq!(s.completed, 2);
+        assert_eq!(s.shed, 1);
+        assert_eq!(s.cancelled, 1);
+        assert_eq!(s.max_queue_depth, 3);
+        assert!((s.mean_queue_depth - 2.0).abs() < 1e-9);
+        assert_eq!(s.p50_latency_us, 3, "rank 1 of 2 lands in the 2–3 µs bucket");
+        assert_eq!(s.p99_latency_us, 900, "tail quote is clamped to the observed max");
+        assert_eq!(s.max_latency_us, 900);
+        assert!((s.shed_rate() - 0.25).abs() < 1e-9, "1 shed of 4 offered");
+        assert_eq!(replay_service_report(&events), s, "the live fold and the replay agree");
+    }
+
+    #[test]
+    fn latency_percentiles_are_monotone_and_zero_safe() {
+        let mut m = MetricsRegistry::new();
+        m.record(&CrawlEvent::RequestCompleted { latency_us: 0 });
+        let s = m.service_report();
+        assert_eq!((s.p50_latency_us, s.p99_latency_us, s.max_latency_us), (0, 0, 0));
+        for us in [10, 100, 1_000, 10_000, 100_000] {
+            m.record(&CrawlEvent::RequestCompleted { latency_us: us });
+        }
+        let s = m.service_report();
+        assert!(s.p50_latency_us <= s.p95_latency_us);
+        assert!(s.p95_latency_us <= s.p99_latency_us);
+        assert!(s.p99_latency_us <= s.max_latency_us);
+        assert_eq!(s.max_latency_us, 100_000);
     }
 
     #[test]

@@ -1,0 +1,784 @@
+//! The serving tier: [`WebDbServer`] (or any [`DataSource`]) behind a real
+//! request/response boundary.
+//!
+//! The paper's cost model (Definition 2.3) bills communication rounds
+//! against a *remote* query interface, but an in-process `DataSource` call
+//! cannot exhibit the service phenomena that make rounds expensive: queueing,
+//! load shedding, deadlines, tail latency. [`SourceService`] supplies that
+//! missing seam. It owns an inner source, a bounded job queue, and a pool of
+//! worker threads; [`Connection`] is the client half — itself a
+//! [`DataSource`], so every policy, engine, and fleet above the seam runs
+//! unmodified against either transport:
+//!
+//! ```text
+//!  Crawler ──respond(SourceRequest)──▶ Connection ──try_send──▶ [bounded queue]
+//!     ▲                                   │   ▲                      │
+//!     │                                   │   └──reply channel──  worker × W
+//!     │                            queue full?                       │
+//!     └── Err(Rejected) ◀── shed ─────────┘            respond() on inner source,
+//!                                                      encode page → wire frame
+//! ```
+//!
+//! Contract, in terms of the paper's cost model:
+//!
+//! * **Admission control.** The queue is bounded ([`ServeConfig::queue_depth`]).
+//!   A full queue sheds the request at admission — the client gets
+//!   [`CrawlError::Rejected`] and the service bills the round itself (the
+//!   request reached the service; Definition 2.3 counts requests, not
+//!   outcomes). The queue can never grow unboundedly.
+//! * **Deadlines & cancellation.** A queued request whose deadline passes or
+//!   whose [`CancelToken`] fires is cancelled at dequeue — billed, answered
+//!   [`CrawlError::Cancelled`], never executed.
+//! * **Conservation.** Every request offered to the service is billed exactly
+//!   once: executed ones by the inner source's own round counter, shed and
+//!   cancelled ones by the service's counters. [`Connection::rounds_used`]
+//!   is the sum, so `report.rounds == source.rounds_used()` holds across
+//!   transports.
+//! * **Observability.** The service runs its own [`EventBus`], emitting
+//!   [`CrawlEvent::RequestEnqueued`] / [`CrawlEvent::RequestShed`] /
+//!   [`CrawlEvent::RequestCancelled`] / [`CrawlEvent::RequestCompleted`];
+//!   [`MetricsRegistry`](crate::metrics::MetricsRegistry) folds them into a
+//!   [`ServiceReport`] (queue depth, shed rate, p50/p95/p99 latency), and
+//!   [`crate::metrics::replay_service_report`] reproduces it from a recorded
+//!   stream. Service events never enter the *crawl* bus — crawl reports stay
+//!   bit-identical across transports, which is what the parity suite checks.
+//!
+//! Responses cross the boundary as frames: the worker visits the inner
+//! source's page zero-copy, re-encodes it with
+//! [`crate::extract::page_ref_to_wire`], and the client re-parses with
+//! [`crate::extract::parse_page_ref`] — the observable content is identical
+//! to the in-process path, only the transport differs.
+
+use crate::events::{CrawlEvent, EventBus, EventSink};
+use crate::extract::{page_ref_to_wire, parse_page_ref, ExtractedPageRef};
+use crate::source::{
+    CancelToken, CrawlError, DataSource, PageMeta, ProberMode, ServiceMeta, SourceRequest,
+    SourceResponse,
+};
+use crate::ConfigError;
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use dwc_server::{InterfaceSpec, Query};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Serving-tier counters and tail-latency summary, folded by
+/// [`MetricsRegistry`](crate::metrics::MetricsRegistry) from the service's
+/// event stream. All-zero when no request ever crossed a service boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ServiceReport {
+    /// Requests admitted into the queue.
+    pub enqueued: u64,
+    /// Requests fully processed by a worker (successes and inner failures).
+    pub completed: u64,
+    /// Requests refused at admission because the queue was full.
+    pub shed: u64,
+    /// Requests cancelled at dequeue (deadline expired or token fired).
+    pub cancelled: u64,
+    /// Largest queue depth observed at any admission.
+    pub max_queue_depth: u32,
+    /// Mean queue depth observed at admission.
+    pub mean_queue_depth: f64,
+    /// Median request latency (admission → reply), microseconds.
+    pub p50_latency_us: u64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_latency_us: u64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_latency_us: u64,
+    /// Largest request latency observed, microseconds.
+    pub max_latency_us: u64,
+}
+
+impl ServiceReport {
+    /// Requests offered to the service: admitted plus shed at the door.
+    pub fn offered(&self) -> u64 {
+        self.enqueued + self.shed
+    }
+
+    /// Fraction of offered requests shed at admission (0.0 when idle).
+    pub fn shed_rate(&self) -> f64 {
+        let offered = self.offered();
+        if offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / offered as f64
+        }
+    }
+}
+
+/// Per-request service latency model, sampled deterministically from the
+/// config seed and the request's admission sequence number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LatencyModel {
+    /// No modeled latency: the worker answers as fast as it can.
+    #[default]
+    None,
+    /// Every request costs the same fixed service time.
+    Fixed(Duration),
+    /// Service time drawn uniformly from `[min, max]`.
+    Uniform {
+        /// Lower bound of the service time.
+        min: Duration,
+        /// Upper bound of the service time.
+        max: Duration,
+    },
+}
+
+/// `splitmix64` — the same tiny generator the fault planner uses; good
+/// enough to decorrelate per-request service times from a single seed.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl LatencyModel {
+    /// The modeled service time for the `seq`-th admitted request.
+    fn sample(&self, seed: u64, seq: u64) -> Duration {
+        match *self {
+            LatencyModel::None => Duration::ZERO,
+            LatencyModel::Fixed(d) => d,
+            LatencyModel::Uniform { min, max } => {
+                let (lo, hi) = if min <= max { (min, max) } else { (max, min) };
+                let span = hi - lo;
+                if span.is_zero() {
+                    return lo;
+                }
+                let frac = (splitmix64(seed ^ seq) >> 11) as f64 / (1u64 << 53) as f64;
+                lo + span.mul_f64(frac)
+            }
+        }
+    }
+}
+
+/// Serving-tier knobs, validated together by [`ServeConfigBuilder::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// Bound on the request queue; admission sheds beyond it.
+    pub queue_depth: usize,
+    /// Worker threads draining the queue.
+    pub workers: usize,
+    /// Per-request service-time distribution.
+    pub latency: LatencyModel,
+    /// Modeled decode cost billed per record in the response page.
+    pub decode_per_record: Duration,
+    /// Deadline applied to requests whose envelope carries none.
+    pub default_deadline: Option<Duration>,
+    /// Seed for the latency distribution.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            queue_depth: 32,
+            workers: 1,
+            latency: LatencyModel::None,
+            decode_per_record: Duration::ZERO,
+            default_deadline: None,
+            seed: 0,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// A builder seeded with the defaults.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder { config: ServeConfig::default() }
+    }
+}
+
+/// Builder for [`ServeConfig`]; `build()` validates every knob together and
+/// returns a typed [`ConfigError`] instead of panicking.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    config: ServeConfig,
+}
+
+impl ServeConfigBuilder {
+    /// Sets the queue bound. Must be positive.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.config.queue_depth = depth;
+        self
+    }
+
+    /// Sets the worker-thread count. Must be positive.
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the per-request service-time distribution.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.config.latency = latency;
+        self
+    }
+
+    /// Sets the modeled per-record decode cost.
+    pub fn decode_per_record(mut self, cost: Duration) -> Self {
+        self.config.decode_per_record = cost;
+        self
+    }
+
+    /// Sets the deadline applied to requests that carry none. Must be
+    /// positive.
+    pub fn default_deadline(mut self, deadline: Duration) -> Self {
+        self.config.default_deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the latency-distribution seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Validates all knobs together.
+    pub fn build(self) -> Result<ServeConfig, ConfigError> {
+        let c = self.config;
+        if c.queue_depth == 0 {
+            return Err(ConfigError::ZeroQueueDepth);
+        }
+        if c.workers == 0 {
+            return Err(ConfigError::ZeroBudget("workers"));
+        }
+        if c.default_deadline == Some(Duration::ZERO) {
+            return Err(ConfigError::ZeroDeadline);
+        }
+        Ok(c)
+    }
+}
+
+/// The frame a worker ships back on success: the page re-encoded into the
+/// XML wire format plus the service-level facts that ride alongside it.
+struct ReplyFrame {
+    wire: String,
+    served_from_cache: bool,
+    latency_us: u64,
+}
+
+/// One queued request: the owned envelope plus the rendezvous reply channel.
+struct Job {
+    query: Query,
+    page_index: usize,
+    prober: ProberMode,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    enqueued_at: Instant,
+    seq: u64,
+    reply: Sender<Result<ReplyFrame, CrawlError>>,
+}
+
+/// State shared by the service and every connection: the service-side event
+/// bus and the billing counters for requests that never reach the inner
+/// source.
+struct ServiceShared {
+    bus: Mutex<EventBus>,
+    shed: AtomicU64,
+    cancelled: AtomicU64,
+    seq: AtomicU64,
+}
+
+impl ServiceShared {
+    fn emit(&self, event: CrawlEvent) {
+        self.bus.lock().expect("service bus poisoned").emit(event);
+    }
+}
+
+/// A [`DataSource`] served over a bounded queue by worker threads. Create
+/// with [`SourceService::start`], obtain clients with
+/// [`connect`](SourceService::connect) /
+/// [`connect_pool`](SourceService::connect_pool).
+pub struct SourceService<S> {
+    inner: Arc<S>,
+    tx: Sender<Job>,
+    shared: Arc<ServiceShared>,
+    config: ServeConfig,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: DataSource + Send + Sync + 'static> SourceService<S> {
+    /// Spawns the worker pool and starts serving `inner`.
+    pub fn start(inner: Arc<S>, config: ServeConfig) -> Self {
+        let (tx, rx) = bounded::<Job>(config.queue_depth);
+        let shared = Arc::new(ServiceShared {
+            bus: Mutex::new(EventBus::new()),
+            shed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            seq: AtomicU64::new(0),
+        });
+        let workers = (0..config.workers)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                let rx = rx.clone();
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || worker_loop(inner, rx, shared, config))
+            })
+            .collect();
+        SourceService { inner, tx, shared, config, workers }
+    }
+
+    /// A new client connection. Connections are cheap (a channel handle and
+    /// two `Arc`s) and may be cloned or created per worker.
+    pub fn connect(&self) -> Connection<S> {
+        Connection {
+            inner: Arc::clone(&self.inner),
+            tx: self.tx.clone(),
+            shared: Arc::clone(&self.shared),
+            default_deadline: self.config.default_deadline,
+        }
+    }
+
+    /// A round-robin pool of `n` connections. `n` must be positive.
+    pub fn connect_pool(&self, n: usize) -> Result<ClientPool<S>, ConfigError> {
+        if n == 0 {
+            return Err(ConfigError::ZeroConnections);
+        }
+        Ok(ClientPool {
+            connections: (0..n).map(|_| self.connect()).collect(),
+            cursor: AtomicUsize::new(0),
+        })
+    }
+
+    /// Attaches a streaming sink to the service-side event bus. Attach
+    /// before traffic to capture the full stream.
+    pub fn add_sink(&self, sink: Box<dyn EventSink>) {
+        self.shared.bus.lock().expect("service bus poisoned").add_sink(sink);
+    }
+
+    /// The serving-tier report folded from the service's own event stream.
+    pub fn service_report(&self) -> ServiceReport {
+        self.shared.bus.lock().expect("service bus poisoned").metrics().service_report()
+    }
+
+    /// Drops the service's queue handle, joins the workers once every
+    /// outstanding [`Connection`] is gone, and returns the final report.
+    /// Call after dropping clients; with live connections this blocks until
+    /// they disconnect.
+    pub fn shutdown(self) -> ServiceReport {
+        let SourceService { tx, shared, workers, .. } = self;
+        drop(tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        let report = shared.bus.lock().expect("service bus poisoned").metrics().service_report();
+        report
+    }
+}
+
+fn worker_loop<S: DataSource>(
+    inner: Arc<S>,
+    rx: Receiver<Job>,
+    shared: Arc<ServiceShared>,
+    config: ServeConfig,
+) {
+    while let Ok(job) = rx.recv() {
+        let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
+        let fired = job.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
+        if expired || fired {
+            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.emit(CrawlEvent::RequestCancelled);
+            let _ = job.reply.try_send(Err(CrawlError::Cancelled));
+            continue;
+        }
+        let modeled = config.latency.sample(config.seed, job.seq);
+        if !modeled.is_zero() {
+            thread::sleep(modeled);
+        }
+        let request = SourceRequest {
+            query: &job.query,
+            page_index: job.page_index,
+            prober: job.prober,
+            deadline: job.deadline,
+            cancel: job.cancel.as_ref(),
+        };
+        let mut wire = None;
+        let mut records = 0u32;
+        let outcome = inner.respond(&request, &mut |page| {
+            records = page.records.len() as u32;
+            wire = Some(page_ref_to_wire(page));
+        });
+        if !config.decode_per_record.is_zero() && records > 0 {
+            thread::sleep(config.decode_per_record * records);
+        }
+        let latency_us = job.enqueued_at.elapsed().as_micros() as u64;
+        // Completed means "a worker finished processing it" — inner failures
+        // included, so enqueued == completed + cancelled once drained.
+        shared.emit(CrawlEvent::RequestCompleted { latency_us });
+        let frame = outcome.map(|resp| ReplyFrame {
+            wire: wire.expect("respond visits exactly once on success"),
+            served_from_cache: resp.meta.served_from_cache,
+            latency_us,
+        });
+        let _ = job.reply.try_send(frame);
+    }
+}
+
+/// The client half of the protocol transport: a [`DataSource`] that frames
+/// each request into the service's bounded queue and re-parses the reply.
+///
+/// Billing: `rounds_used()` is the inner source's counter plus the service's
+/// shed and cancelled counters — every request offered to the service costs
+/// one round no matter how it ends.
+pub struct Connection<S> {
+    inner: Arc<S>,
+    tx: Sender<Job>,
+    shared: Arc<ServiceShared>,
+    default_deadline: Option<Duration>,
+}
+
+impl<S> std::fmt::Debug for Connection<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Connection")
+            .field("queued", &self.tx.len())
+            .field("default_deadline", &self.default_deadline)
+            .finish()
+    }
+}
+
+impl<S> Clone for Connection<S> {
+    fn clone(&self) -> Self {
+        Connection {
+            inner: Arc::clone(&self.inner),
+            tx: self.tx.clone(),
+            shared: Arc::clone(&self.shared),
+            default_deadline: self.default_deadline,
+        }
+    }
+}
+
+impl<S: DataSource> DataSource for Connection<S> {
+    fn respond(
+        &self,
+        request: &SourceRequest<'_>,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<SourceResponse, CrawlError> {
+        let (reply_tx, reply_rx) = bounded(1);
+        let deadline =
+            request.deadline.or_else(|| self.default_deadline.map(|d| Instant::now() + d));
+        let job = Job {
+            query: request.query.clone(),
+            page_index: request.page_index,
+            prober: request.prober,
+            deadline,
+            cancel: request.cancel.cloned(),
+            enqueued_at: Instant::now(),
+            seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            reply: reply_tx,
+        };
+        match self.tx.try_send(job) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                // Shed at admission: the request reached the service, so the
+                // service bills the round itself.
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.emit(CrawlEvent::RequestShed);
+                return Err(CrawlError::Rejected);
+            }
+            Err(TrySendError::Disconnected(_)) => return Err(CrawlError::Cancelled),
+        }
+        let depth = self.tx.len() as u32;
+        self.shared.emit(CrawlEvent::RequestEnqueued { depth });
+        let frame = reply_rx.recv().map_err(|_| CrawlError::Cancelled)??;
+        let page = parse_page_ref(&frame.wire).map_err(|_| CrawlError::CorruptPage)?;
+        let meta = PageMeta {
+            page_index: page.page_index,
+            total_matches: page.total_matches,
+            has_more: page.has_more,
+            served_from_cache: frame.served_from_cache,
+        };
+        visit(&page);
+        Ok(SourceResponse {
+            meta,
+            service: Some(ServiceMeta { queue_depth: depth, latency_us: frame.latency_us }),
+        })
+    }
+
+    fn interface(&self) -> &InterfaceSpec {
+        self.inner.interface()
+    }
+
+    fn rounds_used(&self) -> u64 {
+        self.inner.rounds_used()
+            + self.shared.shed.load(Ordering::Relaxed)
+            + self.shared.cancelled.load(Ordering::Relaxed)
+    }
+}
+
+/// A round-robin pool of [`Connection`]s — the fleet-facing client when N
+/// logical connections share one service. Also a [`DataSource`]; the round
+/// counters are shared, so billing is global across the pool.
+pub struct ClientPool<S> {
+    connections: Vec<Connection<S>>,
+    cursor: AtomicUsize,
+}
+
+impl<S> std::fmt::Debug for ClientPool<S> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientPool").field("connections", &self.connections.len()).finish()
+    }
+}
+
+impl<S> ClientPool<S> {
+    /// Number of connections in the pool.
+    pub fn connections(&self) -> usize {
+        self.connections.len()
+    }
+}
+
+impl<S: DataSource> DataSource for ClientPool<S> {
+    fn respond(
+        &self,
+        request: &SourceRequest<'_>,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<SourceResponse, CrawlError> {
+        let next = self.cursor.fetch_add(1, Ordering::Relaxed) % self.connections.len();
+        self.connections[next].respond(request, visit)
+    }
+
+    fn interface(&self) -> &InterfaceSpec {
+        self.connections[0].interface()
+    }
+
+    fn rounds_used(&self) -> u64 {
+        // Counters are shared service-wide; any connection reports them all.
+        self.connections[0].rounds_used()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::MemorySink;
+    use crate::metrics::replay_service_report;
+    use dwc_model::fixtures::figure1_table;
+    use dwc_model::AttrId;
+    use dwc_server::{InterfaceSpec, WebDbServer};
+
+    fn server() -> WebDbServer {
+        let table = figure1_table();
+        let spec = InterfaceSpec::permissive(table.schema(), 2);
+        WebDbServer::new(table, spec)
+    }
+
+    fn a2(server: &WebDbServer) -> Query {
+        Query::Value(server.table().interner().get(AttrId(0), "a2").unwrap())
+    }
+
+    #[test]
+    fn builder_validates_all_knobs_together() {
+        assert_eq!(
+            ServeConfig::builder().queue_depth(0).build().unwrap_err(),
+            ConfigError::ZeroQueueDepth
+        );
+        assert_eq!(
+            ServeConfig::builder().workers(0).build().unwrap_err(),
+            ConfigError::ZeroBudget("workers")
+        );
+        assert_eq!(
+            ServeConfig::builder().default_deadline(Duration::ZERO).build().unwrap_err(),
+            ConfigError::ZeroDeadline
+        );
+        let ok = ServeConfig::builder()
+            .queue_depth(4)
+            .workers(2)
+            .latency(LatencyModel::Fixed(Duration::from_micros(10)))
+            .default_deadline(Duration::from_millis(100))
+            .build()
+            .unwrap();
+        assert_eq!(ok.queue_depth, 4);
+        assert_eq!(ok.workers, 2);
+    }
+
+    #[test]
+    fn zero_connection_pools_are_rejected() {
+        let service = SourceService::start(Arc::new(server()), ServeConfig::default());
+        assert_eq!(service.connect_pool(0).unwrap_err(), ConfigError::ZeroConnections);
+        assert_eq!(service.connect_pool(3).unwrap().connections(), 3);
+    }
+
+    #[test]
+    fn protocol_response_matches_in_process_response() {
+        let inner = Arc::new(server());
+        let query = a2(&inner);
+        let mut direct = None;
+        let direct_meta = inner
+            .respond(&SourceRequest::new(&query, 0, ProberMode::Wire), &mut |page| {
+                direct = Some(page.to_owned_page());
+            })
+            .unwrap();
+        assert!(direct_meta.service.is_none());
+
+        let service = SourceService::start(Arc::clone(&inner), ServeConfig::default());
+        let conn = service.connect();
+        let mut served = None;
+        let response = conn
+            .respond(&SourceRequest::new(&query, 0, ProberMode::Wire), &mut |page| {
+                served = Some(page.to_owned_page());
+            })
+            .unwrap();
+        assert_eq!(served, direct);
+        assert_eq!(response.meta.page_index, direct_meta.meta.page_index);
+        assert_eq!(response.meta.total_matches, direct_meta.meta.total_matches);
+        assert_eq!(response.meta.has_more, direct_meta.meta.has_more);
+        let service_meta = response.service.expect("protocol responses carry service meta");
+        assert!(service_meta.latency_us < 10_000_000);
+
+        // One executed request, zero shed/cancelled: billing matches the
+        // inner counter exactly (the direct probe billed one round too).
+        assert_eq!(conn.rounds_used(), inner.rounds_used());
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(report.enqueued, 1);
+        assert_eq!(report.completed, 1);
+        assert_eq!(report.shed, 0);
+        assert_eq!(report.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn full_queue_sheds_at_admission_and_bills_the_round() {
+        let inner = Arc::new(server());
+        let query = a2(&inner);
+        let config = ServeConfig::builder()
+            .queue_depth(1)
+            .workers(1)
+            .latency(LatencyModel::Fixed(Duration::from_millis(150)))
+            .build()
+            .unwrap();
+        let service = SourceService::start(Arc::clone(&inner), config);
+
+        // Stagger two slow requests so neither collides at admission: the
+        // first is executing (~150ms) by the time the second is queued.
+        let spawn_one = |service: &SourceService<WebDbServer>| {
+            let conn = service.connect();
+            let query = query.clone();
+            thread::spawn(move || {
+                conn.respond(&SourceRequest::new(&query, 0, ProberMode::Wire), &mut |_| {})
+            })
+        };
+        let first = spawn_one(&service);
+        thread::sleep(Duration::from_millis(50));
+        let second = spawn_one(&service);
+        thread::sleep(Duration::from_millis(50));
+
+        // One executing + one queued: the single-slot queue is full, so the
+        // probe must be shed at the door, immediately, without queueing.
+        let conn = service.connect();
+        let probe_started = Instant::now();
+        let err = conn
+            .respond(&SourceRequest::new(&query, 0, ProberMode::Wire), &mut |_| {})
+            .unwrap_err();
+        assert_eq!(err, CrawlError::Rejected);
+        assert!(err.is_transient(), "rejection must be retryable");
+        assert!(
+            probe_started.elapsed() < Duration::from_millis(100),
+            "shedding happens at admission, not after queueing"
+        );
+
+        first.join().unwrap().unwrap();
+        second.join().unwrap().unwrap();
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(report.shed, 1);
+        assert!(report.shed_rate() > 0.0);
+        assert_eq!(report.enqueued, 2);
+        assert_eq!(report.completed, 2);
+        // Conservation: executed requests billed by the inner source, shed
+        // ones by the service's own counter.
+        assert_eq!(inner.rounds_used(), 2);
+        assert_eq!(inner.rounds_used() + report.shed, 3);
+    }
+
+    #[test]
+    fn expired_deadline_cancels_at_dequeue_and_bills_the_round() {
+        let inner = Arc::new(server());
+        let query = a2(&inner);
+        let service = SourceService::start(Arc::clone(&inner), ServeConfig::default());
+        let conn = service.connect();
+
+        let request = SourceRequest::new(&query, 0, ProberMode::Wire).with_deadline(Instant::now());
+        let err = conn.respond(&request, &mut |_| {}).unwrap_err();
+        assert_eq!(err, CrawlError::Cancelled);
+        assert_eq!(conn.rounds_used(), inner.rounds_used() + 1);
+
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(report.cancelled, 1);
+        assert_eq!(report.enqueued, 1);
+        assert_eq!(report.completed, 0);
+    }
+
+    #[test]
+    fn fired_token_cancels_queued_requests() {
+        let inner = Arc::new(server());
+        let query = a2(&inner);
+        let service = SourceService::start(Arc::clone(&inner), ServeConfig::default());
+        let conn = service.connect();
+
+        let token = CancelToken::new();
+        token.cancel();
+        let request = SourceRequest::new(&query, 0, ProberMode::Wire).with_cancel(&token);
+        assert_eq!(conn.respond(&request, &mut |_| {}).unwrap_err(), CrawlError::Cancelled);
+
+        drop(conn);
+        assert_eq!(service.shutdown().cancelled, 1);
+    }
+
+    #[test]
+    fn pool_round_robins_and_shares_billing() {
+        let inner = Arc::new(server());
+        let query = a2(&inner);
+        let service = SourceService::start(Arc::clone(&inner), ServeConfig::default());
+        let pool = service.connect_pool(3).unwrap();
+        for _ in 0..6 {
+            pool.respond(&SourceRequest::new(&query, 0, ProberMode::InProcess), &mut |_| {})
+                .unwrap();
+        }
+        assert_eq!(pool.rounds_used(), 6);
+        assert_eq!(pool.rounds_used(), inner.rounds_used());
+        drop(pool);
+        assert_eq!(service.shutdown().completed, 6);
+    }
+
+    #[test]
+    fn service_report_replays_from_the_recorded_stream() {
+        let inner = Arc::new(server());
+        let query = a2(&inner);
+        let service = SourceService::start(Arc::clone(&inner), ServeConfig::default());
+        let sink = MemorySink::new();
+        service.add_sink(Box::new(sink.clone()));
+        let conn = service.connect();
+        for page in 0..2 {
+            conn.respond(&SourceRequest::new(&query, page, ProberMode::Wire), &mut |_| {}).unwrap();
+        }
+        let expired = SourceRequest::new(&query, 0, ProberMode::Wire).with_deadline(Instant::now());
+        conn.respond(&expired, &mut |_| {}).unwrap_err();
+        drop(conn);
+        let live = service.shutdown();
+        assert_eq!(replay_service_report(&sink.collected()), live);
+        assert_eq!(live.enqueued, 3);
+        assert_eq!(live.completed, 2);
+        assert_eq!(live.cancelled, 1);
+    }
+
+    #[test]
+    fn uniform_latency_samples_are_seeded_and_bounded() {
+        let model = LatencyModel::Uniform {
+            min: Duration::from_micros(100),
+            max: Duration::from_micros(900),
+        };
+        for seq in 0..64 {
+            let d = model.sample(7, seq);
+            assert!(d >= Duration::from_micros(100) && d <= Duration::from_micros(900));
+            assert_eq!(d, model.sample(7, seq), "same seed+seq must resample identically");
+        }
+        assert_eq!(LatencyModel::None.sample(1, 2), Duration::ZERO);
+        assert_eq!(
+            LatencyModel::Fixed(Duration::from_millis(3)).sample(1, 2),
+            Duration::from_millis(3)
+        );
+    }
+}

@@ -5,7 +5,17 @@
 //! — successful or not — costs one communication round (Definition 2.3).
 //! [`DataSource`] captures exactly that contract, so [`crate::Crawler`] can
 //! drive an in-process [`WebDbServer`], a fault-injecting decorator
-//! ([`FaultySource`]), or a future real-HTTP backend interchangeably.
+//! ([`FaultySource`]), or a protocol-backed connection
+//! ([`crate::serve::Connection`]) interchangeably.
+//!
+//! The boundary is a request/response seam: the crawler submits a
+//! [`SourceRequest`] envelope (query, page index, prober mode, and the
+//! service-level intent — an optional deadline and a [`CancelToken`]) and
+//! receives a [`SourceResponse`] (page facts plus, when the source really is
+//! a service, the [`ServiceMeta`] observed for the request). The single
+//! entry point is [`DataSource::respond`]; the older
+//! [`query_page`](DataSource::query_page) / [`visit_page`](DataSource::visit_page)
+//! methods survive one release as thin deprecated shims over it.
 //!
 //! Results cross the boundary in *extracted* form
 //! ([`crate::extract::ExtractedPage`]: attribute names + value strings) —
@@ -20,15 +30,13 @@
 //! counter, so the source is billed globally no matter who asks.
 
 use crate::extract::{
-    parse_html_page_ref, parse_page, parse_page_ref, ExtractedPage, ExtractedPageRef,
-    ExtractedRecord, ExtractedRecordRef,
+    parse_html_page_ref, parse_page_ref, ExtractedPage, ExtractedPageRef, ExtractedRecordRef,
 };
-use dwc_server::html::page_to_html;
-use dwc_server::wire::page_to_xml;
 use dwc_server::{InterfaceSpec, Query, RenderFormat, ServerError, WebDbServer};
 use std::borrow::Cow;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 /// How the Database Prober materializes result pages.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,6 +72,16 @@ pub enum CrawlError {
     /// A result page arrived but was truncated or otherwise garbled and the
     /// Result Extractor rejected it. Retrying may return an intact page.
     CorruptPage,
+    /// The serving tier refused the request at admission — its bounded queue
+    /// was full and the load was shed. The round is billed (the request
+    /// reached the service), and retrying after backoff may be admitted:
+    /// this is the client half of the backpressure loop.
+    Rejected,
+    /// The request was cancelled before execution: its deadline expired
+    /// while queued, or its [`CancelToken`] fired. The round is billed; a
+    /// retry with a fresh deadline may succeed, while a fired token makes
+    /// the executor stop re-submitting entirely.
+    Cancelled,
     /// A definitive interface rejection — retrying the identical request
     /// cannot succeed.
     Fatal(ServerError),
@@ -72,7 +90,14 @@ pub enum CrawlError {
 impl CrawlError {
     /// Whether a retry of the same request can possibly succeed.
     pub fn is_transient(&self) -> bool {
-        matches!(self, CrawlError::Transient | CrawlError::Stalled { .. } | CrawlError::CorruptPage)
+        matches!(
+            self,
+            CrawlError::Transient
+                | CrawlError::Stalled { .. }
+                | CrawlError::CorruptPage
+                | CrawlError::Rejected
+                | CrawlError::Cancelled
+        )
     }
 }
 
@@ -93,6 +118,8 @@ impl std::fmt::Display for CrawlError {
                 write!(f, "request stalled ({wasted_rounds} rounds wasted waiting)")
             }
             CrawlError::CorruptPage => write!(f, "corrupt result page rejected by extractor"),
+            CrawlError::Rejected => write!(f, "request shed at admission (service queue full)"),
+            CrawlError::Cancelled => write!(f, "request cancelled (deadline or token)"),
             CrawlError::Fatal(e) => write!(f, "fatal source error: {e}"),
         }
     }
@@ -107,8 +134,82 @@ impl std::error::Error for CrawlError {
     }
 }
 
-/// Page-level facts a [`DataSource::visit_page`] call reports alongside the
-/// borrowed records it hands to the visitor.
+/// A shared cancellation flag: cloning hands out another handle to the same
+/// flag, so a driver can cancel every in-flight and future request built
+/// from the token. Cancellation is cooperative — the serving tier checks it
+/// at dequeue, the executor before each attempt; neither interrupts an
+/// execution already running.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token. Irrevocable; every clone observes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether the token has fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// One page request, as an explicit envelope.
+///
+/// The crawl semantics (`query`, `page_index`, `prober`) say *what* to
+/// fetch; the service intent (`deadline`, `cancel`) says *how long the
+/// caller is willing to wait*. In-process sources answer immediately and
+/// ignore the service fields — which is exactly what keeps single-worker
+/// crawls bit-for-bit reproducible — while the serving tier
+/// ([`crate::serve`]) enforces them against its queue.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceRequest<'a> {
+    /// The query to execute.
+    pub query: &'a Query,
+    /// Zero-based result page requested.
+    pub page_index: usize,
+    /// How the result page is materialized.
+    pub prober: ProberMode,
+    /// Absolute point after which the caller no longer wants the response.
+    /// A queued request past its deadline is cancelled (and billed).
+    pub deadline: Option<Instant>,
+    /// Cooperative cancellation handle for this request.
+    pub cancel: Option<&'a CancelToken>,
+}
+
+impl<'a> SourceRequest<'a> {
+    /// An envelope with no deadline and no cancellation token.
+    pub fn new(query: &'a Query, page_index: usize, prober: ProberMode) -> Self {
+        SourceRequest { query, page_index, prober, deadline: None, cancel: None }
+    }
+
+    /// Sets an absolute deadline.
+    pub fn with_deadline(mut self, deadline: Instant) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Attaches a cancellation token.
+    pub fn with_cancel(mut self, cancel: &'a CancelToken) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Whether the envelope is already dead on arrival: its token fired.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.is_some_and(CancelToken::is_cancelled)
+    }
+}
+
+/// Page-level facts a successful [`DataSource::respond`] call reports
+/// alongside the borrowed records it hands to the visitor.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PageMeta {
     /// Zero-based page index served.
@@ -122,26 +223,74 @@ pub struct PageMeta {
     pub served_from_cache: bool,
 }
 
+/// What the serving tier observed while handling one request. In-process
+/// sources never attach this — their responses are function returns, not
+/// service completions — so its presence is also the marker that a response
+/// crossed a real request/response boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServiceMeta {
+    /// Queue depth right after this request was admitted.
+    pub queue_depth: u32,
+    /// Wall-clock latency from admission to reply, in microseconds (queue
+    /// wait + modeled service latency + execution + decode cost).
+    pub latency_us: u64,
+}
+
+/// The response envelope paired with [`SourceRequest`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SourceResponse {
+    /// Page-level facts (the records themselves went to the visitor).
+    pub meta: PageMeta,
+    /// Service-level observations, when the source is a real service.
+    pub service: Option<ServiceMeta>,
+}
+
+impl SourceResponse {
+    /// A response straight from an in-process source: page facts only.
+    pub fn in_process(meta: PageMeta) -> Self {
+        SourceResponse { meta, service: None }
+    }
+}
+
 /// A queryable structured web source, as a crawler sees it.
 ///
 /// All methods take `&self`: implementations do their own (atomic) request
 /// accounting so one source instance can serve concurrent crawlers.
 pub trait DataSource {
-    /// Requests one result page of `query`, materialized per `prober`.
-    /// Every call costs one communication round, including failed ones.
+    /// Executes one [`SourceRequest`]. On success the page is handed to
+    /// `visit` as a borrowed [`ExtractedPageRef`] (fields are `Cow` slices
+    /// into the source's wire buffer — the zero-copy hot path) and the
+    /// envelope-level facts come back as a [`SourceResponse`]. `visit` runs
+    /// at most once, and only on success — errors propagate before any
+    /// visitation, so decorators inherit correct behavior by wrapping this
+    /// one method.
+    ///
+    /// Every call costs one communication round, including failed, shed,
+    /// and cancelled ones (Definition 2.3 counts requests, not outcomes).
+    fn respond(
+        &self,
+        request: &SourceRequest<'_>,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<SourceResponse, CrawlError>;
+
+    /// Requests one result page of `query`, materialized per `prober`, as an
+    /// owned [`ExtractedPage`].
+    #[deprecated(note = "use `respond` with a `SourceRequest` envelope")]
     fn query_page(
         &self,
         query: &Query,
         page_index: usize,
         prober: ProberMode,
-    ) -> Result<ExtractedPage, CrawlError>;
+    ) -> Result<ExtractedPage, CrawlError> {
+        let mut owned = None;
+        self.respond(&SourceRequest::new(query, page_index, prober), &mut |page| {
+            owned = Some(page.to_owned_page());
+        })?;
+        Ok(owned.expect("respond visits exactly once on success"))
+    }
 
-    /// Zero-copy flavor of [`DataSource::query_page`]: on success the page is
-    /// handed to `visit` as a borrowed [`ExtractedPageRef`] (fields are `Cow`
-    /// slices into the source's wire buffer) and the page-level facts come
-    /// back as [`PageMeta`]. `visit` runs at most once, and only on success —
-    /// errors propagate before any visitation, so decorators that wrap
-    /// `query_page` inherit correct behavior from this default impl.
+    /// Zero-copy page fetch without the envelope.
+    #[deprecated(note = "use `respond` with a `SourceRequest` envelope")]
     fn visit_page(
         &self,
         query: &Query,
@@ -149,14 +298,7 @@ pub trait DataSource {
         prober: ProberMode,
         visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
     ) -> Result<PageMeta, CrawlError> {
-        let page = self.query_page(query, page_index, prober)?;
-        visit(&ExtractedPageRef::borrowed(&page));
-        Ok(PageMeta {
-            page_index: page.page_index,
-            total_matches: page.total_matches,
-            has_more: page.has_more,
-            served_from_cache: false,
-        })
+        self.respond(&SourceRequest::new(query, page_index, prober), visit).map(|r| r.meta)
     }
 
     /// The source's advertised interface: form fields, queriability, page
@@ -168,23 +310,12 @@ pub trait DataSource {
 }
 
 impl<S: DataSource + ?Sized> DataSource for &S {
-    fn query_page(
+    fn respond(
         &self,
-        query: &Query,
-        page_index: usize,
-        prober: ProberMode,
-    ) -> Result<ExtractedPage, CrawlError> {
-        (**self).query_page(query, page_index, prober)
-    }
-
-    fn visit_page(
-        &self,
-        query: &Query,
-        page_index: usize,
-        prober: ProberMode,
+        request: &SourceRequest<'_>,
         visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
-    ) -> Result<PageMeta, CrawlError> {
-        (**self).visit_page(query, page_index, prober, visit)
+    ) -> Result<SourceResponse, CrawlError> {
+        (**self).respond(request, visit)
     }
 
     fn interface(&self) -> &InterfaceSpec {
@@ -197,23 +328,12 @@ impl<S: DataSource + ?Sized> DataSource for &S {
 }
 
 impl<S: DataSource + ?Sized> DataSource for Arc<S> {
-    fn query_page(
+    fn respond(
         &self,
-        query: &Query,
-        page_index: usize,
-        prober: ProberMode,
-    ) -> Result<ExtractedPage, CrawlError> {
-        (**self).query_page(query, page_index, prober)
-    }
-
-    fn visit_page(
-        &self,
-        query: &Query,
-        page_index: usize,
-        prober: ProberMode,
+        request: &SourceRequest<'_>,
         visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
-    ) -> Result<PageMeta, CrawlError> {
-        (**self).visit_page(query, page_index, prober, visit)
+    ) -> Result<SourceResponse, CrawlError> {
+        (**self).respond(request, visit)
     }
 
     fn interface(&self) -> &InterfaceSpec {
@@ -226,64 +346,20 @@ impl<S: DataSource + ?Sized> DataSource for Arc<S> {
 }
 
 impl DataSource for WebDbServer {
-    fn query_page(
+    /// The allocation-free in-process path. `InProcess` builds the borrowed
+    /// view straight off the server's interner (no render, no parse, no
+    /// string copies); `Wire`/`Html` go through [`WebDbServer::rendered_page`],
+    /// so overlapping fleet workers reuse cached renders and the zero-copy
+    /// parsers slice the shared buffer in place. The request's deadline and
+    /// token are ignored: an in-process call returns before either could
+    /// matter, which keeps single-worker crawls deterministic.
+    fn respond(
         &self,
-        query: &Query,
-        page_index: usize,
-        prober: ProberMode,
-    ) -> Result<ExtractedPage, CrawlError> {
-        let page = WebDbServer::query_page(self, query, page_index)?;
-        Ok(match prober {
-            ProberMode::InProcess => {
-                let table = self.table();
-                ExtractedPage {
-                    page_index: page.page_index,
-                    total_matches: page.total_matches,
-                    has_more: page.has_more,
-                    records: page
-                        .records
-                        .iter()
-                        .map(|r| ExtractedRecord {
-                            key: r.key,
-                            fields: r
-                                .values
-                                .iter()
-                                .map(|&sv| {
-                                    let attr = table.interner().attr_of(sv);
-                                    (
-                                        table.schema().attr(attr).name.clone(),
-                                        table.interner().value_str(sv).to_owned(),
-                                    )
-                                })
-                                .collect(),
-                        })
-                        .collect(),
-                }
-            }
-            ProberMode::Wire => {
-                let xml = page_to_xml(&page, self.table());
-                parse_page(&xml).expect("wire format must round-trip")
-            }
-            ProberMode::Html => {
-                let html = page_to_html(&page, self.table());
-                crate::extract::parse_html_page(&html).expect("HTML wrapper must round-trip")
-            }
-        })
-    }
-
-    /// The allocation-free hot path. `InProcess` builds the borrowed view
-    /// straight off the server's interner (no render, no parse, no string
-    /// copies); `Wire`/`Html` go through [`WebDbServer::rendered_page`], so
-    /// overlapping fleet workers reuse cached renders and the zero-copy
-    /// parsers slice the shared buffer in place.
-    fn visit_page(
-        &self,
-        query: &Query,
-        page_index: usize,
-        prober: ProberMode,
+        request: &SourceRequest<'_>,
         visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
-    ) -> Result<PageMeta, CrawlError> {
-        match prober {
+    ) -> Result<SourceResponse, CrawlError> {
+        let (query, page_index) = (request.query, request.page_index);
+        match request.prober {
             ProberMode::InProcess => {
                 let page = WebDbServer::query_page(self, query, page_index)?;
                 let table = self.table();
@@ -317,7 +393,7 @@ impl DataSource for WebDbServer {
                     served_from_cache: false,
                 };
                 visit(&view);
-                Ok(meta)
+                Ok(SourceResponse::in_process(meta))
             }
             ProberMode::Wire => {
                 let rendered = self.rendered_page(query, page_index, RenderFormat::Xml)?;
@@ -329,7 +405,7 @@ impl DataSource for WebDbServer {
                     served_from_cache: rendered.cache_hit(),
                 };
                 visit(&view);
-                Ok(meta)
+                Ok(SourceResponse::in_process(meta))
             }
             ProberMode::Html => {
                 let rendered = self.rendered_page(query, page_index, RenderFormat::Html)?;
@@ -342,7 +418,7 @@ impl DataSource for WebDbServer {
                     served_from_cache: rendered.cache_hit(),
                 };
                 visit(&view);
-                Ok(meta)
+                Ok(SourceResponse::in_process(meta))
             }
         }
     }
@@ -393,31 +469,16 @@ impl<S: DataSource> FaultySource<S> {
 }
 
 impl<S: DataSource> DataSource for FaultySource<S> {
-    fn query_page(
+    fn respond(
         &self,
-        query: &Query,
-        page_index: usize,
-        prober: ProberMode,
-    ) -> Result<ExtractedPage, CrawlError> {
-        let request_no = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.state.try_inject(&self.policy, request_no) {
-            return Err(CrawlError::Transient);
-        }
-        self.inner.query_page(query, page_index, prober)
-    }
-
-    fn visit_page(
-        &self,
-        query: &Query,
-        page_index: usize,
-        prober: ProberMode,
+        request: &SourceRequest<'_>,
         visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
-    ) -> Result<PageMeta, CrawlError> {
+    ) -> Result<SourceResponse, CrawlError> {
         let request_no = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
         if self.state.try_inject(&self.policy, request_no) {
             return Err(CrawlError::Transient);
         }
-        self.inner.visit_page(query, page_index, prober, visit)
+        self.inner.respond(request, visit)
     }
 
     fn interface(&self) -> &InterfaceSpec {
@@ -445,7 +506,9 @@ mod tests {
         Query::ByString { attr: "A".into(), value: "a2".into() }
     }
 
-    /// Calls through the trait even where an inherent method would shadow it.
+    /// Fetches through the deprecated owned-page shim — kept exercised until
+    /// the shim is removed.
+    #[allow(deprecated)]
     fn fetch<S: DataSource>(
         s: &S,
         query: &Query,
@@ -477,6 +540,25 @@ mod tests {
     }
 
     #[test]
+    fn service_taxonomy_is_transient_class() {
+        assert!(CrawlError::Rejected.is_transient(), "shed load retries after backoff");
+        assert!(CrawlError::Cancelled.is_transient(), "a fresh deadline may succeed");
+    }
+
+    #[test]
+    fn cancel_token_fires_once_for_every_clone() {
+        let token = CancelToken::new();
+        let clone = token.clone();
+        assert!(!token.is_cancelled());
+        let q = a2_query();
+        let req = SourceRequest::new(&q, 0, ProberMode::InProcess).with_cancel(&clone);
+        assert!(!req.is_cancelled());
+        token.cancel();
+        assert!(clone.is_cancelled());
+        assert!(req.is_cancelled(), "the envelope observes the shared flag");
+    }
+
+    #[test]
     fn blanket_impls_share_the_billing() {
         let s = Arc::new(server());
         let a = Arc::clone(&s);
@@ -485,7 +567,8 @@ mod tests {
         assert_eq!(DataSource::rounds_used(&s), 2, "one counter behind every handle");
     }
 
-    /// Materializes a page through `visit_page` for comparisons.
+    /// Materializes a page through the deprecated `visit_page` shim.
+    #[allow(deprecated)]
     fn visit_owned<S: DataSource>(
         s: &S,
         query: &Query,
@@ -513,6 +596,33 @@ mod tests {
     }
 
     #[test]
+    fn respond_reports_no_service_meta_in_process() {
+        let s = server();
+        let q = a2_query();
+        for prober in [ProberMode::InProcess, ProberMode::Wire, ProberMode::Html] {
+            let resp = s.respond(&SourceRequest::new(&q, 0, prober), &mut |_| {}).unwrap();
+            assert_eq!(resp.service, None, "{prober:?}: no service boundary was crossed");
+        }
+    }
+
+    #[test]
+    fn in_process_respond_ignores_deadline_and_token() {
+        // The envelope may carry service intent, but an in-process source
+        // answers immediately — determinism requires it never consults them.
+        let s = server();
+        let q = a2_query();
+        let token = CancelToken::new();
+        token.cancel();
+        let req = SourceRequest::new(&q, 0, ProberMode::InProcess)
+            .with_deadline(Instant::now() - std::time::Duration::from_secs(1))
+            .with_cancel(&token);
+        let mut visited = false;
+        let resp = s.respond(&req, &mut |_| visited = true).unwrap();
+        assert!(visited);
+        assert_eq!(resp.meta.page_index, 0);
+    }
+
+    #[test]
     fn repeated_wire_visits_hit_the_page_cache() {
         let s = Arc::new(server());
         let (first, _) = visit_owned(&s, &a2_query(), 0, ProberMode::Wire).unwrap();
@@ -524,17 +634,19 @@ mod tests {
     }
 
     #[test]
-    fn visit_page_propagates_errors_without_visiting() {
+    fn respond_propagates_errors_without_visiting() {
         let s = server();
         let bad = Query::ByString { attr: "Nope".into(), value: "x".into() };
         let mut visited = false;
-        let err = s.visit_page(&bad, 0, ProberMode::Wire, &mut |_| visited = true).unwrap_err();
+        let err = s
+            .respond(&SourceRequest::new(&bad, 0, ProberMode::Wire), &mut |_| visited = true)
+            .unwrap_err();
         assert!(matches!(err, CrawlError::Fatal(_)));
         assert!(!visited, "errors must not invoke the visitor");
     }
 
     #[test]
-    fn faulty_source_injects_on_visit_too() {
+    fn faulty_source_injects_on_respond() {
         let f = FaultySource::new(server(), FaultPolicy::every(2));
         assert!(visit_owned(&f, &a2_query(), 0, ProberMode::Wire).is_ok());
         assert_eq!(

@@ -10,6 +10,9 @@
 //!           [--checkpoint-path FILE] [--checkpoint-every N]
 //!           [--events FILE.jsonl]
 //! dwc resume <FILE.csv> --checkpoint-path FILE [crawl flags]
+//! dwc serve <FILE.csv> --seed-value ATTR=VALUE... [--connections N]
+//!           [--requests R] [--queue D] [--serve-workers W]
+//!           [--latency-us N|MIN:MAX] [--decode-us N] [--deadline MS]
 //! ```
 //!
 //! `generate` writes a synthetic dataset as CSV; `graph` prints the
@@ -31,8 +34,16 @@
 //! as one JSON line. Replaying the file through
 //! `dwc_core::metrics::replay_report` reconstructs the exact final report —
 //! the stream *is* the accounting, not a log of it.
+//!
+//! Serving tier: `dwc serve` puts the table behind a
+//! [`SourceService`] (bounded queue, admission control, modeled latency)
+//! and drives open client load against it, reporting throughput, shed rate,
+//! and tail latency. `dwc crawl --connect N` routes a crawl through the
+//! same service over a pool of N client connections — the protocol-real
+//! transport — with `--deadline MS` attaching a per-request deadline.
 
 use deep_web_crawler::core::crawler::{StopReason, DEFAULT_CHECKPOINT_EVERY};
+use deep_web_crawler::core::serve::SourceService;
 use deep_web_crawler::datagen::loader::{load_csv, to_csv};
 use deep_web_crawler::model::components::Connectivity;
 use deep_web_crawler::model::degree::DegreeDistribution;
@@ -47,6 +58,7 @@ fn main() -> ExitCode {
         Some("crawl") => cmd_crawl(&args[1..], false),
         Some("resume") => cmd_crawl(&args[1..], true),
         Some("fleet") => cmd_fleet(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -74,10 +86,16 @@ USAGE:
             [--checkpoint OUT] [--resume IN] [--trace OUT.csv]
             [--checkpoint-path FILE] [--checkpoint-every N]
             [--events FILE.jsonl]
+            [--connect N] [--deadline MS] [--queue D] [--serve-workers W]
+            [--latency-us N|MIN:MAX] [--decode-us N]
   dwc resume <FILE.csv> --checkpoint-path FILE [--workers N] [crawl flags]
   dwc fleet <FILE.csv> --seed-value ATTR=VALUE... [--workers N]
             [--policy bfs|dfs|random|freq|gl|mmmi] [--budget ROUNDS]
             [--slice ROUNDS] [--allocation even|harvest] [--page-size K]
+  dwc serve <FILE.csv> --seed-value ATTR=VALUE... [--connections N]
+            [--requests R] [--queue D] [--serve-workers W]
+            [--latency-us N|MIN:MAX] [--decode-us N] [--deadline MS]
+            [--page-size K]
   dwc help
 
 Crash safety: --checkpoint-path enables periodic, atomic checkpointing
@@ -92,6 +110,14 @@ shared in-process server, multiplexed onto a bounded work-stealing pool of
 --workers threads (default: available parallelism; must be >= 1). `dwc
 resume --workers N` routes the resumed crawl through the same pooled
 engine. --workers 0 is rejected.
+
+Serving tier: `dwc serve` puts the table behind a request/response service
+(bounded --queue, admission control, --latency-us service times, per-record
+--decode-us cost, --deadline MS deadlines) and hammers it with --connections
+closed-loop clients, reporting req/s, shed rate, and p50/p95/p99 latency.
+`dwc crawl --connect N` drives the crawl itself through that service over a
+round-robin pool of N connections; the crawl report is identical to the
+in-process transport, and shed/cancelled requests are billed as rounds.
 ";
 
 /// Parsed command line: positional arguments plus accumulated `--flag value`
@@ -224,6 +250,10 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
     if flag(&flags, "keyword").is_some() {
         builder = builder.query_mode(QueryMode::Keyword);
     }
+    if let Some(ms) = flag(&flags, "deadline") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --deadline")?;
+        builder = builder.deadline(std::time::Duration::from_millis(ms));
+    }
     let store = flag(&flags, "checkpoint-path").map(CheckpointStore::new);
     if resume_from_store && store.is_none() {
         return Err("resume needs --checkpoint-path FILE".into());
@@ -246,6 +276,36 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
     }
 
     let server = WebDbServer::new(table, interface);
+
+    if let Some(connections) = parse_connect(&flags)? {
+        if resume_from_store || flag(&flags, "resume").is_some() {
+            return Err("--connect applies to fresh crawls, not resume".into());
+        }
+        let config_serve = parse_serve_flags(&flags)?.build().map_err(|e| e.to_string())?;
+        let service = SourceService::start(std::sync::Arc::new(server), config_serve);
+        let pool = service.connect_pool(connections).map_err(|e| e.to_string())?;
+        let mut crawler = Crawler::new(pool, policy.build(), config);
+        seed_crawler(&mut crawler, &flags)?;
+        run_and_report(crawler, &flags, store.as_ref(), n)?;
+        let served = service.shutdown();
+        eprintln!(
+            "service   : {} completed / {} shed ({:.1}% of offered) / {} cancelled",
+            served.completed,
+            served.shed,
+            served.shed_rate() * 100.0,
+            served.cancelled
+        );
+        eprintln!(
+            "latency   : p50 {}us  p95 {}us  p99 {}us  max {}us (queue depth max {})",
+            served.p50_latency_us,
+            served.p95_latency_us,
+            served.p99_latency_us,
+            served.max_latency_us,
+            served.max_queue_depth
+        );
+        return Ok(());
+    }
+
     let crawler = if resume_from_store {
         let s = store.as_ref().expect("checked above");
         let (cp, from_backup) = s.load_or_backup().map_err(|e| e.to_string())?;
@@ -268,26 +328,47 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
         Crawler::resume(&server, policy.build(), &cp, config)
     } else {
         let mut crawler = Crawler::new(&server, policy.build(), config);
-        let mut seeded = false;
-        for (name, value) in flags.iter().filter(|(n, _)| n == "seed-value") {
-            let (attr, val) = value
-                .split_once('=')
-                .ok_or_else(|| format!("--{name} wants ATTR=VALUE, got {value:?}"))?;
-            if !crawler.add_seed(attr, val) {
-                return Err(format!("seed attribute {attr:?} is unknown or not queriable"));
-            }
-            seeded = true;
-        }
-        if !seeded {
-            return Err("crawl needs at least one --seed-value ATTR=VALUE (or --resume)".into());
-        }
+        seed_crawler(&mut crawler, &flags)?;
         crawler
     };
 
+    run_and_report(crawler, &flags, store.as_ref(), n)
+}
+
+/// Adds every `--seed-value ATTR=VALUE` to the crawler, requiring at least
+/// one.
+fn seed_crawler<S: deep_web_crawler::core::DataSource>(
+    crawler: &mut Crawler<S>,
+    flags: &[(String, String)],
+) -> Result<(), String> {
+    let mut seeded = false;
+    for (name, value) in flags.iter().filter(|(n, _)| n == "seed-value") {
+        let (attr, val) = value
+            .split_once('=')
+            .ok_or_else(|| format!("--{name} wants ATTR=VALUE, got {value:?}"))?;
+        if !crawler.add_seed(attr, val) {
+            return Err(format!("seed attribute {attr:?} is unknown or not queriable"));
+        }
+        seeded = true;
+    }
+    if !seeded {
+        return Err("crawl needs at least one --seed-value ATTR=VALUE (or --resume)".into());
+    }
+    Ok(())
+}
+
+/// Runs a constructed crawl to its stop condition and prints the report —
+/// generic over the transport, so the in-process and `--connect` paths share
+/// the event streaming, checkpointing, and reporting verbatim.
+fn run_and_report<S: deep_web_crawler::core::DataSource>(
+    mut crawler: Crawler<S>,
+    flags: &[(String, String)],
+    store: Option<&CheckpointStore>,
+    n: usize,
+) -> Result<(), String> {
     // Run manually so a checkpoint can be taken at the end regardless of the
     // stop reason.
-    let mut crawler = crawler;
-    if let Some(events_path) = flag(&flags, "events") {
+    if let Some(events_path) = flag(flags, "events") {
         let file = std::fs::File::create(events_path)
             .map_err(|e| format!("creating {events_path}: {e}"))?;
         crawler.add_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(file))));
@@ -303,12 +384,12 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
             break StopReason::FrontierExhausted;
         }
     };
-    if let Some(cp_path) = flag(&flags, "checkpoint") {
+    if let Some(cp_path) = flag(flags, "checkpoint") {
         std::fs::write(cp_path, crawler.checkpoint().to_text())
             .map_err(|e| format!("writing {cp_path}: {e}"))?;
         eprintln!("checkpoint written to {cp_path}");
     }
-    if let Some(ref s) = store {
+    if let Some(s) = store {
         // Final snapshot so `dwc resume` after a clean exit is a no-op crawl.
         s.save(&crawler.checkpoint()).map_err(|e| format!("saving checkpoint: {e}"))?;
         eprintln!(
@@ -317,14 +398,14 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
             s.path().display()
         );
     }
-    if flag(&flags, "stats").is_some() {
+    if flag(flags, "stats").is_some() {
         println!(
             "{}",
             deep_web_crawler::core::report::CrawlSummary::from_state(crawler.state(), 10)
         );
     }
     let report = crawler.into_report(stop);
-    if let Some(trace_path) = flag(&flags, "trace") {
+    if let Some(trace_path) = flag(flags, "trace") {
         std::fs::write(trace_path, report.trace.to_csv())
             .map_err(|e| format!("writing {trace_path}: {e}"))?;
         eprintln!("trace written to {trace_path}");
@@ -334,6 +415,143 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
     println!("queries   : {}", report.queries);
     println!("rounds    : {}", report.rounds);
     println!("aborted   : {}", report.aborted_queries);
+    Ok(())
+}
+
+/// Parses `--connect`, rejecting 0 — a protocol crawl needs at least one
+/// connection.
+fn parse_connect(flags: &[(String, String)]) -> Result<Option<usize>, String> {
+    match flag(flags, "connect") {
+        None => Ok(None),
+        Some(v) => match v.parse::<usize>() {
+            Ok(0) | Err(_) => Err("--connect must be a positive connection count".into()),
+            Ok(c) => Ok(Some(c)),
+        },
+    }
+}
+
+/// Builds the serving-tier config from `--queue`, `--serve-workers`,
+/// `--latency-us N|MIN:MAX`, `--decode-us`, and `--serve-seed`; the caller
+/// finishes the builder (so `dwc serve` can attach `--deadline` as the
+/// service-side default while `dwc crawl` keeps it on the crawl config).
+fn parse_serve_flags(
+    flags: &[(String, String)],
+) -> Result<deep_web_crawler::core::serve::ServeConfigBuilder, String> {
+    use std::time::Duration;
+    let mut builder = ServeConfig::builder();
+    if let Some(q) = flag(flags, "queue") {
+        builder = builder.queue_depth(q.parse().map_err(|_| "bad --queue")?);
+    }
+    if let Some(w) = flag(flags, "serve-workers") {
+        builder = builder.workers(w.parse().map_err(|_| "bad --serve-workers")?);
+    }
+    if let Some(spec) = flag(flags, "latency-us") {
+        let model = match spec.split_once(':') {
+            Some((lo, hi)) => LatencyModel::Uniform {
+                min: Duration::from_micros(lo.parse().map_err(|_| "bad --latency-us")?),
+                max: Duration::from_micros(hi.parse().map_err(|_| "bad --latency-us")?),
+            },
+            None => LatencyModel::Fixed(Duration::from_micros(
+                spec.parse().map_err(|_| "bad --latency-us")?,
+            )),
+        };
+        builder = builder.latency(model);
+    }
+    if let Some(d) = flag(flags, "decode-us") {
+        builder = builder
+            .decode_per_record(Duration::from_micros(d.parse().map_err(|_| "bad --decode-us")?));
+    }
+    if let Some(seed) = flag(flags, "serve-seed") {
+        builder = builder.seed(seed.parse().map_err(|_| "bad --serve-seed")?);
+    }
+    Ok(builder)
+}
+
+/// `dwc serve`: closed-loop load generator against the serving tier — N
+/// client connections hammer the service with the given queries, then the
+/// run reports throughput, shed rate, and tail latency. Sized so that
+/// `--connections` well above `--serve-workers` overloads the queue and the
+/// shed rate becomes visible — the backpressure demo in one command.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("serve needs a CSV file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let table = load_csv(&text).map_err(|e| e.to_string())?;
+    let page_size: usize =
+        flag(&flags, "page-size").unwrap_or("10").parse().map_err(|_| "bad --page-size")?;
+    let interface = InterfaceSpec::permissive(table.schema(), page_size);
+
+    let queries: Vec<Query> = flags
+        .iter()
+        .filter(|(name, _)| name == "seed-value")
+        .map(|(_, value)| {
+            value
+                .split_once('=')
+                .map(|(a, v)| Query::ByString { attr: a.to_string(), value: v.to_string() })
+                .ok_or_else(|| format!("--seed-value wants ATTR=VALUE, got {value:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if queries.is_empty() {
+        return Err("serve needs at least one --seed-value ATTR=VALUE to query".into());
+    }
+    let connections: usize = match flag(&flags, "connections").unwrap_or("4").parse() {
+        Ok(0) | Err(_) => return Err("--connections must be a positive count".into()),
+        Ok(c) => c,
+    };
+    let requests: usize =
+        flag(&flags, "requests").unwrap_or("200").parse().map_err(|_| "bad --requests")?;
+    let mut serve_builder = parse_serve_flags(&flags)?;
+    if let Some(ms) = flag(&flags, "deadline") {
+        let ms: u64 = ms.parse().map_err(|_| "bad --deadline")?;
+        serve_builder = serve_builder.default_deadline(Duration::from_millis(ms));
+    }
+    let config = serve_builder.build().map_err(|e| e.to_string())?;
+
+    let server = Arc::new(WebDbServer::new(table, interface));
+    let service = SourceService::start(server, config);
+    let start = Instant::now();
+    let handles: Vec<_> = (0..connections)
+        .map(|c| {
+            let conn = service.connect();
+            let queries = queries.clone();
+            std::thread::spawn(move || {
+                let mut failed = 0u64;
+                for i in 0..requests {
+                    let q = &queries[(c + i) % queries.len()];
+                    match conn.respond(&SourceRequest::new(q, 0, ProberMode::Wire), &mut |_| {}) {
+                        Ok(_) | Err(CrawlError::Rejected) | Err(CrawlError::Cancelled) => {}
+                        Err(_) => failed += 1,
+                    }
+                }
+                failed
+            })
+        })
+        .collect();
+    let mut failed = 0u64;
+    for handle in handles {
+        failed += handle.join().expect("client thread");
+    }
+    let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+    let report = service.shutdown();
+    println!(
+        "offered    : {} ({} connections x {} requests)",
+        report.offered(),
+        connections,
+        requests
+    );
+    println!("completed  : {} ({:.0} req/s)", report.completed, report.completed as f64 / elapsed);
+    println!("shed       : {} ({:.1}% of offered)", report.shed, report.shed_rate() * 100.0);
+    println!("cancelled  : {}", report.cancelled);
+    if failed > 0 {
+        println!("failed     : {failed}");
+    }
+    println!("queue depth: max {} / mean {:.2}", report.max_queue_depth, report.mean_queue_depth);
+    println!(
+        "latency    : p50 {}us  p95 {}us  p99 {}us  max {}us",
+        report.p50_latency_us, report.p95_latency_us, report.p99_latency_us, report.max_latency_us
+    );
     Ok(())
 }
 

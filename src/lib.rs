@@ -51,11 +51,12 @@ pub mod prelude {
     pub use dwc_core::policy::{MmmiConfig, PolicyKind, Saturation, SelectionPolicy};
     pub use dwc_core::{
         run_fleet, run_fleet_supervised, AbortPolicy, AllocationStrategy, BreakerConfig,
-        Checkpoint, CheckpointStore, CircuitBreaker, ConfigError, CrawlConfig, CrawlError,
-        CrawlEvent, CrawlReport, CrawlTrace, Crawler, DataSource, DomainTable, EventSink,
-        FaultKind, FaultPlan, FaultPlanSource, FaultySource, FleetConfig, FleetJob, FleetReport,
-        JobHealth, JsonlSink, MemorySink, MetricsRegistry, ProberMode, QueryMode, RetryPolicy,
-        SchedulerStats, StoreError,
+        CancelToken, Checkpoint, CheckpointStore, CircuitBreaker, ClientPool, ConfigError,
+        Connection, CrawlConfig, CrawlError, CrawlEvent, CrawlReport, CrawlTrace, Crawler,
+        DataSource, DomainTable, EventSink, FaultKind, FaultPlan, FaultPlanSource, FaultySource,
+        FleetConfig, FleetJob, FleetReport, JobHealth, JsonlSink, LatencyModel, MemorySink,
+        MetricsRegistry, ProberMode, QueryMode, RetryPolicy, SchedulerStats, ServeConfig,
+        ServiceReport, SourceRequest, SourceService, StopReason, StoreError,
     };
     pub use dwc_datagen::presets::Preset;
     pub use dwc_datagen::{PairedDataset, PairedSpec};

@@ -188,3 +188,76 @@ proptest! {
         prop_assert!((est - pop as f64).abs() < 1e-9);
     }
 }
+
+proptest! {
+    // Serving-tier cases spawn worker threads and run whole crawls; a
+    // smaller case count keeps the suite quick while still sweeping queue
+    // contention, deadlines, and latency seeds.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Def. 2.3 conservation across the serving seam: for any database,
+    /// queue pressure, deadline, and latency seed, the rounds the crawls
+    /// count equal the rounds the source side billed — executed requests on
+    /// the inner counter, shed and cancelled ones on the service's. Neither
+    /// backpressure nor cancellation can lose or double-bill a round.
+    #[test]
+    fn shed_and_cancel_conserve_round_billing(
+        records in prop::collection::vec(record_strategy(), 5..30),
+        deadline_us in prop::option::of(80u64..4_000),
+        seed in 0u64..1_000,
+    ) {
+        use deep_web_crawler::core::serve::SourceService;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let t = table_from(&records);
+        let server = Arc::new(WebDbServer::new(
+            t.clone(),
+            InterfaceSpec::permissive(t.schema(), 2),
+        ));
+        // A one-slot queue under two competing crawls forces sheds; the
+        // latency floor keeps the queue occupied long enough to collide.
+        let config = ServeConfig::builder()
+            .queue_depth(1)
+            .workers(1)
+            .latency(LatencyModel::Uniform {
+                min: Duration::from_micros(20),
+                max: Duration::from_micros(400),
+            })
+            .seed(seed)
+            .build()
+            .expect("valid serve config");
+        let service = SourceService::start(Arc::clone(&server), config);
+        let pool = Arc::new(service.connect_pool(2).expect("nonzero pool"));
+
+        let crawl = |policy_seed: u64| {
+            let pool = Arc::clone(&pool);
+            let mut builder = CrawlConfig::builder()
+                .max_rounds(60)
+                .prober(ProberMode::Wire)
+                .max_retries(3);
+            if let Some(us) = deadline_us {
+                builder = builder.deadline(Duration::from_micros(us));
+            }
+            let config = builder.build().expect("valid crawl config");
+            std::thread::spawn(move || {
+                let mut crawler =
+                    Crawler::new(pool, PolicyKind::Random(policy_seed).build(), config);
+                crawler.add_seed("A", "v0");
+                crawler.add_seed("B", "v1");
+                crawler.run().rounds
+            })
+        };
+        let threads = [crawl(1), crawl(2)];
+        let crawled: u64 = threads.into_iter().map(|t| t.join().expect("crawl thread")).sum();
+
+        prop_assert_eq!(crawled, pool.rounds_used(), "every round billed exactly once");
+
+        drop(pool);
+        let served = service.shutdown();
+        prop_assert_eq!(served.enqueued, served.completed + served.cancelled,
+            "a drained queue completes or cancels everything it admitted");
+        prop_assert_eq!(crawled, server.rounds_used() + served.shed + served.cancelled,
+            "executed + shed + cancelled partitions the crawl's rounds");
+    }
+}

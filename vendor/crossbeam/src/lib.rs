@@ -1,10 +1,13 @@
 //! Offline stub of `crossbeam` 0.8 (see `vendor/README.md`).
 //!
 //! Provides `queue::SegQueue` (mutex-backed, not lock-free — correctness
-//! over throughput), `thread::scope` built on `std::thread::scope`, and
+//! over throughput), `thread::scope` built on `std::thread::scope`,
 //! `deque::{Injector, Worker, Stealer, Steal}` mirroring
 //! `crossbeam-deque`'s work-stealing API (mutex-backed equivalents of the
-//! Chase–Lev deques; same ownership/stealing semantics, no lock-freedom).
+//! Chase–Lev deques; same ownership/stealing semantics, no lock-freedom),
+//! and `channel::bounded` mirroring `crossbeam-channel`'s bounded MPMC
+//! channel (mutex + condvar, cloneable `Sender`/`Receiver`, non-blocking
+//! `try_send`, disconnect detection).
 
 /// Work-stealing deques: a global [`deque::Injector`] FIFO plus per-worker
 /// [`deque::Worker`] deques with [`deque::Stealer`] handles, API-compatible
@@ -242,6 +245,149 @@ pub mod thread {
     }
 }
 
+/// Bounded MPMC channels, API-compatible with `crossbeam-channel` 0.5 for
+/// the operations the serving tier uses: `bounded`, cloneable
+/// [`channel::Sender`] / [`channel::Receiver`], non-blocking
+/// [`channel::Sender::try_send`] with a [`channel::TrySendError`] taxonomy,
+/// blocking [`channel::Receiver::recv`], and queue-length introspection.
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    /// `try_send` failure: the queue is full or every receiver is gone.
+    /// Carries the rejected message back, like `crossbeam-channel`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded buffer is at capacity.
+        Full(T),
+        /// All receivers have been dropped.
+        Disconnected(T),
+    }
+
+    /// `recv` failure: the channel is empty and every sender is gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        not_empty: Condvar,
+        capacity: usize,
+    }
+
+    struct State<T> {
+        buf: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Creates a bounded channel with room for `capacity` queued messages.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { buf: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            capacity,
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    /// The sending half; clones share the same buffer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues without blocking; fails when the buffer is full or the
+        /// receivers are gone.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.buf.len() >= self.shared.capacity {
+                return Err(TrySendError::Full(value));
+            }
+            state.buf.push_back(value);
+            drop(state);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel poisoned").buf.len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel poisoned").senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                // Wake blocked receivers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    /// The receiving half; clones share the same buffer (each message is
+    /// delivered to exactly one receiver).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until a message arrives or every sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.buf.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.not_empty.wait(state).expect("channel poisoned");
+            }
+        }
+
+        /// Messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().expect("channel poisoned").buf.len()
+        }
+
+        /// Whether the queue is empty right now.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().expect("channel poisoned").receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().expect("channel poisoned").receivers -= 1;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::queue::SegQueue;
@@ -289,6 +435,61 @@ mod tests {
             s.spawn(|_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    mod channel {
+        use crate::channel::{bounded, RecvError, TrySendError};
+
+        #[test]
+        fn bounded_channel_sheds_at_capacity_and_preserves_fifo() {
+            let (tx, rx) = bounded(2);
+            tx.try_send(1).unwrap();
+            tx.try_send(2).unwrap();
+            assert_eq!(tx.len(), 2);
+            assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+            assert_eq!(rx.recv(), Ok(1));
+            tx.try_send(3).unwrap();
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn disconnects_are_observable_from_both_ends() {
+            let (tx, rx) = bounded::<u8>(1);
+            drop(rx);
+            assert_eq!(tx.try_send(1), Err(TrySendError::Disconnected(1)));
+            let (tx, rx) = bounded::<u8>(1);
+            tx.try_send(9).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(9), "queued messages survive sender drop");
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn cloned_receivers_split_the_stream_without_loss() {
+            use std::sync::atomic::{AtomicU64, Ordering};
+            let (tx, rx) = bounded(64);
+            let sum = AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for _ in 0..4 {
+                    let rx = rx.clone();
+                    let sum = &sum;
+                    s.spawn(move || {
+                        while let Ok(v) = rx.recv() {
+                            sum.fetch_add(v, Ordering::Relaxed);
+                        }
+                    });
+                }
+                for v in 0..100u64 {
+                    while tx.try_send(v).is_err() {
+                        std::thread::yield_now();
+                    }
+                }
+                drop(tx);
+                drop(rx);
+            });
+            assert_eq!(sum.load(Ordering::Relaxed), 100 * 99 / 2);
+        }
     }
 
     mod deque {
