@@ -36,11 +36,16 @@ pub struct RetryPolicy {
     pub backoff_base: u64,
     /// Upper bound on a single backoff wait, in simulated rounds.
     pub backoff_cap: u64,
+    /// Jitter seed. `None` keeps the exact exponential schedule; `Some(s)`
+    /// draws each wait uniformly from `[1, exponential]`, decorrelating
+    /// retry storms across clients that share a fault (see
+    /// [`backoff_jittered`](RetryPolicy::backoff_jittered)).
+    pub jitter_seed: Option<u64>,
 }
 
 impl Default for RetryPolicy {
     fn default() -> Self {
-        RetryPolicy { max_retries: 0, backoff_base: 1, backoff_cap: 64 }
+        RetryPolicy { max_retries: 0, backoff_base: 1, backoff_cap: 64, jitter_seed: None }
     }
 }
 
@@ -50,14 +55,43 @@ impl RetryPolicy {
         RetryPolicy { max_retries: n, ..Default::default() }
     }
 
-    /// Simulated rounds to wait before retry attempt `attempt` (1-based).
-    /// Attempt 0 is the initial request: no wait.
+    /// The same policy with jittered backoff seeded by `seed` (typically the
+    /// crawl seed, so the schedule is deterministic per crawl).
+    pub fn with_jitter(mut self, seed: u64) -> Self {
+        self.jitter_seed = Some(seed);
+        self
+    }
+
+    /// Simulated rounds to wait before retry attempt `attempt` (1-based),
+    /// on the exact exponential schedule (ignores jitter). Attempt 0 is the
+    /// initial request: no wait.
     pub fn backoff_before(&self, attempt: u32) -> u64 {
         if attempt == 0 {
             return 0;
         }
         let exp = (attempt - 1).min(63);
         self.backoff_base.saturating_mul(1u64 << exp).min(self.backoff_cap)
+    }
+
+    /// Jittered backoff before retry `attempt`: with a jitter seed, a
+    /// deterministic draw from `[1, backoff_before(attempt)]` keyed on
+    /// `(seed, salt, attempt)` — same seed and salt, same schedule; clients
+    /// retrying the same fault with different salts (e.g. their elapsed
+    /// round counts) spread out instead of hammering in lockstep. Without a
+    /// seed this is exactly [`backoff_before`](RetryPolicy::backoff_before).
+    pub fn backoff_jittered(&self, attempt: u32, salt: u64) -> u64 {
+        let exact = self.backoff_before(attempt);
+        match self.jitter_seed {
+            None => exact,
+            Some(seed) if exact > 1 => {
+                let draw = crate::fault::splitmix64(
+                    seed ^ salt.rotate_left(17)
+                        ^ u64::from(attempt).wrapping_mul(crate::fault::SPLITMIX_STEP),
+                );
+                1 + draw % exact
+            }
+            Some(_) => exact,
+        }
     }
 }
 
@@ -270,6 +304,14 @@ impl CrawlConfigBuilder {
         self
     }
 
+    /// Seeds jittered retry backoff (typically with the crawl seed):
+    /// deterministic per seed, decorrelated across clients. See
+    /// [`RetryPolicy::backoff_jittered`].
+    pub fn retry_jitter(mut self, seed: u64) -> Self {
+        self.config.retry.jitter_seed = Some(seed);
+        self
+    }
+
     /// Caps total-failure requeues per value (0 = never requeue).
     pub fn max_requeues(mut self, n: u32) -> Self {
         self.config.max_requeues = n;
@@ -350,13 +392,49 @@ mod tests {
 
     #[test]
     fn backoff_doubles_and_caps() {
-        let r = RetryPolicy { max_retries: 10, backoff_base: 2, backoff_cap: 9 };
+        let r =
+            RetryPolicy { max_retries: 10, backoff_base: 2, backoff_cap: 9, ..Default::default() };
         assert_eq!(r.backoff_before(0), 0);
         assert_eq!(r.backoff_before(1), 2);
         assert_eq!(r.backoff_before(2), 4);
         assert_eq!(r.backoff_before(3), 8);
         assert_eq!(r.backoff_before(4), 9, "capped");
         assert_eq!(r.backoff_before(100), 9, "huge attempts saturate, no overflow");
+    }
+
+    #[test]
+    fn jittered_backoff_is_seeded_bounded_and_decorrelated() {
+        let base =
+            RetryPolicy { max_retries: 8, backoff_base: 4, backoff_cap: 64, jitter_seed: None };
+        // No seed: jittered == exact for every attempt and salt.
+        for attempt in 0..6 {
+            assert_eq!(base.backoff_jittered(attempt, 17), base.backoff_before(attempt));
+        }
+        let jittered = base.with_jitter(42);
+        assert_eq!(jittered.backoff_jittered(0, 0), 0, "attempt 0 never waits");
+        let mut varied = false;
+        for attempt in 1..=8 {
+            let exact = jittered.backoff_before(attempt);
+            for salt in 0..16 {
+                let wait = jittered.backoff_jittered(attempt, salt);
+                assert!((1..=exact).contains(&wait), "jitter stays in [1, exponential]");
+                assert_eq!(
+                    wait,
+                    jittered.backoff_jittered(attempt, salt),
+                    "same (seed, salt, attempt) must redraw identically"
+                );
+                if wait != jittered.backoff_jittered(attempt, salt + 1) {
+                    varied = true;
+                }
+            }
+        }
+        assert!(varied, "different salts must spread the schedule");
+        // Different seeds decorrelate the schedules.
+        let other = base.with_jitter(43);
+        assert!(
+            (1..=8).any(|a| jittered.backoff_jittered(a, 5) != other.backoff_jittered(a, 5)),
+            "seeds 42 and 43 should not produce identical schedules"
+        );
     }
 
     #[test]

@@ -570,7 +570,12 @@ mod tests {
         let server = WebDbServer::new(t, spec).with_faults(FaultPolicy::every(1));
         let config = CrawlConfig::builder()
             .max_rounds(10)
-            .retry(RetryPolicy { max_retries: 100, backoff_base: 1, backoff_cap: 8 })
+            .retry(RetryPolicy {
+                max_retries: 100,
+                backoff_base: 1,
+                backoff_cap: 8,
+                ..Default::default()
+            })
             .build()
             .unwrap();
         let mut crawler = Crawler::new(&server, PolicyKind::Bfs.build(), config);

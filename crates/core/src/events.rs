@@ -241,6 +241,35 @@ pub enum CrawlEvent {
         /// Admission-to-reply wall latency in microseconds.
         latency_us: u64,
     },
+    /// A wire frame was lost, truncated beyond use, or taken down with its
+    /// link by the chaos layer ([`crate::chaos::ChaosPlan`]); the sender will
+    /// retransmit. Dropped *request* frames never reached the service and
+    /// bill nothing; dropped *reply* frames were already billed by whichever
+    /// counter their request landed in.
+    FrameDropped {
+        /// Chaos-layer wire-frame index (1-based transmission count).
+        frame: u64,
+    },
+    /// A retransmitted or duplicated request frame hit the service-side
+    /// dedup window: the round is billed as a new request (Definition 2.3),
+    /// but the cached outcome is served — the request is never executed
+    /// twice.
+    FrameRetransmitted {
+        /// Idempotent request id shared by every transmission of the
+        /// request.
+        request: u64,
+    },
+    /// The client raced a hedge duplicate of a request whose reply exceeded
+    /// the hedging threshold ([`crate::serve::ClientPool::with_hedging`]).
+    Hedged {
+        /// Idempotent request id the hedge duplicates.
+        request: u64,
+    },
+    /// A service worker was killed mid-request and the service recovered:
+    /// queue and billing state survive, the in-flight request is billed
+    /// cancelled (crash before execution) or served from the dedup cache on
+    /// retransmit (crash after execution).
+    ServiceRestarted,
 }
 
 impl CrawlEvent {
@@ -314,6 +343,16 @@ impl CrawlEvent {
             CrawlEvent::RequestCompleted { latency_us } => {
                 format!("{{\"event\":\"request_completed\",\"latency_us\":{latency_us}}}")
             }
+            CrawlEvent::FrameDropped { frame } => {
+                format!("{{\"event\":\"frame_dropped\",\"frame\":{frame}}}")
+            }
+            CrawlEvent::FrameRetransmitted { request } => {
+                format!("{{\"event\":\"frame_retransmitted\",\"request\":{request}}}")
+            }
+            CrawlEvent::Hedged { request } => {
+                format!("{{\"event\":\"hedged\",\"request\":{request}}}")
+            }
+            CrawlEvent::ServiceRestarted => "{\"event\":\"service_restarted\"}".to_string(),
         }
     }
 
@@ -382,6 +421,12 @@ impl CrawlEvent {
             "request_completed" => {
                 CrawlEvent::RequestCompleted { latency_us: json_u64(line, "latency_us")? }
             }
+            "frame_dropped" => CrawlEvent::FrameDropped { frame: json_u64(line, "frame")? },
+            "frame_retransmitted" => {
+                CrawlEvent::FrameRetransmitted { request: json_u64(line, "request")? }
+            }
+            "hedged" => CrawlEvent::Hedged { request: json_u64(line, "request")? },
+            "service_restarted" => CrawlEvent::ServiceRestarted,
             _ => return None,
         })
     }
@@ -566,6 +611,10 @@ mod tests {
             CrawlEvent::RequestShed,
             CrawlEvent::RequestCancelled,
             CrawlEvent::RequestCompleted { latency_us: 1_250 },
+            CrawlEvent::FrameDropped { frame: 17 },
+            CrawlEvent::FrameRetransmitted { request: 42 },
+            CrawlEvent::Hedged { request: 42 },
+            CrawlEvent::ServiceRestarted,
         ]
     }
 

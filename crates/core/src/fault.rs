@@ -25,6 +25,23 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+/// `splitmix64` — the one tiny generator behind every seeded schedule in the
+/// engine: fault plans, chaos plans ([`crate::chaos::ChaosPlan`]), service
+/// latency sampling, and retry jitter. Stateless form: mixes its input with
+/// the golden-ratio increment, so independent streams decorrelate by salting
+/// the input.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The golden-ratio increment that steps a splitmix64 stream; request/frame
+/// numbers are multiplied by it before mixing so consecutive indices land in
+/// uncorrelated parts of the sequence.
+pub(crate) const SPLITMIX_STEP: u64 = 0x9E37_79B9_7F4A_7C15;
+
 /// One kind of injected fault.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
@@ -113,19 +130,10 @@ impl FaultPlan {
         if kinds.is_empty() || rate == 0.0 {
             return plan;
         }
-        // SplitMix64: tiny, deterministic, dependency-free.
-        let mut state = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut next = move || {
-            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-            let mut z = state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-            z ^ (z >> 31)
-        };
         let threshold = (rate * u64::MAX as f64) as u64;
         let mut pick = 0usize;
         for request_no in 1..=horizon {
-            if next() <= threshold {
+            if splitmix64(seed.wrapping_add(request_no.wrapping_mul(SPLITMIX_STEP))) <= threshold {
                 let kind = kinds[pick % kinds.len()];
                 pick += 1;
                 plan.events.insert(request_no, kind);
@@ -320,16 +328,20 @@ mod tests {
         Query::ByString { attr: "A".into(), value: "a2".into() }
     }
 
-    /// Fetches through the deprecated owned-page shim (the shim itself routes
-    /// through `respond`, so this also exercises the new entry point).
-    #[allow(deprecated)]
+    /// Fetches one page as an owned value through the `respond` envelope —
+    /// the test-side convenience the deprecated `query_page` shim used to
+    /// provide.
     fn query_page<S: DataSource>(
         s: &S,
         query: &Query,
         page: usize,
         prober: ProberMode,
     ) -> Result<ExtractedPage, CrawlError> {
-        s.query_page(query, page, prober)
+        let mut owned = None;
+        s.respond(&crate::source::SourceRequest::new(query, page, prober), &mut |view| {
+            owned = Some(view.to_owned_page())
+        })?;
+        Ok(owned.expect("respond visits exactly once on success"))
     }
 
     #[test]

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod abort;
+pub mod chaos;
 pub mod checkpoint;
 pub mod config;
 pub mod crawler;
@@ -60,6 +61,7 @@ pub mod store;
 pub mod trace;
 
 pub use abort::AbortPolicy;
+pub use chaos::{shrink_plan, ChaosKind, ChaosPlan, ChaosSpecError, ChaosState, ChaosTally};
 pub use checkpoint::Checkpoint;
 pub use config::{ConfigError, RetryPolicy};
 pub use crawler::{CrawlConfig, CrawlReport, Crawler, ProberMode, QueryMode, StopReason};

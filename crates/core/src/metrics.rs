@@ -95,6 +95,10 @@ pub struct MetricsRegistry {
     requests_shed: u64,
     requests_cancelled: u64,
     requests_completed: u64,
+    frames_dropped: u64,
+    frames_retransmitted: u64,
+    hedged_requests: u64,
+    service_restarts: u64,
     queue_depth_sum: u64,
     queue_depth_max: u32,
     latency_max_us: u64,
@@ -214,6 +218,10 @@ impl MetricsRegistry {
                 }
                 self.latency_buckets[latency_bucket(latency_us)] += 1;
             }
+            CrawlEvent::FrameDropped { .. } => self.frames_dropped += 1,
+            CrawlEvent::FrameRetransmitted { .. } => self.frames_retransmitted += 1,
+            CrawlEvent::Hedged { .. } => self.hedged_requests += 1,
+            CrawlEvent::ServiceRestarted => self.service_restarts += 1,
         }
     }
 
@@ -382,6 +390,12 @@ impl MetricsRegistry {
             p95_latency_us: self.latency_percentile(0.95),
             p99_latency_us: self.latency_percentile(0.99),
             max_latency_us: self.latency_max_us,
+            frames_dropped: self.frames_dropped,
+            retransmitted: self.frames_retransmitted,
+            hedged: self.hedged_requests,
+            restarts: self.service_restarts,
+            breaker_trips: self.breaker_trips,
+            breaker_recoveries: self.breaker_recoveries,
         }
     }
 }

@@ -29,35 +29,69 @@
 //! * **Deadlines & cancellation.** A queued request whose deadline passes or
 //!   whose [`CancelToken`] fires is cancelled at dequeue — billed, answered
 //!   [`CrawlError::Cancelled`], never executed.
-//! * **Conservation.** Every request offered to the service is billed exactly
-//!   once: executed ones by the inner source's own round counter, shed and
-//!   cancelled ones by the service's counters. [`Connection::rounds_used`]
-//!   is the sum, so `report.rounds == source.rounds_used()` holds across
-//!   transports.
+//! * **Exactly-once under a lossy wire.** Every logical request carries an
+//!   idempotent request id. The service keeps a bounded dedup window: the
+//!   first transmission of an id executes, every later transmission of the
+//!   same id — a retransmit after a lost frame, a chaos duplicate, a hedge —
+//!   is billed as a fresh round but served the cached outcome, never
+//!   re-executed. This is what keeps crawl reports bit-identical between a
+//!   fault-free wire and a chaos wire ([`crate::chaos::ChaosPlan`]): faults
+//!   are absorbed entirely below `respond()`.
+//! * **Crash recovery.** A worker killed *before* executing its request
+//!   ([`crate::chaos::ChaosKind::Crash`] on the request frame) bills the
+//!   round cancelled and the retransmit re-executes; killed *after*
+//!   executing, the outcome survives in the dedup window and the retransmit
+//!   is served from it. Either way the queue and the billing counters
+//!   survive the restart, so `ServiceReport` replay parity still holds.
+//! * **Conservation.** Every request that reached the service is billed
+//!   exactly once: `rounds_used = executed + shed + cancelled +
+//!   retransmitted`. Request frames the wire ate before admission bill
+//!   nothing.
+//! * **Hedging.** [`ClientPool::with_hedging`] races a duplicate of any
+//!   request whose reply exceeds a latency threshold on the next connection,
+//!   with the same request id — the dedup window makes the race safe — and
+//!   cancels the loser. This bounds p99 under stall injection at a small
+//!   extra round cost (BENCH-7 gates both sides).
+//! * **Circuit breaking.** Every pool carries a [`CircuitBreaker`] per
+//!   connection: streaks of [`CrawlError::Rejected`] /
+//!   [`CrawlError::Cancelled`] trip a connection out of rotation, a cooled
+//!   breaker probes half-open, and every transition lands on the service bus
+//!   as a [`CrawlEvent::BreakerTransition`] so trips are visible in the
+//!   [`ServiceReport`].
 //! * **Observability.** The service runs its own [`EventBus`], emitting
 //!   [`CrawlEvent::RequestEnqueued`] / [`CrawlEvent::RequestShed`] /
-//!   [`CrawlEvent::RequestCancelled`] / [`CrawlEvent::RequestCompleted`];
+//!   [`CrawlEvent::RequestCancelled`] / [`CrawlEvent::RequestCompleted`]
+//!   plus the chaos-era events [`CrawlEvent::FrameDropped`] /
+//!   [`CrawlEvent::FrameRetransmitted`] / [`CrawlEvent::Hedged`] /
+//!   [`CrawlEvent::ServiceRestarted`];
 //!   [`MetricsRegistry`](crate::metrics::MetricsRegistry) folds them into a
-//!   [`ServiceReport`] (queue depth, shed rate, p50/p95/p99 latency), and
-//!   [`crate::metrics::replay_service_report`] reproduces it from a recorded
-//!   stream. Service events never enter the *crawl* bus — crawl reports stay
-//!   bit-identical across transports, which is what the parity suite checks.
+//!   [`ServiceReport`], and [`crate::metrics::replay_service_report`]
+//!   reproduces it from a recorded stream. Service events never enter the
+//!   *crawl* bus — crawl reports stay bit-identical across transports,
+//!   which is what the parity and chaos suites check.
 //!
 //! Responses cross the boundary as frames: the worker visits the inner
 //! source's page zero-copy, re-encodes it with
-//! [`crate::extract::page_ref_to_wire`], and the client re-parses with
-//! [`crate::extract::parse_page_ref`] — the observable content is identical
-//! to the in-process path, only the transport differs.
+//! [`crate::extract::page_ref_to_wire`], stamps an FNV-1a checksum, and the
+//! client verifies and re-parses with [`crate::extract::parse_page_ref`] —
+//! a checksum mismatch means the wire truncated the frame in transit
+//! (retransmit; the intact frame is served from the dedup window), while a
+//! parse failure on an intact frame means the source itself served garbage
+//! (surfaced as [`CrawlError::CorruptPage`], exactly as in-process).
 
-use crate::events::{CrawlEvent, EventBus, EventSink};
-use crate::extract::{page_ref_to_wire, parse_page_ref, ExtractedPageRef};
+use crate::chaos::{ChaosKind, ChaosState};
+use crate::events::{BreakerPhase, CrawlEvent, EventBus, EventSink};
+use crate::extract::{page_ref_to_wire, parse_page_ref, ExtractedPage, ExtractedPageRef};
+use crate::fault::splitmix64;
+use crate::health::{BreakerConfig, CircuitBreaker};
 use crate::source::{
     CancelToken, CrawlError, DataSource, PageMeta, ProberMode, ServiceMeta, SourceRequest,
     SourceResponse,
 };
 use crate::ConfigError;
-use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use dwc_server::{InterfaceSpec, Query};
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -88,6 +122,20 @@ pub struct ServiceReport {
     pub p99_latency_us: u64,
     /// Largest request latency observed, microseconds.
     pub max_latency_us: u64,
+    /// Wire frames eaten by the chaos layer (dropped, truncated, or lost
+    /// with their link). Dropped request frames bill nothing.
+    pub frames_dropped: u64,
+    /// Retransmitted or duplicated request frames served from the dedup
+    /// window: billed as new rounds, never executed twice.
+    pub retransmitted: u64,
+    /// Requests the client pool hedged past the latency threshold.
+    pub hedged: u64,
+    /// Service worker crash-and-restart cycles survived.
+    pub restarts: u64,
+    /// Connection circuit-breaker trips (entries into `Open`).
+    pub breaker_trips: u64,
+    /// Connection circuit-breaker recoveries (clean half-open probes).
+    pub breaker_recoveries: u64,
 }
 
 impl ServiceReport {
@@ -123,16 +171,6 @@ pub enum LatencyModel {
         /// Upper bound of the service time.
         max: Duration,
     },
-}
-
-/// `splitmix64` — the same tiny generator the fault planner uses; good
-/// enough to decorrelate per-request service times from a single seed.
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    let mut z = x;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
 }
 
 impl LatencyModel {
@@ -252,12 +290,64 @@ impl ServeConfigBuilder {
     }
 }
 
+/// FNV-1a over the frame body. Lets the client tell transit corruption
+/// (checksum mismatch → retransmit) from a source that genuinely served a
+/// corrupt page (intact checksum, unparseable body →
+/// [`CrawlError::CorruptPage`]).
+fn wire_checksum(wire: &str) -> u64 {
+    wire.bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3))
+}
+
+/// Truncates a wire frame at roughly two thirds of its length on a char
+/// boundary — the same mutilation [`crate::fault::FaultPlanSource`] applies,
+/// here modeling the *wire* (not the source) garbling the frame.
+fn truncate_wire(wire: &mut String) {
+    let mut cut = (wire.len() * 2) / 3;
+    while cut > 0 && !wire.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    wire.truncate(cut);
+}
+
 /// The frame a worker ships back on success: the page re-encoded into the
 /// XML wire format plus the service-level facts that ride alongside it.
+#[derive(Clone)]
 struct ReplyFrame {
     wire: String,
     served_from_cache: bool,
     latency_us: u64,
+    /// FNV-1a of `wire` as it left the worker; survives chaos truncation so
+    /// the client can detect it.
+    checksum: u64,
+}
+
+/// What travels on a reply channel.
+type Reply = Result<ReplyFrame, CrawlError>;
+
+/// Chaos directives attached to one queued job, all decided at submit time
+/// so a schedule is a pure function of the wire-frame counter.
+#[derive(Debug, Clone, Copy, Default)]
+struct JobChaos {
+    /// Request-frame stall/reorder: the wire delivered this frame late. The
+    /// worker sleeps this long *before* claiming the dedup entry, so a
+    /// hedge can overtake a stalled primary.
+    exec_delay: Duration,
+    /// Worker crashes at dequeue, before execution: billed cancelled, no
+    /// dedup claim, the retransmit re-executes.
+    crash_before: bool,
+    /// Worker crashes after execution, before transmitting: the outcome
+    /// survives in the dedup window, every reply channel drops.
+    crash_after: bool,
+    /// The reply frame is lost: the outcome is cached, the channel drops,
+    /// the client retransmits into the cache.
+    drop_reply: bool,
+    /// The reply frame is truncated in transit; its checksum no longer
+    /// matches and the client retransmits.
+    corrupt_reply: bool,
+    /// The reply frame stalls on the wire after the outcome is cached —
+    /// exactly the window hedging exists to cut.
+    reply_delay: Duration,
 }
 
 /// One queued request: the owned envelope plus the rendezvous reply channel.
@@ -269,17 +359,50 @@ struct Job {
     cancel: Option<CancelToken>,
     enqueued_at: Instant,
     seq: u64,
-    reply: Sender<Result<ReplyFrame, CrawlError>>,
+    /// Idempotent request id: identical across retransmits, duplicates and
+    /// hedges of one logical request.
+    rid: u64,
+    chaos: JobChaos,
+    reply: Sender<Reply>,
+}
+
+/// One request id's entry in the dedup window.
+enum DedupEntry {
+    /// A worker is executing this id; later transmissions park their reply
+    /// senders here and the executor fans the outcome out.
+    InFlight(Vec<Sender<Reply>>),
+    /// The id's outcome, served verbatim to any later transmission.
+    Done(Reply),
+}
+
+/// Outcomes retained after completion; old entries are evicted FIFO. A
+/// retransmit always lands immediately after its lost frame, so a window
+/// this deep is effectively unbounded for real schedules.
+const DEDUP_WINDOW: usize = 256;
+
+/// Consecutive wire transmissions one `respond()` will attempt before
+/// giving up — a safety valve, not a policy; real chaos schedules never
+/// fault this many frames in a row.
+const RETRANSMIT_LIMIT: usize = 32;
+
+#[derive(Default)]
+struct DedupTable {
+    entries: HashMap<u64, DedupEntry>,
+    /// Completed ids in completion order, for FIFO eviction.
+    order: VecDeque<u64>,
 }
 
 /// State shared by the service and every connection: the service-side event
-/// bus and the billing counters for requests that never reach the inner
-/// source.
+/// bus, the billing counters for requests that never reach the inner
+/// source, the request-id allocator and the exactly-once dedup window.
 struct ServiceShared {
     bus: Mutex<EventBus>,
     shed: AtomicU64,
     cancelled: AtomicU64,
+    retransmitted: AtomicU64,
     seq: AtomicU64,
+    request_ids: AtomicU64,
+    dedup: Mutex<DedupTable>,
 }
 
 impl ServiceShared {
@@ -308,7 +431,10 @@ impl<S: DataSource + Send + Sync + 'static> SourceService<S> {
             bus: Mutex::new(EventBus::new()),
             shed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
+            retransmitted: AtomicU64::new(0),
             seq: AtomicU64::new(0),
+            request_ids: AtomicU64::new(0),
+            dedup: Mutex::new(DedupTable::default()),
         });
         let workers = (0..config.workers)
             .map(|_| {
@@ -329,10 +455,12 @@ impl<S: DataSource + Send + Sync + 'static> SourceService<S> {
             tx: self.tx.clone(),
             shared: Arc::clone(&self.shared),
             default_deadline: self.config.default_deadline,
+            chaos: None,
         }
     }
 
-    /// A round-robin pool of `n` connections. `n` must be positive.
+    /// A round-robin pool of `n` connections with per-connection circuit
+    /// breakers at the default thresholds. `n` must be positive.
     pub fn connect_pool(&self, n: usize) -> Result<ClientPool<S>, ConfigError> {
         if n == 0 {
             return Err(ConfigError::ZeroConnections);
@@ -340,6 +468,8 @@ impl<S: DataSource + Send + Sync + 'static> SourceService<S> {
         Ok(ClientPool {
             connections: (0..n).map(|_| self.connect()).collect(),
             cursor: AtomicUsize::new(0),
+            hedge_after: None,
+            breakers: (0..n).map(|_| Mutex::new(BreakerCell::default())).collect(),
         })
     }
 
@@ -369,6 +499,36 @@ impl<S: DataSource + Send + Sync + 'static> SourceService<S> {
     }
 }
 
+/// What the executing worker found when it claimed the job's request id.
+enum Claim {
+    /// First transmission: execute it.
+    Fresh,
+    /// Another worker is executing the id right now; the reply was parked.
+    Parked,
+    /// The id already completed; serve the cached outcome.
+    Served(Reply),
+}
+
+/// Applies the job's reply-side chaos and ships the payload (or loses it).
+fn ship_reply(job: &Job, mut payload: Reply) {
+    if job.chaos.drop_reply {
+        // The wire ate the reply frame: the sender drops with the job and
+        // the client's recv error triggers a retransmit.
+        return;
+    }
+    if !job.chaos.reply_delay.is_zero() {
+        thread::sleep(job.chaos.reply_delay);
+    }
+    if job.chaos.corrupt_reply {
+        if let Ok(frame) = &mut payload {
+            // The checksum still describes the intact frame, so the client
+            // detects the truncation and retransmits.
+            truncate_wire(&mut frame.wire);
+        }
+    }
+    let _ = job.reply.try_send(payload);
+}
+
 fn worker_loop<S: DataSource>(
     inner: Arc<S>,
     rx: Receiver<Job>,
@@ -376,6 +536,17 @@ fn worker_loop<S: DataSource>(
     config: ServeConfig,
 ) {
     while let Ok(job) = rx.recv() {
+        let latency = |job: &Job| job.enqueued_at.elapsed().as_micros() as u64;
+        if job.chaos.crash_before {
+            // The worker dies holding the request and the supervisor
+            // restarts it: the round is billed cancelled, no dedup entry
+            // was claimed, and the dropped reply channel makes the client
+            // retransmit — which re-executes from scratch.
+            shared.cancelled.fetch_add(1, Ordering::Relaxed);
+            shared.emit(CrawlEvent::RequestCancelled);
+            shared.emit(CrawlEvent::ServiceRestarted);
+            continue;
+        }
         let expired = job.deadline.is_some_and(|d| Instant::now() >= d);
         let fired = job.cancel.as_ref().is_some_and(CancelToken::is_cancelled);
         if expired || fired {
@@ -383,6 +554,47 @@ fn worker_loop<S: DataSource>(
             shared.emit(CrawlEvent::RequestCancelled);
             let _ = job.reply.try_send(Err(CrawlError::Cancelled));
             continue;
+        }
+        if !job.chaos.exec_delay.is_zero() {
+            // Chaos wire delay: the frame arrived late. Sleeping before the
+            // dedup claim is what lets a hedge overtake a stalled primary.
+            thread::sleep(job.chaos.exec_delay);
+        }
+        let claim = {
+            let mut dedup = shared.dedup.lock().expect("dedup poisoned");
+            match dedup.entries.get_mut(&job.rid) {
+                None => {
+                    dedup.entries.insert(job.rid, DedupEntry::InFlight(Vec::new()));
+                    Claim::Fresh
+                }
+                Some(DedupEntry::InFlight(waiters)) => {
+                    waiters.push(job.reply.clone());
+                    Claim::Parked
+                }
+                Some(DedupEntry::Done(outcome)) => Claim::Served(outcome.clone()),
+            }
+        };
+        match claim {
+            Claim::Fresh => {}
+            Claim::Parked => {
+                // Billed as a new round (Definition 2.3 counts requests),
+                // but the executing worker will fan the single outcome out.
+                shared.retransmitted.fetch_add(1, Ordering::Relaxed);
+                shared.emit(CrawlEvent::FrameRetransmitted { request: job.rid });
+                shared.emit(CrawlEvent::RequestCompleted { latency_us: latency(&job) });
+                continue;
+            }
+            Claim::Served(mut outcome) => {
+                shared.retransmitted.fetch_add(1, Ordering::Relaxed);
+                shared.emit(CrawlEvent::FrameRetransmitted { request: job.rid });
+                let latency_us = latency(&job);
+                shared.emit(CrawlEvent::RequestCompleted { latency_us });
+                if let Ok(frame) = &mut outcome {
+                    frame.latency_us = latency_us;
+                }
+                ship_reply(&job, outcome);
+                continue;
+            }
         }
         let modeled = config.latency.sample(config.seed, job.seq);
         if !modeled.is_zero() {
@@ -404,30 +616,75 @@ fn worker_loop<S: DataSource>(
         if !config.decode_per_record.is_zero() && records > 0 {
             thread::sleep(config.decode_per_record * records);
         }
-        let latency_us = job.enqueued_at.elapsed().as_micros() as u64;
+        let latency_us = latency(&job);
+        let payload: Reply = outcome.map(|resp| {
+            let wire = wire.expect("respond visits exactly once on success");
+            let checksum = wire_checksum(&wire);
+            ReplyFrame {
+                wire,
+                served_from_cache: resp.meta.served_from_cache,
+                latency_us,
+                checksum,
+            }
+        });
+        // Finalize the dedup entry *before* any reply leaves: once the
+        // client can observe completion, the cached outcome already exists,
+        // so a retransmit can never re-execute.
+        let waiters = {
+            let mut dedup = shared.dedup.lock().expect("dedup poisoned");
+            let waiters = match dedup.entries.insert(job.rid, DedupEntry::Done(payload.clone())) {
+                Some(DedupEntry::InFlight(waiters)) => waiters,
+                _ => Vec::new(),
+            };
+            dedup.order.push_back(job.rid);
+            while dedup.order.len() > DEDUP_WINDOW {
+                if let Some(old) = dedup.order.pop_front() {
+                    dedup.entries.remove(&old);
+                }
+            }
+            waiters
+        };
         // Completed means "a worker finished processing it" — inner failures
         // included, so enqueued == completed + cancelled once drained.
         shared.emit(CrawlEvent::RequestCompleted { latency_us });
-        let frame = outcome.map(|resp| ReplyFrame {
-            wire: wire.expect("respond visits exactly once on success"),
-            served_from_cache: resp.meta.served_from_cache,
-            latency_us,
-        });
-        let _ = job.reply.try_send(frame);
+        if job.chaos.crash_after {
+            // Crash between execute and transmit: the outcome survives in
+            // the dedup window, every reply channel (ours and the parked
+            // ones) drops, and every waiting client retransmits into the
+            // cache — exactly-once across the crash.
+            shared.emit(CrawlEvent::ServiceRestarted);
+            continue;
+        }
+        for waiter in waiters {
+            let _ = waiter.try_send(payload.clone());
+        }
+        ship_reply(&job, payload);
     }
+}
+
+/// What one submit attempt produced.
+enum SubmitOutcome {
+    /// The request frame reached the queue; await the reply here. Carries
+    /// the queue depth observed at admission.
+    Wait(Receiver<Reply>, u32),
+    /// The chaos wire ate the request frame before the service saw it:
+    /// nothing was billed; retransmit immediately.
+    RequestFrameLost,
 }
 
 /// The client half of the protocol transport: a [`DataSource`] that frames
 /// each request into the service's bounded queue and re-parses the reply.
 ///
 /// Billing: `rounds_used()` is the inner source's counter plus the service's
-/// shed and cancelled counters — every request offered to the service costs
-/// one round no matter how it ends.
+/// shed, cancelled and retransmitted counters — every request that reached
+/// the service costs one round no matter how it ends, and frames the wire
+/// ate before admission cost nothing.
 pub struct Connection<S> {
     inner: Arc<S>,
     tx: Sender<Job>,
     shared: Arc<ServiceShared>,
     default_deadline: Option<Duration>,
+    chaos: Option<Arc<ChaosState>>,
 }
 
 impl<S> std::fmt::Debug for Connection<S> {
@@ -435,6 +692,7 @@ impl<S> std::fmt::Debug for Connection<S> {
         f.debug_struct("Connection")
             .field("queued", &self.tx.len())
             .field("default_deadline", &self.default_deadline)
+            .field("chaos", &self.chaos.is_some())
             .finish()
     }
 }
@@ -446,19 +704,76 @@ impl<S> Clone for Connection<S> {
             tx: self.tx.clone(),
             shared: Arc::clone(&self.shared),
             default_deadline: self.default_deadline,
+            chaos: self.chaos.clone(),
         }
     }
 }
 
-impl<S: DataSource> DataSource for Connection<S> {
-    fn respond(
-        &self,
-        request: &SourceRequest<'_>,
-        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
-    ) -> Result<SourceResponse, CrawlError> {
-        let (reply_tx, reply_rx) = bounded(1);
+impl<S> Connection<S> {
+    /// Interposes a chaos wire between this connection and the service.
+    /// Connections sharing one [`ChaosState`] share its frame counter, so a
+    /// plan's frame indices count transmissions across all of them.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosState>) -> Self {
+        self.chaos = Some(chaos);
+        self
+    }
+}
+
+impl<S: DataSource> Connection<S> {
+    /// Transmits one wire frame pair's worth of request: decides the chaos
+    /// fate of the request and reply frames, builds the job, and offers it
+    /// to the queue.
+    fn submit(&self, request: &SourceRequest<'_>, rid: u64) -> Result<SubmitOutcome, CrawlError> {
+        let mut jc = JobChaos::default();
+        let mut duplicate = false;
+        if let Some(chaos) = &self.chaos {
+            if chaos.is_halted() {
+                return Err(CrawlError::Cancelled);
+            }
+            let (frame, fault) = chaos.next_frame();
+            if let Some(kind) = fault {
+                chaos.note(kind);
+                match kind {
+                    // A corrupted request frame fails service-side framing
+                    // and is discarded — observably a drop, like a downed
+                    // link. None of these reach the service: unbilled.
+                    ChaosKind::Drop | ChaosKind::Corrupt | ChaosKind::Disconnect => {
+                        self.shared.emit(CrawlEvent::FrameDropped { frame });
+                        return Ok(SubmitOutcome::RequestFrameLost);
+                    }
+                    ChaosKind::Stall => jc.exec_delay = chaos.plan().stall(),
+                    ChaosKind::Reorder => jc.exec_delay = chaos.plan().reorder(),
+                    ChaosKind::Duplicate => duplicate = true,
+                    ChaosKind::Crash => jc.crash_before = true,
+                    ChaosKind::Halt => return Err(CrawlError::Cancelled),
+                }
+            }
+            // The reply frame is allocated now: every chaos decision is made
+            // at submit time, so a schedule is a pure function of the frame
+            // counter, independent of worker timing.
+            let (reply_frame, reply_fault) = chaos.next_frame();
+            if let Some(kind) = reply_fault {
+                chaos.note(kind);
+                match kind {
+                    ChaosKind::Drop | ChaosKind::Disconnect => {
+                        jc.drop_reply = true;
+                        self.shared.emit(CrawlEvent::FrameDropped { frame: reply_frame });
+                    }
+                    ChaosKind::Corrupt => jc.corrupt_reply = true,
+                    ChaosKind::Stall => jc.reply_delay = chaos.plan().stall(),
+                    ChaosKind::Reorder => jc.reply_delay = chaos.plan().reorder(),
+                    // A doubled reply is discarded by the client; tally only.
+                    ChaosKind::Duplicate => {}
+                    ChaosKind::Crash => jc.crash_after = true,
+                    // The halt latched; it takes effect on the next
+                    // transmission, after this request completes.
+                    ChaosKind::Halt => {}
+                }
+            }
+        }
         let deadline =
             request.deadline.or_else(|| self.default_deadline.map(|d| Instant::now() + d));
+        let (reply_tx, reply_rx) = bounded(1);
         let job = Job {
             query: request.query.clone(),
             page_index: request.page_index,
@@ -467,6 +782,8 @@ impl<S: DataSource> DataSource for Connection<S> {
             cancel: request.cancel.cloned(),
             enqueued_at: Instant::now(),
             seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+            rid,
+            chaos: jc,
             reply: reply_tx,
         };
         match self.tx.try_send(job) {
@@ -482,19 +799,91 @@ impl<S: DataSource> DataSource for Connection<S> {
         }
         let depth = self.tx.len() as u32;
         self.shared.emit(CrawlEvent::RequestEnqueued { depth });
-        let frame = reply_rx.recv().map_err(|_| CrawlError::Cancelled)??;
-        let page = parse_page_ref(&frame.wire).map_err(|_| CrawlError::CorruptPage)?;
-        let meta = PageMeta {
-            page_index: page.page_index,
-            total_matches: page.total_matches,
-            has_more: page.has_more,
-            served_from_cache: frame.served_from_cache,
-        };
-        visit(&page);
-        Ok(SourceResponse {
-            meta,
-            service: Some(ServiceMeta { queue_depth: depth, latency_us: frame.latency_us }),
-        })
+        if duplicate {
+            // The wire doubled the request frame: a second job with the
+            // same request id. The dedup window bills it as a retransmit
+            // and never re-executes; its reply channel is discarded.
+            let (dup_tx, _dup_rx) = bounded(1);
+            let dup = Job {
+                query: request.query.clone(),
+                page_index: request.page_index,
+                prober: request.prober,
+                deadline,
+                cancel: request.cancel.cloned(),
+                enqueued_at: Instant::now(),
+                seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
+                rid,
+                chaos: JobChaos::default(),
+                reply: dup_tx,
+            };
+            match self.tx.try_send(dup) {
+                Ok(()) => {
+                    self.shared.emit(CrawlEvent::RequestEnqueued { depth: self.tx.len() as u32 });
+                }
+                Err(TrySendError::Full(_)) => {
+                    self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                    self.shared.emit(CrawlEvent::RequestShed);
+                }
+                Err(TrySendError::Disconnected(_)) => {}
+            }
+        }
+        Ok(SubmitOutcome::Wait(reply_rx, depth))
+    }
+
+    /// The full client-side protocol for one logical request: transmit,
+    /// await, verify, and retransmit with the same request id until the
+    /// wire yields an intact frame (or a definitive error).
+    fn respond_with_rid(
+        &self,
+        request: &SourceRequest<'_>,
+        rid: u64,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<SourceResponse, CrawlError> {
+        for _ in 0..RETRANSMIT_LIMIT {
+            let (reply_rx, depth) = match self.submit(request, rid)? {
+                SubmitOutcome::Wait(rx, depth) => (rx, depth),
+                SubmitOutcome::RequestFrameLost => continue,
+            };
+            let frame = match reply_rx.recv() {
+                Ok(Ok(frame)) => frame,
+                // A definitive outcome from the service (inner error,
+                // cancel, …) ends the protocol — no retransmission.
+                Ok(Err(e)) => return Err(e),
+                // The reply channel died without an answer: the reply frame
+                // was lost or the worker crashed. Retransmit; the dedup
+                // window guarantees we never re-execute a completed request.
+                Err(_) => continue,
+            };
+            if wire_checksum(&frame.wire) != frame.checksum {
+                // Truncated in transit; the intact frame is cached.
+                continue;
+            }
+            let page = parse_page_ref(&frame.wire).map_err(|_| CrawlError::CorruptPage)?;
+            let meta = PageMeta {
+                page_index: page.page_index,
+                total_matches: page.total_matches,
+                has_more: page.has_more,
+                served_from_cache: frame.served_from_cache,
+            };
+            visit(&page);
+            return Ok(SourceResponse {
+                meta,
+                service: Some(ServiceMeta { queue_depth: depth, latency_us: frame.latency_us }),
+            });
+        }
+        // The wire never stabilized within the safety valve.
+        Err(CrawlError::Cancelled)
+    }
+}
+
+impl<S: DataSource> DataSource for Connection<S> {
+    fn respond(
+        &self,
+        request: &SourceRequest<'_>,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<SourceResponse, CrawlError> {
+        let rid = self.shared.request_ids.fetch_add(1, Ordering::Relaxed);
+        self.respond_with_rid(request, rid, visit)
     }
 
     fn interface(&self) -> &InterfaceSpec {
@@ -505,20 +894,101 @@ impl<S: DataSource> DataSource for Connection<S> {
         self.inner.rounds_used()
             + self.shared.shed.load(Ordering::Relaxed)
             + self.shared.cancelled.load(Ordering::Relaxed)
+            + self.shared.retransmitted.load(Ordering::Relaxed)
     }
+}
+
+/// One connection's circuit breaker plus the failure streak feeding it.
+struct BreakerCell {
+    breaker: CircuitBreaker,
+    streak: u32,
+}
+
+impl Default for BreakerCell {
+    fn default() -> Self {
+        BreakerCell { breaker: CircuitBreaker::new(BreakerConfig::default()), streak: 0 }
+    }
+}
+
+/// An owned copy of a request envelope, so hedge attempts can cross thread
+/// boundaries.
+#[derive(Clone)]
+struct OwnedRequest {
+    query: Query,
+    page_index: usize,
+    prober: ProberMode,
+    deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+}
+
+impl OwnedRequest {
+    fn capture(request: &SourceRequest<'_>) -> Self {
+        OwnedRequest {
+            query: request.query.clone(),
+            page_index: request.page_index,
+            prober: request.prober,
+            deadline: request.deadline,
+            cancel: request.cancel.cloned(),
+        }
+    }
+
+    /// Swaps in the pool-owned hedge token, so the pool can cancel a losing
+    /// hedge without ever firing the caller's (crawl-wide) token.
+    fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    fn as_request(&self) -> SourceRequest<'_> {
+        SourceRequest {
+            query: &self.query,
+            page_index: self.page_index,
+            prober: self.prober,
+            deadline: self.deadline,
+            cancel: self.cancel.as_ref(),
+        }
+    }
+}
+
+/// Runs one transmission protocol attempt on its own thread, reporting the
+/// outcome (and the harvested page) on `tx`.
+fn spawn_attempt<S: DataSource + Send + Sync + 'static>(
+    conn: Connection<S>,
+    request: OwnedRequest,
+    rid: u64,
+    tx: Sender<(Result<SourceResponse, CrawlError>, Option<ExtractedPage>)>,
+) {
+    thread::spawn(move || {
+        let mut page = None;
+        let result = conn.respond_with_rid(&request.as_request(), rid, &mut |view| {
+            page = Some(view.to_owned_page());
+        });
+        let _ = tx.try_send((result, page));
+    });
 }
 
 /// A round-robin pool of [`Connection`]s — the fleet-facing client when N
 /// logical connections share one service. Also a [`DataSource`]; the round
 /// counters are shared, so billing is global across the pool.
+///
+/// Every pool carries a circuit breaker per connection: streaks of
+/// [`CrawlError::Rejected`] / [`CrawlError::Cancelled`] trip the connection
+/// out of rotation until its cooldown elapses and a half-open probe
+/// succeeds. [`with_hedging`](ClientPool::with_hedging) additionally races
+/// a same-id duplicate of any request whose reply exceeds the threshold.
 pub struct ClientPool<S> {
     connections: Vec<Connection<S>>,
     cursor: AtomicUsize,
+    hedge_after: Option<Duration>,
+    breakers: Vec<Mutex<BreakerCell>>,
 }
 
 impl<S> std::fmt::Debug for ClientPool<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ClientPool").field("connections", &self.connections.len()).finish()
+        f.debug_struct("ClientPool")
+            .field("connections", &self.connections.len())
+            .field("hedge_after", &self.hedge_after)
+            .finish()
     }
 }
 
@@ -527,16 +997,153 @@ impl<S> ClientPool<S> {
     pub fn connections(&self) -> usize {
         self.connections.len()
     }
+
+    /// Enables request hedging: when a reply takes longer than `threshold`,
+    /// the pool races a duplicate (same request id — the dedup window makes
+    /// the race safe) on the next connection and takes whichever reply
+    /// lands first, cancelling the loser.
+    pub fn with_hedging(mut self, threshold: Duration) -> Self {
+        self.hedge_after = Some(threshold);
+        self
+    }
+
+    /// Replaces every connection's circuit breaker with one at the given
+    /// thresholds (streaks reset).
+    pub fn with_breakers(self, config: BreakerConfig) -> Self {
+        for cell in &self.breakers {
+            let mut cell = cell.lock().expect("breaker poisoned");
+            cell.breaker = CircuitBreaker::new(config);
+            cell.streak = 0;
+        }
+        self
+    }
+
+    /// Interposes one chaos wire in front of every connection in the pool.
+    /// They share the frame counter, so plan indices count transmissions
+    /// pool-wide.
+    pub fn with_chaos(mut self, chaos: Arc<ChaosState>) -> Self {
+        for conn in &mut self.connections {
+            conn.chaos = Some(Arc::clone(&chaos));
+        }
+        self
+    }
+
+    fn emit_transition(&self, idx: usize, from: BreakerPhase, to: BreakerPhase) {
+        self.connections[idx].shared.emit(CrawlEvent::BreakerTransition {
+            job: idx as u32,
+            from,
+            to,
+        });
+    }
+
+    /// One allocation round: cool open breakers, then pick the round-robin
+    /// choice, skipping connections whose breaker is open. With every
+    /// breaker open the pool degrades to plain round-robin rather than
+    /// refusing service.
+    fn pick(&self) -> usize {
+        let n = self.connections.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        for (idx, cell) in self.breakers.iter().enumerate() {
+            let transition = cell.lock().expect("breaker poisoned").breaker.tick();
+            if let Some((from, to)) = transition {
+                self.emit_transition(idx, from, to);
+            }
+        }
+        for offset in 0..n {
+            let idx = (start + offset) % n;
+            if !self.breakers[idx].lock().expect("breaker poisoned").breaker.is_open() {
+                return idx;
+            }
+        }
+        start
+    }
+
+    /// Feeds one dispatch outcome into the chosen connection's breaker.
+    /// Service-level failures (shed, cancelled) count against the
+    /// connection; inner-source errors travelled the wire fine and do not.
+    fn settle(&self, idx: usize, outcome: &Result<SourceResponse, CrawlError>) {
+        let failed = matches!(outcome, Err(CrawlError::Rejected) | Err(CrawlError::Cancelled));
+        let transition = {
+            let mut cell = self.breakers[idx].lock().expect("breaker poisoned");
+            cell.streak = if failed { cell.streak.saturating_add(1) } else { 0 };
+            let streak = cell.streak;
+            let transition = cell.breaker.observe(streak);
+            if let Some((_, BreakerPhase::Open)) = transition {
+                // The streak restarts its count toward the next trip; the
+                // half-open probe's own outcome decides recovery.
+                cell.streak = 0;
+            }
+            transition
+        };
+        if let Some((from, to)) = transition {
+            self.emit_transition(idx, from, to);
+        }
+    }
 }
 
-impl<S: DataSource> DataSource for ClientPool<S> {
+impl<S: DataSource + Send + Sync + 'static> ClientPool<S> {
+    /// The hedged transmission protocol: run the primary attempt on its own
+    /// thread, and if the reply outlives the threshold, race a same-id
+    /// duplicate on the next connection. First intact reply wins; the
+    /// loser's token is fired so a still-queued hedge cancels instead of
+    /// executing.
+    fn respond_hedged(
+        &self,
+        primary: usize,
+        threshold: Duration,
+        request: &SourceRequest<'_>,
+        visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
+    ) -> Result<SourceResponse, CrawlError> {
+        let conn = &self.connections[primary];
+        let rid = conn.shared.request_ids.fetch_add(1, Ordering::Relaxed);
+        let owned = OwnedRequest::capture(request);
+        let (tx, rx) = bounded(2);
+        spawn_attempt(conn.clone(), owned.clone(), rid, tx.clone());
+        let (result, page) = match rx.recv_timeout(threshold) {
+            Ok(first) => first,
+            Err(RecvTimeoutError::Timeout) => {
+                conn.shared.emit(CrawlEvent::Hedged { request: rid });
+                let hedge_token = CancelToken::new();
+                let hedge_idx = (primary + 1) % self.connections.len();
+                spawn_attempt(
+                    self.connections[hedge_idx].clone(),
+                    owned.with_cancel(hedge_token.clone()),
+                    rid,
+                    tx,
+                );
+                match rx.recv() {
+                    Ok(first) => {
+                        // First reply wins. If the primary won, this cancels
+                        // the hedge wherever it still queues; if the hedge
+                        // won, the token is already spent.
+                        hedge_token.cancel();
+                        first
+                    }
+                    Err(_) => return Err(CrawlError::Cancelled),
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return Err(CrawlError::Cancelled),
+        };
+        let response = result?;
+        let page = page.expect("winning attempt visited exactly once");
+        visit(&ExtractedPageRef::borrowed(&page));
+        Ok(response)
+    }
+}
+
+impl<S: DataSource + Send + Sync + 'static> DataSource for ClientPool<S> {
     fn respond(
         &self,
         request: &SourceRequest<'_>,
         visit: &mut dyn FnMut(&ExtractedPageRef<'_>),
     ) -> Result<SourceResponse, CrawlError> {
-        let next = self.cursor.fetch_add(1, Ordering::Relaxed) % self.connections.len();
-        self.connections[next].respond(request, visit)
+        let idx = self.pick();
+        let outcome = match self.hedge_after {
+            None => self.connections[idx].respond(request, visit),
+            Some(threshold) => self.respond_hedged(idx, threshold, request, visit),
+        };
+        self.settle(idx, &outcome);
+        outcome
     }
 
     fn interface(&self) -> &InterfaceSpec {
@@ -552,6 +1159,7 @@ impl<S: DataSource> DataSource for ClientPool<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::chaos::ChaosPlan;
     use crate::events::MemorySink;
     use crate::metrics::replay_service_report;
     use dwc_model::fixtures::figure1_table;
@@ -566,6 +1174,30 @@ mod tests {
 
     fn a2(server: &WebDbServer) -> Query {
         Query::Value(server.table().interner().get(AttrId(0), "a2").unwrap())
+    }
+
+    /// A service over the figure-1 fixture with a chaos wire on one
+    /// connection.
+    fn chaos_rig(
+        plan: ChaosPlan,
+    ) -> (Arc<WebDbServer>, SourceService<WebDbServer>, Connection<WebDbServer>, Arc<ChaosState>)
+    {
+        let inner = Arc::new(server());
+        let service = SourceService::start(Arc::clone(&inner), ServeConfig::default());
+        let chaos = Arc::new(ChaosState::new(plan));
+        let conn = service.connect().with_chaos(Arc::clone(&chaos));
+        (inner, service, conn, chaos)
+    }
+
+    fn fetch_owned(
+        conn: &Connection<WebDbServer>,
+        query: &Query,
+    ) -> Result<crate::extract::ExtractedPage, CrawlError> {
+        let mut owned = None;
+        conn.respond(&SourceRequest::new(query, 0, ProberMode::Wire), &mut |page| {
+            owned = Some(page.to_owned_page());
+        })?;
+        Ok(owned.expect("respond visits exactly once on success"))
     }
 
     #[test]
@@ -636,6 +1268,8 @@ mod tests {
         assert_eq!(report.completed, 1);
         assert_eq!(report.shed, 0);
         assert_eq!(report.shed_rate(), 0.0);
+        assert_eq!(report.retransmitted, 0);
+        assert_eq!(report.frames_dropped, 0);
     }
 
     #[test]
@@ -780,5 +1414,197 @@ mod tests {
             LatencyModel::Fixed(Duration::from_millis(3)).sample(1, 2),
             Duration::from_millis(3)
         );
+    }
+
+    #[test]
+    fn dropped_request_frames_bill_nothing_and_retransmit() {
+        // Frame 1 is the first request frame: the wire eats it.
+        let (inner, service, conn, chaos) = chaos_rig(ChaosPlan::new().drop_at(1));
+        let query = a2(&inner);
+        let direct = {
+            let mut owned = None;
+            inner
+                .respond(&SourceRequest::new(&query, 0, ProberMode::Wire), &mut |page| {
+                    owned = Some(page.to_owned_page());
+                })
+                .unwrap();
+            owned.unwrap()
+        };
+        let served = fetch_owned(&conn, &query).unwrap();
+        assert_eq!(served, direct, "retransmitted payload is byte-identical");
+        // The dropped frame never reached the service: only the retransmit
+        // (which executed) is billed.
+        assert_eq!(inner.rounds_used(), 2, "direct probe + one service execution");
+        assert_eq!(conn.rounds_used(), inner.rounds_used());
+        assert_eq!(chaos.tally().dropped, 1);
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(report.frames_dropped, 1);
+        assert_eq!(report.retransmitted, 0, "the retransmit executed fresh, no dedup hit");
+        assert_eq!(report.enqueued, 1);
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn dropped_reply_is_billed_once_executed_once_served_from_dedup() {
+        // Frame 2 is the first reply frame: executed, then lost on the wire.
+        let (inner, service, conn, _chaos) = chaos_rig(ChaosPlan::new().drop_at(2));
+        let query = a2(&inner);
+        let served = fetch_owned(&conn, &query).unwrap();
+        assert!(!served.records.is_empty());
+        assert_eq!(inner.rounds_used(), 1, "executed exactly once");
+        // One executed + one retransmit served from the dedup window.
+        assert_eq!(conn.rounds_used(), 2);
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(report.frames_dropped, 1);
+        assert_eq!(report.retransmitted, 1);
+        assert_eq!(report.enqueued, 2);
+        assert_eq!(report.completed, 2);
+        // Conservation: rounds = executed + shed + cancelled + retransmitted.
+        assert_eq!(
+            conn_rounds(&report, inner.rounds_used()),
+            2,
+            "billing conservation under reply loss"
+        );
+    }
+
+    /// `executed + shed + cancelled + retransmitted`, the conservation sum.
+    fn conn_rounds(report: &ServiceReport, executed: u64) -> u64 {
+        executed + report.shed + report.cancelled + report.retransmitted
+    }
+
+    #[test]
+    fn corrupted_reply_retransmits_and_serves_the_intact_frame() {
+        let (inner, service, conn, chaos) = chaos_rig(ChaosPlan::new().corrupt_at(2));
+        let query = a2(&inner);
+        let served = fetch_owned(&conn, &query).unwrap();
+        assert!(!served.records.is_empty(), "client never sees the truncated frame");
+        assert_eq!(inner.rounds_used(), 1);
+        assert_eq!(conn.rounds_used(), 2);
+        assert_eq!(chaos.tally().corrupted, 1);
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(report.retransmitted, 1);
+    }
+
+    #[test]
+    fn crash_before_execution_bills_cancelled_and_reexecutes() {
+        let (inner, service, conn, _chaos) = chaos_rig(ChaosPlan::new().crash_at(1));
+        let query = a2(&inner);
+        assert!(fetch_owned(&conn, &query).is_ok());
+        assert_eq!(inner.rounds_used(), 1, "the retransmit is the only execution");
+        // Crashed attempt billed cancelled + the retransmit executed.
+        assert_eq!(conn.rounds_used(), 2);
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.cancelled, 1);
+        assert_eq!(report.retransmitted, 0, "nothing was cached before the crash");
+        assert_eq!(report.completed, 1);
+    }
+
+    #[test]
+    fn crash_after_execution_survives_via_the_dedup_window() {
+        // Frame 2 = reply frame of the first request: crash after execute.
+        let (inner, service, conn, _chaos) = chaos_rig(ChaosPlan::new().crash_at(2));
+        let query = a2(&inner);
+        assert!(fetch_owned(&conn, &query).is_ok());
+        assert_eq!(inner.rounds_used(), 1, "exactly-once across the crash");
+        assert_eq!(conn.rounds_used(), 2);
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(report.restarts, 1);
+        assert_eq!(report.cancelled, 0);
+        assert_eq!(report.retransmitted, 1, "the retransmit was served from the dedup window");
+        assert_eq!(report.enqueued, 2);
+        assert_eq!(report.completed, 2);
+    }
+
+    #[test]
+    fn halt_fails_unbilled() {
+        let (inner, service, conn, chaos) = chaos_rig(ChaosPlan::new().halt_at(1));
+        let query = a2(&inner);
+        assert_eq!(fetch_owned(&conn, &query).unwrap_err(), CrawlError::Cancelled);
+        assert!(chaos.is_halted());
+        assert_eq!(conn.rounds_used(), 0, "a halted service bills nothing");
+        assert_eq!(fetch_owned(&conn, &query).unwrap_err(), CrawlError::Cancelled);
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(report.enqueued, 0);
+    }
+
+    #[test]
+    fn duplicated_request_frame_is_billed_but_not_reexecuted() {
+        let (inner, service, conn, chaos) = chaos_rig(ChaosPlan::new().duplicate_at(1));
+        let query = a2(&inner);
+        assert!(fetch_owned(&conn, &query).is_ok());
+        // Wait for the duplicate job to drain before reading counters.
+        drop(conn);
+        let report = service.shutdown();
+        assert_eq!(inner.rounds_used(), 1, "the double executes once");
+        assert_eq!(chaos.tally().duplicated, 1);
+        assert_eq!(report.enqueued, 2);
+        assert_eq!(report.completed, 2);
+        assert_eq!(report.retransmitted, 1);
+    }
+
+    #[test]
+    fn hedging_races_a_duplicate_and_executes_once() {
+        let inner = Arc::new(server());
+        let query = a2(&inner);
+        let config = ServeConfig::builder()
+            .workers(2)
+            .latency(LatencyModel::Fixed(Duration::from_millis(20)))
+            .build()
+            .unwrap();
+        let service = SourceService::start(Arc::clone(&inner), config);
+        let pool = service.connect_pool(2).unwrap().with_hedging(Duration::from_millis(1));
+        let mut seen = false;
+        pool.respond(&SourceRequest::new(&query, 0, ProberMode::Wire), &mut |_| seen = true)
+            .unwrap();
+        assert!(seen);
+        drop(pool);
+        let report = service.shutdown();
+        assert_eq!(report.hedged, 1, "the 20ms reply outlived the 1ms threshold");
+        assert_eq!(inner.rounds_used(), 1, "dedup keeps the race exactly-once");
+        // The hedge is billed: one executed + one retransmitted round.
+        assert_eq!(report.retransmitted, 1);
+    }
+
+    #[test]
+    fn breaker_trips_out_of_rotation_and_recovers_via_half_open_probe() {
+        let inner = Arc::new(server());
+        let query = a2(&inner);
+        let service = SourceService::start(Arc::clone(&inner), ServeConfig::default());
+        let pool = service
+            .connect_pool(1)
+            .unwrap()
+            .with_breakers(BreakerConfig { trip_after: 2, cooldown: 1 });
+        // Two service-level failures (expired deadlines) trip the breaker.
+        for _ in 0..2 {
+            let expired =
+                SourceRequest::new(&query, 0, ProberMode::Wire).with_deadline(Instant::now());
+            assert_eq!(pool.respond(&expired, &mut |_| {}).unwrap_err(), CrawlError::Cancelled);
+        }
+        // Next dispatch ticks the cooldown into HalfOpen and probes; the
+        // clean probe recovers the breaker.
+        pool.respond(&SourceRequest::new(&query, 0, ProberMode::Wire), &mut |_| {}).unwrap();
+        pool.respond(&SourceRequest::new(&query, 0, ProberMode::Wire), &mut |_| {}).unwrap();
+        drop(pool);
+        let report = service.shutdown();
+        assert_eq!(report.breaker_trips, 1);
+        assert_eq!(report.breaker_recoveries, 1);
+    }
+
+    #[test]
+    fn checksum_catches_truncation_and_roundtrips_cleanly() {
+        let intact = "<page><r a=\"x\"/></page>".to_owned();
+        let sum = wire_checksum(&intact);
+        assert_eq!(sum, wire_checksum(&intact.clone()));
+        let mut cut = intact.clone();
+        truncate_wire(&mut cut);
+        assert!(cut.len() < intact.len());
+        assert_ne!(wire_checksum(&cut), sum);
     }
 }

@@ -29,9 +29,9 @@
 //! `Arc<WebDbServer>` clones hand every worker the same atomic round
 //! counter, so the source is billed globally no matter who asks.
 
-use crate::extract::{
-    parse_html_page_ref, parse_page_ref, ExtractedPage, ExtractedPageRef, ExtractedRecordRef,
-};
+#[cfg(any(feature = "compat", test))]
+use crate::extract::ExtractedPage;
+use crate::extract::{parse_html_page_ref, parse_page_ref, ExtractedPageRef, ExtractedRecordRef};
 use dwc_server::{InterfaceSpec, Query, RenderFormat, ServerError, WebDbServer};
 use std::borrow::Cow;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -275,6 +275,11 @@ pub trait DataSource {
 
     /// Requests one result page of `query`, materialized per `prober`, as an
     /// owned [`ExtractedPage`].
+    ///
+    /// Pre-envelope compatibility shim, gated behind the `compat` feature.
+    /// No in-tree caller remains; external callers should migrate to
+    /// [`respond`](DataSource::respond).
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use `respond` with a `SourceRequest` envelope")]
     fn query_page(
         &self,
@@ -290,6 +295,9 @@ pub trait DataSource {
     }
 
     /// Zero-copy page fetch without the envelope.
+    ///
+    /// Pre-envelope compatibility shim, gated behind the `compat` feature.
+    #[cfg(feature = "compat")]
     #[deprecated(note = "use `respond` with a `SourceRequest` envelope")]
     fn visit_page(
         &self,
@@ -506,16 +514,18 @@ mod tests {
         Query::ByString { attr: "A".into(), value: "a2".into() }
     }
 
-    /// Fetches through the deprecated owned-page shim — kept exercised until
-    /// the shim is removed.
-    #[allow(deprecated)]
+    /// Fetches one page as an owned value through the envelope path.
     fn fetch<S: DataSource>(
         s: &S,
         query: &Query,
         page: usize,
         prober: ProberMode,
     ) -> Result<ExtractedPage, CrawlError> {
-        s.query_page(query, page, prober)
+        let mut owned = None;
+        s.respond(&SourceRequest::new(query, page, prober), &mut |view| {
+            owned = Some(view.to_owned_page());
+        })?;
+        Ok(owned.expect("respond visits exactly once on success"))
     }
 
     #[test]
@@ -567,8 +577,7 @@ mod tests {
         assert_eq!(DataSource::rounds_used(&s), 2, "one counter behind every handle");
     }
 
-    /// Materializes a page through the deprecated `visit_page` shim.
-    #[allow(deprecated)]
+    /// Materializes a page and its metadata through the envelope path.
     fn visit_owned<S: DataSource>(
         s: &S,
         query: &Query,
@@ -576,9 +585,10 @@ mod tests {
         prober: ProberMode,
     ) -> Result<(PageMeta, ExtractedPage), CrawlError> {
         let mut owned = None;
-        let meta =
-            s.visit_page(query, page, prober, &mut |view| owned = Some(view.to_owned_page()))?;
-        Ok((meta, owned.expect("visit runs on success")))
+        let resp = s.respond(&SourceRequest::new(query, page, prober), &mut |view| {
+            owned = Some(view.to_owned_page())
+        })?;
+        Ok((resp.meta, owned.expect("visit runs on success")))
     }
 
     #[test]

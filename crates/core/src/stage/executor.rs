@@ -187,7 +187,10 @@ impl Executor {
                 return PageFetch::GaveUp { transient: true };
             }
             if !matches!(err, CrawlError::Stalled { .. }) {
-                let wait = self.retry.backoff_before(attempt);
+                // Salting the jitter draw with elapsed rounds decorrelates
+                // clients that hit the same fault at different points in
+                // their crawls while keeping each crawl deterministic.
+                let wait = self.retry.backoff_jittered(attempt, bus.metrics().elapsed_rounds());
                 if wait > 0 {
                     bus.emit(CrawlEvent::BackoffBilled { rounds: wait });
                 }

@@ -59,6 +59,7 @@ fn main() -> ExitCode {
         Some("resume") => cmd_crawl(&args[1..], true),
         Some("fleet") => cmd_fleet(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
+        Some("chaos") => cmd_chaos(&args[1..]),
         Some("help") | None => {
             print!("{HELP}");
             Ok(())
@@ -96,6 +97,10 @@ USAGE:
             [--requests R] [--queue D] [--serve-workers W]
             [--latency-us N|MIN:MAX] [--decode-us N] [--deadline MS]
             [--page-size K]
+  dwc chaos <FILE.csv> --seed-value ATTR=VALUE... [--policy P] [--budget R]
+            [--page-size K] [--chaos-seed N] [--chaos-rate F]
+            [--chaos-horizon N] [--chaos-kind K[,K...]] [--chaos-plan SPEC]
+            [--connect N] [--serve-workers W] [--queue D] [--hedge-us N]
   dwc help
 
 Crash safety: --checkpoint-path enables periodic, atomic checkpointing
@@ -118,6 +123,15 @@ closed-loop clients, reporting req/s, shed rate, and p50/p95/p99 latency.
 `dwc crawl --connect N` drives the crawl itself through that service over a
 round-robin pool of N connections; the crawl report is identical to the
 in-process transport, and shed/cancelled requests are billed as rounds.
+
+Chaos testing: `dwc chaos` interposes a deterministic lossy wire between
+the crawl and the service. --chaos-plan takes an exact frame:kind schedule
+(e.g. \"12:drop,40:stall\"; kinds: drop dup reorder corrupt stall disconnect
+crash halt); otherwise a schedule is drawn from --chaos-seed / --chaos-rate
+/ --chaos-horizon / --chaos-kind. The run checks the chaos invariants
+(report absorption, billing conservation, replay parity) against a
+fault-free baseline; a violated schedule is ddmin-shrunk and reprinted as a
+reproducible --chaos-plan invocation. --hedge-us enables client hedging.
 ";
 
 /// Parsed command line: positional arguments plus accumulated `--flag value`
@@ -553,6 +567,270 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         report.p50_latency_us, report.p95_latency_us, report.p99_latency_us, report.max_latency_us
     );
     Ok(())
+}
+
+/// One chaos crawl: the table behind a [`SourceService`], a seeded lossy
+/// wire on every pooled connection, and the crawl driven through it.
+struct ChaosOutcome {
+    report: CrawlReport,
+    service: ServiceReport,
+    replayed: ServiceReport,
+    inner_rounds: u64,
+    pool_rounds: u64,
+    frames: u64,
+    tally: ChaosTally,
+}
+
+fn chaos_crawl(
+    table: &UniversalTableHandle,
+    plan: &ChaosPlan,
+    opts: &ChaosOptions,
+) -> Result<ChaosOutcome, String> {
+    use std::sync::Arc;
+    let interface = InterfaceSpec::permissive(table.schema(), opts.page_size);
+    let inner = Arc::new(WebDbServer::new(table.clone(), interface));
+    let serve_config = ServeConfig::builder()
+        .queue_depth(opts.queue_depth)
+        .workers(opts.serve_workers)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let service = SourceService::start(Arc::clone(&inner), serve_config);
+    let sink = MemorySink::new();
+    service.add_sink(Box::new(sink.clone()));
+    let chaos = Arc::new(ChaosState::new(plan.clone()));
+    let mut pool = service
+        .connect_pool(opts.connections)
+        .map_err(|e| e.to_string())?
+        .with_chaos(Arc::clone(&chaos));
+    if let Some(threshold) = opts.hedge {
+        pool = pool.with_hedging(threshold);
+    }
+    let mut crawler = Crawler::new(&pool, opts.policy.build(), opts.crawl.clone());
+    for (attr, value) in &opts.seeds {
+        if !crawler.add_seed(attr, value) {
+            return Err(format!("seed attribute {attr:?} is unknown or not queriable"));
+        }
+    }
+    let report = crawler.run();
+    // Chaos duplicates and losing hedges may still be draining; wait until
+    // every admitted request is accounted for before reading the bill.
+    loop {
+        let r = service.service_report();
+        if r.enqueued == r.completed + r.cancelled {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_micros(200));
+    }
+    let pool_rounds = pool.rounds_used();
+    drop(pool);
+    let service_report = service.shutdown();
+    Ok(ChaosOutcome {
+        report,
+        service: service_report,
+        replayed: deep_web_crawler::core::replay_service_report(&sink.collected()),
+        inner_rounds: inner.rounds_used(),
+        pool_rounds,
+        frames: chaos.frames_sent(),
+        tally: chaos.tally(),
+    })
+}
+
+/// The table type `load_csv` yields, aliased so `chaos_crawl` can clone it
+/// per run.
+type UniversalTableHandle = deep_web_crawler::model::UniversalTable;
+
+struct ChaosOptions {
+    seeds: Vec<(String, String)>,
+    policy: PolicyKind,
+    crawl: CrawlConfig,
+    page_size: usize,
+    connections: usize,
+    serve_workers: usize,
+    queue_depth: usize,
+    hedge: Option<std::time::Duration>,
+}
+
+/// Returns the first violated chaos invariant for `plan`, or `None`.
+fn chaos_violation(
+    table: &UniversalTableHandle,
+    plan: &ChaosPlan,
+    opts: &ChaosOptions,
+    baseline: &CrawlReport,
+) -> Result<Option<String>, String> {
+    let run = chaos_crawl(table, plan, opts)?;
+    if run.replayed != run.service {
+        return Ok(Some("replay parity broken: live report != replayed report".into()));
+    }
+    let billed =
+        run.inner_rounds + run.service.shed + run.service.cancelled + run.service.retransmitted;
+    if run.pool_rounds != billed {
+        return Ok(Some(format!(
+            "billing conservation broken: rounds_used {} != executed {} + shed {} + cancelled \
+             {} + retransmitted {}",
+            run.pool_rounds,
+            run.inner_rounds,
+            run.service.shed,
+            run.service.cancelled,
+            run.service.retransmitted
+        )));
+    }
+    let halts = plan.iter().any(|(_, k)| k == ChaosKind::Halt);
+    if halts {
+        if run.report.records > baseline.records {
+            return Ok(Some(format!(
+                "halted crawl harvested {} records, baseline only {}",
+                run.report.records, baseline.records
+            )));
+        }
+    } else if run.report != *baseline {
+        return Ok(Some(format!(
+            "crawl report diverged from the fault-free baseline: {} records / {} rounds vs {} / {}",
+            run.report.records, run.report.rounds, baseline.records, baseline.rounds
+        )));
+    }
+    Ok(None)
+}
+
+/// `dwc chaos`: a crawl through the serving tier behind a deterministic
+/// lossy wire, with the chaos invariants checked against a fault-free
+/// baseline and ddmin shrinking on violation.
+fn cmd_chaos(args: &[String]) -> Result<(), String> {
+    use std::time::Duration;
+    let (pos, flags) = parse_flags(args)?;
+    let path = pos.first().ok_or("chaos needs a CSV file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let table = load_csv(&text).map_err(|e| e.to_string())?;
+    let n = table.num_records();
+
+    let policy = parse_policy(flag(&flags, "policy").unwrap_or("gl"))?;
+    let page_size: usize =
+        flag(&flags, "page-size").unwrap_or("10").parse().map_err(|_| "bad --page-size")?;
+    let mut builder = CrawlConfig::builder().known_target_size(n).prober(ProberMode::Wire);
+    if let Some(b) = flag(&flags, "budget") {
+        builder = builder.max_rounds(b.parse().map_err(|_| "bad --budget")?);
+    }
+    let crawl = builder.build().map_err(|e| e.to_string())?;
+
+    let seeds: Vec<(String, String)> = flags
+        .iter()
+        .filter(|(name, _)| name == "seed-value")
+        .map(|(_, value)| {
+            value
+                .split_once('=')
+                .map(|(a, v)| (a.to_string(), v.to_string()))
+                .ok_or_else(|| format!("--seed-value wants ATTR=VALUE, got {value:?}"))
+        })
+        .collect::<Result<_, _>>()?;
+    if seeds.is_empty() {
+        return Err("chaos needs at least one --seed-value ATTR=VALUE".into());
+    }
+
+    let opts = ChaosOptions {
+        seeds,
+        policy,
+        crawl,
+        page_size,
+        connections: parse_connect(&flags)?.unwrap_or(1),
+        serve_workers: flag(&flags, "serve-workers")
+            .unwrap_or("1")
+            .parse()
+            .map_err(|_| "bad --serve-workers")?,
+        queue_depth: flag(&flags, "queue").unwrap_or("32").parse().map_err(|_| "bad --queue")?,
+        hedge: flag(&flags, "hedge-us")
+            .map(|v| v.parse::<u64>().map_err(|_| "bad --hedge-us"))
+            .transpose()?
+            .map(Duration::from_micros),
+    };
+
+    let (plan, origin) = match flag(&flags, "chaos-plan") {
+        Some(spec) => (ChaosPlan::from_spec(spec).map_err(|e| e.to_string())?, "explicit plan"),
+        None => {
+            let seed: u64 = flag(&flags, "chaos-seed")
+                .unwrap_or("1")
+                .parse()
+                .map_err(|_| "bad --chaos-seed")?;
+            let rate: f64 = flag(&flags, "chaos-rate")
+                .unwrap_or("0.1")
+                .parse()
+                .map_err(|_| "bad --chaos-rate")?;
+            let horizon: u64 = flag(&flags, "chaos-horizon")
+                .unwrap_or("256")
+                .parse()
+                .map_err(|_| "bad --chaos-horizon")?;
+            let kinds: Vec<ChaosKind> = match flag(&flags, "chaos-kind") {
+                None => ChaosKind::ALL.to_vec(),
+                Some(tokens) => tokens
+                    .split(',')
+                    .map(|t| {
+                        ChaosKind::parse(t.trim())
+                            .ok_or_else(|| format!("unknown chaos kind {t:?}"))
+                    })
+                    .collect::<Result<_, _>>()?,
+            };
+            (ChaosPlan::seeded(seed, horizon, rate, &kinds), "seeded plan")
+        }
+    };
+
+    // Fault-free baseline, same crawl, in process.
+    let baseline = {
+        let interface = InterfaceSpec::permissive(table.schema(), opts.page_size);
+        let server = WebDbServer::new(table.clone(), interface);
+        let mut crawler = Crawler::new(&server, opts.policy.build(), opts.crawl.clone());
+        for (attr, value) in &opts.seeds {
+            if !crawler.add_seed(attr, value) {
+                return Err(format!("seed attribute {attr:?} is unknown or not queriable"));
+            }
+        }
+        crawler.run()
+    };
+
+    let run = chaos_crawl(&table, &plan, &opts)?;
+    eprintln!("chaos      : {origin}, {} fault(s) over {} wire frames", plan.len(), run.frames);
+    eprintln!(
+        "injected   : {} dropped / {} dup / {} corrupt / {} stalled / {} reordered / {} \
+         disconnects / {} crashes{}",
+        run.tally.dropped,
+        run.tally.duplicated,
+        run.tally.corrupted,
+        run.tally.stalled,
+        run.tally.reordered,
+        run.tally.disconnects,
+        run.tally.crashes,
+        if run.tally.halted { " / HALTED" } else { "" }
+    );
+    println!("records    : {} / {} (baseline {})", run.report.records, n, baseline.records);
+    println!("rounds     : crawl {} / billed {}", run.report.rounds, run.pool_rounds);
+    println!(
+        "service    : {} completed / {} retransmitted / {} shed / {} cancelled / {} restarts / \
+         {} hedged",
+        run.service.completed,
+        run.service.retransmitted,
+        run.service.shed,
+        run.service.cancelled,
+        run.service.restarts,
+        run.service.hedged
+    );
+
+    match chaos_violation(&table, &plan, &opts, &baseline)? {
+        None => {
+            println!("invariants : absorption, conservation, replay parity — all hold");
+            Ok(())
+        }
+        Some(why) => {
+            eprintln!("invariant violated: {why}");
+            eprintln!("shrinking the schedule (ddmin)...");
+            let shrunk = shrink_plan(&plan, |p| {
+                matches!(chaos_violation(&table, p, &opts, &baseline), Ok(Some(_)))
+            });
+            Err(format!(
+                "{why}\nshrunk to {} fault(s); reproduce with:\n  dwc chaos {} --chaos-plan \
+                 \"{}\"",
+                shrunk.len(),
+                path,
+                shrunk.to_spec()
+            ))
+        }
+    }
 }
 
 /// Routes a resumed crawl through a one-job pooled fleet (`--workers N`):

@@ -50,13 +50,14 @@ pub use dwc_stats as stats;
 pub mod prelude {
     pub use dwc_core::policy::{MmmiConfig, PolicyKind, Saturation, SelectionPolicy};
     pub use dwc_core::{
-        run_fleet, run_fleet_supervised, AbortPolicy, AllocationStrategy, BreakerConfig,
-        CancelToken, Checkpoint, CheckpointStore, CircuitBreaker, ClientPool, ConfigError,
-        Connection, CrawlConfig, CrawlError, CrawlEvent, CrawlReport, CrawlTrace, Crawler,
-        DataSource, DomainTable, EventSink, FaultKind, FaultPlan, FaultPlanSource, FaultySource,
-        FleetConfig, FleetJob, FleetReport, JobHealth, JsonlSink, LatencyModel, MemorySink,
-        MetricsRegistry, ProberMode, QueryMode, RetryPolicy, SchedulerStats, ServeConfig,
-        ServiceReport, SourceRequest, SourceService, StopReason, StoreError,
+        run_fleet, run_fleet_supervised, shrink_plan, AbortPolicy, AllocationStrategy,
+        BreakerConfig, CancelToken, ChaosKind, ChaosPlan, ChaosState, ChaosTally, Checkpoint,
+        CheckpointStore, CircuitBreaker, ClientPool, ConfigError, Connection, CrawlConfig,
+        CrawlError, CrawlEvent, CrawlReport, CrawlTrace, Crawler, DataSource, DomainTable,
+        EventSink, FaultKind, FaultPlan, FaultPlanSource, FaultySource, FleetConfig, FleetJob,
+        FleetReport, JobHealth, JsonlSink, LatencyModel, MemorySink, MetricsRegistry, ProberMode,
+        QueryMode, RetryPolicy, SchedulerStats, ServeConfig, ServiceReport, SourceRequest,
+        SourceService, StopReason, StoreError,
     };
     pub use dwc_datagen::presets::Preset;
     pub use dwc_datagen::{PairedDataset, PairedSpec};

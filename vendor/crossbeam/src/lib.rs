@@ -268,6 +268,26 @@ pub mod channel {
     #[derive(Debug, Clone, Copy, PartialEq, Eq)]
     pub struct RecvError;
 
+    /// `try_recv` failure: nothing queued right now, or nothing queued and
+    /// every sender gone. Mirrors `crossbeam-channel::TryRecvError`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is empty but senders remain.
+        Empty,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
+    /// `recv_timeout` failure: the wait elapsed, or every sender is gone.
+    /// Mirrors `crossbeam-channel::RecvTimeoutError`.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// No message arrived within the timeout.
+        Timeout,
+        /// The channel is empty and every sender has been dropped.
+        Disconnected,
+    }
+
     struct Shared<T> {
         queue: Mutex<State<T>>,
         not_empty: Condvar,
@@ -363,6 +383,47 @@ pub mod channel {
             }
         }
 
+        /// Pops a queued message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            if let Some(value) = state.buf.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                return Err(TryRecvError::Disconnected);
+            }
+            Err(TryRecvError::Empty)
+        }
+
+        /// Blocks until a message arrives, every sender is gone, or
+        /// `timeout` elapses — whichever comes first.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.queue.lock().expect("channel poisoned");
+            loop {
+                if let Some(value) = state.buf.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, wait) = self
+                    .shared
+                    .not_empty
+                    .wait_timeout(state, remaining)
+                    .expect("channel poisoned");
+                state = guard;
+                if wait.timed_out() && state.buf.is_empty() && state.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+            }
+        }
+
         /// Messages currently queued.
         pub fn len(&self) -> usize {
             self.shared.queue.lock().expect("channel poisoned").buf.len()
@@ -451,6 +512,37 @@ mod tests {
             tx.try_send(3).unwrap();
             assert_eq!(rx.recv(), Ok(2));
             assert_eq!(rx.recv(), Ok(3));
+        }
+
+        #[test]
+        fn try_recv_and_recv_timeout_observe_messages_and_disconnects() {
+            use crate::channel::{RecvTimeoutError, TryRecvError};
+            use std::time::Duration;
+            let (tx, rx) = bounded(2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(RecvTimeoutError::Timeout));
+            tx.try_send(7).unwrap();
+            assert_eq!(rx.try_recv(), Ok(7));
+            tx.try_send(8).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Ok(8));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)),
+                Err(RecvTimeoutError::Disconnected)
+            );
+        }
+
+        #[test]
+        fn recv_timeout_wakes_on_late_send() {
+            use std::time::Duration;
+            let (tx, rx) = bounded(1);
+            let h = std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(20));
+                tx.try_send(42).unwrap();
+            });
+            assert_eq!(rx.recv_timeout(Duration::from_secs(5)), Ok(42));
+            h.join().unwrap();
         }
 
         #[test]
