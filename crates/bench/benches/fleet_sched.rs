@@ -64,6 +64,7 @@ fn jobs(n: usize) -> Vec<FleetJob<WebDbServer>> {
                     .build()
                     .expect("valid crawl config"),
                 resume: None,
+                tenant: None,
             }
         })
         .collect()

@@ -32,6 +32,7 @@ fn shared_jobs(faults: Option<FaultPolicy>) -> (Arc<WebDbServer>, Vec<FleetJob<A
                 .build()
                 .expect("valid crawl config"),
             resume: None,
+            tenant: None,
         })
         .collect();
     (shared, jobs)

@@ -112,6 +112,17 @@ pub enum ConfigError {
     ZeroDeadline,
     /// A client pool needs at least one connection.
     ZeroConnections,
+    /// A tenant with zero weight can never be granted rounds under
+    /// weighted-fair allocation.
+    ZeroTenantWeight(u32),
+    /// A tenant quota of zero rounds parks the tenant before it ever runs.
+    ZeroTenantQuota(u32),
+    /// Two tenants in the registry share the same id.
+    DuplicateTenant(u32),
+    /// A job references a tenant id absent from the registry.
+    UnknownTenant(u32),
+    /// A fleet defines a tenant registry but a job names no tenant.
+    MissingTenant,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -135,6 +146,21 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::ZeroConnections => {
                 write!(f, "a client pool needs at least one connection")
+            }
+            ConfigError::ZeroTenantWeight(id) => {
+                write!(f, "tenant {id} has zero weight and would never be scheduled")
+            }
+            ConfigError::ZeroTenantQuota(id) => {
+                write!(f, "tenant {id} has a zero round quota and would never run")
+            }
+            ConfigError::DuplicateTenant(id) => {
+                write!(f, "tenant id {id} appears more than once in the registry")
+            }
+            ConfigError::UnknownTenant(id) => {
+                write!(f, "job references tenant {id}, which is not in the registry")
+            }
+            ConfigError::MissingTenant => {
+                write!(f, "the fleet defines a tenant registry but a job names no tenant")
             }
         }
     }

@@ -38,6 +38,10 @@ pub enum StopReason {
     /// The crawl's [`crate::source::CancelToken`] fired: the driver stopped
     /// issuing requests and finalized the report at the current state.
     Cancelled,
+    /// The job's tenant exhausted its round quota
+    /// ([`crate::tenant::Tenant::round_quota`]) and the fleet parked the job
+    /// at a slice boundary (cooperative preemption).
+    QuotaExhausted,
 }
 
 impl StopReason {
@@ -50,6 +54,7 @@ impl StopReason {
             StopReason::CoverageReached => "coverage_reached",
             StopReason::WorkerFailed => "worker_failed",
             StopReason::Cancelled => "cancelled",
+            StopReason::QuotaExhausted => "quota_exhausted",
         }
     }
 
@@ -61,6 +66,7 @@ impl StopReason {
             "coverage_reached" => StopReason::CoverageReached,
             "worker_failed" => StopReason::WorkerFailed,
             "cancelled" => StopReason::Cancelled,
+            "quota_exhausted" => StopReason::QuotaExhausted,
             _ => return None,
         })
     }
@@ -104,9 +110,51 @@ impl BreakerPhase {
 /// The taxonomy spans all layers: planner (`QueryPlanned`), executor
 /// (`PageRequested` through `QueryAborted`), ingestor (`PageFetched`
 /// carries the harvest), the driver's bookkeeping (`QueryCompleted`,
-/// `QueryRequeued`, checkpoint events, `CrawlResumed`/`CrawlFinished`) and
-/// the fleet supervisor (`BreakerTransition`, `WorkerRestarted`,
-/// `JobAbandoned`).
+/// `QueryRequeued`, checkpoint events, `CrawlResumed`/`CrawlFinished`),
+/// the fleet coordinator (`SliceScheduled` through `TenantPreempted`), the
+/// fleet supervisor (`BreakerTransition`, `WorkerRestarted`,
+/// `JobAbandoned`) and the serving tier (`RequestEnqueued` through
+/// `ServiceRestarted`).
+///
+/// Every variant folds into exactly the report/registry fields below —
+/// [`crate::metrics::MetricsRegistry::record`] is the *only* place a
+/// counter changes, so this table is the complete map from facts to
+/// figures:
+///
+/// | Variant | Folds into |
+/// |---|---|
+/// | `QueryPlanned` | nothing (selection visibility only) |
+/// | `PageRequested` | [`crate::CrawlReport`] `rounds` |
+/// | `PageFetched` | `CrawlReport::records`; resets the fault streak |
+/// | `PageCacheHit` | `CrawlReport::page_cache_hits` |
+/// | `TransientFailure` | `CrawlReport::transient_failures` / `corrupt_pages`; fault streak |
+/// | `BackoffBilled` | `CrawlReport::backoff_rounds` |
+/// | `StallBilled` | `CrawlReport::stall_rounds` |
+/// | `QueryAborted` | `CrawlReport::aborted_queries` |
+/// | `QueryCompleted` | `CrawlReport::queries`; pushes a [`crate::CrawlTrace`] point |
+/// | `QueryRequeued` | `CrawlReport::requeued_queries` |
+/// | `CheckpointWritten` | `CrawlReport::checkpoints_written` |
+/// | `CheckpointFailed` | `CrawlReport::checkpoint_failures` |
+/// | `CrawlResumed` | seeds `rounds`/`queries`/`records`; pushes a trace point |
+/// | `CrawlFinished` | `CrawlReport::stop` / `final_coverage` |
+/// | `BreakerTransition` | [`crate::JobHealth`] `breaker_trips` / `breaker_recoveries` |
+/// | `WorkerRestarted` | `JobHealth::worker_restarts` |
+/// | `JobAbandoned` | `JobHealth::abandoned` |
+/// | `SliceScheduled` | [`crate::SchedulerStats`] `slices_scheduled` / `rounds_granted` |
+/// | `SliceCompleted` | `SchedulerStats` `slices_completed` / `rounds_executed` / `steals` / `per_worker_slices`; [`crate::UsageLedger`] `rounds` / `pages` (per-job maxima) |
+/// | `JobAttached` | `UsageLedger` `rounds` / `pages` baselines; tenant↔job membership |
+/// | `JobDetached` | `UsageLedger` `rounds` / `pages` (final per-job maxima) |
+/// | `TenantPreempted` | `UsageLedger::preempted` |
+/// | `TenantAdmitted` | `UsageLedger::admitted` |
+/// | `TenantThrottled` | `UsageLedger::sheds` |
+/// | `RequestEnqueued` | [`crate::ServiceReport`] `enqueued` / queue-depth stats |
+/// | `RequestShed` | `ServiceReport::shed` |
+/// | `RequestCancelled` | `ServiceReport::cancelled` |
+/// | `RequestCompleted` | `ServiceReport::completed`; latency histogram |
+/// | `FrameDropped` | `ServiceReport::frames_dropped` |
+/// | `FrameRetransmitted` | `ServiceReport::retransmitted`; `UsageLedger::retransmits` |
+/// | `Hedged` | `ServiceReport::hedged` |
+/// | `ServiceRestarted` | `ServiceReport::restarts` |
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum CrawlEvent {
     /// The planner chose the next query: a policy-selected candidate
@@ -220,6 +268,61 @@ pub enum CrawlEvent {
         rounds: u64,
         /// Whether the worker stole the slice from a sibling's deque.
         stolen: bool,
+        /// Tenant billed for the slice (`None` in a tenant-blind fleet).
+        tenant: Option<u32>,
+        /// The job's *cumulative* billed rounds after the slice. Carried so
+        /// the usage fold stays exact (a per-job maximum) even when worker
+        /// panics or restarts make slice deltas lossy.
+        total: u64,
+        /// The job's cumulative page-request rounds after the slice.
+        pages: u64,
+    },
+    /// A job joined the fleet: at startup, on a post-panic restart, or live
+    /// via [`crate::fleet::FleetController::attach`]. Carries the job's
+    /// already-billed cumulative counters so a replayed stream seeds the
+    /// same baselines the coordinator used.
+    JobAttached {
+        /// Fleet job index.
+        job: u32,
+        /// Tenant the job runs under (`None` in a tenant-blind fleet).
+        tenant: Option<u32>,
+        /// Rounds already billed to the job when it attached (non-zero when
+        /// resuming from a checkpoint).
+        rounds: u64,
+        /// Page-request rounds already executed when it attached.
+        pages: u64,
+    },
+    /// A job left the fleet: finalized, abandoned, or detached live via
+    /// [`crate::fleet::FleetController::detach`]. Carries the job's final
+    /// cumulative counters — the authoritative last word for the usage fold.
+    JobDetached {
+        /// Fleet job index.
+        job: u32,
+        /// Final cumulative rounds billed to the job.
+        rounds: u64,
+        /// Final cumulative page-request rounds.
+        pages: u64,
+    },
+    /// The fleet parked one of a tenant's jobs at a slice boundary —
+    /// round quota exhausted, or its breaker tripped open. Cooperative
+    /// preemption: the in-flight slice always completes first.
+    TenantPreempted {
+        /// Tenant whose job was parked.
+        tenant: u32,
+        /// Fleet job index that was parked.
+        job: u32,
+    },
+    /// The serving tier admitted a request through the tenant's token
+    /// bucket ([`crate::tenant::RateLimit`]).
+    TenantAdmitted {
+        /// Tenant whose bucket granted the token.
+        tenant: u32,
+    },
+    /// The serving tier shed a request because the tenant's token bucket
+    /// was empty. The round is still billed — to the offending tenant.
+    TenantThrottled {
+        /// Tenant whose bucket was empty.
+        tenant: u32,
     },
     /// The serving tier admitted one request into its bounded queue
     /// ([`crate::serve::SourceService`]).
@@ -258,6 +361,9 @@ pub enum CrawlEvent {
         /// Idempotent request id shared by every transmission of the
         /// request.
         request: u64,
+        /// Tenant billed for the duplicate, when the connection that sent
+        /// it was opened for one ([`crate::serve::SourceService::connect_for`]).
+        tenant: Option<u32>,
     },
     /// The client raced a hedge duplicate of a request whose reply exceeded
     /// the hedging threshold ([`crate::serve::ClientPool::with_hedging`]).
@@ -331,10 +437,40 @@ impl CrawlEvent {
             CrawlEvent::SliceScheduled { job, rounds } => {
                 format!("{{\"event\":\"slice_scheduled\",\"job\":{job},\"rounds\":{rounds}}}")
             }
-            CrawlEvent::SliceCompleted { job, worker, rounds, stolen } => format!(
-                "{{\"event\":\"slice_completed\",\"job\":{job},\"worker\":{worker},\
-                 \"rounds\":{rounds},\"stolen\":{stolen}}}"
+            CrawlEvent::SliceCompleted { job, worker, rounds, stolen, tenant, total, pages } => {
+                let tenant = match tenant {
+                    Some(t) => format!(",\"tenant\":{t}"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"event\":\"slice_completed\",\"job\":{job},\"worker\":{worker},\
+                     \"rounds\":{rounds},\"stolen\":{stolen}{tenant},\"total\":{total},\
+                     \"pages\":{pages}}}"
+                )
+            }
+            CrawlEvent::JobAttached { job, tenant, rounds, pages } => {
+                let tenant = match tenant {
+                    Some(t) => format!(",\"tenant\":{t}"),
+                    None => String::new(),
+                };
+                format!(
+                    "{{\"event\":\"job_attached\",\"job\":{job}{tenant},\"rounds\":{rounds},\
+                     \"pages\":{pages}}}"
+                )
+            }
+            CrawlEvent::JobDetached { job, rounds, pages } => format!(
+                "{{\"event\":\"job_detached\",\"job\":{job},\"rounds\":{rounds},\
+                 \"pages\":{pages}}}"
             ),
+            CrawlEvent::TenantPreempted { tenant, job } => {
+                format!("{{\"event\":\"tenant_preempted\",\"tenant\":{tenant},\"job\":{job}}}")
+            }
+            CrawlEvent::TenantAdmitted { tenant } => {
+                format!("{{\"event\":\"tenant_admitted\",\"tenant\":{tenant}}}")
+            }
+            CrawlEvent::TenantThrottled { tenant } => {
+                format!("{{\"event\":\"tenant_throttled\",\"tenant\":{tenant}}}")
+            }
             CrawlEvent::RequestEnqueued { depth } => {
                 format!("{{\"event\":\"request_enqueued\",\"depth\":{depth}}}")
             }
@@ -346,9 +482,12 @@ impl CrawlEvent {
             CrawlEvent::FrameDropped { frame } => {
                 format!("{{\"event\":\"frame_dropped\",\"frame\":{frame}}}")
             }
-            CrawlEvent::FrameRetransmitted { request } => {
-                format!("{{\"event\":\"frame_retransmitted\",\"request\":{request}}}")
-            }
+            CrawlEvent::FrameRetransmitted { request, tenant } => match tenant {
+                Some(t) => format!(
+                    "{{\"event\":\"frame_retransmitted\",\"request\":{request},\"tenant\":{t}}}"
+                ),
+                None => format!("{{\"event\":\"frame_retransmitted\",\"request\":{request}}}"),
+            },
             CrawlEvent::Hedged { request } => {
                 format!("{{\"event\":\"hedged\",\"request\":{request}}}")
             }
@@ -412,7 +551,31 @@ impl CrawlEvent {
                 worker: json_u64(line, "worker")? as u32,
                 rounds: json_u64(line, "rounds")?,
                 stolen: json_bool(line, "stolen")?,
+                tenant: json_u64(line, "tenant").map(|t| t as u32),
+                total: json_u64(line, "total")?,
+                pages: json_u64(line, "pages")?,
             },
+            "job_attached" => CrawlEvent::JobAttached {
+                job: json_u64(line, "job")? as u32,
+                tenant: json_u64(line, "tenant").map(|t| t as u32),
+                rounds: json_u64(line, "rounds")?,
+                pages: json_u64(line, "pages")?,
+            },
+            "job_detached" => CrawlEvent::JobDetached {
+                job: json_u64(line, "job")? as u32,
+                rounds: json_u64(line, "rounds")?,
+                pages: json_u64(line, "pages")?,
+            },
+            "tenant_preempted" => CrawlEvent::TenantPreempted {
+                tenant: json_u64(line, "tenant")? as u32,
+                job: json_u64(line, "job")? as u32,
+            },
+            "tenant_admitted" => {
+                CrawlEvent::TenantAdmitted { tenant: json_u64(line, "tenant")? as u32 }
+            }
+            "tenant_throttled" => {
+                CrawlEvent::TenantThrottled { tenant: json_u64(line, "tenant")? as u32 }
+            }
             "request_enqueued" => {
                 CrawlEvent::RequestEnqueued { depth: json_u64(line, "depth")? as u32 }
             }
@@ -422,9 +585,10 @@ impl CrawlEvent {
                 CrawlEvent::RequestCompleted { latency_us: json_u64(line, "latency_us")? }
             }
             "frame_dropped" => CrawlEvent::FrameDropped { frame: json_u64(line, "frame")? },
-            "frame_retransmitted" => {
-                CrawlEvent::FrameRetransmitted { request: json_u64(line, "request")? }
-            }
+            "frame_retransmitted" => CrawlEvent::FrameRetransmitted {
+                request: json_u64(line, "request")?,
+                tenant: json_u64(line, "tenant").map(|t| t as u32),
+            },
             "hedged" => CrawlEvent::Hedged { request: json_u64(line, "request")? },
             "service_restarted" => CrawlEvent::ServiceRestarted,
             _ => return None,
@@ -597,6 +761,7 @@ mod tests {
             CrawlEvent::CrawlResumed { rounds: 100, queries: 5, records: 42 },
             CrawlEvent::CrawlFinished { stop: StopReason::RoundBudget, coverage: Some(0.75) },
             CrawlEvent::CrawlFinished { stop: StopReason::FrontierExhausted, coverage: None },
+            CrawlEvent::CrawlFinished { stop: StopReason::QuotaExhausted, coverage: None },
             CrawlEvent::BreakerTransition {
                 job: 2,
                 from: BreakerPhase::HalfOpen,
@@ -605,14 +770,37 @@ mod tests {
             CrawlEvent::WorkerRestarted { job: 1 },
             CrawlEvent::JobAbandoned { job: 0 },
             CrawlEvent::SliceScheduled { job: 3, rounds: 250 },
-            CrawlEvent::SliceCompleted { job: 3, worker: 1, rounds: 248, stolen: true },
-            CrawlEvent::SliceCompleted { job: 0, worker: 0, rounds: 10, stolen: false },
+            CrawlEvent::SliceCompleted {
+                job: 3,
+                worker: 1,
+                rounds: 248,
+                stolen: true,
+                tenant: Some(2),
+                total: 500,
+                pages: 480,
+            },
+            CrawlEvent::SliceCompleted {
+                job: 0,
+                worker: 0,
+                rounds: 10,
+                stolen: false,
+                tenant: None,
+                total: 10,
+                pages: 9,
+            },
+            CrawlEvent::JobAttached { job: 4, tenant: Some(1), rounds: 120, pages: 110 },
+            CrawlEvent::JobAttached { job: 5, tenant: None, rounds: 0, pages: 0 },
+            CrawlEvent::JobDetached { job: 4, rounds: 300, pages: 280 },
+            CrawlEvent::TenantPreempted { tenant: 1, job: 4 },
+            CrawlEvent::TenantAdmitted { tenant: 3 },
+            CrawlEvent::TenantThrottled { tenant: 3 },
             CrawlEvent::RequestEnqueued { depth: 5 },
             CrawlEvent::RequestShed,
             CrawlEvent::RequestCancelled,
             CrawlEvent::RequestCompleted { latency_us: 1_250 },
             CrawlEvent::FrameDropped { frame: 17 },
-            CrawlEvent::FrameRetransmitted { request: 42 },
+            CrawlEvent::FrameRetransmitted { request: 42, tenant: None },
+            CrawlEvent::FrameRetransmitted { request: 43, tenant: Some(6) },
             CrawlEvent::Hedged { request: 42 },
             CrawlEvent::ServiceRestarted,
         ]

@@ -84,6 +84,7 @@ use crate::policy::PolicyKind;
 use crate::sched::{Pool, SchedulerStats, TaskCtx};
 use crate::source::DataSource;
 use crate::store::CheckpointStore;
+use crate::tenant::{validate_tenants, Tenant, TenantId, UsageLedger};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc;
 
@@ -96,6 +97,29 @@ pub enum AllocationStrategy {
     /// harvest rates over their recent queries (floored at 5% so a job is
     /// never starved before it can prove itself).
     HarvestProportional,
+    /// Deficit round-robin over tenant weights ([`FleetConfig::tenants`]):
+    /// each slice is split across the *tenants* with active jobs in exact
+    /// weight proportion (largest-remainder rounding, so grants always sum
+    /// to the slice), clamped to each tenant's remaining
+    /// [`Tenant::round_quota`]; rounds a tenant was entitled to but not
+    /// granted carry over as a deficit, and rounds freed by quota clamping
+    /// are redistributed to tenants with headroom. Within a tenant the
+    /// grant is split evenly over its jobs, rotating the remainder. With an
+    /// empty registry every job is its own implicit weight-1 tenant.
+    WeightedFair,
+}
+
+impl AllocationStrategy {
+    /// Builds the stateful [`Allocator`] implementing this strategy. Both
+    /// fleet engines construct exactly one allocator per run and call it
+    /// once per cycle, which is what keeps their grant sequences identical.
+    pub fn build_allocator(&self) -> Box<dyn Allocator> {
+        match self {
+            AllocationStrategy::Even => Box::new(EvenAllocator),
+            AllocationStrategy::HarvestProportional => Box::new(HarvestAllocator),
+            AllocationStrategy::WeightedFair => Box::new(WeightedFairAllocator::default()),
+        }
+    }
 }
 
 /// One crawl job of the fleet.
@@ -118,6 +142,10 @@ pub struct FleetJob<S: DataSource> {
     /// --workers` routes a resumed crawl through a one-job fleet this way).
     /// The checkpointed rounds count against [`FleetConfig::total_rounds`].
     pub resume: Option<Checkpoint>,
+    /// The tenant this job runs (and is billed) under. Must name an entry
+    /// of [`FleetConfig::tenants`] when the registry is non-empty; must be
+    /// `None` when the fleet is tenant-blind (empty registry).
+    pub tenant: Option<TenantId>,
 }
 
 /// Fleet-level configuration. Prefer [`FleetConfig::builder`].
@@ -145,6 +173,11 @@ pub struct FleetConfig {
     pub max_restarts: u32,
     /// Per-source circuit-breaker thresholds (supervised fleets).
     pub breaker: BreakerConfig,
+    /// The tenant registry. Empty (the default) means tenant-blind: no
+    /// quotas, no weighted fairness, no per-tenant metering — exactly the
+    /// pre-tenancy engine. Non-empty means every job must name one of
+    /// these tenants.
+    pub tenants: Vec<Tenant>,
 }
 
 impl Default for FleetConfig {
@@ -157,6 +190,7 @@ impl Default for FleetConfig {
             default_retry: RetryPolicy::retries(4),
             max_restarts: 3,
             breaker: BreakerConfig::default(),
+            tenants: Vec::new(),
         }
     }
 }
@@ -228,6 +262,14 @@ impl FleetConfigBuilder {
         self
     }
 
+    /// Sets the tenant registry. Validated at [`FleetConfigBuilder::build`]:
+    /// zero weights, zero quotas, zero-burst rate limits, and duplicate ids
+    /// are all rejected.
+    pub fn tenants(mut self, tenants: Vec<Tenant>) -> Self {
+        self.config.tenants = tenants;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<FleetConfig, ConfigError> {
         if self.config.total_rounds == 0 {
@@ -239,7 +281,31 @@ impl FleetConfigBuilder {
         if self.config.workers == Some(0) {
             return Err(ConfigError::ZeroBudget("workers"));
         }
+        validate_tenants(&self.config.tenants)?;
         Ok(self.config)
+    }
+}
+
+/// Validates a fleet's jobs against its tenant registry: with a non-empty
+/// registry every job must name a known tenant; with an empty registry
+/// no job may name one. The engines assert this; callers that want a
+/// recoverable error (the CLI, [`FleetController::attach`]) check first.
+pub fn validate_fleet_jobs<S: DataSource>(
+    jobs: &[FleetJob<S>],
+    config: &FleetConfig,
+) -> Result<(), ConfigError> {
+    for job in jobs {
+        validate_job_tenant(job.tenant, &config.tenants)?;
+    }
+    Ok(())
+}
+
+/// The single-job core of [`validate_fleet_jobs`].
+fn validate_job_tenant(tenant: Option<TenantId>, registry: &[Tenant]) -> Result<(), ConfigError> {
+    match tenant {
+        Some(id) if !registry.iter().any(|t| t.id == id) => Err(ConfigError::UnknownTenant(id.0)),
+        None if !registry.is_empty() => Err(ConfigError::MissingTenant),
+        _ => Ok(()),
     }
 }
 
@@ -258,6 +324,15 @@ pub struct FleetReport {
     /// stream. All-zero with `workers = 0` for the thread-per-job baseline
     /// ([`run_fleet_thread_per_job`]), which schedules no slices on a pool.
     pub scheduler: SchedulerStats,
+    /// Per-tenant usage ledgers, sorted by tenant id, derived by folding
+    /// the fleet event stream ([`MetricsRegistry::usage_ledgers`]). Empty
+    /// for tenant-blind fleets. The `rounds` fields sum exactly to
+    /// [`FleetReport::total_rounds`] when every job is tenanted.
+    pub usage: Vec<(TenantId, UsageLedger)>,
+    /// The fleet-level event stream the scheduler and usage sections are
+    /// folds of — replaying it through [`MetricsRegistry`] reproduces both
+    /// bit-for-bit ([`crate::metrics::replay_usage`]).
+    pub events: Vec<CrawlEvent>,
 }
 
 impl FleetReport {
@@ -287,39 +362,102 @@ impl FleetReport {
             total_rounds: 0,
             health: Vec::new(),
             scheduler: SchedulerStats { workers, ..SchedulerStats::default() },
+            usage: Vec::new(),
+            events: Vec::new(),
         }
     }
 }
 
-/// Splits one slice of the remaining budget across the active jobs,
-/// returning `(job index, grant)` pairs. Shares follow the strategy's
-/// formula, then are clamped so the cycle's grants never sum past the
-/// slice (and therefore never past the remaining global budget). Both the
-/// pooled engine and the thread-per-job baseline allocate through this one
-/// function, which is what makes their grant sequences — and hence their
-/// reports on deterministic sources — identical.
-fn allocate(
-    config: &FleetConfig,
-    active: &[usize],
-    rates: &[f64],
-    remaining: u64,
-) -> Vec<(usize, u64)> {
-    if active.is_empty() || remaining == 0 {
-        return Vec::new();
+/// One allocation cycle's inputs, handed to an [`Allocator`] by both fleet
+/// engines. Job-indexed slices (`rates`, `tenant_of`) cover *all* jobs; the
+/// allocator must only grant to indices listed in `active`.
+pub struct AllocCycle<'a> {
+    /// Indices of schedulable jobs: not done, breaker closed, tenant not
+    /// quota-parked.
+    pub active: &'a [usize],
+    /// Per-job recent normalized harvest rates.
+    pub rates: &'a [f64],
+    /// Rounds left in the global budget; grants must never sum past it.
+    pub remaining: u64,
+    /// Configured per-cycle slice size ([`FleetConfig::slice`]).
+    pub slice: u64,
+    /// Per-job tenant slot: an index into `tenants`, `None` for
+    /// tenant-blind jobs.
+    pub tenant_of: &'a [Option<usize>],
+    /// The tenant registry ([`FleetConfig::tenants`]); may be empty.
+    pub tenants: &'a [Tenant],
+    /// Rounds billed so far per tenant slot (for quota clamping), indexed
+    /// like `tenants`.
+    pub tenant_used: &'a [u64],
+}
+
+impl AllocCycle<'_> {
+    /// The rounds actually divisible this cycle: one slice, clamped to the
+    /// remaining global budget.
+    fn cycle_slice(&self) -> u64 {
+        self.remaining.min(self.slice)
     }
-    let slice = remaining.min(config.slice);
-    let shares: Vec<u64> = match config.allocation {
-        AllocationStrategy::Even => {
-            let each = (slice / active.len() as u64).max(1);
-            active.iter().map(|_| each).collect()
+}
+
+/// Splits one slice of the remaining budget across the active jobs,
+/// returning `(job index, grant)` pairs whose grants never sum past the
+/// slice (and therefore never past the remaining global budget).
+///
+/// Allocators may be stateful (deficit counters, rotation cursors). Both
+/// the pooled engine and the thread-per-job baseline construct exactly one
+/// allocator per run and call it once per cycle in the same sequence,
+/// which is what makes their grant sequences — and hence their reports on
+/// deterministic sources — identical.
+pub trait Allocator {
+    /// Computes this cycle's grants.
+    fn allocate(&mut self, cycle: &AllocCycle<'_>) -> Vec<(usize, u64)>;
+}
+
+/// [`AllocationStrategy::Even`]: every active job gets the same share of
+/// every slice (`slice / active`, floored at one round), clamped in job
+/// order so the cycle never overspends the slice.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EvenAllocator;
+
+impl Allocator for EvenAllocator {
+    fn allocate(&mut self, cycle: &AllocCycle<'_>) -> Vec<(usize, u64)> {
+        if cycle.active.is_empty() || cycle.remaining == 0 {
+            return Vec::new();
         }
-        AllocationStrategy::HarvestProportional => {
-            const FLOOR: f64 = 0.05;
-            let weights: Vec<f64> = active.iter().map(|&i| rates[i].max(FLOOR)).collect();
-            let total: f64 = weights.iter().sum();
-            weights.iter().map(|w| (((w / total) * slice as f64).round() as u64).max(1)).collect()
+        let slice = cycle.cycle_slice();
+        let each = (slice / cycle.active.len() as u64).max(1);
+        clamp_shares(cycle.active, cycle.active.iter().map(|_| each), slice)
+    }
+}
+
+/// [`AllocationStrategy::HarvestProportional`]: each slice is divided
+/// proportionally to the jobs' recent harvest rates, floored at 5% so a
+/// job is never starved before it can prove itself.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HarvestAllocator;
+
+impl Allocator for HarvestAllocator {
+    fn allocate(&mut self, cycle: &AllocCycle<'_>) -> Vec<(usize, u64)> {
+        if cycle.active.is_empty() || cycle.remaining == 0 {
+            return Vec::new();
         }
-    };
+        let slice = cycle.cycle_slice();
+        const FLOOR: f64 = 0.05;
+        let weights: Vec<f64> = cycle.active.iter().map(|&i| cycle.rates[i].max(FLOOR)).collect();
+        let total: f64 = weights.iter().sum();
+        let shares = weights.iter().map(|w| (((w / total) * slice as f64).round() as u64).max(1));
+        clamp_shares(cycle.active, shares, slice)
+    }
+}
+
+/// Sequentially clamps per-job shares to the slice: the shared tail of the
+/// pre-tenancy `allocate()`, byte-identical so `Even` and
+/// `HarvestProportional` fleets reproduce pre-refactor grant sequences.
+fn clamp_shares(
+    active: &[usize],
+    shares: impl Iterator<Item = u64>,
+    slice: u64,
+) -> Vec<(usize, u64)> {
     let mut cycle_left = slice;
     active
         .iter()
@@ -330,6 +468,155 @@ fn allocate(
             (grant > 0).then_some((i, grant))
         })
         .collect()
+}
+
+/// [`AllocationStrategy::WeightedFair`]: deficit round-robin over tenant
+/// weights.
+///
+/// Per cycle: tenants with active jobs are entitled to weight-proportional
+/// shares of the slice (largest-remainder rounding — entitlements sum to
+/// the slice *exactly*); each tenant's grant is its entitlement plus any
+/// carried deficit, clamped to its quota headroom and the rounds left in
+/// the cycle; rounds freed by quota clamping are redistributed to tenants
+/// with headroom; whatever a tenant was owed but not granted carries over
+/// as a deficit (capped at one slice, so a parked tenant cannot hoard an
+/// unbounded claim). The tenant's grant is then split evenly over its
+/// active jobs, rotating which jobs absorb the remainder so no job is
+/// systematically favored.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedFairAllocator {
+    /// Rounds owed per tenant slot (entitled but not granted), carried
+    /// across cycles. Indexed by tenant slot — or by job index when the
+    /// registry is empty and every job is its own implicit tenant.
+    deficits: Vec<u64>,
+    /// Per-slot rotation cursor for intra-tenant remainder placement.
+    cursors: Vec<usize>,
+}
+
+impl Allocator for WeightedFairAllocator {
+    fn allocate(&mut self, cycle: &AllocCycle<'_>) -> Vec<(usize, u64)> {
+        if cycle.active.is_empty() || cycle.remaining == 0 {
+            return Vec::new();
+        }
+        let slice = cycle.cycle_slice();
+        // Group active jobs by tenant slot, in registry order. With an
+        // empty registry every job is its own implicit weight-1 tenant.
+        struct Group {
+            slot: usize,
+            weight: u64,
+            headroom: u64,
+            jobs: Vec<usize>,
+        }
+        let groups: Vec<Group> = if cycle.tenants.is_empty() {
+            cycle
+                .active
+                .iter()
+                .map(|&j| Group { slot: j, weight: 1, headroom: u64::MAX, jobs: vec![j] })
+                .collect()
+        } else {
+            cycle
+                .tenants
+                .iter()
+                .enumerate()
+                .filter_map(|(slot, t)| {
+                    let jobs: Vec<usize> = cycle
+                        .active
+                        .iter()
+                        .copied()
+                        .filter(|&j| cycle.tenant_of[j] == Some(slot))
+                        .collect();
+                    if jobs.is_empty() {
+                        return None;
+                    }
+                    let headroom = t
+                        .round_quota
+                        .map_or(u64::MAX, |q| q.saturating_sub(cycle.tenant_used[slot]));
+                    (headroom > 0).then_some(Group {
+                        slot,
+                        weight: u64::from(t.weight),
+                        headroom,
+                        jobs,
+                    })
+                })
+                .collect()
+        };
+        if groups.is_empty() {
+            return Vec::new();
+        }
+        let slots = groups.iter().map(|g| g.slot).max().unwrap_or(0) + 1;
+        if self.deficits.len() < slots {
+            self.deficits.resize(slots, 0);
+            self.cursors.resize(slots, 0);
+        }
+        // Entitlements by largest remainder: floor(slice·w/W) each, then
+        // the leftover rounds go one apiece to the largest fractional
+        // remainders (ties to the earliest slot) — summing to the slice.
+        let total_w: u128 = groups.iter().map(|g| u128::from(g.weight)).sum();
+        let mut entitled: Vec<u64> = groups
+            .iter()
+            .map(|g| (u128::from(slice) * u128::from(g.weight) / total_w) as u64)
+            .collect();
+        let mut leftover = slice - entitled.iter().sum::<u64>();
+        let mut by_rem: Vec<usize> = (0..groups.len()).collect();
+        by_rem.sort_by_key(|&gi| {
+            std::cmp::Reverse(u128::from(slice) * u128::from(groups[gi].weight) % total_w)
+        });
+        for &gi in &by_rem {
+            if leftover == 0 {
+                break;
+            }
+            entitled[gi] += 1;
+            leftover -= 1;
+        }
+        // Grant pass: entitlement + carried deficit, clamped to quota
+        // headroom and the rounds left in the cycle.
+        let mut cycle_left = slice;
+        let mut wants = vec![0u64; groups.len()];
+        let mut grants = vec![0u64; groups.len()];
+        for (gi, g) in groups.iter().enumerate() {
+            wants[gi] = entitled[gi].saturating_add(self.deficits[g.slot]);
+            let grant = wants[gi].min(g.headroom).min(cycle_left);
+            grants[gi] = grant;
+            cycle_left -= grant;
+        }
+        // Redistribution pass: rounds freed by quota clamping flow to
+        // tenants that still have headroom, in slot order.
+        for (gi, g) in groups.iter().enumerate() {
+            if cycle_left == 0 {
+                break;
+            }
+            let extra = g.headroom.saturating_sub(grants[gi]).min(cycle_left);
+            grants[gi] += extra;
+            cycle_left -= extra;
+        }
+        // Carry what each tenant was owed but not granted, capped at one
+        // slice.
+        for (gi, g) in groups.iter().enumerate() {
+            self.deficits[g.slot] = wants[gi].saturating_sub(grants[gi]).min(slice);
+        }
+        // Intra-tenant split: even shares, remainder rotated across jobs.
+        let mut out = Vec::new();
+        for (gi, g) in groups.iter().enumerate() {
+            let grant = grants[gi];
+            if grant == 0 {
+                continue;
+            }
+            let k = g.jobs.len();
+            let each = grant / k as u64;
+            let rem = (grant % k as u64) as usize;
+            let offset = self.cursors[g.slot] % k;
+            for (pos, &job) in g.jobs.iter().enumerate() {
+                let rotated = (pos + k - offset) % k;
+                let share = each + u64::from(rotated < rem);
+                if share > 0 {
+                    out.push((job, share));
+                }
+            }
+            self.cursors[g.slot] = self.cursors[g.slot].wrapping_add(1);
+        }
+        out.sort_unstable_by_key(|&(job, _)| job);
+        out
+    }
 }
 
 /// One budget slice queued on the pool: a parked crawler plus its grant.
@@ -348,6 +635,8 @@ struct SliceOutcome<S: DataSource> {
     rounds_total: u64,
     /// Elapsed rounds billed during this slice alone (0 when panicked).
     slice_rounds: u64,
+    /// Cumulative page-request rounds after the slice (0 when panicked).
+    pages_total: u64,
     recent_rate: f64,
     fault_streak: u32,
     exhausted: bool,
@@ -387,6 +676,7 @@ fn slice_handler<S: DataSource>(ctx: TaskCtx, mut task: SliceTask<S>) -> SliceOu
                 stolen: ctx.stolen,
                 rounds_total,
                 slice_rounds: rounds_total - before,
+                pages_total: task.crawler.rounds(),
                 recent_rate,
                 fault_streak: task.crawler.fault_streak(),
                 exhausted,
@@ -400,6 +690,7 @@ fn slice_handler<S: DataSource>(ctx: TaskCtx, mut task: SliceTask<S>) -> SliceOu
             stolen: ctx.stolen,
             rounds_total: 0,
             slice_rounds: 0,
+            pages_total: 0,
             recent_rate: 0.0,
             fault_streak: 0,
             exhausted: false,
@@ -463,6 +754,9 @@ impl<S: DataSource + Clone> Respawn<S> for Vec<JobSpec<S>> {
             seeds: spec.seeds.clone(),
             config: spec.config.clone(),
             resume: resume.cloned(),
+            // Tenancy is coordinator state, not crawler state; the rebuilt
+            // crawler re-enters the job's existing slot.
+            tenant: None,
         })
     }
 
@@ -471,31 +765,62 @@ impl<S: DataSource + Clone> Respawn<S> for Vec<JobSpec<S>> {
     }
 }
 
-/// The pooled fleet engine behind both [`run_fleet`] and
-/// [`run_fleet_supervised`]. The coordinator owns every parked crawler in a
-/// slot vector; each allocation cycle it computes grants ([`allocate`]),
-/// submits one [`SliceTask`] per granted job to the work-stealing pool, and
-/// folds the outcomes back into rates / budget / breaker state before the
-/// next cycle. A job is never in flight on two workers at once.
+/// The coordinator's event stream: every fleet-level event is recorded on
+/// the registry *and* kept verbatim, so [`FleetReport::scheduler`] and
+/// [`FleetReport::usage`] are both replayable folds of
+/// [`FleetReport::events`].
+struct FleetStream {
+    registry: MetricsRegistry,
+    events: Vec<CrawlEvent>,
+}
+
+impl FleetStream {
+    fn new() -> FleetStream {
+        FleetStream { registry: MetricsRegistry::new(), events: Vec::new() }
+    }
+
+    fn emit(&mut self, event: CrawlEvent) {
+        self.registry.record(&event);
+        self.events.push(event);
+    }
+}
+
+/// The pooled fleet engine behind [`run_fleet`], [`run_fleet_supervised`],
+/// and [`run_fleet_controlled`]. The coordinator owns every parked crawler
+/// in a slot vector; each allocation cycle it drains controller ops,
+/// parks over-quota tenants, computes grants through the configured
+/// [`Allocator`], submits one [`SliceTask`] per granted job to the
+/// work-stealing pool (higher-priority tenants dispatched first), and
+/// folds the outcomes back into rates / budget / breaker / ledger state
+/// before the next cycle. A job is never in flight on two workers at once.
 fn run_pooled<S>(
     jobs: Vec<FleetJob<S>>,
     config: FleetConfig,
     respawn: Option<&dyn Respawn<S>>,
+    ops: Option<FleetOps<S>>,
 ) -> FleetReport
 where
     S: DataSource + Send + 'static,
 {
     assert!(config.slice > 0, "slice must be positive");
-    let n = jobs.len();
+    if let Err(e) = validate_fleet_jobs(&jobs, &config) {
+        panic!("invalid fleet: {e}");
+    }
+    let mut n = jobs.len();
     let workers = config.resolved_workers(n);
-    if n == 0 {
+    if n == 0 && ops.is_none() {
         return FleetReport::empty(workers as u32);
     }
+    // Per-job tenant slot (index into config.tenants).
+    let mut slots: Vec<Option<usize>> = jobs
+        .iter()
+        .map(|j| j.tenant.and_then(|id| config.tenants.iter().position(|t| t.id == id)))
+        .collect();
     // Final checkpoint handles, kept so a finished job's last state is
     // durable even between periodic checkpoint ticks (what `dwc resume
     // --workers` picks up). The saves happen outside the crawlers' event
     // streams, so reports and replay parity are unaffected.
-    let stores: Vec<Option<CheckpointStore>> =
+    let mut stores: Vec<Option<CheckpointStore>> =
         jobs.iter().map(|j| j.config.checkpoint_store.clone()).collect();
     let mut cells: Vec<Option<Crawler<S>>> = jobs
         .into_iter()
@@ -506,24 +831,129 @@ where
         .collect();
 
     let pool: Pool<SliceTask<S>, SliceOutcome<S>> = Pool::new(workers, slice_handler::<S>);
-    let mut fleet_events = MetricsRegistry::new();
+    let mut stream = FleetStream::new();
     let mut rates = vec![1.0f64; n];
     let mut done = vec![false; n];
+    // Jobs parked by cooperative preemption (tenant over quota). Parked is
+    // not done: the job finalizes with [`StopReason::QuotaExhausted`].
+    let mut parked = vec![false; n];
     // Resumed jobs enter with their checkpointed rounds already billed.
     let mut rounds_used: Vec<u64> =
         cells.iter().map(|c| c.as_ref().map(Crawler::elapsed_rounds).unwrap_or(0)).collect();
+    let mut pages_used: Vec<u64> =
+        cells.iter().map(|c| c.as_ref().map(Crawler::rounds).unwrap_or(0)).collect();
+    // Rounds billed per tenant slot, the quota-clamping input.
+    let mut tenant_used = vec![0u64; config.tenants.len()];
+    for i in 0..n {
+        if let Some(slot) = slots[i] {
+            tenant_used[slot] += rounds_used[i];
+        }
+    }
     let mut breakers: Option<Vec<CircuitBreaker>> =
         respawn.is_some().then(|| (0..n).map(|_| CircuitBreaker::new(config.breaker)).collect());
     // One supervision event stream per job; `FleetReport::health` is derived
     // from these, never tallied by hand.
     let mut supervision: Vec<MetricsRegistry> = (0..n).map(|_| MetricsRegistry::new()).collect();
     let mut finals: Vec<Option<CrawlReport>> = (0..n).map(|_| None).collect();
+    let mut allocator = config.allocation.build_allocator();
+    let tenant_id = |slot: Option<usize>| slot.map(|s| config.tenants[s].id.0);
+    for i in 0..n {
+        stream.emit(CrawlEvent::JobAttached {
+            job: i as u32,
+            tenant: tenant_id(slots[i]),
+            rounds: rounds_used[i],
+            pages: pages_used[i],
+        });
+    }
 
     loop {
+        // Drain controller ops first: attaches grow the slot vectors (and
+        // may be the fleet's first jobs), detaches finalize early with
+        // [`StopReason::Cancelled`]. Jobs are all parked here — the fold
+        // loop below is a barrier — so a detach never races a worker.
+        if let Some(ops) = &ops {
+            for op in ops.rx.try_iter() {
+                match op {
+                    FleetOp::Attach(job) => {
+                        let mut job = *job;
+                        if validate_job_tenant(job.tenant, &config.tenants).is_err() {
+                            continue; // controller validates; defense in depth
+                        }
+                        apply_default_retry(&mut job.config, &config);
+                        let slot = job
+                            .tenant
+                            .and_then(|id| config.tenants.iter().position(|t| t.id == id));
+                        stores.push(job.config.checkpoint_store.clone());
+                        let crawler = build_crawler(job);
+                        let idx = n;
+                        n += 1;
+                        rounds_used.push(crawler.elapsed_rounds());
+                        pages_used.push(crawler.rounds());
+                        if let Some(s) = slot {
+                            tenant_used[s] += rounds_used[idx];
+                        }
+                        slots.push(slot);
+                        rates.push(1.0);
+                        done.push(false);
+                        parked.push(false);
+                        supervision.push(MetricsRegistry::new());
+                        finals.push(None);
+                        if let Some(bs) = &mut breakers {
+                            bs.push(CircuitBreaker::new(config.breaker));
+                        }
+                        stream.emit(CrawlEvent::JobAttached {
+                            job: idx as u32,
+                            tenant: tenant_id(slot),
+                            rounds: rounds_used[idx],
+                            pages: pages_used[idx],
+                        });
+                        cells.push(Some(crawler));
+                    }
+                    FleetOp::Detach(idx) => {
+                        if idx >= n || done[idx] || parked[idx] || finals[idx].is_some() {
+                            continue;
+                        }
+                        let crawler = cells[idx].take().expect("parked at cycle boundary");
+                        let pages = crawler.rounds();
+                        let elapsed = crawler.elapsed_rounds();
+                        let report = crawler.into_report(StopReason::Cancelled);
+                        let before = rounds_used[idx];
+                        rounds_used[idx] = before.max(elapsed);
+                        if let Some(s) = slots[idx] {
+                            tenant_used[s] += rounds_used[idx] - before;
+                        }
+                        pages_used[idx] = pages_used[idx].max(pages);
+                        done[idx] = true;
+                        finals[idx] = Some(report);
+                        stream.emit(CrawlEvent::JobDetached {
+                            job: idx as u32,
+                            rounds: rounds_used[idx],
+                            pages: pages_used[idx],
+                        });
+                    }
+                }
+            }
+        }
         let spent: u64 = rounds_used.iter().sum();
         let remaining = config.total_rounds.saturating_sub(spent);
         if remaining == 0 || done.iter().all(|&d| d) {
             break;
+        }
+        // Cooperative preemption at the slice boundary: a tenant that has
+        // consumed its quota has every job parked — no thread is held, the
+        // crawlers stay in their slots and finalize as QuotaExhausted.
+        for i in 0..n {
+            if done[i] || parked[i] {
+                continue;
+            }
+            let Some(slot) = slots[i] else { continue };
+            if config.tenants[slot].round_quota.is_some_and(|q| tenant_used[slot] >= q) {
+                parked[i] = true;
+                stream.emit(CrawlEvent::TenantPreempted {
+                    tenant: config.tenants[slot].id.0,
+                    job: i as u32,
+                });
+            }
         }
         // One allocation round passes: open breakers cool toward half-open.
         if let Some(bs) = &mut breakers {
@@ -537,25 +967,55 @@ where
                 }
             }
         }
-        // A tripped job is paused by *not scheduling it* — it holds no
-        // thread, its crawler just stays parked in its slot.
+        // A tripped or parked job is paused by *not scheduling it* — it
+        // holds no thread, its crawler just stays parked in its slot.
         let active: Vec<usize> = (0..n)
-            .filter(|&i| !done[i] && breakers.as_ref().is_none_or(|bs| !bs[i].is_open()))
+            .filter(|&i| {
+                !done[i] && !parked[i] && breakers.as_ref().is_none_or(|bs| !bs[i].is_open())
+            })
             .collect();
         if active.is_empty() {
-            // Every live job is paused; the round passes idle until a
-            // breaker reaches its half-open probe (tick guarantees progress).
-            continue;
+            // Distinguish "paused, will resume" (an open breaker cooling
+            // toward its half-open probe — tick guarantees progress) from
+            // "parked for good" (quota exhaustion): only the former is
+            // worth idling for.
+            let cooling = breakers
+                .as_ref()
+                .is_some_and(|bs| (0..n).any(|i| !done[i] && !parked[i] && bs[i].is_open()));
+            if cooling {
+                continue;
+            }
+            break;
         }
-        let grants = allocate(&config, &active, &rates, remaining);
+        let cycle = AllocCycle {
+            active: &active,
+            rates: &rates,
+            remaining,
+            slice: config.slice,
+            tenant_of: &slots,
+            tenants: &config.tenants,
+            tenant_used: &tenant_used,
+        };
+        let grants = allocator.allocate(&cycle);
         if grants.is_empty() {
             break;
         }
-        for &(i, grant) in &grants {
+        // Priority-aware dispatch: grants are handed to the pool with the
+        // tenant's priority; the batch submit stable-sorts so
+        // higher-priority tenants' slices hit the injector first. Order
+        // only — grant amounts (and therefore reports) are unaffected.
+        let mut batch: Vec<(u8, SliceTask<S>)> = Vec::with_capacity(grants.len());
+        let mut ordered: Vec<(u8, usize, u64)> = grants
+            .iter()
+            .map(|&(i, g)| (slots[i].map_or(0, |s| config.tenants[s].priority), i, g))
+            .collect();
+        ordered.sort_by_key(|&(priority, _, _)| std::cmp::Reverse(priority));
+        for &(priority, i, grant) in &ordered {
             let crawler = cells[i].take().expect("active job has a parked crawler");
-            fleet_events.record(&CrawlEvent::SliceScheduled { job: i as u32, rounds: grant });
-            pool.submit(SliceTask { idx: i, crawler, grant });
+            stream.emit(CrawlEvent::SliceScheduled { job: i as u32, rounds: grant });
+            batch.push((priority, SliceTask { idx: i, crawler, grant }));
         }
+        pool.submit_batch(batch);
         for _ in 0..grants.len() {
             let out = pool.recv();
             if out.panicked {
@@ -567,6 +1027,11 @@ where
                     done[out.idx] = true;
                     finals[out.idx] =
                         Some(respawn.synthesize_report(out.idx, StopReason::WorkerFailed));
+                    stream.emit(CrawlEvent::JobDetached {
+                        job: out.idx as u32,
+                        rounds: rounds_used[out.idx],
+                        pages: pages_used[out.idx],
+                    });
                 } else {
                     supervision[out.idx]
                         .record(&CrawlEvent::WorkerRestarted { job: out.idx as u32 });
@@ -574,20 +1039,42 @@ where
                     if let Some(cp) = &cp {
                         // The checkpointed rounds stay billed; only the work
                         // since the last snapshot is repeated.
-                        rounds_used[out.idx] = rounds_used[out.idx].max(cp.rounds);
+                        let before = rounds_used[out.idx];
+                        rounds_used[out.idx] = before.max(cp.rounds);
+                        if let Some(s) = slots[out.idx] {
+                            tenant_used[s] += rounds_used[out.idx] - before;
+                        }
                     }
-                    cells[out.idx] = Some(respawn.rebuild(out.idx, cp.as_ref()));
+                    let crawler = respawn.rebuild(out.idx, cp.as_ref());
+                    pages_used[out.idx] = pages_used[out.idx].max(crawler.rounds());
+                    // The re-attach keeps the ledger fold in lockstep with
+                    // the coordinator's own max-bookkeeping.
+                    stream.emit(CrawlEvent::JobAttached {
+                        job: out.idx as u32,
+                        tenant: tenant_id(slots[out.idx]),
+                        rounds: rounds_used[out.idx],
+                        pages: pages_used[out.idx],
+                    });
+                    cells[out.idx] = Some(crawler);
                 }
             } else {
-                fleet_events.record(&CrawlEvent::SliceCompleted {
+                stream.emit(CrawlEvent::SliceCompleted {
                     job: out.idx as u32,
                     worker: out.worker,
                     rounds: out.slice_rounds,
                     stolen: out.stolen,
+                    tenant: tenant_id(slots[out.idx]),
+                    total: out.rounds_total,
+                    pages: out.pages_total,
                 });
                 rates[out.idx] = out.recent_rate;
                 done[out.idx] |= out.exhausted;
-                rounds_used[out.idx] = rounds_used[out.idx].max(out.rounds_total);
+                let before = rounds_used[out.idx];
+                rounds_used[out.idx] = before.max(out.rounds_total);
+                if let Some(s) = slots[out.idx] {
+                    tenant_used[s] += rounds_used[out.idx] - before;
+                }
+                pages_used[out.idx] = pages_used[out.idx].max(out.pages_total);
                 if let Some(bs) = &mut breakers {
                     if let Some((from, to)) = bs[out.idx].observe(out.fault_streak) {
                         supervision[out.idx].record(&CrawlEvent::BreakerTransition {
@@ -595,6 +1082,16 @@ where
                             from,
                             to,
                         });
+                        // A tripped tenant job is parked off the schedule:
+                        // that is a preemption, and the ledger says so.
+                        if to == crate::events::BreakerPhase::Open {
+                            if let Some(id) = tenant_id(slots[out.idx]) {
+                                stream.emit(CrawlEvent::TenantPreempted {
+                                    tenant: id,
+                                    job: out.idx as u32,
+                                });
+                            }
+                        }
                     }
                 }
                 cells[out.idx] = Some(out.crawler.expect("intact slice returns its crawler"));
@@ -603,32 +1100,108 @@ where
     }
     let _ = pool.join();
 
-    let sources: Vec<CrawlReport> = finals
-        .into_iter()
-        .enumerate()
-        .map(|(i, done_report)| {
-            if let Some(report) = done_report {
-                return report; // abandoned: synthesized at abandonment time
-            }
-            let crawler = cells[i].take().expect("unfinished job has a parked crawler");
-            if let Some(store) = &stores[i] {
-                // Best effort: a failed final save leaves the last periodic
-                // generation valid, exactly like CheckpointFailed mid-crawl.
-                let _ = store.save(&crawler.checkpoint());
-            }
-            let stop =
-                if done[i] { StopReason::FrontierExhausted } else { StopReason::RoundBudget };
-            let report = crawler.into_report(stop);
-            rounds_used[i] = rounds_used[i].max(report.elapsed_rounds());
-            report
-        })
-        .collect();
+    let mut sources: Vec<CrawlReport> = Vec::with_capacity(n);
+    for (i, done_report) in finals.into_iter().enumerate() {
+        if let Some(report) = done_report {
+            // Abandoned or detached: finalized (and billed) when it left.
+            sources.push(report);
+            continue;
+        }
+        let crawler = cells[i].take().expect("unfinished job has a parked crawler");
+        if let Some(store) = &stores[i] {
+            // Best effort: a failed final save leaves the last periodic
+            // generation valid, exactly like CheckpointFailed mid-crawl.
+            let _ = store.save(&crawler.checkpoint());
+        }
+        let stop = if done[i] {
+            StopReason::FrontierExhausted
+        } else if parked[i] {
+            StopReason::QuotaExhausted
+        } else {
+            StopReason::RoundBudget
+        };
+        let pages = crawler.rounds();
+        let report = crawler.into_report(stop);
+        rounds_used[i] = rounds_used[i].max(report.elapsed_rounds());
+        pages_used[i] = pages_used[i].max(pages);
+        stream.emit(CrawlEvent::JobDetached {
+            job: i as u32,
+            rounds: rounds_used[i],
+            pages: pages_used[i],
+        });
+        sources.push(report);
+    }
     let health: Vec<JobHealth> = supervision.iter().map(MetricsRegistry::job_health).collect();
+    let usage = stream
+        .registry
+        .usage_ledgers()
+        .into_iter()
+        .map(|(id, ledger)| (TenantId(id), ledger))
+        .collect();
     FleetReport {
         sources,
         total_rounds: rounds_used.iter().sum(),
         health,
-        scheduler: fleet_events.scheduler_stats(workers as u32),
+        scheduler: stream.registry.scheduler_stats(workers as u32),
+        usage,
+        events: stream.events,
+    }
+}
+
+/// Ops a [`FleetController`] can apply to a running fleet.
+enum FleetOp<S: DataSource> {
+    Attach(Box<FleetJob<S>>),
+    Detach(usize),
+}
+
+/// The coordinator's end of a controller channel; pass to
+/// [`run_fleet_controlled`].
+pub struct FleetOps<S: DataSource> {
+    rx: mpsc::Receiver<FleetOp<S>>,
+}
+
+/// Live handle onto a running (or about-to-run) fleet: attach new jobs and
+/// detach running ones between allocation cycles.
+///
+/// Ops are applied at the next cycle boundary — jobs are all parked there,
+/// so attach/detach never races a pool worker. A detached job finalizes
+/// immediately with [`StopReason::Cancelled`] and its bill so far; an
+/// attached job joins the allocator's next cycle. Ops that arrive after
+/// the fleet has drained (budget exhausted or every job finished) are
+/// ignored.
+pub struct FleetController<S: DataSource> {
+    tx: mpsc::Sender<FleetOp<S>>,
+    tenants: Vec<Tenant>,
+}
+
+impl<S: DataSource> Clone for FleetController<S> {
+    fn clone(&self) -> Self {
+        FleetController { tx: self.tx.clone(), tenants: self.tenants.clone() }
+    }
+}
+
+impl<S: DataSource> FleetController<S> {
+    /// Creates a controller for a fleet that will run under `config`,
+    /// returning the handle and the ops end to pass to
+    /// [`run_fleet_controlled`].
+    pub fn channel(config: &FleetConfig) -> (FleetController<S>, FleetOps<S>) {
+        let (tx, rx) = mpsc::channel();
+        (FleetController { tx, tenants: config.tenants.clone() }, FleetOps { rx })
+    }
+
+    /// Queues a job for live attachment. The job's tenant is validated
+    /// against the fleet's registry before it is sent.
+    pub fn attach(&self, job: FleetJob<S>) -> Result<(), ConfigError> {
+        validate_job_tenant(job.tenant, &self.tenants)?;
+        let _ = self.tx.send(FleetOp::Attach(Box::new(job)));
+        Ok(())
+    }
+
+    /// Queues a detach of job `idx` (its index in attachment order). The
+    /// job finalizes with [`StopReason::Cancelled`] at the next cycle
+    /// boundary; unknown or already-finished indices are ignored.
+    pub fn detach(&self, idx: usize) {
+        let _ = self.tx.send(FleetOp::Detach(idx));
     }
 }
 
@@ -640,7 +1213,24 @@ pub fn run_fleet<S>(jobs: Vec<FleetJob<S>>, config: FleetConfig) -> FleetReport
 where
     S: DataSource + Send + 'static,
 {
-    run_pooled(jobs, config, None)
+    run_pooled(jobs, config, None, None)
+}
+
+/// Runs the fleet like [`run_fleet`], additionally applying live
+/// attach/detach ops from a [`FleetController`] at every cycle boundary.
+///
+/// The fleet may start empty (`jobs` empty) as long as an attach is queued
+/// before the run begins; it exits when the budget is exhausted or every
+/// job attached so far has finished.
+pub fn run_fleet_controlled<S>(
+    jobs: Vec<FleetJob<S>>,
+    config: FleetConfig,
+    ops: FleetOps<S>,
+) -> FleetReport
+where
+    S: DataSource + Send + 'static,
+{
+    run_pooled(jobs, config, None, Some(ops))
 }
 
 /// Runs the fleet on the pool with crash supervision and per-source circuit
@@ -675,7 +1265,7 @@ where
             resume: job.resume.clone(),
         })
         .collect();
-    run_pooled(jobs, config, Some(&specs))
+    run_pooled(jobs, config, Some(&specs), None)
 }
 
 /// Substitutes the fleet's [`FleetConfig::default_retry`] into a job left on
@@ -718,10 +1308,17 @@ where
     S: DataSource + Send + 'static,
 {
     assert!(config.slice > 0, "slice must be positive");
+    if let Err(e) = validate_fleet_jobs(&jobs, &config) {
+        panic!("invalid fleet: {e}");
+    }
     let n = jobs.len();
     if n == 0 {
         return FleetReport::empty(0);
     }
+    let slots: Vec<Option<usize>> = jobs
+        .iter()
+        .map(|j| j.tenant.and_then(|id| config.tenants.iter().position(|t| t.id == id)))
+        .collect();
     let (result_tx, result_rx) = mpsc::channel::<SliceResult>();
     let mut grant_txs = Vec::with_capacity(n);
     let mut handles = Vec::with_capacity(n);
@@ -779,6 +1376,8 @@ where
     let mut rates = vec![1.0f64; n];
     let mut done = vec![false; n];
     let mut rounds_used = vec![0u64; n];
+    let mut tenant_used = vec![0u64; config.tenants.len()];
+    let mut allocator = config.allocation.build_allocator();
     loop {
         let spent: u64 = rounds_used.iter().sum();
         let remaining = config.total_rounds.saturating_sub(spent);
@@ -786,7 +1385,16 @@ where
             break;
         }
         let active: Vec<usize> = (0..n).filter(|&i| !done[i]).collect();
-        let grants = allocate(&config, &active, &rates, remaining);
+        let cycle = AllocCycle {
+            active: &active,
+            rates: &rates,
+            remaining,
+            slice: config.slice,
+            tenant_of: &slots,
+            tenants: &config.tenants,
+            tenant_used: &tenant_used,
+        };
+        let grants = allocator.allocate(&cycle);
         if grants.is_empty() {
             break;
         }
@@ -797,6 +1405,9 @@ where
             let r = result_rx.recv().expect("worker reports");
             rates[r.idx] = r.recent_rate;
             done[r.idx] |= r.exhausted;
+            if let Some(s) = slots[r.idx] {
+                tenant_used[s] += r.rounds_used - rounds_used[r.idx];
+            }
             rounds_used[r.idx] = r.rounds_used;
         }
     }
@@ -815,11 +1426,36 @@ where
     let sources: Vec<CrawlReport> =
         finals.into_iter().map(|r| r.expect("every worker reported")).collect();
     let total_rounds = sources.iter().map(|r| r.elapsed_rounds()).sum();
+    // Synthesize the minimal tenant-tagged stream (attach + final detach
+    // per job) so the baseline's usage section is the same registry fold
+    // the pooled engine reports — and sums to total_rounds exactly.
+    let mut stream = FleetStream::new();
+    for (i, report) in sources.iter().enumerate() {
+        stream.emit(CrawlEvent::JobAttached {
+            job: i as u32,
+            tenant: slots[i].map(|s| config.tenants[s].id.0),
+            rounds: 0,
+            pages: 0,
+        });
+        stream.emit(CrawlEvent::JobDetached {
+            job: i as u32,
+            rounds: report.elapsed_rounds(),
+            pages: report.rounds,
+        });
+    }
+    let usage = stream
+        .registry
+        .usage_ledgers()
+        .into_iter()
+        .map(|(id, ledger)| (TenantId(id), ledger))
+        .collect();
     FleetReport {
         sources,
         total_rounds,
         health: vec![JobHealth::default(); n],
         scheduler: SchedulerStats::default(),
+        usage,
+        events: stream.events,
     }
 }
 
@@ -856,6 +1492,7 @@ mod tests {
             seeds: vec![("A".into(), seed_value.to_string())],
             config: CrawlConfig::builder().known_target_size(5).build().unwrap(),
             resume: None,
+            tenant: None,
         }
     }
 
@@ -952,6 +1589,7 @@ mod tests {
                 seeds: vec![("A".into(), seed.to_string())],
                 config: CrawlConfig::builder().known_target_size(5).build().unwrap(),
                 resume: None,
+                tenant: None,
             })
             .collect();
         let config = FleetConfig::builder().total_rounds(1000).slice(10).build().unwrap();
@@ -1041,6 +1679,7 @@ mod tests {
                 seeds: vec![("A".into(), "a2".to_string())],
                 config: partial_config.clone(),
                 resume: None,
+                tenant: None,
             }],
             FleetConfig::builder().total_rounds(2).slice(2).build().unwrap(),
         );
@@ -1054,6 +1693,7 @@ mod tests {
                 seeds: Vec::new(),
                 config: partial_config,
                 resume: Some(cp.clone()),
+                tenant: None,
             }],
             FleetConfig::builder().total_rounds(1000).slice(10).build().unwrap(),
         );
@@ -1079,6 +1719,7 @@ mod tests {
             seeds: vec![("A".into(), "a2".to_string())],
             config: builder.build().unwrap(),
             resume: None,
+            tenant: None,
         }
     }
 
@@ -1173,6 +1814,7 @@ mod tests {
                     .build()
                     .unwrap(),
                 resume: None,
+                tenant: None,
             })
             .collect();
         let config = FleetConfig::builder().total_rounds(4000).slice(50).build().unwrap();
@@ -1185,5 +1827,330 @@ mod tests {
         assert_eq!(failures, shared.faults_injected());
         let summed: u64 = report.sources.iter().map(|r| r.rounds).sum();
         assert_eq!(summed, shared.rounds_used(), "failed rounds are billed too");
+    }
+
+    // ---- tenancy -------------------------------------------------------
+
+    fn tenant_job(seed_value: &str, tenant: u32) -> FleetJob<WebDbServer> {
+        FleetJob { tenant: Some(TenantId(tenant)), ..job(seed_value) }
+    }
+
+    #[test]
+    fn builder_rejects_tenant_misconfiguration() {
+        let build = |tenants: Vec<Tenant>| FleetConfig::builder().tenants(tenants).build();
+        assert_eq!(
+            build(vec![Tenant::new(0).with_weight(0)]).unwrap_err(),
+            ConfigError::ZeroTenantWeight(0)
+        );
+        assert_eq!(
+            build(vec![Tenant::new(1).with_quota(0)]).unwrap_err(),
+            ConfigError::ZeroTenantQuota(1)
+        );
+        assert_eq!(
+            build(vec![Tenant::new(2), Tenant::new(2)]).unwrap_err(),
+            ConfigError::DuplicateTenant(2)
+        );
+        assert!(build(vec![Tenant::new(0), Tenant::new(1).with_weight(4).with_quota(50)]).is_ok());
+    }
+
+    #[test]
+    fn jobs_are_validated_against_the_registry() {
+        let tenanted = FleetConfig::builder().tenants(vec![Tenant::new(0)]).build().unwrap();
+        assert_eq!(
+            validate_fleet_jobs(&[tenant_job("a2", 9)], &tenanted).unwrap_err(),
+            ConfigError::UnknownTenant(9)
+        );
+        assert_eq!(
+            validate_fleet_jobs(&[job("a2")], &tenanted).unwrap_err(),
+            ConfigError::MissingTenant
+        );
+        let blind = FleetConfig::default();
+        assert_eq!(
+            validate_fleet_jobs(&[tenant_job("a2", 0)], &blind).unwrap_err(),
+            ConfigError::UnknownTenant(0)
+        );
+        assert!(validate_fleet_jobs(&[tenant_job("a2", 0)], &tenanted).is_ok());
+        assert!(validate_fleet_jobs(&[job("a2")], &blind).is_ok());
+    }
+
+    #[test]
+    fn weighted_fair_grants_follow_weights() {
+        let tenants = vec![Tenant::new(0).with_weight(3), Tenant::new(1)];
+        let mut alloc = WeightedFairAllocator::default();
+        let grants = alloc.allocate(&AllocCycle {
+            active: &[0, 1],
+            rates: &[1.0, 1.0],
+            remaining: 1000,
+            slice: 8,
+            tenant_of: &[Some(0), Some(1)],
+            tenants: &tenants,
+            tenant_used: &[0, 0],
+        });
+        assert_eq!(grants, vec![(0, 6), (1, 2)], "3:1 weights split an 8-round slice 6:2");
+    }
+
+    #[test]
+    fn weighted_fair_clamps_to_quota_and_redistributes() {
+        let tenants = vec![Tenant::new(0).with_weight(3).with_quota(4), Tenant::new(1)];
+        let mut alloc = WeightedFairAllocator::default();
+        let cycle = |used: &'static [u64]| AllocCycle {
+            active: &[0, 1],
+            rates: &[1.0, 1.0],
+            remaining: 1000,
+            slice: 8,
+            tenant_of: &[Some(0), Some(1)],
+            tenants: &tenants,
+            tenant_used: used,
+        };
+        // Tenant 0 is entitled to 6 but has 4 rounds of quota headroom; the
+        // 2 freed rounds flow to tenant 1 on top of its own entitlement.
+        assert_eq!(alloc.allocate(&cycle(&[0, 0])), vec![(0, 4), (1, 4)]);
+        // Quota spent: tenant 0 drops out entirely, tenant 1 absorbs the
+        // full slice (plus nothing carried — its deficit is zero).
+        assert_eq!(alloc.allocate(&cycle(&[4, 4])), vec![(1, 8)]);
+    }
+
+    #[test]
+    fn weighted_fair_carries_deficits_across_cycles() {
+        // Deficits originate from quota clamping and are drawn once the
+        // headroom returns (here: the operator raises the quota between
+        // cycles — the registry is a per-cycle input to the allocator).
+        let capped = vec![Tenant::new(0).with_weight(3).with_quota(4), Tenant::new(1)];
+        let uncapped = vec![Tenant::new(0).with_weight(3), Tenant::new(1)];
+        let mut alloc = WeightedFairAllocator::default();
+        fn cycle(tenants: &[Tenant]) -> AllocCycle<'_> {
+            AllocCycle {
+                active: &[0, 1],
+                rates: &[1.0, 1.0],
+                remaining: 1000,
+                slice: 8,
+                tenant_of: &[Some(0), Some(1)],
+                tenants,
+                tenant_used: &[0, 0],
+            }
+        }
+        // Cycle 1: tenant 0 is entitled to 6 but clamped to 4 by its quota;
+        // the 2-round shortfall is carried as a deficit.
+        assert_eq!(alloc.allocate(&cycle(&capped)), vec![(0, 4), (1, 4)]);
+        // Cycle 2: headroom restored — tenant 0 draws entitlement (6) plus
+        // the carried deficit (2), absorbing the whole slice; tenant 1's
+        // unmet entitlement becomes *its* deficit in turn.
+        assert_eq!(alloc.allocate(&cycle(&uncapped)), vec![(0, 8)]);
+        // Cycle 3: tenant 0's deficit is spent, so tenant 1 gets its
+        // entitlement (2) back while the steady 3:1 split resumes.
+        assert_eq!(alloc.allocate(&cycle(&uncapped)), vec![(0, 6), (1, 2)]);
+    }
+
+    #[test]
+    fn weighted_fair_splits_a_tenant_grant_over_its_jobs() {
+        // Tenant 0 runs jobs 0 and 2; a 7-round grant splits 4/3 with the
+        // remainder rotating between the jobs across cycles.
+        let tenants = vec![Tenant::new(0)];
+        let mut alloc = WeightedFairAllocator::default();
+        let cycle = AllocCycle {
+            active: &[0, 2],
+            rates: &[1.0, 1.0, 1.0],
+            remaining: 1000,
+            slice: 7,
+            tenant_of: &[Some(0), None, Some(0)],
+            tenants: &tenants,
+            tenant_used: &[0],
+        };
+        assert_eq!(alloc.allocate(&cycle), vec![(0, 4), (2, 3)]);
+        assert_eq!(alloc.allocate(&cycle), vec![(0, 3), (2, 4)], "remainder rotates");
+    }
+
+    #[test]
+    fn weighted_fair_without_registry_treats_jobs_as_peers() {
+        let mut alloc = WeightedFairAllocator::default();
+        let grants = alloc.allocate(&AllocCycle {
+            active: &[0, 1, 2],
+            rates: &[1.0, 1.0, 1.0],
+            remaining: 1000,
+            slice: 9,
+            tenant_of: &[None, None, None],
+            tenants: &[],
+            tenant_used: &[],
+        });
+        assert_eq!(grants, vec![(0, 3), (1, 3), (2, 3)], "implicit weight-1 tenants");
+    }
+
+    #[test]
+    fn weighted_fleet_meters_rounds_by_weight() {
+        let tenants = vec![Tenant::new(0).with_weight(3), Tenant::new(1)];
+        let jobs = vec![tenant_job("a2", 0), tenant_job("a3", 1)];
+        let config = FleetConfig::builder()
+            .total_rounds(4)
+            .slice(4)
+            .allocation(AllocationStrategy::WeightedFair)
+            .workers(1)
+            .tenants(tenants)
+            .build()
+            .unwrap();
+        let report = run_fleet(jobs, config);
+        assert_eq!(report.usage.len(), 2);
+        assert_eq!(report.usage[0].0, TenantId(0));
+        assert_eq!(report.usage[0].1.rounds, 3, "weight 3 draws 3 of the 4 budget rounds");
+        assert_eq!(report.usage[1].0, TenantId(1));
+        assert_eq!(report.usage[1].1.rounds, 1);
+        let ledger_rounds: u64 = report.usage.iter().map(|(_, l)| l.rounds).sum();
+        assert_eq!(ledger_rounds, report.total_rounds, "ledgers conserve the budget");
+    }
+
+    #[test]
+    fn quota_exhaustion_parks_the_tenant() {
+        let tenants = vec![Tenant::new(0).with_quota(3), Tenant::new(1)];
+        let jobs = vec![tenant_job("a2", 0), tenant_job("a3", 1)];
+        let config = FleetConfig::builder()
+            .total_rounds(1000)
+            .slice(4)
+            .allocation(AllocationStrategy::WeightedFair)
+            .workers(1)
+            .tenants(tenants)
+            .build()
+            .unwrap();
+        let report = run_fleet(jobs, config);
+        assert_eq!(report.sources[0].stop, StopReason::QuotaExhausted);
+        assert!(report.sources[0].elapsed_rounds() <= 3, "grants were clamped to the quota");
+        assert_eq!(report.sources[1].records, 5, "the unlimited tenant finishes");
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, CrawlEvent::TenantPreempted { tenant: 0, job: 0 })));
+        let t0 = &report.usage[0].1;
+        assert_eq!(t0.preempted, 1, "one cooperative preemption");
+        assert!(t0.rounds <= 3);
+        let ledger_rounds: u64 = report.usage.iter().map(|(_, l)| l.rounds).sum();
+        assert_eq!(ledger_rounds, report.total_rounds);
+    }
+
+    #[test]
+    fn usage_ledgers_replay_from_the_event_stream() {
+        let tenants =
+            vec![Tenant::new(0).with_weight(2).with_quota(6), Tenant::new(1).with_priority(3)];
+        let jobs = vec![tenant_job("a2", 0), tenant_job("a1", 1), tenant_job("a3", 1)];
+        let config = FleetConfig::builder()
+            .total_rounds(200)
+            .slice(6)
+            .allocation(AllocationStrategy::WeightedFair)
+            .workers(1)
+            .tenants(tenants)
+            .build()
+            .unwrap();
+        let report = run_fleet(jobs, config);
+        let replayed: Vec<(TenantId, UsageLedger)> = crate::metrics::replay_usage(&report.events)
+            .into_iter()
+            .map(|(id, ledger)| (TenantId(id), ledger))
+            .collect();
+        assert_eq!(replayed, report.usage, "usage is a pure fold of the event stream");
+    }
+
+    #[test]
+    fn controller_attaches_and_detaches_jobs_live() {
+        let config = FleetConfig::builder()
+            .total_rounds(1000)
+            .slice(10)
+            .workers(1)
+            .tenants(vec![Tenant::new(0), Tenant::new(1)])
+            .build()
+            .unwrap();
+        let (controller, ops) = FleetController::channel(&config);
+        assert_eq!(
+            controller.attach(tenant_job("a2", 7)).unwrap_err(),
+            ConfigError::UnknownTenant(7),
+            "the controller validates tenants before sending"
+        );
+        controller.attach(tenant_job("a3", 1)).unwrap();
+        controller.detach(0);
+        let report = run_fleet_controlled(vec![tenant_job("a2", 0)], config, ops);
+        assert_eq!(report.sources.len(), 2, "the attached job joined the fleet");
+        assert_eq!(report.sources[0].stop, StopReason::Cancelled, "job 0 was detached");
+        assert_eq!(report.sources[0].records, 0, "detached before its first slice");
+        assert_eq!(report.sources[1].records, 5, "the attached job ran to exhaustion");
+        assert!(report
+            .events
+            .iter()
+            .any(|e| matches!(e, CrawlEvent::JobAttached { job: 1, tenant: Some(1), .. })));
+        assert!(report.events.iter().any(|e| matches!(e, CrawlEvent::JobDetached { job: 0, .. })));
+        let ledger_rounds: u64 = report.usage.iter().map(|(_, l)| l.rounds).sum();
+        assert_eq!(ledger_rounds, report.total_rounds, "attach/detach keeps conservation");
+    }
+
+    #[test]
+    fn single_tenant_fleet_matches_tenant_blind_runs() {
+        for allocation in [AllocationStrategy::Even, AllocationStrategy::HarvestProportional] {
+            let config = |tenants: Vec<Tenant>| {
+                FleetConfig::builder()
+                    .total_rounds(300)
+                    .slice(12)
+                    .allocation(allocation)
+                    .workers(1)
+                    .tenants(tenants)
+                    .build()
+                    .unwrap()
+            };
+            let blind = run_fleet(vec![job("a2"), job("a1"), job("a3")], config(Vec::new()));
+            let tenanted = run_fleet(
+                vec![tenant_job("a2", 0), tenant_job("a1", 0), tenant_job("a3", 0)],
+                config(vec![Tenant::new(0)]),
+            );
+            assert_eq!(
+                blind.sources, tenanted.sources,
+                "{allocation:?}: tenancy must not change grant math"
+            );
+            assert_eq!(blind.total_rounds, tenanted.total_rounds);
+            assert_eq!(blind.scheduler, tenanted.scheduler);
+            assert!(blind.usage.is_empty(), "tenant-blind fleets report no ledgers");
+            assert_eq!(tenanted.usage.len(), 1);
+            assert_eq!(tenanted.usage[0].1.rounds, tenanted.total_rounds);
+        }
+    }
+
+    #[test]
+    fn weighted_fair_pooled_matches_thread_per_job_baseline() {
+        let tenants = || vec![Tenant::new(0).with_weight(3), Tenant::new(1)];
+        let make = || vec![tenant_job("a2", 0), tenant_job("a1", 1), tenant_job("a3", 0)];
+        let config = || {
+            FleetConfig::builder()
+                .total_rounds(300)
+                .slice(12)
+                .allocation(AllocationStrategy::WeightedFair)
+                .workers(2)
+                .tenants(tenants())
+                .build()
+                .unwrap()
+        };
+        let pooled = run_fleet(make(), config());
+        let baseline = run_fleet_thread_per_job(make(), config());
+        assert_eq!(pooled.sources, baseline.sources, "identical grant sequences");
+        assert_eq!(pooled.total_rounds, baseline.total_rounds);
+        assert_eq!(pooled.usage, baseline.usage, "both engines fold the same ledgers");
+    }
+
+    #[test]
+    fn tenanted_single_worker_run_is_reproducible() {
+        let run = || {
+            let tenants = vec![
+                Tenant::new(0).with_weight(3).with_priority(2),
+                Tenant::new(1).with_quota(40),
+                Tenant::new(2),
+            ];
+            let jobs = vec![tenant_job("a2", 0), tenant_job("a1", 1), tenant_job("a3", 2)];
+            let config = FleetConfig::builder()
+                .total_rounds(500)
+                .slice(7)
+                .allocation(AllocationStrategy::WeightedFair)
+                .workers(1)
+                .tenants(tenants)
+                .build()
+                .unwrap();
+            run_fleet(jobs, config)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.sources, b.sources, "reports (traces included) must match");
+        assert_eq!(a.scheduler, b.scheduler);
+        assert_eq!(a.usage, b.usage);
+        assert_eq!(a.events, b.events, "the full event stream is deterministic");
     }
 }

@@ -58,6 +58,7 @@ pub mod source;
 pub mod stage;
 pub mod state;
 pub mod store;
+pub mod tenant;
 pub mod trace;
 
 pub use abort::AbortPolicy;
@@ -69,12 +70,13 @@ pub use domain_table::DomainTable;
 pub use events::{BreakerPhase, CrawlEvent, EventBus, EventSink, JsonlSink, MemorySink};
 pub use fault::{FaultKind, FaultPlan, FaultPlanSource, FaultTally};
 pub use fleet::{
-    run_fleet, run_fleet_supervised, run_fleet_thread_per_job, AllocationStrategy, FleetConfig,
-    FleetJob, FleetReport,
+    run_fleet, run_fleet_controlled, run_fleet_supervised, run_fleet_thread_per_job,
+    AllocationStrategy, Allocator, EvenAllocator, FleetConfig, FleetController, FleetJob, FleetOps,
+    FleetReport, HarvestAllocator, WeightedFairAllocator,
 };
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker, JobHealth};
 pub use local::LocalDb;
-pub use metrics::{replay_report, replay_service_report, MetricsRegistry};
+pub use metrics::{replay_report, replay_service_report, replay_usage, MetricsRegistry};
 pub use policy::{PolicyKind, SelectionPolicy};
 pub use report::CrawlSummary;
 pub use sched::{Pool, SchedulerStats, TaskCtx, WorkerStats};
@@ -89,4 +91,5 @@ pub use source::{
 pub use stage::{Executor, Ingestor, Planner};
 pub use state::{CandStatus, CrawlState, QueryOutcome};
 pub use store::{CheckpointStore, SaveReceipt, StoreError};
+pub use tenant::{RateLimit, Tenant, TenantId, TokenBucket, UsageLedger};
 pub use trace::{CrawlTrace, TraceError};

@@ -10,7 +10,9 @@
 //! file), rebuilding the exact report the original crawl returned.
 
 use crate::events::{BreakerPhase, CrawlEvent, EventSink, StopReason};
+use crate::tenant::UsageLedger;
 use crate::trace::{CrawlTrace, TracePoint};
+use std::collections::BTreeMap;
 
 /// Summary of a finished crawl.
 #[derive(Debug, Clone, PartialEq)]
@@ -106,9 +108,30 @@ pub struct MetricsRegistry {
     /// `i ≥ 1` holds `[2^(i−1), 2^i)` µs. Allocated on first use so crawls
     /// that never cross a service boundary pay nothing.
     latency_buckets: Vec<u64>,
+    /// Tenant each fleet job runs under (tenanted jobs only), learned from
+    /// `JobAttached` / `SliceCompleted` tags.
+    job_tenant: BTreeMap<u32, u32>,
+    /// Per-job cumulative billed rounds, folded as a running *maximum* over
+    /// the `rounds`/`total` fields of `JobAttached` / `SliceCompleted` /
+    /// `JobDetached`. Maxima (not slice-delta sums) keep the fold exact
+    /// under worker panics, restarts, and checkpoint resumes.
+    job_rounds: BTreeMap<u32, u64>,
+    /// Per-job cumulative page-request rounds, folded like `job_rounds`.
+    job_pages: BTreeMap<u32, u64>,
+    /// Per-tenant admission / shed / preemption / retransmit event counts.
+    tenant_admitted: BTreeMap<u32, u64>,
+    tenant_sheds: BTreeMap<u32, u64>,
+    tenant_preempted: BTreeMap<u32, u64>,
+    tenant_retransmits: BTreeMap<u32, u64>,
     trace: CrawlTrace,
     stop: Option<StopReason>,
     final_coverage: Option<f64>,
+}
+
+/// Folds `value` into `map[key]` as a running maximum.
+fn max_fold(map: &mut BTreeMap<u32, u64>, key: u32, value: u64) {
+    let slot = map.entry(key).or_insert(0);
+    *slot = (*slot).max(value);
 }
 
 /// Log2 bucket index for a microsecond latency (0 → bucket 0).
@@ -193,7 +216,7 @@ impl MetricsRegistry {
                 self.slices_scheduled += 1;
                 self.rounds_granted += rounds;
             }
-            CrawlEvent::SliceCompleted { worker, rounds, stolen, .. } => {
+            CrawlEvent::SliceCompleted { job, worker, rounds, stolen, tenant, total, pages } => {
                 self.slices_completed += 1;
                 self.rounds_executed += rounds;
                 self.steals += u64::from(stolen);
@@ -202,6 +225,33 @@ impl MetricsRegistry {
                     self.per_worker_slices.resize(idx + 1, 0);
                 }
                 self.per_worker_slices[idx] += 1;
+                if let Some(t) = tenant {
+                    self.job_tenant.insert(job, t);
+                    max_fold(&mut self.job_rounds, job, total);
+                    max_fold(&mut self.job_pages, job, pages);
+                }
+            }
+            CrawlEvent::JobAttached { job, tenant, rounds, pages } => {
+                if let Some(t) = tenant {
+                    self.job_tenant.insert(job, t);
+                    max_fold(&mut self.job_rounds, job, rounds);
+                    max_fold(&mut self.job_pages, job, pages);
+                }
+            }
+            CrawlEvent::JobDetached { job, rounds, pages } => {
+                if self.job_tenant.contains_key(&job) {
+                    max_fold(&mut self.job_rounds, job, rounds);
+                    max_fold(&mut self.job_pages, job, pages);
+                }
+            }
+            CrawlEvent::TenantPreempted { tenant, .. } => {
+                *self.tenant_preempted.entry(tenant).or_insert(0) += 1;
+            }
+            CrawlEvent::TenantAdmitted { tenant } => {
+                *self.tenant_admitted.entry(tenant).or_insert(0) += 1;
+            }
+            CrawlEvent::TenantThrottled { tenant } => {
+                *self.tenant_sheds.entry(tenant).or_insert(0) += 1;
             }
             CrawlEvent::RequestEnqueued { depth } => {
                 self.requests_enqueued += 1;
@@ -219,7 +269,12 @@ impl MetricsRegistry {
                 self.latency_buckets[latency_bucket(latency_us)] += 1;
             }
             CrawlEvent::FrameDropped { .. } => self.frames_dropped += 1,
-            CrawlEvent::FrameRetransmitted { .. } => self.frames_retransmitted += 1,
+            CrawlEvent::FrameRetransmitted { tenant, .. } => {
+                self.frames_retransmitted += 1;
+                if let Some(t) = tenant {
+                    *self.tenant_retransmits.entry(t).or_insert(0) += 1;
+                }
+            }
             CrawlEvent::Hedged { .. } => self.hedged_requests += 1,
             CrawlEvent::ServiceRestarted => self.service_restarts += 1,
         }
@@ -354,6 +409,41 @@ impl MetricsRegistry {
         }
     }
 
+    /// Derives the per-tenant [`UsageLedger`]s from the tenant-tagged
+    /// events recorded here, sorted by tenant id. Empty for a tenant-blind
+    /// stream.
+    ///
+    /// A tenant's `rounds`/`pages` are the sums of its jobs' cumulative
+    /// maxima (see the field docs), so — because the fleet coordinator
+    /// bills budgets from the same per-job maxima — the `rounds` of all
+    /// ledgers in a fully-tenanted fleet sum *exactly* to
+    /// `FleetReport::total_rounds`, faults and restarts included.
+    pub fn usage_ledgers(&self) -> Vec<(u32, UsageLedger)> {
+        let mut ids: std::collections::BTreeSet<u32> = self.job_tenant.values().copied().collect();
+        ids.extend(self.tenant_admitted.keys().copied());
+        ids.extend(self.tenant_sheds.keys().copied());
+        ids.extend(self.tenant_preempted.keys().copied());
+        ids.extend(self.tenant_retransmits.keys().copied());
+        ids.into_iter()
+            .map(|t| {
+                let mut ledger = UsageLedger {
+                    admitted: self.tenant_admitted.get(&t).copied().unwrap_or(0),
+                    sheds: self.tenant_sheds.get(&t).copied().unwrap_or(0),
+                    preempted: self.tenant_preempted.get(&t).copied().unwrap_or(0),
+                    retransmits: self.tenant_retransmits.get(&t).copied().unwrap_or(0),
+                    ..UsageLedger::default()
+                };
+                for (&job, &tenant) in &self.job_tenant {
+                    if tenant == t {
+                        ledger.rounds += self.job_rounds.get(&job).copied().unwrap_or(0);
+                        ledger.pages += self.job_pages.get(&job).copied().unwrap_or(0);
+                    }
+                }
+                (t, ledger)
+            })
+            .collect()
+    }
+
     /// Nearest-rank percentile over the log2 latency histogram: the upper
     /// bound of the bucket containing the `⌈q·n⌉`-th smallest completion.
     fn latency_percentile(&self, q: f64) -> u64 {
@@ -418,6 +508,20 @@ pub fn replay_report<'a, I: IntoIterator<Item = &'a CrawlEvent>>(events: I) -> O
         registry.record(event);
     }
     registry.report()
+}
+
+/// Replays a recorded stream through a fresh registry and derives its
+/// per-tenant usage ledgers — the same fold the fleet runs live, so
+/// `replay_usage(&report.events)` reproduces `FleetReport::usage`
+/// bit-for-bit for any fleet run.
+pub fn replay_usage<'a, I: IntoIterator<Item = &'a CrawlEvent>>(
+    events: I,
+) -> Vec<(u32, UsageLedger)> {
+    let mut registry = MetricsRegistry::new();
+    for event in events {
+        registry.record(event);
+    }
+    registry.usage_ledgers()
 }
 
 /// Replays a recorded stream through a fresh registry and derives its
@@ -542,8 +646,24 @@ mod tests {
         for ev in [
             CrawlEvent::SliceScheduled { job: 0, rounds: 100 },
             CrawlEvent::SliceScheduled { job: 1, rounds: 50 },
-            CrawlEvent::SliceCompleted { job: 0, worker: 2, rounds: 97, stolen: true },
-            CrawlEvent::SliceCompleted { job: 1, worker: 0, rounds: 50, stolen: false },
+            CrawlEvent::SliceCompleted {
+                job: 0,
+                worker: 2,
+                rounds: 97,
+                stolen: true,
+                tenant: None,
+                total: 97,
+                pages: 95,
+            },
+            CrawlEvent::SliceCompleted {
+                job: 1,
+                worker: 0,
+                rounds: 50,
+                stolen: false,
+                tenant: None,
+                total: 50,
+                pages: 50,
+            },
         ] {
             m.record(&ev);
         }
@@ -555,6 +675,80 @@ mod tests {
         assert_eq!(s.rounds_executed, 147);
         assert_eq!(s.steals, 1);
         assert_eq!(s.per_worker_slices, vec![1, 0, 1, 0], "padded to the pool size");
+    }
+
+    #[test]
+    fn tenant_events_fold_into_usage_ledgers() {
+        let mut m = MetricsRegistry::new();
+        assert!(m.usage_ledgers().is_empty(), "tenant-blind streams report no usage");
+        let events = [
+            // Job 0 (tenant 1) resumes from a checkpoint with 40 rounds billed.
+            CrawlEvent::JobAttached { job: 0, tenant: Some(1), rounds: 40, pages: 38 },
+            CrawlEvent::JobAttached { job: 1, tenant: Some(2), rounds: 0, pages: 0 },
+            CrawlEvent::SliceCompleted {
+                job: 0,
+                worker: 0,
+                rounds: 10,
+                stolen: false,
+                tenant: Some(1),
+                total: 50,
+                pages: 47,
+            },
+            // A panic + restart replays job 1's slice: the re-attach carries
+            // the checkpointed totals, so the max-fold stays exact.
+            CrawlEvent::JobAttached { job: 1, tenant: Some(2), rounds: 5, pages: 5 },
+            CrawlEvent::SliceCompleted {
+                job: 1,
+                worker: 1,
+                rounds: 7,
+                stolen: true,
+                tenant: Some(2),
+                total: 12,
+                pages: 12,
+            },
+            CrawlEvent::TenantPreempted { tenant: 2, job: 1 },
+            CrawlEvent::TenantAdmitted { tenant: 1 },
+            CrawlEvent::TenantAdmitted { tenant: 1 },
+            CrawlEvent::TenantThrottled { tenant: 1 },
+            CrawlEvent::FrameRetransmitted { request: 9, tenant: Some(2) },
+            CrawlEvent::FrameRetransmitted { request: 10, tenant: None },
+            CrawlEvent::JobDetached { job: 0, rounds: 50, pages: 47 },
+            CrawlEvent::JobDetached { job: 1, rounds: 12, pages: 12 },
+        ];
+        for ev in &events {
+            m.record(ev);
+        }
+        let usage = m.usage_ledgers();
+        assert_eq!(usage.len(), 2);
+        assert_eq!(
+            usage[0],
+            (
+                1,
+                UsageLedger {
+                    rounds: 50,
+                    pages: 47,
+                    admitted: 2,
+                    sheds: 1,
+                    retransmits: 0,
+                    preempted: 0,
+                }
+            )
+        );
+        assert_eq!(
+            usage[1],
+            (
+                2,
+                UsageLedger {
+                    rounds: 12,
+                    pages: 12,
+                    admitted: 0,
+                    sheds: 0,
+                    retransmits: 1,
+                    preempted: 1,
+                }
+            )
+        );
+        assert_eq!(replay_usage(&events), usage, "the live fold and the replay agree");
     }
 
     #[test]

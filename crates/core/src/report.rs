@@ -148,6 +148,19 @@ impl fmt::Display for FleetReport {
                 self.scheduler.rounds_granted
             )?;
         }
+        for (tenant, usage) in &self.usage {
+            writeln!(
+                f,
+                "  tenant {tenant}: {} rounds / {} pages / {} admitted / {} shed / {} \
+                 retransmits / {} preemptions",
+                usage.rounds,
+                usage.pages,
+                usage.admitted,
+                usage.sheds,
+                usage.retransmits,
+                usage.preempted
+            )?;
+        }
         for (i, r) in self.sources.iter().enumerate() {
             write!(
                 f,
@@ -248,6 +261,7 @@ mod tests {
             seeds: vec![("A".into(), "a2".into())],
             config: CrawlConfig::default(),
             resume: None,
+            tenant: None,
         }];
         let mut report = run_fleet_supervised(
             jobs,

@@ -150,6 +150,29 @@ impl<T: Send + 'static, R: Send + 'static> Pool<T, R> {
         self.shared.cv.notify_one();
     }
 
+    /// Enqueues a batch of prioritized tasks: the batch is stable-sorted
+    /// by priority (highest first) and pushed onto the global injector in
+    /// that order, then every parked worker is woken.
+    ///
+    /// Priority is *dispatch order within the batch*, nothing more: with
+    /// one worker the batch executes exactly in the sorted order (so a
+    /// high-priority tenant's slice always starts first), and batches stay
+    /// FIFO relative to each other. Equal priorities keep their submission
+    /// order, which is what keeps `workers = 1` runs bit-for-bit
+    /// deterministic — and makes an all-equal-priority batch identical to
+    /// a sequence of plain [`Pool::submit`] calls.
+    pub fn submit_batch(&self, mut batch: Vec<(u8, T)>) {
+        batch.sort_by_key(|&(priority, _)| std::cmp::Reverse(priority));
+        let count = batch.len();
+        for (_, task) in batch {
+            self.injector.push(task);
+        }
+        if count > 0 {
+            drop(self.shared.gate.lock().expect("pool gate poisoned"));
+            self.shared.cv.notify_all();
+        }
+    }
+
     /// Blocks until the next result arrives. Call exactly once per
     /// submitted task; calling with nothing in flight deadlocks by design
     /// (the workers are still alive waiting for work).
@@ -301,6 +324,30 @@ mod tests {
             start.elapsed() < Duration::from_millis(400),
             "quick tasks must not serialize behind the sleeper"
         );
+        pool.join();
+    }
+
+    #[test]
+    fn batch_submit_dispatches_by_priority_then_fifo() {
+        let pool = Pool::new(1, |_ctx: TaskCtx, x: u32| x);
+        // Unsorted priorities; ties (priority 2) must keep submission order.
+        pool.submit_batch(vec![(0, 10), (2, 20), (1, 30), (2, 21)]);
+        let first: Vec<u32> = (0..4).map(|_| pool.recv()).collect();
+        assert_eq!(first, vec![20, 21, 30, 10], "highest priority first, stable ties");
+        // A later batch never jumps ahead of an earlier one.
+        pool.submit_batch(vec![(0, 40)]);
+        pool.submit_batch(vec![(9, 50)]);
+        assert_eq!(pool.recv(), 40);
+        assert_eq!(pool.recv(), 50);
+        pool.join();
+    }
+
+    #[test]
+    fn all_equal_priority_batch_matches_plain_submits() {
+        let pool = Pool::new(1, |_ctx: TaskCtx, x: u32| x);
+        pool.submit_batch((0..50u32).map(|x| (0u8, x)).collect());
+        let got: Vec<u32> = (0..50).map(|_| pool.recv()).collect();
+        assert_eq!(got, (0..50).collect::<Vec<_>>());
         pool.join();
     }
 

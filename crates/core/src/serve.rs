@@ -88,6 +88,7 @@ use crate::source::{
     CancelToken, CrawlError, DataSource, PageMeta, ProberMode, ServiceMeta, SourceRequest,
     SourceResponse,
 };
+use crate::tenant::{validate_tenants, Tenant, TenantId, TokenBucket};
 use crate::ConfigError;
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
 use dwc_server::{InterfaceSpec, Query};
@@ -193,7 +194,7 @@ impl LatencyModel {
 }
 
 /// Serving-tier knobs, validated together by [`ServeConfigBuilder::build`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServeConfig {
     /// Bound on the request queue; admission sheds beyond it.
     pub queue_depth: usize,
@@ -207,6 +208,11 @@ pub struct ServeConfig {
     pub default_deadline: Option<Duration>,
     /// Seed for the latency distribution.
     pub seed: u64,
+    /// Tenant registry for per-tenant admission control. Tenants with a
+    /// [`crate::tenant::RateLimit`] get a token bucket at the protocol seam
+    /// ([`SourceService::connect_for`]); an empty registry leaves the
+    /// service tenant-blind.
+    pub tenants: Vec<Tenant>,
 }
 
 impl Default for ServeConfig {
@@ -218,6 +224,7 @@ impl Default for ServeConfig {
             decode_per_record: Duration::ZERO,
             default_deadline: None,
             seed: 0,
+            tenants: Vec::new(),
         }
     }
 }
@@ -274,6 +281,12 @@ impl ServeConfigBuilder {
         self
     }
 
+    /// Sets the tenant registry for per-tenant admission control.
+    pub fn tenants(mut self, tenants: Vec<Tenant>) -> Self {
+        self.config.tenants = tenants;
+        self
+    }
+
     /// Validates all knobs together.
     pub fn build(self) -> Result<ServeConfig, ConfigError> {
         let c = self.config;
@@ -286,6 +299,7 @@ impl ServeConfigBuilder {
         if c.default_deadline == Some(Duration::ZERO) {
             return Err(ConfigError::ZeroDeadline);
         }
+        validate_tenants(&c.tenants)?;
         Ok(c)
     }
 }
@@ -362,6 +376,9 @@ struct Job {
     /// Idempotent request id: identical across retransmits, duplicates and
     /// hedges of one logical request.
     rid: u64,
+    /// Tenant the submitting connection was opened for, if any; rides along
+    /// so service-side events bill the right principal.
+    tenant: Option<u32>,
     chaos: JobChaos,
     reply: Sender<Reply>,
 }
@@ -403,11 +420,24 @@ struct ServiceShared {
     seq: AtomicU64,
     request_ids: AtomicU64,
     dedup: Mutex<DedupTable>,
+    /// Per-tenant admission token buckets, one per registry entry carrying a
+    /// [`crate::tenant::RateLimit`]. Tenants without a limit are admitted
+    /// unconditionally (and still metered).
+    buckets: Mutex<HashMap<u32, TokenBucket>>,
 }
 
 impl ServiceShared {
     fn emit(&self, event: CrawlEvent) {
         self.bus.lock().expect("service bus poisoned").emit(event);
+    }
+
+    /// The admission decision for one request from `tenant` at time `now`:
+    /// `true` unless the tenant has a rate limit and its bucket is empty.
+    fn admit(&self, tenant: u32, now: Instant) -> bool {
+        match self.buckets.lock().expect("admission buckets poisoned").get_mut(&tenant) {
+            Some(bucket) => bucket.try_take(now),
+            None => true,
+        }
     }
 }
 
@@ -427,6 +457,12 @@ impl<S: DataSource + Send + Sync + 'static> SourceService<S> {
     /// Spawns the worker pool and starts serving `inner`.
     pub fn start(inner: Arc<S>, config: ServeConfig) -> Self {
         let (tx, rx) = bounded::<Job>(config.queue_depth);
+        let now = Instant::now();
+        let buckets = config
+            .tenants
+            .iter()
+            .filter_map(|t| t.rate.map(|rate| (t.id.0, TokenBucket::new(rate, now))))
+            .collect();
         let shared = Arc::new(ServiceShared {
             bus: Mutex::new(EventBus::new()),
             shed: AtomicU64::new(0),
@@ -435,12 +471,14 @@ impl<S: DataSource + Send + Sync + 'static> SourceService<S> {
             seq: AtomicU64::new(0),
             request_ids: AtomicU64::new(0),
             dedup: Mutex::new(DedupTable::default()),
+            buckets: Mutex::new(buckets),
         });
         let workers = (0..config.workers)
             .map(|_| {
                 let inner = Arc::clone(&inner);
                 let rx = rx.clone();
                 let shared = Arc::clone(&shared);
+                let config = config.clone();
                 thread::spawn(move || worker_loop(inner, rx, shared, config))
             })
             .collect();
@@ -456,7 +494,22 @@ impl<S: DataSource + Send + Sync + 'static> SourceService<S> {
             shared: Arc::clone(&self.shared),
             default_deadline: self.config.default_deadline,
             chaos: None,
+            tenant: None,
         }
+    }
+
+    /// A connection whose requests are admitted, billed, and metered under
+    /// `tenant`'s identity: the tenant's token bucket gates admission at
+    /// the protocol seam, and sheds / retransmits on the connection are
+    /// tagged with the tenant in the event stream. Rejects ids absent from
+    /// the registry ([`ServeConfig::tenants`]).
+    pub fn connect_for(&self, tenant: TenantId) -> Result<Connection<S>, ConfigError> {
+        if !self.config.tenants.iter().any(|t| t.id == tenant) {
+            return Err(ConfigError::UnknownTenant(tenant.0));
+        }
+        let mut conn = self.connect();
+        conn.tenant = Some(tenant.0);
+        Ok(conn)
     }
 
     /// A round-robin pool of `n` connections with per-connection circuit
@@ -580,13 +633,15 @@ fn worker_loop<S: DataSource>(
                 // Billed as a new round (Definition 2.3 counts requests),
                 // but the executing worker will fan the single outcome out.
                 shared.retransmitted.fetch_add(1, Ordering::Relaxed);
-                shared.emit(CrawlEvent::FrameRetransmitted { request: job.rid });
+                shared
+                    .emit(CrawlEvent::FrameRetransmitted { request: job.rid, tenant: job.tenant });
                 shared.emit(CrawlEvent::RequestCompleted { latency_us: latency(&job) });
                 continue;
             }
             Claim::Served(mut outcome) => {
                 shared.retransmitted.fetch_add(1, Ordering::Relaxed);
-                shared.emit(CrawlEvent::FrameRetransmitted { request: job.rid });
+                shared
+                    .emit(CrawlEvent::FrameRetransmitted { request: job.rid, tenant: job.tenant });
                 let latency_us = latency(&job);
                 shared.emit(CrawlEvent::RequestCompleted { latency_us });
                 if let Ok(frame) = &mut outcome {
@@ -685,6 +740,9 @@ pub struct Connection<S> {
     shared: Arc<ServiceShared>,
     default_deadline: Option<Duration>,
     chaos: Option<Arc<ChaosState>>,
+    /// Tenant this connection was opened for
+    /// ([`SourceService::connect_for`]); `None` for tenant-blind clients.
+    tenant: Option<u32>,
 }
 
 impl<S> std::fmt::Debug for Connection<S> {
@@ -693,6 +751,7 @@ impl<S> std::fmt::Debug for Connection<S> {
             .field("queued", &self.tx.len())
             .field("default_deadline", &self.default_deadline)
             .field("chaos", &self.chaos.is_some())
+            .field("tenant", &self.tenant)
             .finish()
     }
 }
@@ -705,6 +764,7 @@ impl<S> Clone for Connection<S> {
             shared: Arc::clone(&self.shared),
             default_deadline: self.default_deadline,
             chaos: self.chaos.clone(),
+            tenant: self.tenant,
         }
     }
 }
@@ -771,6 +831,17 @@ impl<S: DataSource> Connection<S> {
                 }
             }
         }
+        if let Some(tenant) = self.tenant {
+            if !self.shared.admit(tenant, Instant::now()) {
+                // Token bucket empty: shed at the protocol seam and bill the
+                // round to the offending tenant (the request reached the
+                // service; Definition 2.3 counts requests, not outcomes).
+                self.shared.shed.fetch_add(1, Ordering::Relaxed);
+                self.shared.emit(CrawlEvent::RequestShed);
+                self.shared.emit(CrawlEvent::TenantThrottled { tenant });
+                return Err(CrawlError::Rejected);
+            }
+        }
         let deadline =
             request.deadline.or_else(|| self.default_deadline.map(|d| Instant::now() + d));
         let (reply_tx, reply_rx) = bounded(1);
@@ -783,6 +854,7 @@ impl<S: DataSource> Connection<S> {
             enqueued_at: Instant::now(),
             seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
             rid,
+            tenant: self.tenant,
             chaos: jc,
             reply: reply_tx,
         };
@@ -790,15 +862,22 @@ impl<S: DataSource> Connection<S> {
             Ok(()) => {}
             Err(TrySendError::Full(_)) => {
                 // Shed at admission: the request reached the service, so the
-                // service bills the round itself.
+                // service bills the round itself — to the tenant, when the
+                // connection has one.
                 self.shared.shed.fetch_add(1, Ordering::Relaxed);
                 self.shared.emit(CrawlEvent::RequestShed);
+                if let Some(tenant) = self.tenant {
+                    self.shared.emit(CrawlEvent::TenantThrottled { tenant });
+                }
                 return Err(CrawlError::Rejected);
             }
             Err(TrySendError::Disconnected(_)) => return Err(CrawlError::Cancelled),
         }
         let depth = self.tx.len() as u32;
         self.shared.emit(CrawlEvent::RequestEnqueued { depth });
+        if let Some(tenant) = self.tenant {
+            self.shared.emit(CrawlEvent::TenantAdmitted { tenant });
+        }
         if duplicate {
             // The wire doubled the request frame: a second job with the
             // same request id. The dedup window bills it as a retransmit
@@ -813,16 +892,23 @@ impl<S: DataSource> Connection<S> {
                 enqueued_at: Instant::now(),
                 seq: self.shared.seq.fetch_add(1, Ordering::Relaxed),
                 rid,
+                tenant: self.tenant,
                 chaos: JobChaos::default(),
                 reply: dup_tx,
             };
             match self.tx.try_send(dup) {
                 Ok(()) => {
                     self.shared.emit(CrawlEvent::RequestEnqueued { depth: self.tx.len() as u32 });
+                    if let Some(tenant) = self.tenant {
+                        self.shared.emit(CrawlEvent::TenantAdmitted { tenant });
+                    }
                 }
                 Err(TrySendError::Full(_)) => {
                     self.shared.shed.fetch_add(1, Ordering::Relaxed);
                     self.shared.emit(CrawlEvent::RequestShed);
+                    if let Some(tenant) = self.tenant {
+                        self.shared.emit(CrawlEvent::TenantThrottled { tenant });
+                    }
                 }
                 Err(TrySendError::Disconnected(_)) => {}
             }

@@ -32,6 +32,7 @@ fn job(
         seeds: vec![("Conference".into(), "Conference_0".into())],
         config: builder.build().expect("valid crawl config"),
         resume: None,
+        tenant: None,
     }
 }
 

@@ -31,6 +31,7 @@ fn jobs() -> Vec<FleetJob<WebDbServer>> {
                     .build()
                     .expect("valid crawl config"),
                 resume: None,
+                tenant: None,
             }
         })
         .collect()
@@ -83,6 +84,7 @@ fn main() {
             seeds: vec![("Language".into(), seed.into())],
             config: config.clone(),
             resume: None,
+            tenant: None,
         })
         .collect();
     let fleet_config =

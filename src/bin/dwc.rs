@@ -89,10 +89,12 @@ USAGE:
             [--events FILE.jsonl]
             [--connect N] [--deadline MS] [--queue D] [--serve-workers W]
             [--latency-us N|MIN:MAX] [--decode-us N]
-  dwc resume <FILE.csv> --checkpoint-path FILE [--workers N] [crawl flags]
+  dwc resume <FILE.csv> --checkpoint-path FILE [--workers N]
+            [--allocation even|harvest|weighted-fair] [crawl flags]
   dwc fleet <FILE.csv> --seed-value ATTR=VALUE... [--workers N]
             [--policy bfs|dfs|random|freq|gl|mmmi] [--budget ROUNDS]
-            [--slice ROUNDS] [--allocation even|harvest] [--page-size K]
+            [--slice ROUNDS] [--allocation even|harvest|weighted-fair]
+            [--tenants W[:QUOTA[:PRIO]],...] [--page-size K]
   dwc serve <FILE.csv> --seed-value ATTR=VALUE... [--connections N]
             [--requests R] [--queue D] [--serve-workers W]
             [--latency-us N|MIN:MAX] [--decode-us N] [--deadline MS]
@@ -115,6 +117,15 @@ shared in-process server, multiplexed onto a bounded work-stealing pool of
 --workers threads (default: available parallelism; must be >= 1). `dwc
 resume --workers N` routes the resumed crawl through the same pooled
 engine. --workers 0 is rejected.
+
+Multi-tenancy: `dwc fleet --tenants SPEC` runs the fleet under a tenant
+registry — comma-separated WEIGHT[:QUOTA[:PRIO]] entries, ids 0..n, jobs
+assigned round-robin (job i → tenant i mod n). With `--allocation
+weighted-fair` the round budget is divided by deficit round-robin over
+tenant weights; QUOTA caps a tenant's total rounds (its jobs are parked at
+the next slice boundary once reached) and PRIO orders dispatch within a
+cycle. The report gains a per-tenant usage ledger (rounds, pages, sheds,
+preemptions) that sums exactly to the fleet's total rounds.
 
 Serving tier: `dwc serve` puts the table behind a request/response service
 (bounded --queue, admission control, --latency-us service times, per-record
@@ -850,13 +861,22 @@ fn resume_pooled(
     if flag(flags, "stats").is_some() || flag(flags, "events").is_some() {
         return Err("--stats/--events are not supported together with --workers".into());
     }
-    let fleet = FleetConfig::builder()
+    let mut fleet = FleetConfig::builder()
         .workers(workers)
-        .total_rounds(config.max_rounds.take().unwrap_or(u64::MAX))
-        .build()
-        .map_err(|e| e.to_string())?;
+        .total_rounds(config.max_rounds.take().unwrap_or(u64::MAX));
+    if let Some(allocation) = parse_allocation(flags)? {
+        fleet = fleet.allocation(allocation);
+    }
+    let fleet = fleet.build().map_err(|e| e.to_string())?;
     let report = run_fleet(
-        vec![FleetJob { source: server, policy, seeds: Vec::new(), config, resume: Some(cp) }],
+        vec![FleetJob {
+            source: server,
+            policy,
+            seeds: Vec::new(),
+            config,
+            resume: Some(cp),
+            tenant: None,
+        }],
         fleet,
     );
     let r = &report.sources[0];
@@ -877,6 +897,52 @@ fn resume_pooled(
     println!("rounds    : {}", r.rounds);
     println!("aborted   : {}", r.aborted_queries);
     Ok(())
+}
+
+/// Parses `--allocation even|harvest|weighted-fair`; anything else is
+/// rejected at parse time.
+fn parse_allocation(flags: &[(String, String)]) -> Result<Option<AllocationStrategy>, String> {
+    match flag(flags, "allocation") {
+        None => Ok(None),
+        Some("even") => Ok(Some(AllocationStrategy::Even)),
+        Some("harvest") => Ok(Some(AllocationStrategy::HarvestProportional)),
+        Some("weighted-fair") => Ok(Some(AllocationStrategy::WeightedFair)),
+        Some(other) => Err(format!("unknown allocation {other:?} (even|harvest|weighted-fair)")),
+    }
+}
+
+/// Parses a `--tenants SPEC`: comma-separated `WEIGHT[:QUOTA[:PRIORITY]]`
+/// entries, assigned tenant ids 0..n in order. Fleet jobs are mapped onto
+/// the registry round-robin (job i → tenant i mod n).
+fn parse_tenants(spec: &str) -> Result<Vec<Tenant>, String> {
+    spec.split(',')
+        .enumerate()
+        .map(|(id, entry)| {
+            let mut parts = entry.split(':');
+            let weight: u32 = parts
+                .next()
+                .unwrap_or("")
+                .parse()
+                .map_err(|_| format!("bad tenant weight in {entry:?}"))?;
+            let mut tenant = Tenant::new(id as u32).with_weight(weight);
+            if let Some(quota) = parts.next() {
+                tenant = tenant.with_quota(
+                    quota.parse().map_err(|_| format!("bad tenant quota in {entry:?}"))?,
+                );
+            }
+            if let Some(priority) = parts.next() {
+                tenant = tenant.with_priority(
+                    priority.parse().map_err(|_| format!("bad tenant priority in {entry:?}"))?,
+                );
+            }
+            if parts.next().is_some() {
+                return Err(format!(
+                    "tenant entry {entry:?} has too many fields (WEIGHT[:QUOTA[:PRIORITY]])"
+                ));
+            }
+            Ok(tenant)
+        })
+        .collect()
 }
 
 /// `dwc fleet`: one crawl job per `--seed-value`, all against a shared
@@ -917,10 +983,15 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     if let Some(s) = flag(&flags, "slice") {
         fleet = fleet.slice(s.parse().map_err(|_| "bad --slice")?);
     }
-    match flag(&flags, "allocation") {
-        None | Some("even") => {}
-        Some("harvest") => fleet = fleet.allocation(AllocationStrategy::HarvestProportional),
-        Some(other) => return Err(format!("unknown allocation {other:?} (even|harvest)")),
+    if let Some(allocation) = parse_allocation(&flags)? {
+        fleet = fleet.allocation(allocation);
+    }
+    let tenants = match flag(&flags, "tenants") {
+        Some(spec) => parse_tenants(spec)?,
+        None => Vec::new(),
+    };
+    if !tenants.is_empty() {
+        fleet = fleet.tenants(tenants.clone());
     }
     let fleet = fleet.build().map_err(|e| e.to_string())?;
 
@@ -928,12 +999,14 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     let config = CrawlConfig::builder().known_target_size(n).build().map_err(|e| e.to_string())?;
     let jobs: Vec<FleetJob<Arc<WebDbServer>>> = seeds
         .into_iter()
-        .map(|seed| FleetJob {
+        .enumerate()
+        .map(|(i, seed)| FleetJob {
             source: Arc::clone(&shared),
             policy: policy.clone(),
             seeds: vec![seed],
             config: config.clone(),
             resume: None,
+            tenant: (!tenants.is_empty()).then(|| tenants[i % tenants.len()].id),
         })
         .collect();
     eprintln!("fleet: {} jobs on {} pool workers", jobs.len(), fleet.resolved_workers(jobs.len()));

@@ -54,10 +54,11 @@ pub mod prelude {
         BreakerConfig, CancelToken, ChaosKind, ChaosPlan, ChaosState, ChaosTally, Checkpoint,
         CheckpointStore, CircuitBreaker, ClientPool, ConfigError, Connection, CrawlConfig,
         CrawlError, CrawlEvent, CrawlReport, CrawlTrace, Crawler, DataSource, DomainTable,
-        EventSink, FaultKind, FaultPlan, FaultPlanSource, FaultySource, FleetConfig, FleetJob,
-        FleetReport, JobHealth, JsonlSink, LatencyModel, MemorySink, MetricsRegistry, ProberMode,
-        QueryMode, RetryPolicy, SchedulerStats, ServeConfig, ServiceReport, SourceRequest,
-        SourceService, StopReason, StoreError,
+        EventSink, FaultKind, FaultPlan, FaultPlanSource, FaultySource, FleetConfig,
+        FleetController, FleetJob, FleetReport, JobHealth, JsonlSink, LatencyModel, MemorySink,
+        MetricsRegistry, ProberMode, QueryMode, RateLimit, RetryPolicy, SchedulerStats,
+        ServeConfig, ServiceReport, SourceRequest, SourceService, StopReason, StoreError, Tenant,
+        TenantId, UsageLedger,
     };
     pub use dwc_datagen::presets::Preset;
     pub use dwc_datagen::{PairedDataset, PairedSpec};

@@ -103,6 +103,7 @@ fn fleet_jobs_share_a_faulty_source_without_losing_records() {
                 .build()
                 .expect("valid crawl config"),
             resume: None,
+            tenant: None,
         })
         .collect();
     let config =

@@ -54,6 +54,7 @@ fn job(
         seeds: vec![("Language".into(), "Language_0".into())],
         config: builder.build().unwrap(),
         resume: None,
+        tenant: None,
     }
 }
 

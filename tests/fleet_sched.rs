@@ -16,10 +16,12 @@
 //!   so supervision invariants are exercised at 1, 2, and 8 workers.
 
 use deep_web_crawler::core::fleet::{
-    run_fleet, run_fleet_supervised, run_fleet_thread_per_job, AllocationStrategy, FleetConfig,
-    FleetJob,
+    run_fleet, run_fleet_supervised, run_fleet_thread_per_job, AllocCycle, AllocationStrategy,
+    Allocator, EvenAllocator, FleetConfig, FleetJob, HarvestAllocator, WeightedFairAllocator,
 };
+use deep_web_crawler::core::replay_usage;
 use deep_web_crawler::prelude::*;
+use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -50,6 +52,7 @@ fn job(seed_value: &str) -> FleetJob<WebDbServer> {
         seeds: vec![("A".into(), seed_value.to_string())],
         config: CrawlConfig::builder().known_target_size(5).build().unwrap(),
         resume: None,
+        tenant: None,
     }
 }
 
@@ -76,9 +79,11 @@ fn budget_is_conserved_and_reports_match_baseline_across_the_grid() {
         for &workers in &worker_counts() {
             for &total in &[5u64, 37, 200, 10_000] {
                 for &slice in &[1u64, 7, 50] {
-                    for &alloc in
-                        &[AllocationStrategy::Even, AllocationStrategy::HarvestProportional]
-                    {
+                    for &alloc in &[
+                        AllocationStrategy::Even,
+                        AllocationStrategy::HarvestProportional,
+                        AllocationStrategy::WeightedFair,
+                    ] {
                         let config = || {
                             FleetConfig::builder()
                                 .total_rounds(total)
@@ -136,6 +141,7 @@ fn slice_panic_restarts_only_the_victim_job() {
                 seeds: vec![("A".into(), "a2".into())],
                 config: builder.build().unwrap(),
                 resume: None,
+                tenant: None,
             });
         }
         let config =
@@ -223,6 +229,7 @@ fn fault_matrix_holds_at_every_pool_width() {
                 seeds: vec![("A".into(), "a2".into())],
                 config: builder.build().unwrap(),
                 resume: None,
+                tenant: None,
             });
         }
         let config = FleetConfig::builder()
@@ -247,5 +254,253 @@ fn fault_matrix_holds_at_every_pool_width() {
         if kind == "panic" {
             assert!(report.worker_restarts() >= 1, "panic plan must force a restart");
         }
+    }
+}
+
+/// Satellite: a budget scarcer than the job count still makes progress —
+/// the even split floors at one round and the sequential clamp hands those
+/// rounds to the earliest jobs instead of granting nobody anything.
+#[test]
+fn even_allocator_floors_at_one_round_when_budget_is_scarcer_than_jobs() {
+    let active: Vec<usize> = (0..5).collect();
+    let rates = vec![1.0; 5];
+    let mut alloc = EvenAllocator;
+    let grants = alloc.allocate(&AllocCycle {
+        active: &active,
+        rates: &rates,
+        remaining: 3,
+        slice: 8,
+        tenant_of: &[None; 5],
+        tenants: &[],
+        tenant_used: &[],
+    });
+    assert_eq!(grants, vec![(0, 1), (1, 1), (2, 1)], "3 budget rounds reach the first 3 of 5 jobs");
+}
+
+/// Satellite: all-zero recent harvest rates under `HarvestProportional`
+/// degenerate to an even split — the 5% floor keeps zero-rate jobs equal
+/// peers rather than dividing by zero or starving everyone.
+#[test]
+fn harvest_allocator_splits_evenly_when_all_rates_are_zero() {
+    let active = [0usize, 1, 2];
+    let rates = [0.0; 3];
+    let mut alloc = HarvestAllocator;
+    let grants = alloc.allocate(&AllocCycle {
+        active: &active,
+        rates: &rates,
+        remaining: 1000,
+        slice: 9,
+        tenant_of: &[None; 3],
+        tenants: &[],
+        tenant_used: &[],
+    });
+    assert_eq!(grants, vec![(0, 3), (1, 3), (2, 3)]);
+}
+
+/// Satellite: a single-job fleet absorbs the whole slice under every
+/// strategy — and the end-to-end run finishes its harvest.
+#[test]
+fn single_job_fleet_absorbs_every_slice_under_every_strategy() {
+    for alloc in [
+        AllocationStrategy::Even,
+        AllocationStrategy::HarvestProportional,
+        AllocationStrategy::WeightedFair,
+    ] {
+        let mut allocator = alloc.build_allocator();
+        let grants = allocator.allocate(&AllocCycle {
+            active: &[0],
+            rates: &[0.4],
+            remaining: 1000,
+            slice: 13,
+            tenant_of: &[None],
+            tenants: &[],
+            tenant_used: &[],
+        });
+        assert_eq!(grants, vec![(0, 13)], "{alloc:?}: one job takes the full slice");
+        let config = FleetConfig::builder()
+            .total_rounds(200)
+            .slice(13)
+            .allocation(alloc)
+            .workers(1)
+            .build()
+            .unwrap();
+        let report = run_fleet(vec![job("a2")], config);
+        assert_eq!(report.sources[0].records, 5, "{alloc:?}: the lone job finishes");
+        assert_eq!(report.sources[0].stop, StopReason::FrontierExhausted);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Satellite: with no quotas, weighted-fair grants conserve the cycle
+    /// slice *exactly* across cycles — largest-remainder entitlements and
+    /// the rotating intra-tenant remainder split never leak a round.
+    #[test]
+    fn weighted_fair_conserves_the_cycle_slice_exactly(
+        spec in prop::collection::vec((1u32..9, 1usize..4), 1..6),
+        slice in 1u64..200,
+        remaining in 1u64..400,
+        cycles in 1usize..4,
+    ) {
+        let tenants: Vec<Tenant> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, _))| Tenant::new(i as u32).with_weight(w))
+            .collect();
+        let mut tenant_of = Vec::new();
+        for (slot, &(_, fanout)) in spec.iter().enumerate() {
+            for _ in 0..fanout {
+                tenant_of.push(Some(slot));
+            }
+        }
+        let active: Vec<usize> = (0..tenant_of.len()).collect();
+        let rates = vec![1.0; tenant_of.len()];
+        let used = vec![0u64; tenants.len()];
+        let mut alloc = WeightedFairAllocator::default();
+        for _ in 0..cycles {
+            let grants = alloc.allocate(&AllocCycle {
+                active: &active,
+                rates: &rates,
+                remaining,
+                slice,
+                tenant_of: &tenant_of,
+                tenants: &tenants,
+                tenant_used: &used,
+            });
+            let granted: u64 = grants.iter().map(|&(_, g)| g).sum();
+            prop_assert_eq!(granted, slice.min(remaining), "unquota'd cycles grant the full slice");
+            for &(j, g) in &grants {
+                prop_assert!(j < tenant_of.len(), "grants only to known jobs");
+                prop_assert!(g > 0, "zero grants are filtered out");
+            }
+        }
+    }
+
+    /// Satellite: weighted-fair grants never exceed a tenant's quota
+    /// headroom, and redistribution fills the slice up to the aggregate
+    /// headroom — no round is lost to the clamp.
+    #[test]
+    fn weighted_fair_never_exceeds_quota_headroom(
+        spec in prop::collection::vec((1u32..9, 1u64..60, 0u64..80), 1..6),
+        slice in 1u64..200,
+    ) {
+        let tenants: Vec<Tenant> = spec
+            .iter()
+            .enumerate()
+            .map(|(i, &(w, q, _))| Tenant::new(i as u32).with_weight(w).with_quota(q))
+            .collect();
+        let used: Vec<u64> = spec.iter().map(|&(_, _, u)| u).collect();
+        let tenant_of: Vec<Option<usize>> = (0..tenants.len()).map(Some).collect();
+        let active: Vec<usize> = (0..tenants.len()).collect();
+        let rates = vec![1.0; tenants.len()];
+        let mut alloc = WeightedFairAllocator::default();
+        let grants = alloc.allocate(&AllocCycle {
+            active: &active,
+            rates: &rates,
+            remaining: 10_000,
+            slice,
+            tenant_of: &tenant_of,
+            tenants: &tenants,
+            tenant_used: &used,
+        });
+        let headroom_total: u64 = spec.iter().map(|&(_, q, u)| q.saturating_sub(u)).sum();
+        let granted: u64 = grants.iter().map(|&(_, g)| g).sum();
+        prop_assert_eq!(
+            granted,
+            slice.min(headroom_total),
+            "grants fill the slice up to the aggregate headroom"
+        );
+        for &(j, g) in &grants {
+            prop_assert!(
+                g <= spec[j].1.saturating_sub(spec[j].2),
+                "job {} was granted past its tenant's headroom", j
+            );
+        }
+    }
+
+    /// The legacy allocators under arbitrary harvest rates: grants never
+    /// overspend the cycle, and somebody always makes progress.
+    #[test]
+    fn legacy_allocators_never_overspend_the_cycle(
+        n in 1usize..9,
+        rates in prop::collection::vec(0.0f64..1.0, 9),
+        slice in 1u64..60,
+        remaining in 1u64..120,
+    ) {
+        let active: Vec<usize> = (0..n).collect();
+        let tenant_of = vec![None; n];
+        for strategy in [AllocationStrategy::Even, AllocationStrategy::HarvestProportional] {
+            let mut alloc = strategy.build_allocator();
+            let grants = alloc.allocate(&AllocCycle {
+                active: &active,
+                rates: &rates[..n],
+                remaining,
+                slice,
+                tenant_of: &tenant_of,
+                tenants: &[],
+                tenant_used: &[],
+            });
+            let granted: u64 = grants.iter().map(|&(_, g)| g).sum();
+            prop_assert!(granted <= slice.min(remaining), "{:?} overspent", strategy);
+            prop_assert!(granted > 0, "{:?} granted nothing", strategy);
+        }
+    }
+}
+
+/// Satellite: per-tenant ledgers survive the whole fault matrix — the
+/// `rounds` fields sum exactly to the fleet total, and replaying
+/// `FleetReport::events` through a fresh registry reproduces every ledger
+/// bit-for-bit, at every pool width, under every `DWC_FAULT_KIND` plan.
+#[test]
+fn tenanted_fault_matrix_conserves_and_replays_ledgers() {
+    let kind = std::env::var("DWC_FAULT_KIND").unwrap_or_else(|_| "mixed".into());
+    let seed: u64 = std::env::var("DWC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(1);
+    for &workers in &worker_counts() {
+        let store = scratch_store("tenant-ledger");
+        let mut fleet_jobs: Vec<FleetJob<FaultPlanSource<Arc<WebDbServer>>>> = Vec::new();
+        for i in 0..3 {
+            let plan = if i == 0 { matrix_plan(&kind, seed) } else { FaultPlan::new() };
+            let mut builder =
+                CrawlConfig::builder().known_target_size(5).max_requeues(10).max_retries(8);
+            if i == 0 {
+                builder = builder.checkpoint_store(store.clone()).checkpoint_every(1);
+            }
+            fleet_jobs.push(FleetJob {
+                source: FaultPlanSource::new(Arc::new(figure1_server()), plan),
+                policy: PolicyKind::GreedyLink,
+                seeds: vec![("A".into(), "a2".into())],
+                config: builder.build().unwrap(),
+                resume: None,
+                tenant: Some(TenantId(if i == 0 { 0 } else { 1 })),
+            });
+        }
+        let config = FleetConfig::builder()
+            .total_rounds(4_000)
+            .slice(8)
+            .max_restarts(5)
+            .breaker(BreakerConfig { trip_after: 3, cooldown: 2 })
+            .allocation(AllocationStrategy::WeightedFair)
+            .workers(workers)
+            .tenants(vec![Tenant::new(0).with_weight(2), Tenant::new(1)])
+            .build()
+            .unwrap();
+        let report = run_fleet_supervised(fleet_jobs, config);
+        for (i, r) in report.sources.iter().enumerate() {
+            assert_eq!(r.records, 5, "kind {kind} workers {workers}: job {i} lost records");
+        }
+        let ledger_rounds: u64 = report.usage.iter().map(|(_, l)| l.rounds).sum();
+        assert_eq!(
+            ledger_rounds, report.total_rounds,
+            "kind {kind} workers {workers}: ledgers must conserve the billed total"
+        );
+        let replayed: Vec<(TenantId, UsageLedger)> = replay_usage(&report.events)
+            .into_iter()
+            .map(|(id, ledger)| (TenantId(id), ledger))
+            .collect();
+        assert_eq!(
+            replayed, report.usage,
+            "kind {kind} workers {workers}: the usage section must replay bit-for-bit"
+        );
     }
 }
