@@ -8,6 +8,7 @@
 
 use crate::abort::AbortPolicy;
 use crate::source::{CancelToken, ProberMode};
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Retry behaviour on transient page-request failures.
@@ -123,6 +124,9 @@ pub enum ConfigError {
     UnknownTenant(u32),
     /// A fleet defines a tenant registry but a job names no tenant.
     MissingTenant,
+    /// A memory budget of zero megabytes cannot size a buffer pool or page
+    /// cache.
+    ZeroMemBudget,
 }
 
 impl std::fmt::Display for ConfigError {
@@ -161,6 +165,9 @@ impl std::fmt::Display for ConfigError {
             }
             ConfigError::MissingTenant => {
                 write!(f, "the fleet defines a tenant registry but a job names no tenant")
+            }
+            ConfigError::ZeroMemBudget => {
+                write!(f, "memory budget must be at least 1 MiB")
             }
         }
     }
@@ -242,6 +249,16 @@ pub struct CrawlConfig {
     /// Snapshot cadence in completed queries, when a store is set; `None`
     /// uses [`DEFAULT_CHECKPOINT_EVERY`].
     pub checkpoint_every: Option<u64>,
+    /// Where the per-query state journal is appended
+    /// ([`crate::journal::StateJournal`]). `None` disables journaling.
+    /// When combined with a checkpoint store, every successful periodic
+    /// checkpoint rebases and truncates the journal.
+    pub journal_path: Option<PathBuf>,
+    /// Shared memory budget, in MiB, for out-of-core serving: the driver
+    /// splits it between the segment-store buffer pool and the server's
+    /// rendered-page cache (see `dwc_store::MemoryBudget`). `None` keeps the
+    /// fully resident defaults.
+    pub mem_budget_mb: Option<u64>,
     /// Per-request deadline: each page request's [`crate::SourceRequest`]
     /// carries `now + deadline` as its absolute deadline. In-process sources
     /// answer instantly and ignore it; a [`crate::serve::SourceService`]
@@ -267,6 +284,8 @@ impl Default for CrawlConfig {
             query_mode: QueryMode::default(),
             checkpoint_store: None,
             checkpoint_every: None,
+            journal_path: None,
+            mem_budget_mb: None,
             deadline: None,
             cancel: None,
         }
@@ -356,6 +375,18 @@ impl CrawlConfigBuilder {
         self
     }
 
+    /// Enables the per-query state journal at `path`.
+    pub fn journal_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.config.journal_path = Some(path.into());
+        self
+    }
+
+    /// Sets the shared out-of-core memory budget in MiB. Must be positive.
+    pub fn mem_budget_mb(mut self, mb: u64) -> Self {
+        self.config.mem_budget_mb = Some(mb);
+        self
+    }
+
     /// Sets the prober mode.
     pub fn prober(mut self, prober: ProberMode) -> Self {
         self.config.prober = prober;
@@ -407,6 +438,9 @@ impl CrawlConfigBuilder {
         }
         if c.deadline == Some(Duration::ZERO) {
             return Err(ConfigError::ZeroDeadline);
+        }
+        if c.mem_budget_mb == Some(0) {
+            return Err(ConfigError::ZeroMemBudget);
         }
         Ok(self.config)
     }
@@ -498,6 +532,11 @@ mod tests {
             CrawlConfig::builder().deadline(Duration::ZERO).build().unwrap_err(),
             ConfigError::ZeroDeadline
         );
+        assert_eq!(
+            CrawlConfig::builder().mem_budget_mb(0).build().unwrap_err(),
+            ConfigError::ZeroMemBudget
+        );
+        assert!(CrawlConfig::builder().mem_budget_mb(64).build().is_ok());
         assert!(CrawlConfig::builder()
             .deadline(Duration::from_millis(50))
             .cancel(CancelToken::new())

@@ -49,6 +49,10 @@ pub struct Crawler<S: DataSource> {
     bus: EventBus,
     /// Per-value requeue tally (values absent have never been requeued).
     requeues: HashMap<ValueId, u32>,
+    /// Per-query state journal, when `config.journal_path` is set. The base
+    /// frame is written lazily at the first [`Crawler::step`] so seeds
+    /// planted between construction and the first query are captured.
+    journal: Option<crate::journal::StateJournal>,
 }
 
 impl<S: DataSource> Crawler<S> {
@@ -75,6 +79,7 @@ impl<S: DataSource> Crawler<S> {
         planner.init(&mut state);
         let executor = Executor::from_config(&config);
         let ingestor = Ingestor::new(matches!(config.query_mode, QueryMode::Conjunctive { .. }));
+        let journal = Self::open_journal(&config);
         Crawler {
             source,
             planner,
@@ -84,7 +89,16 @@ impl<S: DataSource> Crawler<S> {
             config,
             bus: EventBus::new(),
             requeues: HashMap::new(),
+            journal,
         }
+    }
+
+    /// Creates the state journal named by the configuration, if any.
+    /// Creation failures are non-fatal, mirroring checkpoint persistence:
+    /// the crawl proceeds unjournaled.
+    fn open_journal(config: &CrawlConfig) -> Option<crate::journal::StateJournal> {
+        let path = config.journal_path.as_deref()?;
+        crate::journal::StateJournal::create(path).ok()
     }
 
     /// Resumes a checkpointed crawl against `source` with a fresh policy
@@ -149,6 +163,7 @@ impl<S: DataSource> Crawler<S> {
             queries: checkpoint.queries,
             records: state.local.num_records() as u64,
         });
+        let journal = Self::open_journal(&config);
         Crawler {
             source,
             planner,
@@ -158,6 +173,7 @@ impl<S: DataSource> Crawler<S> {
             config,
             bus,
             requeues: HashMap::new(),
+            journal,
         }
     }
 
@@ -326,6 +342,14 @@ impl<S: DataSource> Crawler<S> {
     /// then the driver's bookkeeping. Returns `None` when seeds and frontier
     /// are both exhausted.
     pub fn step(&mut self) -> Option<()> {
+        if self.journal.as_ref().is_some_and(|j| !j.has_base()) {
+            let base = self.checkpoint();
+            // Journal persistence failures never kill the crawl, mirroring
+            // checkpoint-store semantics; the crawl proceeds unjournaled.
+            if self.journal.as_mut().expect("presence checked").write_base(&base).is_err() {
+                self.journal = None;
+            }
+        }
         let planned = self.planner.plan(&mut self.state, &self.ingestor, &mut self.bus)?;
         let local_before =
             planned.candidate.map(|v| u64::from(self.state.local.count(v))).unwrap_or(0);
@@ -383,6 +407,12 @@ impl<S: DataSource> Crawler<S> {
         if let Some(v) = v {
             self.planner.on_query_done(&self.state, v, &outcome);
         }
+        if let Some(journal) = self.journal.as_mut() {
+            let (rounds, queries) = (self.bus.metrics().rounds(), self.bus.metrics().queries());
+            if journal.append_delta(&self.state, rounds, queries).is_err() {
+                self.journal = None;
+            }
+        }
         self.maybe_checkpoint();
     }
 
@@ -406,6 +436,15 @@ impl<S: DataSource> Crawler<S> {
             .as_ref()
             .expect("presence checked above")
             .save_with_receipt(&snapshot);
+        if saved.is_ok() {
+            // The snapshot is durable elsewhere: rebase the journal onto it
+            // and drop the deltas it absorbed.
+            if let Some(journal) = self.journal.as_mut() {
+                if journal.write_base(&snapshot).is_err() {
+                    self.journal = None;
+                }
+            }
+        }
         self.bus.emit(match saved {
             Ok(receipt) => CrawlEvent::CheckpointWritten { rotated_backup: receipt.rotated_backup },
             Err(_) => CrawlEvent::CheckpointFailed,

@@ -1,0 +1,372 @@
+//! Incremental crawl-state journal: per-query delta frames over a
+//! checkpointed base.
+//!
+//! Periodic checkpoints ([`crate::store::CheckpointStore`]) bound recovery
+//! loss to one checkpoint *interval* — up to [`crate::crawler::DEFAULT_CHECKPOINT_EVERY`]
+//! queries of re-spent communication rounds. The [`StateJournal`] closes that
+//! gap with a log-structured append per completed query: frame 0 holds a
+//! full v2 checkpoint blob (the *base*), every later frame a small text
+//! *delta* describing exactly what one query changed — new vocabulary
+//! entries, status transitions, `L_queried` growth, harvested records, and
+//! the cost counters. Both layers share the same trust model: the base is a
+//! checksummed checkpoint, each delta frame is independently checksummed by
+//! the [`dwc_store::FrameLog`] framing, and recovery replays the longest
+//! valid prefix — a crash mid-append loses at most the query being framed.
+//!
+//! When the periodic checkpointer succeeds, the crawler rewrites the journal
+//! base from the freshly persisted snapshot and truncates the deltas: the
+//! journal never grows past one checkpoint interval of frames.
+//!
+//! Delta frame payload (line-oriented, same percent-escaping as the
+//! checkpoint format):
+//!
+//! ```text
+//! d\t<rounds>\t<queries>          cost counters after the query
+//! v\t<attr>\t<string>\t<status>   one per new vocabulary id, in id order
+//! s\t<index>\t<status>            status change of a pre-existing id
+//! qa\t<id,id,...>                 ids appended to L_queried
+//! qf\t<id,id,...>                 full L_queried replacement (requeue path)
+//! r\t<key>\t<id,id,...>           one per newly harvested record
+//! ```
+
+use crate::checkpoint::{escape, unescape, Checkpoint, CheckpointError};
+use crate::state::{CandStatus, CrawlState};
+use dwc_store::FrameLog;
+use std::io;
+use std::path::Path;
+
+fn status_char(s: CandStatus) -> char {
+    match s {
+        CandStatus::Undiscovered => 'U',
+        CandStatus::Frontier => 'F',
+        CandStatus::Queried => 'Q',
+    }
+}
+
+fn status_from(c: &str) -> Result<CandStatus, CheckpointError> {
+    match c {
+        "U" => Ok(CandStatus::Undiscovered),
+        "F" => Ok(CandStatus::Frontier),
+        "Q" => Ok(CandStatus::Queried),
+        _ => Err(CheckpointError::Malformed("journal status char")),
+    }
+}
+
+fn parse_ids(s: &str, what: &'static str) -> Result<Vec<u32>, CheckpointError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',').map(|t| t.parse().map_err(|_| CheckpointError::Malformed(what))).collect()
+}
+
+/// What [`StateJournal::recover`] found on disk.
+#[derive(Debug)]
+pub struct JournalRecovery {
+    /// The state at the last intact delta frame (or the base, if no delta
+    /// survived), ready for [`crate::Crawler::resume`].
+    pub checkpoint: Checkpoint,
+    /// Delta frames applied on top of the base.
+    pub deltas_applied: u64,
+    /// Whether a torn or corrupt tail was discarded during replay.
+    pub torn: bool,
+}
+
+/// Append-only per-query state journal over a [`FrameLog`].
+#[derive(Debug)]
+pub struct StateJournal {
+    log: FrameLog,
+    /// Shadow of the crawl state at the last appended frame, used to diff.
+    shadow_status: Vec<CandStatus>,
+    shadow_vocab_len: usize,
+    shadow_records_len: usize,
+    shadow_queried: Vec<u32>,
+    has_base: bool,
+}
+
+impl StateJournal {
+    /// Creates (truncating) a journal at `path`. The base frame is written
+    /// by the first [`StateJournal::write_base`].
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(StateJournal {
+            log: FrameLog::create(path)?,
+            shadow_status: Vec::new(),
+            shadow_vocab_len: 0,
+            shadow_records_len: 0,
+            shadow_queried: Vec::new(),
+            has_base: false,
+        })
+    }
+
+    /// Whether the base frame has been written yet.
+    pub fn has_base(&self) -> bool {
+        self.has_base
+    }
+
+    /// Frames in the journal (base + deltas).
+    pub fn frames(&self) -> u64 {
+        self.log.frames()
+    }
+
+    /// Resets the journal to a fresh base snapshot: truncates every frame
+    /// and writes `cp` as frame 0. Called at crawl start (after seeds are
+    /// planted) and after every successful periodic checkpoint — the journal
+    /// then only carries deltas newer than durable state elsewhere.
+    pub fn write_base(&mut self, cp: &Checkpoint) -> io::Result<()> {
+        self.log.reset()?;
+        self.log.append(cp.to_text().as_bytes())?;
+        self.log.sync()?;
+        self.shadow_status = cp.status.clone();
+        self.shadow_vocab_len = cp.values.len();
+        self.shadow_records_len = cp.records.len();
+        self.shadow_queried = cp.queried.clone();
+        self.has_base = true;
+        Ok(())
+    }
+
+    /// Appends one delta frame: everything `state` changed since the last
+    /// frame, plus the cost counters. No-op diff still writes a frame (the
+    /// counters advanced).
+    ///
+    /// # Panics
+    /// Panics if called before [`StateJournal::write_base`].
+    pub fn append_delta(
+        &mut self,
+        state: &CrawlState,
+        rounds: u64,
+        queries: u64,
+    ) -> io::Result<()> {
+        assert!(self.has_base, "journal delta before base frame");
+        let mut out = String::new();
+        out.push_str(&format!("d\t{rounds}\t{queries}\n"));
+        for i in self.shadow_vocab_len..state.vocab.len() {
+            let v = dwc_model::ValueId(i as u32);
+            out.push_str(&format!(
+                "v\t{}\t{}\t{}\n",
+                state.vocab.attr_of(v).0,
+                escape(state.vocab.value_str(v)),
+                status_char(state.status[i]),
+            ));
+        }
+        for i in 0..self.shadow_vocab_len {
+            if state.status[i] != self.shadow_status[i] {
+                out.push_str(&format!("s\t{i}\t{}\n", status_char(state.status[i])));
+            }
+        }
+        let queried: Vec<u32> = state.queried.iter().map(|v| v.0).collect();
+        if queried.len() >= self.shadow_queried.len()
+            && queried[..self.shadow_queried.len()] == self.shadow_queried[..]
+        {
+            if queried.len() > self.shadow_queried.len() {
+                let appended: Vec<String> =
+                    queried[self.shadow_queried.len()..].iter().map(u32::to_string).collect();
+                out.push_str(&format!("qa\t{}\n", appended.join(",")));
+            }
+        } else {
+            // Requeue (or any reordering): frame the whole list. L_queried
+            // holds one id per issued query, so this stays small.
+            let full: Vec<String> = queried.iter().map(u32::to_string).collect();
+            out.push_str(&format!("qf\t{}\n", full.join(",")));
+        }
+        for (key, vals) in state.local.keyed_since(self.shadow_records_len) {
+            let ids: Vec<String> = vals.iter().map(|v| v.0.to_string()).collect();
+            out.push_str(&format!("r\t{key}\t{}\n", ids.join(",")));
+        }
+        self.log.append(out.as_bytes())?;
+        self.shadow_status.clear();
+        self.shadow_status.extend_from_slice(&state.status);
+        self.shadow_vocab_len = state.vocab.len();
+        self.shadow_records_len = state.local.num_records();
+        self.shadow_queried = queried;
+        Ok(())
+    }
+
+    /// Replays the journal at `path`: parses the base checkpoint from frame
+    /// 0 and folds every intact delta frame into it. Returns `Ok(None)` when
+    /// the file is missing or holds no valid base frame.
+    pub fn recover(path: &Path) -> io::Result<Option<JournalRecovery>> {
+        let replay = FrameLog::replay(path)?;
+        let Some(base) = replay.frames.first() else {
+            return Ok(None);
+        };
+        let text = std::str::from_utf8(base)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "journal base not UTF-8"))?;
+        let mut cp = Checkpoint::from_text(text).map_err(|e| {
+            io::Error::new(io::ErrorKind::InvalidData, format!("journal base: {e}"))
+        })?;
+        let mut deltas_applied = 0u64;
+        for frame in &replay.frames[1..] {
+            let text = std::str::from_utf8(frame).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, "journal delta not UTF-8")
+            })?;
+            apply_delta(&mut cp, text).map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("journal delta: {e}"))
+            })?;
+            deltas_applied += 1;
+        }
+        Ok(Some(JournalRecovery { checkpoint: cp, deltas_applied, torn: replay.torn }))
+    }
+}
+
+/// Folds one delta frame into a checkpoint.
+fn apply_delta(cp: &mut Checkpoint, text: &str) -> Result<(), CheckpointError> {
+    for line in text.lines() {
+        let mut parts = line.split('\t');
+        let op = parts.next().unwrap_or("");
+        match op {
+            "d" => {
+                let rounds = parts.next().ok_or(CheckpointError::Malformed("journal rounds"))?;
+                let queries = parts.next().ok_or(CheckpointError::Malformed("journal queries"))?;
+                cp.rounds =
+                    rounds.parse().map_err(|_| CheckpointError::Malformed("journal rounds"))?;
+                cp.queries =
+                    queries.parse().map_err(|_| CheckpointError::Malformed("journal queries"))?;
+            }
+            "v" => {
+                let attr: u16 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(CheckpointError::Malformed("journal value attr"))?;
+                let s = unescape(parts.next().ok_or(CheckpointError::Malformed("journal value"))?)?;
+                let st =
+                    status_from(parts.next().ok_or(CheckpointError::Malformed("journal value"))?)?;
+                cp.values.push((attr, s));
+                cp.status.push(st);
+            }
+            "s" => {
+                let idx: usize = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(CheckpointError::Malformed("journal status index"))?;
+                let st =
+                    status_from(parts.next().ok_or(CheckpointError::Malformed("journal status"))?)?;
+                *cp.status
+                    .get_mut(idx)
+                    .ok_or(CheckpointError::Malformed("journal status index"))? = st;
+            }
+            "qa" => {
+                let ids = parse_ids(parts.next().unwrap_or(""), "journal queried id")?;
+                cp.queried.extend(ids);
+            }
+            "qf" => {
+                cp.queried = parse_ids(parts.next().unwrap_or(""), "journal queried id")?;
+            }
+            "r" => {
+                let key: u64 = parts
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(CheckpointError::Malformed("journal record key"))?;
+                let ids = parse_ids(parts.next().unwrap_or(""), "journal record value")?;
+                cp.records.push((key, ids));
+            }
+            _ => return Err(CheckpointError::Malformed("journal op")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("dwc-journal-{}-{n}-{name}.jnl", std::process::id()))
+    }
+
+    fn base_cp() -> Checkpoint {
+        Checkpoint {
+            attr_names: vec!["A".into()],
+            attr_queriable: vec![true],
+            page_size: 10,
+            keyword_mode: false,
+            values: vec![(0, "a1".into())],
+            status: vec![CandStatus::Frontier],
+            queried: vec![],
+            records: vec![],
+            rounds: 0,
+            queries: 0,
+        }
+    }
+
+    #[test]
+    fn base_only_recovers_the_checkpoint() {
+        let path = scratch("base");
+        let mut j = StateJournal::create(&path).unwrap();
+        assert!(!j.has_base());
+        j.write_base(&base_cp()).unwrap();
+        let rec = StateJournal::recover(&path).unwrap().unwrap();
+        assert_eq!(rec.checkpoint, base_cp());
+        assert_eq!(rec.deltas_applied, 0);
+        assert!(!rec.torn);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_or_baseless_journal_recovers_none() {
+        let path = scratch("missing");
+        assert!(StateJournal::recover(&path).unwrap().is_none());
+        let _ = StateJournal::create(&path).unwrap();
+        assert!(StateJournal::recover(&path).unwrap().is_none(), "no base frame yet");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn deltas_replay_state_changes() {
+        let path = scratch("deltas");
+        let mut j = StateJournal::create(&path).unwrap();
+        j.write_base(&base_cp()).unwrap();
+
+        // Simulate one completed query directly on a CrawlState.
+        let mut st = CrawlState::new(vec!["A".into()], vec![true], 10);
+        let a1 = st.intern(dwc_model::AttrId(0), "a1");
+        st.status[a1.index()] = CandStatus::Queried;
+        st.queried.push(a1);
+        let a2 = st.intern(dwc_model::AttrId(0), "a2");
+        st.status[a2.index()] = CandStatus::Frontier;
+        st.local.insert(7, vec![a1, a2]);
+        j.append_delta(&st, 3, 1).unwrap();
+
+        let rec = StateJournal::recover(&path).unwrap().unwrap();
+        assert_eq!(rec.deltas_applied, 1);
+        let cp = rec.checkpoint;
+        assert_eq!(cp.rounds, 3);
+        assert_eq!(cp.queries, 1);
+        assert_eq!(cp.values, vec![(0, "a1".into()), (0, "a2".into())]);
+        assert_eq!(cp.status, vec![CandStatus::Queried, CandStatus::Frontier]);
+        assert_eq!(cp.queried, vec![0]);
+        assert_eq!(cp.records, vec![(7, vec![0, 1])]);
+
+        // A requeue pops L_queried and flips the status back: the journal
+        // frames the full list.
+        st.queried.pop();
+        st.status[a1.index()] = CandStatus::Frontier;
+        j.append_delta(&st, 4, 2).unwrap();
+        let rec = StateJournal::recover(&path).unwrap().unwrap();
+        assert_eq!(rec.checkpoint.queried, Vec::<u32>::new());
+        assert_eq!(rec.checkpoint.status[0], CandStatus::Frontier);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rebased_journal_truncates_deltas() {
+        let path = scratch("rebase");
+        let mut j = StateJournal::create(&path).unwrap();
+        j.write_base(&base_cp()).unwrap();
+        let mut st = CrawlState::new(vec!["A".into()], vec![true], 10);
+        let a1 = st.intern(dwc_model::AttrId(0), "a1");
+        st.status[a1.index()] = CandStatus::Frontier;
+        j.append_delta(&st, 1, 1).unwrap();
+        assert_eq!(j.frames(), 2);
+        let mut cp2 = base_cp();
+        cp2.rounds = 9;
+        j.write_base(&cp2).unwrap();
+        assert_eq!(j.frames(), 1, "rebase drops absorbed deltas");
+        let rec = StateJournal::recover(&path).unwrap().unwrap();
+        assert_eq!(rec.checkpoint.rounds, 9);
+        assert_eq!(rec.deltas_applied, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -48,6 +48,7 @@ pub mod extract;
 pub mod fault;
 pub mod fleet;
 pub mod health;
+pub mod journal;
 pub mod local;
 pub mod metrics;
 pub mod policy;
@@ -75,6 +76,7 @@ pub use fleet::{
     FleetReport, HarvestAllocator, WeightedFairAllocator,
 };
 pub use health::{BreakerConfig, BreakerState, CircuitBreaker, JobHealth};
+pub use journal::{JournalRecovery, StateJournal};
 pub use local::LocalDb;
 pub use metrics::{replay_report, replay_service_report, replay_usage, MetricsRegistry};
 pub use policy::{PolicyKind, SelectionPolicy};

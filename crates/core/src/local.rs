@@ -10,16 +10,20 @@
 //! * the record list itself, over which the MMMI policy's batch
 //!   mutual-information recomputation iterates (§3.3).
 
-use dwc_model::ValueId;
+use dwc_model::{PackedLists, ValueId};
 use std::collections::HashSet;
 
 /// The crawler's local database and statistics table.
+///
+/// Records are held in a [`PackedLists`] arena (one flat allocation plus an
+/// offset column) rather than one boxed slice per record: at paper scale the
+/// per-record allocator overhead dominated the record bytes themselves.
 #[derive(Debug, Default)]
 pub struct LocalDb {
     seen_keys: HashSet<u64>,
     /// Source keys in insertion order, parallel to `records`.
     keys: Vec<u64>,
-    records: Vec<Box<[ValueId]>>,
+    records: PackedLists<ValueId>,
     value_count: Vec<u32>,
     degree: Vec<u32>,
     /// Packed undirected edge keys `(min << 32) | max` of `G_local`.
@@ -61,18 +65,35 @@ impl LocalDb {
 
     /// The harvested records (sorted, deduplicated value-id sets).
     pub fn records(&self) -> impl Iterator<Item = &[ValueId]> {
-        self.records.iter().map(|r| &**r)
+        self.records.iter()
     }
 
     /// Records inserted at or after index `start` (records are append-only,
     /// so `start = previous num_records()` iterates exactly the new ones).
     pub fn records_since(&self, start: usize) -> impl Iterator<Item = &[ValueId]> {
-        self.records[start.min(self.records.len())..].iter().map(|r| &**r)
+        self.records.iter_since(start)
     }
 
     /// `(source key, values)` pairs in insertion order (checkpointing).
     pub fn iter_keyed(&self) -> impl Iterator<Item = (u64, &[ValueId])> {
-        self.keys.iter().copied().zip(self.records.iter().map(|r| &**r))
+        self.keys.iter().copied().zip(self.records.iter())
+    }
+
+    /// `(source key, values)` pairs inserted at or after index `start` — the
+    /// incremental flavor of [`LocalDb::iter_keyed`] the state journal uses
+    /// to frame only what a delta added.
+    pub fn keyed_since(&self, start: usize) -> impl Iterator<Item = (u64, &[ValueId])> {
+        let start = start.min(self.keys.len());
+        self.keys[start..].iter().copied().zip(self.records.iter_since(start))
+    }
+
+    /// Heap bytes held by the record arena and key/statistics columns
+    /// (capacity-based, matching what RSS accounting sees).
+    pub fn heap_bytes(&self) -> usize {
+        self.records.heap_bytes()
+            + self.keys.capacity() * std::mem::size_of::<u64>()
+            + self.value_count.capacity() * std::mem::size_of::<u32>()
+            + self.degree.capacity() * std::mem::size_of::<u32>()
     }
 
     /// Inserts a record if its key is new. `values` are crawler-vocabulary
@@ -104,7 +125,7 @@ impl LocalDb {
             }
         }
         self.keys.push(key);
-        self.records.push(values.into_boxed_slice());
+        self.records.push(&values);
         true
     }
 }
@@ -171,6 +192,19 @@ mod tests {
         for i in 0..4 {
             assert_eq!(db.degree(v(i)), 3);
         }
+    }
+
+    #[test]
+    fn keyed_since_yields_the_new_tail() {
+        let mut db = LocalDb::new();
+        db.insert(10, vec![v(0)]);
+        let mark = db.num_records();
+        db.insert(11, vec![v(2), v(1)]);
+        let tail: Vec<(u64, Vec<ValueId>)> =
+            db.keyed_since(mark).map(|(k, r)| (k, r.to_vec())).collect();
+        assert_eq!(tail, vec![(11, vec![v(1), v(2)])]);
+        assert_eq!(db.keyed_since(99).count(), 0);
+        assert!(db.heap_bytes() > 0);
     }
 
     #[test]

@@ -370,7 +370,7 @@ impl DataSource for WebDbServer {
         match request.prober {
             ProberMode::InProcess => {
                 let page = WebDbServer::query_page(self, query, page_index)?;
-                let table = self.table();
+                let (interner, schema) = (self.interner(), self.schema());
                 let view = ExtractedPageRef {
                     page_index: page.page_index,
                     total_matches: page.total_matches,
@@ -384,10 +384,10 @@ impl DataSource for WebDbServer {
                                 .values
                                 .iter()
                                 .map(|&sv| {
-                                    let attr = table.interner().attr_of(sv);
+                                    let attr = interner.attr_of(sv);
                                     (
-                                        Cow::Borrowed(table.schema().attr(attr).name.as_str()),
-                                        Cow::Borrowed(table.interner().value_str(sv)),
+                                        Cow::Borrowed(schema.attr(attr).name.as_str()),
+                                        Cow::Borrowed(interner.value_str(sv)),
                                     )
                                 })
                                 .collect(),

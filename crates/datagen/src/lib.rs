@@ -34,4 +34,5 @@ pub mod survey;
 
 pub use domain::{AttrGen, AttrKind, DomainModel};
 pub use paired::{PairedDataset, PairedSpec};
+pub use presets::{BigScale, Preset};
 pub use survey::{DomainSurveySpec, SurveyOutcome};

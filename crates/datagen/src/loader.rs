@@ -51,62 +51,82 @@ impl std::fmt::Display for CsvError {
 
 impl std::error::Error for CsvError {}
 
-/// Splits CSV text into rows of fields (RFC-4180 quoting: `"` wraps fields,
-/// `""` escapes a quote, newlines allowed inside quotes).
-fn parse_rows(text: &str) -> Result<Vec<Vec<String>>, CsvError> {
-    let mut rows = Vec::new();
-    let mut row: Vec<String> = Vec::new();
-    let mut field = String::new();
-    let mut chars = text.chars().peekable();
-    let mut in_quotes = false;
-    let mut line = 1usize;
-    let mut quote_start_line = 1usize;
-    let mut any = false;
-    while let Some(c) = chars.next() {
-        any = true;
-        if in_quotes {
+/// Streaming CSV row parser (RFC-4180 quoting: `"` wraps fields, `""`
+/// escapes a quote, newlines allowed inside quotes). Yields one row at a
+/// time so the loader never materializes the whole document as rows — a
+/// multi-gigabyte export costs one row of memory, not two copies of the
+/// file.
+struct CsvRows<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: usize,
+    finished: bool,
+}
+
+impl<'a> CsvRows<'a> {
+    fn new(text: &'a str) -> Self {
+        CsvRows { chars: text.chars().peekable(), line: 1, finished: false }
+    }
+}
+
+impl Iterator for CsvRows<'_> {
+    type Item = Result<Vec<String>, CsvError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.finished {
+            return None;
+        }
+        let mut row: Vec<String> = Vec::new();
+        let mut field = String::new();
+        let mut in_quotes = false;
+        let mut quote_start_line = self.line;
+        let mut any = false;
+        while let Some(c) = self.chars.next() {
+            any = true;
+            if in_quotes {
+                match c {
+                    '"' => {
+                        if self.chars.peek() == Some(&'"') {
+                            self.chars.next();
+                            field.push('"');
+                        } else {
+                            in_quotes = false;
+                        }
+                    }
+                    '\n' => {
+                        self.line += 1;
+                        field.push('\n');
+                    }
+                    _ => field.push(c),
+                }
+                continue;
+            }
             match c {
                 '"' => {
-                    if chars.peek() == Some(&'"') {
-                        chars.next();
-                        field.push('"');
-                    } else {
-                        in_quotes = false;
-                    }
+                    in_quotes = true;
+                    quote_start_line = self.line;
                 }
+                ',' => {
+                    row.push(std::mem::take(&mut field));
+                }
+                '\r' => {}
                 '\n' => {
-                    line += 1;
-                    field.push('\n');
+                    self.line += 1;
+                    row.push(field);
+                    return Some(Ok(row));
                 }
                 _ => field.push(c),
             }
-            continue;
         }
-        match c {
-            '"' => {
-                in_quotes = true;
-                quote_start_line = line;
-            }
-            ',' => {
-                row.push(std::mem::take(&mut field));
-            }
-            '\r' => {}
-            '\n' => {
-                line += 1;
-                row.push(std::mem::take(&mut field));
-                rows.push(std::mem::take(&mut row));
-            }
-            _ => field.push(c),
+        self.finished = true;
+        if in_quotes {
+            return Some(Err(CsvError::UnterminatedQuote { line: quote_start_line }));
         }
+        if any && (!field.is_empty() || !row.is_empty()) {
+            row.push(field);
+            return Some(Ok(row));
+        }
+        None
     }
-    if in_quotes {
-        return Err(CsvError::UnterminatedQuote { line: quote_start_line });
-    }
-    if any && (!field.is_empty() || !row.is_empty()) {
-        row.push(field);
-        rows.push(row);
-    }
-    Ok(rows)
 }
 
 /// Quotes a field when needed.
@@ -121,14 +141,14 @@ fn quote(field: &str) -> String {
 /// Parses a CSV document into a universal table (see module docs for the
 /// header conventions). Empty cells contribute no value.
 pub fn load_csv(text: &str) -> Result<UniversalTable, CsvError> {
-    let rows = parse_rows(text)?;
-    let Some(header) = rows.first() else { return Err(CsvError::MissingHeader) };
+    let mut rows = CsvRows::new(text);
+    let Some(header) = rows.next().transpose()? else { return Err(CsvError::MissingHeader) };
     if header.is_empty() || header.iter().all(|h| h.is_empty()) {
         return Err(CsvError::MissingHeader);
     }
     let mut specs = Vec::with_capacity(header.len());
     let mut multi = Vec::with_capacity(header.len());
-    for raw in header {
+    for raw in &header {
         let (name, queriable, is_multi) = match raw.as_str() {
             s if s.ends_with('*') => (&s[..s.len() - 1], false, false),
             s if s.ends_with('+') => (&s[..s.len() - 1], true, true),
@@ -138,9 +158,11 @@ pub fn load_csv(text: &str) -> Result<UniversalTable, CsvError> {
         multi.push(is_multi);
     }
     let mut table = UniversalTable::new(Schema::new(specs));
-    for (ri, row) in rows.iter().enumerate().skip(1) {
+    for (ri, row) in rows.enumerate() {
+        let row = row?;
+        // The header was row 1; `ri` counts data rows from 0.
         if row.len() > header.len() {
-            return Err(CsvError::TooManyFields { row: ri + 1 });
+            return Err(CsvError::TooManyFields { row: ri + 2 });
         }
         if row.iter().all(|c| c.is_empty()) {
             continue;
@@ -162,15 +184,25 @@ pub fn load_csv(text: &str) -> Result<UniversalTable, CsvError> {
     Ok(table)
 }
 
-/// Serializes a universal table back to the CSV dialect. Multi-valued cells
-/// are joined on `;`; the header carries the `*`/`+` markers so the result
-/// re-loads with the identical schema.
-pub fn to_csv(table: &UniversalTable) -> String {
-    let schema = table.schema();
-    let mut out = String::new();
-    let header: Vec<String> = schema
-        .iter()
-        .map(|(_, spec)| {
+/// Streaming CSV emitter: the header goes out at construction, then one row
+/// per [`CsvWriter::write_record`] call. This is the generate-to-disk
+/// complement of the streaming generators — 100M records flow straight from
+/// the sampler through this writer to a file without a table in between.
+#[derive(Debug)]
+pub struct CsvWriter<W: std::io::Write> {
+    out: W,
+    /// Scratch row, bucketed by attribute, reused across records.
+    cells: Vec<Vec<String>>,
+}
+
+impl<W: std::io::Write> CsvWriter<W> {
+    /// Writes the header row (with the `*`/`+` markers, so the output
+    /// re-loads with the identical schema) and returns the writer.
+    pub fn new(mut out: W, schema: &Schema) -> std::io::Result<Self> {
+        for (i, (_, spec)) in schema.iter().enumerate() {
+            if i > 0 {
+                out.write_all(b",")?;
+            }
             let suffix = if spec.multi_valued {
                 "+"
             } else if !spec.queriable {
@@ -178,31 +210,61 @@ pub fn to_csv(table: &UniversalTable) -> String {
             } else {
                 ""
             };
-            format!("{}{}", quote(&spec.name), suffix)
-        })
-        .collect();
-    out.push_str(&header.join(","));
-    out.push('\n');
-    for (_, rec) in table.iter() {
-        let mut cells: Vec<Vec<&str>> = vec![Vec::new(); schema.len()];
-        for &v in rec.values() {
-            let attr = table.interner().attr_of(v);
-            cells[attr.0 as usize].push(table.interner().value_str(v));
+            write!(out, "{}{}", quote(&spec.name), suffix)?;
         }
-        let row: Vec<String> = cells
-            .iter()
-            .map(|vals| {
-                if vals.len() <= 1 {
-                    vals.first().map(|s| quote(s)).unwrap_or_default()
-                } else {
-                    quote(&vals.join(";"))
-                }
-            })
-            .collect();
-        out.push_str(&row.join(","));
-        out.push('\n');
+        out.write_all(b"\n")?;
+        Ok(CsvWriter { out, cells: vec![Vec::new(); schema.len()] })
     }
-    out
+
+    /// Writes one record row. Fields may arrive in any order; multi-valued
+    /// cells are joined on `;`.
+    pub fn write_record<'a, I>(&mut self, fields: I) -> std::io::Result<()>
+    where
+        I: IntoIterator<Item = (AttrId, &'a str)>,
+    {
+        for cell in &mut self.cells {
+            cell.clear();
+        }
+        for (attr, s) in fields {
+            self.cells[attr.0 as usize].push(s.to_owned());
+        }
+        for (i, vals) in self.cells.iter().enumerate() {
+            if i > 0 {
+                self.out.write_all(b",")?;
+            }
+            match vals.as_slice() {
+                [] => {}
+                [one] => self.out.write_all(quote(one).as_bytes())?,
+                many => self.out.write_all(quote(&many.join(";")).as_bytes())?,
+            }
+        }
+        self.out.write_all(b"\n")?;
+        Ok(())
+    }
+
+    /// Flushes and returns the underlying writer.
+    pub fn finish(mut self) -> std::io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Serializes a universal table back to the CSV dialect. Multi-valued cells
+/// are joined on `;`; the header carries the `*`/`+` markers so the result
+/// re-loads with the identical schema. Streams through [`CsvWriter`] — the
+/// only full-document buffer is the returned `String` itself.
+pub fn to_csv(table: &UniversalTable) -> String {
+    let mut writer =
+        CsvWriter::new(Vec::new(), table.schema()).expect("writing to a Vec cannot fail");
+    for (_, rec) in table.iter() {
+        let fields = rec
+            .values()
+            .iter()
+            .map(|&v| (table.interner().attr_of(v), table.interner().value_str(v)));
+        writer.write_record(fields).expect("writing to a Vec cannot fail");
+    }
+    String::from_utf8(writer.finish().expect("writing to a Vec cannot fail"))
+        .expect("CSV output is UTF-8")
 }
 
 #[cfg(test)]
@@ -283,6 +345,23 @@ mod tests {
         assert_eq!(load_csv("").unwrap_err(), CsvError::MissingHeader);
         assert!(matches!(load_csv("A\n\"oops"), Err(CsvError::UnterminatedQuote { .. })));
         assert_eq!(load_csv("A\nx,y\n").unwrap_err(), CsvError::TooManyFields { row: 2 });
+    }
+
+    #[test]
+    fn streamed_generation_writes_loadable_csv() {
+        // generate_with → CsvWriter → load_csv must equal generate():
+        // the generate-to-disk path loses nothing.
+        let model = crate::presets::Preset::Ebay.model(0.002);
+        let resident = model.generate(40, 5);
+        let mut writer = CsvWriter::new(Vec::new(), &model.schema()).unwrap();
+        model.generate_with(40, 5, |_, fields| {
+            writer.write_record(fields.iter().map(|(a, s)| (*a, s.as_str()))).unwrap();
+        });
+        let csv = String::from_utf8(writer.finish().unwrap()).unwrap();
+        let loaded = load_csv(&csv).unwrap();
+        assert_eq!(loaded.num_records(), resident.num_records());
+        assert_eq!(loaded.num_distinct_values(), resident.num_distinct_values());
+        assert_eq!(loaded.schema(), &model.schema());
     }
 
     #[test]

@@ -248,7 +248,12 @@ impl ValueInterner {
     /// Doubles the slot table (min 16) and re-places every id from its stored
     /// hash — growth never re-reads, let alone rehashes, the arena.
     fn grow_slots(&mut self) {
-        let new_len = (self.slots.len() * 2).max(16);
+        self.rebuild_slots((self.slots.len() * 2).max(16));
+    }
+
+    /// Rebuilds the probe table at exactly `new_len` slots (a power of two)
+    /// from the stored hash column.
+    fn rebuild_slots(&mut self, new_len: usize) {
         self.slots.clear();
         self.slots.resize(new_len, EMPTY_SLOT);
         let mask = new_len - 1;
@@ -259,6 +264,103 @@ impl ValueInterner {
             }
             self.slots[probe] = idx as u32;
         }
+    }
+}
+
+/// Magic header of the packed interner image.
+const SPILL_MAGIC: &[u8; 8] = b"DWCINTR1";
+
+impl ValueInterner {
+    /// Serializes the interner to a packed byte image: arena bytes plus the
+    /// span-length / attribute / **precomputed hash** columns, with an
+    /// FNV-1a checksum trailer. Because the hashes travel with the image,
+    /// [`ValueInterner::from_packed_bytes`] rebuilds the probe table without
+    /// ever rehashing a string — spilling and reloading a multi-million
+    /// value interner costs one sequential pass each way.
+    pub fn to_packed_bytes(&self) -> Vec<u8> {
+        let n = self.spans.len();
+        let mut out = Vec::with_capacity(8 + 4 + 16 + self.arena.len() + n * 14 + 8);
+        out.extend_from_slice(SPILL_MAGIC);
+        out.extend_from_slice(&self.num_attrs.to_le_bytes());
+        out.extend_from_slice(&(n as u64).to_le_bytes());
+        out.extend_from_slice(&(self.arena.len() as u64).to_le_bytes());
+        out.extend_from_slice(self.arena.as_bytes());
+        for &(_, len) in &self.spans {
+            out.extend_from_slice(&len.to_le_bytes());
+        }
+        for &attr in &self.attrs {
+            out.extend_from_slice(&attr.0.to_le_bytes());
+        }
+        for &hash in &self.hashes {
+            out.extend_from_slice(&hash.to_le_bytes());
+        }
+        let sum = crate::packed::fnv1a64(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Reloads a packed image produced by [`ValueInterner::to_packed_bytes`].
+    /// Ids, strings, attributes and hashes come back identical; the probe
+    /// table is re-placed from the stored hashes (no string is rehashed).
+    pub fn from_packed_bytes(bytes: &[u8]) -> Result<Self, crate::packed::PackedError> {
+        use crate::packed::PackedError;
+        if bytes.len() < 8 + 4 + 16 + 8 {
+            return Err(PackedError::Truncated);
+        }
+        let (payload, trailer) = bytes.split_at(bytes.len() - 8);
+        let sum = u64::from_le_bytes(trailer.try_into().expect("8 bytes"));
+        if crate::packed::fnv1a64(payload) != sum {
+            return Err(PackedError::Checksum);
+        }
+        if &payload[..8] != SPILL_MAGIC {
+            return Err(PackedError::Magic);
+        }
+        let num_attrs = u32::from_le_bytes(payload[8..12].try_into().expect("4 bytes"));
+        let count = u64::from_le_bytes(payload[12..20].try_into().expect("8 bytes")) as usize;
+        let arena_len = u64::from_le_bytes(payload[20..28].try_into().expect("8 bytes")) as usize;
+        let body = &payload[28..];
+        let need = arena_len
+            .checked_add(count.checked_mul(14).ok_or(PackedError::Layout)?)
+            .ok_or(PackedError::Layout)?;
+        if body.len() != need {
+            return Err(PackedError::Truncated);
+        }
+        let (arena_bytes, cols) = body.split_at(arena_len);
+        let arena = String::from_utf8(arena_bytes.to_vec()).map_err(|_| PackedError::Utf8)?;
+        let (len_col, cols) = cols.split_at(count * 4);
+        let (attr_col, hash_col) = cols.split_at(count * 2);
+        let mut spans = Vec::with_capacity(count);
+        let mut offset = 0u64;
+        for c in len_col.chunks_exact(4) {
+            let len = u32::from_le_bytes(c.try_into().expect("4 bytes"));
+            let start = u32::try_from(offset).map_err(|_| PackedError::Layout)?;
+            spans.push((start, len));
+            offset += u64::from(len);
+        }
+        if offset != arena_len as u64 {
+            return Err(PackedError::Layout);
+        }
+        // Span boundaries must fall on UTF-8 character boundaries.
+        if spans.iter().any(|&(s, _)| !arena.is_char_boundary(s as usize)) {
+            return Err(PackedError::Layout);
+        }
+        let attrs: Vec<AttrId> = attr_col
+            .chunks_exact(2)
+            .map(|c| AttrId(u16::from_le_bytes(c.try_into().expect("2 bytes"))))
+            .collect();
+        let hashes: Vec<u64> = hash_col
+            .chunks_exact(8)
+            .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+            .collect();
+        let mut it = ValueInterner { arena, spans, attrs, hashes, slots: Vec::new(), num_attrs };
+        if count > 0 {
+            let mut slots_len = 16usize;
+            while (count + 1) * 8 > slots_len * 7 {
+                slots_len *= 2;
+            }
+            it.rebuild_slots(slots_len);
+        }
+        Ok(it)
     }
 }
 
@@ -361,6 +463,49 @@ mod tests {
             assert_eq!(it.get(AttrId((i % 5) as u16), &format!("val-{i}")), Some(id));
         }
         assert_eq!(it.len(), 1000);
+    }
+
+    #[test]
+    fn packed_spill_round_trips_without_rehashing() {
+        let mut it = ValueInterner::new();
+        let ids: Vec<_> =
+            (0..500).map(|i| it.intern(AttrId((i % 7) as u16), &format!("value-{i}-αβ"))).collect();
+        let bytes = it.to_packed_bytes();
+        let back = ValueInterner::from_packed_bytes(&bytes).unwrap();
+        assert_eq!(back.len(), it.len());
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(back.value_str(id), it.value_str(id));
+            assert_eq!(back.attr_of(id), it.attr_of(id));
+            assert_eq!(back.hash_of(id), it.hash_of(id), "hash column is preserved verbatim");
+            assert_eq!(
+                back.get(AttrId((i % 7) as u16), &format!("value-{i}-αβ")),
+                Some(id),
+                "probe table rebuilt from stored hashes resolves every id"
+            );
+        }
+        // The reloaded interner keeps assigning ids exactly where the
+        // original would.
+        let mut a = it.clone();
+        let mut b = back;
+        assert_eq!(a.intern(AttrId(1), "brand new"), b.intern(AttrId(1), "brand new"));
+    }
+
+    #[test]
+    fn packed_spill_rejects_corruption() {
+        use crate::packed::PackedError;
+        let mut it = ValueInterner::new();
+        it.intern(AttrId(0), "x");
+        let bytes = it.to_packed_bytes();
+        assert!(matches!(
+            ValueInterner::from_packed_bytes(&bytes[..5]),
+            Err(PackedError::Truncated)
+        ));
+        let mut flipped = bytes.clone();
+        flipped[10] ^= 0x40;
+        assert!(matches!(ValueInterner::from_packed_bytes(&flipped), Err(PackedError::Checksum)));
+        let empty = ValueInterner::new().to_packed_bytes();
+        let back = ValueInterner::from_packed_bytes(&empty).unwrap();
+        assert!(back.is_empty());
     }
 
     #[test]

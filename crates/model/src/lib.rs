@@ -19,7 +19,10 @@
 //!   islands),
 //! * [`degree`] — degree distributions and power-law fits (paper Figure 2),
 //! * [`domset`] — greedy and exact weighted dominating set solvers
-//!   (Definition 2.4's optimal-crawl characterization).
+//!   (Definition 2.4's optimal-crawl characterization),
+//! * [`packed`] — packed value encoding: offset-indexed list arenas shared
+//!   by the resident crawler state and the out-of-core segment layer, plus
+//!   the interner's prehashed spill image.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -30,10 +33,12 @@ pub mod domset;
 pub mod fixtures;
 pub mod graph;
 pub mod interner;
+pub mod packed;
 pub mod schema;
 pub mod table;
 
 pub use graph::AvGraph;
 pub use interner::{value_hash, AttrId, ValueId, ValueInterner};
+pub use packed::{PackedError, PackedLists};
 pub use schema::{AttrSpec, Schema};
 pub use table::{Record, RecordId, UniversalTable};

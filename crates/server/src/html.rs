@@ -19,7 +19,7 @@
 
 use crate::server::ResultPage;
 use crate::wire::push_escaped;
-use dwc_model::UniversalTable;
+use dwc_model::{Schema, UniversalTable, ValueInterner};
 use std::fmt::Write as _;
 
 /// Renders a result page as a template-generated HTML document.
@@ -32,6 +32,18 @@ pub fn page_to_html(page: &ResultPage, table: &UniversalTable) -> String {
 /// Renders a result page into a caller-provided buffer (appending), escaping
 /// field names and values in place instead of through per-field temporaries.
 pub fn page_to_html_into(page: &ResultPage, table: &UniversalTable, out: &mut String) {
+    page_to_html_parts(page, table.interner(), table.schema(), out);
+}
+
+/// Renders through an interner + schema pair directly (see
+/// [`crate::wire::page_to_xml_parts`]): the paged backend renders identical
+/// bytes through this same function.
+pub fn page_to_html_parts(
+    page: &ResultPage,
+    interner: &ValueInterner,
+    schema: &Schema,
+    out: &mut String,
+) {
     out.push_str("<html><body>\n<div id=\"summary\">page ");
     let _ = write!(out, "{}", page.page_index);
     out.push_str(" of results");
@@ -42,12 +54,12 @@ pub fn page_to_html_into(page: &ResultPage, table: &UniversalTable, out: &mut St
     for rec in &page.records {
         let _ = writeln!(out, "<div class=\"item\" id=\"item-{}\">", rec.key);
         for &v in &rec.values {
-            let attr = table.interner().attr_of(v);
-            let name = &table.schema().attr(attr).name;
+            let attr = interner.attr_of(v);
+            let name = &schema.attr(attr).name;
             out.push_str("  <span class=\"f\" title=\"");
             push_escaped(out, name);
             out.push_str("\">");
-            push_escaped(out, table.interner().value_str(v));
+            push_escaped(out, interner.value_str(v));
             out.push_str("</span>\n");
         }
         out.push_str("</div>\n");

@@ -7,10 +7,14 @@
 use dwc_model::{RecordId, UniversalTable, ValueId};
 
 /// Inverted index: postings per distinct attribute value.
+///
+/// Both columns are sealed `Box<[u32]>`s: the index never grows after
+/// `build`, so it carries no `Vec` growth slack — `heap_bytes` is exactly
+/// 4 bytes per offset entry plus 4 per posting.
 #[derive(Debug, Clone)]
 pub struct InvertedIndex {
-    offsets: Vec<u32>,
-    postings: Vec<u32>,
+    offsets: Box<[u32]>,
+    postings: Box<[u32]>,
 }
 
 impl InvertedIndex {
@@ -37,8 +41,15 @@ impl InvertedIndex {
             }
         }
         // Record ids are visited in ascending order, so each postings list is
-        // already sorted.
-        InvertedIndex { offsets, postings }
+        // already sorted. Seal both columns into boxed slices: the exact-size
+        // allocations shed whatever capacity slack the build vectors carried.
+        InvertedIndex { offsets: offsets.into_boxed_slice(), postings: postings.into_boxed_slice() }
+    }
+
+    /// Heap bytes held by the index: exactly `4 × (offsets + postings)` —
+    /// boxed slices have no capacity beyond their length.
+    pub fn heap_bytes(&self) -> usize {
+        (self.offsets.len() + self.postings.len()) * std::mem::size_of::<u32>()
     }
 
     /// Sorted record ids containing `v`.
@@ -301,6 +312,44 @@ mod tests {
         let mut abc = Vec::new();
         intersect_sorted(&ab, &c, &mut abc);
         assert_eq!(abc, vec![4, 10, 1998]);
+    }
+
+    #[test]
+    fn sealed_index_sheds_growth_slack() {
+        use dwc_model::{AttrSpec, Schema, UniversalTable};
+        let schema = Schema::new(vec![AttrSpec::queriable("A"), AttrSpec::queriable("B")]);
+        let mut t = UniversalTable::new(schema);
+        for i in 0..700u32 {
+            t.push_record_strs([
+                (AttrId(0), format!("a{}", i % 23)),
+                (AttrId(1), format!("b{}", i % 101)),
+            ]);
+        }
+        // "Before": the obvious growable representation — one Vec per value,
+        // postings pushed one sighting at a time with amortized doubling.
+        let mut naive: Vec<Vec<u32>> = vec![Vec::new(); t.num_distinct_values()];
+        for (rid, rec) in t.iter() {
+            for &v in rec.values() {
+                naive[v.index()].push(rid.0);
+            }
+        }
+        let total_postings: usize = naive.iter().map(Vec::len).sum();
+        let naive_bytes: usize =
+            naive.iter().map(|l| l.capacity() * 4 + std::mem::size_of::<Vec<u32>>()).sum();
+        // "After": the sealed index. Its footprint is exact — one u32 per
+        // posting plus the offsets column, zero capacity slack.
+        let idx = InvertedIndex::build(&t);
+        assert_eq!(idx.heap_bytes(), (t.num_distinct_values() + 1 + total_postings) * 4);
+        assert!(
+            idx.heap_bytes() < naive_bytes,
+            "sealed {} bytes must undercut growable {} bytes",
+            idx.heap_bytes(),
+            naive_bytes
+        );
+        // Same postings, of course.
+        for v in t.interner().iter_ids() {
+            assert_eq!(idx.postings(v), naive[v.index()].as_slice());
+        }
     }
 
     #[test]

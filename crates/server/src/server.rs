@@ -11,7 +11,8 @@ use crate::error::ServerError;
 use crate::fault::{FaultPolicy, FaultState};
 use crate::index::InvertedIndex;
 use crate::interface::{InterfaceSpec, Query};
-use dwc_model::{RecordId, UniversalTable, ValueId};
+use dwc_model::{RecordId, Schema, UniversalTable, ValueId, ValueInterner};
+use dwc_store::SegmentTable;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -42,16 +43,58 @@ pub struct ResultPage {
     pub has_more: bool,
 }
 
+/// Where a server's records and postings live.
+///
+/// `Resident` is the original fully in-RAM backend (a `UniversalTable` plus
+/// a sealed [`InvertedIndex`]); `Paged` serves the same query semantics from
+/// a [`SegmentTable`], whose record and postings columns live in fixed-size
+/// pages behind a sized buffer pool. Because both backends intern values in
+/// record-insertion order and keep postings sorted by ascending record id,
+/// every page — and therefore every crawl report — is bit-identical between
+/// them.
+#[derive(Debug, Clone)]
+enum Backend {
+    Resident { table: UniversalTable, index: InvertedIndex },
+    Paged(Arc<SegmentTable>),
+}
+
+impl Backend {
+    fn interner(&self) -> &ValueInterner {
+        match self {
+            Backend::Resident { table, .. } => table.interner(),
+            Backend::Paged(st) => st.interner(),
+        }
+    }
+
+    fn schema(&self) -> &Schema {
+        match self {
+            Backend::Resident { table, .. } => table.schema(),
+            Backend::Paged(st) => st.schema(),
+        }
+    }
+
+    fn num_distinct_values(&self) -> usize {
+        match self {
+            Backend::Resident { table, .. } => table.num_distinct_values(),
+            Backend::Paged(st) => st.num_distinct_values(),
+        }
+    }
+}
+
 /// An in-memory structured web database behind a query interface.
 ///
 /// All request/fault accounting lives in atomics, so a single server can be
 /// probed concurrently through `&self` — share one instance between crawler
 /// workers as `Arc<WebDbServer>` and every page request lands in the same
 /// global round counter (Definition 2.3 bills the *source*, not the worker).
+///
+/// Records and postings come from a [`Backend`]: fully resident
+/// ([`WebDbServer::new`]) or served from paged segments
+/// ([`WebDbServer::paged`]). The interface, fault policy, billing, and page
+/// cache are backend-independent.
 #[derive(Debug)]
 pub struct WebDbServer {
-    table: UniversalTable,
-    index: InvertedIndex,
+    backend: Backend,
     interface: InterfaceSpec,
     fault: FaultPolicy,
     requests: AtomicU64,
@@ -62,8 +105,7 @@ pub struct WebDbServer {
 impl Clone for WebDbServer {
     fn clone(&self) -> Self {
         WebDbServer {
-            table: self.table.clone(),
-            index: self.index.clone(),
+            backend: self.backend.clone(),
             interface: self.interface.clone(),
             fault: self.fault.clone(),
             requests: AtomicU64::new(self.rounds_used()),
@@ -79,8 +121,21 @@ impl WebDbServer {
     pub fn new(table: UniversalTable, interface: InterfaceSpec) -> Self {
         let index = InvertedIndex::build(&table);
         WebDbServer {
-            table,
-            index,
+            backend: Backend::Resident { table, index },
+            interface,
+            fault: FaultPolicy::none(),
+            requests: AtomicU64::new(0),
+            faults: FaultState::new(),
+            cache: PageCache::default(),
+        }
+    }
+
+    /// Builds a server whose records and postings are served out-of-core
+    /// from a [`SegmentTable`]. Query semantics, billing, and rendered bytes
+    /// are identical to the resident backend.
+    pub fn paged(table: Arc<SegmentTable>, interface: InterfaceSpec) -> Self {
+        WebDbServer {
+            backend: Backend::Paged(table),
             interface,
             fault: FaultPolicy::none(),
             requests: AtomicU64::new(0),
@@ -108,8 +163,39 @@ impl WebDbServer {
 
     /// The backing table (test/analysis access — a real crawler has no such
     /// view; experiment harnesses use it to compute true coverage).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a paged backend, which has no resident `UniversalTable`;
+    /// harness code that supports both backends should go through
+    /// [`WebDbServer::interner`] / [`WebDbServer::schema`] /
+    /// [`WebDbServer::oracle_match_count`] instead.
     pub fn table(&self) -> &UniversalTable {
-        &self.table
+        match &self.backend {
+            Backend::Resident { table, .. } => table,
+            Backend::Paged(_) => {
+                panic!("WebDbServer::table() requires the resident backend")
+            }
+        }
+    }
+
+    /// The paged segment table, when this server uses the paged backend.
+    pub fn segment_table(&self) -> Option<&Arc<SegmentTable>> {
+        match &self.backend {
+            Backend::Resident { .. } => None,
+            Backend::Paged(st) => Some(st),
+        }
+    }
+
+    /// The value interner (backend-independent: both backends keep it
+    /// resident).
+    pub fn interner(&self) -> &ValueInterner {
+        self.backend.interner()
+    }
+
+    /// The schema (backend-independent).
+    pub fn schema(&self) -> &Schema {
+        self.backend.schema()
     }
 
     /// The interface specification.
@@ -144,12 +230,18 @@ impl WebDbServer {
     /// Number of records that match `query` (oracle helper for tests and
     /// harnesses; not part of the crawler-visible interface).
     pub fn oracle_match_count(&self, query: &Query) -> usize {
-        match self.resolve(query) {
-            Ok(Resolved::None) => 0,
-            Ok(Resolved::Single(v)) => self.index.match_count(v),
-            Ok(Resolved::Many(vs)) => self.index.union(&vs).len(),
-            Ok(Resolved::All(vs)) => self.index.intersect(&vs).len(),
-            Err(_) => 0,
+        let resolved = match self.resolve(query) {
+            Ok(r) => r,
+            Err(_) => return 0,
+        };
+        match (&self.backend, resolved) {
+            (_, Resolved::None) => 0,
+            (Backend::Resident { index, .. }, Resolved::Single(v)) => index.match_count(v),
+            (Backend::Resident { index, .. }, Resolved::Many(vs)) => index.union(&vs).len(),
+            (Backend::Resident { index, .. }, Resolved::All(vs)) => index.intersect(&vs).len(),
+            (Backend::Paged(st), Resolved::Single(v)) => st.match_count(v),
+            (Backend::Paged(st), Resolved::Many(vs)) => st.union(&vs).len(),
+            (Backend::Paged(st), Resolved::All(vs)) => st.intersect(&vs).len(),
         }
     }
 
@@ -178,9 +270,12 @@ impl WebDbServer {
         }
         let page = self.compute_page(query, page_index)?;
         let mut buf = String::with_capacity(128 + page.records.len() * 160);
+        let (interner, schema) = (self.backend.interner(), self.backend.schema());
         match format {
-            RenderFormat::Xml => crate::wire::page_to_xml_into(&page, &self.table, &mut buf),
-            RenderFormat::Html => crate::html::page_to_html_into(&page, &self.table, &mut buf),
+            RenderFormat::Xml => crate::wire::page_to_xml_parts(&page, interner, schema, &mut buf),
+            RenderFormat::Html => {
+                crate::html::page_to_html_parts(&page, interner, schema, &mut buf)
+            }
         }
         let text: Arc<str> = Arc::from(buf);
         self.cache.insert(format, query, page_index, Arc::clone(&text));
@@ -199,11 +294,27 @@ impl WebDbServer {
 
     /// Resolves, paginates, and materializes one result page (no billing).
     fn compute_page(&self, query: &Query, page_index: usize) -> Result<ResultPage, ServerError> {
-        let matches: MatchList<'_> = match self.resolve(query)? {
+        let resolved = self.resolve(query)?;
+        match &self.backend {
+            Backend::Resident { table, index } => {
+                self.compute_page_resident(table, index, resolved, page_index)
+            }
+            Backend::Paged(st) => Ok(self.compute_page_paged(st, resolved, page_index)),
+        }
+    }
+
+    fn compute_page_resident(
+        &self,
+        table: &UniversalTable,
+        index: &InvertedIndex,
+        resolved: Resolved,
+        page_index: usize,
+    ) -> Result<ResultPage, ServerError> {
+        let matches: MatchList<'_> = match resolved {
             Resolved::None => MatchList::Empty,
-            Resolved::Single(v) => MatchList::Postings(self.index.postings(v)),
-            Resolved::Many(vs) => MatchList::Owned(self.index.union(&vs)),
-            Resolved::All(vs) => MatchList::Owned(self.index.intersect(&vs)),
+            Resolved::Single(v) => MatchList::Postings(index.postings(v)),
+            Resolved::Many(vs) => MatchList::Owned(index.union(&vs)),
+            Resolved::All(vs) => MatchList::Owned(index.intersect(&vs)),
         };
         let total = matches.len();
         let accessible = self.interface.accessible(total);
@@ -214,7 +325,7 @@ impl WebDbServer {
             .slice(start, end)
             .map(|rid| PageRecord {
                 key: u64::from(rid.0),
-                values: self.table.record(rid).values().to_vec(),
+                values: table.record(rid).values().to_vec(),
             })
             .collect();
         Ok(ResultPage {
@@ -225,17 +336,63 @@ impl WebDbServer {
         })
     }
 
+    /// The paged twin of [`WebDbServer::compute_page_resident`]. Single-value
+    /// queries — the crawl hot path — read only the postings pages their
+    /// slice covers ([`SegmentTable::postings_slice_into`]); union and
+    /// intersection queries materialize their match list first, exactly as
+    /// the resident backend does.
+    fn compute_page_paged(
+        &self,
+        st: &SegmentTable,
+        resolved: Resolved,
+        page_index: usize,
+    ) -> ResultPage {
+        enum Paged {
+            Lazy(ValueId, usize),
+            Owned(Vec<u32>),
+        }
+        let list = match resolved {
+            Resolved::None => Paged::Owned(Vec::new()),
+            Resolved::Single(v) => Paged::Lazy(v, st.match_count(v)),
+            Resolved::Many(vs) => Paged::Owned(st.union(&vs)),
+            Resolved::All(vs) => Paged::Owned(st.intersect(&vs)),
+        };
+        let total = match &list {
+            Paged::Lazy(_, t) => *t,
+            Paged::Owned(rids) => rids.len(),
+        };
+        let accessible = self.interface.accessible(total);
+        let k = self.interface.page_size;
+        let start = (page_index * k).min(accessible);
+        let end = ((page_index + 1) * k).min(accessible);
+        let mut rids = Vec::with_capacity(end - start);
+        match &list {
+            Paged::Lazy(v, _) => st.postings_slice_into(*v, start, end, &mut rids),
+            Paged::Owned(all) => rids.extend_from_slice(&all[start..end]),
+        }
+        let records = rids
+            .into_iter()
+            .map(|rid| PageRecord { key: u64::from(rid), values: st.record_values(rid) })
+            .collect();
+        ResultPage {
+            page_index,
+            total_matches: self.interface.reports_total.then_some(total),
+            records,
+            has_more: end < accessible,
+        }
+    }
+
     fn resolve(&self, query: &Query) -> Result<Resolved, ServerError> {
         match query {
             Query::Value(v) => {
                 self.check_arity(1)?;
-                if v.index() >= self.table.num_distinct_values() {
+                if v.index() >= self.backend.num_distinct_values() {
                     return Ok(Resolved::None);
                 }
-                let attr = self.table.interner().attr_of(*v);
+                let attr = self.backend.interner().attr_of(*v);
                 if !self.interface.is_queriable(attr) {
                     return Err(ServerError::NotQueriable {
-                        attr: self.table.schema().attr(attr).name.clone(),
+                        attr: self.backend.schema().attr(attr).name.clone(),
                     });
                 }
                 Ok(Resolved::Single(*v))
@@ -267,7 +424,7 @@ impl WebDbServer {
                 if !self.interface.keyword_search {
                     return Err(ServerError::KeywordUnsupported);
                 }
-                let vs = self.table.interner().get_keyword(s);
+                let vs = self.backend.interner().get_keyword(s);
                 Ok(match vs.len() {
                     0 => Resolved::None,
                     1 => Resolved::Single(vs[0]),
@@ -293,14 +450,14 @@ impl WebDbServer {
     /// queriability. `Ok(None)` means the value simply does not occur.
     fn resolve_pair(&self, attr: &str, value: &str) -> Result<Option<ValueId>, ServerError> {
         let attr_id = self
-            .table
+            .backend
             .schema()
             .attr_by_name(attr)
             .ok_or_else(|| ServerError::UnknownAttribute { attr: attr.to_owned() })?;
         if !self.interface.is_queriable(attr_id) {
             return Err(ServerError::NotQueriable { attr: attr.to_owned() });
         }
-        Ok(self.table.interner().get(attr_id, value))
+        Ok(self.backend.interner().get(attr_id, value))
     }
 }
 
@@ -589,6 +746,58 @@ mod tests {
                                                                     // Request 2 faults even though the page is cached.
         assert!(matches!(s.rendered_page(&q, 0, RenderFormat::Xml), Err(ServerError::Transient)));
         assert!(s.rendered_page(&q, 0, RenderFormat::Xml).unwrap().cache_hit());
+    }
+
+    #[test]
+    fn paged_backend_serves_identical_pages() {
+        use dwc_store::MemPager;
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 2).with_result_cap(4);
+        let st = SegmentTable::from_table(&t, Box::new(MemPager::new(128)), 4096).unwrap();
+        let resident = WebDbServer::new(t, spec.clone());
+        let paged = WebDbServer::paged(Arc::new(st), spec);
+        assert!(paged.segment_table().is_some());
+        let queries = vec![
+            Query::ByString { attr: "A".into(), value: "a2".into() },
+            Query::ByString { attr: "C".into(), value: "c2".into() },
+            Query::ByString { attr: "A".into(), value: "missing".into() },
+            Query::Keyword("a2".into()),
+            Query::Conjunctive(vec![("A".into(), "a2".into()), ("C".into(), "c2".into())]),
+            Query::Value(ValueId(9999)),
+        ];
+        for q in &queries {
+            assert_eq!(
+                resident.oracle_match_count(q),
+                paged.oracle_match_count(q),
+                "oracle for {q:?}"
+            );
+            for page in 0..3 {
+                assert_eq!(
+                    resident.query_page(q, page),
+                    paged.query_page(q, page),
+                    "structured page {page} of {q:?}"
+                );
+                for format in [RenderFormat::Xml, RenderFormat::Html] {
+                    let r = resident.rendered_page(q, page, format).unwrap();
+                    let p = paged.rendered_page(q, page, format).unwrap();
+                    assert_eq!(r.text(), p.text(), "{format:?} page {page} of {q:?}");
+                }
+            }
+        }
+        // Error paths route through the same interface checks.
+        let bad = Query::ByString { attr: "Nope".into(), value: "x".into() };
+        assert_eq!(resident.query_page(&bad, 0), paged.query_page(&bad, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "resident backend")]
+    fn table_accessor_panics_on_paged_backend() {
+        use dwc_store::MemPager;
+        let t = figure1_table();
+        let spec = InterfaceSpec::permissive(t.schema(), 2);
+        let st = SegmentTable::from_table(&t, Box::new(MemPager::new(128)), 4096).unwrap();
+        let paged = WebDbServer::paged(Arc::new(st), spec);
+        let _ = paged.table();
     }
 
     #[test]

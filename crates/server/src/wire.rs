@@ -20,7 +20,7 @@
 //! deliberately minimal but round-trip exact.
 
 use crate::server::ResultPage;
-use dwc_model::UniversalTable;
+use dwc_model::{Schema, UniversalTable, ValueInterner};
 use std::borrow::Cow;
 use std::fmt::Write as _;
 
@@ -95,6 +95,19 @@ pub fn page_to_xml(page: &ResultPage, table: &UniversalTable) -> String {
 /// Renders a result page into a caller-provided buffer (appending), so a
 /// server loop can reuse one allocation across pages.
 pub fn page_to_xml_into(page: &ResultPage, table: &UniversalTable, out: &mut String) {
+    page_to_xml_parts(page, table.interner(), table.schema(), out);
+}
+
+/// Renders through an interner + schema pair directly — rendering only ever
+/// needs those two, so backends without a resident `UniversalTable` (the
+/// paged segment store) share this exact code path and produce identical
+/// bytes.
+pub fn page_to_xml_parts(
+    page: &ResultPage,
+    interner: &ValueInterner,
+    schema: &Schema,
+    out: &mut String,
+) {
     out.push_str("<results page=\"");
     let _ = write!(out, "{}", page.page_index);
     out.push_str("\" more=\"");
@@ -107,12 +120,12 @@ pub fn page_to_xml_into(page: &ResultPage, table: &UniversalTable, out: &mut Str
     for rec in &page.records {
         let _ = writeln!(out, "  <record key=\"{}\">", rec.key);
         for &v in &rec.values {
-            let attr = table.interner().attr_of(v);
-            let name = &table.schema().attr(attr).name;
+            let attr = interner.attr_of(v);
+            let name = &schema.attr(attr).name;
             out.push_str("    <field attr=\"");
             push_escaped(out, name);
             out.push_str("\">");
-            push_escaped(out, table.interner().value_str(v));
+            push_escaped(out, interner.value_str(v));
             out.push_str("</field>\n");
         }
         out.push_str("  </record>\n");

@@ -86,6 +86,7 @@ USAGE:
             [--cap N] [--coverage F] [--keyword] [--stats]
             [--checkpoint OUT] [--resume IN] [--trace OUT.csv]
             [--checkpoint-path FILE] [--checkpoint-every N]
+            [--journal FILE] [--mem-budget MB]
             [--events FILE.jsonl]
             [--connect N] [--deadline MS] [--queue D] [--serve-workers W]
             [--latency-us N|MIN:MAX] [--decode-us N]
@@ -95,6 +96,7 @@ USAGE:
             [--policy bfs|dfs|random|freq|gl|mmmi] [--budget ROUNDS]
             [--slice ROUNDS] [--allocation even|harvest|weighted-fair]
             [--tenants W[:QUOTA[:PRIO]],...] [--page-size K]
+            [--mem-budget MB]
   dwc serve <FILE.csv> --seed-value ATTR=VALUE... [--connections N]
             [--requests R] [--queue D] [--serve-workers W]
             [--latency-us N|MIN:MAX] [--decode-us N] [--deadline MS]
@@ -107,7 +109,16 @@ USAGE:
 
 Crash safety: --checkpoint-path enables periodic, atomic checkpointing
 (every --checkpoint-every queries; .bak rotation). `dwc resume` restarts
-from the latest intact snapshot after a crash.
+from the latest intact snapshot after a crash. --journal additionally
+appends one checksummed delta frame per completed query to a frame log
+(rebased at each periodic checkpoint), bounding work lost to a kill to a
+single query.
+
+Out-of-core storage: --mem-budget MB packs the table into file-backed
+segments and serves it through a sized buffer pool; three quarters of the
+budget go to the segment page pool, one quarter to the rendered-page
+cache. Reports are bit-identical to the resident backend — only RSS
+changes.
 
 Observability: --events streams the crawl's structured event log as JSONL;
 replaying it reconstructs the final report figure for figure.
@@ -185,6 +196,48 @@ fn parse_workers(flags: &[(String, String)]) -> Result<Option<usize>, String> {
             Ok(w) => Ok(Some(w)),
         },
     }
+}
+
+/// Parses `--mem-budget MB`, rejecting 0 right at the command line — a
+/// zero-byte budget can cache nothing and is always a spec error.
+fn parse_mem_budget(flags: &[(String, String)]) -> Result<Option<u64>, String> {
+    match flag(flags, "mem-budget") {
+        None => Ok(None),
+        Some(v) => match v.parse::<u64>() {
+            Ok(0) | Err(_) => Err("--mem-budget must be a positive MiB count".into()),
+            Ok(mb) => Ok(Some(mb)),
+        },
+    }
+}
+
+/// Builds the serving backend. Without `--mem-budget` the table is served
+/// resident, exactly as before. With it, the table is packed into
+/// file-backed segments and served out-of-core, the buffer pool and the
+/// rendered-page cache both sized from the one budget
+/// ([`dwc_store::MemoryBudget`]'s 3/4 : 1/4 split) — query semantics,
+/// billing, and rendered bytes are identical either way.
+fn build_server(
+    table: UniversalTableHandle,
+    interface: InterfaceSpec,
+    mem_budget: Option<u64>,
+) -> Result<WebDbServer, String> {
+    use deep_web_crawler::store::{FilePager, MemoryBudget, SegmentTable, DEFAULT_PAGE_SIZE};
+    let Some(mb) = mem_budget else { return Ok(WebDbServer::new(table, interface)) };
+    let budget = MemoryBudget::from_mb(mb);
+    let dir = std::env::temp_dir().join(format!("dwc-segments-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let pager = FilePager::open(&dir, DEFAULT_PAGE_SIZE)
+        .map_err(|e| format!("opening segment dir {}: {e}", dir.display()))?;
+    let seg = SegmentTable::from_table(&table, Box::new(pager), budget.pool_bytes())
+        .map_err(|e| format!("packing segments: {e}"))?;
+    eprintln!(
+        "paged backend: {} records, {} KiB on disk in {} ({mb} MiB budget)",
+        seg.num_records(),
+        seg.storage_bytes() / 1024,
+        dir.display()
+    );
+    Ok(WebDbServer::paged(std::sync::Arc::new(seg), interface)
+        .with_page_cache(budget.page_cache_entries()))
 }
 
 fn cmd_generate(args: &[String]) -> Result<(), String> {
@@ -293,6 +346,13 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
     } else if flag(&flags, "checkpoint-every").is_some() {
         return Err("--checkpoint-every needs --checkpoint-path FILE".into());
     }
+    if let Some(journal) = flag(&flags, "journal") {
+        builder = builder.journal_path(journal);
+    }
+    let mem_budget = parse_mem_budget(&flags)?;
+    if let Some(mb) = mem_budget {
+        builder = builder.mem_budget_mb(mb);
+    }
     let config = builder.build().map_err(|e| e.to_string())?;
 
     let workers = parse_workers(&flags)?;
@@ -300,7 +360,7 @@ fn cmd_crawl(args: &[String], resume_from_store: bool) -> Result<(), String> {
         return Err("--workers applies to `dwc resume` and `dwc fleet`".into());
     }
 
-    let server = WebDbServer::new(table, interface);
+    let server = build_server(table, interface, mem_budget)?;
 
     if let Some(connections) = parse_connect(&flags)? {
         if resume_from_store || flag(&flags, "resume").is_some() {
@@ -995,8 +1055,13 @@ fn cmd_fleet(args: &[String]) -> Result<(), String> {
     }
     let fleet = fleet.build().map_err(|e| e.to_string())?;
 
-    let shared = Arc::new(WebDbServer::new(table, interface));
-    let config = CrawlConfig::builder().known_target_size(n).build().map_err(|e| e.to_string())?;
+    let mem_budget = parse_mem_budget(&flags)?;
+    let shared = Arc::new(build_server(table, interface, mem_budget)?);
+    let mut config = CrawlConfig::builder().known_target_size(n);
+    if let Some(mb) = mem_budget {
+        config = config.mem_budget_mb(mb);
+    }
+    let config = config.build().map_err(|e| e.to_string())?;
     let jobs: Vec<FleetJob<Arc<WebDbServer>>> = seeds
         .into_iter()
         .enumerate()

@@ -16,6 +16,9 @@
 //!   server (pagination, result caps, totals, XML wire format, faults);
 //! * [`datagen`] (`dwc-datagen`) — generative domain datasets standing in
 //!   for eBay / ACM / DBLP / IMDB / Amazon-DVD;
+//! * [`store`] (`dwc-store`) — out-of-core packed storage: segment files,
+//!   pluggable pagers, the clock-eviction buffer pool, the checksummed frame
+//!   log, and the shared memory budget;
 //! * [`core`] (`dwc-core`) — the crawler and its selection policies (BFS,
 //!   DFS, Random, greedy link-based, GL+MMMI, domain-knowledge).
 //!
@@ -45,6 +48,7 @@ pub use dwc_datagen as datagen;
 pub use dwc_model as model;
 pub use dwc_server as server;
 pub use dwc_stats as stats;
+pub use dwc_store as store;
 
 /// The most commonly used types, in one import.
 pub mod prelude {

@@ -1,0 +1,317 @@
+//! Out-of-core storage parity suite: the paged backend is observationally
+//! identical to the resident one, and the state journal loses at most the
+//! query in flight.
+//!
+//! Three invariants:
+//!
+//! 1. **Backend parity under faults** — a crawl against a
+//!    [`SegmentTable`]-backed server (file-backed pages, sized buffer pool)
+//!    produces a `CrawlReport` bit-identical to the resident backend's,
+//!    across the same `DWC_FAULT_KIND` × `DWC_FAULT_SEED` matrix the crash
+//!    and serving-parity suites sweep. Storage is below the query seam;
+//!    policies must not be able to tell.
+//! 2. **Backend parity on random databases** — the same equality, property
+//!    tested over random small tables, page sizes, and result caps.
+//! 3. **Journal recovery at every frame** — kill a journaled crawl at every
+//!    frame boundary (and mid-frame), recover, resume, and the finished
+//!    crawl matches the uninterrupted baseline exactly.
+
+use deep_web_crawler::core::StateJournal;
+use deep_web_crawler::model::{AttrId, AttrSpec, Schema, UniversalTable};
+use deep_web_crawler::prelude::*;
+use deep_web_crawler::store::{FilePager, FrameLog, MemPager, MemoryBudget, SegmentTable};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Fresh per-test scratch directory (same idiom as the store's own tests).
+fn scratch_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("dwc-paged-storage-{}-{tag}-{n}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn imdb_table(seed: u64) -> UniversalTable {
+    Preset::Imdb.table(0.002, seed)
+}
+
+fn interface(table: &UniversalTable) -> InterfaceSpec {
+    InterfaceSpec::permissive(table.schema(), 10).with_result_cap(40)
+}
+
+/// A paged copy of `table` on real files, with the buffer pool sized from a
+/// deliberately small budget so eviction actually happens mid-crawl.
+fn paged_server(table: &UniversalTable, dir: &std::path::Path) -> WebDbServer {
+    let budget = MemoryBudget::from_mb(2);
+    let pager =
+        FilePager::open(dir, deep_web_crawler::store::DEFAULT_PAGE_SIZE).expect("open segment dir");
+    let seg = SegmentTable::from_table(table, Box::new(pager), budget.pool_bytes())
+        .expect("pack segments");
+    WebDbServer::paged(Arc::new(seg), interface(table)).with_page_cache(budget.page_cache_entries())
+}
+
+/// The fault plan the CI matrix selects via `DWC_FAULT_KIND`, mirroring the
+/// crash and serving-parity suites so all three cover the same cells.
+fn matrix_plan(kind: &str, seed: u64) -> FaultPlan {
+    match kind {
+        "none" => FaultPlan::new(),
+        "burst" => FaultPlan::new().burst(8 + seed % 13, 40),
+        "stall" => FaultPlan::seeded(seed, 600, 0.08, &[FaultKind::Stall { rounds: 3 }]),
+        "corrupt" => FaultPlan::seeded(seed, 600, 0.10, &[FaultKind::Corrupt]),
+        _ => FaultPlan::seeded(
+            seed,
+            600,
+            0.08,
+            &[FaultKind::Transient, FaultKind::Stall { rounds: 2 }, FaultKind::Corrupt],
+        ),
+    }
+}
+
+fn fault_matrix_cell() -> (String, u64) {
+    let kind = std::env::var("DWC_FAULT_KIND").unwrap_or_else(|_| "mixed".into());
+    let seed = std::env::var("DWC_FAULT_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(7);
+    (kind, seed)
+}
+
+fn crawl_config() -> CrawlConfig {
+    CrawlConfig::builder()
+        .max_rounds(1_500)
+        .prober(ProberMode::Wire)
+        .max_retries(4)
+        .build()
+        .expect("valid crawl config")
+}
+
+fn run_crawl<S: DataSource>(source: S, config: CrawlConfig) -> CrawlReport {
+    let mut crawler = Crawler::new(source, PolicyKind::GreedyLink.build(), config);
+    crawler.add_seed("Language", "Language_0");
+    crawler.add_seed("Actor", "Actor_0");
+    crawler.run()
+}
+
+/// The tentpole invariant: swapping the resident backend for file-backed
+/// segments changes nothing above the query seam — counters, coverage, and
+/// the full per-query trace are bit-identical, fault matrix included.
+#[test]
+fn paged_backend_reproduces_resident_reports_across_fault_matrix() {
+    let (kind, seed) = fault_matrix_cell();
+    let table = imdb_table(3);
+    let dir = scratch_dir("matrix");
+
+    let resident = run_crawl(
+        FaultPlanSource::new(
+            WebDbServer::new(table.clone(), interface(&table)),
+            matrix_plan(&kind, seed),
+        ),
+        crawl_config(),
+    );
+    let paged = run_crawl(
+        FaultPlanSource::new(paged_server(&table, &dir), matrix_plan(&kind, seed)),
+        crawl_config(),
+    );
+
+    assert_eq!(
+        paged, resident,
+        "fault cell {kind}/{seed}: the paged backend must reproduce the resident report"
+    );
+    assert!(resident.records > 0, "fault cell {kind}/{seed} harvested nothing");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Parity holds through the serving tier too: segments under a bounded
+/// queue and worker threads still bill and harvest identically.
+#[test]
+fn paged_backend_parity_through_the_service() {
+    let table = imdb_table(11);
+    let dir = scratch_dir("service");
+
+    let resident = {
+        let service = SourceService::start(
+            Arc::new(WebDbServer::new(table.clone(), interface(&table))),
+            ServeConfig::default(),
+        );
+        let conn = service.connect();
+        let report = run_crawl(conn.clone(), crawl_config());
+        assert_eq!(report.rounds, conn.rounds_used());
+        drop(conn);
+        service.shutdown();
+        report
+    };
+    let paged = {
+        let service =
+            SourceService::start(Arc::new(paged_server(&table, &dir)), ServeConfig::default());
+        let conn = service.connect();
+        let report = run_crawl(conn.clone(), crawl_config());
+        assert_eq!(report.rounds, conn.rounds_used());
+        drop(conn);
+        service.shutdown();
+        report
+    };
+
+    assert_eq!(paged, resident);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A saved-and-reopened segment table (fresh process image: cold buffer
+/// pool, metadata reloaded from disk) still reproduces the resident report.
+#[test]
+fn reopened_segments_preserve_parity() {
+    let table = imdb_table(5);
+    let dir = scratch_dir("reopen");
+    let budget = MemoryBudget::from_mb(2);
+
+    let resident = run_crawl(WebDbServer::new(table.clone(), interface(&table)), crawl_config());
+
+    {
+        let pager = FilePager::open(&dir, deep_web_crawler::store::DEFAULT_PAGE_SIZE)
+            .expect("open segment dir");
+        let seg = SegmentTable::from_table(&table, Box::new(pager), budget.pool_bytes())
+            .expect("pack segments");
+        seg.save_meta(&dir).expect("save segment metadata");
+    }
+    let reopened = SegmentTable::open(&dir, budget.pool_bytes()).expect("reopen segments");
+    let paged =
+        run_crawl(WebDbServer::paged(Arc::new(reopened), interface(&table)), crawl_config());
+
+    assert_eq!(paged, resident);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// A random record: 2–5 `(attr, value-index)` fields over 3 attributes with
+/// value pools of 12 per attribute (the shared properties-suite shape).
+fn record_strategy() -> impl Strategy<Value = Vec<(u16, u8)>> {
+    prop::collection::vec((0u16..3, 0u8..12), 2..=5)
+}
+
+fn table_from(records: &[Vec<(u16, u8)>]) -> UniversalTable {
+    let schema = Schema::new(vec![
+        AttrSpec::queriable("A"),
+        AttrSpec::queriable("B"),
+        AttrSpec::queriable("C"),
+    ]);
+    let mut t = UniversalTable::new(schema);
+    for rec in records {
+        let fields: Vec<(AttrId, String)> =
+            rec.iter().map(|&(a, v)| (AttrId(a), format!("v{v}"))).collect();
+        t.push_record_strs(fields.iter().map(|(a, s)| (*a, s.as_str())));
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Backend parity as a property: for any random table, page size, and
+    /// result cap, the resident and paged crawls produce identical reports.
+    #[test]
+    fn paged_crawls_match_resident_on_random_tables(
+        records in prop::collection::vec(record_strategy(), 1..40),
+        page_size in 1usize..7,
+        cap in prop::option::of(1usize..30),
+    ) {
+        let t = table_from(&records);
+        let mut spec = InterfaceSpec::permissive(t.schema(), page_size);
+        if let Some(c) = cap {
+            spec = spec.with_result_cap(c);
+        }
+        let config = CrawlConfig::builder()
+            .max_rounds(400)
+            .prober(ProberMode::Wire)
+            .build()
+            .expect("valid crawl config");
+        let run = |server: WebDbServer| {
+            let mut crawler = Crawler::new(server, PolicyKind::GreedyLink.build(), config.clone());
+            crawler.add_seed("A", "v0");
+            crawler.run()
+        };
+
+        let resident = run(WebDbServer::new(t.clone(), spec.clone()));
+        // In-RAM pager here: the property sweeps many tables, and the
+        // file-backed pager is exercised by the matrix tests above.
+        let seg = SegmentTable::from_table(&t, Box::new(MemPager::new(256)), 4096)
+            .expect("pack segments");
+        let paged = run(WebDbServer::paged(Arc::new(seg), spec));
+
+        prop_assert_eq!(paged, resident);
+    }
+}
+
+/// Journal crash-recovery sweep: run a journaled crawl to completion, then
+/// simulate a kill at **every frame boundary** (and mid-frame, to model a
+/// torn write). Each recovery must yield a checkpoint the crawler resumes
+/// from to the exact baseline outcome — the journal never loses more than
+/// the query that was in flight, and a torn tail is discarded, not trusted.
+#[test]
+fn journal_recovers_at_every_kill_point() {
+    let table = imdb_table(3);
+    let dir = scratch_dir("journal");
+    let journal_path = dir.join("crawl.journal");
+
+    let config = CrawlConfig::builder()
+        .max_rounds(300)
+        .journal_path(&journal_path)
+        .build()
+        .expect("valid crawl config");
+    let server = WebDbServer::new(table.clone(), interface(&table));
+    let baseline = run_crawl(&server, config);
+    assert!(baseline.records > 0);
+
+    let replay = FrameLog::replay(&journal_path).expect("replay journal");
+    assert!(!replay.torn, "a cleanly finished crawl leaves no torn tail");
+    assert!(replay.frames.len() > 1, "expected a base frame plus deltas");
+    let bytes = std::fs::read(&journal_path).expect("read journal");
+    assert_eq!(replay.valid_len, bytes.len() as u64);
+
+    // Frame boundaries: each frame is [u32 len][u64 checksum][payload].
+    let mut boundaries = vec![0u64];
+    for frame in &replay.frames {
+        boundaries.push(boundaries.last().unwrap() + 12 + frame.len() as u64);
+    }
+
+    let resume_config = CrawlConfig::builder().max_rounds(300).build().expect("valid config");
+    let cut_path = dir.join("cut.journal");
+    let mut prev_records = 0usize;
+    for (i, &cut) in boundaries.iter().enumerate() {
+        // The kill point: everything after `cut` never reached disk. Also
+        // probe a torn half-frame 5 bytes past the boundary.
+        for extra in [0u64, 5] {
+            let end = (cut + extra).min(bytes.len() as u64) as usize;
+            std::fs::write(&cut_path, &bytes[..end]).expect("write cut journal");
+            let recovered = StateJournal::recover(&cut_path).expect("recover");
+            if i == 0 {
+                assert!(recovered.is_none(), "no base frame survives an empty cut");
+                continue;
+            }
+            let rec = recovered.expect("base frame present");
+            assert_eq!(rec.deltas_applied, (i - 1) as u64, "cut after frame {i}");
+            if extra > 0 && end < bytes.len() {
+                assert!(rec.torn, "a half-frame tail must be flagged torn");
+            }
+            // Resume from the recovered state and finish the crawl: the
+            // outcome must match the uninterrupted baseline exactly.
+            let fresh = WebDbServer::new(table.clone(), interface(&table));
+            let crawler = Crawler::resume(
+                &fresh,
+                PolicyKind::GreedyLink.build(),
+                &rec.checkpoint,
+                resume_config.clone(),
+            );
+            let resumed = crawler.run();
+            assert_eq!(
+                resumed.records, baseline.records,
+                "kill after frame {i} (+{extra}B) lost records"
+            );
+            assert_eq!(resumed.rounds, baseline.rounds, "kill after frame {i} changed billing");
+            if extra == 0 {
+                // More journal survived ⇒ at least as much state recovered.
+                assert!(rec.checkpoint.records.len() >= prev_records);
+                prev_records = rec.checkpoint.records.len();
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
